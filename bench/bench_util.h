@@ -1,0 +1,45 @@
+// Shared helpers for the experiment binaries (bench/e*.cpp).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "coloring/linial.h"
+#include "core/instance.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace dcolor::bench {
+
+/// Standard experiment banner so the combined bench log is navigable.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << claim << "\n"
+            << "================================================================\n";
+}
+
+/// Linial initial coloring convenience: (colors, q).
+inline std::pair<std::vector<Color>, std::int64_t> initial_coloring(
+    const Graph& g, const Orientation& o) {
+  const LinialResult linial = linial_from_ids(g, o);
+  return {linial.colors, linial.num_colors};
+}
+
+/// Means over repeated trials.
+struct Stats {
+  double sum = 0;
+  double max = 0;
+  std::int64_t count = 0;
+  void add(double x) {
+    sum += x;
+    max = std::max(max, x);
+    ++count;
+  }
+  double mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+}  // namespace dcolor::bench

@@ -1,0 +1,111 @@
+// E10 — two boundary applications of Theorem 1.1 (Section 1.1):
+//
+//  (a) list d-defective 3-coloring in O(Δ + log* n) rounds whenever
+//      d > (2Δ−3)/3 — the generalization of [BHL+19]'s d >= (2Δ−4)/3 to
+//      lists and to the oriented/symmetric setting. We run at the exact
+//      threshold d = ⌊(2Δ−3)/3⌋+1 and verify the UNDIRECTED defect.
+//
+//  (b) the Linial extension: proper list coloring of β-outdegree-oriented
+//      graphs with lists of size β²+β+1 in O(β² + log* n) rounds (vs
+//      [MT20]'s Θ(β²·logβ) lists).
+#include "bench/bench_util.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "util/logstar.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  using namespace dcolor::bench;
+  const CliArgs args(argc, argv);
+  const int seeds = static_cast<int>(args.get_int("seeds", 3));
+  args.check_all_consumed();
+
+  banner("E10", "d-defective 3-coloring at the (2Δ−3)/3 threshold; "
+                "Linial-extension list coloring with β²+β+1 lists");
+
+  {
+    Table t("(a) 3 colors, d = ⌊(2Δ−3)/3⌋+1, symmetric digraph");
+    t.header({"Delta", "d", "rounds(mean)", "rounds/(2Δ+2)", "max defect",
+              "valid"});
+    CsvWriter csv("e10_three_coloring.csv",
+                  {"delta", "seed", "d", "rounds", "max_defect", "valid"});
+    for (int delta : {6, 12, 24, 48}) {
+      Stats rounds;
+      int worst_defect = 0;
+      bool all_valid = true;
+      int d_used = 0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng(1000 + static_cast<std::uint64_t>(seed));
+        const Graph g = random_near_regular(600, delta, rng);
+        const int dmax = g.max_degree();
+        const int d = (2 * dmax - 3) / 3 + 1;
+        d_used = d;
+        OldcInstance inst;
+        inst.graph = &g;
+        inst.color_space = 3;
+        inst.symmetric = true;
+        inst.lists.assign(static_cast<std::size_t>(g.num_nodes()),
+                          ColorList::uniform({0, 1, 2}, d));
+        const Orientation o = Orientation::by_id(g);
+        const auto [init, q] = initial_coloring(g, o);
+        const ColoringResult res = two_sweep(inst, init, q, 2);
+        const bool valid = validate_oldc(inst, res.colors);
+        const int defect = max_undirected_defect(g, res.colors);
+        all_valid = all_valid && valid && defect <= d;
+        worst_defect = std::max(worst_defect, defect);
+        rounds.add(static_cast<double>(res.metrics.rounds));
+        csv.row({std::to_string(dmax), std::to_string(seed),
+                 std::to_string(d), std::to_string(res.metrics.rounds),
+                 std::to_string(defect), valid ? "1" : "0"});
+      }
+      t.add(delta, d_used, rounds.mean(),
+            rounds.mean() / static_cast<double>(2 * delta + 2), worst_defect,
+            all_valid ? "yes" : "NO");
+    }
+    t.print(std::cout);
+    std::cout << "Expectation: valid at the paper's exact threshold; rounds\n"
+                 "are two sweeps over the O(Δ²)→O(Δ)-ish initial classes —\n"
+                 "O(Δ + log* n) after Linial (ratio column ~O(Δ)).\n\n";
+  }
+
+  {
+    Table t("(b) proper list coloring, |L| = β²+β+1, p = β+1");
+    t.header({"beta", "|L|", "rounds(mean)", "rounds/beta^2", "valid"});
+    CsvWriter csv("e10_linial_extension.csv",
+                  {"beta", "seed", "rounds", "valid"});
+    for (int degree : {4, 6, 8, 12}) {
+      Stats rounds;
+      bool all_valid = true;
+      int beta_used = 0;
+      std::int64_t list_used = 0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng(1100 + static_cast<std::uint64_t>(seed));
+        const Graph g = random_near_regular(500, degree, rng);
+        Orientation o = Orientation::by_id(g);
+        const int beta = o.beta();
+        const int p = beta + 1;
+        const int list_size = beta * beta + beta + 1;
+        beta_used = beta;
+        list_used = list_size;
+        const OldcInstance inst = random_uniform_oldc(
+            g, std::move(o), 4 * list_size, list_size, 0, rng);
+        const auto [init, q] = initial_coloring(g, inst.orientation);
+        const ColoringResult res = two_sweep(inst, init, q, p);
+        const bool valid = validate_oldc(inst, res.colors) &&
+                           is_proper_coloring(g, res.colors);
+        all_valid = all_valid && valid;
+        rounds.add(static_cast<double>(res.metrics.rounds));
+        csv.row({std::to_string(beta), std::to_string(seed),
+                 std::to_string(res.metrics.rounds), valid ? "1" : "0"});
+      }
+      t.add(beta_used, list_used, rounds.mean(),
+            rounds.mean() / static_cast<double>(beta_used * beta_used),
+            all_valid ? "yes" : "NO");
+    }
+    t.print(std::cout);
+    std::cout << "Expectation: proper colorings from β²+β+1 lists — below\n"
+                 "[MT20]'s Θ(β²logβ) requirement — in O(β²+log*n) rounds\n"
+                 "(bounded rounds/β² column).\n";
+  }
+  return 0;
+}

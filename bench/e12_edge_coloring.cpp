@@ -1,0 +1,79 @@
+// E12 — (2Δ−1)-edge coloring via the paper's θ-machinery on line graphs,
+// vs the sequential greedy baseline.
+//
+// The paper's headline for this family: the [BBKO22]-style result —
+// (2Δ−1)-edge coloring in quasi-polylog rounds — now follows for ALL
+// θ-bounded graphs, not only line graphs of graphs. We measure rounds and
+// palette across Δ for graphs and for rank-3 hypergraphs.
+#include "bench/bench_util.h"
+#include "baselines/greedy.h"
+#include "core/edge_coloring.h"
+#include "graph/line_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  using namespace dcolor::bench;
+  const CliArgs args(argc, argv);
+  const int seeds = static_cast<int>(args.get_int("seeds", 2));
+  args.check_all_consumed();
+
+  banner("E12", "(2Δ−1)-edge coloring via Theorem 1.5 machinery");
+
+  {
+    Table t("graphs (θ = 2 line graphs)");
+    t.header({"Delta(G)", "palette 2Δ-1", "colors used", "greedy colors",
+              "rounds(mean)", "valid"});
+    CsvWriter csv("e12_edge_coloring.csv",
+                  {"delta", "seed", "palette", "used", "rounds", "valid"});
+    for (double avg_degree : {4.0, 8.0, 12.0}) {
+      Stats rounds;
+      bool all_valid = true;
+      int delta = 0;
+      std::int64_t palette = 0, used = 0, greedy_used = 0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng(1300 + static_cast<std::uint64_t>(seed));
+        const Graph g = gnp_avg_degree(150, avg_degree, rng);
+        delta = g.max_degree();
+        ThetaColoringOptions options;
+        options.branch = ThetaColoringOptions::Branch::kBaseOnly;
+        const EdgeColoringResult res =
+            edge_coloring_two_delta_minus_one(g, options);
+        const bool valid = validate_edge_coloring(g, res.edge_colors);
+        all_valid = all_valid && valid;
+        rounds.add(static_cast<double>(res.metrics.rounds));
+        palette = res.num_colors;
+        used = num_colors_used(res.edge_colors);
+        const ColoringResult greedy = greedy_delta_plus_one(line_graph(g));
+        greedy_used = num_colors_used(greedy.colors);
+        csv.row({std::to_string(delta), std::to_string(seed),
+                 std::to_string(palette), std::to_string(used),
+                 std::to_string(res.metrics.rounds), valid ? "1" : "0"});
+      }
+      t.add(delta, palette, used, greedy_used, rounds.mean(),
+            all_valid ? "yes" : "NO");
+    }
+    t.print(std::cout);
+  }
+
+  {
+    Table t("rank-3 hypergraphs (θ <= 3)");
+    t.header({"edges", "Delta(L)", "palette", "colors used", "rounds",
+              "valid"});
+    for (std::int64_t m : {100, 200}) {
+      Rng rng(1400 + static_cast<std::uint64_t>(m));
+      const Hypergraph h = random_hypergraph(60, m, 3, rng);
+      ThetaColoringOptions options;
+      options.branch = ThetaColoringOptions::Branch::kBaseOnly;
+      const EdgeColoringResult res = hypergraph_edge_coloring(h, options);
+      const bool valid = validate_edge_coloring(h, res.edge_colors);
+      const Graph lg = line_graph(h);
+      t.add(m, lg.max_degree(), res.num_colors,
+            num_colors_used(res.edge_colors), res.metrics.rounds,
+            valid ? "yes" : "NO");
+    }
+    t.print(std::cout);
+  }
+  std::cout << "Expectation: valid everywhere, palette exactly 2Δ−1 (resp.\n"
+               "Δ_L+1); used colors comparable to sequential greedy.\n";
+  return 0;
+}

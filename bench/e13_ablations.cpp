@@ -1,0 +1,165 @@
+// E13 — ablations of the design choices DESIGN.md calls out:
+//
+//  (a) TWO sweeps vs ONE sweep. One sweep only controls conflicts toward
+//      earlier nodes; the second (reverse) sweep is what bounds the rest.
+//      We measure how many nodes overshoot their defect without it.
+//  (b) BEST p-subset (Algorithm 1, line 4) vs a RANDOM p-subset in
+//      Phase I. Lemma 3.1 only proves a good subset EXISTS; the greedy
+//      choice is what makes Phase II always succeed. Random subsets fail
+//      at tight slack.
+//  (c) Lemma 3.4 defect budget α: colors used vs the O(1/α²) bound.
+#include "bench/bench_util.h"
+#include "coloring/kuhn_defective.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "util/check.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  using namespace dcolor::bench;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<NodeId>(args.get_int("n", 400));
+  const int degree = static_cast<int>(args.get_int("degree", 12));
+  const int seeds = static_cast<int>(args.get_int("seeds", 5));
+  args.check_all_consumed();
+
+  banner("E13", "ablations: one sweep / random subsets / Lemma 3.4 α");
+
+  const int defect = 1;
+
+  {
+    // The adversarial direction for ONE sweep: orient every edge toward
+    // the LATER-acting endpoint (larger initial color). Phase I then has
+    // k_v == 0 everywhere — a single sweep controls nothing and the whole
+    // burden falls on the reverse sweep.
+    Table t("(a) one sweep vs two sweeps (defect " + std::to_string(defect) +
+            ", tight shared lists, out-edges toward later nodes)");
+    t.header({"variant", "violating nodes (mean)", "max excess", "rounds"});
+    CsvWriter csv("e13_one_sweep.csv",
+                  {"variant", "seed", "violations", "max_excess", "rounds"});
+    for (const auto& [name, selection] :
+         {std::pair{"two sweeps (Alg. 1)", TwoSweepSelection::kBestMargin},
+          std::pair{"one sweep (ablation)", TwoSweepSelection::kOneSweep}}) {
+      Stats violations, rounds;
+      int max_excess = 0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng(1500 + static_cast<std::uint64_t>(seed));
+        const Graph graph = random_near_regular(n, degree, rng);
+        const Graph* g = &graph;
+        const auto [init, q] =
+            initial_coloring(*g, Orientation::by_id(*g));
+        const auto& init_ref = init;
+        Orientation toward_later = Orientation::from_predicate(
+            *g, [&](NodeId a, NodeId b) {
+              return init_ref[static_cast<std::size_t>(b)] >
+                     init_ref[static_cast<std::size_t>(a)];
+            });
+        const int beta = toward_later.beta();
+        const int p = beta / (defect + 1) + 1;
+        const int list_size = p * p + p + 1;  // exactly the Eq. (2) regime
+        OldcInstance inst = random_uniform_oldc(
+            *g, std::move(toward_later), list_size, list_size, defect, rng);
+        TwoSweepOptions options;
+        options.selection = selection;
+        const ColoringResult res = two_sweep_ex(inst, init, q, p, options);
+        // Count per-node defect violations against the lists.
+        int bad = 0;
+        const auto defects = oriented_defects(inst.orientation, res.colors);
+        for (NodeId v = 0; v < g->num_nodes(); ++v) {
+          const auto vi = static_cast<std::size_t>(v);
+          const auto allowed =
+              inst.lists[vi].defect_of(res.colors[vi]).value_or(-1);
+          if (defects[vi] > allowed) {
+            ++bad;
+            max_excess = std::max(max_excess, defects[vi] - allowed);
+          }
+        }
+        violations.add(bad);
+        rounds.add(static_cast<double>(res.metrics.rounds));
+        csv.row({name, std::to_string(seed), std::to_string(bad),
+                 std::to_string(max_excess),
+                 std::to_string(res.metrics.rounds)});
+      }
+      t.add(name, violations.mean(), max_excess, rounds.mean());
+    }
+    t.print(std::cout);
+    std::cout << "Expectation: zero violations with two sweeps (theorem);\n"
+                 "the one-sweep ablation overshoots on some nodes — the\n"
+                 "reverse sweep is load-bearing.\n\n";
+  }
+
+  {
+    Table t("(b) best vs random Phase-I subset, by slack factor");
+    t.header({"subset rule", "slack factor", "success", "trials"});
+    CsvWriter csv("e13_random_subset.csv",
+                  {"rule", "factor", "seed", "success"});
+    for (const auto& [name, selection] :
+         {std::pair{"best (Alg. 1)", TwoSweepSelection::kBestMargin},
+          std::pair{"random (ablation)", TwoSweepSelection::kRandomSubset}}) {
+      for (double factor : {1.0, 1.5, 3.0}) {
+        int ok = 0;
+        for (int seed = 0; seed < seeds; ++seed) {
+          Rng rng(1600 + static_cast<std::uint64_t>(seed));
+          const Graph g = random_near_regular(n, degree, rng);
+          Orientation o = Orientation::by_id(g);
+          const int beta = o.beta();
+          const int p = beta / (defect + 1) + 1;
+          const auto list_size = static_cast<int>(
+              factor * static_cast<double>(p * p + p + 1));
+          const OldcInstance inst = random_uniform_oldc(
+              g, std::move(o), list_size, list_size, defect, rng);
+          const auto [init, q] = initial_coloring(g, inst.orientation);
+          TwoSweepOptions options;
+          options.selection = selection;
+          options.selection_seed = 99 + static_cast<std::uint64_t>(seed);
+          options.skip_precondition_check = true;
+          bool success;
+          try {
+            const ColoringResult res = two_sweep_ex(inst, init, q, p, options);
+            success = validate_oldc(inst, res.colors);
+          } catch (const CheckError&) {
+            success = false;
+          }
+          ok += success ? 1 : 0;
+          csv.row({name, std::to_string(factor), std::to_string(seed),
+                   success ? "1" : "0"});
+        }
+        t.add(name, factor, ok, seeds);
+      }
+    }
+    t.print(std::cout);
+    std::cout << "Expectation: the best-subset rule succeeds at factor 1.0\n"
+                 "(Lemma 3.1 + Remark); random subsets need extra slack.\n\n";
+  }
+
+  {
+    Table t("(c) Lemma 3.4: colors used vs O(1/α²)");
+    t.header({"alpha", "colors", "colors·α²", "max defect/⌊α·β_v⌋ ok",
+              "rounds"});
+    CsvWriter csv("e13_kuhn_alpha.csv",
+                  {"alpha", "colors", "rounds", "defect_ok"});
+    Rng rng(1700);
+    const Graph g = random_near_regular(2000, 16, rng);
+    const Orientation o = Orientation::by_id(g);
+    for (double alpha : {1.0, 0.5, 0.25, 0.125, 0.0625}) {
+      const auto res = kuhn_defective_from_ids(g, o, alpha);
+      bool defect_ok = true;
+      const auto defects = oriented_defects(o, res.colors);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (defects[static_cast<std::size_t>(v)] >
+            static_cast<int>(alpha * o.beta_v(v))) {
+          defect_ok = false;
+        }
+      }
+      t.add(alpha, res.num_colors,
+            static_cast<double>(res.num_colors) * alpha * alpha,
+            defect_ok ? "yes" : "NO", res.metrics.rounds);
+      csv.row({std::to_string(alpha), std::to_string(res.num_colors),
+               std::to_string(res.metrics.rounds), defect_ok ? "1" : "0"});
+    }
+    t.print(std::cout);
+    std::cout << "Expectation: colors·α² bounded (the O(1/α²) guarantee)\n"
+                 "and defects within ⌊α·β_v⌋ for every α.\n";
+  }
+  return 0;
+}

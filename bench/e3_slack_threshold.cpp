@@ -1,0 +1,70 @@
+// E3 — sharpness of the Eq. (2) slack threshold (ablation).
+//
+// Theorem 1.1 promises success whenever Σ(d+1) > max{p, |L|/p}·β. We scale
+// the list size to a fraction f of the threshold and run the Two-Sweep
+// with the precondition check disabled: Phase II throws when no feasible
+// color remains. Success should be guaranteed for f > 1 and degrade below
+// the threshold — how quickly it degrades is what the experiment measures.
+#include "bench/bench_util.h"
+#include "core/two_sweep.h"
+#include "util/check.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  using namespace dcolor::bench;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<NodeId>(args.get_int("n", 400));
+  const int degree = static_cast<int>(args.get_int("degree", 12));
+  const int defect = static_cast<int>(args.get_int("defect", 1));
+  const int seeds = static_cast<int>(args.get_int("seeds", 10));
+  args.check_all_consumed();
+
+  banner("E3", "Eq. (2) slack threshold sharpness (ablation)");
+
+  Table t;
+  t.header({"slack factor f", "success", "trials", "note"});
+  CsvWriter csv("e3_slack_threshold.csv", {"factor", "seed", "success"});
+
+  for (double f : {0.25, 0.5, 0.75, 0.9, 1.0, 1.05, 1.25}) {
+    int ok = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(400 + static_cast<std::uint64_t>(seed));
+      const Graph g = random_near_regular(n, degree, rng);
+      Orientation o = Orientation::by_id(g);
+      const int beta = o.beta();
+      const int p = beta / (defect + 1) + 1;
+      // Threshold list size: smallest Λ with Λ(d+1) > max{p, Λ/p}β.
+      std::int64_t threshold = 1;
+      while (threshold * (defect + 1) * p <=
+             std::max<std::int64_t>(static_cast<std::int64_t>(p) * p,
+                                    threshold) *
+                 beta) {
+        ++threshold;
+      }
+      const auto list_size = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(f * static_cast<double>(threshold)));
+      // Maximal contention: every node holds the SAME list (color space ==
+      // list size), so the slack bound has no randomness to hide behind.
+      const OldcInstance inst =
+          random_uniform_oldc(g, std::move(o), list_size,
+                              static_cast<int>(list_size), defect, rng);
+      const auto [init, q] = initial_coloring(g, inst.orientation);
+      bool success;
+      try {
+        const ColoringResult res = two_sweep(inst, init, q, p,
+                                             /*skip_precondition_check=*/true);
+        success = validate_oldc(inst, res.colors);
+      } catch (const CheckError&) {
+        success = false;  // Phase II ran out of feasible colors
+      }
+      ok += success ? 1 : 0;
+      csv.row({std::to_string(f), std::to_string(seed), success ? "1" : "0"});
+    }
+    t.add(f, ok, seeds, f >= 1.0 ? "theorem regime" : "below threshold");
+  }
+  t.print(std::cout);
+  std::cout << "Expectation: 100% success at f >= 1 (guaranteed by\n"
+               "Lemma 3.1/3.2); success collapses below the threshold — the\n"
+               "Eq. (2) bound is essentially sharp under full contention.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E5 — per-node internal computation (google-benchmark).
+//
+// Section 1.1 ("Computational complexity"): our Phase-I step is a sort —
+// nearly linear in Δ times the list size — while the [MT20]/[FK23a] nodes
+// search an at-least-exponential subset family. We benchmark our
+// sort-based selection against an *optimistic* exhaustive-2^Λ stand-in
+// for the latter: the measured gap is a LOWER bound on the real one.
+#include <benchmark/benchmark.h>
+
+#include "baselines/mt20_style.h"
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dcolor;
+
+struct NodeInputs {
+  ColorList list;
+  std::vector<int> k_counts;
+  int p;
+  int n_greater;
+};
+
+NodeInputs make_inputs(int lambda, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Color> colors(static_cast<std::size_t>(lambda));
+  std::vector<int> defects(static_cast<std::size_t>(lambda));
+  std::vector<int> k_counts(static_cast<std::size_t>(lambda));
+  for (int i = 0; i < lambda; ++i) {
+    colors[static_cast<std::size_t>(i)] = i;
+    defects[static_cast<std::size_t>(i)] = static_cast<int>(rng.below(8));
+    k_counts[static_cast<std::size_t>(i)] = static_cast<int>(rng.below(4));
+  }
+  return {ColorList(std::move(colors), std::move(defects)),
+          std::move(k_counts), std::max(2, lambda / 4),
+          static_cast<int>(rng.below(8))};
+}
+
+void BM_SortBasedPhase1(benchmark::State& state) {
+  const auto in = make_inputs(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    auto sel = sort_based_phase1(in.list, in.k_counts, in.p, in.n_greater);
+    benchmark::DoNotOptimize(sel.subset.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SortBasedPhase1)->DenseRange(8, 24, 4)->Complexity();
+
+void BM_SubsetSearchPhase1(benchmark::State& state) {
+  const auto in = make_inputs(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    auto sel = subset_search_phase1(in.list, in.k_counts, in.p, in.n_greater);
+    benchmark::DoNotOptimize(sel.subset.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SubsetSearchPhase1)->DenseRange(8, 24, 4)->Complexity();
+
+// Large-list regime: only the sort-based rule can even run here — the
+// subset search at Λ = 4096 would take ~2^4096 steps.
+void BM_SortBasedPhase1_LargeLists(benchmark::State& state) {
+  const auto in = make_inputs(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto sel = sort_based_phase1(in.list, in.k_counts, in.p, in.n_greater);
+    benchmark::DoNotOptimize(sel.subset.data());
+  }
+}
+BENCHMARK(BM_SortBasedPhase1_LargeLists)->RangeMultiplier(4)->Range(64, 16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// E7 — Theorem 1.3: (deg+1)-list coloring in CONGEST.
+//
+// Sweeping Δ, both partition engines (DESIGN.md §4):
+//  * BEG18-oracle: rounds should track √Δ·polylogΔ — the theorem's shape;
+//  * honest (Lemma 3.4 partitions): pays O(µ²) classes per level, so its
+//    rounds grow ~linearly in Δ — the measured cost of not having the
+//    O(k + log* n) arbdefective primitive.
+// Baselines: sequential greedy (n rounds) and randomized Luby (O(log n)).
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "baselines/luby.h"
+#include "coloring/color_reduction.h"
+#include "core/list_coloring.h"
+#include "graph/coloring_checks.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  using namespace dcolor::bench;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<NodeId>(args.get_int("n", 1200));
+  const int seeds = static_cast<int>(args.get_int("seeds", 2));
+  args.check_all_consumed();
+
+  banner("E7",
+         "Theorem 1.3: (deg+1)-list coloring rounds vs Δ, both engines");
+
+  Table t;
+  t.header({"Delta", "oracle rounds", "o/(sqrtΔ·log⁴Δ)", "honest rounds",
+            "h/(Δ·log⁴Δ)", "GPS88 (Δ²)", "luby", "valid"});
+  CsvWriter csv("e7_delta_plus_one.csv",
+                {"delta", "seed", "oracle_rounds", "honest_rounds",
+                 "gps88_rounds", "luby_rounds", "valid"});
+
+  for (int delta : {4, 8, 16, 32, 48}) {
+    Stats oracle_r, honest_r, luby_r, gps_r;
+    bool all_valid = true;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(700 + static_cast<std::uint64_t>(seed));
+      const Graph g = random_near_regular(n, delta, rng);
+      const std::int64_t C = 2 * (g.max_degree() + 1);
+      const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+
+      const ColoringResult oracle = solve_degree_plus_one(
+          inst, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+      const ColoringResult honest = solve_degree_plus_one(
+          inst, ListColoringOptions{PartitionEngine::kHonest});
+      Rng luby_rng(rng.fork());
+      const ColoringResult luby = luby_list_coloring(inst, luby_rng);
+      // The textbook O(Δ² + log* n) baseline ((Δ+1)-coloring, not lists).
+      const ColorReductionResult gps = linial_plus_reduction(g);
+
+      const bool valid = is_proper_coloring(g, oracle.colors) &&
+                         is_proper_coloring(g, honest.colors) &&
+                         is_proper_coloring(g, luby.colors) &&
+                         is_proper_coloring(g, gps.colors);
+      all_valid = all_valid && valid;
+      oracle_r.add(static_cast<double>(oracle.metrics.rounds));
+      honest_r.add(static_cast<double>(honest.metrics.rounds));
+      luby_r.add(static_cast<double>(luby.metrics.rounds));
+      gps_r.add(static_cast<double>(gps.metrics.rounds));
+      csv.row({std::to_string(delta), std::to_string(seed),
+               std::to_string(oracle.metrics.rounds),
+               std::to_string(honest.metrics.rounds),
+               std::to_string(gps.metrics.rounds),
+               std::to_string(luby.metrics.rounds), valid ? "1" : "0"});
+    }
+    const double log_d = std::log2(static_cast<double>(std::max(2, delta)));
+    const double log4 = log_d * log_d * log_d * log_d;
+    t.add(delta, oracle_r.mean(),
+          oracle_r.mean() / (std::sqrt(static_cast<double>(delta)) * log4),
+          honest_r.mean(), honest_r.mean() / (delta * log4), gps_r.mean(),
+          luby_r.mean(), all_valid ? "yes" : "NO");
+  }
+  t.print(std::cout);
+
+  // Where do the rounds go? One representative run per engine at Δ = 16.
+  {
+    Table bt("round breakdown at Δ = 16");
+    bt.header({"engine", "linial", "partition", "class OLDC", "idle slots",
+               "levels", "classes run/idle"});
+    Rng rng(700);
+    const Graph g = random_near_regular(n, 16, rng);
+    const std::int64_t C = 2 * (g.max_degree() + 1);
+    const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+    for (const auto& [name, engine] :
+         {std::pair{"oracle", PartitionEngine::kBeg18Oracle},
+          std::pair{"honest", PartitionEngine::kHonest}}) {
+      ListColoringBreakdown breakdown;
+      ListColoringOptions options;
+      options.engine = engine;
+      options.breakdown = &breakdown;
+      solve_degree_plus_one(inst, options);
+      bt.add(name, breakdown.initial_coloring_rounds,
+             breakdown.partition_rounds, breakdown.class_rounds,
+             breakdown.idle_slot_rounds, breakdown.levels,
+             std::to_string(breakdown.classes_run) + "/" +
+                 std::to_string(breakdown.classes_idle));
+    }
+    bt.print(std::cout);
+  }
+
+  std::cout << "Expectation: the oracle ratio column stays bounded (the\n"
+               "√Δ·log⁴Δ shape of Theorem 1.3); the honest engine's ratio\n"
+               "against Δ·log⁴Δ stays bounded instead. GPS88 is the classic\n"
+               "O(Δ²+log*n) pipeline (small constants, worse exponent —\n"
+               "its crossover vs the oracle engine sits beyond these Δ).\n"
+               "Luby is rounds-cheap but randomized — the whole point of\n"
+               "the paper is matching determinism.\n";
+  return 0;
+}

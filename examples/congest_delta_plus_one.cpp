@@ -1,0 +1,59 @@
+// Example: (deg+1)-list coloring in the CONGEST model (Theorem 1.3).
+//
+//   ./congest_delta_plus_one [--n=400] [--degree=16] [--seed=7]
+//
+// Every node receives deg(v)+1 random colors from a space of size
+// 2(Δ+1); the framework colors the graph properly from the lists. The
+// example reports the round count under both partition engines
+// (DESIGN.md §4) and verifies the CONGEST discipline: no message wider
+// than O(log q + log C) bits ever crosses an edge.
+#include <iostream>
+
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<NodeId>(args.get_int("n", 400));
+  const int degree = static_cast<int>(args.get_int("degree", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  args.check_all_consumed();
+
+  Rng rng(seed);
+  const Graph g = random_near_regular(n, degree, rng);
+  const std::int64_t color_space = 2 * (g.max_degree() + 1);
+  const ListDefectiveInstance inst =
+      degree_plus_one_instance(g, color_space, rng);
+  std::cout << "graph: " << g.summary() << ", color space " << color_space
+            << ", (deg+1)-lists\n";
+
+  Table t("(deg+1)-list coloring, Theorem 1.3");
+  t.header({"engine", "valid", "rounds", "max msg bits", "congest budget"});
+  const int budget =
+      4 * (2 * ceil_log2(static_cast<std::uint64_t>(std::max<NodeId>(2, n))) +
+           ceil_log2(static_cast<std::uint64_t>(color_space)));
+  for (const auto& [name, engine] :
+       {std::pair{"honest (Lemma 3.4 partition)", PartitionEngine::kHonest},
+        std::pair{"BEG18-oracle partition", PartitionEngine::kBeg18Oracle}}) {
+    ListColoringOptions options;
+    options.engine = engine;
+    const ColoringResult res = solve_degree_plus_one(inst, options);
+    const bool valid = is_proper_coloring(g, res.colors) &&
+                       validate_list_defective(inst, res.colors);
+    t.add(name, valid ? "yes" : "NO", res.metrics.rounds,
+          res.metrics.max_message_bits, budget);
+    if (!valid || res.metrics.max_message_bits > budget) return 1;
+  }
+  t.print(std::cout);
+  std::cout << "\nBoth engines produce a proper coloring from the lists; the\n"
+               "oracle engine's round count shows the O(√Δ·polylogΔ) shape\n"
+               "of Theorem 1.3 while honest partitions pay O(µ²) classes.\n";
+  return 0;
+}

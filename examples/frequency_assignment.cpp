@@ -1,0 +1,94 @@
+// Example: radio frequency assignment as list defective coloring.
+//
+//   ./frequency_assignment [--n=300] [--radius=0.08] [--channels=48]
+//                          [--licensed=14] [--tolerance=2] [--seed=11]
+//
+// Scenario: n transmitters are scattered in the unit square; two
+// transmitters within `radius` interfere. Regulation gives each
+// transmitter a LIST of licensed channels (not all transmitters may use
+// all channels), and cheap hardware tolerates a bounded amount of
+// co-channel interference — `tolerance` interfering neighbors on the
+// chosen channel are acceptable. That is precisely a list defective
+// coloring instance; interference graphs of disk ranges also have bounded
+// neighborhood independence (θ <= 5), the structure Section 4 exploits.
+//
+// The example solves the instance with the slack-1 framework and reports
+// the interference profile of the computed assignment.
+#include <algorithm>
+#include <iostream>
+
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "graph/independence.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<NodeId>(args.get_int("n", 300));
+  const double radius = args.get_double("radius", 0.08);
+  const auto channels = args.get_int("channels", 48);
+  const int licensed = static_cast<int>(args.get_int("licensed", 14));
+  const int tolerance = static_cast<int>(args.get_int("tolerance", 2));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  args.check_all_consumed();
+
+  Rng rng(seed);
+  const Graph g = random_geometric(n, radius, rng);
+  std::cout << "interference graph: " << g.summary()
+            << ", θ upper bound: " << neighborhood_independence_upper(g)
+            << "\n";
+
+  // Build the instance: each transmitter draws `licensed` channels; the
+  // per-channel tolerance shrinks on busy nodes only if slack allows.
+  // For feasibility (slack > 1) we top up lists where needed:
+  // weight = licensed·(tolerance+1) must exceed deg(v).
+  ArbdefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = channels;
+  inst.lists.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const int need = g.degree(v) / (tolerance + 1) + 1;
+    const int size = std::min<int>(static_cast<int>(channels),
+                                   std::max(licensed, need));
+    const auto sample = rng.sample_without_replacement(
+        static_cast<std::uint64_t>(channels),
+        static_cast<std::uint64_t>(size));
+    std::vector<Color> list;
+    list.reserve(sample.size());
+    for (auto c : sample) list.push_back(static_cast<Color>(c));
+    inst.lists.push_back(ColorList::uniform(std::move(list), tolerance));
+  }
+
+  ListColoringOptions options;
+  options.engine = PartitionEngine::kBeg18Oracle;
+  const ArbdefectiveResult res = solve_arbdefective_slack1(inst, options);
+  const bool valid = validate_arbdefective(inst, res);
+
+  // Interference profile: how many same-channel interferers per node
+  // (undirected — what the operator actually observes).
+  const auto interference = undirected_defects(g, res.colors);
+  const int worst =
+      interference.empty()
+          ? 0
+          : *std::max_element(interference.begin(), interference.end());
+  double avg = 0;
+  for (int x : interference) avg += x;
+  if (n > 0) avg /= n;
+
+  Table t("frequency assignment");
+  t.header({"metric", "value"});
+  t.add("valid (list + out-tolerance)", valid ? "yes" : "NO");
+  t.add("channels used", num_colors_used(res.colors));
+  t.add("worst same-channel interferers", worst);
+  t.add("avg same-channel interferers", avg);
+  t.add("per-channel tolerance (out)", tolerance);
+  t.add("simulated rounds", res.metrics.rounds);
+  t.add("max message bits", res.metrics.max_message_bits);
+  t.print(std::cout);
+  return valid ? 0 : 1;
+}

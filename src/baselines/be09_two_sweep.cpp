@@ -1,0 +1,105 @@
+#include "baselines/be09_two_sweep.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Shared driver; `relevant(v, u)` says whether neighbor u counts for v
+/// (all neighbors in the undirected variant, out-neighbors otherwise).
+DefectiveColoringResult run_two_sweeps(
+    const Graph& g, const std::vector<Color>& initial, std::int64_t q, int k,
+    const std::function<bool(NodeId, NodeId)>& relevant) {
+  DCOLOR_CHECK(k >= 1);
+  DCOLOR_CHECK(static_cast<NodeId>(initial.size()) == g.num_nodes());
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DCOLOR_CHECK(initial[static_cast<std::size_t>(v)] >= 0 &&
+                 initial[static_cast<std::size_t>(v)] < q);
+    for (NodeId u : g.neighbors(v)) {
+      DCOLOR_CHECK_MSG(initial[static_cast<std::size_t>(u)] !=
+                           initial[static_cast<std::size_t>(v)],
+                       "initial coloring not proper");
+    }
+  }
+
+  auto earlier = [&](NodeId u, NodeId v) {
+    const Color cu = initial[static_cast<std::size_t>(u)];
+    const Color cv = initial[static_cast<std::size_t>(v)];
+    return cu < cv;  // proper coloring: equal colors are never adjacent
+  };
+
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return initial[static_cast<std::size_t>(a)] <
+           initial[static_cast<std::size_t>(b)];
+  });
+
+  // Sweep 1 (ascending): c1 minimizes the same-c1 count among earlier
+  // relevant neighbors.
+  std::vector<Color> c1(n, kNoColor);
+  for (NodeId v : order) {
+    std::vector<int> count(static_cast<std::size_t>(k), 0);
+    for (NodeId u : g.neighbors(v)) {
+      if (relevant(v, u) && earlier(u, v)) {
+        ++count[static_cast<std::size_t>(c1[static_cast<std::size_t>(u)])];
+      }
+    }
+    const auto it = std::min_element(count.begin(), count.end());
+    c1[static_cast<std::size_t>(v)] = static_cast<Color>(it - count.begin());
+  }
+
+  // Sweep 2 (descending): c2 minimizes the same-(c1,c2) count among the
+  // later relevant neighbors, whose pairs are already final.
+  std::vector<Color> c2(n, kNoColor);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    std::vector<int> count(static_cast<std::size_t>(k), 0);
+    for (NodeId u : g.neighbors(v)) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (relevant(v, u) && !earlier(u, v) &&
+          c1[ui] == c1[static_cast<std::size_t>(v)]) {
+        ++count[static_cast<std::size_t>(c2[ui])];
+      }
+    }
+    const auto best = std::min_element(count.begin(), count.end());
+    c2[static_cast<std::size_t>(v)] =
+        static_cast<Color>(best - count.begin());
+  }
+
+  DefectiveColoringResult result;
+  result.colors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.colors[i] = c1[i] * k + c2[i];
+  result.num_colors = static_cast<std::int64_t>(k) * k;
+  // Two sweeps over the q classes plus one initial-color broadcast.
+  result.metrics.rounds = 2 * q + 1;
+  result.metrics.max_message_bits =
+      std::max(1, 2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, k))));
+  return result;
+}
+
+}  // namespace
+
+DefectiveColoringResult be09_two_sweep_undirected(
+    const Graph& g, const std::vector<Color>& initial, std::int64_t q,
+    int k) {
+  return run_two_sweeps(g, initial, q, k,
+                        [](NodeId, NodeId) { return true; });
+}
+
+DefectiveColoringResult be09_two_sweep_oriented(
+    const Graph& g, const Orientation& o, const std::vector<Color>& initial,
+    std::int64_t q, int k) {
+  return run_two_sweeps(
+      g, initial, q, k,
+      [&o](NodeId v, NodeId u) { return o.is_out_edge(v, u); });
+}
+
+}  // namespace dcolor

@@ -1,0 +1,37 @@
+// The classic NON-list Two-Sweep defective coloring [BE09, BHL+19].
+//
+// Two sweeps over the classes of a proper q-coloring, in opposite order.
+// Sweep 1: v picks c1 ∈ [k] minimizing the same-c1 count among
+// already-committed (earlier) relevant neighbors. Sweep 2 (reverse): v
+// picks c2 ∈ [k] minimizing the same-(c1,c2) count among the later
+// relevant neighbors (their pairs are already fixed). The final color is
+// the pair (c1, c2) ∈ [k²] and the defect is at most
+//   ⌊E/k⌋ + ⌊L/k⌋ <= ⌊(relevant degree)/k⌋ + 1-ish,
+// where E/L are the earlier/later relevant neighbors. Taking
+// k = ⌈(Δ+1)/(d+1)⌉ over all neighbors gives the d-defective
+// ⌈(Δ+1)/(d+1)⌉²-coloring of [BE09, BHL+19]; restricting to OUT-neighbors
+// gives the intro's "O(β²/d²) colors, ≤ d same-colored out-neighbors".
+//
+// This is the algorithm Theorem 1.1 generalizes to lists; the bench suite
+// compares the two.
+#pragma once
+
+#include "coloring/kuhn_defective.h"
+#include "graph/graph.h"
+#include "graph/orientation.h"
+
+namespace dcolor {
+
+/// Undirected variant: k² colors, defect (same-colored neighbors)
+/// <= ⌊deg(v)/k⌋ + (k-rounding) — with k = ⌈(Δ+1)/(d+1)⌉ this is <= d.
+DefectiveColoringResult be09_two_sweep_undirected(
+    const Graph& g, const std::vector<Color>& initial, std::int64_t q, int k);
+
+/// Oriented variant: k² colors, at most ⌊β_v/k⌋-ish same-colored
+/// OUT-neighbors; k = ⌈β/d⌉ gives the O(β²/d²)-color d-out-defective
+/// coloring of the introduction.
+DefectiveColoringResult be09_two_sweep_oriented(
+    const Graph& g, const Orientation& o, const std::vector<Color>& initial,
+    std::int64_t q, int k);
+
+}  // namespace dcolor

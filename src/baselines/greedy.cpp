@@ -1,0 +1,65 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+ColoringResult greedy_delta_plus_one(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  ColoringResult result;
+  result.colors.assign(n, kNoColor);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<bool> taken(static_cast<std::size_t>(g.degree(v)) + 2, false);
+    for (NodeId u : g.neighbors(v)) {
+      const Color c = result.colors[static_cast<std::size_t>(u)];
+      if (c != kNoColor && c <= g.degree(v)) {
+        taken[static_cast<std::size_t>(c)] = true;
+      }
+    }
+    Color pick = 0;
+    while (taken[static_cast<std::size_t>(pick)]) ++pick;
+    result.colors[static_cast<std::size_t>(v)] = pick;
+  }
+  result.metrics.rounds = g.num_nodes();
+  return result;
+}
+
+ArbdefectiveResult greedy_arbdefective(const ArbdefectiveInstance& inst) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DCOLOR_CHECK_MSG(
+        inst.lists[static_cast<std::size_t>(v)].weight() > g.degree(v),
+        "greedy needs slack > 1; fails at node " << v);
+  }
+  ArbdefectiveResult result;
+  result.colors.assign(n, kNoColor);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+    Color pick = kNoColor;
+    for (std::size_t i = 0; i < lst.size(); ++i) {
+      int used = 0;
+      for (NodeId u : g.neighbors(v)) {
+        if (u < v &&
+            result.colors[static_cast<std::size_t>(u)] == lst.color(i)) {
+          ++used;
+        }
+      }
+      if (used <= lst.defect(i)) {
+        pick = lst.color(i);
+        break;
+      }
+    }
+    DCOLOR_CHECK_MSG(pick != kNoColor,
+                     "greedy found no feasible color at node "
+                         << v << " despite slack > 1");
+    result.colors[static_cast<std::size_t>(v)] = pick;
+  }
+  result.orientation = Orientation::by_id(g);  // toward earlier nodes
+  result.metrics.rounds = g.num_nodes();
+  return result;
+}
+
+}  // namespace dcolor

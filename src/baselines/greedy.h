@@ -1,0 +1,23 @@
+// Sequential greedy baselines.
+//
+// The classic centralized algorithms the paper positions itself against:
+// first-fit (Δ+1)-coloring and greedy list (arb)defective coloring. Their
+// "round complexity" is the sequential horizon n — the number every
+// distributed algorithm is trying to beat.
+#pragma once
+
+#include "core/instance.h"
+#include "graph/graph.h"
+
+namespace dcolor {
+
+/// First-fit (Δ+1)-coloring in id order. rounds = n (fully sequential).
+ColoringResult greedy_delta_plus_one(const Graph& g);
+
+/// Greedy list arbdefective coloring in id order: each node picks the
+/// first color whose residual defect covers its already-colored
+/// neighbors; edges orient toward earlier nodes. Succeeds whenever the
+/// instance has slack > 1 (pigeonhole), which is checked.
+ArbdefectiveResult greedy_arbdefective(const ArbdefectiveInstance& inst);
+
+}  // namespace dcolor

@@ -1,0 +1,86 @@
+#include "baselines/luby.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+ColoringResult luby_list_coloring(const ListDefectiveInstance& inst, Rng& rng,
+                                  std::int64_t max_rounds) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+    DCOLOR_CHECK_MSG(static_cast<int>(lst.size()) >= g.degree(v) + 1,
+                     "luby needs (deg+1)-lists; node " << v);
+    for (std::size_t i = 0; i < lst.size(); ++i) {
+      DCOLOR_CHECK(lst.defect(i) == 0);
+    }
+  }
+
+  ColoringResult result;
+  result.colors.assign(n, kNoColor);
+  std::vector<std::vector<Color>> available(n);
+  for (std::size_t vi = 0; vi < n; ++vi)
+    available[vi] = inst.lists[vi].colors();
+
+  std::vector<Color> proposal(n, kNoColor);
+  std::int64_t colored = 0;
+  for (std::int64_t round = 1;; ++round) {
+    DCOLOR_CHECK_MSG(round <= max_rounds, "luby failed to converge");
+    // Propose.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (result.colors[vi] != kNoColor) {
+        proposal[vi] = kNoColor;
+        continue;
+      }
+      const auto& av = available[vi];
+      proposal[vi] = av[static_cast<std::size_t>(rng.below(av.size()))];
+    }
+    // Commit proposals without an equal neighboring proposal.
+    std::vector<NodeId> committed;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (proposal[vi] == kNoColor) continue;
+      const bool clash = std::any_of(
+          g.neighbors(v).begin(), g.neighbors(v).end(), [&](NodeId u) {
+            return proposal[static_cast<std::size_t>(u)] == proposal[vi];
+          });
+      if (!clash) committed.push_back(v);
+    }
+    for (NodeId v : committed) {
+      const auto vi = static_cast<std::size_t>(v);
+      result.colors[vi] = proposal[vi];
+      ++colored;
+    }
+    for (NodeId v : committed) {
+      const auto vi = static_cast<std::size_t>(v);
+      for (NodeId u : g.neighbors(v)) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (result.colors[ui] != kNoColor) continue;
+        auto& av = available[ui];
+        const auto it =
+            std::lower_bound(av.begin(), av.end(), result.colors[vi]);
+        if (it != av.end() && *it == result.colors[vi]) av.erase(it);
+      }
+    }
+    result.metrics.rounds = round;
+    result.metrics.total_messages += 2 * g.num_edges();
+    result.metrics.max_message_bits =
+        std::max(result.metrics.max_message_bits,
+                 ceil_log2(static_cast<std::uint64_t>(
+                     std::max<std::int64_t>(2, inst.color_space))));
+    if (colored == g.num_nodes()) break;
+  }
+  return result;
+}
+
+ColoringResult luby_delta_plus_one(const Graph& g, Rng& rng) {
+  return luby_list_coloring(delta_plus_one_instance(g), rng);
+}
+
+}  // namespace dcolor

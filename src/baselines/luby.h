@@ -1,0 +1,22 @@
+// Randomized (Δ+1)-coloring baseline in the style of [ABI86, Lub86,
+// BEPS16]: every uncolored node proposes a uniformly random available
+// color each round and keeps it unless an uncolored neighbor proposed the
+// same color. O(log n) rounds with high probability.
+#pragma once
+
+#include "core/instance.h"
+#include "graph/graph.h"
+
+namespace dcolor {
+
+class Rng;
+
+/// Randomized (deg+1)-list coloring: works on any zero-defect instance
+/// with |L_v| >= deg(v)+1. Throws after `max_rounds` without progress.
+ColoringResult luby_list_coloring(const ListDefectiveInstance& inst, Rng& rng,
+                                  std::int64_t max_rounds = 10000);
+
+/// Classic (Δ+1)-coloring via the full palette.
+ColoringResult luby_delta_plus_one(const Graph& g, Rng& rng);
+
+}  // namespace dcolor

@@ -1,0 +1,118 @@
+#include "baselines/mt20_style.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+namespace {
+
+double log2_clamped(double x) { return std::log2(std::max(2.0, x)); }
+
+}  // namespace
+
+double fk23a_required_weight_sq(int beta, std::int64_t color_space,
+                                std::int64_t q) {
+  const double b = std::max(2, beta);
+  const double loglog_c = log2_clamped(log2_clamped(
+      static_cast<double>(std::max<std::int64_t>(2, color_space))));
+  const double loglog_q = log2_clamped(
+      log2_clamped(static_cast<double>(std::max<std::int64_t>(2, q))));
+  const double log_b = log2_clamped(b);
+  const double loglog_b = log2_clamped(log_b);
+  return b * b * (log_b + loglog_c + loglog_q) * loglog_b * loglog_b *
+         (loglog_b + loglog_q);
+}
+
+std::int64_t fk23a_min_list_size(int beta, int defect,
+                                 std::int64_t color_space, std::int64_t q) {
+  const double rhs = fk23a_required_weight_sq(beta, color_space, q);
+  const double per_color = static_cast<double>(defect + 1) *
+                           static_cast<double>(defect + 1);
+  return static_cast<std::int64_t>(std::floor(rhs / per_color)) + 1;
+}
+
+std::int64_t two_sweep_min_list_size(int beta, int defect) {
+  // p must satisfy (d+1)·p > β or no list size ever works (the Λ/p branch
+  // of the max dominates forever); the smallest such p minimizes Λ.
+  const std::int64_t p = std::max(1, beta) / (defect + 1) + 1;
+  // Smallest Λ with Λ·(d+1) > max{p, Λ/p}·β, i.e. Λ·(d+1)·p > max{p², Λ}·β.
+  // Feasible at Λ = p² because p·(d+1) > β; scan up to there.
+  for (std::int64_t lambda = 1;; ++lambda) {
+    const std::int64_t lhs = lambda * (defect + 1) * p;
+    const std::int64_t rhs = std::max(p * p, lambda) * std::max(1, beta);
+    if (lhs > rhs) return lambda;
+    DCOLOR_CHECK_MSG(lambda <= p * p, "unreachable: Λ = p² is feasible");
+  }
+}
+
+Phase1Selection sort_based_phase1(const ColorList& list,
+                                  std::span<const int> k_counts, int p,
+                                  int n_greater) {
+  (void)n_greater;  // the sort-based rule doesn't need it
+  DCOLOR_CHECK(k_counts.size() == list.size());
+  Phase1Selection sel;
+  std::vector<std::size_t> order(list.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int ma = list.defect(a) - k_counts[a];
+    const int mb = list.defect(b) - k_counts[b];
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(p), list.size());
+  for (std::size_t i = 0; i < take; ++i)
+    sel.subset.push_back(list.color(order[i]));
+  std::sort(sel.subset.begin(), sel.subset.end());
+  sel.ops = static_cast<std::int64_t>(list.size()) *
+            std::max(1, ceil_log2(std::max<std::uint64_t>(2, list.size())));
+  return sel;
+}
+
+Phase1Selection subset_search_phase1(const ColorList& list,
+                                     std::span<const int> k_counts, int p,
+                                     int n_greater) {
+  DCOLOR_CHECK(k_counts.size() == list.size());
+  DCOLOR_CHECK_MSG(list.size() <= 30, "subset search capped at 30 colors");
+  Phase1Selection sel;
+  const auto lambda = static_cast<int>(list.size());
+  // Score of subset S: Σ_{x∈S}(d(x)+1) − Σ_{x∈S}k(x) − |N_>| — Eq. (4)'s
+  // margin; higher is better. Exhaustive over all 2^Λ subsets of size <= p.
+  std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
+  std::uint32_t best_mask = 0;
+  const std::uint32_t limit = lambda >= 31 ? 0x7FFFFFFFu
+                                           : (1u << lambda) - 1u;
+  const int take = std::min(p, lambda);  // Algorithm 1 picks exactly this
+  for (std::uint32_t mask = 1; mask <= limit; ++mask) {
+    if (std::popcount(mask) != take) {
+      ++sel.ops;
+      continue;
+    }
+    std::int64_t score = -n_greater;
+    for (int i = 0; i < lambda; ++i) {
+      ++sel.ops;
+      if (mask & (1u << i)) {
+        score += list.defect(static_cast<std::size_t>(i)) + 1 -
+                 k_counts[static_cast<std::size_t>(i)];
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_mask = mask;
+    }
+  }
+  for (int i = 0; i < lambda; ++i) {
+    if (best_mask & (1u << i))
+      sel.subset.push_back(list.color(static_cast<std::size_t>(i)));
+  }
+  return sel;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,64 @@
+// Comparators against [MT20] and [FK23a] — the algorithms this paper
+// claims to simplify.
+//
+// Two axes of comparison (both discussed in Section 1.1):
+//
+//  1. LIST-SIZE requirement. For uniform defect d, [FK23a] needs lists of
+//     size Ω((β/d)²·(log β + log log C + log log q)·log²log β·
+//     (log log β + log log q)); Theorem 1.1 with p = β/d needs only
+//     ~p² + p colors. `fk23a_required_weight` evaluates the former (with
+//     constant α = 1) so the bench can tabulate the gap.
+//
+//  2. INTERNAL computation. The [MT20]/[FK23a] nodes search a subset
+//     family of 2^{2^{L_v}} candidates (FK23b, Appendix C: "more than
+//     exponential in the maximum list size"). Our Phase-I step sorts the
+//     list. `subset_search_phase1` implements an *optimistic* stand-in for
+//     the former — an exhaustive scan of all 2^Λ subsets scored by the
+//     Eq. (4) potential — i.e. a LOWER bound on the published algorithms'
+//     per-node work, which is already exponentially slower than
+//     `sort_based_phase1`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace dcolor {
+
+/// The [FK23a] slack requirement Σ(d+1)² > α·β²·(log β + log log C +
+/// log log q)·log²log β·(log log β + log log q), evaluated with α = 1.
+/// Returns the right-hand side; an instance qualifies when
+/// Σ(d_v(x)+1)² exceeds it.
+double fk23a_required_weight_sq(int beta, std::int64_t color_space,
+                                std::int64_t q);
+
+/// Minimum uniform list size for defect d under the [FK23a] requirement.
+std::int64_t fk23a_min_list_size(int beta, int defect,
+                                 std::int64_t color_space, std::int64_t q);
+
+/// Minimum uniform list size for defect d under Theorem 1.1 (ε = 0,
+/// p = ⌈β/(d+1)⌉): the smallest Λ with Λ·(d+1) > max{p, Λ/p}·β.
+std::int64_t two_sweep_min_list_size(int beta, int defect);
+
+/// Result of a Phase-I subset selection plus an operation count.
+struct Phase1Selection {
+  std::vector<Color> subset;
+  std::int64_t ops = 0;
+};
+
+/// Our Phase-I step: sort L_v by d_v(x) − k_v(x), take the best p.
+/// ops ≈ Λ·logΛ.
+Phase1Selection sort_based_phase1(const ColorList& list,
+                                  std::span<const int> k_counts, int p,
+                                  int n_greater);
+
+/// Exhaustive-subset stand-in for the [MT20]/[FK23a] selection: scans all
+/// 2^Λ subsets and returns the best of size min(p, Λ) by the Eq. (4)
+/// potential. ops ≈ 2^Λ·Λ. Λ is capped at 30.
+Phase1Selection subset_search_phase1(const ColorList& list,
+                                     std::span<const int> k_counts, int p,
+                                     int n_greater);
+
+}  // namespace dcolor

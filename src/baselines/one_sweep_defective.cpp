@@ -1,0 +1,21 @@
+#include "baselines/one_sweep_defective.h"
+
+#include "coloring/arbdefective.h"
+
+namespace dcolor {
+
+DefectiveColoringResult one_sweep_theta_defective(
+    const Graph& g, const std::vector<Color>& initial, std::int64_t q,
+    int k) {
+  // The one-sweep arbdefective partition IS this algorithm; Claim 4.1
+  // upgrades its ⌊deg/k⌋ out-defect to a (2⌊deg/k⌋+1)·θ defect.
+  auto part =
+      arbdefective_partition(g, initial, q, k, PartitionEngine::kHonest);
+  DefectiveColoringResult result;
+  result.colors = std::move(part.classes);
+  result.num_colors = k;
+  result.metrics = part.metrics;
+  return result;
+}
+
+}  // namespace dcolor

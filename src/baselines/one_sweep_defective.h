@@ -1,0 +1,21 @@
+// One-sweep defective coloring for bounded neighborhood independence
+// (the greedy algorithm from the paper's introduction, [BE11]).
+//
+// Sweeping once over the classes of a proper q-coloring and picking the
+// least-used of k colors among earlier neighbors yields (via Claim 4.1)
+// at most (2·⌊Δ/k⌋+1)·θ same-colored neighbors — an O(θ·Δ/d)-color
+// d-defective coloring on θ-bounded graphs.
+#pragma once
+
+#include "coloring/kuhn_defective.h"
+#include "graph/graph.h"
+
+namespace dcolor {
+
+/// k-coloring with defect <= (2·⌊Δ/k⌋+1)·θ on a graph of neighborhood
+/// independence θ (the bound holds for whatever θ the graph actually has;
+/// callers measure the defect). rounds = q + 1.
+DefectiveColoringResult one_sweep_theta_defective(
+    const Graph& g, const std::vector<Color>& initial, std::int64_t q, int k);
+
+}  // namespace dcolor

@@ -1,0 +1,125 @@
+#include "coloring/arbdefective.h"
+
+#include <algorithm>
+
+#include "sim/network.h"
+#include "util/check.h"
+#include "util/logstar.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Message-passing sweep: in round c+1, nodes of initial color c pick the
+/// least-used class among earlier-decided neighbors and announce it.
+class SweepPartitionProgram final : public SyncAlgorithm {
+ public:
+  SweepPartitionProgram(const Graph& g, const std::vector<Color>& initial,
+                        std::int64_t q, int k)
+      : graph_(&g), initial_(&initial), q_(q), k_(k) {
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    counts_.assign(n, std::vector<int>(static_cast<std::size_t>(k), 0));
+    chosen_.assign(n, kNoColor);
+  }
+
+  void init(NodeId, Mailbox&) override {}
+
+  void step(NodeId v, int round, Mailbox& mail) override {
+    const auto vi = static_cast<std::size_t>(v);
+    for (const Envelope& env : mail.inbox()) {
+      ++counts_[vi][static_cast<std::size_t>(env.message.field(0))];
+    }
+    if (round == static_cast<int>((*initial_)[vi]) + 1) {
+      const auto& cnt = counts_[vi];
+      const auto it = std::min_element(cnt.begin(), cnt.end());
+      chosen_[vi] = static_cast<Color>(it - cnt.begin());
+      Message m;
+      m.push(chosen_[vi], std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                                           std::max(2, k_)))));
+      broadcast(*graph_, mail, m);
+    }
+  }
+
+  bool done(NodeId v) const override {
+    return chosen_[static_cast<std::size_t>(v)] != kNoColor;
+  }
+
+  const std::vector<Color>& chosen() const noexcept { return chosen_; }
+
+ private:
+  const Graph* graph_;
+  const std::vector<Color>* initial_;
+  std::int64_t q_;
+  int k_;
+  std::vector<std::vector<int>> counts_;
+  std::vector<Color> chosen_;
+};
+
+}  // namespace
+
+ArbPartitionResult arbdefective_partition(const Graph& g,
+                                          const std::vector<Color>& initial,
+                                          std::int64_t q, int k,
+                                          PartitionEngine engine) {
+  DCOLOR_CHECK(k >= 1);
+  DCOLOR_CHECK(static_cast<NodeId>(initial.size()) == g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Color c = initial[static_cast<std::size_t>(v)];
+    DCOLOR_CHECK_MSG(c >= 0 && c < q, "initial color out of range");
+    for (NodeId u : g.neighbors(v)) {
+      DCOLOR_CHECK_MSG(initial[static_cast<std::size_t>(u)] != c,
+                       "initial coloring not proper");
+    }
+  }
+
+  ArbPartitionResult result;
+  result.num_classes = k;
+
+  if (engine == PartitionEngine::kHonest) {
+    SweepPartitionProgram program(g, initial, q, k);
+    Network net(g);
+    result.metrics = net.run(program, q + 4);
+    result.classes = program.chosen();
+  } else {
+    // Oracle engine: identical greedy rule executed centrally in sweep
+    // order, charged O(k + log* q) rounds per [BEG18].
+    std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      order[static_cast<std::size_t>(v)] = v;
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      const Color ca = initial[static_cast<std::size_t>(a)];
+      const Color cb = initial[static_cast<std::size_t>(b)];
+      return ca != cb ? ca < cb : a < b;
+    });
+    result.classes.assign(static_cast<std::size_t>(g.num_nodes()), kNoColor);
+    for (NodeId v : order) {
+      std::vector<int> cnt(static_cast<std::size_t>(k), 0);
+      for (NodeId u : g.neighbors(v)) {
+        const Color cu = result.classes[static_cast<std::size_t>(u)];
+        if (cu != kNoColor &&
+            initial[static_cast<std::size_t>(u)] <
+                initial[static_cast<std::size_t>(v)]) {
+          ++cnt[static_cast<std::size_t>(cu)];
+        }
+      }
+      const auto it = std::min_element(cnt.begin(), cnt.end());
+      result.classes[static_cast<std::size_t>(v)] =
+          static_cast<Color>(it - cnt.begin());
+    }
+    result.metrics.rounds = k + 2 * log_star(static_cast<std::uint64_t>(
+                                    std::max<std::int64_t>(2, q)));
+    result.metrics.max_message_bits =
+        std::max(1, ceil_log2(static_cast<std::uint64_t>(std::max(2, k))));
+  }
+
+  // Orient every edge toward the earlier-decided endpoint (smaller initial
+  // color); out-defect is then the number of earlier same-class neighbors.
+  result.orientation = Orientation::from_predicate(g, [&](NodeId a, NodeId b) {
+    return initial[static_cast<std::size_t>(b)] <
+           initial[static_cast<std::size_t>(a)];
+  });
+  return result;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,116 @@
+#include "coloring/color_reduction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "coloring/linial.h"
+#include "graph/orientation.h"
+#include "sim/network.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+namespace {
+
+/// One color class per round: in round r, nodes colored C−r recolor to a
+/// free color below the target.
+class ReductionProgram final : public SyncAlgorithm {
+ public:
+  ReductionProgram(const Graph& g, const std::vector<Color>& initial,
+                   std::int64_t c, std::int64_t target)
+      : graph_(&g), c_(c), target_(target), color_(initial) {
+    neighbor_color_.resize(static_cast<std::size_t>(g.num_nodes()));
+    finished_.assign(static_cast<std::size_t>(g.num_nodes()),
+                     c_ <= target_);
+  }
+
+  void init(NodeId v, Mailbox& mail) override {
+    if (c_ <= target_) return;
+    Message m;
+    m.push(color_[static_cast<std::size_t>(v)], color_bits());
+    broadcast(*graph_, mail, m);
+  }
+
+  void step(NodeId v, int round, Mailbox& mail) override {
+    const auto vi = static_cast<std::size_t>(v);
+    for (const Envelope& env : mail.inbox()) {
+      neighbor_color_[vi][env.from] = env.message.field(0);
+    }
+    const std::int64_t eliminating = c_ - round;  // class handled this round
+    if (color_[vi] == eliminating && eliminating >= target_) {
+      // Pick the smallest color in [0, target) unused by the neighbors;
+      // exists because target >= Δ+1.
+      std::vector<bool> used(static_cast<std::size_t>(graph_->degree(v)) + 1,
+                             false);
+      for (const auto& [u, cu] : neighbor_color_[vi]) {
+        if (cu >= 0 && cu <= graph_->degree(v)) {
+          used[static_cast<std::size_t>(cu)] = true;
+        }
+      }
+      Color pick = 0;
+      while (used[static_cast<std::size_t>(pick)]) ++pick;
+      DCOLOR_CHECK(pick < target_);
+      color_[vi] = pick;
+      Message m;
+      m.push(pick, color_bits());
+      broadcast(*graph_, mail, m);
+    }
+    if (eliminating <= target_) finished_[vi] = true;
+  }
+
+  bool done(NodeId v) const override {
+    return finished_[static_cast<std::size_t>(v)];
+  }
+
+  const std::vector<Color>& colors() const noexcept { return color_; }
+
+ private:
+  int color_bits() const noexcept {
+    return std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                            std::max<std::int64_t>(2, c_))));
+  }
+
+  const Graph* graph_;
+  std::int64_t c_;
+  std::int64_t target_;
+  std::vector<Color> color_;
+  std::vector<std::unordered_map<NodeId, Color>> neighbor_color_;
+  std::vector<bool> finished_;
+};
+
+}  // namespace
+
+ColorReductionResult reduce_colors(const Graph& g,
+                                   const std::vector<Color>& initial,
+                                   std::int64_t c,
+                                   std::int64_t target_colors) {
+  DCOLOR_CHECK_MSG(target_colors >= g.max_degree() + 1,
+                   "greedy reduction needs target >= Δ+1");
+  DCOLOR_CHECK(static_cast<NodeId>(initial.size()) == g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Color cv = initial[static_cast<std::size_t>(v)];
+    DCOLOR_CHECK_MSG(cv >= 0 && cv < c, "initial color out of range");
+    for (NodeId u : g.neighbors(v)) {
+      DCOLOR_CHECK_MSG(initial[static_cast<std::size_t>(u)] != cv,
+                       "initial coloring not proper");
+    }
+  }
+  ReductionProgram program(g, initial, c, target_colors);
+  Network net(g);
+  ColorReductionResult result;
+  result.metrics = net.run(program, std::max<std::int64_t>(4, c + 4));
+  result.colors = program.colors();
+  return result;
+}
+
+ColorReductionResult linial_plus_reduction(const Graph& g) {
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, o);
+  ColorReductionResult result = reduce_colors(
+      g, linial.colors, linial.num_colors, g.max_degree() + 1);
+  result.metrics += linial.metrics;
+  return result;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,34 @@
+// Classic greedy color reduction [GPS88, Lin87 intro]: given a proper
+// C-coloring, eliminate one color class per round — every node of the
+// currently highest class recolors to a free color in {0,…,Δ} (classes
+// are independent sets, so all its nodes act simultaneously). C − (Δ+1)
+// rounds reduce to Δ+1 colors; combined with Linial this is the textbook
+// O(Δ² + log* n)-round (Δ+1)-coloring the paper's introduction cites as
+// the baseline all later work improves on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/metrics.h"
+
+namespace dcolor {
+
+struct ColorReductionResult {
+  std::vector<Color> colors;  ///< proper, values in [0, target_colors)
+  RoundMetrics metrics;       ///< max(0, C − target) rounds
+};
+
+/// Reduces a proper coloring with values in [0, C) to `target_colors`
+/// colors (must be >= Δ+1; checked). Runs through the message-passing
+/// simulator.
+ColorReductionResult reduce_colors(const Graph& g,
+                                   const std::vector<Color>& initial,
+                                   std::int64_t c, std::int64_t target_colors);
+
+/// The textbook pipeline: Linial (O(log* n)) then greedy reduction to
+/// Δ+1 colors — O(Δ² + log* n) rounds in total.
+ColorReductionResult linial_plus_reduction(const Graph& g);
+
+}  // namespace dcolor

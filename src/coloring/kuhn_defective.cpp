@@ -1,0 +1,56 @@
+#include "coloring/kuhn_defective.h"
+
+#include <algorithm>
+
+#include "coloring/poly_reduce.h"
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+DefectiveColoringResult run_defective(const Graph& g, const Orientation& o,
+                                      const std::vector<Color>& initial,
+                                      std::uint64_t q, double alpha,
+                                      bool undirected) {
+  DCOLOR_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha=" << alpha);
+  // Geometric budget allocation: the last (smallest-space) step gets α/2,
+  // so the final color count is O((2/α)²) with small constants.
+  PolyReduceProgram program(g, o, initial, q, poly_schedule_defective(q, alpha),
+                            /*proper=*/false, undirected);
+  Network net(g);
+  DefectiveColoringResult result;
+  result.metrics = net.run(program, 8 + program.iterations());
+  result.colors = program.colors();
+  result.num_colors = static_cast<std::int64_t>(program.final_space());
+  return result;
+}
+
+}  // namespace
+
+DefectiveColoringResult kuhn_defective_coloring(
+    const Graph& g, const Orientation& o, const std::vector<Color>& initial,
+    std::uint64_t q, double alpha) {
+  return run_defective(g, o, initial, q, alpha, /*undirected=*/false);
+}
+
+DefectiveColoringResult kuhn_defective_undirected(
+    const Graph& g, const std::vector<Color>& initial, std::uint64_t q,
+    double alpha) {
+  const Orientation o = Orientation::by_id(g);  // unused in undirected mode
+  return run_defective(g, o, initial, q, alpha, /*undirected=*/true);
+}
+
+DefectiveColoringResult kuhn_defective_from_ids(const Graph& g,
+                                                const Orientation& o,
+                                                double alpha) {
+  std::vector<Color> ids(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    ids[static_cast<std::size_t>(v)] = v;
+  return kuhn_defective_coloring(
+      g, o, ids,
+      std::max<std::uint64_t>(2, static_cast<std::uint64_t>(g.num_nodes())),
+      alpha);
+}
+
+}  // namespace dcolor

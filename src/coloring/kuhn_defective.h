@@ -1,0 +1,44 @@
+// Lemma 3.4 [Kuh09, KS18]: O(log* q)-round defective coloring.
+//
+// For a parameter 0 < α <= 1, colors the nodes of an oriented graph with
+// O(1/α²) colors such that every node has at most α·β_v same-colored
+// OUT-neighbors. This is the workhorse that lets Algorithm 2 (Fast
+// Two-Sweep) replace the expensive proper q-coloring by a cheap defective
+// one, and it also drives the slack-reduction lemmas in Section 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+#include "sim/metrics.h"
+
+namespace dcolor {
+
+struct DefectiveColoringResult {
+  std::vector<Color> colors;    ///< values in [0, num_colors)
+  std::int64_t num_colors = 0;  ///< O(1/α²)
+  RoundMetrics metrics;         ///< O(log* q) rounds
+};
+
+/// Computes the Lemma 3.4 coloring from an initial proper q-coloring.
+/// Postcondition (checked by tests): every node v has at most ⌊α·β_v⌋
+/// same-colored out-neighbors under `o`.
+DefectiveColoringResult kuhn_defective_coloring(
+    const Graph& g, const Orientation& o, const std::vector<Color>& initial,
+    std::uint64_t q, double alpha);
+
+/// Convenience: start from unique IDs (q = n).
+DefectiveColoringResult kuhn_defective_from_ids(const Graph& g,
+                                                const Orientation& o,
+                                                double alpha);
+
+/// Undirected variant (Section 4.2's reading of Lemma 3.4): colors with
+/// O(1/α²) colors such that every node has at most ⌊α·deg(v)⌋ same-colored
+/// NEIGHBORS, by running the reduction on the symmetric digraph.
+DefectiveColoringResult kuhn_defective_undirected(
+    const Graph& g, const std::vector<Color>& initial, std::uint64_t q,
+    double alpha);
+
+}  // namespace dcolor

@@ -1,0 +1,208 @@
+#include "coloring/linial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coloring/poly_reduce.h"
+#include "util/check.h"
+#include "util/gf.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+std::vector<PolyStep> poly_schedule(std::uint64_t q, double alpha_step,
+                                    int beta) {
+  DCOLOR_CHECK(alpha_step >= 0.0);
+  DCOLOR_CHECK(beta >= 1);
+  std::vector<PolyStep> schedule;
+  std::uint64_t space = std::max<std::uint64_t>(2, q);
+  for (int guard = 0; guard < 64; ++guard) {
+    // Find the smallest prime k whose induced degree D = coeffs(space,k)-1
+    // satisfies the step condition. The required k shrinks as k grows
+    // (D is non-increasing in k), so the first feasible prime in an
+    // ascending scan is minimal — and a minimal k means a maximal shrink.
+    std::uint64_t k = 2;
+    int degree = 0;
+    for (;;) {
+      degree = coeffs_needed(space, k) - 1;
+      std::uint64_t need;
+      if (alpha_step == 0.0) {
+        need = static_cast<std::uint64_t>(degree) *
+                   static_cast<std::uint64_t>(beta) +
+               1;
+      } else {
+        need = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(std::max(degree, 1)) / alpha_step));
+      }
+      need = std::max<std::uint64_t>(need, 2);
+      if (k >= need) break;
+      k = next_prime(k + 1);
+    }
+    if (k * k >= space) break;  // no further progress possible
+    schedule.push_back({k, degree});
+    space = k * k;
+  }
+  return schedule;
+}
+
+std::vector<PolyStep> poly_schedule_defective(std::uint64_t q,
+                                              double alpha_total) {
+  DCOLOR_CHECK(alpha_total > 0.0);
+  // The geometric allocation needs the schedule length H up front (step i
+  // of H gets α·2^{i-H}); H itself depends on the allocation, so iterate
+  // until the length stabilizes. Falls back to the last candidate if it
+  // oscillates (still within budget: the geometric series never exceeds α).
+  std::size_t h = 1;
+  std::vector<PolyStep> schedule;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    schedule.clear();
+    std::uint64_t space = std::max<std::uint64_t>(2, q);
+    for (std::size_t i = 0; i < h + 8; ++i) {
+      const std::size_t from_end = h > i ? h - i : 1;  // 1 for the last step
+      const double alpha_i =
+          alpha_total / static_cast<double>(std::uint64_t{1} << std::min<
+                                            std::size_t>(from_end, 40));
+      const auto step = poly_schedule(space, alpha_i, 1);
+      if (step.empty()) break;  // no shrinking step exists at this budget
+      schedule.push_back(step.front());
+      space = step.front().k * step.front().k;
+    }
+    if (schedule.size() == h) return schedule;
+    h = std::max<std::size_t>(1, schedule.size());
+  }
+  // Oscillation fallback: a uniform split over a generous step budget is
+  // always within the total budget.
+  return poly_schedule(q, alpha_total / 8.0, 1);
+}
+
+PolyReduceProgram::PolyReduceProgram(const Graph& g, const Orientation& o,
+                                     const std::vector<Color>& initial,
+                                     std::uint64_t q,
+                                     std::vector<PolyStep> schedule,
+                                     bool proper, bool undirected)
+    : graph_(&g),
+      orientation_(&o),
+      proper_(proper),
+      undirected_(undirected),
+      schedule_(std::move(schedule)),
+      color_(initial),
+      finished_(static_cast<std::size_t>(g.num_nodes()), false) {
+  DCOLOR_CHECK(static_cast<NodeId>(initial.size()) == g.num_nodes());
+  for (Color c : initial) {
+    DCOLOR_CHECK_MSG(c >= 0 && static_cast<std::uint64_t>(c) < q,
+                     "initial color " << c << " outside [0," << q << ")");
+  }
+  spaces_.clear();
+  std::uint64_t space = std::max<std::uint64_t>(2, q);
+  for (const auto& ps : schedule_) {
+    spaces_.push_back(space);
+    space = ps.k * ps.k;
+  }
+  space_ = space;
+  if (schedule_.empty()) {
+    finished_.assign(finished_.size(), true);
+  }
+}
+
+void PolyReduceProgram::init(NodeId v, Mailbox& mail) {
+  if (schedule_.empty()) return;
+  Message m;
+  m.push(color_[static_cast<std::size_t>(v)],
+         std::max(1, ceil_log2(spaces_.front())));
+  broadcast(*graph_, mail, m);
+}
+
+void PolyReduceProgram::apply_step(
+    NodeId v, const PolyStep& ps,
+    const std::vector<std::pair<NodeId, Color>>& out_colors) {
+  const auto vi = static_cast<std::size_t>(v);
+  const GfPoly mine = encode_as_polynomial(
+      static_cast<std::uint64_t>(color_[vi]), ps.k, ps.degree + 1);
+  std::vector<GfPoly> others;
+  others.reserve(out_colors.size());
+  for (const auto& [u, c] : out_colors) {
+    others.push_back(encode_as_polynomial(static_cast<std::uint64_t>(c), ps.k,
+                                          ps.degree + 1));
+  }
+  // Pick the evaluation point with the fewest value-agreements among
+  // out-neighbors (zero agreements exist in the proper regime).
+  std::uint64_t best_s = 0;
+  std::int64_t best_collisions = -1;
+  for (std::uint64_t s = 0; s < ps.k; ++s) {
+    const std::uint64_t mine_at_s = mine.eval(s);
+    std::int64_t collisions = 0;
+    for (const auto& poly : others) {
+      if (poly.eval(s) == mine_at_s) ++collisions;
+    }
+    if (best_collisions < 0 || collisions < best_collisions) {
+      best_collisions = collisions;
+      best_s = s;
+    }
+    if (collisions == 0 && proper_) {
+      best_s = s;
+      best_collisions = 0;
+      break;
+    }
+  }
+  if (proper_) {
+    DCOLOR_CHECK_MSG(best_collisions == 0,
+                     "Linial step found no collision-free point at node "
+                         << v << " (k=" << ps.k << ", D=" << ps.degree << ")");
+  }
+  color_[vi] = static_cast<Color>(best_s * ps.k + mine.eval(best_s));
+}
+
+void PolyReduceProgram::step(NodeId v, int round, Mailbox& mail) {
+  const auto vi = static_cast<std::size_t>(v);
+  const int idx = round - 1;  // schedule index executed this round
+  if (idx >= static_cast<int>(schedule_.size())) {
+    finished_[vi] = true;
+    return;
+  }
+  // Collect the current colors of OUT-neighbors (all neighbors in the
+  // undirected mode) from the inbox.
+  std::vector<std::pair<NodeId, Color>> out_colors;
+  for (const Envelope& env : mail.inbox()) {
+    if (undirected_ || orientation_->is_out_edge(v, env.from)) {
+      out_colors.emplace_back(env.from, env.message.field(0));
+    }
+  }
+  apply_step(v, schedule_[static_cast<std::size_t>(idx)], out_colors);
+
+  if (idx + 1 < static_cast<int>(schedule_.size())) {
+    Message m;
+    m.push(color_[vi],
+           std::max(1, ceil_log2(spaces_[static_cast<std::size_t>(idx) + 1])));
+    broadcast(*graph_, mail, m);
+  } else {
+    finished_[vi] = true;
+  }
+}
+
+bool PolyReduceProgram::done(NodeId v) const {
+  return finished_[static_cast<std::size_t>(v)];
+}
+
+LinialResult linial_coloring(const Graph& g, const Orientation& o,
+                             const std::vector<Color>& initial,
+                             std::uint64_t q) {
+  PolyReduceProgram program(g, o, initial, q, poly_schedule(q, 0.0, o.beta()),
+                            /*proper=*/true);
+  Network net(g);
+  LinialResult result;
+  result.metrics = net.run(program, 8 + program.iterations());
+  result.colors = program.colors();
+  result.num_colors = static_cast<std::int64_t>(program.final_space());
+  return result;
+}
+
+LinialResult linial_from_ids(const Graph& g, const Orientation& o) {
+  std::vector<Color> ids(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    ids[static_cast<std::size_t>(v)] = v;
+  return linial_coloring(g, o, ids,
+                         std::max<std::uint64_t>(
+                             2, static_cast<std::uint64_t>(g.num_nodes())));
+}
+
+}  // namespace dcolor

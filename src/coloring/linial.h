@@ -1,0 +1,34 @@
+// Linial's O(log* n)-round O(β²)-coloring of oriented graphs [Lin87].
+//
+// Starting from any proper q-coloring (typically the unique IDs, q = n),
+// iterated polynomial reduction yields a proper coloring with
+// (2β+1)²-ish colors after O(log* q) rounds. This is the standard initial
+// coloring for everything else in the library (Theorems 1.1–1.5 all
+// assume "equipped with a proper q-coloring").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+#include "sim/metrics.h"
+
+namespace dcolor {
+
+struct LinialResult {
+  std::vector<Color> colors;   ///< proper coloring, values in [0, num_colors)
+  std::int64_t num_colors = 0; ///< size of the final color space (O(β²))
+  RoundMetrics metrics;        ///< O(log* q) rounds
+};
+
+/// Reduces a proper q-coloring to an O(β²)-coloring, where β is the max
+/// outdegree of `o`.
+LinialResult linial_coloring(const Graph& g, const Orientation& o,
+                             const std::vector<Color>& initial,
+                             std::uint64_t q);
+
+/// Convenience: start from the unique node IDs (q = n).
+LinialResult linial_from_ids(const Graph& g, const Orientation& o);
+
+}  // namespace dcolor

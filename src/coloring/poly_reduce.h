@@ -1,0 +1,91 @@
+// Shared polynomial color-reduction engine.
+//
+// Both Linial's O(log* n) proper coloring [Lin87] and the Lemma 3.4
+// defective coloring [Kuh09, KS18] iterate the same one-round step: view
+// the current color c ∈ [0, Q) as a polynomial g_c of degree <= D over
+// GF(k) (base-k digits of c), pick an evaluation point s ∈ GF(k), and
+// re-color with (s, g_c(s)) ∈ [0, k²).
+//
+//  * Proper (Linial):  k > D·β guarantees a point s where g_v(s) differs
+//    from every out-neighbor's polynomial; the new coloring is proper.
+//  * Defective (Kuhn): k >= D/α_step guarantees a point s where at most
+//    α_step·β_v out-neighbors' polynomials agree with g_v at s (currently
+//    monochromatic out-neighbors always agree, so the per-iteration defect
+//    growth is bounded by α_step·β_v on top of the existing defect).
+//
+// The (k, D) schedule is a pure function of (q, α_step, β), so every node
+// derives it locally — no extra communication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+#include "sim/network.h"
+
+namespace dcolor {
+
+/// One iteration of the reduction: field size and polynomial degree.
+struct PolyStep {
+  std::uint64_t k = 0;  ///< prime field size; new color space is k²
+  int degree = 0;       ///< polynomial degree bound D
+};
+
+/// The deterministic (k, D) schedule for reducing a q-sized color space.
+/// alpha_step == 0 produces the proper (Linial) schedule, which needs the
+/// maximum outdegree β; alpha_step > 0 produces a defective schedule with
+/// a UNIFORM per-step defect budget (β-independent field sizes). Stops
+/// when a step would not shrink the space. Schedule length is O(log* q).
+std::vector<PolyStep> poly_schedule(std::uint64_t q, double alpha_step,
+                                    int beta);
+
+/// Defective schedule whose total added defect stays below alpha_total·β_v
+/// by allocating the budget geometrically: the LAST step gets α/2, the
+/// one before α/4, and so on. The last step dominates the final color
+/// count, so this yields O((2/α)²) colors instead of the O((2H/α)²) a
+/// uniform α/H split gives.
+std::vector<PolyStep> poly_schedule_defective(std::uint64_t q,
+                                              double alpha_total);
+
+/// Iterated polynomial color reduction as a message-passing program.
+/// After the run, `colors()` holds values in [0, final_space()).
+class PolyReduceProgram final : public SyncAlgorithm {
+ public:
+  /// `initial` must be a proper Q-coloring when `proper == true` (the
+  /// program then checks each step finds a collision-free point); in the
+  /// defective regime it may be any coloring (defects accumulate from it).
+  /// With `undirected == true` every neighbor counts as an out-neighbor
+  /// (the symmetric digraph, β_v = deg(v)): the result then bounds
+  /// same-colored NEIGHBORS by α·deg(v) — the undirected reading of
+  /// Lemma 3.4 that Section 4.2 relies on.
+  PolyReduceProgram(const Graph& g, const Orientation& o,
+                    const std::vector<Color>& initial, std::uint64_t q,
+                    std::vector<PolyStep> schedule, bool proper,
+                    bool undirected = false);
+
+  void init(NodeId v, Mailbox& mail) override;
+  void step(NodeId v, int round, Mailbox& mail) override;
+  bool done(NodeId v) const override;
+
+  const std::vector<Color>& colors() const noexcept { return color_; }
+  std::uint64_t final_space() const noexcept { return space_; }
+  int iterations() const noexcept { return static_cast<int>(schedule_.size()); }
+
+ private:
+  void apply_step(NodeId v, const PolyStep& ps,
+                  const std::vector<std::pair<NodeId, Color>>& out_colors);
+
+  const Graph* graph_;
+  const Orientation* orientation_;
+  bool proper_ = false;
+  bool undirected_ = false;
+  std::vector<PolyStep> schedule_;
+  std::vector<std::uint64_t> spaces_;  ///< space size before each step
+  std::uint64_t space_;                ///< final space size
+
+  std::vector<Color> color_;
+  std::vector<bool> finished_;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,149 @@
+#include "core/color_space_reduction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+ColoringResult color_space_reduction(const OldcInstance& inst,
+                                     const std::vector<Color>& initial,
+                                     std::int64_t q, std::int64_t lambda,
+                                     double kappa_lambda,
+                                     const OldcSolver& base) {
+  DCOLOR_CHECK(lambda >= 2);
+  DCOLOR_CHECK(kappa_lambda >= 1.0);
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  // Number of levels: smallest L with lambda^L >= color_space.
+  int levels = 1;
+  {
+    __int128 cap = lambda;
+    while (cap < inst.color_space) {
+      cap *= lambda;
+      ++levels;
+    }
+  }
+
+  // Per-node current sub-space [base, base + width).
+  std::vector<std::int64_t> space_base(n, 0);
+  std::int64_t width = 1;
+  for (int i = 0; i < levels; ++i) width *= lambda;
+
+  ColoringResult result;
+  result.colors.assign(n, kNoColor);
+
+  // Invariant before level j (1-based): for every node with outdegree >= 1
+  // in the surviving subgraph, W(v) > β_v · kappa_lambda^{levels-j+1},
+  // where W(v) is the list weight inside v's current sub-space. The caller
+  // establishes j = 1; D_i = ⌈W_i/K⌉ − 1 with K = kappa_lambda^{levels-j}
+  // re-establishes it after each choice (W_i > D_i·K ≥ β'·K since the
+  // chosen sub-space admits at most D_i same-choice out-neighbors).
+  for (int level = 1; level < levels; ++level) {
+    const std::int64_t sub_width = width / lambda;
+    const double remaining_k =
+        std::pow(kappa_lambda, static_cast<double>(levels - level));
+
+    // Surviving edges: endpoints that still share a sub-space.
+    std::vector<std::pair<NodeId, NodeId>> kept;
+    for (const auto& [u, v] : g.edge_list()) {
+      if (space_base[static_cast<std::size_t>(u)] ==
+          space_base[static_cast<std::size_t>(v)])
+        kept.emplace_back(u, v);
+    }
+    const Graph sub = g.edge_subgraph(kept);
+
+    OldcInstance choice;
+    choice.graph = &sub;
+    choice.color_space = lambda;
+    choice.symmetric = inst.symmetric;
+    choice.orientation =
+        inst.symmetric
+            ? Orientation::by_id(sub)
+            : Orientation::from_predicate(sub, [&](NodeId a, NodeId b) {
+                return inst.orientation.is_out_edge(a, b);
+              });
+    choice.lists.reserve(n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const auto& lst = inst.lists[vi];
+      std::vector<std::int64_t> w(static_cast<std::size_t>(lambda), 0);
+      for (std::size_t i = 0; i < lst.size(); ++i) {
+        const Color x = lst.color(i);
+        if (x < space_base[vi] || x >= space_base[vi] + width) continue;
+        const auto part =
+            static_cast<std::size_t>((x - space_base[vi]) / sub_width);
+        w[part] += lst.defect(i) + 1;
+      }
+      std::vector<Color> parts;
+      std::vector<int> defects;
+      for (std::int64_t i = 0; i < lambda; ++i) {
+        const std::int64_t wi = w[static_cast<std::size_t>(i)];
+        if (wi == 0) continue;
+        const auto di = static_cast<int>(
+            std::ceil(static_cast<double>(wi) / remaining_k)) - 1;
+        parts.push_back(i);
+        defects.push_back(std::max(0, di));
+      }
+      choice.lists.emplace_back(std::move(parts), std::move(defects));
+    }
+
+    const ColoringResult level_result = base(choice, initial, q);
+    DCOLOR_CHECK_MSG(validate_oldc(choice, level_result.colors),
+                     "sub-space choice at level " << level << " is invalid");
+    result.metrics += level_result.metrics;
+
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      space_base[vi] += level_result.colors[vi] * sub_width;
+    }
+    width = sub_width;
+  }
+
+  // Final level: true colors and true defects inside a λ-sized sub-space.
+  {
+    std::vector<std::pair<NodeId, NodeId>> kept;
+    for (const auto& [u, v] : g.edge_list()) {
+      if (space_base[static_cast<std::size_t>(u)] ==
+          space_base[static_cast<std::size_t>(v)])
+        kept.emplace_back(u, v);
+    }
+    const Graph sub = g.edge_subgraph(kept);
+
+    OldcInstance last;
+    last.graph = &sub;
+    last.color_space = inst.color_space;
+    last.symmetric = inst.symmetric;
+    last.orientation =
+        inst.symmetric
+            ? Orientation::by_id(sub)
+            : Orientation::from_predicate(sub, [&](NodeId a, NodeId b) {
+                return inst.orientation.is_out_edge(a, b);
+              });
+    last.lists.reserve(n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const auto& lst = inst.lists[vi];
+      std::vector<Color> colors;
+      std::vector<int> defects;
+      for (std::size_t i = 0; i < lst.size(); ++i) {
+        const Color x = lst.color(i);
+        if (x >= space_base[vi] && x < space_base[vi] + width) {
+          colors.push_back(x);
+          defects.push_back(lst.defect(i));
+        }
+      }
+      last.lists.emplace_back(std::move(colors), std::move(defects));
+    }
+
+    const ColoringResult final_result = base(last, initial, q);
+    DCOLOR_CHECK_MSG(validate_oldc(last, final_result.colors),
+                     "final color-space-reduction level is invalid");
+    result.metrics += final_result.metrics;
+    result.colors = final_result.colors;
+  }
+  return result;
+}
+
+}  // namespace dcolor

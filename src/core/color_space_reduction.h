@@ -1,0 +1,46 @@
+// Lemma 3.5 (FK23a, Theorem 3): color space reduction for OLDC.
+//
+// Given a base OLDC algorithm A that handles color spaces of size λ with
+// slack κ(λ) (i.e. Σ(d_v(x)+1) > κ(λ)·β_v), instances over a color space
+// of size C with slack κ(λ)^⌈log_λ C⌉ are solved in ⌈log_λ C⌉ levels:
+//
+//  * pad the space to λ^L, L = ⌈log_λ C⌉, and view colors as base-λ
+//    digit strings;
+//  * at each of the first L−1 levels every node picks one of the λ
+//    sub-spaces of its current space — itself an OLDC instance over "colors"
+//    {0,…,λ−1} with derived defects D_i = ⌈W_i / K⌉ − 1, where W_i is the
+//    list weight inside sub-space i and K the slack still owed to the
+//    remaining levels (this keeps the invariant W > β·K strict, see the
+//    analysis in the .cpp);
+//  * edges whose endpoints chose different sub-spaces at an earlier level
+//    can never conflict again and are dropped;
+//  * the last level runs A on the true colors (≤ λ of them per node) with
+//    the true defects.
+//
+// Round cost: L sequential invocations of A. Message width: A only ever
+// sees λ-sized color spaces, so per-message bits stay O(log q + p·log λ) —
+// the mechanism behind Theorem 1.2's CONGEST bound.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace dcolor {
+
+/// Base OLDC solver: gets the instance, a proper q-coloring, and q.
+using OldcSolver = std::function<ColoringResult(
+    const OldcInstance&, const std::vector<Color>&, std::int64_t)>;
+
+/// Applies Lemma 3.5. Requires weight(v) > kappa_lambda^L · β_v for all v
+/// with outdegree >= 1 (L = ⌈log_lambda(color_space)⌉); the caller
+/// guarantees this (e.g. Theorem 1.2 asks for 3·√C which dominates
+/// (2(1+ε))^⌈log₄C⌉).
+ColoringResult color_space_reduction(const OldcInstance& inst,
+                                     const std::vector<Color>& initial,
+                                     std::int64_t q, std::int64_t lambda,
+                                     double kappa_lambda,
+                                     const OldcSolver& base);
+
+}  // namespace dcolor

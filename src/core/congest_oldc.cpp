@@ -1,0 +1,55 @@
+#include "core/congest_oldc.h"
+
+#include <cmath>
+
+#include "core/color_space_reduction.h"
+#include "core/fast_two_sweep.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+ColoringResult congest_oldc(const OldcInstance& inst,
+                            const std::vector<Color>& initial_coloring,
+                            std::int64_t q) {
+  const Graph& g = *inst.graph;
+  DCOLOR_CHECK(inst.color_space >= 1);
+
+  // Premise: weight >= 3·√C·β_v (sinks only need a non-empty list).
+  const double sqrt_c = std::sqrt(static_cast<double>(inst.color_space));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+    if (inst.effective_outdegree(v) == 0) {
+      DCOLOR_CHECK_MSG(!lst.empty(), "empty list at sink node " << v);
+      continue;
+    }
+    DCOLOR_CHECK_MSG(
+        static_cast<double>(lst.weight()) >=
+            3.0 * sqrt_c * inst.beta_v(v),
+        "Theorem 1.2 premise fails at node " << v << ": weight "
+                                             << lst.weight());
+  }
+
+  // L = ⌈log₄ C⌉ levels, ε = 1/(3L), base = Fast-Two-Sweep(p=2, ε).
+  int levels = 1;
+  {
+    __int128 cap = 4;
+    while (cap < inst.color_space) {
+      cap *= 4;
+      ++levels;
+    }
+  }
+  const double eps = 1.0 / (3.0 * levels);
+  const int p = 2;  // ⌈√λ⌉ with λ = 4
+  const double kappa = (1.0 + eps) * p;
+
+  const OldcSolver base = [&](const OldcInstance& sub,
+                              const std::vector<Color>& initial,
+                              std::int64_t sub_q) {
+    return fast_two_sweep(sub, initial, sub_q, p, eps);
+  };
+  return color_space_reduction(inst, initial_coloring, q, /*lambda=*/4, kappa,
+                               base);
+}
+
+}  // namespace dcolor

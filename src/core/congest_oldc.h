@@ -1,0 +1,27 @@
+// Theorem 1.2: OLDC in CONGEST.
+//
+// Premise:  Σ_{x∈L_v}(d_v(x)+1) >= 3·√C·β_v   (for nodes with outdeg >= 1).
+// Result:   a valid OLDC in O(log³C + log* q) rounds using messages of
+//           O(log q + log C) bits.
+//
+// Construction (proof of Theorem 1.2): apply the Lemma 3.5 color space
+// reduction with split parameter λ = 4 to Algorithm 2 instantiated with
+// p = ⌈√λ⌉ = 2 and ε = 1/(3⌈log₄C⌉). Each of the ⌈log₄C⌉ levels costs
+// O((p/ε)² + log* q) = O(log²C + log* q) rounds and only ever ships
+// 2 colors of log λ = 2 bits plus the O(log q)-bit defective color.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+
+namespace dcolor {
+
+/// Solves the OLDC instance per Theorem 1.2. `initial_coloring` is a
+/// proper q-coloring. Throws CheckError if the premise fails at a node
+/// with outdegree >= 1.
+ColoringResult congest_oldc(const OldcInstance& inst,
+                            const std::vector<Color>& initial_coloring,
+                            std::int64_t q);
+
+}  // namespace dcolor

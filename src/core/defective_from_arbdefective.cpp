@@ -1,0 +1,186 @@
+#include "core/defective_from_arbdefective.h"
+
+#include <algorithm>
+
+#include "core/sequential_coloring.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+std::int64_t theorem14_slack_requirement(int delta_paper, int theta,
+                                         std::int64_t S) {
+  const std::int64_t log_delta =
+      ceil_log2(static_cast<std::uint64_t>(std::max(2, delta_paper)));
+  return 21 * static_cast<std::int64_t>(theta) * (log_delta + 1) * S;
+}
+
+ColoringResult defective_from_arbdefective(const ListDefectiveInstance& inst,
+                                           int theta, std::int64_t S,
+                                           const ArbSolver& solve_pa_s) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  DCOLOR_CHECK(theta >= 1);
+  DCOLOR_CHECK(S >= 1);
+  const int delta = g.delta_paper();
+  const std::int64_t requirement = theorem14_slack_requirement(delta, theta, S);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+    DCOLOR_CHECK_MSG(lst.weight() > requirement * g.degree(v),
+                     "Eq. (9) fails at node " << v << ": weight "
+                                              << lst.weight() << " <= "
+                                              << requirement << "·deg");
+  }
+
+  ColoringResult result;
+  result.colors.assign(n, kNoColor);
+
+  // Colors with d_v(x) >= deg(v) are trivially safe — the node cannot have
+  // more conflicting neighbors than its degree (the paper's remark below
+  // Eq. 12). Nodes holding such a color take it immediately; the remaining
+  // instance then satisfies d_v(x) < deg(v) <= Δ, which Lemma 4.2's
+  // analysis assumes. One announcement round.
+  {
+    bool any_trivial = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const auto& lst = inst.lists[vi];
+      for (std::size_t i = 0; i < lst.size(); ++i) {
+        if (lst.defect(i) >= g.degree(v)) {
+          result.colors[vi] = lst.color(i);
+          any_trivial = true;
+          break;
+        }
+      }
+    }
+    if (any_trivial) result.metrics.rounds += 1;
+  }
+
+  // Eq. (10): d'_v(x) = ⌈(d_v(x)+1)/(7θ)⌉ − 1, tracked as a residual that
+  // colored neighbors of color x decrement (a_v(x) bookkeeping).
+  struct NodeState {
+    std::vector<Color> colors;
+    std::vector<std::int64_t> residual;  // d'_v(x) − a_v(x); may go negative
+    std::vector<bool> burned;            // x was in some earlier L_{v,i}
+  };
+  std::vector<NodeState> state(n);
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    const auto& lst = inst.lists[vi];
+    state[vi].colors = lst.colors();
+    state[vi].residual.resize(lst.size());
+    state[vi].burned.assign(lst.size(), false);
+    for (std::size_t i = 0; i < lst.size(); ++i) {
+      state[vi].residual[i] =
+          ceil_div(lst.defect(i) + 1, 7 * static_cast<std::int64_t>(theta)) - 1;
+    }
+  }
+
+  std::vector<int> colored_neighbors(n, 0);
+
+  // Propagate the trivially pre-colored nodes into the bookkeeping.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (result.colors[vi] == kNoColor) continue;
+    const Color c = result.colors[vi];
+    for (NodeId u : g.neighbors(v)) {
+      const auto ui = static_cast<std::size_t>(u);
+      ++colored_neighbors[ui];
+      if (result.colors[ui] != kNoColor) continue;
+      auto& st = state[ui];
+      const auto it = std::lower_bound(st.colors.begin(), st.colors.end(), c);
+      if (it != st.colors.end() && *it == c) {
+        --st.residual[static_cast<std::size_t>(it - st.colors.begin())];
+      }
+    }
+  }
+
+  // Round complexity is the round in which the LAST node outputs its color
+  // (Section 2); iteration slots after that don't delay anyone.
+  std::int64_t rounds_at_last_commit = result.metrics.rounds;
+
+  const int top = ceil_log2(static_cast<std::uint64_t>(delta));
+  for (int iter = top; iter >= 0; --iter) {
+    const std::int64_t d_i = (std::int64_t{1} << iter) - 1;
+
+    // Per uncolored node: iteration list L_{v,i} = fresh colors whose
+    // residual still affords d_i (Eq. 12). Colors burn on first inclusion.
+    std::vector<std::vector<Color>> iter_list(n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (result.colors[vi] != kNoColor) continue;
+      auto& st = state[vi];
+      for (std::size_t i = 0; i < st.colors.size(); ++i) {
+        if (st.burned[i]) continue;
+        if (st.residual[i] >= d_i) {
+          st.burned[i] = true;
+          iter_list[vi].push_back(st.colors[i]);
+        }
+      }
+    }
+
+    // Eq. (13): membership in H_i requires the iteration list to carry
+    // slack S against the still-uncolored degree.
+    std::vector<NodeId> members;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (result.colors[vi] != kNoColor) continue;
+      const std::int64_t weight =
+          static_cast<std::int64_t>(iter_list[vi].size()) * (d_i + 1);
+      const std::int64_t uncolored_deg = g.degree(v) - colored_neighbors[vi];
+      if (weight > S * uncolored_deg) members.push_back(v);
+    }
+    if (members.empty()) {
+      result.metrics.rounds += 1;  // the iteration slot still elapses
+      continue;
+    }
+
+    const auto hsub = g.induced_subgraph(members);
+    const Graph& hg = hsub.graph;
+    ArbdefectiveInstance sub;
+    sub.graph = &hg;
+    sub.color_space = inst.color_space;
+    sub.lists.reserve(members.size());
+    for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+      const NodeId orig = hsub.to_orig[static_cast<std::size_t>(hv)];
+      sub.lists.push_back(ColorList::uniform(
+          iter_list[static_cast<std::size_t>(orig)], static_cast<int>(d_i)));
+    }
+    const ArbdefectiveResult iter_result = solve_pa_s(sub);
+    DCOLOR_CHECK_MSG(validate_arbdefective(sub, iter_result),
+                     "P_A(S,C) solver returned an invalid result in "
+                     "iteration " << iter);
+    result.metrics += iter_result.metrics;
+    result.metrics.rounds += 1;  // announcing the new colors
+    rounds_at_last_commit = result.metrics.rounds;
+
+    // Commit and update the a_v(x, ·) residuals of uncolored neighbors.
+    for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+      const NodeId orig = hsub.to_orig[static_cast<std::size_t>(hv)];
+      result.colors[static_cast<std::size_t>(orig)] =
+          iter_result.colors[static_cast<std::size_t>(hv)];
+    }
+    for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+      const NodeId orig = hsub.to_orig[static_cast<std::size_t>(hv)];
+      const Color c = result.colors[static_cast<std::size_t>(orig)];
+      for (NodeId u : g.neighbors(orig)) {
+        const auto ui = static_cast<std::size_t>(u);
+        ++colored_neighbors[ui];
+        if (result.colors[ui] != kNoColor) continue;
+        auto& st = state[ui];
+        const auto it =
+            std::lower_bound(st.colors.begin(), st.colors.end(), c);
+        if (it != st.colors.end() && *it == c) {
+          --st.residual[static_cast<std::size_t>(it - st.colors.begin())];
+        }
+      }
+    }
+  }
+
+  DCOLOR_CHECK_MSG(all_colored(result.colors),
+                   "Lemma 4.2 violated: some node was never colored "
+                   "(slack requirement too tight or θ wrong)");
+  result.metrics.rounds = rounds_at_last_commit;
+  return result;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,39 @@
+// Theorem 1.4 (Section 4.1): list DEFECTIVE coloring from list
+// ARBdefective coloring on graphs of neighborhood independence θ.
+//
+// The bridge is Claim 4.1: a d-arbdefective coloring of a θ-bounded graph
+// is automatically (2d+1)·θ-defective, because the same-colored
+// neighborhood has an outdegree-d orientation and therefore chromatic
+// number <= 2d+1, and no color class inside a neighborhood can exceed θ.
+//
+// The driver scales every defect down by 7θ (Eq. 10), then runs
+// ⌈logΔ⌉+1 iterations i = ⌈logΔ⌉,…,0 with per-iteration uniform defect
+// d_i = 2^i − 1. In iteration i every still-uncolored node restricts its
+// list to the fresh colors whose residual scaled defect still affords d_i
+// (Eq. 12) and joins the round's subgraph H_i when those colors carry
+// enough slack (Eq. 13); H_i is colored by the P_A(S, C) solver. Lemma 4.2
+// shows every node is colored in some iteration; Lemma 4.3 bounds the
+// total same-color neighbors by d_v(x).
+#pragma once
+
+#include "core/instance.h"
+#include "core/slack_reduction.h"
+
+namespace dcolor {
+
+/// Solves a list defective instance with slack > 21·θ·(⌈logΔ⌉+1)·S
+/// (Eq. 9; the Theorem 1.4 statement's 42·θ·logΔ·S majorizes this for
+/// Δ >= 2). `solve_pa_s` must solve list arbdefective instances of slack
+/// > S over the same color space. Requires d_v(x) <= Δ for every color
+/// (defects above Δ are trivially satisfiable; Lemma 4.2's analysis
+/// assumes they were clipped).
+ColoringResult defective_from_arbdefective(const ListDefectiveInstance& inst,
+                                           int theta, std::int64_t S,
+                                           const ArbSolver& solve_pa_s);
+
+/// The Eq. (9) threshold 21·θ·(⌈logΔ⌉+1)·S for a given graph Δ (paper
+/// convention Δ >= 2).
+std::int64_t theorem14_slack_requirement(int delta_paper, int theta,
+                                         std::int64_t S);
+
+}  // namespace dcolor

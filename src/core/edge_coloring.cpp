@@ -1,0 +1,62 @@
+#include "core/edge_coloring.h"
+
+#include <numeric>
+
+#include "graph/coloring_checks.h"
+#include "graph/line_graph.h"
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+EdgeColoringResult color_line_graph(const Graph& lg, std::int64_t palette,
+                                    int theta,
+                                    const ThetaColoringOptions& options) {
+  std::vector<Color> all(static_cast<std::size_t>(palette));
+  std::iota(all.begin(), all.end(), 0);
+  ArbdefectiveInstance inst;
+  inst.graph = &lg;
+  inst.color_space = palette;
+  inst.lists.assign(static_cast<std::size_t>(lg.num_nodes()),
+                    ColorList::zero_defect(all));
+  ArbdefectiveResult arb = solve_theta_arbdefective(inst, theta, options);
+  DCOLOR_CHECK(is_proper_coloring(lg, arb.colors));
+  EdgeColoringResult result;
+  result.edge_colors = std::move(arb.colors);
+  result.num_colors = palette;
+  result.metrics = arb.metrics;
+  return result;
+}
+
+}  // namespace
+
+EdgeColoringResult edge_coloring_two_delta_minus_one(
+    const Graph& g, const ThetaColoringOptions& options) {
+  const Graph lg = line_graph(g);
+  const std::int64_t palette =
+      std::max<std::int64_t>(1, 2 * g.max_degree() - 1);
+  return color_line_graph(lg, palette, /*theta=*/2, options);
+}
+
+EdgeColoringResult hypergraph_edge_coloring(
+    const Hypergraph& h, const ThetaColoringOptions& options) {
+  const Graph lg = line_graph(h);
+  const std::int64_t palette = lg.max_degree() + 1;
+  return color_line_graph(lg, palette, /*theta=*/std::max(1, h.rank()),
+                          options);
+}
+
+bool validate_edge_coloring(const Graph& g,
+                            const std::vector<Color>& edge_colors) {
+  const Graph lg = line_graph(g);
+  return is_proper_coloring(lg, edge_colors);
+}
+
+bool validate_edge_coloring(const Hypergraph& h,
+                            const std::vector<Color>& edge_colors) {
+  const Graph lg = line_graph(h);
+  return is_proper_coloring(lg, edge_colors);
+}
+
+}  // namespace dcolor

@@ -1,0 +1,43 @@
+// (2Δ−1)-edge coloring via line graphs (application of Theorem 1.5).
+//
+// A proper vertex coloring of the line graph L(G) is a proper edge
+// coloring of G. L(G) has neighborhood independence θ <= 2 (θ <= r for
+// line graphs of rank-r hypergraphs), and an edge {u,v} has line-graph
+// degree deg(u)+deg(v)−2 <= 2Δ−2, so the palette {0,…,2Δ−2} gives every
+// line-node a (deg+1)-list. The CONGEST simulation of a line-graph
+// algorithm on G itself costs O(1) overhead per round (each endpoint
+// simulates its incident edges), which our metrics inherit unchanged.
+#pragma once
+
+#include "core/theta_coloring.h"
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace dcolor {
+
+struct EdgeColoringResult {
+  /// Colors aligned with Graph::edge_list() order (or Hypergraph::edges()).
+  std::vector<Color> edge_colors;
+  std::int64_t num_colors = 0;
+  RoundMetrics metrics;
+};
+
+/// Colors the edges of g with at most 2Δ−1 colors such that edges sharing
+/// an endpoint differ.
+EdgeColoringResult edge_coloring_two_delta_minus_one(
+    const Graph& g, const ThetaColoringOptions& options = {});
+
+/// Colors the hyperedges of h (rank r) such that intersecting hyperedges
+/// differ, with Δ_L+1 <= r·(Δ_H−1)+1 colors, where Δ_L is the line graph
+/// degree and Δ_H the maximum vertex degree of h.
+EdgeColoringResult hypergraph_edge_coloring(
+    const Hypergraph& h, const ThetaColoringOptions& options = {});
+
+/// True iff no two intersecting (hyper)edges share a color and all edges
+/// are colored.
+bool validate_edge_coloring(const Graph& g,
+                            const std::vector<Color>& edge_colors);
+bool validate_edge_coloring(const Hypergraph& h,
+                            const std::vector<Color>& edge_colors);
+
+}  // namespace dcolor

@@ -1,0 +1,95 @@
+#include "core/fast_two_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "coloring/kuhn_defective.h"
+#include "core/two_sweep.h"
+#include "util/check.h"
+#include "util/logstar.h"
+
+namespace dcolor {
+
+ColoringResult fast_two_sweep(const OldcInstance& inst,
+                              const std::vector<Color>& initial_coloring,
+                              std::int64_t q, int p, double eps) {
+  DCOLOR_CHECK(p >= 1);
+  DCOLOR_CHECK(eps >= 0.0);
+  const Graph& g = *inst.graph;
+
+  // Check Eq. (7) up front (sink nodes only need a non-empty list; see the
+  // matching refinement in two_sweep).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+    if (inst.effective_outdegree(v) == 0) {
+      DCOLOR_CHECK_MSG(!lst.empty(), "empty list at sink node " << v);
+      continue;
+    }
+    const double need =
+        (1.0 + eps) *
+        std::max(static_cast<double>(p),
+                 static_cast<double>(lst.size()) / static_cast<double>(p)) *
+        inst.beta_v(v);
+    DCOLOR_CHECK_MSG(static_cast<double>(lst.weight()) > need,
+                     "Eq. (7) fails at node " << v);
+  }
+
+  // Line 1 of Algorithm 2: when q is already small (or ε == 0), the plain
+  // sweep is at least as fast.
+  const double direct_threshold =
+      eps == 0.0 ? std::numeric_limits<double>::infinity()
+                 : (static_cast<double>(p) / eps) *
+                           (static_cast<double>(p) / eps) +
+                       log_star(static_cast<std::uint64_t>(q));
+  if (eps == 0.0 || static_cast<double>(q) <= direct_threshold) {
+    return two_sweep(inst, initial_coloring, q, p);
+  }
+
+  // Line 4: defective coloring Ψ with α = ε/p (Lemma 3.4) — undirected
+  // for symmetric instances (β_v = deg there).
+  const double alpha = eps / static_cast<double>(p);
+  const auto psi =
+      inst.symmetric
+          ? kuhn_defective_undirected(g, initial_coloring,
+                                      static_cast<std::uint64_t>(q), alpha)
+          : kuhn_defective_coloring(g, inst.orientation, initial_coloring,
+                                    static_cast<std::uint64_t>(q), alpha);
+
+  // Line 5: drop Ψ-monochromatic edges and lower the defects by the saved
+  // budget ⌊β_v·ε/p⌋.
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  for (const auto& [u, v] : g.edge_list()) {
+    if (psi.colors[static_cast<std::size_t>(u)] !=
+        psi.colors[static_cast<std::size_t>(v)])
+      kept.emplace_back(u, v);
+  }
+  const Graph sub = g.edge_subgraph(kept);
+
+  OldcInstance sub_inst;
+  sub_inst.graph = &sub;
+  sub_inst.color_space = inst.color_space;
+  sub_inst.symmetric = inst.symmetric;
+  sub_inst.orientation =
+      inst.symmetric
+          ? Orientation::by_id(sub)
+          : Orientation::from_predicate(sub, [&](NodeId a, NodeId b) {
+              return inst.orientation.is_out_edge(a, b);
+            });
+  sub_inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int saved = static_cast<int>(
+        std::floor(inst.beta_v(v) * alpha));
+    sub_inst.lists.push_back(
+        inst.lists[static_cast<std::size_t>(v)].transform(
+            [&](Color, int d) { return d - saved; }));
+  }
+
+  // Line 6: Two-Sweep on the Ψ-colored subgraph (Ψ is proper there).
+  ColoringResult result =
+      two_sweep(sub_inst, psi.colors, psi.num_colors, p);
+  result.metrics += psi.metrics;
+  return result;
+}
+
+}  // namespace dcolor

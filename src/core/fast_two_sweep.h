@@ -1,0 +1,26 @@
+// Algorithm 2: Fast-Two-Sweep (Theorem 1.1 with ε > 0; Section 3.2).
+//
+// The plain Two-Sweep costs O(q) rounds — too slow when only an expensive
+// proper q-coloring is available. Algorithm 2 first computes the Lemma 3.4
+// defective coloring Ψ with α = ε/p in O(log* q) rounds, drops the
+// Ψ-monochromatic edges, lowers every defect by ⌊β_v·ε/p⌋ to "save"
+// defect budget for the dropped edges, and runs Two-Sweep on the remaining
+// properly-Ψ-colored subgraph with q' = O((p/ε)²) classes.
+//
+// Precondition (Eq. 7): Σ_{x∈L_v}(d_v(x)+1) > (1+ε)·max{p, |L_v|/p}·β_v.
+// Rounds: O(min{q, (p/ε)² + log* q}).
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+
+namespace dcolor {
+
+/// Runs Algorithm 2. `initial_coloring` is a proper q-coloring. ε == 0
+/// falls back to the plain Two-Sweep (O(q) rounds).
+ColoringResult fast_two_sweep(const OldcInstance& inst,
+                              const std::vector<Color>& initial_coloring,
+                              std::int64_t q, int p, double eps);
+
+}  // namespace dcolor

@@ -1,0 +1,317 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+ColorList::ColorList(std::vector<Color> colors, std::vector<int> defects)
+    : colors_(std::move(colors)), defects_(std::move(defects)) {
+  DCOLOR_CHECK(colors_.size() == defects_.size());
+  // Sort jointly by color.
+  std::vector<std::size_t> order(colors_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return colors_[a] < colors_[b]; });
+  std::vector<Color> cs(colors_.size());
+  std::vector<int> ds(colors_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    cs[i] = colors_[order[i]];
+    ds[i] = defects_[order[i]];
+    DCOLOR_CHECK_MSG(ds[i] >= 0, "negative defect");
+    if (i > 0) DCOLOR_CHECK_MSG(cs[i] != cs[i - 1], "duplicate color " << cs[i]);
+  }
+  colors_ = std::move(cs);
+  defects_ = std::move(ds);
+}
+
+ColorList ColorList::zero_defect(std::vector<Color> colors) {
+  std::vector<int> d(colors.size(), 0);
+  return {std::move(colors), std::move(d)};
+}
+
+ColorList ColorList::uniform(std::vector<Color> colors, int defect) {
+  std::vector<int> d(colors.size(), defect);
+  return {std::move(colors), std::move(d)};
+}
+
+bool ColorList::contains(Color c) const noexcept {
+  return std::binary_search(colors_.begin(), colors_.end(), c);
+}
+
+std::optional<int> ColorList::defect_of(Color c) const noexcept {
+  const auto it = std::lower_bound(colors_.begin(), colors_.end(), c);
+  if (it == colors_.end() || *it != c) return std::nullopt;
+  return defects_[static_cast<std::size_t>(it - colors_.begin())];
+}
+
+std::int64_t ColorList::weight() const noexcept {
+  std::int64_t w = 0;
+  for (int d : defects_) w += d + 1;
+  return w;
+}
+
+int OldcInstance::beta() const {
+  int b = 1;
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) b = std::max(b, beta_v(v));
+  return b;
+}
+
+double OldcInstance::min_weight_over_beta() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    const double w =
+        static_cast<double>(lists[static_cast<std::size_t>(v)].weight());
+    best = std::min(best, w / beta_v(v));
+  }
+  return best;
+}
+
+bool OldcInstance::satisfies_theorem11(int p, double eps) const {
+  DCOLOR_CHECK(p >= 1);
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    const auto& lst = lists[static_cast<std::size_t>(v)];
+    const double need =
+        (1.0 + eps) *
+        std::max(static_cast<double>(p),
+                 static_cast<double>(lst.size()) / static_cast<double>(p)) *
+        beta_v(v);
+    if (!(static_cast<double>(lst.weight()) > need)) return false;
+  }
+  return true;
+}
+
+bool OldcInstance::satisfies_theorem12() const {
+  const double sqrt_c = std::sqrt(static_cast<double>(color_space));
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    const auto& lst = lists[static_cast<std::size_t>(v)];
+    if (static_cast<double>(lst.weight()) <
+        3.0 * sqrt_c * beta_v(v))
+      return false;
+  }
+  return true;
+}
+
+std::size_t OldcInstance::max_list_size() const {
+  std::size_t m = 0;
+  for (const auto& lst : lists) m = std::max(m, lst.size());
+  return m;
+}
+
+double ListDefectiveInstance::slack() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    const int deg = graph->degree(v);
+    if (deg == 0) continue;
+    const double w =
+        static_cast<double>(lists[static_cast<std::size_t>(v)].weight());
+    best = std::min(best, w / deg);
+  }
+  return best;
+}
+
+bool validate_oldc(const OldcInstance& inst, const std::vector<Color>& colors) {
+  const Graph& g = *inst.graph;
+  if (static_cast<NodeId>(colors.size()) != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Color c = colors[static_cast<std::size_t>(v)];
+    const auto d = inst.lists[static_cast<std::size_t>(v)].defect_of(c);
+    if (!d.has_value()) return false;  // uncolored or off-list
+    int conflicts = 0;
+    for (NodeId u : inst.out_neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == c) ++conflicts;
+    }
+    if (conflicts > *d) return false;
+  }
+  return true;
+}
+
+bool validate_list_defective(const ListDefectiveInstance& inst,
+                             const std::vector<Color>& colors) {
+  const Graph& g = *inst.graph;
+  if (static_cast<NodeId>(colors.size()) != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Color c = colors[static_cast<std::size_t>(v)];
+    const auto d = inst.lists[static_cast<std::size_t>(v)].defect_of(c);
+    if (!d.has_value()) return false;
+    int conflicts = 0;
+    for (NodeId u : g.neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == c) ++conflicts;
+    }
+    if (conflicts > *d) return false;
+  }
+  return true;
+}
+
+bool validate_arbdefective(const ArbdefectiveInstance& inst,
+                           const ArbdefectiveResult& result) {
+  const Graph& g = *inst.graph;
+  if (static_cast<NodeId>(result.colors.size()) != g.num_nodes()) return false;
+  if (result.orientation.num_nodes() != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Color c = result.colors[static_cast<std::size_t>(v)];
+    const auto d = inst.lists[static_cast<std::size_t>(v)].defect_of(c);
+    if (!d.has_value()) return false;
+    int conflicts = 0;
+    for (NodeId u : result.orientation.out_neighbors(v)) {
+      if (result.colors[static_cast<std::size_t>(u)] == c) ++conflicts;
+    }
+    if (conflicts > *d) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::vector<Color> random_color_subset(std::int64_t color_space, int size,
+                                       Rng& rng) {
+  const auto raw = rng.sample_without_replacement(
+      static_cast<std::uint64_t>(color_space), static_cast<std::uint64_t>(size));
+  std::vector<Color> out;
+  out.reserve(raw.size());
+  for (auto c : raw) out.push_back(static_cast<Color>(c));
+  return out;
+}
+
+}  // namespace
+
+OldcInstance random_uniform_oldc(const Graph& g, Orientation orientation,
+                                 std::int64_t color_space, int list_size,
+                                 int defect, Rng& rng) {
+  DCOLOR_CHECK(list_size >= 1 && list_size <= color_space);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.orientation = std::move(orientation);
+  inst.color_space = color_space;
+  inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    inst.lists.push_back(
+        ColorList::uniform(random_color_subset(color_space, list_size, rng),
+                           defect));
+  }
+  return inst;
+}
+
+OldcInstance random_heterogeneous_oldc(const Graph& g, Orientation orientation,
+                                       std::int64_t color_space, int p,
+                                       double eps, Rng& rng) {
+  DCOLOR_CHECK(p >= 1);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.orientation = std::move(orientation);
+  inst.color_space = color_space;
+  inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int beta = inst.beta_v(v);
+    // Grow a random list with random defects until the Theorem 1.1
+    // premise for (p, eps) holds at this node; defects are drawn around
+    // (1+ε)·β/p so the per-color weight outpaces the |L|/p branch of the
+    // requirement and the threshold is met after roughly p² colors.
+    const int max_defect = std::max(
+        1, static_cast<int>(std::ceil((1.0 + eps) * beta / p)));
+    std::vector<Color> colors;
+    std::vector<int> defects;
+    std::int64_t weight = 0;
+    auto premise_met = [&]() {
+      const double need =
+          (1.0 + eps) *
+          std::max(static_cast<double>(p),
+                   static_cast<double>(colors.size()) / static_cast<double>(p)) *
+          beta;
+      return static_cast<double>(weight) > need;
+    };
+    const auto pool = random_color_subset(
+        color_space, static_cast<int>(std::min<std::int64_t>(color_space,
+                                                             4L * p * p + 16)),
+        rng);
+    for (Color c : pool) {
+      if (premise_met() && static_cast<int>(colors.size()) >= p) break;
+      const int d = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(2 * max_defect + 1)));
+      colors.push_back(c);
+      defects.push_back(d);
+      weight += d + 1;
+    }
+    DCOLOR_CHECK_MSG(premise_met(),
+                     "color space too small to satisfy Theorem 1.1 premise at "
+                     "node " << v << " (increase color_space)");
+    inst.lists.emplace_back(std::move(colors), std::move(defects));
+  }
+  return inst;
+}
+
+ListDefectiveInstance degree_plus_one_instance(const Graph& g,
+                                               std::int64_t color_space,
+                                               Rng& rng) {
+  DCOLOR_CHECK_MSG(color_space > g.max_degree(),
+                   "color space must exceed Δ for (deg+1)-lists");
+  ListDefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = color_space;
+  inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    inst.lists.push_back(ColorList::zero_defect(
+        random_color_subset(color_space, g.degree(v) + 1, rng)));
+  }
+  return inst;
+}
+
+ListDefectiveInstance delta_plus_one_instance(const Graph& g) {
+  const int delta = g.max_degree();
+  std::vector<Color> all(static_cast<std::size_t>(delta) + 1);
+  std::iota(all.begin(), all.end(), 0);
+  ListDefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = delta + 1;
+  inst.lists.assign(static_cast<std::size_t>(g.num_nodes()),
+                    ColorList::zero_defect(all));
+  return inst;
+}
+
+ListDefectiveInstance random_uniform_list_defective(const Graph& g,
+                                                    std::int64_t color_space,
+                                                    int list_size, int defect,
+                                                    Rng& rng) {
+  DCOLOR_CHECK(list_size >= 1 && list_size <= color_space);
+  ListDefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = color_space;
+  inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    inst.lists.push_back(ColorList::uniform(
+        random_color_subset(color_space, list_size, rng), defect));
+  }
+  return inst;
+}
+
+OldcInstance contention_oldc(const Graph& g, Orientation orientation,
+                             int list_size, int defect) {
+  DCOLOR_CHECK(list_size >= 1);
+  std::vector<Color> shared(static_cast<std::size_t>(list_size));
+  std::iota(shared.begin(), shared.end(), 0);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.orientation = std::move(orientation);
+  inst.color_space = list_size;
+  inst.lists.assign(static_cast<std::size_t>(g.num_nodes()),
+                    ColorList::uniform(shared, defect));
+  return inst;
+}
+
+Orientation orientation_toward_larger(const Graph& g,
+                                      const std::vector<Color>& values) {
+  DCOLOR_CHECK(static_cast<NodeId>(values.size()) == g.num_nodes());
+  return Orientation::from_predicate(g, [&](NodeId a, NodeId b) {
+    const Color va = values[static_cast<std::size_t>(a)];
+    const Color vb = values[static_cast<std::size_t>(b)];
+    return vb > va || (vb == va && b > a);
+  });
+}
+
+}  // namespace dcolor

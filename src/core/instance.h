@@ -1,0 +1,224 @@
+// Problem instance types for list defective coloring.
+//
+// Terminology (paper, Sections 1–2):
+//  * A *list defective coloring* (LDC) instance gives every node v a color
+//    list L_v and a defect function d_v : L_v -> N0. A solution assigns
+//    x_v ∈ L_v with at most d_v(x_v) same-colored *neighbors*.
+//  * An *oriented list defective coloring* (OLDC) instance additionally
+//    fixes an edge orientation as input; only same-colored OUT-neighbors
+//    count against d_v(x_v).
+//  * A *list arbdefective coloring* instance asks for a coloring plus an
+//    orientation of the monochromatic edges such that every node has at
+//    most d_v(x_v) same-colored out-neighbors (the orientation is output).
+//  * Slack (Definition 1.1): the instance has slack S if
+//    Σ_{x∈L_v}(d_v(x)+1) > S·deg(v) for all v.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/coloring_checks.h"
+#include "graph/graph.h"
+#include "graph/orientation.h"
+#include "sim/metrics.h"
+
+namespace dcolor {
+
+class Rng;
+
+/// One node's color list with per-color defects. Colors are kept sorted
+/// for O(log Λ) lookup.
+class ColorList {
+ public:
+  ColorList() = default;
+
+  /// Builds from (color, defect) pairs; colors must be distinct, defects
+  /// non-negative.
+  ColorList(std::vector<Color> colors, std::vector<int> defects);
+
+  /// All-zero-defect list (proper list coloring).
+  static ColorList zero_defect(std::vector<Color> colors);
+
+  /// Uniform defect d for every color.
+  static ColorList uniform(std::vector<Color> colors, int defect);
+
+  std::size_t size() const noexcept { return colors_.size(); }
+  bool empty() const noexcept { return colors_.empty(); }
+
+  const std::vector<Color>& colors() const noexcept { return colors_; }
+  const std::vector<int>& defects() const noexcept { return defects_; }
+
+  Color color(std::size_t i) const { return colors_[i]; }
+  int defect(std::size_t i) const { return defects_[i]; }
+
+  bool contains(Color c) const noexcept;
+
+  /// Defect of color c; nullopt if c not in the list.
+  std::optional<int> defect_of(Color c) const noexcept;
+
+  /// Σ_{x∈L}(d(x)+1) — the left side of every slack condition.
+  std::int64_t weight() const noexcept;
+
+  /// New list keeping only colors with transformed defect >= 0;
+  /// `delta(color, defect) -> new defect` applied to each entry.
+  template <typename F>
+  ColorList transform(F&& f) const {
+    std::vector<Color> cs;
+    std::vector<int> ds;
+    for (std::size_t i = 0; i < colors_.size(); ++i) {
+      const int nd = f(colors_[i], defects_[i]);
+      if (nd >= 0) {
+        cs.push_back(colors_[i]);
+        ds.push_back(nd);
+      }
+    }
+    return ColorList(std::move(cs), std::move(ds));
+  }
+
+ private:
+  std::vector<Color> colors_;  // sorted ascending
+  std::vector<int> defects_;   // aligned with colors_
+};
+
+/// Oriented list defective coloring instance (orientation is INPUT).
+///
+/// With `symmetric == true` the instance lives on the symmetric digraph:
+/// every neighbor counts as an out-neighbor and β_v = max(1, deg(v)).
+/// Solving such an instance yields an UNDIRECTED list defective coloring —
+/// the reading behind the paper's d-defective 3-coloring claim
+/// (d > (2Δ−3)/3, Section 1.1). `orientation` is ignored in that mode.
+struct OldcInstance {
+  const Graph* graph = nullptr;
+  Orientation orientation;
+  std::vector<ColorList> lists;
+  std::int64_t color_space = 0;  ///< colors are from [0, color_space)
+  bool symmetric = false;
+
+  /// Out-neighbors of v under the instance's digraph semantics.
+  std::span<const NodeId> out_neighbors(NodeId v) const {
+    return symmetric ? graph->neighbors(v) : orientation.out_neighbors(v);
+  }
+
+  /// True iff u -> v is an arc of the instance's digraph.
+  bool is_out(NodeId u, NodeId v) const {
+    return symmetric ? graph->has_edge(u, v)
+                     : orientation.is_out_edge(u, v);
+  }
+
+  /// Outdegree under the instance's digraph semantics.
+  int effective_outdegree(NodeId v) const {
+    return symmetric ? graph->degree(v) : orientation.outdegree(v);
+  }
+
+  /// β_v = max(1, outdegree) per the paper's convention.
+  int beta_v(NodeId v) const { return std::max(1, effective_outdegree(v)); }
+
+  /// β = max_v β_v.
+  int beta() const;
+
+  /// Minimum over v of weight(v) / β_v; Theorem 1.1 requires this to
+  /// exceed (1+ε)·max{p, |L_v|/p} per node — see `satisfies_theorem11`.
+  double min_weight_over_beta() const;
+
+  /// Checks the per-node premise of Theorem 1.1 for given p and ε.
+  bool satisfies_theorem11(int p, double eps) const;
+
+  /// Checks the premise of Theorem 1.2: weight(v) >= 3·√C·β_v.
+  bool satisfies_theorem12() const;
+
+  /// Maximum list size Λ.
+  std::size_t max_list_size() const;
+};
+
+/// Undirected list defective coloring instance (problem family P_D).
+struct ListDefectiveInstance {
+  const Graph* graph = nullptr;
+  std::vector<ColorList> lists;
+  std::int64_t color_space = 0;
+
+  /// Largest S such that weight(v) > S·deg(v) for all v (∞-free: returns
+  /// a large value when some node has degree 0).
+  double slack() const;
+};
+
+/// List arbdefective coloring instance (problem family P_A); identical
+/// data to the undirected case — the orientation is part of the OUTPUT.
+using ArbdefectiveInstance = ListDefectiveInstance;
+
+/// A coloring result together with its simulated execution cost.
+struct ColoringResult {
+  std::vector<Color> colors;
+  RoundMetrics metrics;
+};
+
+/// A coloring plus output orientation (for arbdefective problems).
+struct ArbdefectiveResult {
+  std::vector<Color> colors;
+  Orientation orientation;
+  RoundMetrics metrics;
+};
+
+/// ---- Validation --------------------------------------------------------
+
+/// All nodes colored from their lists, out-defects within d_v(x_v).
+bool validate_oldc(const OldcInstance& inst, const std::vector<Color>& colors);
+
+/// All nodes colored from their lists, undirected defects within d_v(x_v).
+bool validate_list_defective(const ListDefectiveInstance& inst,
+                             const std::vector<Color>& colors);
+
+/// All nodes colored from their lists, out-defects (under the OUTPUT
+/// orientation) within d_v(x_v).
+bool validate_arbdefective(const ArbdefectiveInstance& inst,
+                           const ArbdefectiveResult& result);
+
+/// ---- Instance generators ----------------------------------------------
+
+/// Random OLDC instance: each node draws a list of `list_size` colors from
+/// [0, color_space) with uniform defect `defect`.
+OldcInstance random_uniform_oldc(const Graph& g, Orientation orientation,
+                                 std::int64_t color_space, int list_size,
+                                 int defect, Rng& rng);
+
+/// Random OLDC instance with *heterogeneous* defects: per color, defect is
+/// uniform in [0, max_defect]; list sizes are re-drawn until the
+/// Theorem 1.1 premise holds for the given p (keeps instances feasible but
+/// tight). Colors from [0, color_space).
+OldcInstance random_heterogeneous_oldc(const Graph& g, Orientation orientation,
+                                       std::int64_t color_space, int p,
+                                       double eps, Rng& rng);
+
+/// (deg+1)-list coloring instance: node v gets deg(v)+1 random colors from
+/// [0, color_space), zero defects. Requires color_space > Δ.
+ListDefectiveInstance degree_plus_one_instance(const Graph& g,
+                                               std::int64_t color_space,
+                                               Rng& rng);
+
+/// The classic (Δ+1)-coloring instance: every list = {0,…,Δ}, zero defect.
+ListDefectiveInstance delta_plus_one_instance(const Graph& g);
+
+/// Uniform-defect undirected instance with `list_size` colors per node.
+ListDefectiveInstance random_uniform_list_defective(const Graph& g,
+                                                    std::int64_t color_space,
+                                                    int list_size, int defect,
+                                                    Rng& rng);
+
+/// ---- Adversarial generators (used by the E3/E13 stress experiments) ----
+
+/// Full-contention OLDC instance: every node holds the SAME uniform-defect
+/// list {0,…,list_size−1}. Removes the slack randomness hides behind —
+/// below the Eq. (2) threshold these instances actually fail.
+OldcInstance contention_oldc(const Graph& g, Orientation orientation,
+                             int list_size, int defect);
+
+/// Orientation pointing every edge toward the endpoint with the LARGER
+/// value in `priority_to_beat` — e.g. toward the later-acting node of a
+/// sweep when given the initial coloring. The adversarial direction for
+/// one-sweep algorithms: Phase I sees k_v == 0 everywhere.
+Orientation orientation_toward_larger(const Graph& g,
+                                      const std::vector<Color>& values);
+
+}  // namespace dcolor

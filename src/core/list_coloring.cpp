@@ -1,0 +1,218 @@
+#include "core/list_coloring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coloring/kuhn_defective.h"
+#include "coloring/linial.h"
+#include "core/congest_oldc.h"
+#include "core/sequential_coloring.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+ArbdefectiveResult solve_arbdefective_slack1(
+    const ArbdefectiveInstance& inst, const ListColoringOptions& options) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  DCOLOR_CHECK(inst.color_space >= 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DCOLOR_CHECK_MSG(
+        inst.lists[static_cast<std::size_t>(v)].weight() > g.degree(v),
+        "slack-1 condition fails at node " << v);
+  }
+
+  ArbdefectiveResult result;
+  result.colors.assign(n, kNoColor);
+  ListColoringBreakdown local_breakdown;
+  ListColoringBreakdown& breakdown =
+      options.breakdown != nullptr ? *options.breakdown : local_breakdown;
+  breakdown = {};
+
+  // Initial O(Δ²)-coloring (Linial), the "proper q-coloring" every later
+  // sub-call assumes.
+  const Orientation id_orientation = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, id_orientation);
+  result.metrics += linial.metrics;
+  breakdown.initial_coloring_rounds += linial.metrics.rounds;
+  const std::int64_t q0 = linial.num_colors;
+
+  const std::int64_t mu = static_cast<std::int64_t>(
+      std::ceil(3.0 * std::sqrt(static_cast<double>(inst.color_space))));
+
+  std::vector<TrimmedList> trimmed(n);
+  for (std::size_t vi = 0; vi < n; ++vi)
+    trimmed[vi] = TrimmedList::from(inst.lists[vi]);
+
+  // Coloring order stamps: primary key of the output orientation.
+  std::vector<std::int64_t> stamp(n, -1);
+  std::int64_t run_counter = 0;
+
+  std::vector<NodeId> uncolored;
+  uncolored.reserve(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) uncolored.push_back(v);
+
+  const bool oracle = options.engine == PartitionEngine::kBeg18Oracle;
+  const int max_levels = 2 * ceil_log2(static_cast<std::uint64_t>(
+                                 std::max(2, g.max_degree()))) +
+                         4;
+  int level = 0;
+  while (!uncolored.empty()) {
+    DCOLOR_CHECK_MSG(++level <= max_levels,
+                     "degree-halving failed to make progress");
+    ++breakdown.levels;
+    const auto sub = g.induced_subgraph(uncolored);
+    const Graph& sg = sub.graph;
+    const auto sn = static_cast<std::size_t>(sg.num_nodes());
+
+    std::vector<Color> sub_base(sn);
+    for (std::size_t i = 0; i < sn; ++i)
+      sub_base[i] = linial.colors[static_cast<std::size_t>(sub.to_orig[i])];
+
+    std::vector<int> d0(sn);
+    for (NodeId v = 0; v < sg.num_nodes(); ++v)
+      d0[static_cast<std::size_t>(v)] = sg.degree(v);
+    std::vector<int> colored_this_level(sn, 0);
+
+    // --- Partition the uncolored subgraph ---------------------------------
+    std::vector<Color> class_of;
+    std::int64_t num_classes = 0;
+    Orientation class_orientation;  // only used by the oracle engine
+    if (oracle) {
+      auto part = arbdefective_partition(sg, sub_base, q0,
+                                         static_cast<int>(2 * mu),
+                                         PartitionEngine::kBeg18Oracle);
+      class_of = std::move(part.classes);
+      num_classes = part.num_classes;
+      class_orientation = std::move(part.orientation);
+      result.metrics += part.metrics;
+      breakdown.partition_rounds += part.metrics.rounds;
+    } else {
+      const double alpha = 1.0 / (2.0 * static_cast<double>(mu));
+      auto psi = kuhn_defective_undirected(
+          sg, sub_base, static_cast<std::uint64_t>(q0), alpha);
+      class_of = std::move(psi.colors);
+      num_classes = psi.num_colors;
+      result.metrics += psi.metrics;
+      breakdown.partition_rounds += psi.metrics.rounds;
+    }
+
+    // --- Sweep the classes ------------------------------------------------
+    for (std::int64_t cls = 0; cls < num_classes; ++cls) {
+      std::vector<NodeId> eligible;  // sub-graph ids (ascending)
+      for (NodeId v = 0; v < sg.num_nodes(); ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        const NodeId orig = sub.to_orig[vi];
+        if (class_of[vi] != cls) continue;
+        if (result.colors[static_cast<std::size_t>(orig)] != kNoColor)
+          continue;
+        if (2 * colored_this_level[vi] > d0[vi]) continue;  // wait a level
+        eligible.push_back(v);
+      }
+      if (eligible.empty()) {
+        // The class slot still occupies schedule time: nodes cannot detect
+        // global emptiness. One idle round.
+        result.metrics.rounds += 1;
+        breakdown.idle_slot_rounds += 1;
+        ++breakdown.classes_idle;
+        continue;
+      }
+
+      const auto hsub = sg.induced_subgraph(eligible);
+      const Graph& hg = hsub.graph;
+      OldcInstance oldc;
+      oldc.graph = &hg;
+      oldc.color_space = inst.color_space;
+      if (oracle) {
+        oldc.orientation = Orientation::from_predicate(
+            hg, [&](NodeId a, NodeId b) {
+              return class_orientation.is_out_edge(
+                  hsub.to_orig[static_cast<std::size_t>(a)],
+                  hsub.to_orig[static_cast<std::size_t>(b)]);
+            });
+      } else {
+        oldc.orientation = Orientation::by_id(hg);
+      }
+      std::vector<Color> h_base(static_cast<std::size_t>(hg.num_nodes()));
+      oldc.lists.reserve(static_cast<std::size_t>(hg.num_nodes()));
+      for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+        const auto hvi = static_cast<std::size_t>(hv);
+        const NodeId sv = hsub.to_orig[hvi];
+        const NodeId orig = sub.to_orig[static_cast<std::size_t>(sv)];
+        h_base[hvi] = sub_base[static_cast<std::size_t>(sv)];
+        oldc.lists.push_back(
+            trimmed[static_cast<std::size_t>(orig)].to_color_list());
+      }
+
+      const ColoringResult class_result = congest_oldc(oldc, h_base, q0);
+      DCOLOR_CHECK_MSG(validate_oldc(oldc, class_result.colors),
+                       "class OLDC produced an invalid coloring");
+      result.metrics += class_result.metrics;
+      breakdown.class_rounds += class_result.metrics.rounds;
+      ++breakdown.classes_run;
+
+      // Commit colors, trim neighbors' lists, bump colored counters.
+      const std::int64_t this_stamp = run_counter++;
+      for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+        const auto hvi = static_cast<std::size_t>(hv);
+        const NodeId sv = hsub.to_orig[hvi];
+        const NodeId orig = sub.to_orig[static_cast<std::size_t>(sv)];
+        const Color c = class_result.colors[hvi];
+        result.colors[static_cast<std::size_t>(orig)] = c;
+        stamp[static_cast<std::size_t>(orig)] = this_stamp;
+        for (NodeId u : g.neighbors(orig)) {
+          const auto ui = static_cast<std::size_t>(u);
+          if (result.colors[ui] == kNoColor)
+            trimmed[ui].on_neighbor_colored(c);
+          const NodeId su = sub.to_sub[ui];
+          if (su >= 0) ++colored_this_level[static_cast<std::size_t>(su)];
+        }
+      }
+    }
+
+    std::vector<NodeId> still;
+    for (NodeId v : uncolored) {
+      if (result.colors[static_cast<std::size_t>(v)] == kNoColor)
+        still.push_back(v);
+    }
+    uncolored = std::move(still);
+  }
+
+  // Output orientation: toward the earlier-colored endpoint; ties (same
+  // OLDC run) follow that run's input orientation, which was "toward the
+  // smaller node id" (honest engine) or "toward the smaller initial Linial
+  // color" (oracle engine) — both expressible on original ids because
+  // induced_subgraph preserves id order.
+  result.orientation = Orientation::from_predicate(g, [&](NodeId a, NodeId b) {
+    const auto ai = static_cast<std::size_t>(a);
+    const auto bi = static_cast<std::size_t>(b);
+    if (stamp[ai] != stamp[bi]) return stamp[bi] < stamp[ai];
+    if (oracle) return linial.colors[bi] < linial.colors[ai];
+    return b < a;
+  });
+  return result;
+}
+
+ColoringResult solve_degree_plus_one(const ListDefectiveInstance& inst,
+                                     const ListColoringOptions& options) {
+  const Graph& g = *inst.graph;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+    DCOLOR_CHECK_MSG(static_cast<int>(lst.size()) >= g.degree(v) + 1,
+                     "list smaller than deg+1 at node " << v);
+    for (std::size_t i = 0; i < lst.size(); ++i) {
+      DCOLOR_CHECK_MSG(lst.defect(i) == 0,
+                       "solve_degree_plus_one expects zero defects");
+    }
+  }
+  ArbdefectiveResult arb = solve_arbdefective_slack1(inst, options);
+  // Zero defects + an orientation of monochromatic edges = no
+  // monochromatic edges at all: the coloring is proper.
+  ColoringResult result;
+  result.colors = std::move(arb.colors);
+  result.metrics = arb.metrics;
+  return result;
+}
+
+}  // namespace dcolor

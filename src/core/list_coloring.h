@@ -1,0 +1,71 @@
+// Theorem 1.3 machinery: slack-1 list (arb)defective coloring in CONGEST.
+//
+// The paper obtains Theorem 1.3 by plugging the Theorem 1.2 OLDC algorithm
+// into the recursive framework of [FK23a, Theorem 4]. We reproduce that
+// framework with the machinery this paper itself provides (DESIGN.md §4)
+// and generalize it to arbitrary defects, because Theorem 1.5's recursion
+// needs a slack-1 solver for the whole family P_A(1, C):
+//
+//   initial O(Δ²)-coloring via Linial              — O(log* n) rounds
+//   repeat O(log Δ) levels (Lemma A.1-style degree halving):
+//     partition the uncolored subgraph into classes whose per-node
+//       same-class (out-)degree is at most deg/2µ, µ = ⌈3·√C⌉
+//     sweep the classes; in class i color every node that still has at
+//       most half of its level-start neighbors colored, using the
+//       Theorem 1.2 OLDC on the trimmed lists d'_v(x) = d_v(x) − a_v(x)
+//       (a_v(x) = already-colored neighbors of color x). The premise
+//       holds: remaining weight > deg/2 ≥ µ·(class out-degree).
+//     skipped nodes lose half their degree by the end of the level, so
+//       O(log Δ) levels suffice.
+//
+// The output orientation points every edge toward the earlier-colored
+// endpoint (ties within one OLDC run follow that run's input orientation),
+// which makes the defect guarantee arbdefective: at most d_v(x_v)
+// same-colored OUT-neighbors.
+//
+// Partition engines (selectable):
+//   * kHonest       — undirected Lemma 3.4 defective coloring, O(log* n)
+//     rounds to compute but O(µ²) classes to sweep → measured rounds
+//     O(Δ·polylog Δ · log Δ + log* n).
+//   * kBeg18Oracle  — arbdefective partition with 2µ classes charged
+//     O(µ + log* n) rounds (documented substitution) → measured rounds
+//     O(√Δ·polylog Δ + log* n), the shape Theorem 1.3 claims.
+#pragma once
+
+#include "coloring/arbdefective.h"
+#include "core/instance.h"
+
+namespace dcolor {
+
+/// Optional round accounting by phase — answers "where do the rounds go"
+/// for the Theorem 1.3 framework (reported by bench/e7 and usable by any
+/// caller).
+struct ListColoringBreakdown {
+  std::int64_t initial_coloring_rounds = 0;  ///< Linial
+  std::int64_t partition_rounds = 0;         ///< per-level partitions
+  std::int64_t class_rounds = 0;             ///< inner OLDC runs
+  std::int64_t idle_slot_rounds = 0;         ///< empty class slots
+  std::int64_t levels = 0;
+  std::int64_t classes_run = 0;
+  std::int64_t classes_idle = 0;
+};
+
+struct ListColoringOptions {
+  PartitionEngine engine = PartitionEngine::kHonest;
+  /// When non-null, filled with the per-phase round breakdown.
+  ListColoringBreakdown* breakdown = nullptr;
+};
+
+/// Solves any list arbdefective instance with slack > 1
+/// (Σ(d_v(x)+1) > deg(v), i.e. P_A(1, C); (deg+1)-list coloring instances
+/// qualify with defects 0). Throws CheckError if the slack condition
+/// fails.
+ArbdefectiveResult solve_arbdefective_slack1(
+    const ArbdefectiveInstance& inst, const ListColoringOptions& options = {});
+
+/// Theorem 1.3 proper: zero-defect lists with |L_v| >= deg(v)+1 produce a
+/// PROPER coloring from the lists.
+ColoringResult solve_degree_plus_one(const ListDefectiveInstance& inst,
+                                     const ListColoringOptions& options = {});
+
+}  // namespace dcolor

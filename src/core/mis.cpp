@@ -1,0 +1,97 @@
+#include "core/mis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/coloring_checks.h"
+#include "graph/line_graph.h"
+#include "util/check.h"
+
+namespace dcolor {
+
+MisResult mis_from_coloring(const Graph& g, const std::vector<Color>& colors) {
+  DCOLOR_CHECK_MSG(is_proper_coloring(g, colors),
+                   "mis_from_coloring needs a proper coloring");
+  // Sweep classes in ascending color order; within a class all nodes can
+  // decide simultaneously (no internal edges).
+  std::vector<Color> classes(colors);
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  std::unordered_map<Color, std::int64_t> rank;
+  for (std::size_t i = 0; i < classes.size(); ++i)
+    rank[classes[i]] = static_cast<std::int64_t>(i);
+
+  MisResult result;
+  result.in_set.assign(static_cast<std::size_t>(g.num_nodes()), false);
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return colors[static_cast<std::size_t>(a)] <
+           colors[static_cast<std::size_t>(b)];
+  });
+  for (NodeId v : order) {
+    const bool blocked =
+        std::any_of(g.neighbors(v).begin(), g.neighbors(v).end(),
+                    [&](NodeId u) { return result.in_set[
+                        static_cast<std::size_t>(u)]; });
+    if (!blocked) result.in_set[static_cast<std::size_t>(v)] = true;
+  }
+  // One round per color class: each class announces its joins.
+  result.metrics.rounds = static_cast<std::int64_t>(classes.size());
+  result.metrics.max_message_bits = 1;
+  return result;
+}
+
+bool validate_mis(const Graph& g, const std::vector<bool>& in_set) {
+  if (static_cast<NodeId>(in_set.size()) != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool v_in = in_set[static_cast<std::size_t>(v)];
+    bool has_in_neighbor = false;
+    for (NodeId u : g.neighbors(v)) {
+      const bool u_in = in_set[static_cast<std::size_t>(u)];
+      if (v_in && u_in) return false;  // not independent
+      has_in_neighbor = has_in_neighbor || u_in;
+    }
+    if (!v_in && !has_in_neighbor) return false;  // not maximal
+  }
+  return true;
+}
+
+MatchingResult maximal_matching_from_edge_coloring(
+    const Graph& g, const std::vector<Color>& edge_colors) {
+  const Graph lg = line_graph(g);
+  const MisResult mis = mis_from_coloring(lg, edge_colors);
+  MatchingResult result;
+  result.in_matching = mis.in_set;
+  result.metrics = mis.metrics;
+  return result;
+}
+
+bool validate_maximal_matching(const Graph& g,
+                               const std::vector<bool>& in_matching) {
+  const auto edges = g.edge_list();
+  if (in_matching.size() != edges.size()) return false;
+  // Independence: no two selected edges share an endpoint; maximality:
+  // every unselected edge touches a selected one.
+  std::vector<bool> covered(static_cast<std::size_t>(g.num_nodes()), false);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!in_matching[i]) continue;
+    const auto [u, v] = edges[i];
+    if (covered[static_cast<std::size_t>(u)] ||
+        covered[static_cast<std::size_t>(v)])
+      return false;
+    covered[static_cast<std::size_t>(u)] = true;
+    covered[static_cast<std::size_t>(v)] = true;
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (in_matching[i]) continue;
+    const auto [u, v] = edges[i];
+    if (!covered[static_cast<std::size_t>(u)] &&
+        !covered[static_cast<std::size_t>(v)])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace dcolor

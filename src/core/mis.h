@@ -1,0 +1,43 @@
+// Maximal independent set from a coloring — the classic downstream
+// application of distributed coloring (a C-coloring yields an MIS in C
+// additional rounds by sweeping the color classes).
+//
+// This is the standard reason the (Δ+1)-coloring algorithms of this paper
+// matter beyond coloring itself: MIS, maximal matching (MIS on the line
+// graph), and cluster decompositions all reduce to it.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/metrics.h"
+
+namespace dcolor {
+
+struct MisResult {
+  std::vector<bool> in_set;
+  RoundMetrics metrics;  ///< C rounds on top of the coloring
+};
+
+/// Sweeps the color classes of a proper coloring in ascending order; a
+/// node joins the MIS when its turn comes and no neighbor joined earlier.
+/// `colors` must be a proper coloring (checked).
+MisResult mis_from_coloring(const Graph& g, const std::vector<Color>& colors);
+
+/// True iff `in_set` is independent and maximal in g.
+bool validate_mis(const Graph& g, const std::vector<bool>& in_set);
+
+/// Maximal matching of g = MIS of its line graph; returns the matched
+/// edge indices relative to g.edge_list().
+struct MatchingResult {
+  std::vector<bool> in_matching;  ///< aligned with g.edge_list()
+  RoundMetrics metrics;
+};
+MatchingResult maximal_matching_from_edge_coloring(
+    const Graph& g, const std::vector<Color>& edge_colors);
+
+/// True iff the selected edges form a maximal matching of g.
+bool validate_maximal_matching(const Graph& g,
+                               const std::vector<bool>& in_matching);
+
+}  // namespace dcolor

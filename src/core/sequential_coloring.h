@@ -1,0 +1,100 @@
+// Shared infrastructure for the sequential class-coloring drivers
+// (Lemma 4.4, Lemma A.1, Theorem 1.4, and the Theorem 1.3 machinery):
+// residual list trimming and stamp-based output orientations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/instance.h"
+#include "graph/graph.h"
+#include "graph/orientation.h"
+
+namespace dcolor {
+
+/// A node's trimmed list: colors whose residual defect d_v(x) − a_v(x) is
+/// still non-negative, kept sorted by color. a_v(x) counts already-colored
+/// neighbors of color x; edges toward them are oriented toward them, so
+/// each consumes one unit of the color's defect budget.
+struct TrimmedList {
+  std::vector<Color> colors;
+  std::vector<int> residual;
+
+  static TrimmedList from(const ColorList& list) {
+    return {list.colors(), list.defects()};
+  }
+
+  /// A neighbor was colored with c: residual drops by one, the color is
+  /// evicted when it goes negative. Total weight drops by exactly one when
+  /// c is present and is unchanged otherwise — the bookkeeping behind every
+  /// slack-preservation argument in Section 4.
+  void on_neighbor_colored(Color c) {
+    const auto it = std::lower_bound(colors.begin(), colors.end(), c);
+    if (it == colors.end() || *it != c) return;
+    const auto i = static_cast<std::size_t>(it - colors.begin());
+    if (residual[i] == 0) {
+      colors.erase(it);
+      residual.erase(residual.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      --residual[i];
+    }
+  }
+
+  std::int64_t weight() const {
+    std::int64_t w = 0;
+    for (int r : residual) w += r + 1;
+    return w;
+  }
+
+  ColorList to_color_list() const { return {colors, residual}; }
+};
+
+/// Assembles the output orientation of a multi-phase coloring: every edge
+/// points toward the endpoint colored in an earlier phase ("already
+/// colored nodes never gain defect"); edges whose endpoints were colored
+/// in the same phase follow that phase's inner-solver orientation, which
+/// the driver records arc by arc.
+class StampOrientationBuilder {
+ public:
+  explicit StampOrientationBuilder(NodeId n)
+      : stamp_(static_cast<std::size_t>(n), -1) {}
+
+  /// Marks node v as colored in phase `s` (phases strictly increase).
+  void set_stamp(NodeId v, std::int64_t s) {
+    stamp_[static_cast<std::size_t>(v)] = s;
+  }
+
+  std::int64_t stamp(NodeId v) const {
+    return stamp_[static_cast<std::size_t>(v)];
+  }
+
+  /// Records a same-phase arc from -> to (original node ids).
+  void add_same_phase_arc(NodeId from, NodeId to) {
+    arcs_.insert(key(from, to));
+  }
+
+  /// Builds the orientation over g. Every node must be stamped; every
+  /// same-stamp edge must have a recorded arc.
+  Orientation build(const Graph& g) const {
+    return Orientation::from_predicate(g, [this](NodeId a, NodeId b) {
+      const auto sa = stamp_[static_cast<std::size_t>(a)];
+      const auto sb = stamp_[static_cast<std::size_t>(b)];
+      if (sa != sb) return sb < sa;  // toward the earlier-colored endpoint
+      return arcs_.contains(key(a, b));
+    });
+  }
+
+ private:
+  static std::uint64_t key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  std::vector<std::int64_t> stamp_;
+  std::unordered_set<std::uint64_t> arcs_;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,208 @@
+#include "core/slack_reduction.h"
+
+#include <algorithm>
+
+#include "coloring/kuhn_defective.h"
+#include "coloring/linial.h"
+#include "core/sequential_coloring.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Shared driver: colors the members of one class through the inner
+/// solver, commits the result, and maintains trimming/stamps/metrics.
+/// `members` are original node ids, all currently uncolored.
+void color_class(const Graph& g, const ArbdefectiveInstance& inst,
+                 const std::vector<NodeId>& members,
+                 const ArbSolver& solve_inner, std::vector<TrimmedList>& lists,
+                 std::vector<Color>& colors, StampOrientationBuilder& stamps,
+                 std::int64_t phase, RoundMetrics& metrics) {
+  const auto hsub = g.induced_subgraph(members);
+  const Graph& hg = hsub.graph;
+
+  ArbdefectiveInstance sub;
+  sub.graph = &hg;
+  sub.color_space = inst.color_space;
+  sub.lists.reserve(members.size());
+  for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+    const NodeId orig = hsub.to_orig[static_cast<std::size_t>(hv)];
+    sub.lists.push_back(
+        lists[static_cast<std::size_t>(orig)].to_color_list());
+  }
+
+  const ArbdefectiveResult res = solve_inner(sub);
+  DCOLOR_CHECK_MSG(validate_arbdefective(sub, res),
+                   "inner arbdefective solver returned an invalid result");
+  metrics += res.metrics;
+
+  for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+    const auto hvi = static_cast<std::size_t>(hv);
+    const NodeId orig = hsub.to_orig[hvi];
+    colors[static_cast<std::size_t>(orig)] = res.colors[hvi];
+    stamps.set_stamp(orig, phase);
+    for (NodeId hu : res.orientation.out_neighbors(hv)) {
+      stamps.add_same_phase_arc(orig,
+                                hsub.to_orig[static_cast<std::size_t>(hu)]);
+    }
+  }
+  // Trim the lists of uncolored neighbors.
+  for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+    const NodeId orig = hsub.to_orig[static_cast<std::size_t>(hv)];
+    const Color c = colors[static_cast<std::size_t>(orig)];
+    for (NodeId u : g.neighbors(orig)) {
+      if (colors[static_cast<std::size_t>(u)] == kNoColor) {
+        lists[static_cast<std::size_t>(u)].on_neighbor_colored(c);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ArbdefectiveResult slack_reduction_lemma44(const ArbdefectiveInstance& inst,
+                                           double mu,
+                                           const ArbSolver& solve_slack_mu) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  DCOLOR_CHECK(mu >= 1.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DCOLOR_CHECK_MSG(
+        inst.lists[static_cast<std::size_t>(v)].weight() > 2 * g.degree(v),
+        "Lemma 4.4 requires slack > 2; fails at node " << v);
+  }
+
+  ArbdefectiveResult result;
+  result.colors.assign(n, kNoColor);
+
+  // Initial coloring + the Lemma 3.4 defective partition with α = 1/µ.
+  const Orientation id_orientation = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, id_orientation);
+  result.metrics += linial.metrics;
+  const auto psi = kuhn_defective_undirected(
+      g, linial.colors, static_cast<std::uint64_t>(linial.num_colors),
+      1.0 / mu);
+  result.metrics += psi.metrics;
+
+  std::vector<TrimmedList> lists(n);
+  for (std::size_t vi = 0; vi < n; ++vi)
+    lists[vi] = TrimmedList::from(inst.lists[vi]);
+  StampOrientationBuilder stamps(g.num_nodes());
+
+  // Bucket members per class up front: the class count is O(µ²) and may
+  // vastly exceed n, so the sweep must cost O(n + #classes).
+  std::vector<std::vector<NodeId>> buckets(
+      static_cast<std::size_t>(psi.num_colors));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    buckets[static_cast<std::size_t>(psi.colors[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  for (std::int64_t cls = 0; cls < psi.num_colors; ++cls) {
+    const auto& members = buckets[static_cast<std::size_t>(cls)];
+    if (members.empty()) {
+      result.metrics.rounds += 1;  // the schedule slot still elapses
+      continue;
+    }
+    color_class(g, inst, members, solve_slack_mu, lists, result.colors,
+                stamps, cls, result.metrics);
+  }
+
+  DCOLOR_CHECK(all_colored(result.colors));
+  result.orientation = stamps.build(g);
+  return result;
+}
+
+ArbdefectiveResult slack_reduction_lemmaA1(const ArbdefectiveInstance& inst,
+                                           double mu,
+                                           const ArbSolver& solve_slack_mu) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  DCOLOR_CHECK(mu >= 1.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DCOLOR_CHECK_MSG(
+        inst.lists[static_cast<std::size_t>(v)].weight() > g.degree(v),
+        "Lemma A.1 requires slack > 1; fails at node " << v);
+  }
+
+  ArbdefectiveResult result;
+  result.colors.assign(n, kNoColor);
+
+  const Orientation id_orientation = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, id_orientation);
+  result.metrics += linial.metrics;
+
+  std::vector<TrimmedList> lists(n);
+  for (std::size_t vi = 0; vi < n; ++vi)
+    lists[vi] = TrimmedList::from(inst.lists[vi]);
+  StampOrientationBuilder stamps(g.num_nodes());
+  std::int64_t phase = 0;
+
+  std::vector<NodeId> uncolored;
+  uncolored.reserve(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) uncolored.push_back(v);
+
+  const int max_levels = 2 * ceil_log2(static_cast<std::uint64_t>(
+                                 std::max(2, g.max_degree()))) +
+                         4;
+  int level = 0;
+  while (!uncolored.empty()) {
+    DCOLOR_CHECK_MSG(++level <= max_levels,
+                     "Lemma A.1 degree-halving failed to make progress");
+    const auto sub = g.induced_subgraph(uncolored);
+    const Graph& sg = sub.graph;
+    const auto sn = static_cast<std::size_t>(sg.num_nodes());
+
+    std::vector<Color> sub_base(sn);
+    for (std::size_t i = 0; i < sn; ++i)
+      sub_base[i] = linial.colors[static_cast<std::size_t>(sub.to_orig[i])];
+    std::vector<int> d0(sn);
+    for (NodeId v = 0; v < sg.num_nodes(); ++v)
+      d0[static_cast<std::size_t>(v)] = sg.degree(v);
+    std::vector<int> colored_this_level(sn, 0);
+
+    // Defective partition with ε = 1/(2µ) (Lemma A.1's tightened ε).
+    const auto psi = kuhn_defective_undirected(
+        sg, sub_base, static_cast<std::uint64_t>(linial.num_colors),
+        1.0 / (2.0 * mu));
+    result.metrics += psi.metrics;
+
+    for (std::int64_t cls = 0; cls < psi.num_colors; ++cls) {
+      std::vector<NodeId> members;  // original ids
+      for (NodeId v = 0; v < sg.num_nodes(); ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (psi.colors[vi] != cls) continue;
+        const NodeId orig = sub.to_orig[vi];
+        if (result.colors[static_cast<std::size_t>(orig)] != kNoColor)
+          continue;
+        if (2 * colored_this_level[vi] > d0[vi]) continue;
+        members.push_back(orig);
+      }
+      if (members.empty()) {
+        result.metrics.rounds += 1;
+        continue;
+      }
+      color_class(g, inst, members, solve_slack_mu, lists, result.colors,
+                  stamps, phase++, result.metrics);
+      // Track per-level colored counts for the eligibility rule.
+      for (NodeId orig : members) {
+        for (NodeId u : g.neighbors(orig)) {
+          const NodeId su = sub.to_sub[static_cast<std::size_t>(u)];
+          if (su >= 0) ++colored_this_level[static_cast<std::size_t>(su)];
+        }
+      }
+    }
+
+    std::vector<NodeId> still;
+    for (NodeId v : uncolored) {
+      if (result.colors[static_cast<std::size_t>(v)] == kNoColor)
+        still.push_back(v);
+    }
+    uncolored = std::move(still);
+  }
+
+  result.orientation = stamps.build(g);
+  return result;
+}
+
+}  // namespace dcolor

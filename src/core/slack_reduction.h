@@ -1,0 +1,50 @@
+// Section 4.2 + Appendix A: slack reduction for list arbdefective coloring.
+//
+// Both lemmas trade communication rounds for slack: an instance with small
+// slack is split into class subgraphs with large slack, which a
+// higher-slack solver handles.
+//
+//  * Lemma 4.4:  T_A(2, C) <= O(µ²)·T_A(µ, C) + O(log* q).
+//    The graph is partitioned by the undirected Lemma 3.4 defective
+//    coloring with α = 1/µ (K = O(µ²) classes, per-node class-degree
+//    <= deg/µ); the classes are colored sequentially with lists trimmed by
+//    the already-colored neighbors; slack 2 guarantees the residual weight
+//    stays above deg(v) >= µ·deg_class(v).
+//
+//  * Lemma A.1:  T_A(1, C) <= O(µ²·logΔ)·T_A(µ, C) + O(log* q).
+//    Slack 1 only guarantees residual weight > (uncolored degree), so a
+//    node may only be colored while at most half of its neighbors are:
+//    each level colors the eligible half and halves the degree of the
+//    rest; O(log Δ) levels. (We use the per-node relative threshold
+//    "colored <= deg(v)/2"; the paper's absolute Δ/2 threshold has the
+//    same effect for full-degree nodes but does not cover low-degree
+//    nodes — see DESIGN.md.)
+//
+// Both combinators are generic in the inner solver, which receives genuine
+// P_A(µ, ·) instances (slack measured against the subgraph degree, as in
+// Definition 1.1).
+#pragma once
+
+#include <functional>
+
+#include "core/instance.h"
+
+namespace dcolor {
+
+/// An algorithm for list arbdefective coloring instances. Implementations
+/// must color every node from its list and return an orientation under
+/// which every node has at most d_v(x_v) same-colored out-neighbors.
+using ArbSolver = std::function<ArbdefectiveResult(const ArbdefectiveInstance&)>;
+
+/// Lemma 4.4. Requires slack > 2 (weight > 2·deg). `solve_slack_mu` is
+/// invoked once per partition class with an instance of slack > µ.
+ArbdefectiveResult slack_reduction_lemma44(const ArbdefectiveInstance& inst,
+                                           double mu,
+                                           const ArbSolver& solve_slack_mu);
+
+/// Lemma A.1. Requires slack > 1 (weight > deg).
+ArbdefectiveResult slack_reduction_lemmaA1(const ArbdefectiveInstance& inst,
+                                           double mu,
+                                           const ArbSolver& solve_slack_mu);
+
+}  // namespace dcolor

@@ -1,0 +1,166 @@
+#include "core/theta_color_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/defective_from_arbdefective.h"
+#include "core/sequential_coloring.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+ArbdefectiveResult color_space_reduction_pa(const ArbdefectiveInstance& inst,
+                                            std::int64_t S, std::int64_t p,
+                                            std::int64_t sigma,
+                                            const DefectiveSolver& solve_pd,
+                                            const ArbSolver& solve_inner) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  DCOLOR_CHECK(1 <= sigma && sigma <= S);
+  DCOLOR_CHECK(p >= 1 && p <= inst.color_space);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DCOLOR_CHECK_MSG(
+        inst.lists[static_cast<std::size_t>(v)].weight() >
+            S * g.degree(v),
+        "Lemma 4.5 requires slack > " << S << "; fails at node " << v);
+  }
+
+  const std::int64_t part_width = ceil_div(inst.color_space, p);
+  const std::int64_t num_parts = ceil_div(inst.color_space, part_width);
+
+  ArbdefectiveResult result;
+  result.colors.assign(n, kNoColor);
+
+  // --- Part choice: a P_D(σ, num_parts) instance (Eq. 18 + Eq. 19) -------
+  ListDefectiveInstance choice;
+  choice.graph = &g;
+  choice.color_space = num_parts;
+  choice.lists.reserve(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const auto& lst = inst.lists[vi];
+    std::vector<std::int64_t> part_weight(
+        static_cast<std::size_t>(num_parts), 0);
+    for (std::size_t i = 0; i < lst.size(); ++i) {
+      part_weight[static_cast<std::size_t>(lst.color(i) / part_width)] +=
+          lst.defect(i) + 1;
+    }
+    const std::int64_t total = lst.weight();
+    std::vector<Color> parts;
+    std::vector<int> defects;
+    for (std::int64_t i = 0; i < num_parts; ++i) {
+      const std::int64_t wi = part_weight[static_cast<std::size_t>(i)];
+      if (wi == 0) continue;
+      // d_{v,i} = ⌈σ·deg(v)·W_i / W⌉ (Eq. 19).
+      const std::int64_t di =
+          ceil_div(sigma * g.degree(v) * wi, std::max<std::int64_t>(1, total));
+      parts.push_back(i);
+      defects.push_back(static_cast<int>(di));
+    }
+    choice.lists.emplace_back(std::move(parts), std::move(defects));
+  }
+
+  const ColoringResult choice_result = solve_pd(choice);
+  DCOLOR_CHECK_MSG(validate_list_defective(choice, choice_result.colors),
+                   "part-choice defective coloring is invalid");
+  result.metrics += choice_result.metrics;
+
+  // --- Per-part sub-instances, solved in parallel -------------------------
+  std::vector<std::vector<NodeId>> part_members(
+      static_cast<std::size_t>(num_parts));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    part_members[static_cast<std::size_t>(
+                     choice_result.colors[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+
+  StampOrientationBuilder stamps(g.num_nodes());
+  RoundMetrics parallel_metrics;
+  bool any_part = false;
+  for (std::int64_t part = 0; part < num_parts; ++part) {
+    const auto& members = part_members[static_cast<std::size_t>(part)];
+    if (members.empty()) continue;
+    const auto hsub = g.induced_subgraph(members);
+    const Graph& hg = hsub.graph;
+    const std::int64_t lo = part * part_width;
+    const std::int64_t hi = std::min(lo + part_width, inst.color_space);
+
+    ArbdefectiveInstance sub;
+    sub.graph = &hg;
+    sub.color_space = hi - lo;
+    sub.lists.reserve(members.size());
+    for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+      const NodeId orig = hsub.to_orig[static_cast<std::size_t>(hv)];
+      const auto& lst = inst.lists[static_cast<std::size_t>(orig)];
+      std::vector<Color> cs;
+      std::vector<int> ds;
+      for (std::size_t i = 0; i < lst.size(); ++i) {
+        if (lst.color(i) >= lo && lst.color(i) < hi) {
+          cs.push_back(lst.color(i) - lo);  // remap into [0, ⌈C/p⌉)
+          ds.push_back(lst.defect(i));
+        }
+      }
+      sub.lists.emplace_back(std::move(cs), std::move(ds));
+    }
+
+    const ArbdefectiveResult part_result = solve_inner(sub);
+    DCOLOR_CHECK_MSG(validate_arbdefective(sub, part_result),
+                     "part " << part << " sub-instance result is invalid");
+    if (!any_part) {
+      parallel_metrics = part_result.metrics;
+      any_part = true;
+    } else {
+      parallel_metrics.merge_parallel(part_result.metrics);
+    }
+
+    for (NodeId hv = 0; hv < hg.num_nodes(); ++hv) {
+      const auto hvi = static_cast<std::size_t>(hv);
+      const NodeId orig = hsub.to_orig[hvi];
+      result.colors[static_cast<std::size_t>(orig)] =
+          part_result.colors[hvi] + lo;
+      stamps.set_stamp(orig, 0);  // all parts run in the same phase
+      for (NodeId hu : part_result.orientation.out_neighbors(hv)) {
+        stamps.add_same_phase_arc(orig,
+                                  hsub.to_orig[static_cast<std::size_t>(hu)]);
+      }
+    }
+  }
+  result.metrics += parallel_metrics;
+
+  // Cross-part edges can never be monochromatic (disjoint sub-spaces);
+  // orient them toward the smaller id to complete the orientation.
+  for (const auto& [u, v] : g.edge_list()) {
+    if (choice_result.colors[static_cast<std::size_t>(u)] !=
+        choice_result.colors[static_cast<std::size_t>(v)]) {
+      stamps.add_same_phase_arc(std::max(u, v), std::min(u, v));
+    }
+  }
+  result.orientation = stamps.build(g);
+  DCOLOR_CHECK(all_colored(result.colors));
+  return result;
+}
+
+std::int64_t lemma46_slack_requirement(int delta_paper, int theta) {
+  return 2 * theorem14_slack_requirement(delta_paper, theta, 2);
+}
+
+ArbdefectiveResult theta_color_space_step(const ArbdefectiveInstance& inst,
+                                          int theta,
+                                          const ArbSolver& solve_pa2) {
+  const Graph& g = *inst.graph;
+  const std::int64_t sigma = theorem14_slack_requirement(g.delta_paper(),
+                                                         theta, 2);
+  const std::int64_t S = 2 * sigma;
+  const auto p = static_cast<std::int64_t>(
+      ceil_sqrt(static_cast<std::uint64_t>(inst.color_space)));
+
+  const DefectiveSolver solve_pd = [&](const ListDefectiveInstance& pd) {
+    // Theorem 1.4 turns the P_D(σ, p) part choice into O(logΔ) instances
+    // of P_A(2, p), handled by the same slack-2 solver.
+    return defective_from_arbdefective(pd, theta, 2, solve_pa2);
+  };
+  return color_space_reduction_pa(inst, S, p, sigma, solve_pd, solve_pa2);
+}
+
+}  // namespace dcolor

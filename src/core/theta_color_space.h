@@ -1,0 +1,49 @@
+// Section 4.3: color space reduction for list arbdefective coloring.
+//
+// Lemma 4.5: to solve P_A(S, C), partition the color space into p parts of
+// size ⌈C/p⌉. Choosing a part is itself a list DEFECTIVE coloring instance
+// P_D(σ, p) with derived defects d_{v,i} = ⌈σ·deg(v)·W_i/W⌉ (Eq. 19);
+// the nodes that picked part i then solve a P_A(S/σ, ⌈C/p⌉) instance on
+// the subgraph they induce — all parts in parallel, since distinct parts
+// can never conflict. Hence
+//     T_A(S, C) <= T_D(σ, p) + T_A(S/σ, ⌈C/p⌉).
+//
+// Lemma 4.6 instantiates p = ⌈√C⌉ and σ = 42·θ·(⌈logΔ⌉+1) (the Eq. 9
+// requirement for S = 2) and discharges the T_D call through Theorem 1.4,
+// giving
+//     T_A(2σ, C) <= O(logΔ)·T_A(2, ⌈√C⌉) + T_A(2, ⌈√C⌉).
+#pragma once
+
+#include <functional>
+
+#include "core/instance.h"
+#include "core/slack_reduction.h"
+
+namespace dcolor {
+
+/// Solver for list defective (undirected) instances.
+using DefectiveSolver =
+    std::function<ColoringResult(const ListDefectiveInstance&)>;
+
+/// Lemma 4.5. Requires slack > S and 1 <= σ <= S. `solve_pd` receives the
+/// part-choice instance (color space = #parts <= p); `solve_inner`
+/// receives one instance per non-empty part (slack > S/σ, color space
+/// ⌈C/p⌉), whose metrics merge in parallel.
+ArbdefectiveResult color_space_reduction_pa(const ArbdefectiveInstance& inst,
+                                            std::int64_t S, std::int64_t p,
+                                            std::int64_t sigma,
+                                            const DefectiveSolver& solve_pd,
+                                            const ArbSolver& solve_inner);
+
+/// Lemma 4.6: solves P_A(2σ, C) with σ = 42·θ·(⌈logΔ⌉+1), using
+/// `solve_pa2` for every P_A(2, ⌈√C⌉)-shaped sub-instance (both inside the
+/// Theorem 1.4 discharge of the part choice and for the per-part
+/// sub-instances).
+ArbdefectiveResult theta_color_space_step(const ArbdefectiveInstance& inst,
+                                          int theta,
+                                          const ArbSolver& solve_pa2);
+
+/// The slack Lemma 4.6 requires: 2σ = 84·θ·(⌈logΔ⌉+1).
+std::int64_t lemma46_slack_requirement(int delta_paper, int theta);
+
+}  // namespace dcolor

@@ -1,0 +1,86 @@
+#include "core/theta_coloring.h"
+
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "core/slack_reduction.h"
+#include "core/theta_color_space.h"
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Slack-2 solver P_A(2, C) with `depth` color-space recursion levels
+/// remaining. depth 0 (or a tiny color space) drops to the Theorem 1.3
+/// machinery, which handles slack > 1 directly.
+ArbdefectiveResult solve_pa2(const ArbdefectiveInstance& inst, int theta,
+                             int depth, const ThetaColoringOptions& options) {
+  if (depth <= 0 || inst.color_space <= options.base_color_threshold) {
+    const ListColoringOptions base{options.engine};
+    return solve_arbdefective_slack1(inst, base);
+  }
+
+  // Lemma 4.4 boosts the slack from 2 to µ = 2σ; Lemma 4.6 then halves the
+  // color space per recursion level, discharging its part choice through
+  // Theorem 1.4 (which again only needs slack-2 solvers, one level deeper).
+  const std::int64_t big_slack =
+      lemma46_slack_requirement(inst.graph->delta_paper(), theta);
+  const ArbSolver lemma46_solver = [&](const ArbdefectiveInstance& sub) {
+    const ArbSolver deeper = [&](const ArbdefectiveInstance& d) {
+      return solve_pa2(d, theta, depth - 1, options);
+    };
+    return theta_color_space_step(sub, theta, deeper);
+  };
+  return slack_reduction_lemma44(inst, static_cast<double>(big_slack),
+                                 lemma46_solver);
+}
+
+int recursion_depth(const ThetaColoringOptions& options) {
+  switch (options.branch) {
+    case ThetaColoringOptions::Branch::kBaseOnly:
+      return 0;
+    case ThetaColoringOptions::Branch::kDeltaQuarter:
+      return 1;
+    case ThetaColoringOptions::Branch::kQuasiPolylog:
+      return 64;  // the color-space threshold terminates the recursion
+  }
+  return 0;
+}
+
+}  // namespace
+
+ArbdefectiveResult solve_theta_arbdefective(const ArbdefectiveInstance& inst,
+                                            int theta,
+                                            const ThetaColoringOptions&
+                                                options) {
+  const Graph& g = *inst.graph;
+  DCOLOR_CHECK(theta >= 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DCOLOR_CHECK_MSG(
+        inst.lists[static_cast<std::size_t>(v)].weight() > g.degree(v),
+        "Theorem 1.5 requires slack > 1; fails at node " << v);
+  }
+  const int depth = recursion_depth(options);
+  if (depth == 0) {
+    const ListColoringOptions base{options.engine};
+    return solve_arbdefective_slack1(inst, base);
+  }
+  // Lemma A.1 with µ = 2 lifts the slack-1 instance to slack-2 instances.
+  const ArbSolver pa2 = [&](const ArbdefectiveInstance& sub) {
+    return solve_pa2(sub, theta, depth, options);
+  };
+  return slack_reduction_lemmaA1(inst, 2.0, pa2);
+}
+
+ColoringResult theta_delta_plus_one(const Graph& g, int theta,
+                                    const ThetaColoringOptions& options) {
+  const ListDefectiveInstance inst = delta_plus_one_instance(g);
+  ArbdefectiveResult arb = solve_theta_arbdefective(inst, theta, options);
+  // Zero defects: the arbdefective coloring is proper.
+  ColoringResult result;
+  result.colors = std::move(arb.colors);
+  result.metrics = arb.metrics;
+  return result;
+}
+
+}  // namespace dcolor

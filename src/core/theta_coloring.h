@@ -1,0 +1,52 @@
+// Theorem 1.5 (Section 4.4): list arbdefective coloring — and thus
+// (Δ+1)-coloring — on graphs of neighborhood independence θ.
+//
+// Proof structure reproduced faithfully:
+//   T_A(1, C)  --Lemma A.1 (µ=2)-->  T_A(2, C)
+//   T_A(2, C)  --Lemma 4.4 (µ=2σ)--> T_A(2σ, C)   [σ = 42θ(⌈logΔ⌉+1)]
+//   T_A(2σ, C) --Lemma 4.6-->        T_A(2, ⌈√C⌉) (×O(logΔ), via Thm 1.4)
+//   ... recurse on the color space ...
+//   base case: the Theorem 1.3 machinery (Two-Sweep + color space
+//   reduction + congest OLDC), which solves P_A(1, ·) directly.
+//
+// Branch selection mirrors the min{} in the theorem statement:
+//   * kDeltaQuarter — one color-space halving step (i = 1 in the proof,
+//     Eq. 20), then the Theorem 1.3 base: O(θ²·Δ^{1/4}·polylog) shape.
+//   * kQuasiPolylog — recurse until the color space is tiny (i = loglog C,
+//     Eq. 21): (θ·logΔ)^{O(loglogΔ)} shape. The constants (84θlogΔ)² per
+//     Lemma 4.4 level are astronomically large at laptop scales — the
+//     experiment suite measures exactly that crossover.
+//   * kBaseOnly — no recursion; the Theorem 1.3 machinery directly.
+#pragma once
+
+#include "coloring/arbdefective.h"
+#include "core/instance.h"
+
+namespace dcolor {
+
+struct ThetaColoringOptions {
+  enum class Branch {
+    kBaseOnly,      ///< Theorem 1.3 machinery, no θ-recursion
+    kDeltaQuarter,  ///< one recursion level (Eq. 20)
+    kQuasiPolylog,  ///< recurse until the color space is tiny (Eq. 21)
+  };
+  Branch branch = Branch::kDeltaQuarter;
+  /// Partition engine for the base-case solver (see list_coloring.h).
+  PartitionEngine engine = PartitionEngine::kBeg18Oracle;
+  /// Color spaces at or below this size stop the recursion.
+  std::int64_t base_color_threshold = 16;
+};
+
+/// Solves P_A(1, C) on a graph of neighborhood independence θ: any list
+/// arbdefective instance with Σ(d_v(x)+1) > deg(v).
+ArbdefectiveResult solve_theta_arbdefective(const ArbdefectiveInstance& inst,
+                                            int theta,
+                                            const ThetaColoringOptions&
+                                                options = {});
+
+/// (Δ+1)-coloring of a θ-bounded graph via solve_theta_arbdefective on the
+/// all-lists-{0..Δ} zero-defect instance.
+ColoringResult theta_delta_plus_one(const Graph& g, int theta,
+                                    const ThetaColoringOptions& options = {});
+
+}  // namespace dcolor

@@ -1,0 +1,249 @@
+#include "core/two_sweep.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+namespace {
+
+// Message type tags (2 bits on the wire).
+constexpr std::int64_t kMsgInitial = 0;
+constexpr std::int64_t kMsgPhase1Set = 1;
+constexpr std::int64_t kMsgDecision = 2;
+
+}  // namespace
+
+TwoSweepProgram::TwoSweepProgram(const OldcInstance& inst,
+                                 const std::vector<Color>& initial_coloring,
+                                 std::int64_t q, int p, TwoSweepOptions options)
+    : inst_(&inst),
+      initial_(&initial_coloring),
+      q_(q),
+      p_(p),
+      options_(options) {
+  DCOLOR_CHECK(p >= 1);
+  DCOLOR_CHECK(q >= 1);
+  const auto n = static_cast<std::size_t>(inst.graph->num_nodes());
+  DCOLOR_CHECK(initial_coloring.size() == n);
+  s_sets_.resize(n);
+  k_.resize(n);
+  heard_from_.assign(n, 0);
+  n_greater_.assign(n, 0);
+  r_.resize(n);
+  final_color_.assign(n, kNoColor);
+  for (std::size_t v = 0; v < n; ++v) {
+    k_[v].assign(inst.lists[v].size(), 0);
+  }
+}
+
+int TwoSweepProgram::color_bits() const noexcept {
+  return std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                          std::max<std::int64_t>(2, inst_->color_space))));
+}
+
+void TwoSweepProgram::init(NodeId v, Mailbox& mail) {
+  // Nodes forward their initial color first (Theorem 1.1's message
+  // pattern); the sweep schedule itself is driven by the global round
+  // counter, which every node shares in the synchronous model.
+  Message m;
+  m.push(kMsgInitial, 2);
+  m.push((*initial_)[static_cast<std::size_t>(v)],
+         std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                         std::max<std::int64_t>(2, q_)))));
+  broadcast(*inst_->graph, mail, m);
+}
+
+void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
+  const auto vi = static_cast<std::size_t>(v);
+  const auto& list = inst_->lists[vi];
+
+  // Ingest this round's inbox: Phase-I sets and Phase-II decisions from
+  // OUT-neighbors update k_v and r_v. k_v(x) counts only out-neighbors in
+  // N_<(v): because Phase I ascends through the color classes, exactly the
+  // sets of smaller-colored out-neighbors arrive before v's own Phase-I
+  // turn; set messages arriving after that come from N_>(v) and must be
+  // ignored (they would corrupt the Phase-II margins).
+  const bool before_my_phase1_turn = s_sets_[vi].empty();
+  for (const Envelope& env : mail.inbox()) {
+    if (env.message.empty()) continue;
+    const std::int64_t type = env.message.field(0);
+    if (!inst_->is_out(v, env.from)) continue;
+    if (type == kMsgPhase1Set && before_my_phase1_turn) {
+      ++heard_from_[vi];
+      for (std::size_t i = 1; i < env.message.num_fields(); ++i) {
+        const Color x = env.message.field(i);
+        const auto it = std::lower_bound(list.colors().begin(),
+                                         list.colors().end(), x);
+        ++compute_ops_;
+        if (it != list.colors().end() && *it == x) {
+          ++k_[vi][static_cast<std::size_t>(it - list.colors().begin())];
+        }
+      }
+    } else if (type == kMsgDecision) {
+      const Color x = env.message.field(1);
+      const auto& s = s_sets_[vi];
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        ++compute_ops_;
+        if (s[i] == x) {
+          ++r_[vi][i];
+          break;
+        }
+      }
+    }
+  }
+
+  const Color my_color = (*initial_)[vi];
+
+  // Phase I turn: round == my_color + 1 (colors ascend 0..q-1).
+  if (round == static_cast<int>(my_color) + 1) {
+    n_greater_[vi] = inst_->beta_v(v) - heard_from_[vi];
+    std::vector<std::size_t> order(list.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (options_.selection == TwoSweepSelection::kRandomSubset) {
+      // Ablation: an arbitrary p-subset instead of the best one.
+      Rng rng(options_.selection_seed ^
+              (static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ULL));
+      rng.shuffle(order);
+    } else {
+      // Select S_v: the min(p, |L_v|) colors maximizing d_v(x) - k_v(x)
+      // (best possible choice per the Remark after Lemma 3.1).
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const int ma = list.defect(a) - k_[vi][a];
+                  const int mb = list.defect(b) - k_[vi][b];
+                  if (ma != mb) return ma > mb;
+                  return a < b;
+                });
+    }
+    compute_ops_ += static_cast<std::int64_t>(list.size()) *
+                    std::max(1, ceil_log2(std::max<std::uint64_t>(
+                                    2, list.size())));
+    const std::size_t take =
+        options_.selection == TwoSweepSelection::kOneSweep
+            ? std::min<std::size_t>(1, list.size())
+            : std::min<std::size_t>(static_cast<std::size_t>(p_),
+                                    list.size());
+    auto& s = s_sets_[vi];
+    s.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) s.push_back(list.color(order[i]));
+    std::sort(s.begin(), s.end());
+    r_[vi].assign(s.size(), 0);
+
+    Message m;
+    m.push(kMsgPhase1Set, 2);
+    for (Color x : s) m.push(x, color_bits());
+    broadcast(*inst_->graph, mail, m);
+
+    if (options_.selection == TwoSweepSelection::kOneSweep) {
+      // Ablation: commit immediately — no second sweep. Out-edges toward
+      // later nodes are uncontrolled; the bench measures the damage.
+      DCOLOR_CHECK_MSG(!s.empty(), "empty list at node " << v);
+      final_color_[vi] = s.front();
+    }
+    return;
+  }
+  if (options_.selection == TwoSweepSelection::kOneSweep) return;
+
+  // Phase II turn: round == q + (q - my_color) (colors descend q-1..0).
+  if (round == static_cast<int>(2 * q_ - my_color)) {
+    const auto& s = s_sets_[vi];
+    DCOLOR_CHECK_MSG(!s.empty(), "node " << v << " has an empty Phase-I set");
+    // Pick the color with the largest remaining margin d - k - r; Lemma 3.2
+    // guarantees some margin is >= 0 whenever Eq. (2) held.
+    std::int64_t best_margin = -1;
+    Color best = kNoColor;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const auto d = list.defect_of(s[i]);
+      const auto it =
+          std::lower_bound(list.colors().begin(), list.colors().end(), s[i]);
+      const auto li = static_cast<std::size_t>(it - list.colors().begin());
+      const std::int64_t margin =
+          static_cast<std::int64_t>(*d) - k_[vi][li] - r_[vi][i];
+      ++compute_ops_;
+      if (margin > best_margin) {
+        best_margin = margin;
+        best = s[i];
+      }
+    }
+    DCOLOR_CHECK_MSG(best_margin >= 0,
+                     "Phase II found no feasible color at node "
+                         << v << " — Eq. (2) precondition violated?");
+    final_color_[vi] = best;
+
+    Message m;
+    m.push(kMsgDecision, 2);
+    m.push(best, color_bits());
+    broadcast(*inst_->graph, mail, m);
+    return;
+  }
+}
+
+bool TwoSweepProgram::done(NodeId v) const {
+  return final_color_[static_cast<std::size_t>(v)] != kNoColor;
+}
+
+ColoringResult two_sweep(const OldcInstance& inst,
+                         const std::vector<Color>& initial_coloring,
+                         std::int64_t q, int p, bool skip_precondition_check) {
+  TwoSweepOptions options;
+  options.skip_precondition_check = skip_precondition_check;
+  return two_sweep_ex(inst, initial_coloring, q, p, options);
+}
+
+ColoringResult two_sweep_ex(const OldcInstance& inst,
+                            const std::vector<Color>& initial_coloring,
+                            std::int64_t q, int p,
+                            const TwoSweepOptions& options) {
+  const bool skip_precondition_check = options.skip_precondition_check;
+  const Graph& g = *inst.graph;
+  DCOLOR_CHECK(static_cast<NodeId>(initial_coloring.size()) == g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Color c = initial_coloring[static_cast<std::size_t>(v)];
+    DCOLOR_CHECK_MSG(c >= 0 && c < q, "initial color out of range at " << v);
+    for (NodeId u : g.neighbors(v)) {
+      DCOLOR_CHECK_MSG(initial_coloring[static_cast<std::size_t>(u)] != c,
+                       "initial q-coloring is not proper on edge ("
+                           << v << "," << u << ")");
+    }
+  }
+  if (!skip_precondition_check) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+      // A node with no out-neighbors succeeds with any non-empty list
+      // (k_v == r_v == 0 for every color), so Eq. (2) — which uses
+      // β_v = max(1, outdeg) — is only enforced when outdeg >= 1. This is
+      // a strictly weaker requirement than the paper's and keeps tight
+      // recursive instances (color space reduction) feasible.
+      if (inst.effective_outdegree(v) == 0) {
+        DCOLOR_CHECK_MSG(!lst.empty(), "empty list at sink node " << v);
+        continue;
+      }
+      // Eq. (2), multiplied through by p to stay in integers:
+      //   weight * p > max{p², |L_v|} * β_v.
+      const std::int64_t lhs = lst.weight() * p;
+      const std::int64_t rhs =
+          std::max<std::int64_t>(static_cast<std::int64_t>(p) * p,
+                                 static_cast<std::int64_t>(lst.size())) *
+          inst.beta_v(v);
+      DCOLOR_CHECK_MSG(lhs > rhs, "Eq. (2) fails at node "
+                                      << v << ": weight=" << lst.weight()
+                                      << " p=" << p << " beta=" <<
+                                      inst.beta_v(v));
+    }
+  }
+
+  TwoSweepProgram program(inst, initial_coloring, q, p, options);
+  Network net(g);
+  ColoringResult result;
+  result.metrics = net.run(program, 2 * q + 4);
+  result.metrics.local_compute_ops = program.compute_ops();
+  result.colors = program.final_colors();
+  return result;
+}
+
+}  // namespace dcolor

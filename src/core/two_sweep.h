@@ -1,0 +1,106 @@
+// Algorithm 1: the Two-Sweep list defective coloring algorithm
+// (Theorem 1.1 with ε = 0; Section 3.1 of the paper).
+//
+// Given an input proper q-coloring and an edge orientation, the algorithm
+// makes two sweeps over the q color classes:
+//   Phase I  (colors ascending):  node v picks S_v ⊆ L_v, |S_v| ≤ p,
+//     maximizing Σ_{x∈S_v}(d_v(x) − k_v(x)) where k_v(x) counts
+//     already-committed out-neighbors u (initial color < v's) with x ∈ S_u;
+//     v broadcasts S_v.
+//   Phase II (colors descending): node v picks x_v ∈ S_v with
+//     k_v(x_v) + r_v(x_v) ≤ d_v(x_v), where r_v(x) counts out-neighbors
+//     with larger initial color that already committed to x; broadcasts x_v.
+//
+// Precondition (Eq. 2):  Σ_{x∈L_v}(d_v(x)+1) > max{p, |L_v|/p}·β_v.
+// Guarantees: a valid OLDC in O(q) rounds; nodes exchange their initial
+// color once and later a list of ≤ p colors (Lemma 3.3).
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "sim/network.h"
+
+namespace dcolor {
+
+/// Phase-I selection rule — the ablation axis of experiment E13.
+enum class TwoSweepSelection {
+  kBestMargin,    ///< Algorithm 1: top-p colors by d_v(x) − k_v(x)
+  kRandomSubset,  ///< ablation: a uniformly random p-subset of L_v
+  kOneSweep,      ///< ablation: ONE sweep — commit argmax d_v(x) − k_v(x)
+                  ///  immediately; no Phase II (defects may overshoot)
+};
+
+struct TwoSweepOptions {
+  TwoSweepSelection selection = TwoSweepSelection::kBestMargin;
+  std::uint64_t selection_seed = 0;  ///< for kRandomSubset
+  bool skip_precondition_check = false;
+};
+
+/// Distributed Two-Sweep run through the message-passing simulator.
+///
+/// `initial_coloring` must be a proper coloring with values in [0, q).
+/// Checks Eq. (2) per node up front (throws CheckError otherwise, unless
+/// `skip_precondition_check`; Phase II still verifies it found a color).
+ColoringResult two_sweep(const OldcInstance& inst,
+                         const std::vector<Color>& initial_coloring,
+                         std::int64_t q, int p,
+                         bool skip_precondition_check = false);
+
+/// Variant with explicit options (ablations, E13).
+ColoringResult two_sweep_ex(const OldcInstance& inst,
+                            const std::vector<Color>& initial_coloring,
+                            std::int64_t q, int p,
+                            const TwoSweepOptions& options);
+
+/// The SyncAlgorithm behind `two_sweep`, exposed for white-box tests of
+/// the Phase-I invariants (Eq. 3 and Eq. 4).
+class TwoSweepProgram final : public SyncAlgorithm {
+ public:
+  TwoSweepProgram(const OldcInstance& inst,
+                  const std::vector<Color>& initial_coloring, std::int64_t q,
+                  int p, TwoSweepOptions options = {});
+
+  void init(NodeId v, Mailbox& mail) override;
+  void step(NodeId v, int round, Mailbox& mail) override;
+  bool done(NodeId v) const override;
+
+  /// Phase-I set S_v of node v (valid after the run).
+  const std::vector<Color>& phase1_set(NodeId v) const {
+    return s_sets_[static_cast<std::size_t>(v)];
+  }
+
+  /// k_v(x) as accumulated by node v, aligned with its ColorList order.
+  const std::vector<int>& k_counts(NodeId v) const {
+    return k_[static_cast<std::size_t>(v)];
+  }
+
+  /// |N_>(v)| = β_v − |N_<(v)| as known to node v at its Phase-I turn.
+  int n_greater(NodeId v) const {
+    return n_greater_[static_cast<std::size_t>(v)];
+  }
+
+  const std::vector<Color>& final_colors() const { return final_color_; }
+
+  std::int64_t compute_ops() const noexcept { return compute_ops_; }
+
+ private:
+  int color_bits() const noexcept;
+
+  const OldcInstance* inst_;
+  const std::vector<Color>* initial_;
+  std::int64_t q_;
+  int p_;
+  TwoSweepOptions options_;
+
+  // Per-node state. step(v, ...) only touches index v (plus inbox).
+  std::vector<std::vector<Color>> s_sets_;
+  std::vector<std::vector<int>> k_;          // aligned with lists[v] order
+  std::vector<int> heard_from_;              // # out-neighbors' S_u received
+  std::vector<int> n_greater_;
+  std::vector<std::vector<int>> r_;          // aligned with s_sets_[v]
+  std::vector<Color> final_color_;
+  std::int64_t compute_ops_ = 0;
+};
+
+}  // namespace dcolor

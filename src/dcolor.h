@@ -1,0 +1,41 @@
+// dcolor — distributed list defective coloring.
+//
+// Umbrella header for the public API. Reproduction of
+//   Fuchs, Kuhn: "Simpler and More General Distributed Coloring Based on
+//   Simple List Defective Coloring Algorithms", PODC 2024.
+//
+// Layering (see DESIGN.md):
+//   util/      — log*, RNG, GF(p) polynomials, tables, CSV, CLI flags
+//   graph/     — graphs, orientations, generators, hypergraphs, θ
+//   sim/       — synchronous message-passing simulator with bit accounting
+//   coloring/  — substrate colorings: Linial, Lemma 3.4, arbdefective
+//   core/      — the paper's algorithms (Theorems 1.1–1.5 and lemmas)
+//   baselines/ — greedy, BE09 two-sweep, Luby, MT20/FK23a comparators
+//   io/        — plain-text serialization
+#pragma once
+
+#include "coloring/arbdefective.h"      // IWYU pragma: export
+#include "coloring/kuhn_defective.h"    // IWYU pragma: export
+#include "coloring/linial.h"            // IWYU pragma: export
+#include "core/color_space_reduction.h" // IWYU pragma: export
+#include "core/congest_oldc.h"          // IWYU pragma: export
+#include "core/defective_from_arbdefective.h"  // IWYU pragma: export
+#include "core/edge_coloring.h"         // IWYU pragma: export
+#include "core/fast_two_sweep.h"        // IWYU pragma: export
+#include "core/instance.h"              // IWYU pragma: export
+#include "core/list_coloring.h"         // IWYU pragma: export
+#include "core/mis.h"                   // IWYU pragma: export
+#include "core/slack_reduction.h"       // IWYU pragma: export
+#include "core/theta_color_space.h"     // IWYU pragma: export
+#include "core/theta_coloring.h"        // IWYU pragma: export
+#include "core/two_sweep.h"             // IWYU pragma: export
+#include "graph/algorithms.h"           // IWYU pragma: export
+#include "graph/coloring_checks.h"      // IWYU pragma: export
+#include "graph/generators.h"           // IWYU pragma: export
+#include "graph/graph.h"                // IWYU pragma: export
+#include "graph/hypergraph.h"           // IWYU pragma: export
+#include "graph/independence.h"         // IWYU pragma: export
+#include "graph/line_graph.h"           // IWYU pragma: export
+#include "graph/orientation.h"          // IWYU pragma: export
+#include "io/instance_io.h"             // IWYU pragma: export
+#include "sim/network.h"                // IWYU pragma: export

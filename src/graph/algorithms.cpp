@@ -1,0 +1,76 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/orientation.h"
+#include "util/check.h"
+
+namespace dcolor {
+
+Components connected_components(const Graph& g) {
+  Components result;
+  result.component.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (result.component[static_cast<std::size_t>(start)] != -1) continue;
+    const int id = result.count++;
+    std::vector<NodeId> stack{start};
+    result.component[static_cast<std::size_t>(start)] = id;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId u : g.neighbors(v)) {
+        if (result.component[static_cast<std::size_t>(u)] == -1) {
+          result.component[static_cast<std::size_t>(u)] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> bfs_distances(const Graph& g, NodeId source) {
+  DCOLOR_CHECK(source >= 0 && source < g.num_nodes());
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+int eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  int ecc = 0;
+  for (int d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+int diameter(const Graph& g) {
+  int diam = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    diam = std::max(diam, eccentricity(g, v));
+  return diam;
+}
+
+int degeneracy_number(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  const Orientation o = Orientation::degeneracy(g);
+  int d = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    d = std::max(d, o.outdegree(v));  // true outdegree, not the β convention
+  return d;
+}
+
+}  // namespace dcolor

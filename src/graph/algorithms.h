@@ -1,0 +1,35 @@
+// Basic graph algorithms used by tests, the CLI, and the experiment
+// harness: connectivity, BFS distances, eccentricity/diameter, and the
+// degeneracy number.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcolor {
+
+/// Connected-component ids in [0, num_components), by BFS.
+struct Components {
+  std::vector<int> component;  ///< per node
+  int count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// BFS distances from `source` (-1 for unreachable nodes).
+std::vector<int> bfs_distances(const Graph& g, NodeId source);
+
+/// Eccentricity of `source` within its component.
+int eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter (max eccentricity over all nodes; O(n·m), fine at our
+/// scales). Returns 0 for empty graphs; infinite distances are ignored
+/// (per-component diameter max).
+int diameter(const Graph& g);
+
+/// Degeneracy number d(G): the smallest d such that every subgraph has a
+/// node of degree <= d. Equals the max outdegree of the degeneracy
+/// orientation.
+int degeneracy_number(const Graph& g);
+
+}  // namespace dcolor

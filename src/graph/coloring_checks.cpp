@@ -1,0 +1,76 @@
+#include "graph/coloring_checks.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+bool is_proper_coloring(const Graph& g, const std::vector<Color>& colors) {
+  DCOLOR_CHECK(static_cast<NodeId>(colors.size()) == g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (colors[static_cast<std::size_t>(v)] == kNoColor) return false;
+    for (NodeId u : g.neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] ==
+          colors[static_cast<std::size_t>(v)])
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> undirected_defects(const Graph& g,
+                                    const std::vector<Color>& colors) {
+  DCOLOR_CHECK(static_cast<NodeId>(colors.size()) == g.num_nodes());
+  std::vector<int> defect(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Color c = colors[static_cast<std::size_t>(v)];
+    if (c == kNoColor) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == c)
+        ++defect[static_cast<std::size_t>(v)];
+    }
+  }
+  return defect;
+}
+
+std::vector<int> oriented_defects(const Orientation& o,
+                                  const std::vector<Color>& colors) {
+  DCOLOR_CHECK(static_cast<NodeId>(colors.size()) == o.num_nodes());
+  std::vector<int> defect(static_cast<std::size_t>(o.num_nodes()), 0);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    const Color c = colors[static_cast<std::size_t>(v)];
+    if (c == kNoColor) continue;
+    for (NodeId u : o.out_neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == c)
+        ++defect[static_cast<std::size_t>(v)];
+    }
+  }
+  return defect;
+}
+
+int max_undirected_defect(const Graph& g, const std::vector<Color>& colors) {
+  const auto d = undirected_defects(g, colors);
+  return d.empty() ? 0 : *std::max_element(d.begin(), d.end());
+}
+
+int max_oriented_defect(const Orientation& o, const std::vector<Color>& colors) {
+  const auto d = oriented_defects(o, colors);
+  return d.empty() ? 0 : *std::max_element(d.begin(), d.end());
+}
+
+std::int64_t num_colors_used(const std::vector<Color>& colors) {
+  std::unordered_set<Color> used;
+  for (Color c : colors) {
+    if (c != kNoColor) used.insert(c);
+  }
+  return static_cast<std::int64_t>(used.size());
+}
+
+bool all_colored(const std::vector<Color>& colors) {
+  return std::none_of(colors.begin(), colors.end(),
+                      [](Color c) { return c == kNoColor; });
+}
+
+}  // namespace dcolor

@@ -1,0 +1,41 @@
+// Validation of colorings: properness, defects, orientation defects.
+//
+// Every algorithm in the library is checked against these predicates in
+// the test suite and the experiment harness; nothing is trusted on the
+// word of its own bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+
+namespace dcolor {
+
+/// True iff every node is colored (!= kNoColor) and no edge is
+/// monochromatic.
+bool is_proper_coloring(const Graph& g, const std::vector<Color>& colors);
+
+/// Per-node count of same-colored neighbors (undirected defect).
+/// Uncolored nodes get defect 0 and never conflict.
+std::vector<int> undirected_defects(const Graph& g,
+                                    const std::vector<Color>& colors);
+
+/// Per-node count of same-colored OUT-neighbors under `o` (oriented /
+/// arbdefective defect).
+std::vector<int> oriented_defects(const Orientation& o,
+                                  const std::vector<Color>& colors);
+
+/// Max entry of undirected_defects.
+int max_undirected_defect(const Graph& g, const std::vector<Color>& colors);
+
+/// Max entry of oriented_defects.
+int max_oriented_defect(const Orientation& o, const std::vector<Color>& colors);
+
+/// Number of distinct colors used (ignoring kNoColor).
+std::int64_t num_colors_used(const std::vector<Color>& colors);
+
+/// True iff every node has a color != kNoColor.
+bool all_colored(const std::vector<Color>& colors);
+
+}  // namespace dcolor

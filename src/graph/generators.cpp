@@ -1,0 +1,266 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+Graph gnp(NodeId n, double p, Rng& rng) {
+  DCOLOR_CHECK(n >= 0);
+  DCOLOR_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (p >= 1.0) return complete(n);
+  if (p > 0) {
+    // Geometric skipping over the (u,v) pairs — O(m) not O(n^2).
+    const double log1mp = std::log1p(-p);
+    std::int64_t idx = -1;
+    const std::int64_t total =
+        static_cast<std::int64_t>(n) * (n - 1) / 2;
+    while (true) {
+      const double r = std::max(rng.uniform(), 1e-300);
+      idx += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
+      if (idx >= total) break;
+      // Decode pair index -> (u, v), u < v.
+      const auto u = static_cast<NodeId>(
+          n - 2 -
+          static_cast<NodeId>(std::floor(
+              (std::sqrt(8.0 * static_cast<double>(total - 1 - idx) + 1) - 1) /
+              2)));
+      const std::int64_t before_u =
+          static_cast<std::int64_t>(u) * n - static_cast<std::int64_t>(u) * (u + 1) / 2;
+      const auto v = static_cast<NodeId>(u + 1 + (idx - before_u));
+      if (u >= 0 && v > u && v < n) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph gnp_avg_degree(NodeId n, double avg_degree, Rng& rng) {
+  DCOLOR_CHECK(n >= 2);
+  const double p = std::min(1.0, avg_degree / static_cast<double>(n - 1));
+  return gnp(n, p, rng);
+}
+
+Graph random_near_regular(NodeId n, int d, Rng& rng) {
+  DCOLOR_CHECK(n >= 1 && d >= 0);
+  DCOLOR_CHECK_MSG(d < n, "regular degree must be < n");
+  // Configuration model: d stubs per node, random perfect matching of
+  // stubs, then drop loops/multi-edges.
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (NodeId v = 0; v < n; ++v)
+    for (int i = 0; i < d; ++i) stubs.push_back(v);
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+  rng.shuffle(stubs);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+    edges.emplace_back(stubs[i], stubs[i + 1]);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph cycle(NodeId n) {
+  DCOLOR_CHECK(n >= 3);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph path(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(a) * static_cast<std::size_t>(b));
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  return Graph::from_edges(a + b, std::move(edges));
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  DCOLOR_CHECK(rows >= 1 && cols >= 1);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
+Graph hypercube(int dims) {
+  DCOLOR_CHECK(dims >= 0 && dims < 25);
+  const NodeId n = static_cast<NodeId>(1) << dims;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (int b = 0; b < dims; ++b) {
+      const NodeId u = v ^ (static_cast<NodeId>(1) << b);
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_tree(NodeId n, Rng& rng) {
+  DCOLOR_CHECK(n >= 1);
+  if (n == 1) return Graph::from_edges(1, {});
+  if (n == 2) return Graph::from_edges(2, {{0, 1}});
+  // Prüfer sequence decoding.
+  std::vector<NodeId> pruefer(static_cast<std::size_t>(n - 2));
+  for (auto& x : pruefer) x = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (NodeId x : pruefer) ++deg[static_cast<std::size_t>(x)];
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  NodeId leaf_ptr = 0;
+  auto next_leaf = [&]() {
+    while (deg[static_cast<std::size_t>(leaf_ptr)] != 1 ||
+           used[static_cast<std::size_t>(leaf_ptr)])
+      ++leaf_ptr;
+    return leaf_ptr;
+  };
+  NodeId leaf = next_leaf();
+  for (NodeId x : pruefer) {
+    edges.emplace_back(leaf, x);
+    used[static_cast<std::size_t>(leaf)] = true;
+    if (--deg[static_cast<std::size_t>(x)] == 1 && x < leaf_ptr) {
+      leaf = x;  // x became a leaf smaller than the scan pointer
+    } else {
+      leaf = next_leaf();
+    }
+  }
+  // Connect the two remaining degree-1 nodes.
+  NodeId a = -1, b = -1;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!used[static_cast<std::size_t>(v)] &&
+        deg[static_cast<std::size_t>(v)] == 1) {
+      (a < 0 ? a : b) = v;
+    }
+  }
+  edges.emplace_back(a, b);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph disjoint_cliques(NodeId count, NodeId size) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId c = 0; c < count; ++c) {
+    const NodeId base = c * size;
+    for (NodeId u = 0; u < size; ++u)
+      for (NodeId v = u + 1; v < size; ++v)
+        edges.emplace_back(base + u, base + v);
+  }
+  return Graph::from_edges(count * size, std::move(edges));
+}
+
+Graph clique_chain(NodeId count, NodeId size) {
+  DCOLOR_CHECK(size >= 2);
+  // Clique i spans nodes [i*(size-1), i*(size-1)+size).
+  const NodeId n = count * (size - 1) + 1;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId c = 0; c < count; ++c) {
+    const NodeId base = c * (size - 1);
+    for (NodeId u = 0; u < size; ++u)
+      for (NodeId v = u + 1; v < size; ++v)
+        edges.emplace_back(base + u, base + v);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph cycle_power(NodeId n, int k) {
+  DCOLOR_CHECK(n >= 3 && k >= 1);
+  DCOLOR_CHECK_MSG(2 * k < n, "cycle_power needs 2k < n");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < n; ++i)
+    for (int d = 1; d <= k; ++d)
+      edges.emplace_back(i, static_cast<NodeId>((i + d) % n));
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_clique_cover(NodeId n, NodeId clique_size, int cliques_per_node,
+                          Rng& rng) {
+  DCOLOR_CHECK(clique_size >= 2 && cliques_per_node >= 1);
+  const std::int64_t num_cliques =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(n) *
+                                    cliques_per_node / clique_size);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::int64_t c = 0; c < num_cliques; ++c) {
+    const auto members = rng.sample_without_replacement(
+        static_cast<std::uint64_t>(n),
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(clique_size),
+                                static_cast<std::uint64_t>(n)));
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (std::size_t j = i + 1; j < members.size(); ++j)
+        edges.emplace_back(static_cast<NodeId>(members[i]),
+                           static_cast<NodeId>(members[j]));
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_geometric(NodeId n, double radius, Rng& rng,
+                       std::vector<std::pair<double, double>>* out_xy) {
+  DCOLOR_CHECK(radius > 0.0);
+  std::vector<std::pair<double, double>> xy(static_cast<std::size_t>(n));
+  for (auto& [x, y] : xy) {
+    x = rng.uniform();
+    y = rng.uniform();
+  }
+  // Grid hashing: only compare points in neighboring cells.
+  const double cell = radius;
+  const auto cells = static_cast<std::int64_t>(1.0 / cell) + 1;
+  std::vector<std::vector<NodeId>> grid_buckets(
+      static_cast<std::size_t>(cells * cells));
+  auto bucket_of = [&](double x, double y) {
+    const auto cx = std::min<std::int64_t>(
+        cells - 1, static_cast<std::int64_t>(x / cell));
+    const auto cy = std::min<std::int64_t>(
+        cells - 1, static_cast<std::int64_t>(y / cell));
+    return static_cast<std::size_t>(cx * cells + cy);
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    grid_buckets[bucket_of(xy[static_cast<std::size_t>(v)].first,
+                           xy[static_cast<std::size_t>(v)].second)]
+        .push_back(v);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const double r2 = radius * radius;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [vx, vy] = xy[static_cast<std::size_t>(v)];
+    const auto cx = std::min<std::int64_t>(cells - 1,
+                                           static_cast<std::int64_t>(vx / cell));
+    const auto cy = std::min<std::int64_t>(cells - 1,
+                                           static_cast<std::int64_t>(vy / cell));
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const std::int64_t bx = cx + dx, by = cy + dy;
+        if (bx < 0 || by < 0 || bx >= cells || by >= cells) continue;
+        for (NodeId u : grid_buckets[static_cast<std::size_t>(bx * cells + by)]) {
+          if (u <= v) continue;
+          const auto [ux, uy] = xy[static_cast<std::size_t>(u)];
+          const double ddx = vx - ux, ddy = vy - uy;
+          if (ddx * ddx + ddy * ddy <= r2) edges.emplace_back(v, u);
+        }
+      }
+    }
+  }
+  if (out_xy != nullptr) *out_xy = std::move(xy);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace dcolor

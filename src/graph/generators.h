@@ -1,0 +1,75 @@
+// Graph generators for tests, examples, and the experiment harness.
+//
+// The paper evaluates nothing empirically (brief announcement); our
+// experiment suite runs its algorithms on standard synthetic families:
+// random graphs for general-graph claims, and line graphs / hypergraph
+// line graphs / unions of cliques for the bounded-neighborhood-
+// independence claims.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dcolor {
+
+class Rng;
+
+/// Erdős–Rényi G(n, p).
+Graph gnp(NodeId n, double p, Rng& rng);
+
+/// G(n, p) with p chosen so the expected average degree is `avg_degree`.
+Graph gnp_avg_degree(NodeId n, double avg_degree, Rng& rng);
+
+/// Random d-regular-ish graph via the configuration model; self-loops and
+/// multi-edges are dropped, so degrees are <= d (and == d for almost all
+/// nodes when n*d is large). Requires n*d even-ish; we pad internally.
+Graph random_near_regular(NodeId n, int d, Rng& rng);
+
+/// Cycle C_n (n >= 3).
+Graph cycle(NodeId n);
+
+/// Path P_n.
+Graph path(NodeId n);
+
+/// Complete graph K_n.
+Graph complete(NodeId n);
+
+/// Complete bipartite K_{a,b}.
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// 2D grid (rows x cols), 4-neighborhood.
+Graph grid(NodeId rows, NodeId cols);
+
+/// d-dimensional hypercube (2^d nodes).
+Graph hypercube(int dims);
+
+/// Uniformly random spanning tree on n nodes (random Prüfer sequence).
+Graph random_tree(NodeId n, Rng& rng);
+
+/// Disjoint union of `count` cliques of size `size`. Neighborhood
+/// independence θ == 1.
+Graph disjoint_cliques(NodeId count, NodeId size);
+
+/// "Clique chain": cliques of size `size` where consecutive cliques share
+/// one node; θ == 2 at the shared nodes. Good θ-bounded stress test.
+Graph clique_chain(NodeId count, NodeId size);
+
+/// k-th power of a cycle: nodes i, j adjacent iff circular distance <= k.
+/// θ == 2 for all k < n/2.
+Graph cycle_power(NodeId n, int k);
+
+/// Random graph with bounded neighborhood independence built as the union
+/// of `cliques_per_node`-many random cliques of size `clique_size`
+/// covering n nodes (interval/unit-disk-flavoured θ-bounded family).
+Graph random_clique_cover(NodeId n, NodeId clique_size, int cliques_per_node,
+                          Rng& rng);
+
+/// Random geometric (unit-disk) graph: n points uniform in the unit
+/// square, edge iff distance <= radius. Neighborhood independence θ <= 5.
+/// Returns the graph and (optionally) the points via `out_xy`.
+Graph random_geometric(NodeId n, double radius, Rng& rng,
+                       std::vector<std::pair<double, double>>* out_xy =
+                           nullptr);
+
+}  // namespace dcolor

@@ -1,0 +1,110 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+Graph Graph::from_edges(NodeId num_nodes,
+                        std::vector<std::pair<NodeId, NodeId>> edges) {
+  DCOLOR_CHECK(num_nodes >= 0);
+  // Normalize: u < v, drop self-loops, dedup.
+  for (auto& [u, v] : edges) {
+    DCOLOR_CHECK_MSG(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes,
+                     "edge (" << u << "," << v << ") out of range");
+    if (u > v) std::swap(u, v);
+  }
+  std::erase_if(edges, [](const auto& e) { return e.first == e.second; });
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.n_ = num_nodes;
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++deg[static_cast<std::size_t>(u) + 1];
+    ++deg[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < deg.size(); ++i) deg[i] += deg[i - 1];
+  g.offsets_ = deg;
+  g.adj_.resize(static_cast<std::size_t>(edges.size()) * 2);
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    g.adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    auto begin = g.adj_.begin() + g.offsets_[static_cast<std::size_t>(v)];
+    auto end = g.adj_.begin() + g.offsets_[static_cast<std::size_t>(v) + 1];
+    std::sort(begin, end);
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+int Graph::max_degree() const noexcept {
+  int d = 0;
+  for (NodeId v = 0; v < n_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+int Graph::delta_paper() const noexcept { return std::max(2, max_degree()); }
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges()));
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph::Induced Graph::induced_subgraph(const std::vector<NodeId>& nodes) const {
+  Induced result;
+  result.to_sub.assign(static_cast<std::size_t>(n_), -1);
+  result.to_orig = nodes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DCOLOR_CHECK(nodes[i] >= 0 && nodes[i] < n_);
+    DCOLOR_CHECK_MSG(result.to_sub[static_cast<std::size_t>(nodes[i])] == -1,
+                     "duplicate node in induced_subgraph");
+    result.to_sub[static_cast<std::size_t>(nodes[i])] =
+        static_cast<NodeId>(i);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u : nodes) {
+    const NodeId su = result.to_sub[static_cast<std::size_t>(u)];
+    for (NodeId v : neighbors(u)) {
+      const NodeId sv = result.to_sub[static_cast<std::size_t>(v)];
+      if (sv >= 0 && su < sv) edges.emplace_back(su, sv);
+    }
+  }
+  result.graph = Graph::from_edges(static_cast<NodeId>(nodes.size()),
+                                   std::move(edges));
+  return result;
+}
+
+Graph Graph::edge_subgraph(
+    const std::vector<std::pair<NodeId, NodeId>>& kept_edges) const {
+  for (const auto& [u, v] : kept_edges) {
+    DCOLOR_CHECK_MSG(has_edge(u, v),
+                     "edge_subgraph keeps non-edge (" << u << "," << v << ")");
+  }
+  return Graph::from_edges(n_, kept_edges);
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << num_edges() << ", Δ=" << max_degree()
+     << ")";
+  return os.str();
+}
+
+}  // namespace dcolor

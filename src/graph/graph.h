@@ -1,0 +1,88 @@
+// Undirected simple graphs in compressed sparse row form.
+//
+// This is the network topology type for the whole library: the simulator,
+// the coloring algorithms and the experiment harness all operate on
+// `Graph` (plus an `Orientation` when the instance is edge-oriented).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcolor {
+
+/// Node identifier; graphs are laptop-scale so 32 bits suffice.
+using NodeId = std::int32_t;
+
+/// Colors can come from quadratically-blown-up spaces (e.g. Linial's
+/// intermediate colorings), so they are 64-bit.
+using Color = std::int64_t;
+
+/// Sentinel for "not yet colored".
+inline constexpr Color kNoColor = -1;
+
+/// An undirected simple graph (no self-loops, no parallel edges), stored
+/// as CSR with sorted neighbor lists. Immutable after construction.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list; duplicate edges and self-loops are dropped.
+  static Graph from_edges(NodeId num_nodes,
+                          std::vector<std::pair<NodeId, NodeId>> edges);
+
+  NodeId num_nodes() const noexcept { return n_; }
+  std::int64_t num_edges() const noexcept {
+    return static_cast<std::int64_t>(adj_.size()) / 2;
+  }
+
+  int degree(NodeId v) const noexcept {
+    return static_cast<int>(offsets_[static_cast<std::size_t>(v) + 1] -
+                            offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {adj_.data() + offsets_[static_cast<std::size_t>(v)],
+            adj_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Maximum degree; the paper's Δ(G) is max(2, max degree) — see
+  /// `delta_paper` for that convention.
+  int max_degree() const noexcept;
+
+  /// Δ(G) as defined in the paper's Section 2: max{2, max degree}.
+  int delta_paper() const noexcept;
+
+  /// All edges as (u, v) with u < v.
+  std::vector<std::pair<NodeId, NodeId>> edge_list() const;
+
+  /// Subgraph induced by `nodes`. Returns the subgraph plus the mapping
+  /// original-id -> subgraph-id (-1 for nodes not included).
+  struct Induced;
+  Induced induced_subgraph(const std::vector<NodeId>& nodes) const;
+
+  /// Subgraph on the same node set keeping only edges where `keep` is true.
+  Graph edge_subgraph(
+      const std::vector<std::pair<NodeId, NodeId>>& kept_edges) const;
+
+  /// Human-readable one-line summary for logs.
+  std::string summary() const;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::int64_t> offsets_;  // size n_+1
+  std::vector<NodeId> adj_;
+};
+
+struct Graph::Induced {
+  Graph graph;
+  std::vector<NodeId> to_sub;   ///< original id -> sub id or -1
+  std::vector<NodeId> to_orig;  ///< sub id -> original id
+};
+
+}  // namespace dcolor

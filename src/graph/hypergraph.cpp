@@ -1,0 +1,61 @@
+#include "graph/hypergraph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+Hypergraph::Hypergraph(NodeId num_vertices,
+                       std::vector<std::vector<NodeId>> edges)
+    : n_(num_vertices), edges_(std::move(edges)) {
+  for (auto& e : edges_) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+    DCOLOR_CHECK(!e.empty());
+    DCOLOR_CHECK_MSG(e.front() >= 0 && e.back() < n_,
+                     "hyperedge vertex out of range");
+  }
+}
+
+int Hypergraph::rank() const noexcept {
+  std::size_t r = 0;
+  for (const auto& e : edges_) r = std::max(r, e.size());
+  return static_cast<int>(r);
+}
+
+int Hypergraph::max_vertex_degree() const noexcept {
+  std::vector<int> deg(static_cast<std::size_t>(n_), 0);
+  int best = 0;
+  for (const auto& e : edges_) {
+    for (NodeId v : e) best = std::max(best, ++deg[static_cast<std::size_t>(v)]);
+  }
+  return best;
+}
+
+Hypergraph random_hypergraph(NodeId num_vertices, std::int64_t num_edges,
+                             int rank, Rng& rng) {
+  DCOLOR_CHECK(rank >= 1 && rank <= num_vertices);
+  std::vector<std::vector<NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  for (std::int64_t i = 0; i < num_edges; ++i) {
+    const auto sample = rng.sample_without_replacement(
+        static_cast<std::uint64_t>(num_vertices),
+        static_cast<std::uint64_t>(rank));
+    std::vector<NodeId> e;
+    e.reserve(sample.size());
+    for (auto v : sample) e.push_back(static_cast<NodeId>(v));
+    edges.push_back(std::move(e));
+  }
+  return {num_vertices, std::move(edges)};
+}
+
+Hypergraph from_graph(const Graph& g) {
+  std::vector<std::vector<NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const auto& [u, v] : g.edge_list()) edges.push_back({u, v});
+  return {g.num_nodes(), std::move(edges)};
+}
+
+}  // namespace dcolor

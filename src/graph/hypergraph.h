@@ -1,0 +1,48 @@
+// Hypergraphs and their line graphs.
+//
+// The paper's flagship family of bounded-neighborhood-independence graphs
+// is the line graph of a rank-r hypergraph (θ <= r): two hyperedges are
+// adjacent in the line graph iff they share a vertex, and pairwise
+// *disjoint* hyperedges through one vertex set are impossible beyond r.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcolor {
+
+class Rng;
+
+/// A hypergraph on `num_vertices` vertices; each hyperedge is a sorted set
+/// of distinct vertices.
+class Hypergraph {
+ public:
+  Hypergraph(NodeId num_vertices, std::vector<std::vector<NodeId>> edges);
+
+  NodeId num_vertices() const noexcept { return n_; }
+  const std::vector<std::vector<NodeId>>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Rank = maximum hyperedge size.
+  int rank() const noexcept;
+
+  /// Maximum number of hyperedges incident to one vertex.
+  int max_vertex_degree() const noexcept;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::vector<NodeId>> edges_;
+};
+
+/// Uniformly random rank-r hypergraph: m hyperedges, each a uniform random
+/// r-subset of the vertices.
+Hypergraph random_hypergraph(NodeId num_vertices, std::int64_t num_edges,
+                             int rank, Rng& rng);
+
+/// The 2-uniform hypergraph of a graph (each edge is a hyperedge).
+Hypergraph from_graph(const Graph& g);
+
+}  // namespace dcolor

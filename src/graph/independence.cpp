@@ -1,0 +1,164 @@
+#include "graph/independence.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Recursive max-independent-set on an adjacency-matrix bitset
+/// representation of a small induced subgraph.
+class MisSolver {
+ public:
+  explicit MisSolver(const Graph& g, const std::vector<NodeId>& nodes)
+      : size_(static_cast<int>(nodes.size())) {
+    DCOLOR_CHECK_MSG(size_ <= 128, "exact MIS limited to 128 nodes");
+    adj_.assign(static_cast<std::size_t>(size_), Mask{});
+    for (int i = 0; i < size_; ++i) {
+      for (int j = i + 1; j < size_; ++j) {
+        if (g.has_edge(nodes[static_cast<std::size_t>(i)],
+                       nodes[static_cast<std::size_t>(j)])) {
+          adj_[static_cast<std::size_t>(i)] |= bit(j);
+          adj_[static_cast<std::size_t>(j)] |= bit(i);
+        }
+      }
+    }
+  }
+
+  int solve() {
+    Mask all{};
+    for (int i = 0; i < size_; ++i) all |= bit(i);
+    best_ = 0;
+    recurse(all, 0);
+    return best_;
+  }
+
+ private:
+  using Mask = unsigned __int128;
+
+  static Mask bit(int i) { return static_cast<Mask>(1) << i; }
+  static int popcount(Mask m) {
+    return __builtin_popcountll(static_cast<std::uint64_t>(m)) +
+           __builtin_popcountll(static_cast<std::uint64_t>(m >> 64));
+  }
+  static int lowest(Mask m) {
+    const auto lo = static_cast<std::uint64_t>(m);
+    if (lo) return __builtin_ctzll(lo);
+    return 64 + __builtin_ctzll(static_cast<std::uint64_t>(m >> 64));
+  }
+
+  void recurse(Mask candidates, int chosen) {
+    if (chosen + popcount(candidates) <= best_) return;  // bound
+    if (candidates == 0) {
+      best_ = std::max(best_, chosen);
+      return;
+    }
+    // Pick the candidate with maximum degree within candidates: either it
+    // is in the MIS (drop its neighborhood) or it is not (drop it).
+    int pick = -1, pick_deg = -1;
+    for (Mask m = candidates; m != 0;) {
+      const int v = lowest(m);
+      m &= m - 1;
+      const int dv = popcount(adj_[static_cast<std::size_t>(v)] & candidates);
+      if (dv > pick_deg) {
+        pick_deg = dv;
+        pick = v;
+      }
+    }
+    if (pick_deg <= 1) {
+      // Candidates induce disjoint edges and isolated vertices: the MIS
+      // picks every isolated vertex and one endpoint per edge.
+      int count = 0;
+      Mask m = candidates;
+      while (m != 0) {
+        const int v = lowest(m);
+        m &= m - 1;
+        ++count;
+        m &= ~adj_[static_cast<std::size_t>(v)];
+      }
+      best_ = std::max(best_, chosen + count);
+      return;
+    }
+    // Branch: include pick.
+    recurse(candidates & ~(adj_[static_cast<std::size_t>(pick)] | bit(pick)),
+            chosen + 1);
+    // Branch: exclude pick.
+    recurse(candidates & ~bit(pick), chosen);
+  }
+
+  int size_;
+  std::vector<Mask> adj_;
+  int best_ = 0;
+};
+
+std::vector<NodeId> neighbors_vec(const Graph& g, NodeId v) {
+  const auto nb = g.neighbors(v);
+  return {nb.begin(), nb.end()};
+}
+
+}  // namespace
+
+int independence_number_exact(const Graph& g,
+                              const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return 0;
+  return MisSolver(g, nodes).solve();
+}
+
+std::optional<int> neighborhood_independence_exact(const Graph& g,
+                                                   int max_neighborhood) {
+  int theta = g.num_nodes() > 0 ? 0 : 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > max_neighborhood) return std::nullopt;
+    theta = std::max(theta, independence_number_exact(g, neighbors_vec(g, v)));
+  }
+  return theta;
+}
+
+int neighborhood_independence_lower(const Graph& g) {
+  int theta = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Greedy maximal independent set within N(v), lowest degree first.
+    auto nodes = neighbors_vec(g, v);
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      return g.degree(a) < g.degree(b);
+    });
+    std::vector<NodeId> mis;
+    for (NodeId u : nodes) {
+      const bool independent =
+          std::none_of(mis.begin(), mis.end(),
+                       [&](NodeId w) { return g.has_edge(u, w); });
+      if (independent) mis.push_back(u);
+    }
+    theta = std::max(theta, static_cast<int>(mis.size()));
+  }
+  return theta;
+}
+
+int neighborhood_independence_upper(const Graph& g) {
+  int theta = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Greedy clique partition of N(v): each node joins the first clique
+    // it is fully adjacent to.
+    std::vector<std::vector<NodeId>> cliques;
+    for (NodeId u : g.neighbors(v)) {
+      bool placed = false;
+      for (auto& clique : cliques) {
+        const bool fits =
+            std::all_of(clique.begin(), clique.end(),
+                        [&](NodeId w) { return g.has_edge(u, w); });
+        if (fits) {
+          clique.push_back(u);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) cliques.push_back({u});
+    }
+    theta = std::max(theta, static_cast<int>(cliques.size()));
+  }
+  return theta;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,32 @@
+// Neighborhood independence θ(G).
+//
+// θ(G) = max over v of the independence number of G[N(v)] (Section 2 of
+// the paper). θ is NP-hard in general; neighborhoods here are small
+// (|N(v)| <= Δ), so an exact branch-and-bound is practical up to
+// Δ ≈ 60–80, with a greedy lower bound and a clique-cover upper bound as
+// fallbacks for larger instances.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.h"
+
+namespace dcolor {
+
+/// Exact independence number of the subgraph induced by `nodes`.
+/// Branch-and-bound; exponential worst case, fine for |nodes| <= ~60.
+int independence_number_exact(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Exact θ(G). `max_neighborhood` caps the work: returns nullopt if some
+/// node's neighborhood exceeds the cap (call the bounds instead).
+std::optional<int> neighborhood_independence_exact(const Graph& g,
+                                                   int max_neighborhood = 64);
+
+/// Greedy lower bound on θ(G) (maximal independent set per neighborhood).
+int neighborhood_independence_lower(const Graph& g);
+
+/// Clique-cover upper bound on θ(G): a greedy partition of each N(v) into
+/// cliques; the independence number is at most the number of cliques.
+int neighborhood_independence_upper(const Graph& g);
+
+}  // namespace dcolor

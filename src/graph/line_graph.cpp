@@ -1,0 +1,26 @@
+#include "graph/line_graph.h"
+
+namespace dcolor {
+
+Graph line_graph(const Hypergraph& h) {
+  const auto& hyperedges = h.edges();
+  const auto m = static_cast<NodeId>(hyperedges.size());
+  // Bucket hyperedges by vertex; any two edges in a bucket are adjacent.
+  std::vector<std::vector<NodeId>> incident(
+      static_cast<std::size_t>(h.num_vertices()));
+  for (NodeId e = 0; e < m; ++e) {
+    for (NodeId v : hyperedges[static_cast<std::size_t>(e)])
+      incident[static_cast<std::size_t>(v)].push_back(e);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const auto& bucket : incident) {
+    for (std::size_t i = 0; i < bucket.size(); ++i)
+      for (std::size_t j = i + 1; j < bucket.size(); ++j)
+        edges.emplace_back(bucket[i], bucket[j]);
+  }
+  return Graph::from_edges(m, std::move(edges));
+}
+
+Graph line_graph(const Graph& g) { return line_graph(from_graph(g)); }
+
+}  // namespace dcolor

@@ -1,0 +1,20 @@
+// Line graph constructions.
+//
+// `line_graph(Hypergraph)` is the bridge between edge coloring and vertex
+// coloring: a proper vertex coloring of L(H) is a proper edge coloring of
+// H, and L(H) has neighborhood independence θ <= rank(H).
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace dcolor {
+
+/// Line graph of a hypergraph: node i = hyperedge i; adjacency iff the
+/// hyperedges intersect.
+Graph line_graph(const Hypergraph& h);
+
+/// Line graph of a graph (θ <= 2). Node i corresponds to edge_list()[i].
+Graph line_graph(const Graph& g);
+
+}  // namespace dcolor

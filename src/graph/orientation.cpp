@@ -1,0 +1,122 @@
+#include "graph/orientation.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+Orientation Orientation::from_predicate(
+    const Graph& g, const std::function<bool(NodeId, NodeId)>& u_to_v) {
+  Orientation o;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  o.out_.resize(n);
+  o.in_.resize(n);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u >= v) continue;  // visit each edge once
+      const bool fwd = u_to_v(u, v);
+      const bool bwd = u_to_v(v, u);
+      DCOLOR_CHECK_MSG(fwd != bwd, "orientation predicate must pick exactly "
+                                   "one direction for edge ("
+                                       << u << "," << v << ")");
+      const NodeId from = fwd ? u : v;
+      const NodeId to = fwd ? v : u;
+      o.out_[static_cast<std::size_t>(from)].push_back(to);
+      o.in_[static_cast<std::size_t>(to)].push_back(from);
+    }
+  }
+  for (auto& lst : o.out_) std::sort(lst.begin(), lst.end());
+  for (auto& lst : o.in_) std::sort(lst.begin(), lst.end());
+  return o;
+}
+
+Orientation Orientation::by_priority(const Graph& g,
+                                     std::span<const std::int64_t> priority) {
+  DCOLOR_CHECK(static_cast<NodeId>(priority.size()) == g.num_nodes());
+  return from_predicate(g, [&](NodeId u, NodeId v) {
+    const auto pu = priority[static_cast<std::size_t>(u)];
+    const auto pv = priority[static_cast<std::size_t>(v)];
+    return pv < pu || (pv == pu && v < u);
+  });
+}
+
+Orientation Orientation::by_id(const Graph& g) {
+  return from_predicate(g, [](NodeId u, NodeId v) { return v < u; });
+}
+
+Orientation Orientation::random(const Graph& g, Rng& rng) {
+  // Flip one deterministic coin per undirected edge, keyed on the edge.
+  const auto edges = g.edge_list();
+  std::vector<std::uint8_t> flip;
+  flip.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    flip.push_back(static_cast<std::uint8_t>(rng.below(2)));
+  // Build via explicit arc lists (the predicate interface has no access to
+  // the per-edge index).
+  std::size_t idx = 0;
+  Orientation o;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  o.out_.resize(n);
+  o.in_.resize(n);
+  for (const auto& [u, v] : edges) {
+    const NodeId from = flip[idx] ? v : u;
+    const NodeId to = flip[idx] ? u : v;
+    ++idx;
+    o.out_[static_cast<std::size_t>(from)].push_back(to);
+    o.in_[static_cast<std::size_t>(to)].push_back(from);
+  }
+  for (auto& lst : o.out_) std::sort(lst.begin(), lst.end());
+  for (auto& lst : o.in_) std::sort(lst.begin(), lst.end());
+  return o;
+}
+
+Orientation Orientation::degeneracy(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<int> deg(static_cast<std::size_t>(n));
+  std::vector<bool> removed(static_cast<std::size_t>(n), false);
+  std::vector<std::int64_t> removal_pos(static_cast<std::size_t>(n), 0);
+  using Entry = std::pair<int, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+    pq.emplace(deg[static_cast<std::size_t>(v)], v);
+  }
+  std::int64_t pos = 0;
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (removed[static_cast<std::size_t>(v)] ||
+        d != deg[static_cast<std::size_t>(v)])
+      continue;  // stale entry
+    removed[static_cast<std::size_t>(v)] = true;
+    removal_pos[static_cast<std::size_t>(v)] = pos++;
+    for (NodeId u : g.neighbors(v)) {
+      if (!removed[static_cast<std::size_t>(u)]) {
+        --deg[static_cast<std::size_t>(u)];
+        pq.emplace(deg[static_cast<std::size_t>(u)], u);
+      }
+    }
+  }
+  // Orient each edge from the earlier-removed endpoint to the later one:
+  // when v is removed, its not-yet-removed neighbors number <= degeneracy.
+  return from_predicate(g, [&](NodeId u, NodeId v) {
+    return removal_pos[static_cast<std::size_t>(u)] <
+           removal_pos[static_cast<std::size_t>(v)];
+  });
+}
+
+int Orientation::beta() const noexcept {
+  int b = 1;
+  for (NodeId v = 0; v < num_nodes(); ++v) b = std::max(b, beta_v(v));
+  return b;
+}
+
+bool Orientation::is_out_edge(NodeId u, NodeId v) const noexcept {
+  const auto& lst = out_[static_cast<std::size_t>(u)];
+  return std::binary_search(lst.begin(), lst.end(), v);
+}
+
+}  // namespace dcolor

@@ -1,0 +1,74 @@
+// Edge orientations of an undirected graph.
+//
+// Oriented list defective coloring (OLDC) instances take the orientation as
+// *input*; arbdefective algorithms produce one as *output*. An Orientation
+// is always tied to the Graph it was built from (same node ids).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcolor {
+
+class Rng;
+
+class Orientation {
+ public:
+  Orientation() = default;
+
+  /// Orients every edge {u,v} from the endpoint with larger priority to the
+  /// endpoint with smaller priority (ties broken toward the smaller id).
+  /// "Oriented toward earlier nodes" in the paper's sweeps corresponds to
+  /// priority = sweep position.
+  static Orientation by_priority(const Graph& g,
+                                 std::span<const std::int64_t> priority);
+
+  /// Orients each edge {u,v} toward the smaller id (u -> v iff v < u).
+  static Orientation by_id(const Graph& g);
+
+  /// Uniformly random orientation.
+  static Orientation random(const Graph& g, Rng& rng);
+
+  /// Degeneracy orientation: repeatedly removes a minimum-degree node;
+  /// each node's outneighbors are the neighbors removed after it.
+  /// Guarantees max outdegree == degeneracy(G) <= Δ.
+  static Orientation degeneracy(const Graph& g);
+
+  /// Builds from an explicit directed arc predicate: out(u, v) must be true
+  /// for exactly one direction of every edge.
+  static Orientation from_predicate(
+      const Graph& g, const std::function<bool(NodeId, NodeId)>& u_to_v);
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(out_.size());
+  }
+
+  std::span<const NodeId> out_neighbors(NodeId v) const noexcept {
+    return out_[static_cast<std::size_t>(v)];
+  }
+  std::span<const NodeId> in_neighbors(NodeId v) const noexcept {
+    return in_[static_cast<std::size_t>(v)];
+  }
+
+  int outdegree(NodeId v) const noexcept {
+    return static_cast<int>(out_[static_cast<std::size_t>(v)].size());
+  }
+
+  /// β_v per the paper's convention: max(1, outdegree).
+  int beta_v(NodeId v) const noexcept { return std::max(1, outdegree(v)); }
+
+  /// β(G) = max_v β_v (>= 1 by convention).
+  int beta() const noexcept;
+
+  bool is_out_edge(NodeId u, NodeId v) const noexcept;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,76 @@
+#include "io/dot_export.h"
+
+#include <array>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+// A small qualitative palette (ColorBrewer Set3-ish), cycled.
+constexpr std::array<const char*, 12> kPalette = {
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+    "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f"};
+
+void write_nodes(std::ostream& os, const Graph& g,
+                 const std::vector<Color>& colors,
+                 const DotOptions& options) {
+  const bool have_colors =
+      !colors.empty() &&
+      static_cast<NodeId>(colors.size()) == g.num_nodes();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  " << v << " [";
+    if (options.label_with_color && have_colors &&
+        colors[static_cast<std::size_t>(v)] != kNoColor) {
+      os << "label=\"" << v << ":" << colors[static_cast<std::size_t>(v)]
+         << "\"";
+    } else {
+      os << "label=\"" << v << "\"";
+    }
+    if (options.fill_by_color && have_colors &&
+        colors[static_cast<std::size_t>(v)] != kNoColor) {
+      const auto idx = static_cast<std::size_t>(
+          colors[static_cast<std::size_t>(v)] %
+          static_cast<Color>(kPalette.size()));
+      os << ", style=filled, fillcolor=\"" << kPalette[idx] << "\"";
+    }
+    os << "];\n";
+  }
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<Color>& colors, const DotOptions& options) {
+  os << "graph dcolor {\n  node [shape=circle];\n";
+  write_nodes(os, g, colors, options);
+  for (const auto& [u, v] : g.edge_list()) {
+    os << "  " << u << " -- " << v << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_dot(std::ostream& os, const Graph& g, const Orientation& o,
+               const std::vector<Color>& colors, const DotOptions& options) {
+  DCOLOR_CHECK(o.num_nodes() == g.num_nodes());
+  os << "digraph dcolor {\n  node [shape=circle];\n";
+  write_nodes(os, g, colors, options);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : o.out_neighbors(v)) {
+      os << "  " << v << " -> " << u << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void save_dot(const std::string& path, const Graph& g,
+              const std::vector<Color>& colors, const DotOptions& options) {
+  std::ofstream os(path);
+  DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << path);
+  write_dot(os, g, colors, options);
+}
+
+}  // namespace dcolor

@@ -1,0 +1,37 @@
+// Graphviz (DOT) export of graphs, colorings, and orientations — for
+// eyeballing small instances and for figures in write-ups.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+
+namespace dcolor {
+
+struct DotOptions {
+  /// Colors are mapped onto a small qualitative palette (cycled); nodes
+  /// with kNoColor are drawn unfilled.
+  bool fill_by_color = true;
+  /// Node label: "id" or "id:color".
+  bool label_with_color = false;
+};
+
+/// Undirected graph, optionally filled by `colors` (may be empty).
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<Color>& colors = {},
+               const DotOptions& options = {});
+
+/// Directed rendering of an orientation (same coloring options).
+void write_dot(std::ostream& os, const Graph& g, const Orientation& o,
+               const std::vector<Color>& colors = {},
+               const DotOptions& options = {});
+
+/// File convenience wrapper.
+void save_dot(const std::string& path, const Graph& g,
+              const std::vector<Color>& colors = {},
+              const DotOptions& options = {});
+
+}  // namespace dcolor

@@ -1,0 +1,244 @@
+#include "io/instance_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Strict line-based tokenizer with 1-based line numbers for errors.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(&is) {}
+
+  /// Next non-empty line split into tokens; false at EOF.
+  bool next(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(*is_, line)) {
+      ++line_no_;
+      tokens.clear();
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) tokens.push_back(tok);
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    DCOLOR_CHECK_MSG(false, "parse error at line " << line_no_ << ": " << what);
+    __builtin_unreachable();
+  }
+
+  std::int64_t to_int(const std::string& tok) const {
+    try {
+      std::size_t pos = 0;
+      const std::int64_t v = std::stoll(tok, &pos);
+      if (pos != tok.size()) fail("not an integer: " + tok);
+      return v;
+    } catch (const std::logic_error& e) {
+      if (dynamic_cast<const CheckError*>(&e) != nullptr) throw;
+      fail("not an integer: " + tok);
+    }
+  }
+
+ private:
+  std::istream* is_;
+  int line_no_ = 0;
+};
+
+void expect_header(LineReader& reader, const std::string& magic) {
+  std::vector<std::string> tokens;
+  if (!reader.next(tokens)) reader.fail("missing header " + magic);
+  if (tokens.size() != 2 || tokens[0] != magic || tokens[1] != "v1") {
+    reader.fail("expected '" + magic + " v1'");
+  }
+}
+
+Graph read_graph_body(LineReader& reader) {
+  std::vector<std::string> tokens;
+  if (!reader.next(tokens) || tokens.size() != 2 || tokens[0] != "nodes") {
+    reader.fail("expected 'nodes <n>'");
+  }
+  const auto n = static_cast<NodeId>(reader.to_int(tokens[1]));
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  while (reader.next(tokens)) {
+    if (tokens[0] == "end") break;
+    if (tokens[0] != "edge" || tokens.size() != 3) {
+      reader.fail("expected 'edge <u> <v>' or 'end'");
+    }
+    edges.emplace_back(static_cast<NodeId>(reader.to_int(tokens[1])),
+                       static_cast<NodeId>(reader.to_int(tokens[2])));
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << "dcolor-graph v1\n";
+  os << "nodes " << g.num_nodes() << "\n";
+  for (const auto& [u, v] : g.edge_list()) os << "edge " << u << " " << v << "\n";
+  os << "end\n";
+}
+
+Graph read_graph(std::istream& is) {
+  LineReader reader(is);
+  expect_header(reader, "dcolor-graph");
+  return read_graph_body(reader);
+}
+
+void write_oldc(std::ostream& os, const OldcInstance& inst) {
+  os << "dcolor-oldc v1\n";
+  os << "colorspace " << inst.color_space << "\n";
+  os << "symmetric " << (inst.symmetric ? 1 : 0) << "\n";
+  write_graph(os, *inst.graph);
+  if (!inst.symmetric) {
+    for (NodeId v = 0; v < inst.graph->num_nodes(); ++v) {
+      for (NodeId u : inst.orientation.out_neighbors(v)) {
+        os << "arc " << v << " " << u << "\n";
+      }
+    }
+  }
+  for (NodeId v = 0; v < inst.graph->num_nodes(); ++v) {
+    const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+    os << "list " << v << " " << lst.size();
+    for (std::size_t i = 0; i < lst.size(); ++i) {
+      os << " " << lst.color(i) << " " << lst.defect(i);
+    }
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+OwnedOldcInstance read_oldc(std::istream& is) {
+  LineReader reader(is);
+  expect_header(reader, "dcolor-oldc");
+  std::vector<std::string> tokens;
+
+  if (!reader.next(tokens) || tokens.size() != 2 || tokens[0] != "colorspace")
+    reader.fail("expected 'colorspace <C>'");
+  const std::int64_t color_space = reader.to_int(tokens[1]);
+
+  if (!reader.next(tokens) || tokens.size() != 2 || tokens[0] != "symmetric")
+    reader.fail("expected 'symmetric <0|1>'");
+  const bool symmetric = reader.to_int(tokens[1]) != 0;
+
+  expect_header(reader, "dcolor-graph");
+  OwnedOldcInstance owned;
+  owned.graph = read_graph_body(reader);
+  owned.instance.graph = &owned.graph;
+  owned.instance.color_space = color_space;
+  owned.instance.symmetric = symmetric;
+
+  const auto n = static_cast<std::size_t>(owned.graph.num_nodes());
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  std::vector<ColorList> lists(n);
+  std::vector<bool> have_list(n, false);
+  while (reader.next(tokens)) {
+    if (tokens[0] == "end") break;
+    if (tokens[0] == "arc") {
+      if (tokens.size() != 3) reader.fail("expected 'arc <u> <v>'");
+      arcs.emplace_back(static_cast<NodeId>(reader.to_int(tokens[1])),
+                        static_cast<NodeId>(reader.to_int(tokens[2])));
+    } else if (tokens[0] == "list") {
+      if (tokens.size() < 3) reader.fail("expected 'list <v> <k> ...'");
+      const auto v = static_cast<std::size_t>(reader.to_int(tokens[1]));
+      if (v >= n) reader.fail("list node out of range");
+      const auto k = static_cast<std::size_t>(reader.to_int(tokens[2]));
+      if (tokens.size() != 3 + 2 * k) reader.fail("list length mismatch");
+      std::vector<Color> colors(k);
+      std::vector<int> defects(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        colors[i] = reader.to_int(tokens[3 + 2 * i]);
+        defects[i] = static_cast<int>(reader.to_int(tokens[4 + 2 * i]));
+      }
+      lists[v] = ColorList(std::move(colors), std::move(defects));
+      have_list[v] = true;
+    } else {
+      reader.fail("unexpected token '" + tokens[0] + "'");
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!have_list[v]) reader.fail("missing list for node " + std::to_string(v));
+  }
+  owned.instance.lists = std::move(lists);
+
+  if (!symmetric) {
+    // Rebuild the orientation from the explicit arcs; every edge must have
+    // exactly one (from_predicate checks the other direction).
+    std::vector<std::vector<NodeId>> out(n);
+    for (const auto& [u, v] : arcs)
+      out[static_cast<std::size_t>(u)].push_back(v);
+    for (auto& lst : out) std::sort(lst.begin(), lst.end());
+    owned.instance.orientation = Orientation::from_predicate(
+        owned.graph, [&](NodeId a, NodeId b) {
+          const auto& lst = out[static_cast<std::size_t>(a)];
+          return std::binary_search(lst.begin(), lst.end(), b);
+        });
+  } else {
+    owned.instance.orientation = Orientation::by_id(owned.graph);
+  }
+  return owned;
+}
+
+void write_coloring(std::ostream& os, const std::vector<Color>& colors) {
+  os << "dcolor-coloring v1\n";
+  os << "colors " << colors.size() << "\n";
+  for (std::size_t v = 0; v < colors.size(); ++v) {
+    if (colors[v] != kNoColor) os << "c " << v << " " << colors[v] << "\n";
+  }
+  os << "end\n";
+}
+
+std::vector<Color> read_coloring(std::istream& is) {
+  LineReader reader(is);
+  expect_header(reader, "dcolor-coloring");
+  std::vector<std::string> tokens;
+  if (!reader.next(tokens) || tokens.size() != 2 || tokens[0] != "colors")
+    reader.fail("expected 'colors <n>'");
+  const auto n = static_cast<std::size_t>(reader.to_int(tokens[1]));
+  std::vector<Color> colors(n, kNoColor);
+  while (reader.next(tokens)) {
+    if (tokens[0] == "end") break;
+    if (tokens[0] != "c" || tokens.size() != 3) {
+      reader.fail("expected 'c <v> <color>' or 'end'");
+    }
+    const auto v = static_cast<std::size_t>(reader.to_int(tokens[1]));
+    if (v >= n) reader.fail("colored node out of range");
+    colors[v] = reader.to_int(tokens[2]);
+  }
+  return colors;
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << path);
+  write_graph(os, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  DCOLOR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
+  return read_graph(is);
+}
+
+void save_oldc(const std::string& path, const OldcInstance& inst) {
+  std::ofstream os(path);
+  DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << path);
+  write_oldc(os, inst);
+}
+
+OwnedOldcInstance load_oldc(const std::string& path) {
+  std::ifstream is(path);
+  DCOLOR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
+  return read_oldc(is);
+}
+
+}  // namespace dcolor

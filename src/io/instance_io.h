@@ -1,0 +1,68 @@
+// Plain-text serialization of graphs, instances, and colorings.
+//
+// A small line-oriented format so experiments are reproducible across
+// runs and instances can be shipped in bug reports:
+//
+//   dcolor-graph v1
+//   nodes <n>
+//   edge <u> <v>            (one line per edge)
+//
+//   dcolor-oldc v1
+//   colorspace <C>
+//   symmetric <0|1>
+//   graph                   (embedded graph block)
+//   ...
+//   arc <u> <v>              (orientation arcs, omitted when symmetric)
+//   list <v> <k> x1 d1 x2 d2 ... xk dk
+//
+//   dcolor-coloring v1
+//   colors <n>
+//   c <v> <color>            (uncolored nodes omitted)
+//
+// Parsing is strict: malformed input throws CheckError with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.h"
+#include "graph/graph.h"
+
+namespace dcolor {
+
+/// Writes/reads a Graph.
+void write_graph(std::ostream& os, const Graph& g);
+Graph read_graph(std::istream& is);
+
+/// Writes/reads an OLDC instance. The read overload returns the graph by
+/// value alongside the instance (whose `graph` pointer refers to it).
+void write_oldc(std::ostream& os, const OldcInstance& inst);
+
+struct OwnedOldcInstance {
+  Graph graph;
+  OldcInstance instance;  ///< instance.graph points at `graph`
+
+  OwnedOldcInstance() = default;
+  OwnedOldcInstance(OwnedOldcInstance&& other) noexcept { *this = std::move(other); }
+  OwnedOldcInstance& operator=(OwnedOldcInstance&& other) noexcept {
+    graph = std::move(other.graph);
+    instance = std::move(other.instance);
+    instance.graph = &graph;
+    return *this;
+  }
+};
+OwnedOldcInstance read_oldc(std::istream& is);
+
+/// Writes/reads a coloring (kNoColor entries are omitted on write and
+/// default on read).
+void write_coloring(std::ostream& os, const std::vector<Color>& colors);
+std::vector<Color> read_coloring(std::istream& is);
+
+/// File convenience wrappers (throw CheckError when the file cannot be
+/// opened).
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+void save_oldc(const std::string& path, const OldcInstance& inst);
+OwnedOldcInstance load_oldc(const std::string& path);
+
+}  // namespace dcolor

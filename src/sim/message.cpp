@@ -1,0 +1,24 @@
+#include "sim/message.h"
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+void Message::push(std::int64_t value, int bits) {
+  DCOLOR_CHECK_MSG(value >= 0, "message fields are non-negative");
+  DCOLOR_CHECK_MSG(bits >= 1 && bits <= 63, "field width " << bits);
+  DCOLOR_CHECK_MSG(
+      bits == 63 || value < (static_cast<std::int64_t>(1) << bits),
+      "value " << value << " does not fit in " << bits << " bits");
+  fields_.push_back(value);
+  bits_ += bits;
+}
+
+std::int64_t Message::field(std::size_t i) const {
+  DCOLOR_CHECK_MSG(i < fields_.size(),
+                   "field " << i << " of " << fields_.size());
+  return fields_[i];
+}
+
+}  // namespace dcolor

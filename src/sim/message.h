@@ -1,0 +1,44 @@
+// Messages with explicit bit accounting.
+//
+// CONGEST bounds are about message *width*, so every field appended to a
+// Message declares the number of bits it semantically needs (e.g. a color
+// from a space of size C costs ceil(log2 C) bits). The simulator tracks
+// the declared widths; tests assert algorithms stay within their stated
+// budgets (e.g. O(log q + log C) for Theorem 1.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcolor {
+
+class Message {
+ public:
+  Message() = default;
+
+  /// Appends a field of `bits` declared width. `value` must fit in `bits`
+  /// bits (two's complement for negatives is not supported; values are
+  /// non-negative).
+  void push(std::int64_t value, int bits);
+
+  /// Sequential read access (fields in push order).
+  std::int64_t field(std::size_t i) const;
+  std::size_t num_fields() const noexcept { return fields_.size(); }
+
+  /// Total declared width of the message in bits.
+  int bits() const noexcept { return bits_; }
+
+  bool empty() const noexcept { return fields_.empty(); }
+
+ private:
+  std::vector<std::int64_t> fields_;
+  int bits_ = 0;
+};
+
+/// A received message together with its sender.
+struct Envelope {
+  std::int32_t from;
+  Message message;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,39 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dcolor {
+
+RoundMetrics& RoundMetrics::operator+=(const RoundMetrics& other) {
+  rounds += other.rounds;
+  max_message_bits = std::max(max_message_bits, other.max_message_bits);
+  total_messages += other.total_messages;
+  total_message_bits += other.total_message_bits;
+  local_compute_ops += other.local_compute_ops;
+  return *this;
+}
+
+RoundMetrics& RoundMetrics::merge_parallel(const RoundMetrics& other) {
+  rounds = std::max(rounds, other.rounds);
+  max_message_bits = std::max(max_message_bits, other.max_message_bits);
+  total_messages += other.total_messages;
+  total_message_bits += other.total_message_bits;
+  local_compute_ops += other.local_compute_ops;
+  return *this;
+}
+
+RoundMetrics operator+(RoundMetrics a, const RoundMetrics& b) {
+  a += b;
+  return a;
+}
+
+std::string RoundMetrics::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " max_msg_bits=" << max_message_bits
+     << " msgs=" << total_messages << " msg_bits=" << total_message_bits
+     << " compute=" << local_compute_ops;
+  return os.str();
+}
+
+}  // namespace dcolor

@@ -1,0 +1,29 @@
+// Round and message metrics for simulated distributed executions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcolor {
+
+/// Accumulated cost of a (possibly composite) distributed execution.
+struct RoundMetrics {
+  std::int64_t rounds = 0;            ///< synchronous rounds elapsed
+  int max_message_bits = 0;           ///< widest single message
+  std::int64_t total_messages = 0;    ///< messages sent
+  std::int64_t total_message_bits = 0;
+  std::int64_t local_compute_ops = 0; ///< per-node internal work (see below)
+
+  /// Sequential composition: phases run one after the other.
+  RoundMetrics& operator+=(const RoundMetrics& other);
+
+  /// Parallel composition: independent executions on disjoint parts run
+  /// simultaneously; rounds take the max, traffic adds up.
+  RoundMetrics& merge_parallel(const RoundMetrics& other);
+
+  std::string summary() const;
+};
+
+RoundMetrics operator+(RoundMetrics a, const RoundMetrics& b);
+
+}  // namespace dcolor

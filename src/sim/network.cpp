@@ -1,0 +1,78 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+void broadcast(const Graph& g, Mailbox& mail, const Message& m) {
+  for (NodeId u : g.neighbors(mail.self())) mail.send(u, m);
+}
+
+RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
+                          int message_bit_cap) {
+  const Graph& g = *graph_;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  RoundMetrics metrics;
+
+  // Double-buffered inboxes.
+  std::vector<std::vector<Envelope>> inbox(n), next_inbox(n);
+
+  auto flush_outgoing = [&](NodeId v, Mailbox& mail) {
+    for (auto& out : mail.outgoing()) {
+      DCOLOR_CHECK_MSG(g.has_edge(v, out.to),
+                       "node " << v << " sent to non-neighbor " << out.to);
+      DCOLOR_CHECK_MSG(
+          message_bit_cap <= 0 || out.message.bits() <= message_bit_cap,
+          "CONGEST violation: node " << v << " sent " << out.message.bits()
+                                     << " bits (cap " << message_bit_cap
+                                     << ")");
+      metrics.total_messages += 1;
+      metrics.total_message_bits += out.message.bits();
+      metrics.max_message_bits =
+          std::max(metrics.max_message_bits, out.message.bits());
+      next_inbox[static_cast<std::size_t>(out.to)].push_back(
+          {v, std::move(out.message)});
+    }
+  };
+
+  // Round 0: init (counts as the first round when anything is sent).
+  bool sent_anything = false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Mailbox mail(v, {});
+    algo.init(v, mail);
+    if (!mail.outgoing().empty()) sent_anything = true;
+    flush_outgoing(v, mail);
+  }
+  if (sent_anything) metrics.rounds = 1;
+
+  for (std::int64_t round = 1;; ++round) {
+    bool all_done = true;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!algo.done(v)) {
+        all_done = false;
+        break;
+      }
+    }
+    const bool in_flight = std::any_of(
+        next_inbox.begin(), next_inbox.end(),
+        [](const std::vector<Envelope>& box) { return !box.empty(); });
+    if (all_done && !in_flight) break;
+    DCOLOR_CHECK_MSG(round <= max_rounds,
+                     "algorithm exceeded max_rounds=" << max_rounds);
+
+    inbox.swap(next_inbox);
+    for (auto& box : next_inbox) box.clear();
+
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      Mailbox mail(v, inbox[static_cast<std::size_t>(v)]);
+      algo.step(v, static_cast<int>(round), mail);
+      flush_outgoing(v, mail);
+    }
+    metrics.rounds = std::max(metrics.rounds, round);
+  }
+  return metrics;
+}
+
+}  // namespace dcolor

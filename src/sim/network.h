@@ -1,0 +1,95 @@
+// Synchronous message-passing network simulator (LOCAL/CONGEST kernel).
+//
+// Execution model, matching Section 2 of the paper:
+//   * time proceeds in synchronous rounds;
+//   * in every round each node may send a (possibly different) message to
+//     each neighbor, receives the messages its neighbors sent in the SAME
+//     round, and performs arbitrary local computation;
+//   * communication flows both ways even on oriented edges.
+//
+// Algorithms are written as a `SyncAlgorithm`: per-node state lives inside
+// the algorithm object, and `step(v, mailbox)` must only touch node v's
+// state plus the mailbox. (C++ cannot enforce this cheaply; the test suite
+// includes order-independence checks that catch violations.)
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+
+namespace dcolor {
+
+/// Interface a node uses inside one round: read this round's inbox and
+/// queue messages for delivery next round.
+class Mailbox {
+ public:
+  Mailbox(NodeId self, std::span<const Envelope> inbox) noexcept
+      : self_(self), inbox_(inbox) {}
+
+  NodeId self() const noexcept { return self_; }
+
+  /// Messages delivered to this node this round (sent last round).
+  std::span<const Envelope> inbox() const noexcept { return inbox_; }
+
+  /// Queue `m` for delivery to neighbor `to` next round.
+  void send(NodeId to, Message m) { outbox_.push_back({to, std::move(m)}); }
+
+  struct Outgoing {
+    NodeId to;
+    Message message;
+  };
+  std::vector<Outgoing>& outgoing() noexcept { return outbox_; }
+
+ private:
+  NodeId self_;
+  std::span<const Envelope> inbox_;
+  std::vector<Outgoing> outbox_;
+};
+
+/// A distributed algorithm. One object per execution; per-node state is
+/// stored in arrays indexed by NodeId.
+class SyncAlgorithm {
+ public:
+  virtual ~SyncAlgorithm() = default;
+
+  /// Round 0 setup for node v: may send initial messages, no inbox yet.
+  virtual void init(NodeId v, Mailbox& mail) = 0;
+
+  /// One round for node v.
+  virtual void step(NodeId v, int round, Mailbox& mail) = 0;
+
+  /// True once node v has produced its final output. Nodes keep receiving
+  /// (and may keep forwarding) until the whole network is done.
+  virtual bool done(NodeId v) const = 0;
+};
+
+/// Drives a SyncAlgorithm over a Graph and accounts rounds and bits.
+class Network {
+ public:
+  explicit Network(const Graph& g) : graph_(&g) {}
+
+  /// Runs until all nodes are done and no messages are in flight, or
+  /// `max_rounds` elapses (then throws CheckError — distributed algorithms
+  /// here have proven round bounds, so hitting the cap is a bug).
+  ///
+  /// `message_bit_cap` > 0 enforces the CONGEST discipline at the
+  /// simulator level: any single message wider than the cap throws. Use
+  /// it to certify an algorithm's bandwidth claim rather than trusting
+  /// post-hoc metrics.
+  RoundMetrics run(SyncAlgorithm& algo, std::int64_t max_rounds,
+                   int message_bit_cap = 0);
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  const Graph* graph_;
+};
+
+/// Convenience: broadcast the same message to all neighbors.
+void broadcast(const Graph& g, Mailbox& mail, const Message& m);
+
+}  // namespace dcolor

@@ -1,0 +1,49 @@
+// Lightweight precondition / invariant checking.
+//
+// The library throws `dcolor::CheckError` on contract violations instead of
+// aborting, so tests can assert that invalid inputs are rejected and
+// long-running experiment drivers can report which instance failed.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dcolor {
+
+/// Error thrown when a DCOLOR_CHECK contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dcolor
+
+/// Check `cond`; on failure throw CheckError with an optional streamed
+/// message: DCOLOR_CHECK(x > 0) or DCOLOR_CHECK_MSG(x > 0, "x=" << x).
+#define DCOLOR_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::dcolor::detail::check_failed(#cond, __FILE__, __LINE__, {});    \
+  } while (false)
+
+#define DCOLOR_CHECK_MSG(cond, streamed)                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << streamed;                                                    \
+      ::dcolor::detail::check_failed(#cond, __FILE__, __LINE__, os_.str()); \
+    }                                                                     \
+  } while (false)

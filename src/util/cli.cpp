@@ -1,0 +1,67 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    DCOLOR_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --key[=value]: " << arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  for (const auto& [k, v] : values_) consumed_[k] = false;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                std::string fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second != "false" && it->second != "0";
+}
+
+bool CliArgs::has(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  consumed_[key] = true;
+  return true;
+}
+
+void CliArgs::check_all_consumed() const {
+  for (const auto& [k, used] : consumed_) {
+    DCOLOR_CHECK_MSG(used, "unknown flag --" << k);
+  }
+}
+
+}  // namespace dcolor

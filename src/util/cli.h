@@ -1,0 +1,33 @@
+// Tiny command-line flag parser for the example and bench binaries.
+//
+// Supports `--key=value` and `--flag` (boolean). Unknown flags are an
+// error so typos don't silently run the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dcolor {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws CheckError on malformed arguments.
+  CliArgs(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key, std::string fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  bool has(const std::string& key) const;
+
+  /// Throws if any provided flag was never queried — catches typos.
+  void check_all_consumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace dcolor

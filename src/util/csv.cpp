@@ -1,0 +1,36 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+
+namespace dcolor {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), columns_(columns.size()) {
+  if (out_) row(columns);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  DCOLOR_CHECK_MSG(cells.size() == columns_,
+                   "csv row width " << cells.size() << " != header width "
+                                    << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace dcolor

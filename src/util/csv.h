@@ -1,0 +1,30 @@
+// Minimal CSV writer used by the bench binaries to dump raw data points
+// next to the printed tables (for external plotting).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dcolor {
+
+/// Writes rows of cells to a CSV file with proper quoting. The file is
+/// created on first write; the destructor flushes it.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits `columns` as the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  void row(const std::vector<std::string>& cells);
+
+  /// True when the file opened successfully (bench binaries degrade to
+  /// table-only output otherwise).
+  bool ok() const noexcept { return static_cast<bool>(out_); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace dcolor

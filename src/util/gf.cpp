@@ -1,0 +1,47 @@
+#include "util/gf.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+std::uint64_t GfPoly::eval(std::uint64_t x) const noexcept {
+  std::uint64_t acc = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(acc) * x + *it) % p);
+  }
+  return acc;
+}
+
+GfPoly encode_as_polynomial(std::uint64_t value, std::uint64_t p,
+                            int num_coeffs) {
+  DCOLOR_CHECK(p >= 2);
+  DCOLOR_CHECK(num_coeffs >= 1);
+  GfPoly poly;
+  poly.p = p;
+  poly.coeffs.resize(static_cast<std::size_t>(num_coeffs), 0);
+  for (int i = 0; i < num_coeffs; ++i) {
+    poly.coeffs[static_cast<std::size_t>(i)] = value % p;
+    value /= p;
+  }
+  DCOLOR_CHECK_MSG(value == 0, "value does not fit in p^num_coeffs");
+  return poly;
+}
+
+int coeffs_needed(std::uint64_t space_size, std::uint64_t p) noexcept {
+  int k = 1;
+  __uint128_t cap = p;
+  while (cap < space_size) {
+    cap *= p;
+    ++k;
+  }
+  return k;
+}
+
+int max_agreements(const GfPoly& a, const GfPoly& b) noexcept {
+  return std::max(a.degree(), b.degree());
+}
+
+}  // namespace dcolor

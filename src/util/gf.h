@@ -1,0 +1,43 @@
+// Arithmetic over prime fields GF(p) and polynomial color encodings.
+//
+// Linial's O(log* n) coloring [Lin87] and the Kuhn/Kawarabayashi-Schwartzman
+// defective coloring (Lemma 3.4, [Kuh09, KS18]) both rest on the same
+// algebraic gadget: interpret a color c ∈ {0,…,q−1} as the base-p digit
+// vector of c, i.e. as a polynomial g_c of degree ≤ D over GF(p) with
+// p^{D+1} ≥ q. Two distinct colors yield distinct polynomials, which agree
+// on at most D evaluation points — the "small intersection" property that
+// drives the one-round color reductions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcolor {
+
+/// A polynomial over GF(p) given by its coefficient vector (degree = size-1).
+struct GfPoly {
+  std::uint64_t p = 2;                  ///< field modulus (prime)
+  std::vector<std::uint64_t> coeffs;    ///< coeffs[i] multiplies x^i
+
+  /// Degree bound: number of coefficients minus one (>= 0).
+  int degree() const noexcept {
+    return static_cast<int>(coeffs.empty() ? 0 : coeffs.size() - 1);
+  }
+
+  /// Horner evaluation at point x ∈ GF(p).
+  std::uint64_t eval(std::uint64_t x) const noexcept;
+};
+
+/// Encode `value` ∈ [0, p^{num_coeffs}) as its base-p digit polynomial.
+/// Distinct values yield distinct polynomials.
+GfPoly encode_as_polynomial(std::uint64_t value, std::uint64_t p,
+                            int num_coeffs);
+
+/// Smallest number of coefficients D+1 such that p^{D+1} >= space_size.
+int coeffs_needed(std::uint64_t space_size, std::uint64_t p) noexcept;
+
+/// Number of points where two distinct degree-<=D polynomials can agree
+/// is at most D; sanity helper used in tests.
+int max_agreements(const GfPoly& a, const GfPoly& b) noexcept;
+
+}  // namespace dcolor

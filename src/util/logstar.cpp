@@ -1,0 +1,18 @@
+#include "util/logstar.h"
+
+#include <cmath>
+
+namespace dcolor {
+
+int log_star(double x) noexcept {
+  int k = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++k;
+  }
+  return k;
+}
+
+int log_star(std::uint64_t x) noexcept { return log_star(static_cast<double>(x)); }
+
+}  // namespace dcolor

@@ -1,0 +1,19 @@
+// The iterated logarithm log* and related helpers.
+//
+// Distributed symmetry-breaking round bounds are stated in terms of
+// log*: the number of times log2 must be applied to reach a value <= 1.
+#pragma once
+
+#include <cstdint>
+
+namespace dcolor {
+
+/// log*₂(x): number of applications of log2 needed to bring x to <= 1.
+/// log_star(1) == 0, log_star(2) == 1, log_star(4) == 2, log_star(16) == 3,
+/// log_star(65536) == 4. Defined as 0 for x <= 1.
+int log_star(double x) noexcept;
+
+/// Integer overload (exact for the usual test points).
+int log_star(std::uint64_t x) noexcept;
+
+}  // namespace dcolor

@@ -1,0 +1,105 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <bit>
+#include <initializer_list>
+#include <limits>
+
+namespace dcolor {
+
+int floor_log2(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+std::uint64_t isqrt(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  auto r = static_cast<std::uint64_t>(__builtin_sqrt(static_cast<double>(x)));
+  // Correct the floating-point estimate in both directions.
+  while (r > 0 && r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x && r + 1 != 0) ++r;
+  return r;
+}
+
+std::uint64_t ceil_sqrt(std::uint64_t x) noexcept {
+  const std::uint64_t r = isqrt(x);
+  return r * r == x ? r : r + 1;
+}
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  constexpr auto kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t factor = n - k + i;
+    // result = result * factor / i, exact because i consecutive products
+    // are divisible by i!. Detect overflow via 128-bit intermediate.
+    const __uint128_t wide = static_cast<__uint128_t>(result) * factor;
+    if (wide / factor != result || wide / i > kMax) return kMax;
+    result = static_cast<std::uint64_t>(wide / i);
+  }
+  return result;
+}
+
+std::uint64_t pow_mod(std::uint64_t x, std::uint64_t e, std::uint64_t m) noexcept {
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  x %= m;
+  while (e > 0) {
+    if (e & 1)
+      result = static_cast<std::uint64_t>(
+          static_cast<__uint128_t>(result) * x % m);
+    x = static_cast<std::uint64_t>(static_cast<__uint128_t>(x) * x % m);
+    e >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+bool miller_rabin(std::uint64_t n, std::uint64_t a) noexcept {
+  if (n % a == 0) return n == a;
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  std::uint64_t x = pow_mod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 0; i < r - 1; ++i) {
+    x = static_cast<std::uint64_t>(static_cast<__uint128_t>(x) * x % n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // Deterministic witness set for 64-bit integers.
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!miller_rabin(n, a)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  if (n % 2 == 0) ++n;
+  while (!is_prime(n)) n += 2;
+  return n;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,37 @@
+// Small integer-math helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace dcolor {
+
+/// ⌈a / b⌉ for non-negative a and positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// ⌊log2 x⌋ for x >= 1.
+int floor_log2(std::uint64_t x) noexcept;
+
+/// ⌈log2 x⌉ for x >= 1 (0 for x == 1).
+int ceil_log2(std::uint64_t x) noexcept;
+
+/// ⌊√x⌋ computed exactly with integer arithmetic.
+std::uint64_t isqrt(std::uint64_t x) noexcept;
+
+/// ⌈√x⌉.
+std::uint64_t ceil_sqrt(std::uint64_t x) noexcept;
+
+/// Binomial coefficient C(n, k), saturating at UINT64_MAX on overflow.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept;
+
+/// Deterministic Miller–Rabin primality for 64-bit integers.
+bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n (n >= 2 recommended; returns 2 for n <= 2).
+std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+/// x^e mod m with 128-bit intermediate.
+std::uint64_t pow_mod(std::uint64_t x, std::uint64_t e, std::uint64_t m) noexcept;
+
+}  // namespace dcolor

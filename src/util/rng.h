@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiments and generators take an explicit 64-bit seed so every run
+// is reproducible. We use xoshiro256** seeded via SplitMix64 — fast, high
+// quality, and stable across platforms (unlike std::default_random_engine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcolor {
+
+/// SplitMix64 step; used for seeding and cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with a std::uniform_random_bit_generator-
+/// compatible interface.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  /// bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept;
+
+  /// Fork an independent stream (for per-node randomness in simulations).
+  Rng fork() noexcept;
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, n). Requires k <= n.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dcolor

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dcolor {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void Table::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::format(double v) {
+  std::ostringstream os;
+  if (v == 0 || (std::abs(v) >= 0.01 && std::abs(v) < 1e7)) {
+    os << std::fixed << std::setprecision(std::abs(v) >= 100 ? 1 : 3) << v;
+  } else {
+    os << std::scientific << std::setprecision(2) << v;
+  }
+  return os.str();
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c) || c == '.' || c == '-' || c == '+' || c == 'e' ||
+           c == 'E' || c == 'x';
+  });
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : "";
+      os << "  ";
+      if (looks_numeric(cell))
+        os << std::setw(static_cast<int>(width[i])) << std::right << cell;
+      else
+        os << std::setw(static_cast<int>(width[i])) << std::left << cell;
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << "  " << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  os.flush();
+}
+
+}  // namespace dcolor

@@ -1,0 +1,49 @@
+// Plain-text table printer for experiment output.
+//
+// The bench binaries print paper-style result tables; this keeps the
+// formatting consistent and the call sites readable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dcolor {
+
+/// Column-aligned text table. Add a header once, then rows; `print`
+/// right-aligns numeric-looking cells and left-aligns text.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  void header(std::vector<std::string> columns);
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    row({format(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string format(const std::string& s) { return s; }
+  static std::string format(const char* s) { return s; }
+  static std::string format(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format(T v) {
+    return std::to_string(v);
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,35 @@
+#!/bin/sh
+# End-to-end smoke test of the dcolor CLI: generate -> instance -> color
+# (all three OLDC algorithms) -> validate, plus info.
+set -e
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" --cmd=generate --family=regular --n=120 --degree=8 --seed=3 \
+       --out="$DIR/g.txt"
+"$CLI" --cmd=info --graph="$DIR/g.txt"
+"$CLI" --cmd=instance --graph="$DIR/g.txt" --defect=1 --seed=3 \
+       --out="$DIR/i.txt"
+
+"$CLI" --cmd=color --instance="$DIR/i.txt" --algorithm=two_sweep --ts_p=5 \
+       --out="$DIR/c.txt"
+"$CLI" --cmd=validate --instance="$DIR/i.txt" --coloring="$DIR/c.txt"
+
+# Algorithm 2 needs the (1+ε) slack of Eq. (7): keep ε small here.
+"$CLI" --cmd=color --instance="$DIR/i.txt" --algorithm=fast --ts_p=5 \
+       --eps=0.2 --out="$DIR/c.txt"
+"$CLI" --cmd=validate --instance="$DIR/i.txt" --coloring="$DIR/c.txt"
+
+# The congest algorithm needs the 3·√C·β premise: build a dedicated
+# instance with generous defects.
+"$CLI" --cmd=instance --graph="$DIR/g.txt" --defect=8 --list=34 \
+       --colorspace=36 --seed=4 --out="$DIR/ic.txt"
+"$CLI" --cmd=color --instance="$DIR/ic.txt" --algorithm=congest \
+       --out="$DIR/c.txt"
+"$CLI" --cmd=validate --instance="$DIR/ic.txt" --coloring="$DIR/c.txt"
+
+"$CLI" --cmd=color --graph="$DIR/g.txt" --algorithm=degplus1 --seed=5 \
+       --out="$DIR/c.txt"
+
+echo "cli_smoke: OK"

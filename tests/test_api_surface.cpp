@@ -1,0 +1,146 @@
+// Coverage for the remaining public-API corners: instance predicates,
+// metrics reporting, heterogeneous generators, and the umbrella header.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcolor.h"  // the umbrella header must compile stand-alone
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(InstancePredicates, SatisfiesTheorem11MatchesManualCheck) {
+  Rng rng(8001);
+  const Graph g = random_near_regular(60, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  const int p = beta + 1;
+  // Exactly at the threshold: |L| = p²+p+1, defect 0.
+  const OldcInstance ok = random_uniform_oldc(g, std::move(o),
+                                              4 * (p * p + p + 1),
+                                              p * p + p + 1, 0, rng);
+  EXPECT_TRUE(ok.satisfies_theorem11(p, 0.0));
+  // Shrinking ε's headroom: ε = 1 doubles the requirement and must fail.
+  EXPECT_FALSE(ok.satisfies_theorem11(p, 1.0));
+}
+
+TEST(InstancePredicates, MinWeightOverBeta) {
+  const Graph g = path(3);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 8;
+  inst.orientation = Orientation::by_id(g);  // β = (1,1,1) effectively
+  inst.lists.push_back(ColorList::uniform({0, 1}, 1));  // weight 4
+  inst.lists.push_back(ColorList::uniform({0, 1}, 0));  // weight 2
+  inst.lists.push_back(ColorList::uniform({0}, 0));     // weight 1
+  EXPECT_DOUBLE_EQ(inst.min_weight_over_beta(), 1.0);
+  EXPECT_EQ(inst.beta(), 1);
+}
+
+TEST(InstancePredicates, SymmetricBetaUsesDegrees) {
+  const Graph g = complete(4);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 2;
+  inst.symmetric = true;
+  inst.lists.assign(4, ColorList::uniform({0, 1}, 3));
+  EXPECT_EQ(inst.beta(), 3);
+  EXPECT_EQ(inst.beta_v(0), 3);
+  EXPECT_EQ(inst.effective_outdegree(0), 3);
+  EXPECT_TRUE(inst.is_out(0, 1));
+  EXPECT_TRUE(inst.is_out(1, 0));  // symmetric: both directions
+}
+
+TEST(InstancePredicates, Theorem12Predicate) {
+  Rng rng(8002);
+  const Graph g = random_near_regular(60, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  // Zero-defect lists need |L| >= 3·√C·β, so C must exceed 9β².
+  const std::int64_t C = 9 * beta * beta * 2;
+  const auto needed = static_cast<int>(
+      std::ceil(3 * std::sqrt(static_cast<double>(C)) * beta));
+  ASSERT_LE(needed, C);
+  OldcInstance yes = random_uniform_oldc(g, std::move(o), C, needed, 0, rng);
+  EXPECT_TRUE(yes.satisfies_theorem12());
+  Orientation o2 = Orientation::by_id(g);
+  OldcInstance no = random_uniform_oldc(g, std::move(o2), C, 4, 0, rng);
+  EXPECT_FALSE(no.satisfies_theorem12());
+}
+
+TEST(Generators, HeterogeneousOldcMeetsPremise) {
+  Rng rng(8003);
+  const Graph g = random_near_regular(100, 10, rng);
+  for (double eps : {0.0, 0.5}) {
+    Orientation o = Orientation::by_id(g);
+    const OldcInstance inst =
+        random_heterogeneous_oldc(g, std::move(o), 4000, 4, eps, rng);
+    EXPECT_TRUE(inst.satisfies_theorem11(4, eps)) << "eps=" << eps;
+    EXPECT_LE(inst.max_list_size(), 4u * 4u * 4u + 16u);
+  }
+}
+
+TEST(Metrics, SummaryMentionsEveryField) {
+  const RoundMetrics m{12, 7, 100, 700, 42};
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("rounds=12"), std::string::npos);
+  EXPECT_NE(s.find("max_msg_bits=7"), std::string::npos);
+  EXPECT_NE(s.find("msgs=100"), std::string::npos);
+  EXPECT_NE(s.find("compute=42"), std::string::npos);
+}
+
+TEST(ComputeOps, TwoSweepReportsNearLinearWork) {
+  // The §1.1 claim quantified: per-node ops ≈ Δ·Λ-ish, not exponential.
+  Rng rng(8004);
+  const Graph g = random_near_regular(200, 8, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 4 * list_size, list_size, 0, rng);
+  const LinialResult linial = linial_from_ids(g, Orientation::by_id(g));
+  const ColoringResult res =
+      two_sweep(inst, linial.colors, linial.num_colors, p);
+  EXPECT_GT(res.metrics.local_compute_ops, 0);
+  // Generous near-linear budget: nodes × Λ × (logΛ + Δ).
+  const std::int64_t budget =
+      static_cast<std::int64_t>(g.num_nodes()) * list_size *
+      (8 + g.max_degree());
+  EXPECT_LT(res.metrics.local_compute_ops, budget);
+}
+
+TEST(Hypergraph, FromGraphIsTwoUniform) {
+  Rng rng(8005);
+  const Graph g = gnp(30, 0.2, rng);
+  const Hypergraph h = from_graph(g);
+  EXPECT_EQ(static_cast<std::int64_t>(h.edges().size()), g.num_edges());
+  EXPECT_EQ(h.rank(), 2);
+  EXPECT_EQ(h.max_vertex_degree(), g.max_degree());
+}
+
+TEST(GraphSummary, MentionsShape) {
+  const Graph g = cycle(5);
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+  EXPECT_NE(s.find("m=5"), std::string::npos);
+}
+
+TEST(OrientationApi, BetaConventionNeverZero) {
+  const Graph g = Graph::from_edges(3, {});
+  const Orientation o = Orientation::by_id(g);
+  EXPECT_EQ(o.beta(), 1);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(o.beta_v(v), 1);
+}
+
+TEST(SlackApi, ListDefectiveSlackValue) {
+  const Graph g = complete(3);  // deg 2 everywhere
+  ListDefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = 8;
+  inst.lists.assign(3, ColorList::uniform({0, 1, 2}, 1));  // weight 6
+  EXPECT_DOUBLE_EQ(inst.slack(), 3.0);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,188 @@
+// Tests for the baseline algorithms the experiment suite compares against.
+#include <gtest/gtest.h>
+
+#include "baselines/be09_two_sweep.h"
+#include "baselines/greedy.h"
+#include "baselines/luby.h"
+#include "baselines/mt20_style.h"
+#include "baselines/one_sweep_defective.h"
+#include "coloring/linial.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "graph/independence.h"
+#include "graph/line_graph.h"
+#include "util/check.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(GreedyBaseline, DeltaPlusOneIsProper) {
+  Rng rng(80);
+  const Graph g = gnp(200, 0.05, rng);
+  const ColoringResult res = greedy_delta_plus_one(g);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  for (Color c : res.colors) EXPECT_LE(c, g.max_degree());
+  EXPECT_EQ(res.metrics.rounds, g.num_nodes());
+}
+
+TEST(GreedyBaseline, ArbdefectiveRespectsLists) {
+  Rng rng(81);
+  const Graph g = random_near_regular(150, 10, rng);
+  const ArbdefectiveInstance inst =
+      random_uniform_list_defective(g, 64, 6, 1, rng);  // weight 12 > 10
+  const ArbdefectiveResult res = greedy_arbdefective(inst);
+  EXPECT_TRUE(validate_arbdefective(inst, res));
+}
+
+TEST(GreedyBaseline, RejectsNoSlack) {
+  Rng rng(82);
+  const Graph g = complete(8);
+  const ArbdefectiveInstance inst =
+      random_uniform_list_defective(g, 32, 3, 0, rng);
+  EXPECT_THROW(greedy_arbdefective(inst), CheckError);
+}
+
+class Be09Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Be09Test, UndirectedDefectWithinBound) {
+  const int d = GetParam();
+  Rng rng(83 + static_cast<std::uint64_t>(d));
+  const Graph g = random_near_regular(250, 16, rng);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, o);
+  const int delta = g.max_degree();
+  const int k = static_cast<int>(ceil_div(delta + 1, d + 1));
+  const auto res =
+      be09_two_sweep_undirected(g, linial.colors, linial.num_colors, k);
+  EXPECT_EQ(res.num_colors, static_cast<std::int64_t>(k) * k);
+  // Defect bound ⌊E/k⌋+⌊L/k⌋ <= ⌊deg/k⌋ <= d (paper: d-defective
+  // ⌈(Δ+1)/(d+1)⌉² colors).
+  const int defect = max_undirected_defect(g, res.colors);
+  EXPECT_LE(defect, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Defects, Be09Test, ::testing::Values(1, 2, 4, 8));
+
+TEST(Be09, OrientedVariantBoundsOutDefect) {
+  Rng rng(84);
+  const Graph g = random_near_regular(250, 20, rng);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, o);
+  const int beta = o.beta();
+  for (int d : {2, 4}) {
+    const int k = static_cast<int>(ceil_div(beta, d));
+    const auto res =
+        be09_two_sweep_oriented(g, o, linial.colors, linial.num_colors, k);
+    EXPECT_LE(max_oriented_defect(o, res.colors), d);
+    EXPECT_EQ(res.num_colors, static_cast<std::int64_t>(k) * k);
+  }
+}
+
+TEST(OneSweepTheta, DefectBoundOnThetaGraphs) {
+  Rng rng(85);
+  const Graph g = line_graph(gnp(30, 0.25, rng));  // θ <= 2
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, o);
+  const int delta = g.max_degree();
+  for (int k : {2, 4, 8}) {
+    const auto res =
+        one_sweep_theta_defective(g, linial.colors, linial.num_colors, k);
+    EXPECT_TRUE(all_colored(res.colors));
+    EXPECT_LE(max_undirected_defect(g, res.colors),
+              (2 * (delta / k) + 1) * 2);
+  }
+}
+
+TEST(Luby, ColorsProperlyAndFast) {
+  Rng rng(86);
+  const Graph g = gnp(300, 0.05, rng);
+  Rng algo_rng(87);
+  const ColoringResult res = luby_delta_plus_one(g, algo_rng);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  // O(log n) w.h.p.; generous cap.
+  EXPECT_LE(res.metrics.rounds, 12 * ceil_log2(std::uint64_t{300}));
+}
+
+TEST(Luby, ListVariantStaysInLists) {
+  Rng rng(88);
+  const Graph g = random_near_regular(200, 8, rng);
+  const ListDefectiveInstance inst = degree_plus_one_instance(g, 40, rng);
+  Rng algo_rng(89);
+  const ColoringResult res = luby_list_coloring(inst, algo_rng);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  EXPECT_TRUE(validate_list_defective(inst, res.colors));
+}
+
+TEST(Fk23aFormulas, ListSizeGapGrowsWithBeta) {
+  // The paper: [FK23a] needs Ω((β/d)²·(logβ+…)) colors, Theorem 1.1 only
+  // ~(β/d)². The ratio must grow with β.
+  const std::int64_t C = 1 << 16, q = 1 << 20;
+  double prev_ratio = 0;
+  for (int beta : {8, 32, 128, 512}) {
+    const int d = 1;
+    const auto ours = two_sweep_min_list_size(beta, d);
+    const auto theirs = fk23a_min_list_size(beta, d, C, q);
+    EXPECT_GT(theirs, ours);
+    const double ratio =
+        static_cast<double>(theirs) / static_cast<double>(ours);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+}
+
+TEST(Fk23aFormulas, TwoSweepMinListSizeMatchesEq2) {
+  // Spot-check: the returned Λ satisfies Eq. (2) and Λ−1 does not.
+  for (int beta : {4, 10, 31}) {
+    for (int d : {0, 1, 3}) {
+      const std::int64_t p = beta / (d + 1) + 1;  // implementation's choice
+      const std::int64_t lambda = two_sweep_min_list_size(beta, d);
+      auto ok = [&](std::int64_t l) {
+        return l * (d + 1) * p > std::max(p * p, l) * beta;
+      };
+      EXPECT_TRUE(ok(lambda)) << beta << " " << d;
+      if (lambda > 1) {
+        EXPECT_FALSE(ok(lambda - 1)) << beta << " " << d;
+      }
+    }
+  }
+}
+
+TEST(Phase1Selection, SortAndSubsetSearchAgreeOnScore) {
+  // Both rules must pick subsets with the same (optimal) Eq. (4) margin —
+  // the subset itself may differ under ties.
+  Rng rng(90);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int lambda = 3 + static_cast<int>(rng.below(10));
+    const int p = 1 + static_cast<int>(rng.below(4));
+    std::vector<Color> colors(static_cast<std::size_t>(lambda));
+    std::vector<int> defects(static_cast<std::size_t>(lambda));
+    std::vector<int> k_counts(static_cast<std::size_t>(lambda));
+    for (int i = 0; i < lambda; ++i) {
+      colors[static_cast<std::size_t>(i)] = i;
+      defects[static_cast<std::size_t>(i)] = static_cast<int>(rng.below(6));
+      k_counts[static_cast<std::size_t>(i)] = static_cast<int>(rng.below(4));
+    }
+    const ColorList list(colors, defects);
+    const int n_greater = static_cast<int>(rng.below(5));
+    const auto a = sort_based_phase1(list, k_counts, p, n_greater);
+    const auto b = subset_search_phase1(list, k_counts, p, n_greater);
+    auto score = [&](const std::vector<Color>& subset) {
+      std::int64_t s = -n_greater;
+      for (Color c : subset) {
+        const auto it =
+            std::lower_bound(list.colors().begin(), list.colors().end(), c);
+        const auto i = static_cast<std::size_t>(it - list.colors().begin());
+        s += list.defect(i) + 1 - k_counts[i];
+      }
+      return s;
+    };
+    EXPECT_EQ(score(a.subset), score(b.subset));
+    // And the compute gap: subset search does exponentially more work.
+    EXPECT_GT(b.ops, a.ops);
+  }
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,74 @@
+// Tests for the classic greedy color reduction (O(Δ²+log* n) pipeline).
+#include <gtest/gtest.h>
+
+#include "coloring/color_reduction.h"
+#include "coloring/linial.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "util/check.h"
+#include "util/logstar.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(ColorReduction, ReducesToDeltaPlusOne) {
+  Rng rng(6001);
+  const Graph g = gnp(200, 0.06, rng);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, o);
+  const auto res =
+      reduce_colors(g, linial.colors, linial.num_colors, g.max_degree() + 1);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  for (Color c : res.colors) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, g.max_degree());
+  }
+  // One round per eliminated class.
+  EXPECT_LE(res.metrics.rounds, linial.num_colors + 2);
+}
+
+TEST(ColorReduction, NoopWhenAlreadySmall) {
+  const Graph g = cycle(6);
+  const std::vector<Color> initial = {0, 1, 0, 1, 0, 1};
+  const auto res = reduce_colors(g, initial, 3, 3);
+  EXPECT_EQ(res.colors, initial);
+  EXPECT_EQ(res.metrics.rounds, 0);
+}
+
+TEST(ColorReduction, RejectsTargetBelowDeltaPlusOne) {
+  const Graph g = complete(4);
+  EXPECT_THROW(reduce_colors(g, {0, 1, 2, 3}, 4, 3), CheckError);
+}
+
+TEST(ColorReduction, RejectsImproperInitial) {
+  const Graph g = path(3);
+  EXPECT_THROW(reduce_colors(g, {0, 0, 1}, 2, 3), CheckError);
+}
+
+TEST(ColorReduction, PipelineIsDeltaSquaredPlusLogStar) {
+  Rng rng(6002);
+  for (int degree : {4, 8, 16}) {
+    const Graph g = random_near_regular(300, degree, rng);
+    const auto res = linial_plus_reduction(g);
+    EXPECT_TRUE(is_proper_coloring(g, res.colors));
+    for (Color c : res.colors) EXPECT_LE(c, g.max_degree());
+    const int delta = g.max_degree();
+    // Linial fixed point ~(2Δ+1)² classes, one round each, plus log*.
+    EXPECT_LE(res.metrics.rounds,
+              16 * delta * delta + 64 +
+                  log_star(std::uint64_t{300}) + 8);
+  }
+}
+
+TEST(ColorReduction, WorksOnStructuredGraphs) {
+  for (const Graph& g : {cycle(30), grid(7, 7), complete(12), hypercube(5)}) {
+    const auto res = linial_plus_reduction(g);
+    EXPECT_TRUE(is_proper_coloring(g, res.colors)) << g.summary();
+    for (Color c : res.colors) EXPECT_LE(c, g.max_degree());
+  }
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,268 @@
+// Tests for the shared sequential-coloring infrastructure
+// (TrimmedList, StampOrientationBuilder), the ColorList type, the
+// simulator's CONGEST bit cap, and the Two-Sweep ablation policies.
+#include <gtest/gtest.h>
+
+#include "coloring/linial.h"
+#include "core/instance.h"
+#include "core/sequential_coloring.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/check.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+// ---- ColorList -------------------------------------------------------------
+
+TEST(ColorList, SortsAndLooksUp) {
+  const ColorList lst({9, 3, 7}, {1, 0, 2});
+  EXPECT_EQ(lst.colors(), (std::vector<Color>{3, 7, 9}));
+  EXPECT_EQ(lst.defects(), (std::vector<int>{0, 2, 1}));
+  EXPECT_TRUE(lst.contains(7));
+  EXPECT_FALSE(lst.contains(5));
+  EXPECT_EQ(lst.defect_of(9), 1);
+  EXPECT_FALSE(lst.defect_of(5).has_value());
+  EXPECT_EQ(lst.weight(), 6);  // (0+1)+(2+1)+(1+1)
+}
+
+TEST(ColorList, RejectsDuplicatesAndNegativeDefects) {
+  EXPECT_THROW(ColorList({1, 1}, {0, 0}), CheckError);
+  EXPECT_THROW(ColorList({1, 2}, {0, -1}), CheckError);
+}
+
+TEST(ColorList, TransformDropsNegatives) {
+  const ColorList lst({1, 2, 3}, {0, 1, 2});
+  const ColorList cut = lst.transform([](Color, int d) { return d - 1; });
+  EXPECT_EQ(cut.colors(), (std::vector<Color>{2, 3}));
+  EXPECT_EQ(cut.defects(), (std::vector<int>{0, 1}));
+}
+
+TEST(ColorList, FactoryHelpers) {
+  const ColorList z = ColorList::zero_defect({5, 1});
+  EXPECT_EQ(z.weight(), 2);
+  const ColorList u = ColorList::uniform({5, 1}, 3);
+  EXPECT_EQ(u.weight(), 8);
+}
+
+// ---- TrimmedList -----------------------------------------------------------
+
+TEST(TrimmedList, DecrementsAndEvicts) {
+  TrimmedList t = TrimmedList::from(ColorList({1, 2}, {1, 0}));
+  EXPECT_EQ(t.weight(), 3);
+  t.on_neighbor_colored(1);  // residual 1 -> 0
+  EXPECT_EQ(t.weight(), 2);
+  EXPECT_EQ(t.colors.size(), 2u);
+  t.on_neighbor_colored(1);  // residual 0 -> evicted
+  EXPECT_EQ(t.weight(), 1);
+  EXPECT_EQ(t.colors, (std::vector<Color>{2}));
+  t.on_neighbor_colored(7);  // absent: no-op
+  EXPECT_EQ(t.weight(), 1);
+  t.on_neighbor_colored(2);  // evict the last color
+  EXPECT_TRUE(t.colors.empty());
+  EXPECT_EQ(t.weight(), 0);
+}
+
+TEST(TrimmedList, WeightDropsByExactlyOnePerHit) {
+  // The invariant every Section 4 slack argument rests on.
+  Rng rng(3001);
+  TrimmedList t;
+  for (Color c = 0; c < 50; ++c) {
+    t.colors.push_back(c);
+    t.residual.push_back(static_cast<int>(rng.below(4)));
+  }
+  std::int64_t w = t.weight();
+  for (int hit = 0; hit < 100; ++hit) {
+    const Color c = static_cast<Color>(rng.below(60));  // sometimes absent
+    const bool present =
+        std::binary_search(t.colors.begin(), t.colors.end(), c);
+    t.on_neighbor_colored(c);
+    EXPECT_EQ(t.weight(), present ? w - 1 : w);
+    w = t.weight();
+  }
+}
+
+// ---- StampOrientationBuilder ----------------------------------------------
+
+TEST(StampBuilder, EarlierStampBecomesHead) {
+  const Graph g = path(3);
+  StampOrientationBuilder b(3);
+  b.set_stamp(0, 5);
+  b.set_stamp(1, 2);
+  b.set_stamp(2, 9);
+  const Orientation o = b.build(g);
+  EXPECT_TRUE(o.is_out_edge(0, 1));  // 1 colored earlier
+  EXPECT_TRUE(o.is_out_edge(2, 1));
+}
+
+TEST(StampBuilder, SamePhaseUsesRecordedArcs) {
+  const Graph g = cycle(4);
+  StampOrientationBuilder b(4);
+  for (NodeId v = 0; v < 4; ++v) b.set_stamp(v, 1);
+  b.add_same_phase_arc(0, 1);
+  b.add_same_phase_arc(2, 1);
+  b.add_same_phase_arc(2, 3);
+  b.add_same_phase_arc(0, 3);
+  const Orientation o = b.build(g);
+  EXPECT_EQ(o.outdegree(0), 2);
+  EXPECT_EQ(o.outdegree(2), 2);
+  EXPECT_EQ(o.outdegree(1), 0);
+}
+
+TEST(StampBuilder, MissingSamePhaseArcIsAnError) {
+  const Graph g = path(2);
+  StampOrientationBuilder b(2);
+  b.set_stamp(0, 1);
+  b.set_stamp(1, 1);
+  EXPECT_THROW(b.build(g), CheckError);  // neither direction recorded
+}
+
+// ---- Network CONGEST bit cap ------------------------------------------------
+
+class WideSender final : public SyncAlgorithm {
+ public:
+  explicit WideSender(const Graph& g, int bits) : graph_(&g), bits_(bits) {}
+  void init(NodeId v, Mailbox& mail) override {
+    if (v == 0) {
+      Message m;
+      m.push(0, bits_);
+      broadcast(*graph_, mail, m);
+    }
+  }
+  void step(NodeId, int, Mailbox&) override {}
+  bool done(NodeId) const override { return true; }
+
+ private:
+  const Graph* graph_;
+  int bits_;
+};
+
+TEST(NetworkBitCap, EnforcesCongestBudget) {
+  const Graph g = path(3);
+  Network net(g);
+  WideSender narrow(g, 8);
+  EXPECT_NO_THROW(net.run(narrow, 5, /*message_bit_cap=*/8));
+  WideSender wide(g, 9);
+  EXPECT_THROW(net.run(wide, 5, /*message_bit_cap=*/8), CheckError);
+}
+
+TEST(NetworkBitCap, ZeroMeansUnlimited) {
+  const Graph g = path(3);
+  Network net(g);
+  WideSender wide(g, 63);
+  EXPECT_NO_THROW(net.run(wide, 5));
+}
+
+TEST(NetworkBitCap, CertifiesTwoSweepMessagePattern) {
+  // Theorem 1.1's message claim, enforced by the simulator (not just
+  // observed): initial color (log q bits) then p colors (p·log C bits),
+  // plus the 2-bit type tags.
+  Rng rng(3010);
+  const Graph g = random_near_regular(80, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  const int list_size = p * p + p + 1;
+  const std::int64_t space = 4 * list_size;
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), space, list_size, 0, rng);
+  const Orientation lin = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, lin);
+
+  const int color_bits = ceil_log2(static_cast<std::uint64_t>(space));
+  const int q_bits =
+      ceil_log2(static_cast<std::uint64_t>(linial.num_colors));
+  const int cap = 2 + std::max(q_bits, p * color_bits);
+
+  TwoSweepProgram program(inst, linial.colors, linial.num_colors, p);
+  Network net(g);
+  EXPECT_NO_THROW(net.run(program, 2 * linial.num_colors + 4, cap));
+  EXPECT_TRUE(validate_oldc(inst, program.final_colors()));
+
+  // One bit less must trip the enforcement.
+  TwoSweepProgram program2(inst, linial.colors, linial.num_colors, p);
+  Network net2(g);
+  EXPECT_THROW(net2.run(program2, 2 * linial.num_colors + 4, cap - 1),
+               CheckError);
+}
+
+// ---- Two-Sweep ablation policies -------------------------------------------
+
+TEST(TwoSweepPolicies, RandomSubsetValidAtGenerousSlack) {
+  Rng rng(3002);
+  const Graph g = random_near_regular(120, 8, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  const int list_size = 3 * (p * p + p + 1);  // 3x the threshold
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 4 * list_size, list_size, 0, rng);
+  const Orientation lin = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, lin);
+  TwoSweepOptions options;
+  options.selection = TwoSweepSelection::kRandomSubset;
+  options.selection_seed = 77;
+  options.skip_precondition_check = true;
+  const ColoringResult res =
+      two_sweep_ex(inst, linial.colors, linial.num_colors, p, options);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+}
+
+TEST(TwoSweepPolicies, OneSweepIsHalfTheRounds) {
+  Rng rng(3003);
+  const Graph g = random_near_regular(100, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 4 * list_size, list_size, 0, rng);
+  const Orientation lin = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, lin);
+
+  const ColoringResult two =
+      two_sweep(inst, linial.colors, linial.num_colors, p);
+  TwoSweepOptions options;
+  options.selection = TwoSweepSelection::kOneSweep;
+  const ColoringResult one =
+      two_sweep_ex(inst, linial.colors, linial.num_colors, p, options);
+  EXPECT_LT(one.metrics.rounds, two.metrics.rounds);
+  EXPECT_TRUE(all_colored(one.colors));
+  // With by-id orientation every out-neighbor decides earlier*, so even
+  // one sweep yields a valid OLDC here (*up to the Linial color order; the
+  // margin rule still protects the node because k_v is exact for the
+  // earlier ones and zero-defect colors are plentiful at this slack).
+  EXPECT_TRUE(validate_oldc(inst, one.colors));
+}
+
+TEST(TwoSweepPolicies, OneSweepFailsWhenEdgesPointLater) {
+  // The adversarial direction of E13(a), as a regression test.
+  Rng rng(3004);
+  const Graph g = random_near_regular(150, 10, rng);
+  const Orientation lin_orient = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, lin_orient);
+  const auto& init = linial.colors;
+  Orientation toward_later =
+      Orientation::from_predicate(g, [&](NodeId a, NodeId b) {
+        return init[static_cast<std::size_t>(b)] >
+               init[static_cast<std::size_t>(a)];
+      });
+  const int beta = toward_later.beta();
+  const int p = beta / 2 + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst = random_uniform_oldc(
+      g, std::move(toward_later), list_size, list_size, 1, rng);
+
+  TwoSweepOptions one;
+  one.selection = TwoSweepSelection::kOneSweep;
+  const ColoringResult r1 =
+      two_sweep_ex(inst, init, linial.num_colors, p, one);
+  EXPECT_FALSE(validate_oldc(inst, r1.colors));  // one sweep overshoots
+
+  const ColoringResult r2 = two_sweep(inst, init, linial.num_colors, p);
+  EXPECT_TRUE(validate_oldc(inst, r2.colors));  // two sweeps fix it
+}
+
+}  // namespace
+}  // namespace dcolor

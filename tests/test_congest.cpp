@@ -1,0 +1,248 @@
+// Tests for the CONGEST pipeline: Lemma 3.5 color space reduction,
+// Theorem 1.2 (congest_oldc) and Theorem 1.3 (solve_degree_plus_one).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coloring/linial.h"
+#include "core/color_space_reduction.h"
+#include "core/congest_oldc.h"
+#include "core/fast_two_sweep.h"
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/logstar.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+std::pair<std::vector<Color>, std::int64_t> initial_coloring(
+    const Graph& g, const Orientation& o) {
+  const LinialResult linial = linial_from_ids(g, o);
+  return {linial.colors, linial.num_colors};
+}
+
+/// Instance with uniform defect sized so Theorem 1.2's premise
+/// weight >= 3·√C·β_v holds with small margin.
+OldcInstance theorem12_instance(const Graph& g, Orientation o,
+                                std::int64_t color_space, Rng& rng) {
+  const double sqrt_c = std::sqrt(static_cast<double>(color_space));
+  OldcInstance inst;
+  const int beta = o.beta();
+  const int defect = 2;
+  const int list_size = std::min<std::int64_t>(
+      color_space,
+      static_cast<std::int64_t>(std::ceil(3.0 * sqrt_c * beta / (defect + 1))) +
+          1);
+  inst = random_uniform_oldc(g, std::move(o), color_space, list_size, defect,
+                             rng);
+  return inst;
+}
+
+TEST(ColorSpaceReduction, SolvesWithTwoSweepBase) {
+  Rng rng(31);
+  const Graph g = random_near_regular(150, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const std::int64_t C = 256;
+  OldcInstance inst = theorem12_instance(g, std::move(o), C, rng);
+  ASSERT_TRUE(inst.satisfies_theorem12());
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+
+  // λ = 4, base = plain Two-Sweep with p = 2 (ε = 0 keeps it simple).
+  const OldcSolver base = [](const OldcInstance& sub,
+                             const std::vector<Color>& initial,
+                             std::int64_t sub_q) {
+    return two_sweep(sub, initial, sub_q, 2);
+  };
+  const ColoringResult res =
+      color_space_reduction(inst, init, q, 4, 2.0, base);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+}
+
+TEST(ColorSpaceReduction, LevelsMultiplyRounds) {
+  Rng rng(32);
+  const Graph g = random_near_regular(120, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  const std::int64_t C = 1024;
+  OldcInstance inst = theorem12_instance(g, std::move(o), C, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  std::int64_t invocations = 0;
+  const OldcSolver base = [&](const OldcInstance& sub,
+                              const std::vector<Color>& initial,
+                              std::int64_t sub_q) {
+    ++invocations;
+    return two_sweep(sub, initial, sub_q, 2);
+  };
+  color_space_reduction(inst, init, q, 4, 2.0, base);
+  EXPECT_EQ(invocations, 5);  // ⌈log₄ 1024⌉ = 5 levels
+}
+
+class CongestOldcTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CongestOldcTest, ValidAcrossColorSpaceSizes) {
+  const std::int64_t C = GetParam();
+  Rng rng(33 + static_cast<std::uint64_t>(C));
+  const Graph g = random_near_regular(150, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  OldcInstance inst = theorem12_instance(g, std::move(o), C, rng);
+  ASSERT_TRUE(inst.satisfies_theorem12());
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = congest_oldc(inst, init, q);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(Spaces, CongestOldcTest,
+                         ::testing::Values(16, 64, 256, 1024));
+
+TEST(CongestOldc, MessageBitsLogarithmic) {
+  // Theorem 1.2: messages of O(log q + log C) bits even for large C.
+  Rng rng(34);
+  const Graph g = random_near_regular(150, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  const std::int64_t C = 4096;
+  OldcInstance inst = theorem12_instance(g, std::move(o), C, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = congest_oldc(inst, init, q);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  // Inner instances live on λ = 4 colors: each message ships an initial
+  // color (log q' bits for the level-local defective coloring) plus at
+  // most 2 part indices. Generous budget: 4·(log q + log C) bits.
+  const int budget = 4 * (ceil_log2(static_cast<std::uint64_t>(q)) +
+                          ceil_log2(static_cast<std::uint64_t>(C)));
+  EXPECT_LE(res.metrics.max_message_bits, budget);
+}
+
+TEST(CongestOldc, RejectsPremiseViolation) {
+  Rng rng(35);
+  const Graph g = complete(16);
+  Orientation o = Orientation::by_id(g);
+  // Tiny lists: weight ≈ list_size << 3√C·β.
+  OldcInstance inst = random_uniform_oldc(g, std::move(o), 1024, 4, 0, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  EXPECT_THROW(congest_oldc(inst, init, q), CheckError);
+}
+
+TEST(CongestOldc, ZeroDefectProperListColoring) {
+  // Pure list coloring through the CONGEST pipeline: defect 0, lists of
+  // size ≥ 3√C·β.
+  Rng rng(36);
+  const Graph g = random_near_regular(100, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  const std::int64_t C = 400;
+  const int beta = o.beta();
+  const int list_size =
+      static_cast<int>(3.0 * std::sqrt(static_cast<double>(C)) * beta) + 1;
+  OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), C, list_size, 0, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = congest_oldc(inst, init, q);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+}
+
+// ---- Theorem 1.3: (deg+1)-list coloring ----------------------------------
+
+class DegPlusOneTest : public ::testing::TestWithParam<PartitionEngine> {};
+
+TEST_P(DegPlusOneTest, ProperColoringFromLists) {
+  Rng rng(41);
+  const Graph g = random_near_regular(200, 8, rng);
+  const std::int64_t C = 2 * (g.max_degree() + 1);
+  const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+  ListColoringOptions options;
+  options.engine = GetParam();
+  const ColoringResult res = solve_degree_plus_one(inst, options);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  EXPECT_TRUE(validate_list_defective(inst, res.colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, DegPlusOneTest,
+                         ::testing::Values(PartitionEngine::kHonest,
+                                           PartitionEngine::kBeg18Oracle));
+
+TEST(DegPlusOne, DeltaPlusOneClassicInstance) {
+  // Every node gets the full palette {0..Δ}: the classic (Δ+1)-coloring.
+  Rng rng(42);
+  const Graph g = gnp(150, 0.06, rng);
+  const ListDefectiveInstance inst = delta_plus_one_instance(g);
+  ListColoringOptions options;
+  options.engine = PartitionEngine::kBeg18Oracle;
+  const ColoringResult res = solve_degree_plus_one(inst, options);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  for (Color c : res.colors) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, g.max_degree());
+  }
+}
+
+TEST(DegPlusOne, WorksOnStructuredGraphs) {
+  ListColoringOptions options;
+  options.engine = PartitionEngine::kBeg18Oracle;
+  for (const Graph& g : {cycle(50), grid(8, 8), hypercube(5), complete(20)}) {
+    const ListDefectiveInstance inst = delta_plus_one_instance(g);
+    const ColoringResult res = solve_degree_plus_one(inst, options);
+    EXPECT_TRUE(is_proper_coloring(g, res.colors)) << g.summary();
+  }
+}
+
+TEST(DegPlusOne, RejectsTooSmallLists) {
+  Rng rng(43);
+  const Graph g = complete(10);
+  ListDefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = 64;
+  inst.lists.assign(10, ColorList::zero_defect({0, 1, 2}));  // deg = 9
+  EXPECT_THROW(solve_degree_plus_one(inst), CheckError);
+}
+
+TEST(DegPlusOne, RejectsNonzeroDefects) {
+  const Graph g = path(3);
+  ListDefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = 8;
+  inst.lists.assign(3, ColorList::uniform({0, 1, 2, 3}, 1));
+  EXPECT_THROW(solve_degree_plus_one(inst), CheckError);
+}
+
+TEST(DegPlusOne, BreakdownAccountsForAllRounds) {
+  Rng rng(45);
+  const Graph g = random_near_regular(200, 8, rng);
+  const std::int64_t C = 2 * (g.max_degree() + 1);
+  const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+  ListColoringBreakdown breakdown;
+  ListColoringOptions options;
+  options.engine = PartitionEngine::kBeg18Oracle;
+  options.breakdown = &breakdown;
+  const ColoringResult res = solve_degree_plus_one(inst, options);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  // The phases partition the total round count exactly.
+  EXPECT_EQ(res.metrics.rounds,
+            breakdown.initial_coloring_rounds + breakdown.partition_rounds +
+                breakdown.class_rounds + breakdown.idle_slot_rounds);
+  EXPECT_GE(breakdown.levels, 1);
+  EXPECT_GE(breakdown.classes_run, 1);
+}
+
+TEST(DegPlusOne, OracleEngineRoundsGrowSlowly) {
+  // Shape check: oracle-engine rounds at Δ=16 should be far below the
+  // honest engine's (which sweeps O(µ²) classes per level).
+  Rng rng(44);
+  const Graph g = random_near_regular(300, 16, rng);
+  const std::int64_t C = 2 * (g.max_degree() + 1);
+  const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+  ListColoringOptions fast{PartitionEngine::kBeg18Oracle};
+  ListColoringOptions slow{PartitionEngine::kHonest};
+  const ColoringResult rf = solve_degree_plus_one(inst, fast);
+  const ColoringResult rs = solve_degree_plus_one(inst, slow);
+  EXPECT_TRUE(is_proper_coloring(g, rf.colors));
+  EXPECT_TRUE(is_proper_coloring(g, rs.colors));
+  EXPECT_LT(rf.metrics.rounds, rs.metrics.rounds);
+}
+
+}  // namespace
+}  // namespace dcolor

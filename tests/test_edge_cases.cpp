@@ -1,0 +1,237 @@
+// Edge cases and robustness: tiny graphs, degenerate parameters, and the
+// general-λ color space reduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coloring/kuhn_defective.h"
+#include "coloring/linial.h"
+#include "coloring/poly_reduce.h"
+#include "core/color_space_reduction.h"
+#include "core/congest_oldc.h"
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "core/theta_color_space.h"
+#include "core/theta_coloring.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "graph/line_graph.h"
+#include "util/check.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+// ---- Tiny graphs ------------------------------------------------------------
+
+TEST(EdgeCases, SingleNodeEverywhere) {
+  const Graph g = Graph::from_edges(1, {});
+  const Orientation o = Orientation::by_id(g);
+  EXPECT_TRUE(is_proper_coloring(g, linial_from_ids(g, o).colors));
+
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 1;
+  inst.orientation = Orientation::by_id(g);
+  inst.lists.push_back(ColorList::zero_defect({0}));
+  const ColoringResult res = two_sweep(inst, {0}, 1, 1);
+  EXPECT_EQ(res.colors, (std::vector<Color>{0}));
+
+  const ListDefectiveInstance dp1 = delta_plus_one_instance(g);
+  EXPECT_TRUE(is_proper_coloring(
+      g, solve_degree_plus_one(
+             dp1, ListColoringOptions{PartitionEngine::kBeg18Oracle})
+             .colors));
+}
+
+TEST(EdgeCases, EdgelessGraph) {
+  const Graph g = Graph::from_edges(6, {});
+  const ListDefectiveInstance inst = delta_plus_one_instance(g);
+  const ColoringResult res = solve_degree_plus_one(inst);
+  EXPECT_TRUE(all_colored(res.colors));
+}
+
+TEST(EdgeCases, SingleEdge) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  const ColoringResult res =
+      solve_degree_plus_one(delta_plus_one_instance(g));
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+}
+
+TEST(EdgeCases, StarGraphHighDegreeCenter) {
+  const Graph g = complete_bipartite(1, 30);
+  const ColoringResult res = solve_degree_plus_one(
+      delta_plus_one_instance(g),
+      ListColoringOptions{PartitionEngine::kBeg18Oracle});
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+}
+
+TEST(EdgeCases, ColorSpaceOfSizeOne) {
+  // Everyone must take color 0; feasible only with defects >= degree.
+  const Graph g = complete(4);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 1;
+  inst.orientation = Orientation::by_id(g);
+  inst.lists.assign(4, ColorList::uniform({0}, 3));
+  const std::vector<Color> init = {0, 1, 2, 3};
+  const ColoringResult res = two_sweep(inst, init, 4, 1);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  EXPECT_EQ(num_colors_used(res.colors), 1);
+}
+
+// ---- poly schedule budget properties ----------------------------------------
+
+TEST(PolyScheduleDefective, GeometricBudgetNeverExceedsAlpha) {
+  // Per-step alpha_i implied by k_i is D_i/k_i; their sum must stay <= α.
+  for (double alpha : {1.0, 0.5, 0.25, 0.1, 0.05}) {
+    for (std::uint64_t q : {std::uint64_t{100}, std::uint64_t{100000},
+                            std::uint64_t{1} << 40}) {
+      const auto schedule = poly_schedule_defective(q, alpha);
+      double spent = 0;
+      std::uint64_t space = std::max<std::uint64_t>(2, q);
+      for (const auto& step : schedule) {
+        EXPECT_LT(step.k * step.k, space);  // every step shrinks
+        spent += static_cast<double>(std::max(step.degree, 1)) /
+                 static_cast<double>(step.k);
+        space = step.k * step.k;
+      }
+      EXPECT_LE(spent, alpha + 1e-9) << "alpha=" << alpha << " q=" << q;
+    }
+  }
+}
+
+TEST(PolyScheduleDefective, FinalSpaceIsInverseAlphaSquared) {
+  for (double alpha : {0.5, 0.25, 0.125}) {
+    const auto schedule = poly_schedule_defective(std::uint64_t{1} << 30,
+                                                  alpha);
+    ASSERT_FALSE(schedule.empty());
+    const double final_space = static_cast<double>(
+        schedule.back().k * schedule.back().k);
+    // Final step uses ~alpha/2: k ≈ 2D/alpha with small D.
+    EXPECT_LE(final_space, 400.0 / (alpha * alpha));
+  }
+}
+
+// ---- General λ color space reduction -----------------------------------------
+
+class LambdaSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(LambdaSweep, ColorSpaceReductionWorksForAnyLambda) {
+  const std::int64_t lambda = GetParam();
+  Rng rng(7000 + static_cast<std::uint64_t>(lambda));
+  const Graph g = random_near_regular(120, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  const std::int64_t C = 4096;
+  // Base: plain Two-Sweep with p = ⌈√λ⌉; κ(λ) = p (ε = 0).
+  const auto p = static_cast<int>(ceil_sqrt(static_cast<std::uint64_t>(lambda)));
+  const double kappa = p;
+  // Levels L with λ^L >= C; required slack κ^L.
+  int levels = 1;
+  {
+    std::int64_t cap = lambda;
+    while (cap < C) {
+      cap *= lambda;
+      ++levels;
+    }
+  }
+  const double required = std::pow(kappa, levels);
+  const int defect = 3;
+  const auto list_size = static_cast<int>(std::min<double>(
+      C, std::ceil(required * beta / (defect + 1)) + 1));
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), C, list_size, defect, rng);
+
+  const LinialResult linial = linial_from_ids(g, Orientation::by_id(g));
+  const OldcSolver base = [&](const OldcInstance& sub,
+                              const std::vector<Color>& initial,
+                              std::int64_t sub_q) {
+    return two_sweep(sub, initial, sub_q, p);
+  };
+  const ColoringResult res = color_space_reduction(
+      inst, linial.colors, linial.num_colors, lambda, kappa, base);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+}
+
+// λ = 2 is degenerate: κ(2) = 2 per level and log₂C levels make the
+// required slack κ^L = C itself — no list fits. λ >= 3 keeps κ^L
+// sublinear in C (the paper picks λ = 4, where κ^L ≈ 2√C).
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(3, 4, 8, 16, 64));
+
+// ---- Lemma 4.6 direct --------------------------------------------------------
+
+TEST(Lemma46, SlackRequirementFormula) {
+  // 2σ = 84·θ·(⌈logΔ⌉+1).
+  EXPECT_EQ(lemma46_slack_requirement(2, 1), 84 * 2);
+  EXPECT_EQ(lemma46_slack_requirement(8, 2), 84 * 2 * 4);
+  EXPECT_EQ(lemma46_slack_requirement(9, 1), 84 * 5);
+}
+
+TEST(Lemma46, StepSolvesHighSlackInstance) {
+  // Small θ-bounded graph, instance with slack > 2σ; the step must halve
+  // the color space and recombine into a valid arbdefective coloring.
+  const Graph g = disjoint_cliques(6, 3);  // θ = 1, Δ = 2
+  const int theta = 1;
+  const std::int64_t required = lemma46_slack_requirement(g.delta_paper(),
+                                                          theta);
+  const std::int64_t C = 256;
+  const int defect = 11;
+  // weight = |L|·12 > required·deg (deg = 2): |L| > required/6.
+  const auto list_size =
+      static_cast<int>(required * g.max_degree() / (defect + 1) + 2);
+  Rng rng(7100);
+  const ArbdefectiveInstance inst =
+      random_uniform_list_defective(g, C, list_size, defect, rng);
+  ASSERT_GT(inst.slack(), static_cast<double>(required));
+
+  const ArbSolver pa2 = [](const ArbdefectiveInstance& sub) {
+    return solve_arbdefective_slack1(
+        sub, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+  };
+  const ArbdefectiveResult res = theta_color_space_step(inst, theta, pa2);
+  EXPECT_TRUE(validate_arbdefective(inst, res));
+}
+
+// ---- Theorem 1.5 quasi branch on a line graph ---------------------------------
+
+TEST(Theorem15, QuasiPolylogBranchOnTinyLineGraph) {
+  const Graph g = line_graph(cycle(8));  // 2-regular, θ = 2
+  ThetaColoringOptions options;
+  options.branch = ThetaColoringOptions::Branch::kQuasiPolylog;
+  options.base_color_threshold = 2;
+  const ColoringResult res = theta_delta_plus_one(g, 2, options);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+}
+
+// ---- Congest OLDC with symmetric instances ------------------------------------
+
+TEST(CongestOldc, SymmetricInstanceSolvedUndirected) {
+  Rng rng(7200);
+  const Graph g = random_near_regular(150, 4, rng);
+  const std::int64_t C = 256;
+  const int delta = g.max_degree();
+  const int defect = 2;
+  const auto list_size = static_cast<int>(
+      std::ceil(3.0 * std::sqrt(static_cast<double>(C)) * delta /
+                (defect + 1)) +
+      1);
+  OldcInstance inst =
+      random_uniform_oldc(g, Orientation::by_id(g), C, list_size, defect, rng);
+  inst.symmetric = true;  // β_v = deg(v): the premise uses full degrees
+  const LinialResult linial = linial_from_ids(g, Orientation::by_id(g));
+  const ColoringResult res =
+      congest_oldc(inst, linial.colors, linial.num_colors);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  // Symmetric validity == undirected defect bound.
+  const auto defects = undirected_defects(g, res.colors);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(defects[static_cast<std::size_t>(v)], defect);
+  }
+}
+
+}  // namespace
+}  // namespace dcolor

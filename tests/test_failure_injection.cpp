@@ -1,0 +1,184 @@
+// Failure injection: corrupt correct outputs in every way a buggy
+// algorithm could and verify the validators catch each violation class.
+// The whole experiment suite trusts these validators — they must not
+// have blind spots.
+#include <gtest/gtest.h>
+
+#include "coloring/linial.h"
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+struct Fixture {
+  Graph g;
+  OldcInstance inst;
+  std::vector<Color> colors;
+
+  /// In-place init: inst.graph points at this->g, so the fixture must not
+  /// be moved after initialization.
+  void init(std::uint64_t seed) {
+    Rng rng(seed);
+    g = random_near_regular(120, 8, rng);
+    Orientation o = Orientation::by_id(g);
+    const int p = o.beta() / 2 + 1;
+    const int list_size = p * p + p + 1;
+    inst =
+        random_uniform_oldc(g, std::move(o), 4 * list_size, list_size, 1, rng);
+    inst.graph = &g;
+    const LinialResult linial = linial_from_ids(g, Orientation::by_id(g));
+    colors = two_sweep(inst, linial.colors, linial.num_colors, p).colors;
+  }
+};
+
+TEST(FailureInjection, OffListColorIsCaught) {
+  Fixture f;
+  f.init(9001);
+  ASSERT_TRUE(validate_oldc(f.inst, f.colors));
+  // Replace one node's color with a color outside its list.
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    for (Color c = 0; c < f.inst.color_space; ++c) {
+      if (!f.inst.lists[static_cast<std::size_t>(v)].contains(c)) {
+        auto bad = f.colors;
+        bad[static_cast<std::size_t>(v)] = c;
+        EXPECT_FALSE(validate_oldc(f.inst, bad));
+        return;
+      }
+    }
+  }
+  FAIL() << "no off-list color found";
+}
+
+TEST(FailureInjection, UncoloredNodeIsCaught) {
+  Fixture f;
+  f.init(9002);
+  auto bad = f.colors;
+  bad[17] = kNoColor;
+  EXPECT_FALSE(validate_oldc(f.inst, bad));
+}
+
+TEST(FailureInjection, DefectOvershootIsCaught) {
+  // Force a node's out-neighborhood onto its own color until the defect
+  // budget bursts.
+  Fixture f;
+  f.init(9003);
+  NodeId v = -1;
+  for (NodeId cand = 0; cand < f.g.num_nodes(); ++cand) {
+    if (f.inst.orientation.outdegree(cand) >= 3) {
+      v = cand;
+      break;
+    }
+  }
+  ASSERT_GE(v, 0);
+  auto bad = f.colors;
+  const Color cv = bad[static_cast<std::size_t>(v)];
+  // Defect is 1: two same-colored out-neighbors overshoot, one does not.
+  const auto outs = f.inst.orientation.out_neighbors(v);
+  bad[static_cast<std::size_t>(outs[0])] = cv;
+  bad[static_cast<std::size_t>(outs[1])] = cv;
+  // NOTE: the corrupted out-neighbors may themselves now be off-list or
+  // over budget — that is fine, the validator must reject either way.
+  EXPECT_FALSE(validate_oldc(f.inst, bad));
+}
+
+TEST(FailureInjection, WrongSizeVectorIsCaught) {
+  Fixture f;
+  f.init(9004);
+  auto bad = f.colors;
+  bad.pop_back();
+  EXPECT_FALSE(validate_oldc(f.inst, bad));
+  bad.push_back(0);
+  bad.push_back(0);
+  EXPECT_FALSE(validate_oldc(f.inst, bad));
+}
+
+TEST(FailureInjection, ArbdefectiveOrientationMismatchIsCaught) {
+  // An arbdefective "solution" whose orientation hides the conflicts in
+  // the wrong direction must still be rejected when the defect budget is
+  // exceeded on the other side.
+  const Graph g = complete(4);
+  ArbdefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = 2;
+  inst.lists.assign(4, ColorList::uniform({0, 1}, 1));
+  // All nodes color 0: node with outdegree 3 exceeds defect 1.
+  ArbdefectiveResult res;
+  res.colors.assign(4, 0);
+  res.orientation = Orientation::by_id(g);
+  EXPECT_FALSE(validate_arbdefective(inst, res));
+  // A fair orientation can keep everyone within defect 1 only if max
+  // outdegree <= 1, impossible on K4 (6 edges, 4 nodes): still invalid.
+  res.orientation = Orientation::degeneracy(g);
+  EXPECT_FALSE(validate_arbdefective(inst, res));
+}
+
+TEST(FailureInjection, ListDefectiveCountsBothDirections) {
+  // Undirected validation must count in-neighbors too — the difference
+  // between P_D and OLDC.
+  const Graph g = path(3);
+  ListDefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = 2;
+  inst.lists.assign(3, ColorList::uniform({0, 1}, 1));
+  // Center node has both neighbors on its color: defect 2 > 1.
+  EXPECT_FALSE(validate_list_defective(inst, {0, 0, 0}));
+  // One neighbor on its color: within budget everywhere.
+  EXPECT_TRUE(validate_list_defective(inst, {0, 0, 1}));
+}
+
+TEST(FailureInjection, SymmetricValidationCountsAllNeighbors) {
+  Fixture f;
+  f.init(9005);
+  OldcInstance sym = f.inst;
+  sym.graph = &f.g;
+  sym.symmetric = true;
+  // The oriented solution need not be symmetric-valid; corrupt one dense
+  // node's neighborhood and confirm rejection under symmetric semantics.
+  auto bad = f.colors;
+  NodeId v = 0;
+  for (NodeId cand = 0; cand < f.g.num_nodes(); ++cand) {
+    if (f.g.degree(cand) >= 3) {
+      v = cand;
+      break;
+    }
+  }
+  const Color cv = bad[static_cast<std::size_t>(v)];
+  int painted = 0;
+  for (NodeId u : f.g.neighbors(v)) {
+    bad[static_cast<std::size_t>(u)] = cv;
+    if (++painted == 3) break;
+  }
+  EXPECT_FALSE(validate_oldc(sym, bad));
+}
+
+TEST(FailureInjection, FrameworkOutputSurvivesSpotChecks) {
+  // End-to-end: take a real framework output, inject one random flip,
+  // and make sure properness checking notices (50 random flips).
+  Rng rng(9006);
+  const Graph g = random_near_regular(150, 8, rng);
+  const ListDefectiveInstance inst = degree_plus_one_instance(g, 40, rng);
+  const ColoringResult res = solve_degree_plus_one(
+      inst, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+  ASSERT_TRUE(is_proper_coloring(g, res.colors));
+  int rejected = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto bad = res.colors;
+    const auto v = static_cast<std::size_t>(rng.below(150));
+    const NodeId node = static_cast<NodeId>(v);
+    if (g.degree(node) == 0) continue;
+    // Copy a neighbor's color — always breaks properness.
+    const auto nb = g.neighbors(node);
+    bad[v] = bad[static_cast<std::size_t>(
+        nb[static_cast<std::size_t>(rng.below(nb.size()))])];
+    if (!is_proper_coloring(g, bad)) ++rejected;
+  }
+  EXPECT_EQ(rejected, 50);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,342 @@
+// Unit tests for src/graph: graphs, orientations, generators, hypergraphs,
+// line graphs, neighborhood independence, coloring checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "graph/independence.h"
+#include "graph/line_graph.h"
+#include "graph/orientation.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(Graph, FromEdgesDedupsAndDropsLoops) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 0}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g = Graph::from_edges(5, {{3, 1}, {3, 4}, {3, 0}, {3, 2}});
+  const auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, RejectsOutOfRangeEdge) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 5}}), CheckError);
+}
+
+TEST(Graph, DeltaPaperConvention) {
+  // Δ(G) is max(2, max degree) per Section 2.
+  const Graph single = Graph::from_edges(2, {{0, 1}});
+  EXPECT_EQ(single.max_degree(), 1);
+  EXPECT_EQ(single.delta_paper(), 2);
+}
+
+TEST(Graph, EdgeListRoundTrips) {
+  Rng rng(3);
+  const Graph g = gnp(50, 0.2, rng);
+  const Graph h = Graph::from_edges(50, g.edge_list());
+  EXPECT_EQ(g.num_edges(), h.num_edges());
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), h.degree(v));
+}
+
+TEST(Graph, InducedSubgraph) {
+  const Graph g = cycle(6);
+  const auto sub = g.induced_subgraph({0, 1, 2, 4});
+  EXPECT_EQ(sub.graph.num_nodes(), 4);
+  EXPECT_EQ(sub.graph.num_edges(), 2);  // 0-1, 1-2 survive; 4 isolated
+  EXPECT_EQ(sub.to_orig[static_cast<std::size_t>(sub.to_sub[1])], 1);
+  EXPECT_EQ(sub.to_sub[3], -1);
+}
+
+TEST(Graph, InducedSubgraphRejectsDuplicates) {
+  const Graph g = cycle(4);
+  EXPECT_THROW(g.induced_subgraph({0, 0}), CheckError);
+}
+
+TEST(Graph, EdgeSubgraphKeepsNodesDropsEdges) {
+  const Graph g = complete(4);
+  const Graph h = g.edge_subgraph({{0, 1}, {2, 3}});
+  EXPECT_EQ(h.num_nodes(), 4);
+  EXPECT_EQ(h.num_edges(), 2);
+  EXPECT_THROW(g.edge_subgraph({{0, 0}}), CheckError);
+}
+
+TEST(Orientation, ByIdPointsToSmaller) {
+  const Graph g = complete(4);
+  const Orientation o = Orientation::by_id(g);
+  EXPECT_EQ(o.outdegree(0), 0);
+  EXPECT_EQ(o.outdegree(3), 3);
+  EXPECT_TRUE(o.is_out_edge(3, 0));
+  EXPECT_FALSE(o.is_out_edge(0, 3));
+  EXPECT_EQ(o.beta_v(0), 1);  // max(1, outdeg) convention
+}
+
+TEST(Orientation, EveryEdgeOrientedExactlyOnce) {
+  Rng rng(5);
+  const Graph g = gnp(60, 0.15, rng);
+  for (const Orientation& o :
+       {Orientation::by_id(g), Orientation::random(g, rng),
+        Orientation::degeneracy(g)}) {
+    std::int64_t arcs = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      arcs += o.outdegree(v);
+      for (NodeId u : o.out_neighbors(v)) {
+        EXPECT_TRUE(g.has_edge(v, u));
+        EXPECT_FALSE(o.is_out_edge(u, v));
+        // u must list v as in-neighbor.
+        const auto in = o.in_neighbors(u);
+        EXPECT_TRUE(std::binary_search(in.begin(), in.end(), v));
+      }
+    }
+    EXPECT_EQ(arcs, g.num_edges());
+  }
+}
+
+TEST(Orientation, DegeneracyBoundsOutdegreeOnTrees) {
+  Rng rng(9);
+  const Graph t = random_tree(200, rng);
+  const Orientation o = Orientation::degeneracy(t);
+  EXPECT_LE(o.beta(), 1);  // trees are 1-degenerate
+}
+
+TEST(Orientation, DegeneracyBoundsOutdegreeOnPlanarishGrid) {
+  const Graph g = grid(15, 15);
+  const Orientation o = Orientation::degeneracy(g);
+  EXPECT_LE(o.beta(), 2);  // grids are 2-degenerate
+}
+
+TEST(Orientation, ByPriorityMatchesOrder) {
+  const Graph g = path(4);
+  const std::vector<std::int64_t> prio = {3, 2, 1, 0};
+  const Orientation o = Orientation::by_priority(g, prio);
+  // Edges point toward smaller priority: 0->1, 1->2, 2->3.
+  EXPECT_TRUE(o.is_out_edge(0, 1));
+  EXPECT_TRUE(o.is_out_edge(1, 2));
+  EXPECT_TRUE(o.is_out_edge(2, 3));
+}
+
+TEST(Generators, CycleAndPath) {
+  EXPECT_EQ(cycle(5).num_edges(), 5);
+  EXPECT_EQ(path(5).num_edges(), 4);
+  EXPECT_EQ(cycle(5).max_degree(), 2);
+}
+
+TEST(Generators, CompleteFamilies) {
+  EXPECT_EQ(complete(6).num_edges(), 15);
+  EXPECT_EQ(complete_bipartite(3, 4).num_edges(), 12);
+  EXPECT_EQ(complete_bipartite(3, 4).max_degree(), 4);
+}
+
+TEST(Generators, GridAndHypercube) {
+  EXPECT_EQ(grid(3, 4).num_nodes(), 12);
+  EXPECT_EQ(grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(hypercube(4).num_nodes(), 16);
+  EXPECT_EQ(hypercube(4).max_degree(), 4);
+  EXPECT_EQ(hypercube(4).num_edges(), 32);
+}
+
+TEST(Generators, GnpDensityRoughlyRight) {
+  Rng rng(17);
+  const Graph g = gnp(400, 0.05, rng);
+  const double expected = 0.05 * 400 * 399 / 2;
+  EXPECT_GT(g.num_edges(), expected * 0.8);
+  EXPECT_LT(g.num_edges(), expected * 1.2);
+}
+
+TEST(Generators, GnpEdgeCases) {
+  Rng rng(2);
+  EXPECT_EQ(gnp(10, 0.0, rng).num_edges(), 0);
+  EXPECT_EQ(gnp(10, 1.0, rng).num_edges(), 45);
+}
+
+TEST(Generators, GnpAvgDegree) {
+  Rng rng(23);
+  const Graph g = gnp_avg_degree(1000, 8.0, rng);
+  double avg = 2.0 * static_cast<double>(g.num_edges()) / 1000;
+  EXPECT_NEAR(avg, 8.0, 1.0);
+}
+
+TEST(Generators, NearRegularDegrees) {
+  Rng rng(31);
+  const Graph g = random_near_regular(300, 6, rng);
+  int at_degree = 0;
+  for (NodeId v = 0; v < 300; ++v) {
+    EXPECT_LE(g.degree(v), 6);
+    if (g.degree(v) == 6) ++at_degree;
+  }
+  EXPECT_GT(at_degree, 250);  // most nodes hit the target degree
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(7);
+  for (NodeId n : {1, 2, 3, 10, 100}) {
+    const Graph t = random_tree(n, rng);
+    EXPECT_EQ(t.num_edges(), n - 1);
+    // Connectivity via BFS.
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::vector<NodeId> stack{0};
+    seen[0] = true;
+    int count = 0;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      ++count;
+      for (NodeId u : t.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+    EXPECT_EQ(count, n);
+  }
+}
+
+TEST(Generators, DisjointCliquesTheta1) {
+  const Graph g = disjoint_cliques(5, 4);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_EQ(neighborhood_independence_exact(g).value(), 1);
+}
+
+TEST(Generators, CliqueChainTheta2) {
+  const Graph g = clique_chain(4, 5);
+  EXPECT_EQ(g.num_nodes(), 4 * 4 + 1);
+  EXPECT_EQ(neighborhood_independence_exact(g).value(), 2);
+}
+
+TEST(Generators, CyclePowerTheta2) {
+  const Graph g = cycle_power(20, 3);
+  EXPECT_EQ(g.max_degree(), 6);
+  EXPECT_EQ(neighborhood_independence_exact(g).value(), 2);
+}
+
+TEST(Hypergraph, RankAndDegree) {
+  const Hypergraph h(6, {{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 3}});
+  EXPECT_EQ(h.rank(), 3);
+  EXPECT_EQ(h.max_vertex_degree(), 3);  // vertex 3 in three edges
+}
+
+TEST(Hypergraph, RandomHasRequestedShape) {
+  Rng rng(13);
+  const Hypergraph h = random_hypergraph(50, 80, 4, rng);
+  EXPECT_EQ(h.edges().size(), 80u);
+  EXPECT_EQ(h.rank(), 4);
+}
+
+TEST(LineGraph, TriangleBecomesTriangle) {
+  const Graph g = line_graph(complete(3));
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(LineGraph, StarBecomesClique) {
+  const Graph star = complete_bipartite(1, 5);
+  const Graph lg = line_graph(star);
+  EXPECT_EQ(lg.num_nodes(), 5);
+  EXPECT_EQ(lg.num_edges(), 10);
+}
+
+TEST(LineGraph, ThetaBoundedByRank) {
+  Rng rng(19);
+  for (int rank : {2, 3, 4}) {
+    const Hypergraph h = random_hypergraph(40, 60, rank, rng);
+    const Graph lg = line_graph(h);
+    const auto theta = neighborhood_independence_exact(lg, 128);
+    if (theta.has_value()) {
+      EXPECT_LE(*theta, rank);
+    }
+  }
+}
+
+TEST(LineGraph, GraphLineGraphTheta2) {
+  Rng rng(29);
+  const Graph g = gnp(30, 0.2, rng);
+  const Graph lg = line_graph(g);
+  const auto theta = neighborhood_independence_exact(lg, 128);
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_LE(*theta, 2);
+}
+
+TEST(Independence, ExactOnKnownGraphs) {
+  // C5: each neighborhood is 2 non-adjacent nodes -> θ = 2.
+  EXPECT_EQ(neighborhood_independence_exact(cycle(5)).value(), 2);
+  // K5: neighborhoods are cliques -> θ = 1.
+  EXPECT_EQ(neighborhood_independence_exact(complete(5)).value(), 1);
+  // Star K_{1,5}: center's neighborhood is independent -> θ = 5.
+  EXPECT_EQ(neighborhood_independence_exact(complete_bipartite(1, 5)).value(),
+            5);
+}
+
+TEST(Independence, BoundsSandwichExact) {
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gnp(40, 0.25, rng);
+    const auto exact = neighborhood_independence_exact(g);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(neighborhood_independence_lower(g), *exact);
+    EXPECT_GE(neighborhood_independence_upper(g), *exact);
+  }
+}
+
+TEST(Independence, ExactMisOnSmallSets) {
+  const Graph g = cycle(6);
+  EXPECT_EQ(independence_number_exact(g, {0, 1, 2, 3, 4, 5}), 3);
+  EXPECT_EQ(independence_number_exact(g, {0, 2, 4}), 3);
+  EXPECT_EQ(independence_number_exact(g, {}), 0);
+}
+
+TEST(Independence, CapReturnsNullopt) {
+  const Graph star = complete_bipartite(1, 10);
+  EXPECT_FALSE(neighborhood_independence_exact(star, 5).has_value());
+}
+
+TEST(ColoringChecks, ProperColoring) {
+  const Graph g = cycle(4);
+  EXPECT_TRUE(is_proper_coloring(g, {0, 1, 0, 1}));
+  EXPECT_FALSE(is_proper_coloring(g, {0, 1, 0, 0}));
+  EXPECT_FALSE(is_proper_coloring(g, {0, 1, 0, kNoColor}));
+}
+
+TEST(ColoringChecks, UndirectedDefects) {
+  const Graph g = complete(4);
+  const auto d = undirected_defects(g, {0, 0, 0, 1});
+  EXPECT_EQ(d[0], 2);
+  EXPECT_EQ(d[3], 0);
+  EXPECT_EQ(max_undirected_defect(g, {0, 0, 0, 1}), 2);
+}
+
+TEST(ColoringChecks, OrientedDefects) {
+  const Graph g = complete(3);
+  const Orientation o = Orientation::by_id(g);  // edges toward smaller ids
+  const auto d = oriented_defects(o, {7, 7, 7});
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 2);
+}
+
+TEST(ColoringChecks, NumColorsAndAllColored) {
+  EXPECT_EQ(num_colors_used({0, 5, 0, kNoColor}), 2);
+  EXPECT_FALSE(all_colored({0, kNoColor}));
+  EXPECT_TRUE(all_colored({0, 1}));
+}
+
+}  // namespace
+}  // namespace dcolor

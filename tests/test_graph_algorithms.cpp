@@ -1,0 +1,96 @@
+// Tests for src/graph/algorithms and the adversarial instance generators.
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(Components, CountsAndLabels) {
+  const Graph g = disjoint_cliques(4, 3);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      EXPECT_EQ(c.component[static_cast<std::size_t>(v)],
+                c.component[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+TEST(Components, ConnectedGraphIsOneComponent) {
+  Rng rng(5001);
+  const Graph t = random_tree(100, rng);
+  EXPECT_EQ(connected_components(t).count, 1);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path(5);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(path(6)), 5);
+  EXPECT_EQ(diameter(cycle(8)), 4);
+  EXPECT_EQ(diameter(complete(5)), 1);
+  EXPECT_EQ(diameter(grid(3, 3)), 4);
+  EXPECT_EQ(diameter(hypercube(5)), 5);
+}
+
+TEST(Degeneracy, KnownValues) {
+  Rng rng(5002);
+  EXPECT_EQ(degeneracy_number(random_tree(50, rng)), 1);
+  EXPECT_EQ(degeneracy_number(cycle(9)), 2);
+  EXPECT_EQ(degeneracy_number(complete(6)), 5);
+  EXPECT_EQ(degeneracy_number(grid(5, 5)), 2);
+  EXPECT_EQ(degeneracy_number(Graph::from_edges(3, {})), 0);
+}
+
+TEST(Eccentricity, CenterOfPath) {
+  const Graph g = path(5);
+  EXPECT_EQ(eccentricity(g, 2), 2);
+  EXPECT_EQ(eccentricity(g, 0), 4);
+}
+
+TEST(AdversarialGenerators, ContentionInstanceSharesOneList) {
+  const Graph g = cycle(6);
+  const OldcInstance inst =
+      contention_oldc(g, Orientation::by_id(g), 5, 2);
+  EXPECT_EQ(inst.color_space, 5);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(inst.lists[static_cast<std::size_t>(v)].colors(),
+              (std::vector<Color>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(inst.lists[static_cast<std::size_t>(v)].weight(), 15);
+  }
+}
+
+TEST(AdversarialGenerators, TowardLargerOrientsEveryEdge) {
+  Rng rng(5003);
+  const Graph g = gnp(60, 0.1, rng);
+  std::vector<Color> values(60);
+  for (auto& v : values) v = static_cast<Color>(rng.below(10));  // with ties
+  const Orientation o = orientation_toward_larger(g, values);
+  std::int64_t arcs = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    arcs += o.outdegree(v);
+    for (NodeId u : o.out_neighbors(v)) {
+      const Color vu = values[static_cast<std::size_t>(u)];
+      const Color vv = values[static_cast<std::size_t>(v)];
+      EXPECT_TRUE(vu > vv || (vu == vv && u > v));
+    }
+  }
+  EXPECT_EQ(arcs, g.num_edges());
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,200 @@
+// Tests for the plain-text serialization module (src/io).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/two_sweep.h"
+#include "coloring/linial.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "io/dot_export.h"
+#include "io/instance_io.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  Rng rng(2001);
+  const Graph g = gnp(80, 0.1, rng);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  EXPECT_EQ(g.num_nodes(), h.num_nodes());
+  EXPECT_EQ(g.num_edges(), h.num_edges());
+  EXPECT_EQ(g.edge_list(), h.edge_list());
+}
+
+TEST(GraphIo, EmptyGraph) {
+  std::stringstream ss;
+  write_graph(ss, Graph::from_edges(5, {}));
+  const Graph h = read_graph(ss);
+  EXPECT_EQ(h.num_nodes(), 5);
+  EXPECT_EQ(h.num_edges(), 0);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("not-a-header v1\nnodes 3\nend\n");
+    EXPECT_THROW(read_graph(ss), CheckError);
+  }
+  {
+    std::stringstream ss("dcolor-graph v1\nnodes 3\nedge 0\nend\n");
+    EXPECT_THROW(read_graph(ss), CheckError);
+  }
+  {
+    std::stringstream ss("dcolor-graph v1\nnodes 3\nedge 0 nine\nend\n");
+    EXPECT_THROW(read_graph(ss), CheckError);
+  }
+}
+
+TEST(OldcIo, RoundTripPreservesInstance) {
+  Rng rng(2002);
+  const Graph g = random_near_regular(60, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 100, 12, 2, rng);
+
+  std::stringstream ss;
+  write_oldc(ss, inst);
+  const OwnedOldcInstance owned = read_oldc(ss);
+  const OldcInstance& back = owned.instance;
+
+  EXPECT_EQ(back.color_space, inst.color_space);
+  EXPECT_EQ(back.symmetric, inst.symmetric);
+  EXPECT_EQ(owned.graph.edge_list(), g.edge_list());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    EXPECT_EQ(back.lists[vi].colors(), inst.lists[vi].colors());
+    EXPECT_EQ(back.lists[vi].defects(), inst.lists[vi].defects());
+    EXPECT_EQ(back.orientation.outdegree(v), inst.orientation.outdegree(v));
+    for (NodeId u : inst.orientation.out_neighbors(v)) {
+      EXPECT_TRUE(back.orientation.is_out_edge(v, u));
+    }
+  }
+}
+
+TEST(OldcIo, RoundTrippedInstanceIsSolvable) {
+  // The acid test: solve the instance after a round trip.
+  Rng rng(2003);
+  const Graph g = random_near_regular(80, 8, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() / 2 + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 4 * list_size, list_size, 1, rng);
+
+  std::stringstream ss;
+  write_oldc(ss, inst);
+  const OwnedOldcInstance owned = read_oldc(ss);
+
+  const Orientation lin = Orientation::by_id(owned.graph);
+  const LinialResult linial = linial_from_ids(owned.graph, lin);
+  const ColoringResult res =
+      two_sweep(owned.instance, linial.colors, linial.num_colors, p);
+  EXPECT_TRUE(validate_oldc(owned.instance, res.colors));
+}
+
+TEST(OldcIo, SymmetricInstanceRoundTrip) {
+  const Graph g = cycle(8);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 3;
+  inst.symmetric = true;
+  inst.lists.assign(8, ColorList::uniform({0, 1, 2}, 2));
+  std::stringstream ss;
+  write_oldc(ss, inst);
+  const OwnedOldcInstance owned = read_oldc(ss);
+  EXPECT_TRUE(owned.instance.symmetric);
+  EXPECT_EQ(owned.instance.effective_outdegree(0), 2);
+}
+
+TEST(OldcIo, MissingListIsRejected) {
+  std::stringstream ss(
+      "dcolor-oldc v1\ncolorspace 4\nsymmetric 0\n"
+      "dcolor-graph v1\nnodes 2\nedge 0 1\nend\n"
+      "arc 1 0\nlist 0 1 2 0\nend\n");
+  EXPECT_THROW(read_oldc(ss), CheckError);
+}
+
+TEST(ColoringIo, RoundTripWithUncoloredNodes) {
+  const std::vector<Color> colors = {4, kNoColor, 0, 17, kNoColor};
+  std::stringstream ss;
+  write_coloring(ss, colors);
+  EXPECT_EQ(read_coloring(ss), colors);
+}
+
+TEST(ColoringIo, RejectsOutOfRangeNode) {
+  std::stringstream ss("dcolor-coloring v1\ncolors 2\nc 5 1\nend\n");
+  EXPECT_THROW(read_coloring(ss), CheckError);
+}
+
+TEST(FileIo, SaveLoadGraph) {
+  Rng rng(2004);
+  const Graph g = random_tree(40, rng);
+  const std::string path = "/tmp/dcolor_io_test_graph.txt";
+  save_graph(path, g);
+  const Graph h = load_graph(path);
+  EXPECT_EQ(g.edge_list(), h.edge_list());
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(load_graph("/tmp/definitely_missing_dcolor_file.txt"),
+               CheckError);
+}
+
+TEST(DotExport, UndirectedContainsNodesAndEdges) {
+  const Graph g = cycle(4);
+  std::stringstream ss;
+  write_dot(ss, g, {0, 1, 0, 1});
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("graph dcolor {"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(out.find("fillcolor"), std::string::npos);
+  // 4 nodes, 4 edges.
+  std::size_t edges = 0;
+  for (std::size_t pos = out.find(" -- "); pos != std::string::npos;
+       pos = out.find(" -- ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 4u);
+}
+
+TEST(DotExport, DirectedUsesArrows) {
+  const Graph g = path(3);
+  const Orientation o = Orientation::by_id(g);
+  std::stringstream ss;
+  write_dot(ss, g, o, {});
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  EXPECT_NE(out.find("1 -> 0;"), std::string::npos);
+  EXPECT_NE(out.find("2 -> 1;"), std::string::npos);
+}
+
+TEST(DotExport, UncoloredNodesUnfilled) {
+  const Graph g = path(2);
+  std::stringstream ss;
+  write_dot(ss, g, {kNoColor, 3});
+  const std::string out = ss.str();
+  // Exactly one filled node.
+  std::size_t fills = 0;
+  for (std::size_t pos = out.find("fillcolor"); pos != std::string::npos;
+       pos = out.find("fillcolor", pos + 1)) {
+    ++fills;
+  }
+  EXPECT_EQ(fills, 1u);
+}
+
+TEST(DotExport, LabelWithColorOption) {
+  const Graph g = path(2);
+  DotOptions options;
+  options.label_with_color = true;
+  std::stringstream ss;
+  write_dot(ss, g, {7, 9}, options);
+  EXPECT_NE(ss.str().find("label=\"0:7\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,88 @@
+// Tests for the MIS / maximal matching application module.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "core/edge_coloring.h"
+#include "core/mis.h"
+#include "graph/generators.h"
+#include "graph/line_graph.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(Mis, FromGreedyColoringIsValid) {
+  Rng rng(4001);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gnp(150, 0.08, rng);
+    const ColoringResult coloring = greedy_delta_plus_one(g);
+    const MisResult mis = mis_from_coloring(g, coloring.colors);
+    EXPECT_TRUE(validate_mis(g, mis.in_set));
+    EXPECT_LE(mis.metrics.rounds, g.max_degree() + 1);
+  }
+}
+
+TEST(Mis, SingleClassColoringSelectsEverything) {
+  const Graph g = Graph::from_edges(4, {});
+  const MisResult mis = mis_from_coloring(g, {0, 0, 0, 0});
+  for (bool b : mis.in_set) EXPECT_TRUE(b);
+}
+
+TEST(Mis, CompleteGraphPicksExactlyOne) {
+  const Graph g = complete(7);
+  const ColoringResult coloring = greedy_delta_plus_one(g);
+  const MisResult mis = mis_from_coloring(g, coloring.colors);
+  EXPECT_TRUE(validate_mis(g, mis.in_set));
+  int count = 0;
+  for (bool b : mis.in_set) count += b ? 1 : 0;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Mis, RejectsImproperColoring) {
+  const Graph g = path(3);
+  EXPECT_THROW(mis_from_coloring(g, {0, 0, 1}), CheckError);
+}
+
+TEST(MisValidation, CatchesNonIndependentAndNonMaximal) {
+  const Graph g = path(3);
+  EXPECT_FALSE(validate_mis(g, {true, true, false}));   // adjacent pair
+  EXPECT_FALSE(validate_mis(g, {true, false, false}));  // node 2 uncovered
+  EXPECT_TRUE(validate_mis(g, {true, false, true}));
+  EXPECT_TRUE(validate_mis(g, {false, true, false}));
+}
+
+TEST(Matching, FromEdgeColoringIsValid) {
+  Rng rng(4002);
+  const Graph g = gnp(60, 0.1, rng);
+  ThetaColoringOptions options;
+  options.branch = ThetaColoringOptions::Branch::kBaseOnly;
+  const EdgeColoringResult ec = edge_coloring_two_delta_minus_one(g, options);
+  const MatchingResult m =
+      maximal_matching_from_edge_coloring(g, ec.edge_colors);
+  EXPECT_TRUE(validate_maximal_matching(g, m.in_matching));
+}
+
+TEST(MatchingValidation, CatchesBadMatchings) {
+  const Graph g = path(4);  // edges (0,1), (1,2), (2,3)
+  EXPECT_FALSE(validate_maximal_matching(g, {true, true, false}));  // share 1
+  EXPECT_FALSE(validate_maximal_matching(g, {false, false, false})); // empty
+  EXPECT_TRUE(validate_maximal_matching(g, {true, false, true}));
+  EXPECT_TRUE(validate_maximal_matching(g, {false, true, false}));
+}
+
+TEST(Matching, PerfectOnEvenCycle) {
+  const Graph g = cycle(8);
+  ThetaColoringOptions options;
+  options.branch = ThetaColoringOptions::Branch::kBaseOnly;
+  const EdgeColoringResult ec = edge_coloring_two_delta_minus_one(g, options);
+  const MatchingResult m =
+      maximal_matching_from_edge_coloring(g, ec.edge_colors);
+  EXPECT_TRUE(validate_maximal_matching(g, m.in_matching));
+  int matched = 0;
+  for (bool b : m.in_matching) matched += b ? 1 : 0;
+  EXPECT_GE(matched, 3);  // maximal matchings of C8 have >= 3 edges
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,206 @@
+// Property-style sweeps: the full algorithm stack across a matrix of
+// graph families and seeds. Every case exercises the end-to-end pipeline
+// and asserts the paper's guarantees (properness, defect bounds, slack
+// preservation, validity), not just "it ran".
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coloring/kuhn_defective.h"
+#include "coloring/linial.h"
+#include "core/congest_oldc.h"
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "graph/line_graph.h"
+#include "util/logstar.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+struct FamilyCase {
+  const char* name;
+  int family;
+  std::uint64_t seed;
+};
+
+Graph build_family(const FamilyCase& c, Rng& rng) {
+  switch (c.family) {
+    case 0:
+      return random_near_regular(220, 4, rng);
+    case 1:
+      return random_near_regular(180, 12, rng);
+    case 2:
+      return gnp(200, 0.03, rng);
+    case 3:
+      return random_tree(200, rng);
+    case 4:
+      return grid(14, 14);
+    case 5:
+      return cycle_power(150, 4);
+    case 6:
+      return line_graph(gnp(28, 0.22, rng));
+    case 7:
+      return random_geometric(220, 0.09, rng);
+    default:
+      return hypercube(7);
+  }
+}
+
+class FamilySweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilySweep, LinialIsProperAndSmall) {
+  Rng rng(GetParam().seed);
+  const Graph g = build_family(GetParam(), rng);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult res = linial_from_ids(g, o);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  const int beta = o.beta();
+  EXPECT_LE(res.num_colors,
+            std::max<std::int64_t>(g.num_nodes(), 16 * beta * beta + 64));
+  EXPECT_LE(res.metrics.rounds,
+            log_star(static_cast<std::uint64_t>(
+                std::max<NodeId>(2, g.num_nodes()))) +
+                6);
+}
+
+TEST_P(FamilySweep, KuhnDefectiveRespectsAlpha) {
+  Rng rng(GetParam().seed + 1);
+  const Graph g = build_family(GetParam(), rng);
+  const Orientation o = Orientation::by_id(g);
+  const double alpha = 0.3;
+  const auto res = kuhn_defective_from_ids(g, o, alpha);
+  ASSERT_TRUE(all_colored(res.colors));
+  const auto defects = oriented_defects(o, res.colors);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(defects[static_cast<std::size_t>(v)],
+              static_cast<int>(alpha * o.beta_v(v)));
+  }
+}
+
+TEST_P(FamilySweep, TwoSweepSolvesTightUniformInstance) {
+  Rng rng(GetParam().seed + 2);
+  const Graph g = build_family(GetParam(), rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  const int defect = std::max(1, beta / 6);
+  const int p = beta / (defect + 1) + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst = random_uniform_oldc(
+      g, std::move(o), 3 * list_size, list_size, defect, rng);
+  const LinialResult linial =
+      linial_from_ids(g, Orientation::by_id(g));
+  const ColoringResult res =
+      two_sweep(inst, linial.colors, linial.num_colors, p);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  EXPECT_LE(res.metrics.rounds, 2 * linial.num_colors + 2);
+}
+
+TEST_P(FamilySweep, DegPlusOneListColoringIsProper) {
+  Rng rng(GetParam().seed + 3);
+  const Graph g = build_family(GetParam(), rng);
+  const std::int64_t C = 2 * (g.max_degree() + 2);
+  const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+  const ColoringResult res = solve_degree_plus_one(
+      inst, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  EXPECT_TRUE(validate_list_defective(inst, res.colors));
+}
+
+TEST_P(FamilySweep, ArbdefectiveSlack1WithDefectsIsValid) {
+  Rng rng(GetParam().seed + 4);
+  const Graph g = build_family(GetParam(), rng);
+  const int delta = std::max(1, g.max_degree());
+  // Slack-1 instance with mixed defects: lists of ⌈Δ/2⌉+1 colors with
+  // defect 1 — weight = 2(⌈Δ/2⌉+1) > Δ >= deg(v).
+  const int list_size = (delta + 1) / 2 + 1;
+  const ArbdefectiveInstance inst = random_uniform_list_defective(
+      g, 4 * delta + 8, list_size, 1, rng);
+  const ArbdefectiveResult res = solve_arbdefective_slack1(
+      inst, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+  EXPECT_TRUE(validate_arbdefective(inst, res));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FamilySweep,
+    ::testing::Values(FamilyCase{"regular4_s1", 0, 1},
+                      FamilyCase{"regular4_s2", 0, 2},
+                      FamilyCase{"regular4_s3", 0, 3},
+                      FamilyCase{"regular12_s1", 1, 1},
+                      FamilyCase{"regular12_s2", 1, 2},
+                      FamilyCase{"regular12_s3", 1, 3},
+                      FamilyCase{"gnp_s1", 2, 1}, FamilyCase{"gnp_s2", 2, 2},
+                      FamilyCase{"gnp_s3", 2, 3},
+                      FamilyCase{"tree_s1", 3, 1},
+                      FamilyCase{"tree_s2", 3, 2},
+                      FamilyCase{"grid_s1", 4, 1},
+                      FamilyCase{"cyclepow_s1", 5, 1},
+                      FamilyCase{"cyclepow_s2", 5, 2},
+                      FamilyCase{"linegraph_s1", 6, 1},
+                      FamilyCase{"linegraph_s2", 6, 2},
+                      FamilyCase{"linegraph_s3", 6, 3},
+                      FamilyCase{"geometric_s1", 7, 1},
+                      FamilyCase{"geometric_s2", 7, 2},
+                      FamilyCase{"hypercube", 8, 1}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.name;
+    });
+
+// ---- CONGEST discipline across the Theorem 1.2 pipeline --------------------
+
+class CongestBudgetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CongestBudgetSweep, MessagesStayLogarithmic) {
+  Rng rng(GetParam());
+  const Graph g = random_near_regular(200, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  const std::int64_t C = 2048;
+  const int defect = 2;
+  const auto list_size = static_cast<int>(
+      std::ceil(3.0 * std::sqrt(static_cast<double>(C)) * beta /
+                (defect + 1)) +
+      1);
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), C, list_size, defect, rng);
+  const LinialResult linial = linial_from_ids(g, Orientation::by_id(g));
+  const ColoringResult res =
+      congest_oldc(inst, linial.colors, linial.num_colors);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  const int budget =
+      4 * (ceil_log2(static_cast<std::uint64_t>(linial.num_colors)) +
+           ceil_log2(static_cast<std::uint64_t>(C)));
+  EXPECT_LE(res.metrics.max_message_bits, budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongestBudgetSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---- Determinism -------------------------------------------------------------
+
+TEST(Determinism, SameSeedSameResultAcrossTheStack) {
+  // The whole library is deterministic given the seed — a load-bearing
+  // property for the experiment harness.
+  auto run_once = [](std::uint64_t seed) {
+    Rng rng(seed);
+    const Graph g = random_near_regular(150, 8, rng);
+    const std::int64_t C = 2 * (g.max_degree() + 1);
+    const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+    const ColoringResult res = solve_degree_plus_one(
+        inst, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+    return std::pair{res.colors, res.metrics.rounds};
+  };
+  const auto a = run_once(99);
+  const auto b = run_once(99);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run_once(100);
+  EXPECT_NE(a.first, c.first);  // different seed, different instance
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,184 @@
+// Tests for the synchronous message-passing simulator.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(Message, TracksDeclaredBits) {
+  Message m;
+  m.push(5, 3);
+  m.push(100, 7);
+  EXPECT_EQ(m.bits(), 10);
+  EXPECT_EQ(m.num_fields(), 2u);
+  EXPECT_EQ(m.field(0), 5);
+  EXPECT_EQ(m.field(1), 100);
+}
+
+TEST(Message, RejectsOverflowingField) {
+  Message m;
+  EXPECT_THROW(m.push(8, 3), CheckError);   // 8 needs 4 bits
+  EXPECT_THROW(m.push(-1, 8), CheckError);  // negatives unsupported
+  EXPECT_THROW(m.field(0), CheckError);
+}
+
+TEST(Metrics, SequentialComposition) {
+  RoundMetrics a{10, 8, 100, 800, 5};
+  const RoundMetrics b{5, 16, 50, 800, 7};
+  a += b;
+  EXPECT_EQ(a.rounds, 15);
+  EXPECT_EQ(a.max_message_bits, 16);
+  EXPECT_EQ(a.total_messages, 150);
+  EXPECT_EQ(a.local_compute_ops, 12);
+}
+
+TEST(Metrics, ParallelComposition) {
+  RoundMetrics a{10, 8, 100, 800, 0};
+  const RoundMetrics b{5, 16, 50, 400, 0};
+  a.merge_parallel(b);
+  EXPECT_EQ(a.rounds, 10);
+  EXPECT_EQ(a.max_message_bits, 16);
+  EXPECT_EQ(a.total_messages, 150);
+}
+
+/// Flood: node 0 starts with a token; each round, holders forward it.
+/// After the run every node must know the token — exercises delivery,
+/// termination, and round counting (= eccentricity of node 0).
+class FloodProgram final : public SyncAlgorithm {
+ public:
+  explicit FloodProgram(const Graph& g)
+      : graph_(&g), has_(static_cast<std::size_t>(g.num_nodes()), false) {}
+
+  void init(NodeId v, Mailbox& mail) override {
+    if (v == 0) {
+      has_[0] = true;
+      Message m;
+      m.push(1, 1);
+      broadcast(*graph_, mail, m);
+    }
+  }
+
+  void step(NodeId v, int, Mailbox& mail) override {
+    const auto vi = static_cast<std::size_t>(v);
+    if (has_[vi]) return;
+    if (!mail.inbox().empty()) {
+      has_[vi] = true;
+      Message m;
+      m.push(1, 1);
+      broadcast(*graph_, mail, m);
+    }
+  }
+
+  bool done(NodeId v) const override {
+    return has_[static_cast<std::size_t>(v)];
+  }
+
+  const std::vector<bool>& has() const { return has_; }
+
+ private:
+  const Graph* graph_;
+  std::vector<bool> has_;
+};
+
+TEST(Network, FloodReachesEveryoneOnPath) {
+  const Graph g = path(10);
+  FloodProgram flood(g);
+  Network net(g);
+  const RoundMetrics m = net.run(flood, 100);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_TRUE(flood.has()[v]);
+  // Token needs 9 hops to reach node 9.
+  EXPECT_GE(m.rounds, 9);
+  EXPECT_LE(m.rounds, 11);
+  EXPECT_EQ(m.max_message_bits, 1);
+}
+
+TEST(Network, FloodRoundsMatchDiameterOnCycle) {
+  const Graph g = cycle(20);
+  FloodProgram flood(g);
+  Network net(g);
+  const RoundMetrics m = net.run(flood, 100);
+  EXPECT_GE(m.rounds, 10);
+  EXPECT_LE(m.rounds, 12);
+}
+
+/// A program that sends to a non-neighbor must be rejected.
+class BadSender final : public SyncAlgorithm {
+ public:
+  void init(NodeId v, Mailbox& mail) override {
+    if (v == 0) {
+      Message m;
+      m.push(1, 1);
+      mail.send(3, m);  // 0 and 3 are not adjacent in path(4)
+    }
+  }
+  void step(NodeId, int, Mailbox&) override {}
+  bool done(NodeId) const override { return true; }
+};
+
+TEST(Network, RejectsSendToNonNeighbor) {
+  const Graph g = path(4);
+  BadSender bad;
+  Network net(g);
+  EXPECT_THROW(net.run(bad, 10), CheckError);
+}
+
+/// A program that never terminates must hit the round cap.
+class NeverDone final : public SyncAlgorithm {
+ public:
+  void init(NodeId, Mailbox&) override {}
+  void step(NodeId, int, Mailbox&) override {}
+  bool done(NodeId) const override { return false; }
+};
+
+TEST(Network, EnforcesMaxRounds) {
+  const Graph g = path(3);
+  NeverDone program;
+  Network net(g);
+  EXPECT_THROW(net.run(program, 5), CheckError);
+}
+
+/// Counts messages: every node broadcasts once in init; total messages
+/// must be 2m and bit totals must follow.
+class OneBroadcast final : public SyncAlgorithm {
+ public:
+  explicit OneBroadcast(const Graph& g) : graph_(&g) {}
+  void init(NodeId, Mailbox& mail) override {
+    Message m;
+    m.push(3, 4);
+    broadcast(*graph_, mail, m);
+  }
+  void step(NodeId, int, Mailbox&) override {}
+  bool done(NodeId) const override { return true; }
+
+ private:
+  const Graph* graph_;
+};
+
+TEST(Network, CountsMessagesAndBits) {
+  Rng rng(3);
+  const Graph g = gnp(30, 0.2, rng);
+  OneBroadcast program(g);
+  Network net(g);
+  const RoundMetrics m = net.run(program, 10);
+  EXPECT_EQ(m.total_messages, 2 * g.num_edges());
+  EXPECT_EQ(m.total_message_bits, 8 * g.num_edges());
+  EXPECT_EQ(m.max_message_bits, 4);
+}
+
+TEST(Network, EmptyGraphTerminatesImmediately) {
+  const Graph g = Graph::from_edges(3, {});
+  OneBroadcast program(g);
+  Network net(g);
+  const RoundMetrics m = net.run(program, 10);
+  EXPECT_EQ(m.rounds, 0);  // nothing was ever sent
+  EXPECT_EQ(m.total_messages, 0);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,236 @@
+// Tests for the substrate colorings: Linial (O(log* n), O(β²) colors),
+// Lemma 3.4 defective coloring, and the one-sweep arbdefective partition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coloring/arbdefective.h"
+#include "coloring/kuhn_defective.h"
+#include "coloring/linial.h"
+#include "coloring/poly_reduce.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/logstar.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(PolySchedule, ProperScheduleShrinksToBetaSquared) {
+  for (int beta : {1, 2, 4, 8, 16}) {
+    const auto schedule = poly_schedule(1u << 20, 0.0, beta);
+    ASSERT_FALSE(schedule.empty());
+    const std::uint64_t final_space =
+        schedule.back().k * schedule.back().k;
+    // Fixed point is about (2β+1)², allow prime rounding slack.
+    EXPECT_LE(final_space,
+              static_cast<std::uint64_t>(16.0 * beta * beta + 64));
+    // Each step must satisfy the proper condition k > D·β.
+    for (const auto& ps : schedule) {
+      EXPECT_GT(ps.k, static_cast<std::uint64_t>(ps.degree) *
+                          static_cast<std::uint64_t>(beta));
+    }
+  }
+}
+
+TEST(PolySchedule, LengthIsLogStarish) {
+  // Schedule length should stay tiny even for astronomically many colors.
+  const auto schedule = poly_schedule(1ULL << 62, 0.0, 8);
+  EXPECT_LE(static_cast<int>(schedule.size()),
+            log_star(std::uint64_t{1} << 62) + 4);
+}
+
+TEST(PolySchedule, DefectiveScheduleIndependentOfBeta) {
+  const auto s1 = poly_schedule(1u << 16, 0.05, 2);
+  const auto s2 = poly_schedule(1u << 16, 0.05, 200);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1[i].k, s2[i].k);
+}
+
+class LinialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinialTest, ProperAndSmallOnRandomGraphs) {
+  const int degree = GetParam();
+  Rng rng(1000 + degree);
+  const Graph g = random_near_regular(400, degree, rng);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult res = linial_from_ids(g, o);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  for (Color c : res.colors) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, res.num_colors);
+  }
+  const int beta = o.beta();
+  EXPECT_LE(res.num_colors, 16 * beta * beta + 64);
+  EXPECT_LE(res.metrics.rounds, log_star(std::uint64_t{400}) + 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, LinialTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(Linial, WorksOnRing) {
+  const Graph g = cycle(1000);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult res = linial_from_ids(g, o);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  // β = 2 on a ring with by-id orientation... β ≤ 2; space stays O(1).
+  EXPECT_LE(res.num_colors, 300);
+}
+
+TEST(Linial, DegeneracyOrientationGivesFewColorsOnTrees) {
+  Rng rng(77);
+  const Graph t = random_tree(500, rng);
+  const Orientation o = Orientation::degeneracy(t);  // β = 1
+  const LinialResult res = linial_from_ids(t, o);
+  EXPECT_TRUE(is_proper_coloring(t, res.colors));
+  EXPECT_LE(res.num_colors, 80);  // O(β²) with β = 1
+}
+
+TEST(Linial, RespectsGivenInitialColoring) {
+  const Graph g = complete(5);
+  const Orientation o = Orientation::by_id(g);
+  // A proper 10-coloring using only even colors.
+  const std::vector<Color> initial = {0, 2, 4, 6, 8};
+  const LinialResult res = linial_coloring(g, o, initial, 10);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+}
+
+TEST(Linial, RejectsOutOfRangeInitialColor) {
+  const Graph g = path(3);
+  const Orientation o = Orientation::by_id(g);
+  EXPECT_THROW(linial_coloring(g, o, {0, 5, 0}, 3), CheckError);
+}
+
+TEST(Linial, MessageBitsAreLogarithmic) {
+  Rng rng(4);
+  const Graph g = gnp(300, 0.05, rng);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult res = linial_from_ids(g, o);
+  // First-round message carries an id: ceil(log2 n) bits; later ones less.
+  EXPECT_LE(res.metrics.max_message_bits, 2 + ceil_log2(std::uint64_t{300}));
+}
+
+class KuhnDefectiveTest
+    : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(KuhnDefectiveTest, DefectAndColorCountWithinBounds) {
+  const auto [degree, alpha] = GetParam();
+  Rng rng(2000 + degree);
+  const Graph g = random_near_regular(300, degree, rng);
+  const Orientation o = Orientation::by_id(g);
+  const auto res = kuhn_defective_from_ids(g, o, alpha);
+  ASSERT_TRUE(all_colored(res.colors));
+  // Defect: at most ⌊α·β_v⌋ same-colored out-neighbors.
+  const auto defects = oriented_defects(o, res.colors);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(defects[static_cast<std::size_t>(v)],
+              static_cast<int>(alpha * o.beta_v(v)))
+        << "node " << v;
+  }
+  // Colors: O(1/α²) — constant depends on the step budget (~6 steps).
+  const double inv = 1.0 / alpha;
+  EXPECT_LE(static_cast<double>(res.num_colors), 4000.0 * inv * inv + 64);
+  // Rounds: O(log* n).
+  EXPECT_LE(res.metrics.rounds, log_star(std::uint64_t{300}) + 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, KuhnDefectiveTest,
+    ::testing::Values(std::pair{8, 0.5}, std::pair{8, 0.25},
+                      std::pair{16, 0.5}, std::pair{16, 0.125},
+                      std::pair{32, 0.25}));
+
+TEST(KuhnDefective, UndirectedVariantBoundsNeighborDefect) {
+  Rng rng(55);
+  const Graph g = random_near_regular(300, 12, rng);
+  std::vector<Color> ids(300);
+  for (int i = 0; i < 300; ++i) ids[static_cast<std::size_t>(i)] = i;
+  const double alpha = 0.5;
+  const auto res = kuhn_defective_undirected(g, ids, 300, alpha);
+  ASSERT_TRUE(all_colored(res.colors));
+  const auto defects = undirected_defects(g, res.colors);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(defects[static_cast<std::size_t>(v)],
+              static_cast<int>(alpha * g.degree(v)));
+  }
+}
+
+TEST(KuhnDefective, AlphaOneStillColorsEveryone) {
+  Rng rng(66);
+  const Graph g = gnp(200, 0.1, rng);
+  const Orientation o = Orientation::by_id(g);
+  const auto res = kuhn_defective_from_ids(g, o, 1.0);
+  EXPECT_TRUE(all_colored(res.colors));
+}
+
+TEST(KuhnDefective, RejectsBadAlpha) {
+  const Graph g = path(3);
+  const Orientation o = Orientation::by_id(g);
+  EXPECT_THROW(kuhn_defective_from_ids(g, o, 0.0), CheckError);
+  EXPECT_THROW(kuhn_defective_from_ids(g, o, 1.5), CheckError);
+}
+
+class ArbPartitionTest : public ::testing::TestWithParam<PartitionEngine> {};
+
+TEST_P(ArbPartitionTest, OutDefectBoundedByDegOverK) {
+  Rng rng(91);
+  const Graph g = gnp(250, 0.08, rng);
+  // Proper initial coloring via Linial.
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, o);
+  for (int k : {2, 4, 8}) {
+    const auto part = arbdefective_partition(g, linial.colors,
+                                             linial.num_colors, k, GetParam());
+    ASSERT_TRUE(all_colored(part.classes));
+    for (Color c : part.classes) EXPECT_LT(c, k);
+    const auto defects = oriented_defects(part.orientation, part.classes);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_LE(defects[static_cast<std::size_t>(v)], g.degree(v) / k)
+          << "node " << v << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ArbPartitionTest,
+                         ::testing::Values(PartitionEngine::kHonest,
+                                           PartitionEngine::kBeg18Oracle));
+
+TEST(ArbPartition, EnginesProduceSamePartition) {
+  // The oracle runs the same greedy rule centrally; outputs must agree.
+  Rng rng(17);
+  const Graph g = gnp(150, 0.1, rng);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, o);
+  const auto honest = arbdefective_partition(
+      g, linial.colors, linial.num_colors, 4, PartitionEngine::kHonest);
+  const auto oracle = arbdefective_partition(
+      g, linial.colors, linial.num_colors, 4, PartitionEngine::kBeg18Oracle);
+  EXPECT_EQ(honest.classes, oracle.classes);
+}
+
+TEST(ArbPartition, RoundAccountingDiffers) {
+  Rng rng(18);
+  const Graph g = gnp(150, 0.1, rng);
+  const Orientation o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, o);
+  const auto honest = arbdefective_partition(
+      g, linial.colors, linial.num_colors, 4, PartitionEngine::kHonest);
+  const auto oracle = arbdefective_partition(
+      g, linial.colors, linial.num_colors, 4, PartitionEngine::kBeg18Oracle);
+  // Honest sweeps all q classes; oracle charges k + O(log* q).
+  EXPECT_GE(honest.metrics.rounds, oracle.metrics.rounds);
+  EXPECT_LE(oracle.metrics.rounds,
+            4 + 2 * log_star(static_cast<std::uint64_t>(linial.num_colors)));
+}
+
+TEST(ArbPartition, RejectsImproperInitialColoring) {
+  const Graph g = path(3);
+  EXPECT_THROW(arbdefective_partition(g, {0, 0, 1}, 2, 2,
+                                      PartitionEngine::kHonest),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,327 @@
+// Tests for Section 4: Claim 4.1, Theorem 1.4, the slack reduction lemmas
+// (4.4, A.1), color space reduction for P_A (4.5, 4.6), Theorem 1.5, and
+// the (2Δ−1)-edge coloring application.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coloring/arbdefective.h"
+#include "coloring/linial.h"
+#include "core/defective_from_arbdefective.h"
+#include "core/edge_coloring.h"
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "core/slack_reduction.h"
+#include "core/theta_color_space.h"
+#include "core/theta_coloring.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "graph/independence.h"
+#include "graph/line_graph.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+/// Inner solver used by the combinator tests: the Theorem 1.3 machinery,
+/// wrapped with an assertion that the combinator delivered the slack it
+/// promised.
+ArbSolver checked_inner_solver(double promised_slack) {
+  return [promised_slack](const ArbdefectiveInstance& sub) {
+    for (NodeId v = 0; v < sub.graph->num_nodes(); ++v) {
+      const auto w = sub.lists[static_cast<std::size_t>(v)].weight();
+      EXPECT_GT(static_cast<double>(w),
+                promised_slack * sub.graph->degree(v))
+          << "combinator broke its slack promise at node " << v;
+    }
+    return solve_arbdefective_slack1(
+        sub, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+  };
+}
+
+/// Uniform arbdefective instance with weight > slack_needed·deg(v).
+ArbdefectiveInstance uniform_arb_instance(const Graph& g, std::int64_t space,
+                                          int defect,
+                                          std::int64_t slack_needed,
+                                          Rng& rng) {
+  const int delta = g.max_degree();
+  const auto list_size = static_cast<int>(std::min<std::int64_t>(
+      space, slack_needed * delta / (defect + 1) + 2));
+  return random_uniform_list_defective(g, space, list_size, defect, rng);
+}
+
+// ---- Claim 4.1 ------------------------------------------------------------
+
+TEST(Claim41, ArbdefectiveImpliesDefectiveOnThetaBoundedGraphs) {
+  Rng rng(61);
+  // θ-bounded families: line graphs (θ<=2) and clique chains (θ=2).
+  const Graph families[] = {line_graph(gnp(40, 0.15, rng)),
+                            clique_chain(8, 6), cycle_power(60, 4)};
+  for (const Graph& g : families) {
+    const auto theta = neighborhood_independence_exact(g, 128);
+    ASSERT_TRUE(theta.has_value());
+    // Build a d-arbdefective coloring with the one-sweep partition.
+    const Orientation o = Orientation::by_id(g);
+    const LinialResult linial = linial_from_ids(g, o);
+    for (int k : {2, 3, 5}) {
+      const auto part =
+          arbdefective_partition(g, linial.colors, linial.num_colors, k,
+                                 PartitionEngine::kBeg18Oracle);
+      const int d = max_oriented_defect(part.orientation, part.classes);
+      // Claim 4.1: every node has at most (2d+1)·θ same-class neighbors.
+      const auto und = undirected_defects(g, part.classes);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_LE(und[static_cast<std::size_t>(v)], (2 * d + 1) * *theta)
+            << g.summary() << " k=" << k;
+      }
+    }
+  }
+}
+
+// ---- Lemma 4.4 -------------------------------------------------------------
+
+TEST(Lemma44, BoostsSlackAndStaysValid) {
+  Rng rng(62);
+  const Graph g = random_near_regular(120, 8, rng);
+  const double mu = 3.0;
+  // Slack > 2 instance: defect 1, enough colors.
+  const ArbdefectiveInstance inst =
+      uniform_arb_instance(g, 200, 1, 3, rng);
+  ASSERT_GT(inst.slack(), 2.0);
+  const ArbdefectiveResult res =
+      slack_reduction_lemma44(inst, mu, checked_inner_solver(mu));
+  EXPECT_TRUE(validate_arbdefective(inst, res));
+  EXPECT_TRUE(all_colored(res.colors));
+}
+
+TEST(Lemma44, RejectsSlackTwoViolation) {
+  Rng rng(63);
+  const Graph g = complete(12);
+  const ArbdefectiveInstance inst =
+      random_uniform_list_defective(g, 64, 8, 0, rng);  // weight 8 < 2·11
+  EXPECT_THROW(
+      slack_reduction_lemma44(inst, 2.0, checked_inner_solver(2.0)),
+      CheckError);
+}
+
+TEST(Lemma44, ClassInstancesHaveSmallDegree) {
+  // The µ-slack promise relies on class subgraphs of degree <= deg/µ; the
+  // checked solver above verifies the weight side. Here we additionally
+  // verify the degree side through a recording solver.
+  Rng rng(64);
+  const Graph g = random_near_regular(150, 12, rng);
+  const double mu = 4.0;
+  const ArbdefectiveInstance inst = uniform_arb_instance(g, 300, 1, 3, rng);
+  int max_class_degree = 0;
+  const ArbSolver recorder = [&](const ArbdefectiveInstance& sub) {
+    max_class_degree = std::max(max_class_degree, sub.graph->max_degree());
+    return solve_arbdefective_slack1(
+        sub, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+  };
+  slack_reduction_lemma44(inst, mu, recorder);
+  EXPECT_LE(max_class_degree, static_cast<int>(g.max_degree() / mu));
+}
+
+// ---- Lemma A.1 -------------------------------------------------------------
+
+TEST(LemmaA1, HandlesSlackOneInstances) {
+  Rng rng(65);
+  const Graph g = random_near_regular(120, 8, rng);
+  // Slack > 1 but NOT > 2: zero defects, deg+1 lists.
+  const ArbdefectiveInstance inst = degree_plus_one_instance(g, 64, rng);
+  ASSERT_GT(inst.slack(), 1.0);
+  const double mu = 2.0;
+  const ArbdefectiveResult res =
+      slack_reduction_lemmaA1(inst, mu, checked_inner_solver(mu));
+  EXPECT_TRUE(validate_arbdefective(inst, res));
+  // Zero defects ⇒ proper.
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+}
+
+TEST(LemmaA1, RejectsSlackOneViolation) {
+  Rng rng(66);
+  const Graph g = complete(10);
+  const ArbdefectiveInstance inst =
+      random_uniform_list_defective(g, 64, 5, 0, rng);  // weight 5 < 9
+  EXPECT_THROW(
+      slack_reduction_lemmaA1(inst, 2.0, checked_inner_solver(2.0)),
+      CheckError);
+}
+
+// ---- Theorem 1.4 -----------------------------------------------------------
+
+class Theorem14Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem14Test, DefectiveFromArbdefective) {
+  const int family = GetParam();
+  Rng rng(70 + static_cast<std::uint64_t>(family));
+  Graph g;
+  int theta = 0;
+  switch (family) {
+    case 0:
+      g = clique_chain(10, 5);
+      theta = 2;
+      break;
+    case 1:
+      g = line_graph(gnp(25, 0.25, rng));
+      theta = 2;
+      break;
+    default:
+      g = disjoint_cliques(8, 6);
+      theta = 1;
+      break;
+  }
+  const std::int64_t S = 2;
+  const std::int64_t requirement =
+      theorem14_slack_requirement(g.delta_paper(), theta, S);
+  // Uniform defect 3; list size so weight > requirement·deg.
+  const int defect = 3;
+  const std::int64_t space = requirement * g.max_degree() + 64;
+  const auto list_size = static_cast<int>(
+      requirement * g.max_degree() / (defect + 1) + 2);
+  ListDefectiveInstance inst =
+      random_uniform_list_defective(g, space, list_size, defect, rng);
+
+  const ColoringResult res = defective_from_arbdefective(
+      inst, theta, S, checked_inner_solver(static_cast<double>(S)));
+  EXPECT_TRUE(all_colored(res.colors));
+  EXPECT_TRUE(validate_list_defective(inst, res.colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Theorem14Test, ::testing::Values(0, 1, 2));
+
+TEST(Theorem14, TrivialDefectsColorImmediately) {
+  // Colors with d_v(x) >= deg(v) are picked in the pre-pass.
+  const Graph g = complete(6);
+  ListDefectiveInstance inst;
+  inst.graph = &g;
+  inst.color_space = 8;
+  // One shared color with defect >= deg plus filler weight is enough.
+  inst.lists.assign(6, ColorList::uniform({0, 1, 2, 3, 4, 5, 6, 7}, 200));
+  const ColoringResult res = defective_from_arbdefective(
+      inst, /*theta=*/1, /*S=*/1, checked_inner_solver(1.0));
+  EXPECT_TRUE(validate_list_defective(inst, res.colors));
+  EXPECT_LE(res.metrics.rounds, 2);  // pre-pass only
+}
+
+TEST(Theorem14, RejectsInsufficientSlack) {
+  Rng rng(71);
+  const Graph g = clique_chain(5, 4);
+  const ListDefectiveInstance inst =
+      random_uniform_list_defective(g, 32, 4, 0, rng);
+  EXPECT_THROW(
+      defective_from_arbdefective(inst, 2, 1, checked_inner_solver(1.0)),
+      CheckError);
+}
+
+// ---- Lemma 4.5 -------------------------------------------------------------
+
+TEST(Lemma45, ColorSpaceSplitsAndRecombines) {
+  Rng rng(72);
+  const Graph g = random_near_regular(100, 6, rng);
+  const std::int64_t S = 8, sigma = 2, p = 4;
+  const ArbdefectiveInstance inst = uniform_arb_instance(g, 256, 1, 9, rng);
+  ASSERT_GT(inst.slack(), static_cast<double>(S));
+
+  // Part choice solved by the generic defective route: Theorem 1.3
+  // machinery + orientation-free validation. For the test we use a simple
+  // exact-greedy defective solver to isolate Lemma 4.5's own logic.
+  const DefectiveSolver greedy_pd = [](const ListDefectiveInstance& pd) {
+    ColoringResult r;
+    const Graph& gg = *pd.graph;
+    r.colors.assign(static_cast<std::size_t>(gg.num_nodes()), kNoColor);
+    for (NodeId v = 0; v < gg.num_nodes(); ++v) {
+      const auto& lst = pd.lists[static_cast<std::size_t>(v)];
+      // Pick the color with most residual defect vs already-colored nbrs.
+      Color best = kNoColor;
+      std::int64_t best_margin = -1;
+      for (std::size_t i = 0; i < lst.size(); ++i) {
+        int used = 0;
+        for (NodeId u : gg.neighbors(v)) {
+          if (r.colors[static_cast<std::size_t>(u)] == lst.color(i)) ++used;
+        }
+        const std::int64_t margin = lst.defect(i) - used;
+        if (margin > best_margin) {
+          best_margin = margin;
+          best = lst.color(i);
+        }
+      }
+      r.colors[static_cast<std::size_t>(v)] = best;
+    }
+    r.metrics.rounds = gg.num_nodes();  // sequential greedy
+    return r;
+  };
+
+  const ArbdefectiveResult res = color_space_reduction_pa(
+      inst, S, p, sigma, greedy_pd,
+      checked_inner_solver(static_cast<double>(S) / sigma));
+  EXPECT_TRUE(validate_arbdefective(inst, res));
+}
+
+// ---- Theorem 1.5 -----------------------------------------------------------
+
+TEST(Theorem15, BaseOnlyBranchOnLineGraph) {
+  Rng rng(73);
+  const Graph g = line_graph(gnp(30, 0.2, rng));
+  ThetaColoringOptions options;
+  options.branch = ThetaColoringOptions::Branch::kBaseOnly;
+  const ColoringResult res = theta_delta_plus_one(g, 2, options);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  for (Color c : res.colors) EXPECT_LE(c, g.max_degree());
+}
+
+TEST(Theorem15, DeltaQuarterBranchOnSmallThetaGraph) {
+  const Graph g = clique_chain(6, 4);  // Δ=6, θ=2, small
+  ThetaColoringOptions options;
+  options.branch = ThetaColoringOptions::Branch::kDeltaQuarter;
+  options.base_color_threshold = 4;
+  const ColoringResult res = theta_delta_plus_one(g, 2, options);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+  for (Color c : res.colors) EXPECT_LE(c, g.max_degree());
+}
+
+TEST(Theorem15, GeneralListInstanceWithDefects) {
+  Rng rng(74);
+  const Graph g = disjoint_cliques(10, 5);  // θ = 1
+  // Slack-1 instance with nonzero defects.
+  const ArbdefectiveInstance inst =
+      random_uniform_list_defective(g, 32, 3, 1, rng);  // weight 6 > deg 4
+  ThetaColoringOptions options;
+  options.branch = ThetaColoringOptions::Branch::kBaseOnly;
+  const ArbdefectiveResult res = solve_theta_arbdefective(inst, 1, options);
+  EXPECT_TRUE(validate_arbdefective(inst, res));
+}
+
+// ---- Edge coloring ---------------------------------------------------------
+
+TEST(EdgeColoring, TwoDeltaMinusOneOnRandomGraph) {
+  Rng rng(75);
+  const Graph g = gnp(40, 0.12, rng);
+  const EdgeColoringResult res = edge_coloring_two_delta_minus_one(g);
+  EXPECT_TRUE(validate_edge_coloring(g, res.edge_colors));
+  EXPECT_LE(res.num_colors, 2 * g.max_degree() - 1);
+  for (Color c : res.edge_colors) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, res.num_colors);
+  }
+}
+
+TEST(EdgeColoring, WorksOnStructuredGraphs) {
+  for (const Graph& g : {cycle(30), grid(6, 6), complete(10)}) {
+    const EdgeColoringResult res = edge_coloring_two_delta_minus_one(g);
+    EXPECT_TRUE(validate_edge_coloring(g, res.edge_colors)) << g.summary();
+  }
+}
+
+TEST(EdgeColoring, HypergraphRankThree) {
+  Rng rng(76);
+  const Hypergraph h = random_hypergraph(40, 50, 3, rng);
+  const EdgeColoringResult res = hypergraph_edge_coloring(h);
+  EXPECT_TRUE(validate_edge_coloring(h, res.edge_colors));
+  const Graph lg = line_graph(h);
+  EXPECT_LE(res.num_colors, lg.max_degree() + 1);
+}
+
+}  // namespace
+}  // namespace dcolor

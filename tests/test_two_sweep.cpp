@@ -1,0 +1,350 @@
+// Tests for Algorithm 1 (Two-Sweep) and Algorithm 2 (Fast Two-Sweep) —
+// Theorem 1.1 of the paper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "coloring/linial.h"
+#include "core/fast_two_sweep.h"
+#include "core/instance.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/check.h"
+#include "util/logstar.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+/// Builds a proper coloring via Linial and returns (colors, q).
+std::pair<std::vector<Color>, std::int64_t> initial_coloring(
+    const Graph& g, const Orientation& o) {
+  const LinialResult linial = linial_from_ids(g, o);
+  return {linial.colors, linial.num_colors};
+}
+
+TEST(TwoSweep, SolvesUniformDefectInstance) {
+  Rng rng(1);
+  const Graph g = random_near_regular(200, 12, rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  // p = β/d with d = 2: lists of ~p² colors with defect 2 satisfy Eq. (2).
+  const int d = 2;
+  const int p = (beta + d) / (d + 1) + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst = random_uniform_oldc(
+      g, std::move(o), /*color_space=*/4 * list_size, list_size, d, rng);
+  ASSERT_TRUE(inst.satisfies_theorem11(p, 0.0));
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = two_sweep(inst, init, q, p);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  EXPECT_TRUE(all_colored(res.colors));
+}
+
+TEST(TwoSweep, RoundsLinearInQ) {
+  Rng rng(2);
+  const Graph g = random_near_regular(300, 8, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst = random_uniform_oldc(g, std::move(o),
+                                                4 * list_size, list_size,
+                                                /*defect=*/0, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = two_sweep(inst, init, q, p);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  // Two sweeps over q classes plus the initial broadcast.
+  EXPECT_LE(res.metrics.rounds, 2 * q + 2);
+  EXPECT_GE(res.metrics.rounds, q);
+}
+
+TEST(TwoSweep, ZeroDefectGivesProperColoringOnOutEdges) {
+  // With all defects zero the result must be properly colored.
+  Rng rng(3);
+  const Graph g = gnp(150, 0.08, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst = random_uniform_oldc(g, std::move(o),
+                                                3 * list_size, list_size, 0,
+                                                rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = two_sweep(inst, init, q, p);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  EXPECT_TRUE(is_proper_coloring(g, res.colors));
+}
+
+TEST(TwoSweep, PhaseOneInvariantsHold) {
+  // White-box: Eq. (3) |S_v| <= p and Eq. (4)
+  //   |N_>(v)| + Σ_{x∈S_v} k_v(x) < Σ_{x∈S_v}(d_v(x)+1).
+  Rng rng(4);
+  const Graph g = random_near_regular(120, 10, rng);
+  Orientation o = Orientation::by_id(g);
+  const int d = 1;
+  const int p = (o.beta() + d) / (d + 1) + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst = random_uniform_oldc(g, std::move(o),
+                                                4 * list_size, list_size, d,
+                                                rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+
+  TwoSweepProgram program(inst, init, q, p);
+  Network net(g);
+  net.run(program, 2 * q + 4);
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& s = program.phase1_set(v);
+    EXPECT_LE(static_cast<int>(s.size()), p);  // Eq. (3)
+    const auto& lst = inst.lists[static_cast<std::size_t>(v)];
+    std::int64_t k_sum = 0, weight = 0;
+    for (Color x : s) {
+      const auto it = std::lower_bound(lst.colors().begin(),
+                                       lst.colors().end(), x);
+      ASSERT_NE(it, lst.colors().end());
+      const auto idx = static_cast<std::size_t>(it - lst.colors().begin());
+      k_sum += program.k_counts(v)[idx];
+      weight += lst.defect(idx) + 1;
+    }
+    EXPECT_LT(program.n_greater(v) + k_sum, weight) << "Eq. (4) at " << v;
+  }
+}
+
+TEST(TwoSweep, RejectsInstanceViolatingEq2) {
+  // Lists too small for the chosen p must be rejected up front.
+  Rng rng(5);
+  const Graph g = complete(10);
+  Orientation o = Orientation::by_id(g);
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 100, /*list_size=*/3,
+                          /*defect=*/0, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  EXPECT_THROW(two_sweep(inst, init, q, /*p=*/3), CheckError);
+}
+
+TEST(TwoSweep, RejectsImproperInitialColoring) {
+  Rng rng(6);
+  const Graph g = path(4);
+  Orientation o = Orientation::by_id(g);
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 50, 6, 0, rng);
+  const std::vector<Color> bad = {0, 0, 1, 2};
+  EXPECT_THROW(two_sweep(inst, bad, 3, 2), CheckError);
+}
+
+TEST(TwoSweep, SinkNodesSucceedWithSingletonLists) {
+  // Nodes with outdegree 0 only need a non-empty list (implementation
+  // refinement documented in two_sweep.cpp).
+  const Graph g = path(3);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 4;
+  // Orient everything toward node 0: node 0 is a sink.
+  inst.orientation = Orientation::from_predicate(
+      g, [](NodeId a, NodeId b) { return b < a; });
+  inst.lists.push_back(ColorList::zero_defect({2}));        // sink
+  inst.lists.push_back(ColorList::zero_defect({0, 1, 2}));  // β=1, w=3 > 2
+  inst.lists.push_back(ColorList::zero_defect({0, 1, 3}));
+  const std::vector<Color> init = {0, 1, 0};
+  const ColoringResult res = two_sweep(inst, init, 2, 2);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  EXPECT_EQ(res.colors[0], 2);
+}
+
+TEST(TwoSweep, HeterogeneousDefectsRespected) {
+  Rng rng(7);
+  const Graph g = random_near_regular(150, 14, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = 4;
+  const OldcInstance inst = random_heterogeneous_oldc(
+      g, std::move(o), /*color_space=*/2000, p, /*eps=*/0.0, rng);
+  ASSERT_TRUE(inst.satisfies_theorem11(p, 0.0));
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = two_sweep(inst, init, q, p);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+}
+
+TEST(TwoSweep, MessageBitsMatchTheorem) {
+  // Theorem 1.1: nodes forward the initial color, then a list of p colors.
+  Rng rng(8);
+  const Graph g = random_near_regular(100, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  const int list_size = p * p + p + 1;
+  const std::int64_t space = 4 * list_size;
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), space, list_size, 0, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = two_sweep(inst, init, q, p);
+  const int color_bits = ceil_log2(static_cast<std::uint64_t>(space));
+  EXPECT_LE(res.metrics.max_message_bits, 2 + p * color_bits);
+}
+
+TEST(TwoSweep, WorksWithQEqualOne) {
+  // Edgeless graph: q = 1 is a proper coloring.
+  const Graph g = Graph::from_edges(5, {});
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 2;
+  inst.orientation = Orientation::by_id(g);
+  inst.lists.assign(5, ColorList::zero_defect({1}));
+  const std::vector<Color> init(5, 0);
+  const ColoringResult res = two_sweep(inst, init, 1, 1);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+}
+
+// ---- Parameterized sweep over graph families and defects ----------------
+
+struct SweepCase {
+  const char* name;
+  int n;
+  int degree;
+  int defect;
+  std::uint64_t seed;
+};
+
+class TwoSweepFamilies : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TwoSweepFamilies, ValidOldcAcrossFamilies) {
+  const SweepCase c = GetParam();
+  Rng rng(c.seed);
+  const Graph g = random_near_regular(c.n, c.degree, rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  const int p = std::max(1, (beta + c.defect) / (c.defect + 1) + 1);
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst = random_uniform_oldc(
+      g, std::move(o), 4 * list_size, list_size, c.defect, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult res = two_sweep(inst, init, q, p);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  // Defect check done by validate_oldc; also confirm round bound O(q).
+  EXPECT_LE(res.metrics.rounds, 2 * q + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TwoSweepFamilies,
+    ::testing::Values(SweepCase{"sparse_d0", 150, 4, 0, 11},
+                      SweepCase{"sparse_d1", 150, 4, 1, 12},
+                      SweepCase{"mid_d0", 200, 10, 0, 13},
+                      SweepCase{"mid_d2", 200, 10, 2, 14},
+                      SweepCase{"dense_d3", 150, 24, 3, 15},
+                      SweepCase{"dense_d6", 150, 24, 6, 16}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name;
+    });
+
+// ---- Symmetric (undirected) mode ------------------------------------------
+
+TEST(TwoSweepSymmetric, ThreeColoringWithPaperDefectBound) {
+  // Section 1.1: a list d-defective 3-coloring in O(Δ + log* n) rounds
+  // whenever d > (2Δ−3)/3. Symmetric digraph: β_v = deg(v).
+  Rng rng(9);
+  const Graph g = random_near_regular(200, 12, rng);
+  const int delta = g.max_degree();
+  const int d = (2 * delta - 3) / 3 + 1;  // smallest d > (2Δ−3)/3
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 3;
+  inst.symmetric = true;
+  inst.lists.assign(static_cast<std::size_t>(g.num_nodes()),
+                    ColorList::uniform({0, 1, 2}, d));
+  // Premise with p = 2: 3(d+1) > 2·deg(v) ⟺ d > (2·deg−3)/3.
+  ASSERT_TRUE(inst.satisfies_theorem11(2, 0.0));
+  const Orientation o = Orientation::by_id(g);
+  const auto [init, q] = initial_coloring(g, o);
+  const ColoringResult res = two_sweep(inst, init, q, 2);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  // The symmetric-mode defect bound is UNDIRECTED:
+  EXPECT_LE(max_undirected_defect(g, res.colors), d);
+  EXPECT_EQ(num_colors_used(res.colors), 3);
+}
+
+TEST(TwoSweepSymmetric, FastVariantAlsoWorks) {
+  Rng rng(10);
+  const int n = 800;
+  const Graph g = random_near_regular(n, 8, rng);
+  const int delta = g.max_degree();
+  const int d = delta;  // plenty of slack for ε = 0.4
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 3;
+  inst.symmetric = true;
+  inst.lists.assign(static_cast<std::size_t>(g.num_nodes()),
+                    ColorList::uniform({0, 1, 2}, d));
+  std::vector<Color> ids(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  const ColoringResult res = fast_two_sweep(inst, ids, n, 2, 0.4);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  EXPECT_LE(max_undirected_defect(g, res.colors), d);
+}
+
+// ---- Fast Two-Sweep (Algorithm 2) ----------------------------------------
+
+TEST(FastTwoSweep, MatchesPlainSweepWhenQSmall) {
+  Rng rng(21);
+  const Graph g = random_near_regular(100, 8, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  // defect 1 and p² colors: weight = 2p² > 1.25·p·β, satisfying Eq. (7).
+  const int list_size = p * p;
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 4 * list_size, list_size, 1, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  // q = O(β²) is below (p/ε)² here, so Algorithm 2 delegates to the sweep.
+  const ColoringResult res = fast_two_sweep(inst, init, q, p, 0.25);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+}
+
+TEST(FastTwoSweep, DefectiveRouteRoundsIndependentOfQ) {
+  // With the raw ID coloring (q = n), Algorithm 2 must beat O(q).
+  Rng rng(22);
+  const int n = 3000;
+  const Graph g = random_near_regular(n, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  const int d = beta;  // generous defects keep (p/ε)² small
+  const int p = 2;
+  const int list_size = 2 * p * p + 2;
+  OldcInstance inst = random_uniform_oldc(g, std::move(o), 4 * list_size,
+                                          list_size, d, rng);
+  std::vector<Color> ids(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  const double eps = 0.5;
+  const ColoringResult res = fast_two_sweep(inst, ids, n, p, eps);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  // O((p/ε)² + log* q) with our Lemma 3.4 constants is well below n/2.
+  EXPECT_LT(res.metrics.rounds, n / 2);
+}
+
+TEST(FastTwoSweep, RejectsEq7Violation) {
+  Rng rng(23);
+  const Graph g = complete(12);
+  Orientation o = Orientation::by_id(g);
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 50, 4, 0, rng);
+  std::vector<Color> ids(12);
+  for (int i = 0; i < 12; ++i) ids[static_cast<std::size_t>(i)] = i;
+  EXPECT_THROW(fast_two_sweep(inst, ids, 12, 3, 0.5), CheckError);
+}
+
+TEST(FastTwoSweep, EpsilonZeroFallsBackToPlainSweep) {
+  Rng rng(24);
+  const Graph g = random_near_regular(80, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() + 1;
+  const int list_size = p * p + p + 1;
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 4 * list_size, list_size, 0, rng);
+  const auto [init, q] = initial_coloring(g, inst.orientation);
+  const ColoringResult direct = two_sweep(inst, init, q, p);
+  const ColoringResult via_fast = fast_two_sweep(inst, init, q, p, 0.0);
+  EXPECT_EQ(direct.colors, via_fast.colors);
+  EXPECT_EQ(direct.metrics.rounds, via_fast.metrics.rounds);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,310 @@
+// Unit tests for src/util: log*, math helpers, GF(p) polynomials, RNG,
+// tables, CSV, CLI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/gf.h"
+#include "util/logstar.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace dcolor {
+namespace {
+
+TEST(LogStar, KnownValues) {
+  EXPECT_EQ(log_star(std::uint64_t{0}), 0);
+  EXPECT_EQ(log_star(std::uint64_t{1}), 0);
+  EXPECT_EQ(log_star(std::uint64_t{2}), 1);
+  EXPECT_EQ(log_star(std::uint64_t{4}), 2);
+  EXPECT_EQ(log_star(std::uint64_t{16}), 3);
+  EXPECT_EQ(log_star(std::uint64_t{65536}), 4);
+  EXPECT_EQ(log_star(std::uint64_t{65537}), 5);
+}
+
+TEST(LogStar, Monotone) {
+  int prev = 0;
+  for (std::uint64_t x = 1; x < 1'000'000; x = x * 3 / 2 + 1) {
+    const int cur = log_star(x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Math, FloorCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 5), 1);
+  EXPECT_EQ(ceil_div(6, 5), 2);
+}
+
+TEST(Math, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(99), 9u);
+  EXPECT_EQ(isqrt(100), 10u);
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(Math, CeilSqrt) {
+  EXPECT_EQ(ceil_sqrt(0), 0u);
+  EXPECT_EQ(ceil_sqrt(1), 1u);
+  EXPECT_EQ(ceil_sqrt(2), 2u);
+  EXPECT_EQ(ceil_sqrt(4), 2u);
+  EXPECT_EQ(ceil_sqrt(5), 3u);
+}
+
+TEST(Math, Binomial) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+  // Pascal's identity on a grid of values.
+  for (std::uint64_t nn = 1; nn <= 30; ++nn) {
+    for (std::uint64_t kk = 1; kk <= nn; ++kk) {
+      EXPECT_EQ(binomial(nn, kk), binomial(nn - 1, kk - 1) + binomial(nn - 1, kk));
+    }
+  }
+}
+
+TEST(Math, IsPrime) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));
+  EXPECT_TRUE(is_prime(2147483647ULL));          // 2^31 - 1
+  EXPECT_TRUE(is_prime(1000000007ULL));
+  EXPECT_FALSE(is_prime(1000000007ULL * 3));
+}
+
+TEST(Math, NextPrime) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(90), 97u);
+}
+
+TEST(Math, PowMod) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24u);
+  EXPECT_EQ(pow_mod(3, 0, 7), 1u);
+  EXPECT_EQ(pow_mod(5, 3, 7), 6u);
+  // Fermat's little theorem.
+  for (std::uint64_t a = 1; a < 97; ++a) EXPECT_EQ(pow_mod(a, 96, 97), 1u);
+}
+
+TEST(Gf, EncodeDistinct) {
+  // Distinct values in [0, p^k) must encode to distinct polynomials.
+  const std::uint64_t p = 5;
+  const int k = 3;
+  std::set<std::vector<std::uint64_t>> seen;
+  for (std::uint64_t v = 0; v < p * p * p; ++v) {
+    const GfPoly poly = encode_as_polynomial(v, p, k);
+    EXPECT_TRUE(seen.insert(poly.coeffs).second);
+  }
+}
+
+TEST(Gf, EvalMatchesHorner) {
+  GfPoly poly;
+  poly.p = 7;
+  poly.coeffs = {3, 2, 5};  // 3 + 2x + 5x²
+  EXPECT_EQ(poly.eval(0), 3u);
+  EXPECT_EQ(poly.eval(1), (3 + 2 + 5) % 7);
+  EXPECT_EQ(poly.eval(2), (3 + 4 + 20) % 7);
+}
+
+TEST(Gf, DistinctPolysAgreeOnAtMostDegreePoints) {
+  const std::uint64_t p = 11;
+  const int k = 3;  // degree <= 2
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.below(p * p * p);
+    std::uint64_t b = rng.below(p * p * p);
+    if (a == b) b = (b + 1) % (p * p * p);
+    const GfPoly pa = encode_as_polynomial(a, p, k);
+    const GfPoly pb = encode_as_polynomial(b, p, k);
+    int agreements = 0;
+    for (std::uint64_t s = 0; s < p; ++s) {
+      if (pa.eval(s) == pb.eval(s)) ++agreements;
+    }
+    EXPECT_LE(agreements, 2);
+  }
+}
+
+TEST(Gf, CoeffsNeeded) {
+  EXPECT_EQ(coeffs_needed(1, 2), 1);
+  EXPECT_EQ(coeffs_needed(2, 2), 1);
+  EXPECT_EQ(coeffs_needed(3, 2), 2);
+  EXPECT_EQ(coeffs_needed(4, 2), 2);
+  EXPECT_EQ(coeffs_needed(5, 2), 3);
+  EXPECT_EQ(coeffs_needed(125, 5), 3);
+  EXPECT_EQ(coeffs_needed(126, 5), 4);
+}
+
+TEST(Gf, EncodeRejectsOutOfRange) {
+  EXPECT_THROW(encode_as_polynomial(8, 2, 3), CheckError);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(11);
+  for (std::uint64_t k : {0ULL, 1ULL, 5ULL, 50ULL, 100ULL}) {
+    const auto sample = rng.sample_without_replacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::uint64_t> dedup(sample.begin(), sample.end());
+    EXPECT_EQ(dedup.size(), k);
+    for (auto v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), CheckError);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    DCOLOR_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.add("alpha", 1);
+  t.add("beta", 22.5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Csv, WritesQuotedCells) {
+  const std::string path = "/tmp/dcolor_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.row({"x,y", "plain"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",plain");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  CsvWriter csv("/tmp/dcolor_csv_test2.csv", {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), CheckError);
+  std::remove("/tmp/dcolor_csv_test2.csv");
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  const char* argv[] = {"prog", "--n=100", "--rate=0.5", "--verbose",
+                        "--name=x"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.5);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_EQ(args.get_string("name", ""), "x");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  args.check_all_consumed();
+}
+
+TEST(Cli, DetectsUnknownFlag) {
+  const char* argv[] = {"prog", "--typo=1"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_THROW(args.check_all_consumed(), CheckError);
+}
+
+TEST(Cli, RejectsMalformedArgument) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(CliArgs(2, const_cast<char**>(argv)), CheckError);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,217 @@
+// dcolor — command-line driver for the library.
+//
+// Subcommands (--cmd=...):
+//   generate  Build a graph from a named family and save it.
+//             --family=gnp|regular|cycle|grid|hypercube|tree|line_gnp|
+//                      clique_chain|geometric
+//             --n=.. --degree=.. --p=.. --seed=.. --out=graph.txt
+//   instance  Build a random OLDC instance over a saved graph.
+//             --graph=graph.txt --colorspace=.. --list=.. --defect=..
+//             [--symmetric] --seed=.. --out=instance.txt
+//   color     Solve a saved instance (or a (deg+1) instance over a graph).
+//             --instance=instance.txt --algorithm=two_sweep|fast|congest
+//               [--ts_p=..] [--eps=..]
+//             --graph=graph.txt --algorithm=degplus1|theta [--theta=..]
+//             --out=coloring.txt
+//   validate  Check a coloring against an instance.
+//             --instance=instance.txt --coloring=coloring.txt
+//   info      Print summary statistics of a saved graph.
+//             --graph=graph.txt [--exact_theta]
+//
+// Exit code 0 on success / valid, 1 otherwise.
+#include <fstream>
+#include <iostream>
+
+#include "coloring/linial.h"
+#include "core/congest_oldc.h"
+#include "core/fast_two_sweep.h"
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "core/theta_coloring.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "graph/independence.h"
+#include "graph/line_graph.h"
+#include "io/instance_io.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace dcolor {
+namespace {
+
+Graph generate_family(const CliArgs& args, Rng& rng) {
+  const std::string family = args.get_string("family", "gnp");
+  const auto n = static_cast<NodeId>(args.get_int("n", 200));
+  const int degree = static_cast<int>(args.get_int("degree", 8));
+  if (family == "gnp") return gnp_avg_degree(n, degree, rng);
+  if (family == "regular") return random_near_regular(n, degree, rng);
+  if (family == "cycle") return cycle(n);
+  if (family == "grid") return grid(n, n);
+  if (family == "hypercube") return hypercube(degree);
+  if (family == "tree") return random_tree(n, rng);
+  if (family == "line_gnp") return line_graph(gnp_avg_degree(n, degree, rng));
+  if (family == "clique_chain") return clique_chain(n, degree);
+  if (family == "geometric")
+    return random_geometric(n, args.get_double("radius", 0.1), rng);
+  DCOLOR_CHECK_MSG(false, "unknown family " << family);
+  return {};
+}
+
+int cmd_generate(const CliArgs& args) {
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const Graph g = generate_family(args, rng);
+  const std::string out = args.get_string("out", "graph.txt");
+  save_graph(out, g);
+  std::cout << "wrote " << g.summary() << " to " << out << "\n";
+  return 0;
+}
+
+int cmd_instance(const CliArgs& args) {
+  const Graph g = load_graph(args.get_string("graph", "graph.txt"));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  const int defect = static_cast<int>(args.get_int("defect", 1));
+  const int default_p = beta / (defect + 1) + 1;
+  const auto list_size = static_cast<int>(
+      args.get_int("list", default_p * default_p + default_p + 1));
+  const std::int64_t space = args.get_int("colorspace", 4 * list_size);
+  OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), space, list_size, defect, rng);
+  inst.symmetric = args.get_bool("symmetric");
+  const std::string out = args.get_string("out", "instance.txt");
+  save_oldc(out, inst);
+  std::cout << "wrote OLDC instance (C=" << space << ", Λ=" << list_size
+            << ", d=" << defect << (inst.symmetric ? ", symmetric" : "")
+            << ") to " << out << "\n";
+  return 0;
+}
+
+int cmd_color(const CliArgs& args) {
+  const std::string algorithm = args.get_string("algorithm", "two_sweep");
+  const std::string out = args.get_string("out", "coloring.txt");
+  ColoringResult result;
+  bool valid = false;
+
+  if (algorithm == "two_sweep" || algorithm == "fast" ||
+      algorithm == "congest") {
+    const OwnedOldcInstance owned =
+        load_oldc(args.get_string("instance", "instance.txt"));
+    const OldcInstance& inst = owned.instance;
+    const Orientation lin_orient = Orientation::by_id(owned.graph);
+    const LinialResult linial = linial_from_ids(owned.graph, lin_orient);
+    if (algorithm == "two_sweep") {
+      const int p = static_cast<int>(args.get_int("ts_p", 2));
+      result = two_sweep(inst, linial.colors, linial.num_colors, p);
+    } else if (algorithm == "fast") {
+      const int p = static_cast<int>(args.get_int("ts_p", 2));
+      const double eps = args.get_double("eps", 0.5);
+      result = fast_two_sweep(inst, linial.colors, linial.num_colors, p, eps);
+    } else {
+      result = congest_oldc(inst, linial.colors, linial.num_colors);
+    }
+    result.metrics += linial.metrics;
+    valid = validate_oldc(inst, result.colors);
+  } else if (algorithm == "degplus1" || algorithm == "theta") {
+    const Graph g = load_graph(args.get_string("graph", "graph.txt"));
+    if (algorithm == "degplus1") {
+      Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+      const std::int64_t space =
+          args.get_int("colorspace", 2 * (g.max_degree() + 1));
+      const ListDefectiveInstance inst =
+          degree_plus_one_instance(g, space, rng);
+      result = solve_degree_plus_one(
+          inst, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+      valid = is_proper_coloring(g, result.colors) &&
+              validate_list_defective(inst, result.colors);
+    } else {
+      const int theta = static_cast<int>(args.get_int("theta", 2));
+      ThetaColoringOptions options;
+      options.branch = ThetaColoringOptions::Branch::kBaseOnly;
+      result = theta_delta_plus_one(g, theta, options);
+      valid = is_proper_coloring(g, result.colors);
+    }
+  } else {
+    DCOLOR_CHECK_MSG(false, "unknown algorithm " << algorithm);
+  }
+
+  std::ofstream os(out);
+  DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << out);
+  write_coloring(os, result.colors);
+
+  Table t("dcolor color");
+  t.header({"metric", "value"});
+  t.add("algorithm", algorithm);
+  t.add("valid", valid ? "yes" : "NO");
+  t.add("colors used", num_colors_used(result.colors));
+  t.add("rounds", result.metrics.rounds);
+  t.add("max message bits", result.metrics.max_message_bits);
+  t.print(std::cout);
+  return valid ? 0 : 1;
+}
+
+int cmd_validate(const CliArgs& args) {
+  const OwnedOldcInstance owned =
+      load_oldc(args.get_string("instance", "instance.txt"));
+  std::ifstream is(args.get_string("coloring", "coloring.txt"));
+  DCOLOR_CHECK_MSG(static_cast<bool>(is), "cannot open coloring file");
+  const std::vector<Color> colors = read_coloring(is);
+  const bool valid = validate_oldc(owned.instance, colors);
+  std::cout << (valid ? "VALID" : "INVALID") << "\n";
+  return valid ? 0 : 1;
+}
+
+int cmd_info(const CliArgs& args) {
+  const Graph g = load_graph(args.get_string("graph", "graph.txt"));
+  Table t("graph info");
+  t.header({"metric", "value"});
+  t.add("nodes", g.num_nodes());
+  t.add("edges", g.num_edges());
+  t.add("max degree", g.max_degree());
+  t.add("degeneracy beta", Orientation::degeneracy(g).beta());
+  t.add("theta lower bound", neighborhood_independence_lower(g));
+  t.add("theta upper bound", neighborhood_independence_upper(g));
+  if (args.get_bool("exact_theta")) {
+    const auto exact = neighborhood_independence_exact(g, 128);
+    t.add("theta exact", exact ? std::to_string(*exact) : "(too large)");
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string cmd = args.get_string("cmd", "info");
+  int code;
+  if (cmd == "generate") {
+    code = cmd_generate(args);
+  } else if (cmd == "instance") {
+    code = cmd_instance(args);
+  } else if (cmd == "color") {
+    code = cmd_color(args);
+  } else if (cmd == "validate") {
+    code = cmd_validate(args);
+  } else if (cmd == "info") {
+    code = cmd_info(args);
+  } else {
+    DCOLOR_CHECK_MSG(false, "unknown --cmd=" << cmd);
+    return 1;
+  }
+  args.check_all_consumed();
+  return code;
+}
+
+}  // namespace
+}  // namespace dcolor
+
+int main(int argc, char** argv) {
+  try {
+    return dcolor::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
