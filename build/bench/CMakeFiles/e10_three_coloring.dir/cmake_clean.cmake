@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_three_coloring.dir/e10_three_coloring.cpp.o"
+  "CMakeFiles/e10_three_coloring.dir/e10_three_coloring.cpp.o.d"
+  "e10_three_coloring"
+  "e10_three_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_three_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_claim41.dir/e11_claim41.cpp.o"
+  "CMakeFiles/e11_claim41.dir/e11_claim41.cpp.o.d"
+  "e11_claim41"
+  "e11_claim41.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_claim41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_edge_coloring.dir/e12_edge_coloring.cpp.o"
+  "CMakeFiles/e12_edge_coloring.dir/e12_edge_coloring.cpp.o.d"
+  "e12_edge_coloring"
+  "e12_edge_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_edge_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_ablations.dir/e13_ablations.cpp.o"
+  "CMakeFiles/e13_ablations.dir/e13_ablations.cpp.o.d"
+  "e13_ablations"
+  "e13_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_scaling.dir/e14_scaling.cpp.o"
+  "CMakeFiles/e14_scaling.dir/e14_scaling.cpp.o.d"
+  "e14_scaling"
+  "e14_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_tradeoff_frontier.dir/e15_tradeoff_frontier.cpp.o"
+  "CMakeFiles/e15_tradeoff_frontier.dir/e15_tradeoff_frontier.cpp.o.d"
+  "e15_tradeoff_frontier"
+  "e15_tradeoff_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_tradeoff_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

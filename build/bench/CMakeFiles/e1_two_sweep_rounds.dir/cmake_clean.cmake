@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_two_sweep_rounds.dir/e1_two_sweep_rounds.cpp.o"
+  "CMakeFiles/e1_two_sweep_rounds.dir/e1_two_sweep_rounds.cpp.o.d"
+  "e1_two_sweep_rounds"
+  "e1_two_sweep_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_two_sweep_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_fast_two_sweep.dir/e2_fast_two_sweep.cpp.o"
+  "CMakeFiles/e2_fast_two_sweep.dir/e2_fast_two_sweep.cpp.o.d"
+  "e2_fast_two_sweep"
+  "e2_fast_two_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_fast_two_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

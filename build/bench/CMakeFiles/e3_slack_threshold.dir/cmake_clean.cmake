@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_slack_threshold.dir/e3_slack_threshold.cpp.o"
+  "CMakeFiles/e3_slack_threshold.dir/e3_slack_threshold.cpp.o.d"
+  "e3_slack_threshold"
+  "e3_slack_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_slack_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

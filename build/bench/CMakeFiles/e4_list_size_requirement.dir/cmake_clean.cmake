@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_list_size_requirement.dir/e4_list_size_requirement.cpp.o"
+  "CMakeFiles/e4_list_size_requirement.dir/e4_list_size_requirement.cpp.o.d"
+  "e4_list_size_requirement"
+  "e4_list_size_requirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_list_size_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

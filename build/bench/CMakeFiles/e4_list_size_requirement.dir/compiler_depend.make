@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e4_list_size_requirement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_node_compute.dir/e5_node_compute.cpp.o"
+  "CMakeFiles/e5_node_compute.dir/e5_node_compute.cpp.o.d"
+  "e5_node_compute"
+  "e5_node_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_node_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

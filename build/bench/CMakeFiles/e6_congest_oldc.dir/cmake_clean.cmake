@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_congest_oldc.dir/e6_congest_oldc.cpp.o"
+  "CMakeFiles/e6_congest_oldc.dir/e6_congest_oldc.cpp.o.d"
+  "e6_congest_oldc"
+  "e6_congest_oldc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_congest_oldc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

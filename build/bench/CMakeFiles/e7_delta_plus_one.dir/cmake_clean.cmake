@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_delta_plus_one.dir/e7_delta_plus_one.cpp.o"
+  "CMakeFiles/e7_delta_plus_one.dir/e7_delta_plus_one.cpp.o.d"
+  "e7_delta_plus_one"
+  "e7_delta_plus_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_delta_plus_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

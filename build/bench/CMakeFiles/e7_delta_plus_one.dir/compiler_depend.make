@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e7_delta_plus_one.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_defective_from_arb.dir/e8_defective_from_arb.cpp.o"
+  "CMakeFiles/e8_defective_from_arb.dir/e8_defective_from_arb.cpp.o.d"
+  "e8_defective_from_arb"
+  "e8_defective_from_arb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_defective_from_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e8_defective_from_arb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_theta_coloring.dir/e9_theta_coloring.cpp.o"
+  "CMakeFiles/e9_theta_coloring.dir/e9_theta_coloring.cpp.o.d"
+  "e9_theta_coloring"
+  "e9_theta_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_theta_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

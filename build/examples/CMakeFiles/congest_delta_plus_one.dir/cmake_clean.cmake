@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congest_delta_plus_one.dir/congest_delta_plus_one.cpp.o"
+  "CMakeFiles/congest_delta_plus_one.dir/congest_delta_plus_one.cpp.o.d"
+  "congest_delta_plus_one"
+  "congest_delta_plus_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congest_delta_plus_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for congest_delta_plus_one.
+# This may be replaced when dependencies are built.

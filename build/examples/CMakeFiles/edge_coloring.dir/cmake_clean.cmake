@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_coloring.dir/edge_coloring.cpp.o"
+  "CMakeFiles/edge_coloring.dir/edge_coloring.cpp.o.d"
+  "edge_coloring"
+  "edge_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

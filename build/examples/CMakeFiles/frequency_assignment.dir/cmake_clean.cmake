@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_assignment.dir/frequency_assignment.cpp.o"
+  "CMakeFiles/frequency_assignment.dir/frequency_assignment.cpp.o.d"
+  "frequency_assignment"
+  "frequency_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

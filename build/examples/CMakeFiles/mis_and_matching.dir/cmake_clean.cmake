@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_and_matching.dir/mis_and_matching.cpp.o"
+  "CMakeFiles/mis_and_matching.dir/mis_and_matching.cpp.o.d"
+  "mis_and_matching"
+  "mis_and_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_and_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

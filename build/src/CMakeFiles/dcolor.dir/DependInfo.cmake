@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/be09_two_sweep.cpp" "src/CMakeFiles/dcolor.dir/baselines/be09_two_sweep.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/baselines/be09_two_sweep.cpp.o.d"
+  "/root/repo/src/baselines/greedy.cpp" "src/CMakeFiles/dcolor.dir/baselines/greedy.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/baselines/greedy.cpp.o.d"
+  "/root/repo/src/baselines/luby.cpp" "src/CMakeFiles/dcolor.dir/baselines/luby.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/baselines/luby.cpp.o.d"
+  "/root/repo/src/baselines/mt20_style.cpp" "src/CMakeFiles/dcolor.dir/baselines/mt20_style.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/baselines/mt20_style.cpp.o.d"
+  "/root/repo/src/baselines/one_sweep_defective.cpp" "src/CMakeFiles/dcolor.dir/baselines/one_sweep_defective.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/baselines/one_sweep_defective.cpp.o.d"
+  "/root/repo/src/coloring/arbdefective.cpp" "src/CMakeFiles/dcolor.dir/coloring/arbdefective.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/coloring/arbdefective.cpp.o.d"
+  "/root/repo/src/coloring/color_reduction.cpp" "src/CMakeFiles/dcolor.dir/coloring/color_reduction.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/coloring/color_reduction.cpp.o.d"
+  "/root/repo/src/coloring/kuhn_defective.cpp" "src/CMakeFiles/dcolor.dir/coloring/kuhn_defective.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/coloring/kuhn_defective.cpp.o.d"
+  "/root/repo/src/coloring/linial.cpp" "src/CMakeFiles/dcolor.dir/coloring/linial.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/coloring/linial.cpp.o.d"
+  "/root/repo/src/core/color_space_reduction.cpp" "src/CMakeFiles/dcolor.dir/core/color_space_reduction.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/color_space_reduction.cpp.o.d"
+  "/root/repo/src/core/congest_oldc.cpp" "src/CMakeFiles/dcolor.dir/core/congest_oldc.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/congest_oldc.cpp.o.d"
+  "/root/repo/src/core/defective_from_arbdefective.cpp" "src/CMakeFiles/dcolor.dir/core/defective_from_arbdefective.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/defective_from_arbdefective.cpp.o.d"
+  "/root/repo/src/core/edge_coloring.cpp" "src/CMakeFiles/dcolor.dir/core/edge_coloring.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/edge_coloring.cpp.o.d"
+  "/root/repo/src/core/fast_two_sweep.cpp" "src/CMakeFiles/dcolor.dir/core/fast_two_sweep.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/fast_two_sweep.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/dcolor.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/list_coloring.cpp" "src/CMakeFiles/dcolor.dir/core/list_coloring.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/list_coloring.cpp.o.d"
+  "/root/repo/src/core/mis.cpp" "src/CMakeFiles/dcolor.dir/core/mis.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/mis.cpp.o.d"
+  "/root/repo/src/core/slack_reduction.cpp" "src/CMakeFiles/dcolor.dir/core/slack_reduction.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/slack_reduction.cpp.o.d"
+  "/root/repo/src/core/theta_color_space.cpp" "src/CMakeFiles/dcolor.dir/core/theta_color_space.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/theta_color_space.cpp.o.d"
+  "/root/repo/src/core/theta_coloring.cpp" "src/CMakeFiles/dcolor.dir/core/theta_coloring.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/theta_coloring.cpp.o.d"
+  "/root/repo/src/core/two_sweep.cpp" "src/CMakeFiles/dcolor.dir/core/two_sweep.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/core/two_sweep.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/dcolor.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/coloring_checks.cpp" "src/CMakeFiles/dcolor.dir/graph/coloring_checks.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/graph/coloring_checks.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/dcolor.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/dcolor.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/hypergraph.cpp" "src/CMakeFiles/dcolor.dir/graph/hypergraph.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/graph/hypergraph.cpp.o.d"
+  "/root/repo/src/graph/independence.cpp" "src/CMakeFiles/dcolor.dir/graph/independence.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/graph/independence.cpp.o.d"
+  "/root/repo/src/graph/line_graph.cpp" "src/CMakeFiles/dcolor.dir/graph/line_graph.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/graph/line_graph.cpp.o.d"
+  "/root/repo/src/graph/orientation.cpp" "src/CMakeFiles/dcolor.dir/graph/orientation.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/graph/orientation.cpp.o.d"
+  "/root/repo/src/io/dot_export.cpp" "src/CMakeFiles/dcolor.dir/io/dot_export.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/io/dot_export.cpp.o.d"
+  "/root/repo/src/io/instance_io.cpp" "src/CMakeFiles/dcolor.dir/io/instance_io.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/io/instance_io.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/dcolor.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/dcolor.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/dcolor.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/sim/network.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/dcolor.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/dcolor.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/gf.cpp" "src/CMakeFiles/dcolor.dir/util/gf.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/util/gf.cpp.o.d"
+  "/root/repo/src/util/logstar.cpp" "src/CMakeFiles/dcolor.dir/util/logstar.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/util/logstar.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/CMakeFiles/dcolor.dir/util/math.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/dcolor.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/dcolor.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/dcolor.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

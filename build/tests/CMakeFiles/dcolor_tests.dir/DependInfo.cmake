@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_api_surface.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_api_surface.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_api_surface.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_color_reduction.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_color_reduction.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_color_reduction.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_congest.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_congest.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_congest.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_exhaustive_small.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_exhaustive_small.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_exhaustive_small.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_algorithms.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_graph_algorithms.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_graph_algorithms.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_mis.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_mis.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_mis.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_substrate.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_substrate.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_substrate.cpp.o.d"
+  "/root/repo/tests/test_theta.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_theta.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_theta.cpp.o.d"
+  "/root/repo/tests/test_two_sweep.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_two_sweep.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_two_sweep.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/dcolor_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/dcolor_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcolor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

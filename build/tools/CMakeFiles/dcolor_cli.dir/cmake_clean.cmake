@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcolor_cli.dir/dcolor.cpp.o"
+  "CMakeFiles/dcolor_cli.dir/dcolor.cpp.o.d"
+  "dcolor"
+  "dcolor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcolor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
