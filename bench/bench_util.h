@@ -1,8 +1,12 @@
 // Shared helpers for the experiment binaries (bench/e*.cpp).
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "coloring/linial.h"
@@ -28,6 +32,56 @@ inline std::pair<std::vector<Color>, std::int64_t> initial_coloring(
   const LinialResult linial = linial_from_ids(g, o);
   return {linial.colors, linial.num_colors};
 }
+
+/// Machine-readable companion to Table/CsvWriter: accumulates flat
+/// key→value rows and writes them as a JSON array of objects when the
+/// writer is destroyed. Values are raw JSON tokens — render them with
+/// num()/str() so strings get quoted and numbers do not.
+class JsonWriter {
+ public:
+  using Row = std::vector<std::pair<std::string, std::string>>;
+
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  static std::string num(std::int64_t x) { return std::to_string(x); }
+  static std::string num(double x) {
+    std::ostringstream os;
+    os << x;
+    return os.str();
+  }
+  static std::string str(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  void row(Row r) { rows_.push_back(std::move(r)); }
+
+  ~JsonWriter() {
+    std::ofstream out(path_);
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "  {";
+      for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+        out << (j == 0 ? "" : ", ") << '"' << rows_[i][j].first
+            << "\": " << rows_[i][j].second;
+      }
+      out << (i + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+  }
+
+ private:
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 /// Means over repeated trials.
 struct Stats {

@@ -45,6 +45,16 @@ class SweepPartitionProgram final : public SyncAlgorithm {
     return chosen_[static_cast<std::size_t>(v)] != kNoColor;
   }
 
+  /// Sparse scheduling: one turn per node, at round initial color + 1;
+  /// otherwise only message receipt needs a step.
+  std::int64_t next_active_round(NodeId v,
+                                 std::int64_t after_round) const override {
+    const std::int64_t turn =
+        static_cast<std::int64_t>((*initial_)[static_cast<std::size_t>(v)]) +
+        1;
+    return after_round < turn ? turn : kNoWakeup;
+  }
+
   const std::vector<Color>& chosen() const noexcept { return chosen_; }
 
  private:

@@ -22,7 +22,7 @@ class ReductionProgram final : public SyncAlgorithm {
       : graph_(&g), c_(c), target_(target), color_(initial) {
     neighbor_color_.resize(static_cast<std::size_t>(g.num_nodes()));
     finished_.assign(static_cast<std::size_t>(g.num_nodes()),
-                     c_ <= target_);
+                     c_ <= target_ ? 1 : 0);
   }
 
   void init(NodeId v, Mailbox& mail) override {
@@ -56,11 +56,26 @@ class ReductionProgram final : public SyncAlgorithm {
       m.push(pick, color_bits());
       broadcast(*graph_, mail, m);
     }
-    if (eliminating <= target_) finished_[vi] = true;
+    if (eliminating <= target_) finished_[vi] = 1;
   }
 
   bool done(NodeId v) const override {
-    return finished_[static_cast<std::size_t>(v)];
+    return finished_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  /// Sparse scheduling: a node acts at its recoloring turn (round
+  /// c − color, while it still holds a color ≥ target) and must be stepped
+  /// once more at round c − target, where every node marks itself done.
+  std::int64_t next_active_round(NodeId v,
+                                 std::int64_t after_round) const override {
+    const auto vi = static_cast<std::size_t>(v);
+    if (finished_[vi] != 0) return kNoWakeup;
+    if (color_[vi] >= target_) {
+      const std::int64_t turn = c_ - static_cast<std::int64_t>(color_[vi]);
+      if (after_round < turn) return turn;
+    }
+    const std::int64_t finish = c_ - target_;
+    return after_round < finish ? finish : kNoWakeup;
   }
 
   const std::vector<Color>& colors() const noexcept { return color_; }
@@ -76,7 +91,9 @@ class ReductionProgram final : public SyncAlgorithm {
   std::int64_t target_;
   std::vector<Color> color_;
   std::vector<std::unordered_map<NodeId, Color>> neighbor_color_;
-  std::vector<bool> finished_;
+  std::vector<std::uint8_t> finished_;  // not vector<bool>: per-node bytes
+                                        // are data-race-free when stepped
+                                        // in parallel
 };
 
 }  // namespace

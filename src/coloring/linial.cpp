@@ -86,7 +86,7 @@ PolyReduceProgram::PolyReduceProgram(const Graph& g, const Orientation& o,
       undirected_(undirected),
       schedule_(std::move(schedule)),
       color_(initial),
-      finished_(static_cast<std::size_t>(g.num_nodes()), false) {
+      finished_(static_cast<std::size_t>(g.num_nodes()), 0) {
   DCOLOR_CHECK(static_cast<NodeId>(initial.size()) == g.num_nodes());
   for (Color c : initial) {
     DCOLOR_CHECK_MSG(c >= 0 && static_cast<std::uint64_t>(c) < q,
@@ -100,7 +100,7 @@ PolyReduceProgram::PolyReduceProgram(const Graph& g, const Orientation& o,
   }
   space_ = space;
   if (schedule_.empty()) {
-    finished_.assign(finished_.size(), true);
+    finished_.assign(finished_.size(), 1);
   }
 }
 
@@ -116,32 +116,54 @@ void PolyReduceProgram::apply_step(
     NodeId v, const PolyStep& ps,
     const std::vector<std::pair<NodeId, Color>>& out_colors) {
   const auto vi = static_cast<std::size_t>(v);
-  const GfPoly mine = encode_as_polynomial(
-      static_cast<std::uint64_t>(color_[vi]), ps.k, ps.degree + 1);
-  std::vector<GfPoly> others;
-  others.reserve(out_colors.size());
-  for (const auto& [u, c] : out_colors) {
-    others.push_back(encode_as_polynomial(static_cast<std::uint64_t>(c), ps.k,
-                                          ps.degree + 1));
+  const int nc = ps.degree + 1;
+  DCOLOR_CHECK(nc <= 64);
+  // Base-p digits of every polynomial are extracted ONCE into stack /
+  // thread-local scratch; points are then evaluated by Horner over the
+  // digit arrays. Identical arithmetic to eval_encoded per point, without
+  // re-dividing the color value at every point — and without the per-step
+  // heap allocation a GfPoly would cost.
+  std::uint64_t mine_digits[64];
+  {
+    std::uint64_t value = static_cast<std::uint64_t>(color_[vi]);
+    for (int i = 0; i < nc; ++i) {
+      mine_digits[static_cast<std::size_t>(i)] = value % ps.k;
+      value /= ps.k;
+    }
+    DCOLOR_CHECK_MSG(value == 0, "color does not fit in k^(D+1) at node "
+                                     << v << " (k=" << ps.k << ")");
+  }
+  static thread_local std::vector<std::uint64_t> nbr_digits;
+  nbr_digits.resize(out_colors.size() * static_cast<std::size_t>(nc));
+  for (std::size_t j = 0; j < out_colors.size(); ++j) {
+    std::uint64_t value = static_cast<std::uint64_t>(out_colors[j].second);
+    std::uint64_t* d = nbr_digits.data() + j * static_cast<std::size_t>(nc);
+    for (int i = 0; i < nc; ++i) {
+      d[i] = value % ps.k;
+      value /= ps.k;
+    }
   }
   // Pick the evaluation point with the fewest value-agreements among
-  // out-neighbors (zero agreements exist in the proper regime).
+  // out-neighbors (zero agreements exist in the proper regime). The scan
+  // keeps the first-strict-minimum rule but stops early: once a
+  // zero-collision point is found no later point can win, and within a
+  // point counting past the current best cannot change the argmin — both
+  // cuts leave best_s bit-identical to the full scan.
   std::uint64_t best_s = 0;
   std::int64_t best_collisions = -1;
-  for (std::uint64_t s = 0; s < ps.k; ++s) {
-    const std::uint64_t mine_at_s = mine.eval(s);
+  for (std::uint64_t s = 0; s < ps.k && best_collisions != 0; ++s) {
+    const std::uint64_t mine_at_s = eval_digits(mine_digits, nc, ps.k, s);
     std::int64_t collisions = 0;
-    for (const auto& poly : others) {
-      if (poly.eval(s) == mine_at_s) ++collisions;
+    for (std::size_t j = 0; j < out_colors.size(); ++j) {
+      if (eval_digits(nbr_digits.data() + j * static_cast<std::size_t>(nc),
+                      nc, ps.k, s) == mine_at_s) {
+        ++collisions;
+        if (best_collisions >= 0 && collisions >= best_collisions) break;
+      }
     }
     if (best_collisions < 0 || collisions < best_collisions) {
       best_collisions = collisions;
       best_s = s;
-    }
-    if (collisions == 0 && proper_) {
-      best_s = s;
-      best_collisions = 0;
-      break;
     }
   }
   if (proper_) {
@@ -149,19 +171,23 @@ void PolyReduceProgram::apply_step(
                      "Linial step found no collision-free point at node "
                          << v << " (k=" << ps.k << ", D=" << ps.degree << ")");
   }
-  color_[vi] = static_cast<Color>(best_s * ps.k + mine.eval(best_s));
+  color_[vi] = static_cast<Color>(
+      best_s * ps.k + eval_digits(mine_digits, nc, ps.k, best_s));
 }
 
 void PolyReduceProgram::step(NodeId v, int round, Mailbox& mail) {
   const auto vi = static_cast<std::size_t>(v);
   const int idx = round - 1;  // schedule index executed this round
   if (idx >= static_cast<int>(schedule_.size())) {
-    finished_[vi] = true;
+    finished_[vi] = 1;
     return;
   }
   // Collect the current colors of OUT-neighbors (all neighbors in the
-  // undirected mode) from the inbox.
-  std::vector<std::pair<NodeId, Color>> out_colors;
+  // undirected mode) from the inbox. Thread-local scratch: step() runs on
+  // pool threads, and reusing one buffer per thread avoids a heap
+  // allocation per step.
+  static thread_local std::vector<std::pair<NodeId, Color>> out_colors;
+  out_colors.clear();
   for (const Envelope& env : mail.inbox()) {
     if (undirected_ || orientation_->is_out_edge(v, env.from)) {
       out_colors.emplace_back(env.from, env.message.field(0));
@@ -175,12 +201,12 @@ void PolyReduceProgram::step(NodeId v, int round, Mailbox& mail) {
            std::max(1, ceil_log2(spaces_[static_cast<std::size_t>(idx) + 1])));
     broadcast(*graph_, mail, m);
   } else {
-    finished_[vi] = true;
+    finished_[vi] = 1;
   }
 }
 
 bool PolyReduceProgram::done(NodeId v) const {
-  return finished_[static_cast<std::size_t>(v)];
+  return finished_[static_cast<std::size_t>(v)] != 0;
 }
 
 LinialResult linial_coloring(const Graph& g, const Orientation& o,

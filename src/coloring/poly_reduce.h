@@ -85,7 +85,9 @@ class PolyReduceProgram final : public SyncAlgorithm {
   std::uint64_t space_;                ///< final space size
 
   std::vector<Color> color_;
-  std::vector<bool> finished_;
+  std::vector<std::uint8_t> finished_;  // not vector<bool>: per-node bytes
+                                        // are data-race-free when stepped
+                                        // in parallel
 };
 
 }  // namespace dcolor

@@ -43,6 +43,67 @@ MisResult mis_from_coloring(const Graph& g, const std::vector<Color>& colors) {
   return result;
 }
 
+ColorClassMisProgram::ColorClassMisProgram(const Graph& g,
+                                           const std::vector<Color>& colors)
+    : graph_(&g) {
+  DCOLOR_CHECK_MSG(is_proper_coloring(g, colors),
+                   "ColorClassMisProgram needs a proper coloring");
+  // Dense ranks of the color values; every node can derive them locally
+  // once the color space is known, so no extra communication is charged.
+  std::vector<Color> classes(colors);
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  rank_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    rank_[v] = std::lower_bound(classes.begin(), classes.end(), colors[v]) -
+               classes.begin();
+  }
+  in_set_.assign(n, 0);
+  blocked_.assign(n, 0);
+  decided_.assign(n, 0);
+}
+
+void ColorClassMisProgram::init(NodeId, Mailbox&) {}
+
+void ColorClassMisProgram::step(NodeId v, int round, Mailbox& mail) {
+  const auto vi = static_cast<std::size_t>(v);
+  if (!mail.inbox().empty()) blocked_[vi] = 1;  // any message = a join
+  if (round == static_cast<int>(rank_[vi]) + 1) {
+    if (blocked_[vi] == 0) {
+      in_set_[vi] = 1;
+      Message m;
+      m.push(1, 1);
+      broadcast(*graph_, mail, m);
+    }
+    decided_[vi] = 1;
+  }
+}
+
+bool ColorClassMisProgram::done(NodeId v) const {
+  return decided_[static_cast<std::size_t>(v)] != 0;
+}
+
+std::int64_t ColorClassMisProgram::next_active_round(
+    NodeId v, std::int64_t after_round) const {
+  const std::int64_t turn = rank_[static_cast<std::size_t>(v)] + 1;
+  return after_round < turn ? turn : kNoWakeup;
+}
+
+MisResult distributed_mis_from_coloring(const Graph& g,
+                                        const std::vector<Color>& colors) {
+  ColorClassMisProgram program(g, colors);
+  Network net(g);
+  MisResult result;
+  result.metrics = net.run(
+      program, static_cast<std::int64_t>(g.num_nodes()) + 4);
+  result.in_set.assign(static_cast<std::size_t>(g.num_nodes()), false);
+  for (std::size_t v = 0; v < program.in_set().size(); ++v) {
+    result.in_set[v] = program.in_set()[v] != 0;
+  }
+  return result;
+}
+
 bool validate_mis(const Graph& g, const std::vector<bool>& in_set) {
   if (static_cast<NodeId>(in_set.size()) != g.num_nodes()) return false;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

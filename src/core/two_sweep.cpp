@@ -30,15 +30,15 @@ TwoSweepProgram::TwoSweepProgram(const OldcInstance& inst,
   DCOLOR_CHECK(q >= 1);
   const auto n = static_cast<std::size_t>(inst.graph->num_nodes());
   DCOLOR_CHECK(initial_coloring.size() == n);
-  s_sets_.resize(n);
-  k_.resize(n);
-  heard_from_.assign(n, 0);
-  n_greater_.assign(n, 0);
-  r_.resize(n);
-  final_color_.assign(n, kNoColor);
+  node_.assign(n, {});
+  k_off_.assign(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
-    k_[v].assign(inst.lists[v].size(), 0);
+    k_off_[v + 1] = k_off_[v] + static_cast<std::int64_t>(inst.lists[v].size());
   }
+  k_flat_.assign(static_cast<std::size_t>(k_off_[n]), 0);
+  s_flat_.assign(n * static_cast<std::size_t>(p), kNoColor);
+  r_flat_.assign(n * static_cast<std::size_t>(p), 0);
+  compute_ops_.assign(n, 0);
 }
 
 int TwoSweepProgram::color_bits() const noexcept {
@@ -61,6 +61,12 @@ void TwoSweepProgram::init(NodeId v, Mailbox& mail) {
 void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
   const auto vi = static_cast<std::size_t>(v);
   const auto& list = inst_->lists[vi];
+  NodeState& st = node_[vi];
+  int* const kv = k_flat_.data() + k_off_[vi];
+  Color* const sv = s_flat_.data() + vi * static_cast<std::size_t>(p_);
+  int* const rv = r_flat_.data() + vi * static_cast<std::size_t>(p_);
+  const std::vector<Color>& list_colors = list.colors();
+  std::int64_t ops = 0;
 
   // Ingest this round's inbox: Phase-I sets and Phase-II decisions from
   // OUT-neighbors update k_v and r_v. k_v(x) counts only out-neighbors in
@@ -68,41 +74,51 @@ void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
   // sets of smaller-colored out-neighbors arrive before v's own Phase-I
   // turn; set messages arriving after that come from N_>(v) and must be
   // ignored (they would corrupt the Phase-II margins).
-  const bool before_my_phase1_turn = s_sets_[vi].empty();
+  const bool before_my_phase1_turn = st.s_count == 0;
   for (const Envelope& env : mail.inbox()) {
     if (env.message.empty()) continue;
     const std::int64_t type = env.message.field(0);
+    if (type == kMsgInitial) continue;  // before the adjacency lookup: the
+                                        // initial-color flood is ignored
     if (!inst_->is_out(v, env.from)) continue;
     if (type == kMsgPhase1Set && before_my_phase1_turn) {
-      ++heard_from_[vi];
+      ++st.heard_from;
       for (std::size_t i = 1; i < env.message.num_fields(); ++i) {
         const Color x = env.message.field(i);
-        const auto it = std::lower_bound(list.colors().begin(),
-                                         list.colors().end(), x);
-        ++compute_ops_;
-        if (it != list.colors().end() && *it == x) {
-          ++k_[vi][static_cast<std::size_t>(it - list.colors().begin())];
+        const auto it =
+            std::lower_bound(list_colors.begin(), list_colors.end(), x);
+        ++ops;
+        if (it != list_colors.end() && *it == x) {
+          ++kv[it - list_colors.begin()];
         }
       }
     } else if (type == kMsgDecision) {
       const Color x = env.message.field(1);
-      const auto& s = s_sets_[vi];
-      for (std::size_t i = 0; i < s.size(); ++i) {
-        ++compute_ops_;
-        if (s[i] == x) {
-          ++r_[vi][i];
+      for (std::int32_t i = 0; i < st.s_count; ++i) {
+        ++ops;
+        if (sv[i] == x) {
+          ++rv[i];
           break;
         }
       }
     }
   }
+  if (ops != 0) compute_ops_[vi] += ops;
 
   const Color my_color = (*initial_)[vi];
 
   // Phase I turn: round == my_color + 1 (colors ascend 0..q-1).
   if (round == static_cast<int>(my_color) + 1) {
-    n_greater_[vi] = inst_->beta_v(v) - heard_from_[vi];
-    std::vector<std::size_t> order(list.size());
+    st.n_greater = inst_->beta_v(v) - st.heard_from;
+    const std::size_t take =
+        options_.selection == TwoSweepSelection::kOneSweep
+            ? std::min<std::size_t>(1, list.size())
+            : std::min<std::size_t>(static_cast<std::size_t>(p_),
+                                    list.size());
+    // Thread-local scratch: one buffer per pool thread instead of a heap
+    // allocation per phase-I turn.
+    static thread_local std::vector<std::size_t> order;
+    order.resize(list.size());
     std::iota(order.begin(), order.end(), 0);
     if (options_.selection == TwoSweepSelection::kRandomSubset) {
       // Ablation: an arbitrary p-subset instead of the best one.
@@ -111,39 +127,37 @@ void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
       rng.shuffle(order);
     } else {
       // Select S_v: the min(p, |L_v|) colors maximizing d_v(x) - k_v(x)
-      // (best possible choice per the Remark after Lemma 3.1).
-      std::sort(order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b) {
-                  const int ma = list.defect(a) - k_[vi][a];
-                  const int mb = list.defect(b) - k_[vi][b];
-                  if (ma != mb) return ma > mb;
-                  return a < b;
-                });
+      // (best possible choice per the Remark after Lemma 3.1). Only the
+      // top `take` entries are consumed, and the comparator is a total
+      // order, so a partial sort selects the identical subset.
+      std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                        [&](std::size_t a, std::size_t b) {
+                          const int ma = list.defect(a) - kv[a];
+                          const int mb = list.defect(b) - kv[b];
+                          if (ma != mb) return ma > mb;
+                          return a < b;
+                        });
     }
-    compute_ops_ += static_cast<std::int64_t>(list.size()) *
-                    std::max(1, ceil_log2(std::max<std::uint64_t>(
-                                    2, list.size())));
-    const std::size_t take =
-        options_.selection == TwoSweepSelection::kOneSweep
-            ? std::min<std::size_t>(1, list.size())
-            : std::min<std::size_t>(static_cast<std::size_t>(p_),
-                                    list.size());
-    auto& s = s_sets_[vi];
-    s.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) s.push_back(list.color(order[i]));
-    std::sort(s.begin(), s.end());
-    r_[vi].assign(s.size(), 0);
+    compute_ops_[vi] += static_cast<std::int64_t>(list.size()) *
+                        std::max(1, ceil_log2(std::max<std::uint64_t>(
+                                        2, list.size())));
+    for (std::size_t i = 0; i < take; ++i) {
+      sv[i] = list.color(order[i]);
+      rv[i] = 0;
+    }
+    std::sort(sv, sv + take);
+    st.s_count = static_cast<std::int32_t>(take);
 
     Message m;
     m.push(kMsgPhase1Set, 2);
-    for (Color x : s) m.push(x, color_bits());
+    for (std::size_t i = 0; i < take; ++i) m.push(sv[i], color_bits());
     broadcast(*inst_->graph, mail, m);
 
     if (options_.selection == TwoSweepSelection::kOneSweep) {
       // Ablation: commit immediately — no second sweep. Out-edges toward
       // later nodes are uncontrolled; the bench measures the damage.
-      DCOLOR_CHECK_MSG(!s.empty(), "empty list at node " << v);
-      final_color_[vi] = s.front();
+      DCOLOR_CHECK_MSG(take > 0, "empty list at node " << v);
+      st.final_color = sv[0];
     }
     return;
   }
@@ -151,29 +165,29 @@ void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
 
   // Phase II turn: round == q + (q - my_color) (colors descend q-1..0).
   if (round == static_cast<int>(2 * q_ - my_color)) {
-    const auto& s = s_sets_[vi];
-    DCOLOR_CHECK_MSG(!s.empty(), "node " << v << " has an empty Phase-I set");
+    DCOLOR_CHECK_MSG(st.s_count > 0,
+                     "node " << v << " has an empty Phase-I set");
     // Pick the color with the largest remaining margin d - k - r; Lemma 3.2
     // guarantees some margin is >= 0 whenever Eq. (2) held.
     std::int64_t best_margin = -1;
     Color best = kNoColor;
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      const auto d = list.defect_of(s[i]);
+    for (std::int32_t i = 0; i < st.s_count; ++i) {
+      const auto d = list.defect_of(sv[i]);
       const auto it =
-          std::lower_bound(list.colors().begin(), list.colors().end(), s[i]);
-      const auto li = static_cast<std::size_t>(it - list.colors().begin());
+          std::lower_bound(list_colors.begin(), list_colors.end(), sv[i]);
       const std::int64_t margin =
-          static_cast<std::int64_t>(*d) - k_[vi][li] - r_[vi][i];
-      ++compute_ops_;
+          static_cast<std::int64_t>(*d) - kv[it - list_colors.begin()] -
+          rv[i];
+      ++compute_ops_[vi];
       if (margin > best_margin) {
         best_margin = margin;
-        best = s[i];
+        best = sv[i];
       }
     }
     DCOLOR_CHECK_MSG(best_margin >= 0,
                      "Phase II found no feasible color at node "
                          << v << " — Eq. (2) precondition violated?");
-    final_color_[vi] = best;
+    st.final_color = best;
 
     Message m;
     m.push(kMsgDecision, 2);
@@ -184,7 +198,30 @@ void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
 }
 
 bool TwoSweepProgram::done(NodeId v) const {
-  return final_color_[static_cast<std::size_t>(v)] != kNoColor;
+  return node_[static_cast<std::size_t>(v)].final_color != kNoColor;
+}
+
+std::vector<Color> TwoSweepProgram::final_colors() const {
+  std::vector<Color> out(node_.size());
+  for (std::size_t i = 0; i < node_.size(); ++i) out[i] = node_[i].final_color;
+  return out;
+}
+
+std::int64_t TwoSweepProgram::next_active_round(NodeId v,
+                                                std::int64_t after_round) const {
+  const Color my_color = (*initial_)[static_cast<std::size_t>(v)];
+  const std::int64_t phase1 = static_cast<std::int64_t>(my_color) + 1;
+  if (after_round < phase1) return phase1;
+  if (options_.selection == TwoSweepSelection::kOneSweep) return kNoWakeup;
+  const std::int64_t phase2 = 2 * q_ - static_cast<std::int64_t>(my_color);
+  if (after_round < phase2) return phase2;
+  return kNoWakeup;
+}
+
+std::int64_t TwoSweepProgram::compute_ops() const noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t ops : compute_ops_) total += ops;
+  return total;
 }
 
 ColoringResult two_sweep(const OldcInstance& inst,

@@ -16,6 +16,7 @@
 // color once and later a list of ≤ p colors (Lemma 3.3).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/instance.h"
@@ -65,24 +66,34 @@ class TwoSweepProgram final : public SyncAlgorithm {
   void step(NodeId v, int round, Mailbox& mail) override;
   bool done(NodeId v) const override;
 
+  /// Sparse scheduling: node v acts in exactly two rounds — its Phase-I
+  /// turn (initial color + 1) and its Phase-II turn (2q − initial color);
+  /// between turns it only needs to be stepped when messages arrive.
+  std::int64_t next_active_round(NodeId v,
+                                 std::int64_t after_round) const override;
+
   /// Phase-I set S_v of node v (valid after the run).
-  const std::vector<Color>& phase1_set(NodeId v) const {
-    return s_sets_[static_cast<std::size_t>(v)];
+  std::span<const Color> phase1_set(NodeId v) const {
+    const auto vi = static_cast<std::size_t>(v);
+    return {s_flat_.data() + vi * static_cast<std::size_t>(p_),
+            static_cast<std::size_t>(node_[vi].s_count)};
   }
 
   /// k_v(x) as accumulated by node v, aligned with its ColorList order.
-  const std::vector<int>& k_counts(NodeId v) const {
-    return k_[static_cast<std::size_t>(v)];
+  std::span<const int> k_counts(NodeId v) const {
+    const auto vi = static_cast<std::size_t>(v);
+    return {k_flat_.data() + k_off_[vi],
+            static_cast<std::size_t>(k_off_[vi + 1] - k_off_[vi])};
   }
 
   /// |N_>(v)| = β_v − |N_<(v)| as known to node v at its Phase-I turn.
   int n_greater(NodeId v) const {
-    return n_greater_[static_cast<std::size_t>(v)];
+    return node_[static_cast<std::size_t>(v)].n_greater;
   }
 
-  const std::vector<Color>& final_colors() const { return final_color_; }
+  std::vector<Color> final_colors() const;
 
-  std::int64_t compute_ops() const noexcept { return compute_ops_; }
+  std::int64_t compute_ops() const noexcept;
 
  private:
   int color_bits() const noexcept;
@@ -93,14 +104,24 @@ class TwoSweepProgram final : public SyncAlgorithm {
   int p_;
   TwoSweepOptions options_;
 
-  // Per-node state. step(v, ...) only touches index v (plus inbox).
-  std::vector<std::vector<Color>> s_sets_;
-  std::vector<std::vector<int>> k_;          // aligned with lists[v] order
-  std::vector<int> heard_from_;              // # out-neighbors' S_u received
-  std::vector<int> n_greater_;
-  std::vector<std::vector<int>> r_;          // aligned with s_sets_[v]
-  std::vector<Color> final_color_;
-  std::int64_t compute_ops_ = 0;
+  // Per-node state, flattened. step(v, ...) only touches index v (plus the
+  // inbox); everything a step reads sits in one record plus flat CSR /
+  // stride-p slices, so an ingest touches a couple of cache lines instead
+  // of chasing per-node vector headers.
+  struct NodeState {
+    std::int32_t heard_from = 0;   ///< # out-neighbors' S_u received
+    std::int32_t n_greater = 0;    ///< β_v − |N_<(v)|, set at Phase-I turn
+    std::int32_t s_count = 0;      ///< |S_v|; 0 until the Phase-I turn
+    Color final_color = kNoColor;  ///< Phase-II commitment
+  };
+  std::vector<NodeState> node_;
+  std::vector<std::int64_t> k_off_;  ///< CSR offsets into k_flat_ (n+1)
+  std::vector<int> k_flat_;          ///< k_v, aligned with lists[v] order
+  std::vector<Color> s_flat_;        ///< S_v = [v·p, v·p + s_count)
+  std::vector<int> r_flat_;          ///< r_v, aligned with s_flat_
+  std::vector<std::int64_t> compute_ops_;  // per node: step(v) is
+                                           // data-race-free under the
+                                           // parallel engine
 };
 
 }  // namespace dcolor

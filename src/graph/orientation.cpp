@@ -8,12 +8,34 @@
 
 namespace dcolor {
 
+Orientation Orientation::from_lists(std::vector<std::vector<NodeId>> out,
+                                    std::vector<std::vector<NodeId>> in) {
+  Orientation o;
+  const std::size_t n = out.size();
+  o.out_offsets_.assign(n + 1, 0);
+  o.in_offsets_.assign(n + 1, 0);
+  std::size_t total_out = 0, total_in = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total_out += out[v].size();
+    total_in += in[v].size();
+  }
+  o.out_adj_.reserve(total_out);
+  o.in_adj_.reserve(total_in);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(out[v].begin(), out[v].end());
+    std::sort(in[v].begin(), in[v].end());
+    o.out_adj_.insert(o.out_adj_.end(), out[v].begin(), out[v].end());
+    o.in_adj_.insert(o.in_adj_.end(), in[v].begin(), in[v].end());
+    o.out_offsets_[v + 1] = static_cast<std::int64_t>(o.out_adj_.size());
+    o.in_offsets_[v + 1] = static_cast<std::int64_t>(o.in_adj_.size());
+  }
+  return o;
+}
+
 Orientation Orientation::from_predicate(
     const Graph& g, const std::function<bool(NodeId, NodeId)>& u_to_v) {
-  Orientation o;
   const auto n = static_cast<std::size_t>(g.num_nodes());
-  o.out_.resize(n);
-  o.in_.resize(n);
+  std::vector<std::vector<NodeId>> out(n), in(n);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     for (NodeId v : g.neighbors(u)) {
       if (u >= v) continue;  // visit each edge once
@@ -24,13 +46,11 @@ Orientation Orientation::from_predicate(
                                        << u << "," << v << ")");
       const NodeId from = fwd ? u : v;
       const NodeId to = fwd ? v : u;
-      o.out_[static_cast<std::size_t>(from)].push_back(to);
-      o.in_[static_cast<std::size_t>(to)].push_back(from);
+      out[static_cast<std::size_t>(from)].push_back(to);
+      in[static_cast<std::size_t>(to)].push_back(from);
     }
   }
-  for (auto& lst : o.out_) std::sort(lst.begin(), lst.end());
-  for (auto& lst : o.in_) std::sort(lst.begin(), lst.end());
-  return o;
+  return from_lists(std::move(out), std::move(in));
 }
 
 Orientation Orientation::by_priority(const Graph& g,
@@ -57,20 +77,16 @@ Orientation Orientation::random(const Graph& g, Rng& rng) {
   // Build via explicit arc lists (the predicate interface has no access to
   // the per-edge index).
   std::size_t idx = 0;
-  Orientation o;
   const auto n = static_cast<std::size_t>(g.num_nodes());
-  o.out_.resize(n);
-  o.in_.resize(n);
+  std::vector<std::vector<NodeId>> out(n), in(n);
   for (const auto& [u, v] : edges) {
     const NodeId from = flip[idx] ? v : u;
     const NodeId to = flip[idx] ? u : v;
     ++idx;
-    o.out_[static_cast<std::size_t>(from)].push_back(to);
-    o.in_[static_cast<std::size_t>(to)].push_back(from);
+    out[static_cast<std::size_t>(from)].push_back(to);
+    in[static_cast<std::size_t>(to)].push_back(from);
   }
-  for (auto& lst : o.out_) std::sort(lst.begin(), lst.end());
-  for (auto& lst : o.in_) std::sort(lst.begin(), lst.end());
-  return o;
+  return from_lists(std::move(out), std::move(in));
 }
 
 Orientation Orientation::degeneracy(const Graph& g) {
@@ -115,7 +131,7 @@ int Orientation::beta() const noexcept {
 }
 
 bool Orientation::is_out_edge(NodeId u, NodeId v) const noexcept {
-  const auto& lst = out_[static_cast<std::size_t>(u)];
+  const auto lst = out_neighbors(u);
   return std::binary_search(lst.begin(), lst.end(), v);
 }
 

@@ -44,18 +44,23 @@ class Orientation {
       const Graph& g, const std::function<bool(NodeId, NodeId)>& u_to_v);
 
   NodeId num_nodes() const noexcept {
-    return static_cast<NodeId>(out_.size());
+    return static_cast<NodeId>(out_offsets_.empty()
+                                   ? 0
+                                   : out_offsets_.size() - 1);
   }
 
   std::span<const NodeId> out_neighbors(NodeId v) const noexcept {
-    return out_[static_cast<std::size_t>(v)];
+    return {out_adj_.data() + out_offsets_[static_cast<std::size_t>(v)],
+            out_adj_.data() + out_offsets_[static_cast<std::size_t>(v) + 1]};
   }
   std::span<const NodeId> in_neighbors(NodeId v) const noexcept {
-    return in_[static_cast<std::size_t>(v)];
+    return {in_adj_.data() + in_offsets_[static_cast<std::size_t>(v)],
+            in_adj_.data() + in_offsets_[static_cast<std::size_t>(v) + 1]};
   }
 
   int outdegree(NodeId v) const noexcept {
-    return static_cast<int>(out_[static_cast<std::size_t>(v)].size());
+    return static_cast<int>(out_offsets_[static_cast<std::size_t>(v) + 1] -
+                            out_offsets_[static_cast<std::size_t>(v)]);
   }
 
   /// β_v per the paper's convention: max(1, outdegree).
@@ -67,8 +72,17 @@ class Orientation {
   bool is_out_edge(NodeId u, NodeId v) const noexcept;
 
  private:
-  std::vector<std::vector<NodeId>> out_;
-  std::vector<std::vector<NodeId>> in_;
+  /// Builds the CSR arrays from per-node arc lists (construction helper).
+  static Orientation from_lists(std::vector<std::vector<NodeId>> out,
+                                std::vector<std::vector<NodeId>> in);
+
+  // CSR layout, mirroring Graph: `is_out_edge` and the ingest loops of the
+  // coloring programs hit these on every received message, and one flat
+  // array costs one cache miss where a vector-of-vectors costs two.
+  std::vector<std::int64_t> out_offsets_;  // size n+1
+  std::vector<NodeId> out_adj_;
+  std::vector<std::int64_t> in_offsets_;   // size n+1
+  std::vector<NodeId> in_adj_;
 };
 
 }  // namespace dcolor

@@ -11,14 +11,21 @@ void Message::push(std::int64_t value, int bits) {
   DCOLOR_CHECK_MSG(
       bits == 63 || value < (static_cast<std::int64_t>(1) << bits),
       "value " << value << " does not fit in " << bits << " bits");
-  fields_.push_back(value);
+  if (count_ < kInlineFields) {
+    inline_[count_] = value;
+  } else {
+    if (overflow_ == nullptr) {
+      overflow_ = std::make_unique<std::vector<std::int64_t>>();
+    }
+    overflow_->push_back(value);
+  }
+  ++count_;
   bits_ += bits;
 }
 
 std::int64_t Message::field(std::size_t i) const {
-  DCOLOR_CHECK_MSG(i < fields_.size(),
-                   "field " << i << " of " << fields_.size());
-  return fields_[i];
+  DCOLOR_CHECK_MSG(i < count_, "field " << i << " of " << count_);
+  return i < kInlineFields ? inline_[i] : (*overflow_)[i - kInlineFields];
 }
 
 }  // namespace dcolor

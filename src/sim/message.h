@@ -5,16 +5,40 @@
 // from a space of size C costs ceil(log2 C) bits). The simulator tracks
 // the declared widths; tests assert algorithms stay within their stated
 // budgets (e.g. O(log q + log C) for Theorem 1.2).
+//
+// Storage: the first `kInlineFields` fields live inline in the Message
+// object, which covers every message the core programs send (tag + a
+// couple of colors). Only wider messages (e.g. Phase-I sets with large p)
+// spill to the heap, so per-message allocation is off the hot path.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace dcolor {
 
 class Message {
  public:
+  /// Fields stored inline before spilling to the heap.
+  static constexpr std::size_t kInlineFields = 4;
+
   Message() = default;
+  Message(Message&&) noexcept = default;
+  Message& operator=(Message&&) noexcept = default;
+  Message(const Message& o)
+      : inline_(o.inline_),
+        count_(o.count_),
+        bits_(o.bits_),
+        overflow_(o.overflow_ == nullptr
+                      ? nullptr
+                      : std::make_unique<std::vector<std::int64_t>>(
+                            *o.overflow_)) {}
+  Message& operator=(const Message& o) {
+    if (this != &o) *this = Message(o);
+    return *this;
+  }
 
   /// Appends a field of `bits` declared width. `value` must fit in `bits`
   /// bits (two's complement for negatives is not supported; values are
@@ -23,16 +47,22 @@ class Message {
 
   /// Sequential read access (fields in push order).
   std::int64_t field(std::size_t i) const;
-  std::size_t num_fields() const noexcept { return fields_.size(); }
+  std::size_t num_fields() const noexcept { return count_; }
 
   /// Total declared width of the message in bits.
   int bits() const noexcept { return bits_; }
 
-  bool empty() const noexcept { return fields_.empty(); }
+  bool empty() const noexcept { return count_ == 0; }
 
  private:
-  std::vector<std::int64_t> fields_;
+  std::array<std::int64_t, kInlineFields> inline_{};
+  std::uint32_t count_ = 0;
   int bits_ = 0;
+  /// Fields beyond kInlineFields. A heap pointer rather than an inline
+  /// vector: it is null for every message the core programs send, and the
+  /// 16 bytes saved per Message are paid on every envelope the delivery
+  /// pass copies.
+  std::unique_ptr<std::vector<std::int64_t>> overflow_;
 };
 
 /// A received message together with its sender.

@@ -1,76 +1,491 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <utility>
 
+#include "sim/thread_pool.h"
 #include "util/check.h"
 
 namespace dcolor {
 
+namespace {
+
+int env_threads() {
+  static const int cached = [] {
+    const char* s = std::getenv("DCOLOR_SIM_THREADS");
+    if (s == nullptr || *s == '\0') return 1;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == nullptr || *end != '\0' || v < 1) return 1;
+    return static_cast<int>(std::min<long>(v, 256));
+  }();
+  return cached;
+}
+
+std::atomic<int> g_default_threads{0};  // 0 = fall back to the environment
+
+/// Parallelizing a round only pays off past a minimum amount of work.
+constexpr std::size_t kMinParallelActive = 128;
+
+}  // namespace
+
 void broadcast(const Graph& g, Mailbox& mail, const Message& m) {
-  for (NodeId u : g.neighbors(mail.self())) mail.send(u, m);
+  if (g.degree(mail.self()) == 0) return;
+  mail.send_to_all_neighbors(m);
+}
+
+Network::Network(const Graph& g) : graph_(&g) {}
+
+Network::~Network() = default;
+
+int Network::num_threads() const noexcept {
+  return num_threads_ > 0 ? num_threads_ : default_num_threads();
+}
+
+void Network::set_default_num_threads(int threads) noexcept {
+  g_default_threads.store(threads > 0 ? threads : 0,
+                          std::memory_order_relaxed);
+}
+
+int Network::default_num_threads() noexcept {
+  const int t = g_default_threads.load(std::memory_order_relaxed);
+  return t > 0 ? t : env_threads();
 }
 
 RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
                           int message_bit_cap) {
   const Graph& g = *graph_;
-  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const NodeId n_nodes = g.num_nodes();
+  const auto n = static_cast<std::size_t>(n_nodes);
   RoundMetrics metrics;
 
-  // Double-buffered inboxes.
-  std::vector<std::vector<Envelope>> inbox(n), next_inbox(n);
-
-  auto flush_outgoing = [&](NodeId v, Mailbox& mail) {
-    for (auto& out : mail.outgoing()) {
-      DCOLOR_CHECK_MSG(g.has_edge(v, out.to),
-                       "node " << v << " sent to non-neighbor " << out.to);
+  // Message validation and accounting: identical checks (and error text)
+  // for the serial and parallel paths. The tallies are associative, so
+  // merging per-chunk tallies reproduces the serial metrics exactly.
+  // Validates and tallies buf[before..), compacting away broadcast entries
+  // from isolated nodes (they stand for zero messages and must not count
+  // as in-flight traffic).
+  auto account_new = [&](std::vector<Mailbox::Outgoing>& buf,
+                         std::size_t before, std::int64_t& msgs,
+                         std::int64_t& bits, int& max_bits) {
+    auto check_cap = [&](const Mailbox::Outgoing& out) {
       DCOLOR_CHECK_MSG(
           message_bit_cap <= 0 || out.message.bits() <= message_bit_cap,
-          "CONGEST violation: node " << v << " sent " << out.message.bits()
-                                     << " bits (cap " << message_bit_cap
-                                     << ")");
-      metrics.total_messages += 1;
-      metrics.total_message_bits += out.message.bits();
-      metrics.max_message_bits =
-          std::max(metrics.max_message_bits, out.message.bits());
-      next_inbox[static_cast<std::size_t>(out.to)].push_back(
-          {v, std::move(out.message)});
+          "CONGEST violation: node " << out.from << " sent "
+                                     << out.message.bits() << " bits (cap "
+                                     << message_bit_cap << ")");
+    };
+    std::size_t w = before;
+    for (std::size_t i = before; i < buf.size(); ++i) {
+      const Mailbox::Outgoing& out = buf[i];
+      if (out.to == Mailbox::kBroadcastTo) {
+        const auto deg = static_cast<std::int64_t>(g.degree(out.from));
+        if (deg == 0) continue;  // expands to nothing: drop the entry
+        check_cap(out);
+        msgs += deg;
+        bits += deg * out.message.bits();
+      } else {
+        DCOLOR_CHECK_MSG(g.has_edge(out.from, out.to),
+                         "node " << out.from << " sent to non-neighbor "
+                                 << out.to);
+        check_cap(out);
+        msgs += 1;
+        bits += out.message.bits();
+      }
+      max_bits = std::max(max_bits, out.message.bits());
+      if (w != i) buf[w] = std::move(buf[i]);
+      ++w;
+    }
+    buf.resize(w);
+  };
+
+  // `sent` collects this round's outgoing messages in (sender, send-order)
+  // order; the swap into `to_deliver` is the round boundary. The in-flight
+  // scan of the old engine is now just `to_deliver.empty()`.
+  std::vector<Mailbox::Outgoing> sent, to_deliver;
+
+  // Per-node runtime record. The engine touches several per-node facts on
+  // every delivery and step (inbox slice, activation stamp, done/always
+  // flags, registered wake); keeping them in ONE record means one cache
+  // line per touch instead of one miss per parallel array — the simulator
+  // is memory-latency-bound, not compute-bound. Fields are written only by
+  // the owning node's step (or the serial delivery pass), so parallel
+  // chunks never race on them.
+  struct NodeRt {
+    std::int64_t in_stamp = -1;     ///< round whose inbox slice is valid
+    std::int64_t active_stamp = -1; ///< round already in the active set
+    std::int64_t wake_round = -1;   ///< registered wake (-1 = none)
+    std::uint32_t in_begin = 0;     ///< inbox slice start in inbox_flat
+    std::uint32_t in_count = 0;     ///< inbox slice length
+    std::uint32_t in_cursor = 0;    ///< scatter cursor during delivery
+    std::uint8_t done = 0;          ///< done(v) already observed true
+    std::uint8_t always = 0;        ///< hook returned kEveryRound
+  };
+  std::vector<NodeRt> rt(n);
+  std::int64_t done_count = 0;
+
+  // `always` lists nodes whose hook returned kEveryRound (the dense
+  // default); everyone else is stepped only on a non-empty inbox or a
+  // registered wake-up round. Duplicate wake registrations are skipped via
+  // rt[v].wake_round, keeping bucket sizes linear in DISTINCT registrations.
+  std::vector<NodeId> always;
+  using WakeEntry = std::pair<std::int64_t, NodeId>;
+  // Wake-ups live in per-round buckets instead of a heap: registration and
+  // drain are O(1) cache-friendly appends/scans, and the fast-forward scan
+  // over empty buckets is amortized O(max_rounds) across the whole run
+  // (each scanned bucket is jumped over exactly once). Grown lazily to the
+  // furthest registered round, which algorithm behavior keeps near the
+  // actual round span — never pre-sized to max_rounds.
+  std::vector<std::vector<NodeId>> wake_buckets;
+  auto register_wake = [&](const WakeEntry& e) {
+    const auto idx = static_cast<std::size_t>(
+        std::min<std::int64_t>(e.first, max_rounds + 1));
+    if (idx >= wake_buckets.size()) wake_buckets.resize(idx + 1);
+    wake_buckets[idx].push_back(e.second);
+  };
+
+  auto query_hook = [&](NodeId v, std::int64_t after,
+                        std::vector<WakeEntry>& wake_sink,
+                        std::vector<NodeId>& promote_sink) {
+    const std::int64_t w = algo.next_active_round(v, after);
+    if (w == SyncAlgorithm::kEveryRound) {
+      promote_sink.push_back(v);
+    } else if (w != SyncAlgorithm::kNoWakeup) {
+      DCOLOR_CHECK_MSG(w > after, "next_active_round(" << v << ", " << after
+                                                       << ") returned "
+                                                       << w);
+      NodeRt& r = rt[static_cast<std::size_t>(v)];
+      if (r.wake_round != w) {
+        r.wake_round = w;
+        wake_sink.push_back({w, v});
+      }
     }
   };
 
-  // Round 0: init (counts as the first round when anything is sent).
-  bool sent_anything = false;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    Mailbox mail(v, {});
-    algo.init(v, mail);
-    if (!mail.outgoing().empty()) sent_anything = true;
-    flush_outgoing(v, mail);
+  // ---- Round 0: init (serial; runs once) -------------------------------
+  {
+    std::vector<WakeEntry> wakes;
+    std::vector<NodeId> promote;
+    for (NodeId v = 0; v < n_nodes; ++v) {
+      const std::size_t before = sent.size();
+      Mailbox mail(v, {}, &sent);
+      algo.init(v, mail);
+      account_new(sent, before, metrics.total_messages,
+                  metrics.total_message_bits, metrics.max_message_bits);
+      if (algo.done(v)) {
+        rt[static_cast<std::size_t>(v)].done = 1;
+        ++done_count;
+      }
+      query_hook(v, 0, wakes, promote);
+    }
+    for (const WakeEntry& e : wakes) register_wake(e);
+    for (NodeId v : promote) {
+      rt[static_cast<std::size_t>(v)].always = 1;
+      always.push_back(v);  // ascending: v was visited in id order
+    }
   }
-  if (sent_anything) metrics.rounds = 1;
+  to_deliver.swap(sent);
 
-  for (std::int64_t round = 1;; ++round) {
-    bool all_done = true;
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (!algo.done(v)) {
-        all_done = false;
-        break;
+  const bool dense_all = always.size() == n;
+
+  // Lightweight phase profiling (DCOLOR_SIMPROF=1): per-run totals of the
+  // three per-round passes, printed to stderr. The clock reads cost a few
+  // tens of nanoseconds per round — noise next to any real round.
+  using Clk = std::chrono::steady_clock;
+  const bool simprof = std::getenv("DCOLOR_SIMPROF") != nullptr;
+  std::int64_t t_deliver = 0, t_active = 0, t_step = 0;
+  auto tick = [] { return Clk::now(); };
+  // ---- Per-round scratch (allocated once, reused) ----------------------
+  std::vector<Envelope> inbox_flat;
+  std::vector<NodeId> touched, active, identity;
+  if (dense_all) {
+    identity.resize(n);
+    for (NodeId v = 0; v < n_nodes; ++v)
+      identity[static_cast<std::size_t>(v)] = v;
+  }
+
+  const int threads = std::max(1, num_threads());
+  struct ChunkState {
+    std::vector<Mailbox::Outgoing> out;
+    std::vector<WakeEntry> wakes;
+    std::vector<NodeId> promote;
+    std::int64_t done_delta = 0;
+    std::int64_t msgs = 0;
+    std::int64_t bits = 0;
+    int max_bits = 0;
+    std::exception_ptr error;
+  };
+  std::vector<ChunkState> chunks;
+  std::vector<WakeEntry> wake_scratch;
+  std::vector<NodeId> promote_scratch;
+
+  // Steps nodes active[lo..hi) for `round`, appending sends to `out` and
+  // recording tallies/transitions. Thread-safe for disjoint ranges: only
+  // node-local algorithm state, distinct done_flag bytes, and the
+  // chunk-local buffers are written.
+  auto step_range = [&](std::int64_t round, std::size_t lo, std::size_t hi,
+                        const std::vector<NodeId>& act,
+                        std::vector<Mailbox::Outgoing>& out,
+                        std::vector<WakeEntry>& wake_sink,
+                        std::vector<NodeId>& promote_sink,
+                        std::int64_t& done_delta, std::int64_t& msgs,
+                        std::int64_t& bits, int& max_bits) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = act[i];
+      NodeRt& r = rt[static_cast<std::size_t>(v)];
+      std::span<const Envelope> inbox;
+      if (r.in_stamp == round) {
+        inbox = {inbox_flat.data() + r.in_begin, r.in_count};
+      }
+      const std::size_t before = out.size();
+      Mailbox mail(v, inbox, &out);
+      algo.step(v, static_cast<int>(round), mail);
+      if (out.size() != before) account_new(out, before, msgs, bits, max_bits);
+      if (r.done == 0 && algo.done(v)) {
+        r.done = 1;
+        ++done_delta;
+      }
+      // Re-query the hook only when no future wake is pending: a
+      // registered wake may not move earlier (see the hook contract), so
+      // while one is outstanding the answer cannot change in a way the
+      // engine would act on. This skips a virtual call on every
+      // pure-ingest step between a node's registered turns.
+      if (r.always == 0 && r.wake_round <= round) {
+        query_hook(v, round, wake_sink, promote_sink);
       }
     }
-    const bool in_flight = std::any_of(
-        next_inbox.begin(), next_inbox.end(),
-        [](const std::vector<Envelope>& box) { return !box.empty(); });
-    if (all_done && !in_flight) break;
+  };
+
+  for (std::int64_t round = 1;; ++round) {
+    // Start-of-round termination test — O(1) instead of two O(n) scans.
+    if (done_count == static_cast<std::int64_t>(n) && to_deliver.empty())
+      break;
+
+    // Fast-forward: with no messages in flight and no dense nodes, every
+    // round before the next wake-up is a guaranteed no-op; the skipped
+    // rounds still elapse (metrics parity with the dense engine), they are
+    // just not materialized. An empty wake queue here is a stalled
+    // execution — the dense engine would spin no-op rounds into the cap,
+    // so report the same overrun.
+    if (to_deliver.empty() && always.empty()) {
+      auto b = static_cast<std::size_t>(round);
+      while (b < wake_buckets.size() && wake_buckets[b].empty()) ++b;
+      round = b < wake_buckets.size() ? static_cast<std::int64_t>(b)
+                                      : max_rounds + 1;
+    }
     DCOLOR_CHECK_MSG(round <= max_rounds,
                      "algorithm exceeded max_rounds=" << max_rounds);
 
-    inbox.swap(next_inbox);
-    for (auto& box : next_inbox) box.clear();
-
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      Mailbox mail(v, inbox[static_cast<std::size_t>(v)]);
-      algo.step(v, static_cast<int>(round), mail);
-      flush_outgoing(v, mail);
+    // ---- Deliver: regroup last round's sends by destination (CSR) ----
+    auto t0 = tick();
+    touched.clear();
+    std::size_t expanded = 0;
+    // Fast path for fully dense broadcast rounds (every node broadcast
+    // exactly once — the shape of the polynomial color reductions): the
+    // inbox layout IS the graph's CSR, so per-node counts/offsets are a
+    // sequential fill instead of one random-access increment per
+    // delivered message. Detecting the shape is one sequential scan over
+    // the (much shorter) outgoing list.
+    bool graph_shaped = to_deliver.size() == n;
+    for (std::size_t i = 0; graph_shaped && i < to_deliver.size(); ++i) {
+      graph_shaped = to_deliver[i].to == Mailbox::kBroadcastTo &&
+                     to_deliver[i].from == static_cast<NodeId>(i);
     }
-    metrics.rounds = std::max(metrics.rounds, round);
+    if (graph_shaped) {
+      std::uint32_t off = 0;
+      for (NodeId v = 0; v < n_nodes; ++v) {
+        NodeRt& r = rt[static_cast<std::size_t>(v)];
+        const auto d = static_cast<std::uint32_t>(g.degree(v));
+        r.in_stamp = round;
+        r.in_begin = off;
+        r.in_cursor = off;
+        r.in_count = d;
+        off += d;
+        if (d != 0) touched.push_back(v);
+      }
+      expanded = off;
+    } else {
+      auto count_to = [&](NodeId to) {
+        NodeRt& r = rt[static_cast<std::size_t>(to)];
+        if (r.in_stamp != round) {
+          r.in_stamp = round;
+          r.in_count = 0;
+          touched.push_back(to);
+        }
+        ++r.in_count;
+      };
+      for (const auto& out : to_deliver) {
+        if (out.to == Mailbox::kBroadcastTo) {
+          const auto nbrs = g.neighbors(out.from);
+          for (const NodeId u : nbrs) count_to(u);
+          expanded += nbrs.size();
+        } else {
+          count_to(out.to);
+          ++expanded;
+        }
+      }
+      // `touched` stays in first-message order: the CSR offsets only need
+      // to partition the flat array, and the inbox CONTENT per destination
+      // is send-order regardless.
+      std::uint32_t offset = 0;
+      for (const NodeId t : touched) {
+        NodeRt& r = rt[static_cast<std::size_t>(t)];
+        r.in_begin = offset;
+        r.in_cursor = offset;
+        offset += r.in_count;
+      }
+    }
+    if (inbox_flat.size() < expanded) {
+      inbox_flat.resize(expanded);  // never shrinks: slots are recycled by
+                                    // move-assignment
+    }
+    for (auto& out : to_deliver) {
+      if (out.to == Mailbox::kBroadcastTo) {
+        // Expand in adjacency order — exactly the per-neighbor send order
+        // the non-batched broadcast used; the last copy is a move.
+        const auto nbrs = g.neighbors(out.from);
+        for (std::size_t j = 0; j + 1 < nbrs.size(); ++j) {
+          inbox_flat[rt[static_cast<std::size_t>(nbrs[j])].in_cursor++] =
+              Envelope{out.from, out.message};
+        }
+        inbox_flat[rt[static_cast<std::size_t>(nbrs.back())].in_cursor++] =
+            Envelope{out.from, std::move(out.message)};
+      } else {
+        inbox_flat[rt[static_cast<std::size_t>(out.to)].in_cursor++] =
+            Envelope{out.from, std::move(out.message)};
+      }
+    }
+    to_deliver.clear();
+    auto t1 = tick();
+
+    // ---- Active set: inbox owners ∪ due wake-ups ∪ dense nodes ----
+    const std::vector<NodeId>* act = &identity;
+    if (!dense_all) {
+      active.clear();
+      for (const NodeId t : touched) {
+        rt[static_cast<std::size_t>(t)].active_stamp = round;
+        active.push_back(t);
+      }
+      // Buckets below `round` are already drained: rounds are materialized
+      // in order and fast-forward only jumps over empty buckets.
+      if (static_cast<std::size_t>(round) < wake_buckets.size()) {
+        std::vector<NodeId>& due = wake_buckets[static_cast<std::size_t>(round)];
+        for (const NodeId v : due) {
+          NodeRt& r = rt[static_cast<std::size_t>(v)];
+          if (r.active_stamp != round) {
+            r.active_stamp = round;
+            active.push_back(v);
+          }
+        }
+        due.clear();
+      }
+      for (const NodeId v : always) {
+        NodeRt& r = rt[static_cast<std::size_t>(v)];
+        if (r.active_stamp != round) {
+          r.active_stamp = round;
+          active.push_back(v);
+        }
+      }
+      // The step order within a round is deterministic but unspecified:
+      // first-message order, then due wake-ups in registration order, then
+      // dense nodes. Algorithms must be step-order independent within a
+      // round anyway (synchronous model; enforced by the test suite), and
+      // every deterministic order yields deterministic runs. Sorting the
+      // set ascending would cost more than the rest of this pass.
+      act = &active;
+    }
+
+    auto t2 = tick();
+    // ---- Step the active nodes (serial, or chunked across the pool) ----
+    const std::size_t n_active = act->size();
+    if (threads > 1 && n_active >= kMinParallelActive) {
+      if (!pool_ || pool_->threads() != threads) {
+        pool_ = std::make_unique<detail::SimThreadPool>(threads);
+      }
+      const int n_chunks = threads;
+      chunks.resize(static_cast<std::size_t>(n_chunks));
+      pool_->run(n_chunks, [&](int c) {
+        ChunkState& cs = chunks[static_cast<std::size_t>(c)];
+        cs.out.clear();
+        cs.wakes.clear();
+        cs.promote.clear();
+        cs.done_delta = cs.msgs = cs.bits = 0;
+        cs.max_bits = 0;
+        cs.error = nullptr;
+        const std::size_t lo =
+            n_active * static_cast<std::size_t>(c) /
+            static_cast<std::size_t>(n_chunks);
+        const std::size_t hi =
+            n_active * (static_cast<std::size_t>(c) + 1) /
+            static_cast<std::size_t>(n_chunks);
+        try {
+          step_range(round, lo, hi, *act, cs.out, cs.wakes, cs.promote,
+                     cs.done_delta, cs.msgs, cs.bits, cs.max_bits);
+        } catch (...) {
+          cs.error = std::current_exception();
+        }
+      });
+      // Chunks cover contiguous ranges of the SAME active vector the
+      // serial path iterates, so merging them in chunk order reproduces
+      // the serial (sender, send-order) delivery order — and the first
+      // error in chunk order is the first error the serial engine would
+      // have hit.
+      for (const ChunkState& cs : chunks) {
+        if (cs.error) std::rethrow_exception(cs.error);
+      }
+      for (ChunkState& cs : chunks) {
+        sent.insert(sent.end(), std::make_move_iterator(cs.out.begin()),
+                    std::make_move_iterator(cs.out.end()));
+        for (const WakeEntry& e : cs.wakes) register_wake(e);
+        for (const NodeId v : cs.promote) {
+          rt[static_cast<std::size_t>(v)].always = 1;
+          always.insert(
+              std::lower_bound(always.begin(), always.end(), v), v);
+        }
+        done_count += cs.done_delta;
+        metrics.total_messages += cs.msgs;
+        metrics.total_message_bits += cs.bits;
+        metrics.max_message_bits =
+            std::max(metrics.max_message_bits, cs.max_bits);
+      }
+    } else {
+      std::int64_t done_delta = 0, msgs = 0, bits = 0;
+      int max_bits = 0;
+      std::vector<WakeEntry>& wakes = wake_scratch;
+      std::vector<NodeId>& promote = promote_scratch;
+      wakes.clear();
+      promote.clear();
+      step_range(round, 0, n_active, *act, sent, wakes, promote, done_delta,
+                 msgs, bits, max_bits);
+      for (const WakeEntry& e : wakes) register_wake(e);
+      for (const NodeId v : promote) {
+        rt[static_cast<std::size_t>(v)].always = 1;
+        always.insert(std::lower_bound(always.begin(), always.end(), v), v);
+      }
+      done_count += done_delta;
+      metrics.total_messages += msgs;
+      metrics.total_message_bits += bits;
+      metrics.max_message_bits = std::max(metrics.max_message_bits, max_bits);
+    }
+
+    auto t3 = tick();
+    t_deliver += (t1 - t0).count();
+    t_active += (t2 - t1).count();
+    t_step += (t3 - t2).count();
+    metrics.rounds = round;
+    to_deliver.swap(sent);
+  }
+  if (simprof) {
+    std::fprintf(
+        stderr, "[simprof] deliver=%lldms active=%lldms step=%lldms\n",
+        static_cast<long long>(t_deliver / 1000000),
+        static_cast<long long>(t_active / 1000000),
+        static_cast<long long>(t_step / 1000000));
   }
   return metrics;
 }

@@ -11,9 +11,24 @@
 // the algorithm object, and `step(v, mailbox)` must only touch node v's
 // state plus the mailbox. (C++ cannot enforce this cheaply; the test suite
 // includes order-independence checks that catch violations.)
+//
+// Engine (see DESIGN.md, "Execution engine"):
+//   * SPARSE SCHEDULING — a node is stepped only when its inbox is
+//     non-empty or the round matches the wake-up it registered through
+//     `next_active_round`; algorithms that keep the default hook are
+//     stepped every round (the historical dense behavior).
+//   * PARALLEL ROUNDS — within a round, active nodes are partitioned into
+//     contiguous chunks stepped by a small thread pool; per-chunk outboxes
+//     are merged in chunk order, so delivery order — and therefore every
+//     result and metric — is bit-identical to the serial engine.
+//   * FLAT INBOXES — messages live in one flat per-round array grouped by
+//     destination (CSR-style); no per-node inbox vectors are allocated.
+//   * O(1) TERMINATION — a done-node counter plus the in-flight message
+//     count replace the per-round O(n) scans.
 #pragma once
 
-#include <functional>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -25,10 +40,35 @@ namespace dcolor {
 
 /// Interface a node uses inside one round: read this round's inbox and
 /// queue messages for delivery next round.
+///
+/// The engine hands every Mailbox a shared outbox sink so stepping a node
+/// performs no allocation; a default-constructed sink is used when a
+/// Mailbox is built standalone (white-box tests).
 class Mailbox {
  public:
-  Mailbox(NodeId self, std::span<const Envelope> inbox) noexcept
-      : self_(self), inbox_(inbox) {}
+  /// Sentinel destination: deliver to every neighbor of `from`. One outbox
+  /// entry stands for deg(from) messages (the engine expands it in
+  /// adjacency order at delivery), so broadcasts cost O(1) outbox work.
+  static constexpr NodeId kBroadcastTo = -1;
+
+  struct Outgoing {
+    NodeId to;  ///< destination node, or kBroadcastTo
+    NodeId from;
+    Message message;
+  };
+
+  /// Standalone mailbox owning its outbox (tests, manual stepping).
+  Mailbox(NodeId self, std::span<const Envelope> inbox)
+      : Mailbox(self, inbox, nullptr) {}
+
+  /// Engine mailbox appending into `sink` (entries from `sink->size()` on
+  /// belong to this node).
+  Mailbox(NodeId self, std::span<const Envelope> inbox,
+          std::vector<Outgoing>* sink)
+      : self_(self),
+        inbox_(inbox),
+        sink_(sink != nullptr ? sink : &own_),
+        base_(sink_->size()) {}
 
   NodeId self() const noexcept { return self_; }
 
@@ -36,18 +76,29 @@ class Mailbox {
   std::span<const Envelope> inbox() const noexcept { return inbox_; }
 
   /// Queue `m` for delivery to neighbor `to` next round.
-  void send(NodeId to, Message m) { outbox_.push_back({to, std::move(m)}); }
+  void send(NodeId to, Message m) {
+    sink_->push_back({to, self_, std::move(m)});
+  }
 
-  struct Outgoing {
-    NodeId to;
-    Message message;
-  };
-  std::vector<Outgoing>& outgoing() noexcept { return outbox_; }
+  /// Queue `m` for delivery to EVERY neighbor next round (one copy each,
+  /// identical to calling send() per neighbor in adjacency order, but with
+  /// a single outbox entry). Callers on isolated nodes must skip the call;
+  /// `broadcast()` below does.
+  void send_to_all_neighbors(Message m) {
+    sink_->push_back({kBroadcastTo, self_, std::move(m)});
+  }
+
+  /// Messages this node queued so far this round.
+  std::span<Outgoing> outgoing() noexcept {
+    return {sink_->data() + base_, sink_->size() - base_};
+  }
 
  private:
   NodeId self_;
   std::span<const Envelope> inbox_;
-  std::vector<Outgoing> outbox_;
+  std::vector<Outgoing> own_;  ///< before sink_/base_: they may reference it
+  std::vector<Outgoing>* sink_;
+  std::size_t base_;
 };
 
 /// A distributed algorithm. One object per execution; per-node state is
@@ -63,14 +114,49 @@ class SyncAlgorithm {
   virtual void step(NodeId v, int round, Mailbox& mail) = 0;
 
   /// True once node v has produced its final output. Nodes keep receiving
-  /// (and may keep forwarding) until the whole network is done.
+  /// (and may keep forwarding) until the whole network is done. The value
+  /// for node v may only change inside init(v) / step(v).
   virtual bool done(NodeId v) const = 0;
+
+  /// `next_active_round` return value: step this node every round (the
+  /// default, dense behavior). Once returned for a node it is permanent —
+  /// the engine stops asking.
+  static constexpr std::int64_t kEveryRound = 0;
+  /// `next_active_round` return value: only step this node when its inbox
+  /// is non-empty.
+  static constexpr std::int64_t kNoWakeup = -1;
+
+  /// Sparse-scheduling hook. Called once after init(v) (with
+  /// `after_round == 0`) and again after steps of v; must return
+  /// kEveryRound, kNoWakeup, or the next round > after_round at which v
+  /// must be stepped even with an empty inbox. Contract for overriders:
+  /// (1) whenever v's inbox is empty and the round is not a registered
+  /// wake-up, step(v, round, ...) must be a no-op — no sends, no state
+  /// changes, no done() transition; (2) a wake-up round the hook has
+  /// returned may not move EARLIER until v has been stepped in it — the
+  /// engine skips re-querying while a future wake is pending (later
+  /// refinements are picked up at or after the pending round). Nodes with
+  /// a non-empty inbox are always stepped regardless of this hook.
+  virtual std::int64_t next_active_round(NodeId v,
+                                         std::int64_t after_round) const {
+    (void)v;
+    (void)after_round;
+    return kEveryRound;
+  }
 };
+
+namespace detail {
+class SimThreadPool;
+}
 
 /// Drives a SyncAlgorithm over a Graph and accounts rounds and bits.
 class Network {
  public:
-  explicit Network(const Graph& g) : graph_(&g) {}
+  explicit Network(const Graph& g);
+  ~Network();  // out of line: pool_ is incomplete here
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// Runs until all nodes are done and no messages are in flight, or
   /// `max_rounds` elapses (then throws CheckError — distributed algorithms
@@ -85,8 +171,25 @@ class Network {
 
   const Graph& graph() const noexcept { return *graph_; }
 
+  /// Worker threads used to step nodes within a round (1 = serial).
+  /// Per-instance override; 0 restores the process default.
+  void set_num_threads(int threads) noexcept { num_threads_ = threads; }
+
+  /// Threads this instance will use: instance override if set, else the
+  /// process default.
+  int num_threads() const noexcept;
+
+  /// Process-wide default thread count (0 resets to the DCOLOR_SIM_THREADS
+  /// environment variable, or 1 — the serial fallback — when unset).
+  /// Results are bit-identical for every thread count; only wall-clock
+  /// changes.
+  static void set_default_num_threads(int threads) noexcept;
+  static int default_num_threads() noexcept;
+
  private:
   const Graph* graph_;
+  int num_threads_ = 0;  ///< 0 = use process default
+  std::unique_ptr<detail::SimThreadPool> pool_;
 };
 
 /// Convenience: broadcast the same message to all neighbors.

@@ -1,0 +1,79 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+
+namespace dcolor::detail {
+
+SimThreadPool::SimThreadPool(int threads) {
+  workers_ = std::max(0, threads - 1);
+  threads_.reserve(static_cast<std::size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimThreadPool::~SimThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void SimThreadPool::work_off(const std::function<void(int)>& job, int jobs,
+                             std::uint64_t my_gen) {
+  for (;;) {
+    int chunk;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (generation_ != my_gen || next_chunk_ >= jobs) return;
+      chunk = next_chunk_++;
+    }
+    job(chunk);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void SimThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    int jobs = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      jobs = jobs_;
+    }
+    work_off(*job, jobs, seen);
+  }
+}
+
+void SimThreadPool::run(int jobs, const std::function<void(int)>& job) {
+  if (jobs <= 0) return;
+  if (jobs == 1 || workers_ == 0) {
+    for (int i = 0; i < jobs; ++i) job(i);
+    return;
+  }
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    jobs_ = jobs;
+    next_chunk_ = 0;
+    in_flight_ = jobs;
+    gen = ++generation_;
+  }
+  start_cv_.notify_all();
+  work_off(job, jobs, gen);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+}  // namespace dcolor::detail

@@ -1,0 +1,54 @@
+// A tiny persistent worker pool for the simulator's parallel rounds.
+//
+// The pool runs `job(chunk)` for chunk = 0..jobs-1 and blocks the caller
+// until every chunk finished. Chunks are claimed from an atomic counter,
+// so any worker may execute any chunk — determinism comes from the caller
+// keying all per-chunk output buffers by chunk index and merging them in
+// chunk order, never from the execution schedule.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcolor::detail {
+
+class SimThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates in
+  /// every `run`, so `threads` chunks execute concurrently).
+  explicit SimThreadPool(int threads);
+  ~SimThreadPool();
+
+  SimThreadPool(const SimThreadPool&) = delete;
+  SimThreadPool& operator=(const SimThreadPool&) = delete;
+
+  int threads() const noexcept { return workers_ + 1; }
+
+  /// Executes job(0) .. job(jobs - 1) across the pool; returns when all
+  /// are done. Exceptions thrown by `job` must be captured by the caller
+  /// inside `job` itself (the pool treats jobs as noexcept).
+  void run(int jobs, const std::function<void(int)>& job);
+
+ private:
+  void worker_loop();
+  void work_off(const std::function<void(int)>& job, int jobs,
+                std::uint64_t my_gen);
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* job_ = nullptr;
+  int jobs_ = 0;
+  int next_chunk_ = 0;
+  int in_flight_ = 0;        ///< chunks claimed but not finished
+  std::uint64_t generation_ = 0;
+  int workers_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dcolor::detail

@@ -30,6 +30,17 @@ GfPoly encode_as_polynomial(std::uint64_t value, std::uint64_t p,
   return poly;
 }
 
+std::uint64_t eval_encoded(std::uint64_t value, std::uint64_t p,
+                           int num_coeffs, std::uint64_t x) noexcept {
+  std::uint64_t digits[64];
+  const int m = num_coeffs < 64 ? num_coeffs : 64;
+  for (int i = 0; i < m; ++i) {
+    digits[i] = value % p;
+    value /= p;
+  }
+  return eval_digits(digits, m, p, x);
+}
+
 int coeffs_needed(std::uint64_t space_size, std::uint64_t p) noexcept {
   int k = 1;
   __uint128_t cap = p;

@@ -33,6 +33,27 @@ struct GfPoly {
 GfPoly encode_as_polynomial(std::uint64_t value, std::uint64_t p,
                             int num_coeffs);
 
+/// encode_as_polynomial(value, p, num_coeffs).eval(x) without materializing
+/// the coefficient vector — the hot path of the polynomial color
+/// reductions, where every neighbor's polynomial is evaluated exactly once
+/// per point. Requires value < p^num_coeffs and num_coeffs <= 64.
+std::uint64_t eval_encoded(std::uint64_t value, std::uint64_t p,
+                           int num_coeffs, std::uint64_t x) noexcept;
+
+/// Horner evaluation of the polynomial with coefficient array
+/// digits[0..m) (digits[i] multiplies x^i) over GF(p). The building block
+/// behind GfPoly::eval and eval_encoded, exposed so hot loops can extract
+/// a value's base-p digits once and evaluate at many points.
+inline std::uint64_t eval_digits(const std::uint64_t* digits, int m,
+                                 std::uint64_t p, std::uint64_t x) noexcept {
+  std::uint64_t acc = 0;
+  for (int i = m - 1; i >= 0; --i) {
+    acc = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(acc) * x + digits[i]) % p);
+  }
+  return acc;
+}
+
 /// Smallest number of coefficients D+1 such that p^{D+1} >= space_size.
 int coeffs_needed(std::uint64_t space_size, std::uint64_t p) noexcept;
 

@@ -1,0 +1,378 @@
+// Parallel-engine determinism tests: for every supported thread count the
+// simulator must produce BIT-IDENTICAL colorings and RoundMetrics to the
+// serial engine (the merge order of per-chunk outboxes is part of the
+// engine contract, not an implementation detail). Also covers the sparse
+// scheduling hook (nodes are only stepped when active), round-0 metrics
+// accounting, the CONGEST bit cap under threads, and Message overflow
+// storage. These tests carry the `parallel_sim` ctest label so they can be
+// run in isolation under -DDCOLOR_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "baselines/greedy.h"
+#include "coloring/linial.h"
+#include "core/congest_oldc.h"
+#include "core/fast_two_sweep.h"
+#include "core/instance.h"
+#include "core/mis.h"
+#include "core/two_sweep.h"
+#include "graph/generators.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+void expect_metrics_eq(const RoundMetrics& a, const RoundMetrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_message_bits, b.total_message_bits);
+  EXPECT_EQ(a.local_compute_ops, b.local_compute_ops);
+}
+
+/// Sets the process-default thread count for the enclosing scope. The
+/// pipelines under test construct their own Network instances, so the
+/// process default is the only way to reach them.
+class ScopedDefaultThreads {
+ public:
+  explicit ScopedDefaultThreads(int threads)
+      : saved_(Network::default_num_threads()) {
+    Network::set_default_num_threads(threads);
+  }
+  ~ScopedDefaultThreads() { Network::set_default_num_threads(saved_); }
+
+  ScopedDefaultThreads(const ScopedDefaultThreads&) = delete;
+  ScopedDefaultThreads& operator=(const ScopedDefaultThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// The E14 instance family: near-regular graph, uniform lists, defect =
+/// β so the Two-Sweep premise (Eq. 2) holds comfortably.
+OldcInstance uniform_instance(const Graph& g, Rng& rng) {
+  Orientation o = Orientation::by_id(g);
+  const int d = o.beta();
+  return random_uniform_oldc(g, std::move(o), 40, 10, d, rng);
+}
+
+std::vector<Color> identity_coloring(NodeId n) {
+  std::vector<Color> ids(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  return ids;
+}
+
+TEST(ParallelSim, FastTwoSweepBitIdenticalAcrossThreadCounts) {
+  Rng rng(1800);
+  const NodeId n = 2000;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  ColoringResult serial;
+  {
+    ScopedDefaultThreads t(1);
+    serial = fast_two_sweep(inst, ids, n, 2, 0.5);
+  }
+  ASSERT_TRUE(validate_oldc(inst, serial.colors));
+  for (int threads : {2, 4, 8}) {
+    ScopedDefaultThreads t(threads);
+    const ColoringResult par = fast_two_sweep(inst, ids, n, 2, 0.5);
+    EXPECT_EQ(par.colors, serial.colors) << "threads=" << threads;
+    expect_metrics_eq(par.metrics, serial.metrics);
+  }
+}
+
+TEST(ParallelSim, TwoSweepPerInstanceThreadOverride) {
+  Rng rng(77);
+  const NodeId n = 600;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  std::vector<Color> serial_colors;
+  RoundMetrics serial_metrics;
+  for (int threads : {1, 2, 4, 8}) {
+    TwoSweepProgram program(inst, ids, n, 2);
+    Network net(*inst.graph);
+    net.set_num_threads(threads);
+    const RoundMetrics m = net.run(program, 2 * n + 4);
+    const std::vector<Color> colors = program.final_colors();
+    if (threads == 1) {
+      serial_colors = colors;
+      serial_metrics = m;
+      ASSERT_TRUE(validate_oldc(inst, colors));
+    } else {
+      EXPECT_EQ(colors, serial_colors) << "threads=" << threads;
+      expect_metrics_eq(m, serial_metrics);
+    }
+  }
+}
+
+TEST(ParallelSim, CongestOldcBitIdenticalAcrossThreadCounts) {
+  Rng rng(33);
+  const Graph g = random_near_regular(300, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  const std::int64_t C = 64;
+  const int beta = o.beta();
+  const int defect = 2;
+  const int list_size = std::min<std::int64_t>(
+      C, static_cast<std::int64_t>(
+             std::ceil(3.0 * std::sqrt(static_cast<double>(C)) * beta /
+                       (defect + 1))) +
+             1);
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), C, list_size, defect, rng);
+  const LinialResult linial = linial_from_ids(g, inst.orientation);
+
+  ColoringResult serial;
+  {
+    ScopedDefaultThreads t(1);
+    serial = congest_oldc(inst, linial.colors, linial.num_colors);
+  }
+  ASSERT_TRUE(validate_oldc(inst, serial.colors));
+  for (int threads : {2, 4, 8}) {
+    ScopedDefaultThreads t(threads);
+    const ColoringResult par =
+        congest_oldc(inst, linial.colors, linial.num_colors);
+    EXPECT_EQ(par.colors, serial.colors) << "threads=" << threads;
+    expect_metrics_eq(par.metrics, serial.metrics);
+  }
+}
+
+TEST(ParallelSim, MisBitIdenticalAndMatchesSequentialBaseline) {
+  Rng rng(4001);
+  const Graph g = gnp(400, 0.03, rng);
+  const ColoringResult coloring = greedy_delta_plus_one(g);
+
+  MisResult serial;
+  {
+    ScopedDefaultThreads t(1);
+    serial = distributed_mis_from_coloring(g, coloring.colors);
+  }
+  ASSERT_TRUE(validate_mis(g, serial.in_set));
+  const MisResult sequential = mis_from_coloring(g, coloring.colors);
+  EXPECT_EQ(serial.in_set, sequential.in_set);
+  for (int threads : {2, 4, 8}) {
+    ScopedDefaultThreads t(threads);
+    const MisResult par = distributed_mis_from_coloring(g, coloring.colors);
+    EXPECT_EQ(par.in_set, serial.in_set) << "threads=" << threads;
+    expect_metrics_eq(par.metrics, serial.metrics);
+  }
+}
+
+/// Forwards everything to an inner algorithm while counting step()
+/// invocations; optionally suppresses the sparse-scheduling hook so the
+/// engine falls back to dense stepping. The counter is atomic because
+/// steps may run on pool threads.
+class StepCounter final : public SyncAlgorithm {
+ public:
+  StepCounter(SyncAlgorithm& inner, bool suppress_hook)
+      : inner_(&inner), suppress_(suppress_hook) {}
+
+  void init(NodeId v, Mailbox& mail) override { inner_->init(v, mail); }
+  void step(NodeId v, int round, Mailbox& mail) override {
+    steps_.fetch_add(1, std::memory_order_relaxed);
+    inner_->step(v, round, mail);
+  }
+  bool done(NodeId v) const override { return inner_->done(v); }
+  std::int64_t next_active_round(NodeId v,
+                                 std::int64_t after_round) const override {
+    return suppress_ ? kEveryRound : inner_->next_active_round(v, after_round);
+  }
+
+  std::int64_t steps() const {
+    return steps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SyncAlgorithm* inner_;
+  bool suppress_;
+  std::atomic<std::int64_t> steps_{0};
+};
+
+TEST(ParallelSim, SparseSchedulingStepsFarFewerNodesThanDense) {
+  Rng rng(505);
+  const NodeId n = 400;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  auto run_counted = [&](bool suppress_hook) {
+    TwoSweepProgram program(inst, ids, n, 2);
+    StepCounter counted(program, suppress_hook);
+    Network net(*inst.graph);
+    net.set_num_threads(1);
+    const RoundMetrics m = net.run(counted, 2 * n + 4);
+    return std::make_tuple(program.final_colors(), m, counted.steps());
+  };
+
+  const auto [sparse_colors, sparse_metrics, sparse_steps] =
+      run_counted(/*suppress_hook=*/false);
+  const auto [dense_colors, dense_metrics, dense_steps] =
+      run_counted(/*suppress_hook=*/true);
+
+  // Dense and sparse runs execute the same algorithm — identical outputs
+  // and identical traffic; sparse just skips the no-op steps.
+  EXPECT_EQ(sparse_colors, dense_colors);
+  expect_metrics_eq(sparse_metrics, dense_metrics);
+
+  // Dense: every node, every round (~2q·n steps). Sparse: each node's two
+  // turns plus message deliveries (O(n + m) steps total). The regression
+  // margin is deliberately loose — an engine that silently reverts to
+  // dense stepping overshoots it by orders of magnitude.
+  EXPECT_GE(dense_steps, static_cast<std::int64_t>(n) * n);
+  EXPECT_LT(sparse_steps * 10, dense_steps);
+}
+
+/// Does nothing and is done from the start: the run must terminate before
+/// any round materializes.
+class SilentProgram final : public SyncAlgorithm {
+ public:
+  void init(NodeId, Mailbox&) override {}
+  void step(NodeId, int, Mailbox&) override {}
+  bool done(NodeId) const override { return true; }
+};
+
+TEST(ParallelSim, RunWithoutTrafficCountsZeroRounds) {
+  Rng rng(9);
+  const Graph g = random_near_regular(200, 4, rng);
+  for (int threads : {1, 4}) {
+    SilentProgram program;
+    Network net(g);
+    net.set_num_threads(threads);
+    const RoundMetrics m = net.run(program, 10);
+    EXPECT_EQ(m.rounds, 0);
+    EXPECT_EQ(m.total_messages, 0);
+    EXPECT_EQ(m.total_message_bits, 0);
+  }
+}
+
+/// Node 0 broadcasts once at init; every other node is done after
+/// receiving. Exactly one materialized round, deg(0) messages.
+class OneShotFlood final : public SyncAlgorithm {
+ public:
+  explicit OneShotFlood(const Graph& g)
+      : graph_(&g), seen_(static_cast<std::size_t>(g.num_nodes()), 0) {}
+
+  void init(NodeId v, Mailbox& mail) override {
+    if (v == 0) {
+      seen_[0] = 1;
+      Message m;
+      m.push(1, 1);
+      broadcast(*graph_, mail, m);
+    }
+  }
+  void step(NodeId v, int, Mailbox& mail) override {
+    if (!mail.inbox().empty()) seen_[static_cast<std::size_t>(v)] = 1;
+  }
+  bool done(NodeId v) const override {
+    return seen_[static_cast<std::size_t>(v)] != 0;
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<std::uint8_t> seen_;
+};
+
+TEST(ParallelSim, InitRoundTrafficIsChargedToRoundOne) {
+  // A star: node 0's single init broadcast activates 199 leaves in round 1
+  // (enough active nodes to engage the parallel path).
+  const Graph g = complete_bipartite(1, 199);
+  RoundMetrics serial;
+  for (int threads : {1, 4}) {
+    OneShotFlood program(g);
+    Network net(g);
+    net.set_num_threads(threads);
+    const RoundMetrics m = net.run(program, 10);
+    EXPECT_EQ(m.rounds, 1);
+    EXPECT_EQ(m.total_messages, 199);
+    if (threads == 1) {
+      serial = m;
+    } else {
+      expect_metrics_eq(m, serial);
+    }
+  }
+}
+
+/// Sends a 1-bit init message, then a 10-bit message from every node in
+/// round 1 — wide traffic originating on pool threads.
+class WideSecondRound final : public SyncAlgorithm {
+ public:
+  explicit WideSecondRound(const Graph& g)
+      : graph_(&g), acted_(static_cast<std::size_t>(g.num_nodes()), 0) {}
+
+  void init(NodeId, Mailbox& mail) override {
+    Message m;
+    m.push(1, 1);
+    broadcast(*graph_, mail, m);
+  }
+  void step(NodeId v, int, Mailbox& mail) override {
+    const auto vi = static_cast<std::size_t>(v);
+    if (acted_[vi] != 0) return;
+    acted_[vi] = 1;
+    Message m;
+    m.push(1000, 10);
+    broadcast(*graph_, mail, m);
+  }
+  bool done(NodeId v) const override {
+    return acted_[static_cast<std::size_t>(v)] != 0;
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<std::uint8_t> acted_;
+};
+
+TEST(ParallelSim, CongestBitCapViolationThrowsUnderThreads) {
+  Rng rng(12);
+  const Graph g = random_near_regular(500, 4, rng);
+  {
+    WideSecondRound program(g);
+    Network net(g);
+    net.set_num_threads(4);
+    EXPECT_THROW(net.run(program, 10, /*message_bit_cap=*/5), CheckError);
+  }
+  {
+    // Same program without the cap completes — the throw above really is
+    // the bandwidth check, not a scheduling failure.
+    WideSecondRound program(g);
+    Network net(g);
+    net.set_num_threads(4);
+    const RoundMetrics m = net.run(program, 10);
+    EXPECT_EQ(m.max_message_bits, 10);
+  }
+}
+
+TEST(ParallelSim, MessageOverflowFieldsSurviveCopyAndMove) {
+  Message m;
+  for (std::int64_t i = 0; i < 6; ++i) m.push(i * 10, 8);
+  ASSERT_EQ(m.num_fields(), 6u);
+  EXPECT_EQ(m.bits(), 48);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(m.field(i), i * 10);
+
+  Message copy(m);  // deep copy: the overflow storage must not be shared
+  Message moved(std::move(m));
+  copy.push(99, 8);
+  ASSERT_EQ(copy.num_fields(), 7u);
+  EXPECT_EQ(copy.field(6), 99);
+  ASSERT_EQ(moved.num_fields(), 6u);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(moved.field(i), i * 10);
+
+  Message assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.num_fields(), 7u);
+  EXPECT_EQ(assigned.field(5), 50);
+  EXPECT_EQ(assigned.field(6), 99);
+}
+
+}  // namespace
+}  // namespace dcolor
