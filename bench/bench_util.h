@@ -1,6 +1,7 @@
 // Shared helpers for the experiment binaries (bench/e*.cpp).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -48,6 +49,9 @@ class JsonWriter {
 
   static std::string num(std::int64_t x) { return std::to_string(x); }
   static std::string num(double x) {
+    // JSON has no NaN/Inf tokens; a bare `nan` makes the whole file
+    // unparseable. Emit null and let consumers treat it as missing.
+    if (!std::isfinite(x)) return "null";
     std::ostringstream os;
     os << x;
     return os.str();

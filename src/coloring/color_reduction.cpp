@@ -6,6 +6,7 @@
 #include "coloring/linial.h"
 #include "graph/orientation.h"
 #include "sim/network.h"
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -114,6 +115,7 @@ ColorReductionResult reduce_colors(const Graph& g,
     }
   }
   ReductionProgram program(g, initial, c, target_colors);
+  PhaseSpan phase("color_reduction");
   Network net(g);
   ColorReductionResult result;
   result.metrics = net.run(program, std::max<std::int64_t>(4, c + 4));

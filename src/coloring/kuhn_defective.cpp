@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "coloring/poly_reduce.h"
+#include "sim/trace.h"
 #include "util/check.h"
 
 namespace dcolor {
@@ -18,6 +19,7 @@ DefectiveColoringResult run_defective(const Graph& g, const Orientation& o,
   // so the final color count is O((2/α)²) with small constants.
   PolyReduceProgram program(g, o, initial, q, poly_schedule_defective(q, alpha),
                             /*proper=*/false, undirected);
+  PhaseSpan phase("kuhn_defective");
   Network net(g);
   DefectiveColoringResult result;
   result.metrics = net.run(program, 8 + program.iterations());

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "coloring/poly_reduce.h"
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/gf.h"
 #include "util/math.h"
@@ -214,6 +215,7 @@ LinialResult linial_coloring(const Graph& g, const Orientation& o,
                              std::uint64_t q) {
   PolyReduceProgram program(g, o, initial, q, poly_schedule(q, 0.0, o.beta()),
                             /*proper=*/true);
+  PhaseSpan phase("linial");
   Network net(g);
   LinialResult result;
   result.metrics = net.run(program, 8 + program.iterations());

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "sim/trace.h"
 #include "util/check.h"
 
 namespace dcolor {
@@ -42,6 +44,7 @@ ColoringResult color_space_reduction(const OldcInstance& inst,
   // re-establishes it after each choice (W_i > D_i·K ≥ β'·K since the
   // chosen sub-space admits at most D_i same-choice out-neighbors).
   for (int level = 1; level < levels; ++level) {
+    PhaseSpan phase("csr_level_" + std::to_string(level));
     const std::int64_t sub_width = width / lambda;
     const double remaining_k =
         std::pow(kappa_lambda, static_cast<double>(levels - level));
@@ -103,6 +106,7 @@ ColoringResult color_space_reduction(const OldcInstance& inst,
 
   // Final level: true colors and true defects inside a λ-sized sub-space.
   {
+    PhaseSpan phase("csr_final");
     std::vector<std::pair<NodeId, NodeId>> kept;
     for (const auto& [u, v] : g.edge_list()) {
       if (space_base[static_cast<std::size_t>(u)] ==

@@ -4,6 +4,7 @@
 
 #include "core/color_space_reduction.h"
 #include "core/fast_two_sweep.h"
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -12,6 +13,7 @@ namespace dcolor {
 ColoringResult congest_oldc(const OldcInstance& inst,
                             const std::vector<Color>& initial_coloring,
                             std::int64_t q) {
+  PhaseSpan phase("congest_oldc");
   const Graph& g = *inst.graph;
   DCOLOR_CHECK(inst.color_space >= 1);
 

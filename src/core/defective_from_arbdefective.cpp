@@ -1,8 +1,10 @@
 #include "core/defective_from_arbdefective.h"
 
 #include <algorithm>
+#include <string>
 
 #include "core/sequential_coloring.h"
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -18,6 +20,7 @@ std::int64_t theorem14_slack_requirement(int delta_paper, int theta,
 ColoringResult defective_from_arbdefective(const ListDefectiveInstance& inst,
                                            int theta, std::int64_t S,
                                            const ArbSolver& solve_pa_s) {
+  PhaseSpan phase("defective_from_arbdefective");
   const Graph& g = *inst.graph;
   const auto n = static_cast<std::size_t>(g.num_nodes());
   DCOLOR_CHECK(theta >= 1);
@@ -100,6 +103,7 @@ ColoringResult defective_from_arbdefective(const ListDefectiveInstance& inst,
 
   const int top = ceil_log2(static_cast<std::uint64_t>(delta));
   for (int iter = top; iter >= 0; --iter) {
+    PhaseSpan iter_phase("dfa_iteration_" + std::to_string(iter));
     const std::int64_t d_i = (std::int64_t{1} << iter) - 1;
 
     // Per uncolored node: iteration list L_{v,i} = fresh colors whose

@@ -6,6 +6,7 @@
 
 #include "coloring/kuhn_defective.h"
 #include "core/two_sweep.h"
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/logstar.h"
 
@@ -16,6 +17,7 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
                               std::int64_t q, int p, double eps) {
   DCOLOR_CHECK(p >= 1);
   DCOLOR_CHECK(eps >= 0.0);
+  PhaseSpan phase("fast_two_sweep");
   const Graph& g = *inst.graph;
 
   // Check Eq. (7) up front (sink nodes only need a non-empty list; see the
@@ -49,12 +51,15 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
   // Line 4: defective coloring Ψ with α = ε/p (Lemma 3.4) — undirected
   // for symmetric instances (β_v = deg there).
   const double alpha = eps / static_cast<double>(p);
-  const auto psi =
-      inst.symmetric
-          ? kuhn_defective_undirected(g, initial_coloring,
-                                      static_cast<std::uint64_t>(q), alpha)
-          : kuhn_defective_coloring(g, inst.orientation, initial_coloring,
-                                    static_cast<std::uint64_t>(q), alpha);
+  const auto psi = [&] {
+    PhaseSpan s("defective_precoloring");
+    return inst.symmetric
+               ? kuhn_defective_undirected(g, initial_coloring,
+                                           static_cast<std::uint64_t>(q),
+                                           alpha)
+               : kuhn_defective_coloring(g, inst.orientation, initial_coloring,
+                                         static_cast<std::uint64_t>(q), alpha);
+  }();
 
   // Line 5: drop Ψ-monochromatic edges and lower the defects by the saved
   // budget ⌊β_v·ε/p⌋.

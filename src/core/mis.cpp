@@ -5,6 +5,7 @@
 
 #include "graph/coloring_checks.h"
 #include "graph/line_graph.h"
+#include "sim/trace.h"
 #include "util/check.h"
 
 namespace dcolor {
@@ -93,6 +94,7 @@ std::int64_t ColorClassMisProgram::next_active_round(
 MisResult distributed_mis_from_coloring(const Graph& g,
                                         const std::vector<Color>& colors) {
   ColorClassMisProgram program(g, colors);
+  PhaseSpan phase("mis_color_class_sweep");
   Network net(g);
   MisResult result;
   result.metrics = net.run(

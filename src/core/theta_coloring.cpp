@@ -1,9 +1,12 @@
 #include "core/theta_coloring.h"
 
+#include <string>
+
 #include "core/instance.h"
 #include "core/list_coloring.h"
 #include "core/slack_reduction.h"
 #include "core/theta_color_space.h"
+#include "sim/trace.h"
 #include "util/check.h"
 
 namespace dcolor {
@@ -15,6 +18,7 @@ namespace {
 /// machinery, which handles slack > 1 directly.
 ArbdefectiveResult solve_pa2(const ArbdefectiveInstance& inst, int theta,
                              int depth, const ThetaColoringOptions& options) {
+  PhaseSpan phase("theta_pa2_depth_" + std::to_string(depth));
   if (depth <= 0 || inst.color_space <= options.base_color_threshold) {
     const ListColoringOptions base{options.engine};
     return solve_arbdefective_slack1(inst, base);
@@ -53,6 +57,7 @@ ArbdefectiveResult solve_theta_arbdefective(const ArbdefectiveInstance& inst,
                                             int theta,
                                             const ThetaColoringOptions&
                                                 options) {
+  PhaseSpan phase("theta_coloring");
   const Graph& g = *inst.graph;
   DCOLOR_CHECK(theta >= 1);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

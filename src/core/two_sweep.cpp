@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/math.h"
 #include "util/rng.h"
@@ -275,6 +276,7 @@ ColoringResult two_sweep_ex(const OldcInstance& inst,
   }
 
   TwoSweepProgram program(inst, initial_coloring, q, p, options);
+  PhaseSpan span("two_sweep");
   Network net(g);
   ColoringResult result;
   result.metrics = net.run(program, 2 * q + 4);

@@ -7,6 +7,8 @@ namespace dcolor {
 
 RoundMetrics& RoundMetrics::operator+=(const RoundMetrics& other) {
   rounds += other.rounds;
+  executed_rounds += other.executed_rounds;
+  peak_active_nodes = std::max(peak_active_nodes, other.peak_active_nodes);
   max_message_bits = std::max(max_message_bits, other.max_message_bits);
   total_messages += other.total_messages;
   total_message_bits += other.total_message_bits;
@@ -16,6 +18,8 @@ RoundMetrics& RoundMetrics::operator+=(const RoundMetrics& other) {
 
 RoundMetrics& RoundMetrics::merge_parallel(const RoundMetrics& other) {
   rounds = std::max(rounds, other.rounds);
+  executed_rounds = std::max(executed_rounds, other.executed_rounds);
+  peak_active_nodes += other.peak_active_nodes;
   max_message_bits = std::max(max_message_bits, other.max_message_bits);
   total_messages += other.total_messages;
   total_message_bits += other.total_message_bits;
@@ -30,9 +34,10 @@ RoundMetrics operator+(RoundMetrics a, const RoundMetrics& b) {
 
 std::string RoundMetrics::summary() const {
   std::ostringstream os;
-  os << "rounds=" << rounds << " max_msg_bits=" << max_message_bits
-     << " msgs=" << total_messages << " msg_bits=" << total_message_bits
-     << " compute=" << local_compute_ops;
+  os << "rounds=" << rounds << " executed=" << executed_rounds
+     << " peak_active=" << peak_active_nodes
+     << " max_msg_bits=" << max_message_bits << " msgs=" << total_messages
+     << " msg_bits=" << total_message_bits << " compute=" << local_compute_ops;
   return os.str();
 }
 

@@ -9,16 +9,25 @@ namespace dcolor {
 /// Accumulated cost of a (possibly composite) distributed execution.
 struct RoundMetrics {
   std::int64_t rounds = 0;            ///< synchronous rounds elapsed
+  std::int64_t executed_rounds = 0;   ///< rounds actually stepped by the
+                                      ///< engine (the rest were
+                                      ///< fast-forwarded as guaranteed no-ops)
+  std::int64_t peak_active_nodes = 0; ///< max nodes stepped in one round
   int max_message_bits = 0;           ///< widest single message
   std::int64_t total_messages = 0;    ///< messages sent
   std::int64_t total_message_bits = 0;
   std::int64_t local_compute_ops = 0; ///< per-node internal work (see below)
 
-  /// Sequential composition: phases run one after the other.
+  /// Sequential composition: phases run one after the other. Rounds and
+  /// executed rounds add; the active-node peak is the larger phase's
+  /// (the phases never overlap in time).
   RoundMetrics& operator+=(const RoundMetrics& other);
 
   /// Parallel composition: independent executions on disjoint parts run
-  /// simultaneously; rounds take the max, traffic adds up.
+  /// simultaneously; rounds take the max, traffic adds up. Executed
+  /// rounds take the max too (a merged engine would step both parts in
+  /// the same materialized rounds), and the active-node peaks add (both
+  /// parts' nodes can be active in the same round).
   RoundMetrics& merge_parallel(const RoundMetrics& other);
 
   std::string summary() const;

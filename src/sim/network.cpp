@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "sim/thread_pool.h"
+#include "sim/trace.h"
 #include "util/check.h"
 
 namespace dcolor {
@@ -59,6 +60,10 @@ int Network::default_num_threads() noexcept {
 
 RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
                           int message_bit_cap) {
+  detail::ensure_env_tracer();
+  // Cached for the whole run: the tracer may not be swapped while a run
+  // is in flight. A null tracer costs one pointer test per round.
+  Tracer* const tracer = Tracer::current();
   const Graph& g = *graph_;
   const NodeId n_nodes = g.num_nodes();
   const auto n = static_cast<std::size_t>(n_nodes);
@@ -217,12 +222,24 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     std::int64_t done_delta = 0;
     std::int64_t msgs = 0;
     std::int64_t bits = 0;
+    std::int64_t step_ns = 0;  ///< this chunk's step wall (traced runs)
     int max_bits = 0;
     std::exception_ptr error;
   };
   std::vector<ChunkState> chunks;
   std::vector<WakeEntry> wake_scratch;
   std::vector<NodeId> promote_scratch;
+
+  // Tracing state: everything here is plain arithmetic on tallies the
+  // engine computes anyway, so the untraced path stays unperturbed and
+  // the traced path allocates nothing per round (chunk_ns_scratch is
+  // reused). Messages sent in round r are delivered in round r+1, so the
+  // per-round "delivered" tallies are just last round's send tallies
+  // (init sends count as round-0 sends, delivered in round 1).
+  std::int64_t pending_msgs = metrics.total_messages;
+  std::int64_t pending_bits = metrics.total_message_bits;
+  std::int64_t prev_materialized = 0;
+  std::vector<std::int64_t> chunk_ns_scratch;
 
   // Steps nodes active[lo..hi) for `round`, appending sends to `out` and
   // recording tallies/transitions. Thread-safe for disjoint ranges: only
@@ -365,6 +382,7 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
 
     // ---- Active set: inbox owners ∪ due wake-ups ∪ dense nodes ----
     const std::vector<NodeId>* act = &identity;
+    std::size_t n_woken = 0;
     if (!dense_all) {
       active.clear();
       for (const NodeId t : touched) {
@@ -380,6 +398,7 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
           if (r.active_stamp != round) {
             r.active_stamp = round;
             active.push_back(v);
+            ++n_woken;
           }
         }
         due.clear();
@@ -403,7 +422,11 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     auto t2 = tick();
     // ---- Step the active nodes (serial, or chunked across the pool) ----
     const std::size_t n_active = act->size();
+    const std::int64_t msgs_before_step = metrics.total_messages;
+    const std::int64_t bits_before_step = metrics.total_message_bits;
+    bool chunked = false;
     if (threads > 1 && n_active >= kMinParallelActive) {
+      chunked = true;
       if (!pool_ || pool_->threads() != threads) {
         pool_ = std::make_unique<detail::SimThreadPool>(threads);
       }
@@ -415,6 +438,7 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
         cs.wakes.clear();
         cs.promote.clear();
         cs.done_delta = cs.msgs = cs.bits = 0;
+        cs.step_ns = 0;
         cs.max_bits = 0;
         cs.error = nullptr;
         const std::size_t lo =
@@ -423,12 +447,18 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
         const std::size_t hi =
             n_active * (static_cast<std::size_t>(c) + 1) /
             static_cast<std::size_t>(n_chunks);
+        // Chunk wall clock is only read under a tracer: the extra two
+        // clock calls stay off the untraced path, and no tracer state is
+        // touched from pool threads — the record is assembled after the
+        // barrier on the simulating thread.
+        const auto c0 = tracer != nullptr ? tick() : Clk::time_point{};
         try {
           step_range(round, lo, hi, *act, cs.out, cs.wakes, cs.promote,
                      cs.done_delta, cs.msgs, cs.bits, cs.max_bits);
         } catch (...) {
           cs.error = std::current_exception();
         }
+        if (tracer != nullptr) cs.step_ns = (tick() - c0).count();
       });
       // Chunks cover contiguous ranges of the SAME active vector the
       // serial path iterates, so merging them in chunk order reproduces
@@ -478,8 +508,46 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     t_active += (t2 - t1).count();
     t_step += (t3 - t2).count();
     metrics.rounds = round;
+    metrics.executed_rounds += 1;
+    metrics.peak_active_nodes = std::max(
+        metrics.peak_active_nodes, static_cast<std::int64_t>(n_active));
+
+    const std::int64_t sent_msgs = metrics.total_messages - msgs_before_step;
+    const std::int64_t sent_bits =
+        metrics.total_message_bits - bits_before_step;
+    if (tracer != nullptr) {
+      TraceRound rec;
+      rec.run_round = round;
+      rec.ff_rounds = round - prev_materialized - 1;
+      rec.active_nodes = static_cast<std::int64_t>(n_active);
+      rec.inbox_nodes = static_cast<std::int64_t>(touched.size());
+      rec.woken_nodes = static_cast<std::int64_t>(n_woken);
+      rec.dense_nodes = rec.active_nodes - rec.inbox_nodes - rec.woken_nodes;
+      rec.delivered_messages = pending_msgs;
+      rec.delivered_bits = pending_bits;
+      rec.sent_messages = sent_msgs;
+      rec.sent_bits = sent_bits;
+      rec.broadcast_fast_path = graph_shaped;
+      rec.ts_ns = tracer->to_trace_ns(t0.time_since_epoch().count());
+      rec.wall_ns = (t3 - t0).count();
+      rec.step_ns = (t3 - t2).count();
+      chunk_ns_scratch.clear();
+      if (chunked) {
+        for (const ChunkState& cs : chunks) {
+          chunk_ns_scratch.push_back(cs.step_ns);
+        }
+      } else {
+        chunk_ns_scratch.push_back(rec.step_ns);
+      }
+      rec.chunk_ns = chunk_ns_scratch;
+      tracer->on_round(rec);
+    }
+    pending_msgs = sent_msgs;
+    pending_bits = sent_bits;
+    prev_materialized = round;
     to_deliver.swap(sent);
   }
+  if (tracer != nullptr) tracer->on_run_end(metrics.rounds);
   if (simprof) {
     std::fprintf(
         stderr, "[simprof] deliver=%lldms active=%lldms step=%lldms\n",

@@ -1,0 +1,506 @@
+#include "sim/trace.h"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace dcolor {
+
+namespace {
+
+Tracer* g_current = nullptr;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Appends an integer without heap allocation (std::to_string of a wide
+/// int64 can exceed the small-string buffer).
+void append_int(std::string& s, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  s.append(buf, res.ptr);
+}
+
+void append_quoted(std::string& s, std::string_view name) {
+  s.push_back('"');
+  for (const char c : name) {
+    if (c == '"' || c == '\\') s.push_back('\\');
+    s.push_back(c);
+  }
+  s.push_back('"');
+}
+
+void append_key_int(std::string& s, const char* key, std::int64_t v) {
+  s.push_back('"');
+  s.append(key);
+  s.append("\":");
+  append_int(s, v);
+}
+
+}  // namespace
+
+// ---- Tracer -----------------------------------------------------------
+
+Tracer::Tracer() : epoch_ns_(steady_now_ns()) {}
+
+Tracer::~Tracer() { finish(); }
+
+void Tracer::add_sink(std::unique_ptr<TraceSink> sink) {
+  DCOLOR_CHECK(sink != nullptr);
+  sinks_.push_back(std::move(sink));
+}
+
+Tracer* Tracer::current() noexcept { return g_current; }
+
+void Tracer::install() {
+  DCOLOR_CHECK_MSG(!installed_, "tracer installed twice");
+  prev_ = g_current;
+  g_current = this;
+  installed_ = true;
+}
+
+void Tracer::uninstall() {
+  if (!installed_) return;
+  if (g_current == this) g_current = prev_;
+  installed_ = false;
+  prev_ = nullptr;
+}
+
+void Tracer::finish() {
+  if (finished_) return;
+  uninstall();
+  while (!stack_.empty()) end_span(stack_.back());
+  finished_ = true;
+  for (auto& sink : sinks_) sink->finish(*this);
+}
+
+std::int32_t Tracer::begin_span(std::string_view name) {
+  const auto id = static_cast<std::int32_t>(spans_.size());
+  TraceSpan span;
+  span.id = id;
+  span.parent = stack_.empty() ? -1 : stack_.back();
+  span.depth = static_cast<int>(stack_.size());
+  span.name.assign(name);
+  span.begin_global_round = global_round_base_;
+  span.ts_begin_ns = steady_now_ns() - epoch_ns_;
+  spans_.push_back(std::move(span));
+  stack_.push_back(id);
+  for (auto& sink : sinks_) sink->on_span_begin(spans_[static_cast<std::size_t>(id)]);
+  return id;
+}
+
+void Tracer::end_span(std::int32_t id) {
+  // PhaseSpan destruction is LIFO even on exception paths, so the loop
+  // normally closes exactly one span; closing stragglers instead of
+  // throwing keeps this safe to call from destructors.
+  while (!stack_.empty()) {
+    const std::int32_t top = stack_.back();
+    stack_.pop_back();
+    TraceSpan& span = spans_[static_cast<std::size_t>(top)];
+    span.open = false;
+    span.end_global_round = global_round_base_;
+    span.ts_end_ns = steady_now_ns() - epoch_ns_;
+    span.subtree += span.own;
+    if (span.parent >= 0) {
+      spans_[static_cast<std::size_t>(span.parent)].subtree += span.subtree;
+    }
+    for (auto& sink : sinks_) sink->on_span_end(span);
+    if (top == id) return;
+  }
+}
+
+void Tracer::on_round(TraceRound& rec) {
+  rec.global_round = global_round_base_ + rec.run_round;
+  rec.span = stack_.empty() ? -1 : stack_.back();
+  TraceTotals& tot =
+      rec.span < 0 ? root_ : spans_[static_cast<std::size_t>(rec.span)].own;
+  tot.rounds += 1 + rec.ff_rounds;
+  tot.executed += 1;
+  tot.messages += rec.delivered_messages;
+  tot.bits += rec.delivered_bits;
+  tot.wall_ns += rec.wall_ns;
+  for (auto& sink : sinks_) sink->on_round(rec);
+}
+
+void Tracer::on_run_end(std::int64_t rounds_elapsed) {
+  global_round_base_ += rounds_elapsed;
+}
+
+TraceTotals Tracer::total() const {
+  TraceTotals t = root_;
+  for (const TraceSpan& s : spans_) {
+    if (s.parent == -1) t += s.open ? s.own : s.subtree;
+  }
+  return t;
+}
+
+std::string Tracer::span_path(std::int32_t id) const {
+  std::string path;
+  while (id >= 0) {
+    const TraceSpan& s = spans_[static_cast<std::size_t>(id)];
+    path = path.empty() ? s.name : s.name + "/" + path;
+    id = s.parent;
+  }
+  return path;
+}
+
+// ---- PhaseSpan --------------------------------------------------------
+
+PhaseSpan::PhaseSpan(std::string_view name) {
+  detail::ensure_env_tracer();
+  Tracer* const t = Tracer::current();
+  if (t == nullptr) return;
+  tracer_ = t;
+  id_ = t->begin_span(name);
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (tracer_ != nullptr) tracer_->end_span(id_);
+}
+
+// ---- JSONL sink -------------------------------------------------------
+
+namespace {
+
+/// One JSON object per line. INVARIANT: every line's final key is the
+/// "t" object holding all nondeterministic (timing) fields — consumers
+/// strip from `,"t":` to compare traces across thread counts.
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(const std::string& path) : file_(path), os_(&file_) {
+    DCOLOR_CHECK_MSG(static_cast<bool>(file_), "cannot open " << path);
+    buf_.reserve(512);
+  }
+  explicit JsonlSink(std::ostream& os) : os_(&os) { buf_.reserve(512); }
+
+  void on_span_begin(const TraceSpan& s) override {
+    buf_.assign("{\"type\":\"span_begin\",");
+    append_key_int(buf_, "id", s.id);
+    buf_.push_back(',');
+    append_key_int(buf_, "parent", s.parent);
+    buf_.push_back(',');
+    append_key_int(buf_, "depth", s.depth);
+    buf_.append(",\"name\":");
+    append_quoted(buf_, s.name);
+    buf_.push_back(',');
+    append_key_int(buf_, "g_round", s.begin_global_round);
+    buf_.append(",\"t\":{");
+    append_key_int(buf_, "ts_ns", s.ts_begin_ns);
+    buf_.append("}}\n");
+    os_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  }
+
+  void on_span_end(const TraceSpan& s) override {
+    buf_.assign("{\"type\":\"span_end\",");
+    append_key_int(buf_, "id", s.id);
+    buf_.append(",\"name\":");
+    append_quoted(buf_, s.name);
+    buf_.push_back(',');
+    append_key_int(buf_, "g_round", s.end_global_round);
+    buf_.push_back(',');
+    append_key_int(buf_, "rounds", s.subtree.rounds);
+    buf_.push_back(',');
+    append_key_int(buf_, "executed", s.subtree.executed);
+    buf_.push_back(',');
+    append_key_int(buf_, "msgs", s.subtree.messages);
+    buf_.push_back(',');
+    append_key_int(buf_, "bits", s.subtree.bits);
+    buf_.append(",\"t\":{");
+    append_key_int(buf_, "ts_ns", s.ts_end_ns);
+    buf_.push_back(',');
+    append_key_int(buf_, "wall_ns", s.subtree.wall_ns);
+    buf_.append("}}\n");
+    os_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  }
+
+  void on_round(const TraceRound& r) override {
+    buf_.assign("{\"type\":\"round\",");
+    append_key_int(buf_, "g_round", r.global_round);
+    buf_.push_back(',');
+    append_key_int(buf_, "round", r.run_round);
+    buf_.push_back(',');
+    append_key_int(buf_, "ff", r.ff_rounds);
+    buf_.push_back(',');
+    append_key_int(buf_, "span", r.span);
+    buf_.push_back(',');
+    append_key_int(buf_, "active", r.active_nodes);
+    buf_.push_back(',');
+    append_key_int(buf_, "inbox", r.inbox_nodes);
+    buf_.push_back(',');
+    append_key_int(buf_, "woken", r.woken_nodes);
+    buf_.push_back(',');
+    append_key_int(buf_, "dense", r.dense_nodes);
+    buf_.push_back(',');
+    append_key_int(buf_, "dmsgs", r.delivered_messages);
+    buf_.push_back(',');
+    append_key_int(buf_, "dbits", r.delivered_bits);
+    buf_.push_back(',');
+    append_key_int(buf_, "smsgs", r.sent_messages);
+    buf_.push_back(',');
+    append_key_int(buf_, "sbits", r.sent_bits);
+    buf_.push_back(',');
+    append_key_int(buf_, "bfast", r.broadcast_fast_path ? 1 : 0);
+    buf_.append(",\"t\":{");
+    append_key_int(buf_, "ts_ns", r.ts_ns);
+    buf_.push_back(',');
+    append_key_int(buf_, "wall_ns", r.wall_ns);
+    buf_.push_back(',');
+    append_key_int(buf_, "step_ns", r.step_ns);
+    buf_.append(",\"chunks\":[");
+    for (std::size_t i = 0; i < r.chunk_ns.size(); ++i) {
+      if (i != 0) buf_.push_back(',');
+      append_int(buf_, r.chunk_ns[i]);
+    }
+    buf_.append("]}}\n");
+    os_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  }
+
+  void finish(const Tracer&) override { os_->flush(); }
+
+ private:
+  std::ofstream file_;  ///< unopened when borrowing an external stream
+  std::ostream* os_;
+  std::string buf_;
+};
+
+// ---- Chrome trace_event sink ------------------------------------------
+
+/// Streams {"traceEvents":[...]}: spans as B/E pairs on tid 0
+/// ("phases"), rounds as complete X events on tid 1 ("rounds"), and the
+/// per-thread-chunk step timing as X events on tid 2+c ("chunk c") —
+/// one row per pool chunk in Perfetto. Timestamps are microseconds
+/// since tracer creation.
+class ChromeSink final : public TraceSink {
+ public:
+  explicit ChromeSink(const std::string& path) : os_(path) {
+    DCOLOR_CHECK_MSG(static_cast<bool>(os_), "cannot open " << path);
+    buf_.reserve(512);
+    os_ << "{\"traceEvents\":[\n";
+    meta("process_name", 0, "dcolor-sim");
+    meta("thread_name", 0, "phases");
+    meta("thread_name", 1, "rounds");
+  }
+
+  void on_span_begin(const TraceSpan& s) override {
+    begin_event();
+    buf_.append("{\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":");
+    append_us(buf_, s.ts_begin_ns);
+    buf_.append(",\"name\":");
+    append_quoted(buf_, s.name);
+    buf_.append(",\"args\":{");
+    append_key_int(buf_, "g_round", s.begin_global_round);
+    buf_.append("}}");
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  }
+
+  void on_span_end(const TraceSpan& s) override {
+    begin_event();
+    buf_.append("{\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":");
+    append_us(buf_, s.ts_end_ns);
+    buf_.append(",\"args\":{");
+    append_key_int(buf_, "g_round", s.end_global_round);
+    buf_.push_back(',');
+    append_key_int(buf_, "rounds", s.subtree.rounds);
+    buf_.push_back(',');
+    append_key_int(buf_, "msgs", s.subtree.messages);
+    buf_.push_back(',');
+    append_key_int(buf_, "bits", s.subtree.bits);
+    buf_.append("}}");
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  }
+
+  void on_round(const TraceRound& r) override {
+    begin_event();
+    buf_.append("{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":");
+    append_us(buf_, r.ts_ns);
+    buf_.append(",\"dur\":");
+    append_us(buf_, r.wall_ns);
+    buf_.append(",\"name\":\"round\",\"args\":{");
+    append_key_int(buf_, "g_round", r.global_round);
+    buf_.push_back(',');
+    append_key_int(buf_, "ff", r.ff_rounds);
+    buf_.push_back(',');
+    append_key_int(buf_, "active", r.active_nodes);
+    buf_.push_back(',');
+    append_key_int(buf_, "dmsgs", r.delivered_messages);
+    buf_.push_back(',');
+    append_key_int(buf_, "dbits", r.delivered_bits);
+    buf_.push_back(',');
+    append_key_int(buf_, "bfast", r.broadcast_fast_path ? 1 : 0);
+    buf_.append("}}");
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    // Chunk rows: step-pass slice per pool chunk, laid out from the step
+    // start so concurrent chunks overlap visually.
+    const std::int64_t step_start = r.ts_ns + r.wall_ns - r.step_ns;
+    for (std::size_t c = 0; c < r.chunk_ns.size(); ++c) {
+      while (chunk_tids_named_ <= c) {
+        meta("thread_name", static_cast<int>(2 + chunk_tids_named_),
+             "chunk " + std::to_string(chunk_tids_named_));
+        ++chunk_tids_named_;
+      }
+      begin_event();
+      buf_.assign("{\"ph\":\"X\",\"pid\":0,\"tid\":");
+      append_int(buf_, static_cast<std::int64_t>(2 + c));
+      buf_.append(",\"ts\":");
+      append_us(buf_, step_start);
+      buf_.append(",\"dur\":");
+      append_us(buf_, r.chunk_ns[c]);
+      buf_.append(",\"name\":\"step\",\"args\":{");
+      append_key_int(buf_, "g_round", r.global_round);
+      buf_.append("}}");
+      os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    }
+  }
+
+  void finish(const Tracer&) override {
+    os_ << "\n]}\n";
+    os_.flush();
+  }
+
+ private:
+  void begin_event() {
+    if (!first_) {
+      os_ << ",\n";
+    }
+    first_ = false;
+    buf_.clear();
+  }
+
+  static void append_us(std::string& s, std::int64_t ns) {
+    char tmp[40];
+    const int len =
+        std::snprintf(tmp, sizeof(tmp), "%.3f", static_cast<double>(ns) / 1e3);
+    s.append(tmp, static_cast<std::size_t>(len));
+  }
+
+  void meta(const std::string& key, int tid, const std::string& value) {
+    begin_event();
+    buf_.append("{\"ph\":\"M\",\"pid\":0,\"tid\":");
+    append_int(buf_, tid);
+    buf_.append(",\"name\":");
+    append_quoted(buf_, key);
+    buf_.append(",\"args\":{\"name\":");
+    append_quoted(buf_, value);
+    buf_.append("}}");
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  }
+
+  std::ofstream os_;
+  std::string buf_;
+  std::size_t chunk_tids_named_ = 0;
+  bool first_ = true;
+};
+
+// ---- summary sink -----------------------------------------------------
+
+class SummarySink final : public TraceSink {
+ public:
+  explicit SummarySink(const std::string& path) : file_(path), os_(&file_) {
+    DCOLOR_CHECK_MSG(static_cast<bool>(file_), "cannot open " << path);
+  }
+  explicit SummarySink(std::ostream& os) : os_(&os) {}
+
+  void finish(const Tracer& tracer) override {
+    std::vector<PhaseSummaryRow> rows;
+    const TraceTotals& unattributed = tracer.unattributed();
+    if (unattributed.rounds != 0 || unattributed.executed != 0) {
+      rows.push_back({0, "(unattributed)", unattributed});
+    }
+    for (const TraceSpan& s : tracer.spans()) {
+      rows.push_back({s.depth, s.name, s.subtree});
+    }
+    render_phase_summary("trace summary (per phase)", rows, tracer.total(),
+                         *os_);
+    os_->flush();
+  }
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_;
+};
+
+}  // namespace
+
+std::unique_ptr<TraceSink> make_jsonl_trace_sink(const std::string& path) {
+  return std::make_unique<JsonlSink>(path);
+}
+std::unique_ptr<TraceSink> make_jsonl_trace_sink(std::ostream& os) {
+  return std::make_unique<JsonlSink>(os);
+}
+std::unique_ptr<TraceSink> make_chrome_trace_sink(const std::string& path) {
+  return std::make_unique<ChromeSink>(path);
+}
+std::unique_ptr<TraceSink> make_summary_trace_sink(const std::string& path) {
+  return std::make_unique<SummarySink>(path);
+}
+std::unique_ptr<TraceSink> make_summary_trace_sink(std::ostream& os) {
+  return std::make_unique<SummarySink>(os);
+}
+
+std::unique_ptr<TraceSink> make_trace_sink(const std::string& format,
+                                           const std::string& path) {
+  if (format == "jsonl") return make_jsonl_trace_sink(path);
+  if (format == "chrome") return make_chrome_trace_sink(path);
+  if (format == "summary") return make_summary_trace_sink(path);
+  DCOLOR_CHECK_MSG(false, "unknown trace format '" << format
+                                                   << "' (jsonl|chrome|summary)");
+  return nullptr;
+}
+
+void render_phase_summary(const std::string& title,
+                          const std::vector<PhaseSummaryRow>& rows,
+                          const TraceTotals& total, std::ostream& os) {
+  Table t(title);
+  t.header({"phase", "rounds", "executed", "msgs", "bits", "wall ms"});
+  auto add = [&](const std::string& name, const TraceTotals& tot) {
+    t.add(name, tot.rounds, tot.executed, tot.messages, tot.bits,
+          static_cast<double>(tot.wall_ns) / 1e6);
+  };
+  add("TOTAL", total);
+  for (const PhaseSummaryRow& row : rows) {
+    add(std::string(static_cast<std::size_t>(2 * row.depth), ' ') + row.name,
+        row.totals);
+  }
+  t.print(os);
+}
+
+// ---- env wiring -------------------------------------------------------
+
+namespace detail {
+
+namespace {
+Tracer* g_env_tracer = nullptr;
+}
+
+void ensure_env_tracer() {
+  static const bool once = [] {
+    const char* path = std::getenv("DCOLOR_TRACE");
+    if (path == nullptr || *path == '\0') return true;
+    const char* fmt = std::getenv("DCOLOR_TRACE_FORMAT");
+    // Leaked deliberately: the tracer must outlive every Network the
+    // process creates; the atexit hook flushes it.
+    g_env_tracer = new Tracer();
+    g_env_tracer->add_sink(
+        make_trace_sink(fmt != nullptr && *fmt != '\0' ? fmt : "jsonl", path));
+    g_env_tracer->install();
+    std::atexit([] {
+      if (g_env_tracer != nullptr) g_env_tracer->finish();
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace detail
+
+}  // namespace dcolor

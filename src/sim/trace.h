@@ -1,0 +1,241 @@
+// Execution tracing and metrics streaming for the simulator.
+//
+// The engine (`Network::run`) emits one `TraceRound` record per
+// MATERIALIZED round — round index, why nodes were active (inbox /
+// wake-up / dense), traffic delivered and sent, whether the broadcast
+// fast path fired, and wall-clock for the round and for each
+// thread-pool chunk. Composite algorithms annotate their logical phases
+// with RAII `PhaseSpan` objects; the tracer attributes the round stream
+// to the innermost open span, building a span tree whose per-phase
+// round/bit totals decompose the returned `RoundMetrics` the same way
+// the paper's analyses decompose their round bounds.
+//
+// Sinks (attach any number to one Tracer):
+//   * JSONL   — one self-contained JSON object per line (round records
+//               and span begin/end events). Nondeterministic fields
+//               (wall clocks, per-chunk timings) live exclusively in the
+//               trailing "t" object of each line, so stripping `"t"`
+//               yields a byte-identical stream for every thread count.
+//   * Chrome  — trace_event JSON loadable in chrome://tracing or
+//               Perfetto: phase spans on one row, rounds on another,
+//               per-thread-chunk step timing on one row per chunk.
+//   * Summary — end-of-run hierarchical per-phase table.
+//
+// Cost contract (verified by the E14 overhead check):
+//   * no tracer installed — the engine's only extra work per round is a
+//     null pointer test (plus clock reads it already performs);
+//   * tracer installed — record emission performs no heap allocation
+//     per round; sinks reuse their line buffers.
+//
+// Threading: install/uninstall, PhaseSpan, and sink emission happen on
+// the simulating (main) thread only. Pool threads never touch the
+// tracer — per-chunk timings are collected by the engine and handed
+// over after the chunk barrier. Record content is therefore
+// deterministic at every thread count; only the "t" fields vary.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcolor {
+
+/// Deterministic aggregate a span (or the whole trace) accumulates.
+struct TraceTotals {
+  std::int64_t rounds = 0;    ///< simulated rounds (incl. fast-forwarded)
+  std::int64_t executed = 0;  ///< rounds actually materialized
+  std::int64_t messages = 0;  ///< messages delivered
+  std::int64_t bits = 0;      ///< message bits delivered
+  std::int64_t wall_ns = 0;   ///< wall clock (nondeterministic)
+
+  TraceTotals& operator+=(const TraceTotals& o) {
+    rounds += o.rounds;
+    executed += o.executed;
+    messages += o.messages;
+    bits += o.bits;
+    wall_ns += o.wall_ns;
+    return *this;
+  }
+};
+
+/// One materialized simulator round. All fields are deterministic for a
+/// given execution except the timing block at the bottom.
+struct TraceRound {
+  std::int64_t run_round = 0;     ///< 1-based round within this Network::run
+  std::int64_t global_round = 0;  ///< cumulative across the traced execution
+  std::int64_t ff_rounds = 0;     ///< rounds fast-forwarded just before this one
+  std::int32_t span = -1;         ///< innermost open span id (-1 = root)
+  std::int64_t active_nodes = 0;  ///< nodes stepped this round
+  std::int64_t inbox_nodes = 0;   ///< active because their inbox was non-empty
+  std::int64_t woken_nodes = 0;   ///< active because a registered wake-up was due
+  std::int64_t dense_nodes = 0;   ///< active because the hook keeps them dense
+  std::int64_t delivered_messages = 0;
+  std::int64_t delivered_bits = 0;
+  std::int64_t sent_messages = 0;  ///< queued this round, delivered next
+  std::int64_t sent_bits = 0;
+  bool broadcast_fast_path = false;  ///< graph-shaped CSR delivery fired
+
+  // ---- timing (excluded from record identity) ------------------------
+  std::int64_t ts_ns = 0;    ///< round start, ns since tracer creation
+  std::int64_t wall_ns = 0;  ///< deliver + activate + step
+  std::int64_t step_ns = 0;  ///< step pass alone
+  std::span<const std::int64_t> chunk_ns;  ///< per thread-chunk step time
+};
+
+/// One phase annotation. `own` counts rounds attributed directly to this
+/// span (no child open); `subtree` adds closed children and is final
+/// once the span closes.
+struct TraceSpan {
+  std::int32_t id = -1;
+  std::int32_t parent = -1;  ///< -1 = top level
+  int depth = 0;
+  std::string name;
+  std::int64_t begin_global_round = 0;
+  std::int64_t end_global_round = 0;
+  bool open = true;
+  TraceTotals own;
+  TraceTotals subtree;
+  std::int64_t ts_begin_ns = 0;  ///< nondeterministic
+  std::int64_t ts_end_ns = 0;    ///< nondeterministic
+};
+
+class Tracer;
+
+/// Consumer interface. Callbacks arrive on the simulating thread, in
+/// deterministic order; `finish` is called exactly once.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_span_begin(const TraceSpan& span) { (void)span; }
+  virtual void on_span_end(const TraceSpan& span) { (void)span; }
+  virtual void on_round(const TraceRound& rec) { (void)rec; }
+  virtual void finish(const Tracer& tracer) { (void)tracer; }
+};
+
+/// Collects the round stream and span tree, forwards both to sinks.
+/// Install at most one tracer at a time per process (installs nest:
+/// uninstall restores the previously current tracer).
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();  ///< finishes (flushes sinks) if finish() was not called
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void add_sink(std::unique_ptr<TraceSink> sink);
+
+  /// Makes this tracer the process-current one (picked up by every
+  /// subsequent Network::run and PhaseSpan).
+  void install();
+  /// Restores the tracer that was current before install().
+  void uninstall();
+  /// Uninstalls if needed, force-closes any open spans, and flushes all
+  /// sinks. Idempotent.
+  void finish();
+
+  /// The tracer engine hooks and PhaseSpan report to (null = disabled).
+  static Tracer* current() noexcept;
+
+  // ---- span API (use PhaseSpan, not these, in algorithm code) --------
+  std::int32_t begin_span(std::string_view name);
+  void end_span(std::int32_t id);
+
+  // ---- engine API ----------------------------------------------------
+  /// Fills `global_round` and `span`, attributes the record, forwards
+  /// to sinks. `rec` is consumed synchronously.
+  void on_round(TraceRound& rec);
+  /// Called at the end of every Network::run with its RoundMetrics
+  /// round count; advances the global round offset.
+  void on_run_end(std::int64_t rounds_elapsed);
+
+  // ---- inspection ----------------------------------------------------
+  const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
+  /// Rounds attributed to no span at all.
+  const TraceTotals& unattributed() const noexcept { return root_; }
+  /// Grand total: unattributed + all top-level subtrees. Only exact for
+  /// closed spans — call after finish() for final numbers.
+  TraceTotals total() const;
+  /// "a/b/c" path of a span through its ancestors.
+  std::string span_path(std::int32_t id) const;
+
+  /// Nanoseconds since tracer creation for an engine-captured
+  /// steady_clock reading (passed as ns since epoch of steady_clock).
+  std::int64_t to_trace_ns(std::int64_t steady_ns) const noexcept {
+    return steady_ns - epoch_ns_;
+  }
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<std::int32_t> stack_;  ///< open span ids, outermost first
+  std::vector<std::unique_ptr<TraceSink>> sinks_;
+  TraceTotals root_;
+  std::int64_t global_round_base_ = 0;
+  std::int64_t epoch_ns_ = 0;
+  bool installed_ = false;
+  bool finished_ = false;
+  Tracer* prev_ = nullptr;  ///< tracer displaced by install()
+};
+
+/// RAII phase annotation. Constructing is a no-op when no tracer is
+/// current; otherwise opens a span closed at scope exit.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(std::string_view name);
+  ~PhaseSpan();
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::int32_t id_ = -1;
+};
+
+// ---- sinks ------------------------------------------------------------
+
+/// JSONL sink writing to a file it owns.
+std::unique_ptr<TraceSink> make_jsonl_trace_sink(const std::string& path);
+/// JSONL sink writing to a borrowed stream (tests); the stream must
+/// outlive the tracer.
+std::unique_ptr<TraceSink> make_jsonl_trace_sink(std::ostream& os);
+
+/// Chrome trace_event JSON (chrome://tracing, Perfetto).
+std::unique_ptr<TraceSink> make_chrome_trace_sink(const std::string& path);
+
+/// End-of-run hierarchical per-phase summary table.
+std::unique_ptr<TraceSink> make_summary_trace_sink(const std::string& path);
+std::unique_ptr<TraceSink> make_summary_trace_sink(std::ostream& os);
+
+/// Factory keyed by the CLI/env format name: "jsonl", "chrome", or
+/// "summary". Throws CheckError on anything else.
+std::unique_ptr<TraceSink> make_trace_sink(const std::string& format,
+                                           const std::string& path);
+
+/// One row of a rendered per-phase summary (shared between the summary
+/// sink and `dcolor --cmd=trace_summary`, which rebuilds rows from a
+/// JSONL file).
+struct PhaseSummaryRow {
+  int depth = 0;
+  std::string name;
+  TraceTotals totals;
+};
+
+/// Renders rows (indented by depth) plus a TOTAL line.
+void render_phase_summary(const std::string& title,
+                          const std::vector<PhaseSummaryRow>& rows,
+                          const TraceTotals& total, std::ostream& os);
+
+namespace detail {
+/// Installs a process-global tracer from DCOLOR_TRACE /
+/// DCOLOR_TRACE_FORMAT on first call (no-op when unset). Flushed via
+/// atexit. Called by Network::run and PhaseSpan so env-driven tracing
+/// works in any binary without wiring.
+void ensure_env_tracer();
+}  // namespace detail
+
+}  // namespace dcolor

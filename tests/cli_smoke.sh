@@ -32,4 +32,19 @@ trap 'rm -rf "$DIR"' EXIT
 "$CLI" --cmd=color --graph="$DIR/g.txt" --algorithm=degplus1 --seed=5 \
        --out="$DIR/c.txt"
 
+# Tracing: record a JSONL trace, fold it with trace_summary, and write a
+# Chrome trace. Validate the JSON when python3 is around.
+"$CLI" --cmd=color --instance="$DIR/i.txt" --algorithm=fast --ts_p=5 \
+       --eps=0.2 --out="$DIR/c.txt" --trace="$DIR/trace.jsonl"
+test -s "$DIR/trace.jsonl"
+"$CLI" --cmd=trace_summary --trace="$DIR/trace.jsonl" | grep -q two_sweep
+"$CLI" --cmd=color --instance="$DIR/i.txt" --algorithm=fast --ts_p=5 \
+       --eps=0.2 --out="$DIR/c.txt" --trace="$DIR/trace.json" \
+       --trace-format=chrome
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys
+[json.loads(l) for l in open(sys.argv[1])]
+json.load(open(sys.argv[2]))" "$DIR/trace.jsonl" "$DIR/trace.json"
+fi
+
 echo "cli_smoke: OK"

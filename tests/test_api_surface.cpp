@@ -82,9 +82,17 @@ TEST(Generators, HeterogeneousOldcMeetsPremise) {
 }
 
 TEST(Metrics, SummaryMentionsEveryField) {
-  const RoundMetrics m{12, 7, 100, 700, 42};
+  const RoundMetrics m{.rounds = 12,
+                       .executed_rounds = 9,
+                       .peak_active_nodes = 33,
+                       .max_message_bits = 7,
+                       .total_messages = 100,
+                       .total_message_bits = 700,
+                       .local_compute_ops = 42};
   const std::string s = m.summary();
   EXPECT_NE(s.find("rounds=12"), std::string::npos);
+  EXPECT_NE(s.find("executed=9"), std::string::npos);
+  EXPECT_NE(s.find("peak_active=33"), std::string::npos);
   EXPECT_NE(s.find("max_msg_bits=7"), std::string::npos);
   EXPECT_NE(s.find("msgs=100"), std::string::npos);
   EXPECT_NE(s.find("compute=42"), std::string::npos);

@@ -29,20 +29,46 @@ TEST(Message, RejectsOverflowingField) {
 }
 
 TEST(Metrics, SequentialComposition) {
-  RoundMetrics a{10, 8, 100, 800, 5};
-  const RoundMetrics b{5, 16, 50, 800, 7};
+  RoundMetrics a{.rounds = 10,
+                 .executed_rounds = 3,
+                 .peak_active_nodes = 40,
+                 .max_message_bits = 8,
+                 .total_messages = 100,
+                 .total_message_bits = 800,
+                 .local_compute_ops = 5};
+  const RoundMetrics b{.rounds = 5,
+                       .executed_rounds = 2,
+                       .peak_active_nodes = 60,
+                       .max_message_bits = 16,
+                       .total_messages = 50,
+                       .total_message_bits = 800,
+                       .local_compute_ops = 7};
   a += b;
   EXPECT_EQ(a.rounds, 15);
+  EXPECT_EQ(a.executed_rounds, 5);
+  EXPECT_EQ(a.peak_active_nodes, 60);
   EXPECT_EQ(a.max_message_bits, 16);
   EXPECT_EQ(a.total_messages, 150);
   EXPECT_EQ(a.local_compute_ops, 12);
 }
 
 TEST(Metrics, ParallelComposition) {
-  RoundMetrics a{10, 8, 100, 800, 0};
-  const RoundMetrics b{5, 16, 50, 400, 0};
+  RoundMetrics a{.rounds = 10,
+                 .executed_rounds = 3,
+                 .peak_active_nodes = 40,
+                 .max_message_bits = 8,
+                 .total_messages = 100,
+                 .total_message_bits = 800};
+  const RoundMetrics b{.rounds = 5,
+                       .executed_rounds = 4,
+                       .peak_active_nodes = 60,
+                       .max_message_bits = 16,
+                       .total_messages = 50,
+                       .total_message_bits = 400};
   a.merge_parallel(b);
   EXPECT_EQ(a.rounds, 10);
+  EXPECT_EQ(a.executed_rounds, 4);
+  EXPECT_EQ(a.peak_active_nodes, 100);
   EXPECT_EQ(a.max_message_bits, 16);
   EXPECT_EQ(a.total_messages, 150);
 }

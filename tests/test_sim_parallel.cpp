@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -32,6 +35,8 @@ namespace {
 
 void expect_metrics_eq(const RoundMetrics& a, const RoundMetrics& b) {
   EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.executed_rounds, b.executed_rounds);
+  EXPECT_EQ(a.peak_active_nodes, b.peak_active_nodes);
   EXPECT_EQ(a.max_message_bits, b.max_message_bits);
   EXPECT_EQ(a.total_messages, b.total_messages);
   EXPECT_EQ(a.total_message_bits, b.total_message_bits);
@@ -349,6 +354,44 @@ TEST(ParallelSim, CongestBitCapViolationThrowsUnderThreads) {
     net.set_num_threads(4);
     const RoundMetrics m = net.run(program, 10);
     EXPECT_EQ(m.max_message_bits, 10);
+  }
+}
+
+/// JSONL trace with the nondeterministic trailing "t" object stripped
+/// from every line — the thread-count-invariant part of the stream.
+std::string traced_run_stripped(const OldcInstance& inst,
+                                const std::vector<Color>& ids, NodeId n,
+                                int threads) {
+  std::ostringstream trace;
+  {
+    ScopedDefaultThreads t(threads);
+    Tracer tracer;
+    tracer.add_sink(make_jsonl_trace_sink(trace));
+    tracer.install();
+    fast_two_sweep(inst, ids, n, 2, 0.5);
+    tracer.finish();
+  }
+  std::istringstream is(trace.str());
+  std::string out, line;
+  while (std::getline(is, line)) {
+    out.append(line, 0, line.find(",\"t\":"));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(ParallelSim, TraceRecordsIdenticalModuloTimingAcrossThreadCounts) {
+  Rng rng(1800);
+  const NodeId n = 2000;  // well past kMinParallelActive: rounds do chunk
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  const std::string serial = traced_run_stripped(inst, ids, n, 1);
+  EXPECT_NE(serial.find("\"type\":\"round\""), std::string::npos);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(traced_run_stripped(inst, ids, n, threads), serial)
+        << "threads=" << threads;
   }
 }
 

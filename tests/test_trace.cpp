@@ -1,0 +1,399 @@
+// Observability-layer tests: span-tree structure, exact agreement
+// between trace totals and RoundMetrics, the null-tracer no-op
+// guarantee, the JSONL/Chrome/summary sinks, the new RoundMetrics
+// fields and their composition operators, and the JsonWriter NaN fix.
+// Labelled `observability` in ctest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "coloring/linial.h"
+#include "core/congest_oldc.h"
+#include "core/fast_two_sweep.h"
+#include "core/instance.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+OldcInstance uniform_instance(const Graph& g, Rng& rng) {
+  Orientation o = Orientation::by_id(g);
+  const int d = o.beta();
+  return random_uniform_oldc(g, std::move(o), 40, 10, d, rng);
+}
+
+std::vector<Color> identity_coloring(NodeId n) {
+  std::vector<Color> ids(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  return ids;
+}
+
+const TraceSpan* find_span(const Tracer& tracer, const std::string& name) {
+  for (const TraceSpan& s : tracer.spans()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// ---- span trees --------------------------------------------------------
+
+TEST(Trace, FastTwoSweepSpanTreeNestsAndMatchesMetrics) {
+  Rng rng(1800);
+  const NodeId n = 2000;  // q = n is far past the direct-sweep threshold,
+                          // so the defective-precoloring path runs
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  Tracer tracer;
+  tracer.install();
+  const ColoringResult res = fast_two_sweep(inst, ids, n, 2, 0.5);
+  tracer.finish();
+
+  const TraceSpan* root = find_span(tracer, "fast_two_sweep");
+  const TraceSpan* psi = find_span(tracer, "defective_precoloring");
+  const TraceSpan* kuhn = find_span(tracer, "kuhn_defective");
+  const TraceSpan* sweep = find_span(tracer, "two_sweep");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(psi, nullptr);
+  ASSERT_NE(kuhn, nullptr);
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_EQ(root->parent, -1);
+  EXPECT_EQ(psi->parent, root->id);
+  EXPECT_EQ(kuhn->parent, psi->id);
+  EXPECT_EQ(sweep->parent, root->id);
+  EXPECT_EQ(root->depth, 0);
+  EXPECT_EQ(psi->depth, 1);
+  EXPECT_EQ(kuhn->depth, 2);
+  EXPECT_EQ(sweep->depth, 1);
+  EXPECT_EQ(tracer.span_path(kuhn->id),
+            "fast_two_sweep/defective_precoloring/kuhn_defective");
+
+  // The root subtree accounts for every round and every message of the
+  // composite execution: rounds add across the sequential sub-runs, and
+  // each sent message is delivered before its run terminates, so the
+  // delivered-based totals equal the sent-based RoundMetrics.
+  EXPECT_EQ(root->subtree.rounds, res.metrics.rounds);
+  EXPECT_EQ(root->subtree.executed, res.metrics.executed_rounds);
+  EXPECT_EQ(root->subtree.messages, res.metrics.total_messages);
+  EXPECT_EQ(root->subtree.bits, res.metrics.total_message_bits);
+  // Both children saw real work, and they partition the root (the root
+  // runs no Network of its own).
+  EXPECT_GT(psi->subtree.rounds, 0);
+  EXPECT_GT(sweep->subtree.rounds, 0);
+  EXPECT_EQ(psi->subtree.rounds + sweep->subtree.rounds,
+            root->subtree.rounds);
+  EXPECT_EQ(kuhn->subtree.rounds, psi->subtree.rounds);
+  EXPECT_EQ(tracer.total().rounds, res.metrics.rounds);
+  EXPECT_EQ(tracer.unattributed().rounds, 0);
+}
+
+TEST(Trace, CongestOldcSpanTreeHasLevelsWithFastTwoSweepChildren) {
+  Rng rng(33);
+  const Graph g = random_near_regular(300, 4, rng);
+  Orientation o = Orientation::by_id(g);
+  const std::int64_t C = 64;
+  const int beta = o.beta();
+  const int defect = 2;
+  const int list_size = std::min<std::int64_t>(
+      C, static_cast<std::int64_t>(
+             std::ceil(3.0 * std::sqrt(static_cast<double>(C)) * beta /
+                       (defect + 1))) +
+             1);
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), C, list_size, defect, rng);
+  const LinialResult linial = linial_from_ids(g, inst.orientation);
+
+  Tracer tracer;
+  tracer.install();
+  const ColoringResult res =
+      congest_oldc(inst, linial.colors, linial.num_colors);
+  tracer.finish();
+
+  const TraceSpan* root = find_span(tracer, "congest_oldc");
+  const TraceSpan* level1 = find_span(tracer, "csr_level_1");
+  const TraceSpan* final_level = find_span(tracer, "csr_final");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(level1, nullptr);
+  ASSERT_NE(final_level, nullptr);
+  EXPECT_EQ(level1->parent, root->id);
+  EXPECT_EQ(final_level->parent, root->id);
+
+  // Every level discharges through the fast_two_sweep base solver.
+  std::int64_t fast_children_of_levels = 0;
+  for (const TraceSpan& s : tracer.spans()) {
+    if (s.name != "fast_two_sweep") continue;
+    const TraceSpan& parent = tracer.spans()[static_cast<std::size_t>(
+        s.parent)];
+    EXPECT_TRUE(parent.name.rfind("csr_", 0) == 0) << parent.name;
+    ++fast_children_of_levels;
+  }
+  EXPECT_GE(fast_children_of_levels, 2);
+  EXPECT_EQ(root->subtree.rounds, res.metrics.rounds);
+  EXPECT_EQ(root->subtree.messages, res.metrics.total_messages);
+}
+
+// ---- null tracer & determinism ----------------------------------------
+
+TEST(Trace, SinklessTracerChangesNoColoringOrMetric) {
+  Rng rng(1800);
+  const NodeId n = 600;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  const ColoringResult plain = fast_two_sweep(inst, ids, n, 2, 0.5);
+  ColoringResult traced;
+  {
+    Tracer tracer;
+    tracer.install();
+    traced = fast_two_sweep(inst, ids, n, 2, 0.5);
+    tracer.finish();
+  }
+  EXPECT_EQ(traced.colors, plain.colors);
+  EXPECT_EQ(traced.metrics.rounds, plain.metrics.rounds);
+  EXPECT_EQ(traced.metrics.executed_rounds, plain.metrics.executed_rounds);
+  EXPECT_EQ(traced.metrics.peak_active_nodes,
+            plain.metrics.peak_active_nodes);
+  EXPECT_EQ(traced.metrics.max_message_bits, plain.metrics.max_message_bits);
+  EXPECT_EQ(traced.metrics.total_messages, plain.metrics.total_messages);
+  EXPECT_EQ(traced.metrics.total_message_bits,
+            plain.metrics.total_message_bits);
+  EXPECT_EQ(traced.metrics.local_compute_ops,
+            plain.metrics.local_compute_ops);
+}
+
+// ---- JSONL round-record invariants ------------------------------------
+
+std::int64_t line_int(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << line;
+  if (pos == std::string::npos) return 0;
+  return std::strtoll(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(Trace, JsonlRoundRecordsSumExactlyToRunMetrics) {
+  Rng rng(1800);
+  const NodeId n = 2000;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  std::ostringstream trace;
+  Tracer tracer;
+  tracer.add_sink(make_jsonl_trace_sink(trace));
+  tracer.install();
+  const ColoringResult res = fast_two_sweep(inst, ids, n, 2, 0.5);
+  tracer.finish();
+
+  std::int64_t rounds = 0, executed = 0, dmsgs = 0, dbits = 0;
+  std::int64_t smsgs = 0, sbits = 0, last_g_round = 0;
+  std::istringstream is(trace.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"type\":\"round\"") == std::string::npos) continue;
+    rounds += 1 + line_int(line, "ff");
+    executed += 1;
+    dmsgs += line_int(line, "dmsgs");
+    dbits += line_int(line, "dbits");
+    smsgs += line_int(line, "smsgs");
+    sbits += line_int(line, "sbits");
+    last_g_round = std::max(last_g_round, line_int(line, "g_round"));
+    // Every line carries the timing object as its final key.
+    EXPECT_NE(line.find(",\"t\":{"), std::string::npos);
+  }
+  // (1 + ff) telescopes to metrics.rounds per run and runs concatenate.
+  EXPECT_EQ(rounds, res.metrics.rounds);
+  EXPECT_EQ(executed, res.metrics.executed_rounds);
+  EXPECT_EQ(last_g_round, res.metrics.rounds);
+  // Every sent message is delivered before its run terminates, so the
+  // delivered sums equal the RoundMetrics send totals. The per-record
+  // sent sums fall short by exactly the init (round-0) sends, which only
+  // show up as round-1 deliveries.
+  EXPECT_EQ(dmsgs, res.metrics.total_messages);
+  EXPECT_EQ(dbits, res.metrics.total_message_bits);
+  EXPECT_LE(smsgs, dmsgs);
+  EXPECT_LE(sbits, dbits);
+}
+
+// ---- engine metrics: executed_rounds / peak_active_nodes ---------------
+
+/// Every node sleeps until round 10, then finishes. The engine must
+/// fast-forward rounds 1..9 (one materialized round) while the round
+/// count still reads 10.
+class SleepyProgram final : public SyncAlgorithm {
+ public:
+  explicit SleepyProgram(NodeId n)
+      : acted_(static_cast<std::size_t>(n), 0) {}
+
+  void init(NodeId, Mailbox&) override {}
+  void step(NodeId v, int, Mailbox&) override {
+    acted_[static_cast<std::size_t>(v)] = 1;
+  }
+  bool done(NodeId v) const override {
+    return acted_[static_cast<std::size_t>(v)] != 0;
+  }
+  std::int64_t next_active_round(NodeId,
+                                 std::int64_t after_round) const override {
+    return after_round < 10 ? 10 : kNoWakeup;
+  }
+
+ private:
+  std::vector<std::uint8_t> acted_;
+};
+
+TEST(Trace, ExecutedRoundsCountsMaterializedRoundsOnly) {
+  Rng rng(7);
+  const NodeId n = 300;
+  const Graph g = random_near_regular(n, 4, rng);
+  SleepyProgram program(n);
+  Network net(g);
+  net.set_num_threads(1);
+  const RoundMetrics m = net.run(program, 20);
+  EXPECT_EQ(m.rounds, 10);
+  EXPECT_EQ(m.executed_rounds, 1);
+  EXPECT_EQ(m.peak_active_nodes, static_cast<std::int64_t>(n));
+}
+
+// ---- RoundMetrics composition ------------------------------------------
+
+TEST(Trace, RoundMetricsSequentialCompositionAddsRoundsMaxesPeak) {
+  RoundMetrics a;
+  a.rounds = 10;
+  a.executed_rounds = 4;
+  a.peak_active_nodes = 100;
+  a.max_message_bits = 8;
+  a.total_messages = 50;
+  a.total_message_bits = 400;
+  a.local_compute_ops = 7;
+  RoundMetrics b;
+  b.rounds = 5;
+  b.executed_rounds = 5;
+  b.peak_active_nodes = 300;
+  b.max_message_bits = 12;
+  b.total_messages = 20;
+  b.total_message_bits = 240;
+  b.local_compute_ops = 3;
+
+  a += b;
+  EXPECT_EQ(a.rounds, 15);
+  EXPECT_EQ(a.executed_rounds, 9);
+  EXPECT_EQ(a.peak_active_nodes, 300);  // phases never overlap: max
+  EXPECT_EQ(a.max_message_bits, 12);
+  EXPECT_EQ(a.total_messages, 70);
+  EXPECT_EQ(a.total_message_bits, 640);
+  EXPECT_EQ(a.local_compute_ops, 10);
+}
+
+TEST(Trace, RoundMetricsParallelCompositionMaxesRoundsAddsPeak) {
+  RoundMetrics a;
+  a.rounds = 10;
+  a.executed_rounds = 4;
+  a.peak_active_nodes = 100;
+  a.max_message_bits = 8;
+  a.total_messages = 50;
+  a.total_message_bits = 400;
+  a.local_compute_ops = 7;
+  RoundMetrics b;
+  b.rounds = 5;
+  b.executed_rounds = 5;
+  b.peak_active_nodes = 300;
+  b.max_message_bits = 12;
+  b.total_messages = 20;
+  b.total_message_bits = 240;
+  b.local_compute_ops = 3;
+
+  a.merge_parallel(b);
+  EXPECT_EQ(a.rounds, 10);
+  EXPECT_EQ(a.executed_rounds, 5);
+  EXPECT_EQ(a.peak_active_nodes, 400);  // disjoint parts, same rounds: add
+  EXPECT_EQ(a.max_message_bits, 12);
+  EXPECT_EQ(a.total_messages, 70);
+  EXPECT_EQ(a.total_message_bits, 640);
+  EXPECT_EQ(a.local_compute_ops, 10);
+}
+
+// ---- sinks -------------------------------------------------------------
+
+TEST(Trace, ChromeSinkWritesWellFormedTraceEventJson) {
+  Rng rng(1800);
+  const NodeId n = 600;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  const std::string path = testing::TempDir() + "dcolor_trace_chrome.json";
+  {
+    Tracer tracer;
+    tracer.add_sink(make_chrome_trace_sink(path));
+    tracer.install();
+    fast_two_sweep(inst, ids, n, 2, 0.5);
+    tracer.finish();
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(static_cast<bool>(is));
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string content = ss.str();
+  std::remove(path.c_str());
+  EXPECT_EQ(content.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);  // rounds
+  EXPECT_NE(content.find("\"ph\":\"B\""), std::string::npos);  // spans
+  EXPECT_NE(content.find("\"name\":\"fast_two_sweep\""), std::string::npos);
+  EXPECT_NE(content.find("]}"), std::string::npos);
+  // Balanced braces is a decent proxy for well-formedness without a
+  // JSON parser (there are no braces inside strings in this format).
+  std::int64_t depth = 0;
+  for (const char c : content) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, SummarySinkRendersHierarchicalTable) {
+  Rng rng(1800);
+  const NodeId n = 600;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.add_sink(make_summary_trace_sink(out));
+  tracer.install();
+  fast_two_sweep(inst, ids, n, 2, 0.5);
+  tracer.finish();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+  EXPECT_NE(text.find("fast_two_sweep"), std::string::npos);
+  EXPECT_NE(text.find("  two_sweep"), std::string::npos);  // indented child
+}
+
+// ---- JsonWriter NaN/Inf regression ------------------------------------
+
+TEST(Trace, JsonWriterEmitsNullForNonFiniteDoubles) {
+  using bench::JsonWriter;
+  EXPECT_EQ(JsonWriter::num(std::nan("")), "null");
+  EXPECT_EQ(JsonWriter::num(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonWriter::num(-std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(JsonWriter::num(1.5), "1.5");
+  EXPECT_EQ(JsonWriter::num(std::int64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -17,10 +17,20 @@
 //             --instance=instance.txt --coloring=coloring.txt
 //   info      Print summary statistics of a saved graph.
 //             --graph=graph.txt [--exact_theta]
+//   trace_summary  Fold a JSONL round trace into a per-phase table.
+//             --trace=trace.jsonl
+//
+// Any subcommand accepts --trace=<path> [--trace-format=jsonl|chrome|
+// summary] to record an execution trace of the run (the DCOLOR_TRACE /
+// DCOLOR_TRACE_FORMAT environment variables do the same for binaries
+// without flags).
 //
 // Exit code 0 on success / valid, 1 otherwise.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 
 #include "coloring/linial.h"
 #include "core/congest_oldc.h"
@@ -34,6 +44,7 @@
 #include "graph/independence.h"
 #include "graph/line_graph.h"
 #include "io/instance_io.h"
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -182,9 +193,112 @@ int cmd_info(const CliArgs& args) {
   return 0;
 }
 
+// ---- trace_summary ----------------------------------------------------
+//
+// Minimal field extractors for the tracer's own JSONL output. The sink
+// writes flat objects (the only nested value is the trailing "t" timing
+// block), every key exactly once per line, so substring search with the
+// quoted key + colon is unambiguous.
+
+std::optional<std::int64_t> json_int(const std::string& line,
+                                     const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtoll(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+std::string json_str(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto begin = pos + needle.size();
+  const auto end = line.find('"', begin);  // sink names contain no escapes
+  return end == std::string::npos ? std::string()
+                                  : line.substr(begin, end - begin);
+}
+
+int cmd_trace_summary(const CliArgs& args) {
+  const std::string path = args.get_string("trace", "trace.jsonl");
+  std::ifstream is(path);
+  DCOLOR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
+
+  struct Row {
+    std::int32_t parent = -1;
+    int depth = 0;
+    std::string name;
+    TraceTotals totals;
+  };
+  std::vector<Row> rows;  // indexed by span id == begin order
+  TraceTotals unattributed;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string type = json_str(line, "type");
+    if (type == "span_begin") {
+      const auto id = json_int(line, "id");
+      DCOLOR_CHECK_MSG(id && *id == static_cast<std::int64_t>(rows.size()),
+                       "span ids out of order in " << path);
+      Row row;
+      row.parent = static_cast<std::int32_t>(json_int(line, "parent").value_or(-1));
+      row.depth = static_cast<int>(json_int(line, "depth").value_or(0));
+      row.name = json_str(line, "name");
+      rows.push_back(std::move(row));
+    } else if (type == "span_end") {
+      const auto id = json_int(line, "id");
+      DCOLOR_CHECK_MSG(id && *id >= 0 &&
+                           *id < static_cast<std::int64_t>(rows.size()),
+                       "span_end without span_begin in " << path);
+      TraceTotals& t = rows[static_cast<std::size_t>(*id)].totals;
+      t.rounds = json_int(line, "rounds").value_or(0);
+      t.executed = json_int(line, "executed").value_or(0);
+      t.messages = json_int(line, "msgs").value_or(0);
+      t.bits = json_int(line, "bits").value_or(0);
+      t.wall_ns = json_int(line, "wall_ns").value_or(0);
+    } else if (type == "round") {
+      if (json_int(line, "span").value_or(-1) == -1) {
+        unattributed.rounds += 1 + json_int(line, "ff").value_or(0);
+        unattributed.executed += 1;
+        unattributed.messages += json_int(line, "dmsgs").value_or(0);
+        unattributed.bits += json_int(line, "dbits").value_or(0);
+        unattributed.wall_ns += json_int(line, "wall_ns").value_or(0);
+      }
+    }
+  }
+
+  TraceTotals total = unattributed;
+  for (const Row& row : rows) {
+    if (row.parent == -1) total += row.totals;
+  }
+  std::vector<PhaseSummaryRow> out;
+  if (unattributed.rounds != 0 || unattributed.executed != 0) {
+    out.push_back({0, "(unattributed)", unattributed});
+  }
+  for (const Row& row : rows) {
+    out.push_back({row.depth, row.name, row.totals});
+  }
+  render_phase_summary("trace summary (" + path + ")", out, total, std::cout);
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const std::string cmd = args.get_string("cmd", "info");
+  if (cmd == "trace_summary") {
+    // Here --trace names an INPUT file; no tracer is installed.
+    const int code = cmd_trace_summary(args);
+    args.check_all_consumed();
+    return code;
+  }
+
+  std::unique_ptr<Tracer> tracer;
+  if (args.has("trace")) {
+    tracer = std::make_unique<Tracer>();
+    tracer->add_sink(make_trace_sink(args.get_string("trace-format", "jsonl"),
+                                     args.get_string("trace", "trace.jsonl")));
+    tracer->install();
+  }
+
   int code;
   if (cmd == "generate") {
     code = cmd_generate(args);
@@ -200,6 +314,7 @@ int run(int argc, char** argv) {
     DCOLOR_CHECK_MSG(false, "unknown --cmd=" << cmd);
     return 1;
   }
+  if (tracer != nullptr) tracer->finish();
   args.check_all_consumed();
   return code;
 }
