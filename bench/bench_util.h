@@ -1,6 +1,8 @@
 // Shared helpers for the experiment binaries (bench/e*.cpp).
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -19,6 +21,15 @@
 #include "util/table.h"
 
 namespace dcolor::bench {
+
+/// Peak resident set size of this process in MiB (ru_maxrss is KiB on
+/// Linux). Monotone over the process lifetime — sample after the workload
+/// whose footprint you want to bound.
+inline double peak_rss_mib() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 /// Standard experiment banner so the combined bench log is navigable.
 inline void banner(const std::string& id, const std::string& claim) {

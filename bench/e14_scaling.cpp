@@ -110,6 +110,53 @@ int main(int argc, char** argv) {
   }
 
   {
+    // Large-scale runs: generation + instance build (the parallel,
+    // arena-backed setup path) split from the solve, with peak RSS and the
+    // palette-dedup accounting that keeps list memory O(distinct + n).
+    Table t("Setup vs solve at scale (fast_two_sweep, degree 6)");
+    t.header({"n", "setup ms", "solve ms", "rounds", "palettes", "arena MiB",
+              "peak RSS MiB"});
+    std::vector<NodeId> big_sizes = quick ? std::vector<NodeId>{65536}
+                                          : std::vector<NodeId>{262144, 1048576};
+    for (NodeId n : big_sizes) {
+      Rng rng(1800);
+      const auto t_setup = Clock::now();
+      const Graph g = random_near_regular(n, 6, rng);
+      Orientation o = Orientation::by_id(g);
+      const int d = o.beta();
+      const OldcInstance inst =
+          random_uniform_oldc(g, std::move(o), 40, 10, d, rng);
+      const std::int64_t setup_ms = ms_since(t_setup);
+      std::vector<Color> ids(static_cast<std::size_t>(n));
+      for (NodeId i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+      const auto t_solve = Clock::now();
+      const ColoringResult res = fast_two_sweep(inst, ids, n, 2, 0.5);
+      const std::int64_t solve_ms = ms_since(t_solve);
+      if (!validate_oldc(inst, res.colors)) return 1;
+      const double arena_mib =
+          static_cast<double>(inst.lists.memory_bytes()) / (1024.0 * 1024.0);
+      const double rss_mib = peak_rss_mib();
+      t.add(n, setup_ms, solve_ms, res.metrics.rounds,
+            static_cast<std::int64_t>(inst.lists.num_palettes()), arena_mib,
+            rss_mib);
+      json.row({{"pipeline", JsonWriter::str("fast_two_sweep_scale")},
+                {"n", JsonWriter::num(static_cast<std::int64_t>(n))},
+                {"setup_ms", JsonWriter::num(setup_ms)},
+                {"solve_ms", JsonWriter::num(solve_ms)},
+                {"rounds", JsonWriter::num(res.metrics.rounds)},
+                {"num_palettes",
+                 JsonWriter::num(
+                     static_cast<std::int64_t>(inst.lists.num_palettes()))},
+                {"dedup_hits", JsonWriter::num(inst.lists.dedup_hits())},
+                {"arena_entries", JsonWriter::num(inst.lists.arena_entries())},
+                {"palette_mib", JsonWriter::num(arena_mib)},
+                {"peak_rss_mib", JsonWriter::num(rss_mib)},
+                {"threads", JsonWriter::num(used_threads)}});
+    }
+    t.print(std::cout);
+  }
+
+  {
     const NodeId n = quick ? 8000 : 32000;
     Rng rng(1800);
     const Graph g = random_near_regular(n, 6, rng);

@@ -24,8 +24,10 @@ ColoringResult luby_list_coloring(const ListDefectiveInstance& inst, Rng& rng,
   ColoringResult result;
   result.colors.assign(n, kNoColor);
   std::vector<std::vector<Color>> available(n);
-  for (std::size_t vi = 0; vi < n; ++vi)
-    available[vi] = inst.lists[vi].colors();
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    const auto cs = inst.lists[vi].colors();
+    available[vi].assign(cs.begin(), cs.end());
+  }
 
   std::vector<Color> proposal(n, kNoColor);
   std::int64_t colored = 0;

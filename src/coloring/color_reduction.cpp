@@ -1,7 +1,6 @@
 #include "coloring/color_reduction.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "coloring/linial.h"
 #include "graph/orientation.h"
@@ -21,9 +20,20 @@ class ReductionProgram final : public SyncAlgorithm {
   ReductionProgram(const Graph& g, const std::vector<Color>& initial,
                    std::int64_t c, std::int64_t target)
       : graph_(&g), c_(c), target_(target), color_(initial) {
-    neighbor_color_.resize(static_cast<std::size_t>(g.num_nodes()));
-    finished_.assign(static_cast<std::size_t>(g.num_nodes()),
-                     c_ <= target_ ? 1 : 0);
+    // Flat per-CSR-slot storage of the last color heard from each
+    // neighbor: slot i of node v is the i-th entry of the (sorted)
+    // neighbor list, found by binary search on ingest — no per-node hash
+    // maps, no rehashing in the recolor loop.
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    slot_offset_.resize(n + 1);
+    slot_offset_[0] = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      slot_offset_[v + 1] =
+          slot_offset_[v] + g.degree(static_cast<NodeId>(v));
+    }
+    neighbor_color_.assign(static_cast<std::size_t>(slot_offset_[n]),
+                           kNoColor);
+    finished_.assign(n, c_ <= target_ ? 1 : 0);
   }
 
   void init(NodeId v, Mailbox& mail) override {
@@ -35,8 +45,11 @@ class ReductionProgram final : public SyncAlgorithm {
 
   void step(NodeId v, int round, Mailbox& mail) override {
     const auto vi = static_cast<std::size_t>(v);
+    const auto nbrs = graph_->neighbors(v);
+    Color* const slots = neighbor_color_.data() + slot_offset_[vi];
     for (const Envelope& env : mail.inbox()) {
-      neighbor_color_[vi][env.from] = env.message.field(0);
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), env.from);
+      slots[it - nbrs.begin()] = env.message.field(0);
     }
     const std::int64_t eliminating = c_ - round;  // class handled this round
     if (color_[vi] == eliminating && eliminating >= target_) {
@@ -44,7 +57,8 @@ class ReductionProgram final : public SyncAlgorithm {
       // exists because target >= Δ+1.
       std::vector<bool> used(static_cast<std::size_t>(graph_->degree(v)) + 1,
                              false);
-      for (const auto& [u, cu] : neighbor_color_[vi]) {
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const Color cu = slots[i];
         if (cu >= 0 && cu <= graph_->degree(v)) {
           used[static_cast<std::size_t>(cu)] = true;
         }
@@ -91,7 +105,8 @@ class ReductionProgram final : public SyncAlgorithm {
   std::int64_t c_;
   std::int64_t target_;
   std::vector<Color> color_;
-  std::vector<std::unordered_map<NodeId, Color>> neighbor_color_;
+  std::vector<std::int64_t> slot_offset_;  // CSR offsets into neighbor_color_
+  std::vector<Color> neighbor_color_;      // one slot per (node, neighbor)
   std::vector<std::uint8_t> finished_;  // not vector<bool>: per-node bytes
                                         // are data-race-free when stepped
                                         // in parallel

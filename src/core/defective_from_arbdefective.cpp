@@ -69,7 +69,8 @@ ColoringResult defective_from_arbdefective(const ListDefectiveInstance& inst,
   std::vector<NodeState> state(n);
   for (std::size_t vi = 0; vi < n; ++vi) {
     const auto& lst = inst.lists[vi];
-    state[vi].colors = lst.colors();
+    const auto cs = lst.colors();
+    state[vi].colors.assign(cs.begin(), cs.end());
     state[vi].residual.resize(lst.size());
     state[vi].burned.assign(lst.size(), false);
     for (std::size_t i = 0; i < lst.size(); ++i) {

@@ -9,6 +9,7 @@
 #include "sim/trace.h"
 #include "util/check.h"
 #include "util/logstar.h"
+#include "util/parallel.h"
 
 namespace dcolor {
 
@@ -81,14 +82,25 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
           : Orientation::from_predicate(sub, [&](NodeId a, NodeId b) {
               return inst.orientation.is_out_edge(a, b);
             });
-  sub_inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const int saved = static_cast<int>(
-        std::floor(inst.beta_v(v) * alpha));
-    sub_inst.lists.push_back(
-        inst.lists[static_cast<std::size_t>(v)].transform(
-            [&](Color, int d) { return d - saved; }));
-  }
+  sub_inst.lists = PaletteStore::build_parallel(
+      g.num_nodes(), default_setup_threads(),
+      [&](std::int64_t v, PaletteStore::Scratch& s) {
+        // transform() semantics, but filled into reusable scratch: keep
+        // the colors whose lowered defect stays >= 0. The source view is
+        // sorted, so the scratch needs no re-sort.
+        const int saved = static_cast<int>(
+            std::floor(inst.beta_v(static_cast<NodeId>(v)) * alpha));
+        const PaletteView src = inst.lists[static_cast<std::size_t>(v)];
+        const auto cs = src.colors();
+        const auto ds = src.defects();
+        for (std::size_t i = 0; i < cs.size(); ++i) {
+          const int nd = ds[i] - saved;
+          if (nd >= 0) {
+            s.colors.push_back(cs[i]);
+            s.defects.push_back(nd);
+          }
+        }
+      });
 
   // Line 6: Two-Sweep on the Ψ-colored subgraph (Ψ is proper there).
   ColoringResult result =

@@ -1,61 +1,19 @@
 #include "core/instance.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <unordered_set>
 
+#include "sim/trace.h"
 #include "util/check.h"
 #include "util/math.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace dcolor {
-
-ColorList::ColorList(std::vector<Color> colors, std::vector<int> defects)
-    : colors_(std::move(colors)), defects_(std::move(defects)) {
-  DCOLOR_CHECK(colors_.size() == defects_.size());
-  // Sort jointly by color.
-  std::vector<std::size_t> order(colors_.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return colors_[a] < colors_[b]; });
-  std::vector<Color> cs(colors_.size());
-  std::vector<int> ds(colors_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    cs[i] = colors_[order[i]];
-    ds[i] = defects_[order[i]];
-    DCOLOR_CHECK_MSG(ds[i] >= 0, "negative defect");
-    if (i > 0) DCOLOR_CHECK_MSG(cs[i] != cs[i - 1], "duplicate color " << cs[i]);
-  }
-  colors_ = std::move(cs);
-  defects_ = std::move(ds);
-}
-
-ColorList ColorList::zero_defect(std::vector<Color> colors) {
-  std::vector<int> d(colors.size(), 0);
-  return {std::move(colors), std::move(d)};
-}
-
-ColorList ColorList::uniform(std::vector<Color> colors, int defect) {
-  std::vector<int> d(colors.size(), defect);
-  return {std::move(colors), std::move(d)};
-}
-
-bool ColorList::contains(Color c) const noexcept {
-  return std::binary_search(colors_.begin(), colors_.end(), c);
-}
-
-std::optional<int> ColorList::defect_of(Color c) const noexcept {
-  const auto it = std::lower_bound(colors_.begin(), colors_.end(), c);
-  if (it == colors_.end() || *it != c) return std::nullopt;
-  return defects_[static_cast<std::size_t>(it - colors_.begin())];
-}
-
-std::int64_t ColorList::weight() const noexcept {
-  std::int64_t w = 0;
-  for (int d : defects_) w += d + 1;
-  return w;
-}
 
 int OldcInstance::beta() const {
   int b = 1;
@@ -169,14 +127,39 @@ bool validate_arbdefective(const ArbdefectiveInstance& inst,
 
 namespace {
 
-std::vector<Color> random_color_subset(std::int64_t color_space, int size,
-                                       Rng& rng) {
-  const auto raw = rng.sample_without_replacement(
-      static_cast<std::uint64_t>(color_space), static_cast<std::uint64_t>(size));
-  std::vector<Color> out;
-  out.reserve(raw.size());
-  for (auto c : raw) out.push_back(static_cast<Color>(c));
-  return out;
+/// Samples `size` distinct colors from [0, color_space) into `out`
+/// (unsorted — push_scratch sorts). Floyd's algorithm; membership checks
+/// switch from a linear scan to a thread-reused hash set past 128 colors
+/// so high-degree (deg+1)-lists stay O(size). No per-call allocation in
+/// steady state.
+void sample_colors_into(Rng& rng, std::int64_t color_space, int size,
+                        std::vector<Color>& out) {
+  out.clear();
+  const auto n = static_cast<std::int64_t>(color_space);
+  if (size <= 128) {
+    for (std::int64_t j = n - size; j < n; ++j) {
+      const auto t = static_cast<Color>(
+          rng.below(static_cast<std::uint64_t>(j) + 1));
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      } else {
+        out.push_back(static_cast<Color>(j));
+      }
+    }
+    return;
+  }
+  static thread_local std::unordered_set<Color> seen;
+  seen.clear();
+  for (std::int64_t j = n - size; j < n; ++j) {
+    const auto t = static_cast<Color>(
+        rng.below(static_cast<std::uint64_t>(j) + 1));
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(static_cast<Color>(j));
+      out.push_back(static_cast<Color>(j));
+    }
+  }
 }
 
 }  // namespace
@@ -185,16 +168,20 @@ OldcInstance random_uniform_oldc(const Graph& g, Orientation orientation,
                                  std::int64_t color_space, int list_size,
                                  int defect, Rng& rng) {
   DCOLOR_CHECK(list_size >= 1 && list_size <= color_space);
+  DCOLOR_CHECK(defect >= 0);
+  PhaseSpan span("setup:random_uniform_oldc");
   OldcInstance inst;
   inst.graph = &g;
   inst.orientation = std::move(orientation);
   inst.color_space = color_space;
-  inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    inst.lists.push_back(
-        ColorList::uniform(random_color_subset(color_space, list_size, rng),
-                           defect));
-  }
+  const std::uint64_t base = rng();
+  inst.lists = PaletteStore::build_parallel(
+      g.num_nodes(), default_setup_threads(),
+      [&](std::int64_t v, PaletteStore::Scratch& s) {
+        Rng r = Rng::stream(base, static_cast<std::uint64_t>(v));
+        sample_colors_into(r, color_space, list_size, s.colors);
+        s.defects.assign(s.colors.size(), defect);
+      });
   return inst;
 }
 
@@ -202,47 +189,56 @@ OldcInstance random_heterogeneous_oldc(const Graph& g, Orientation orientation,
                                        std::int64_t color_space, int p,
                                        double eps, Rng& rng) {
   DCOLOR_CHECK(p >= 1);
+  PhaseSpan span("setup:random_heterogeneous_oldc");
   OldcInstance inst;
   inst.graph = &g;
   inst.orientation = std::move(orientation);
   inst.color_space = color_space;
-  inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const int beta = inst.beta_v(v);
-    // Grow a random list with random defects until the Theorem 1.1
-    // premise for (p, eps) holds at this node; defects are drawn around
-    // (1+ε)·β/p so the per-color weight outpaces the |L|/p branch of the
-    // requirement and the threshold is met after roughly p² colors.
-    const int max_defect = std::max(
-        1, static_cast<int>(std::ceil((1.0 + eps) * beta / p)));
-    std::vector<Color> colors;
-    std::vector<int> defects;
-    std::int64_t weight = 0;
-    auto premise_met = [&]() {
-      const double need =
-          (1.0 + eps) *
-          std::max(static_cast<double>(p),
-                   static_cast<double>(colors.size()) / static_cast<double>(p)) *
-          beta;
-      return static_cast<double>(weight) > need;
-    };
-    const auto pool = random_color_subset(
-        color_space, static_cast<int>(std::min<std::int64_t>(color_space,
-                                                             4L * p * p + 16)),
-        rng);
-    for (Color c : pool) {
-      if (premise_met() && static_cast<int>(colors.size()) >= p) break;
-      const int d = static_cast<int>(rng.below(
-          static_cast<std::uint64_t>(2 * max_defect + 1)));
-      colors.push_back(c);
-      defects.push_back(d);
-      weight += d + 1;
-    }
-    DCOLOR_CHECK_MSG(premise_met(),
-                     "color space too small to satisfy Theorem 1.1 premise at "
-                     "node " << v << " (increase color_space)");
-    inst.lists.emplace_back(std::move(colors), std::move(defects));
-  }
+  const std::uint64_t base = rng();
+  const int pool_size = static_cast<int>(
+      std::min<std::int64_t>(color_space, 4L * p * p + 16));
+  std::atomic<NodeId> failed{-1};
+  inst.lists = PaletteStore::build_parallel(
+      g.num_nodes(), default_setup_threads(),
+      [&](std::int64_t v, PaletteStore::Scratch& s) {
+        const int beta = inst.beta_v(static_cast<NodeId>(v));
+        // Grow a random list with random defects until the Theorem 1.1
+        // premise for (p, eps) holds at this node; defects are drawn
+        // around (1+ε)·β/p so the per-color weight outpaces the |L|/p
+        // branch of the requirement and the threshold is met after
+        // roughly p² colors.
+        const int max_defect = std::max(
+            1, static_cast<int>(std::ceil((1.0 + eps) * beta / p)));
+        Rng r = Rng::stream(base, static_cast<std::uint64_t>(v));
+        std::int64_t weight = 0;
+        auto premise_met = [&]() {
+          const double need =
+              (1.0 + eps) *
+              std::max(static_cast<double>(p),
+                       static_cast<double>(s.colors.size()) /
+                           static_cast<double>(p)) *
+              beta;
+          return static_cast<double>(weight) > need;
+        };
+        sample_colors_into(r, color_space, pool_size, s.colors);
+        std::size_t kept = 0;
+        for (const Color c : s.colors) {
+          if (premise_met() && static_cast<int>(kept) >= p) break;
+          const int d = static_cast<int>(r.below(
+              static_cast<std::uint64_t>(2 * max_defect + 1)));
+          s.colors[kept++] = c;
+          s.defects.push_back(d);
+          weight += d + 1;
+        }
+        s.colors.resize(kept);
+        if (!premise_met()) {
+          NodeId expected = -1;
+          failed.compare_exchange_strong(expected, static_cast<NodeId>(v));
+        }
+      });
+  DCOLOR_CHECK_MSG(failed.load() < 0,
+                   "color space too small to satisfy Theorem 1.1 premise at "
+                   "node " << failed.load() << " (increase color_space)");
   return inst;
 }
 
@@ -251,24 +247,31 @@ ListDefectiveInstance degree_plus_one_instance(const Graph& g,
                                                Rng& rng) {
   DCOLOR_CHECK_MSG(color_space > g.max_degree(),
                    "color space must exceed Δ for (deg+1)-lists");
+  PhaseSpan span("setup:degree_plus_one_instance");
   ListDefectiveInstance inst;
   inst.graph = &g;
   inst.color_space = color_space;
-  inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    inst.lists.push_back(ColorList::zero_defect(
-        random_color_subset(color_space, g.degree(v) + 1, rng)));
-  }
+  const std::uint64_t base = rng();
+  inst.lists = PaletteStore::build_parallel(
+      g.num_nodes(), default_setup_threads(),
+      [&](std::int64_t v, PaletteStore::Scratch& s) {
+        Rng r = Rng::stream(base, static_cast<std::uint64_t>(v));
+        sample_colors_into(r, color_space,
+                           g.degree(static_cast<NodeId>(v)) + 1, s.colors);
+        s.defects.assign(s.colors.size(), 0);
+      });
   return inst;
 }
 
 ListDefectiveInstance delta_plus_one_instance(const Graph& g) {
+  PhaseSpan span("setup:delta_plus_one_instance");
   const int delta = g.max_degree();
   std::vector<Color> all(static_cast<std::size_t>(delta) + 1);
   std::iota(all.begin(), all.end(), 0);
   ListDefectiveInstance inst;
   inst.graph = &g;
   inst.color_space = delta + 1;
+  // One shared palette for every node — the dedup fast path.
   inst.lists.assign(static_cast<std::size_t>(g.num_nodes()),
                     ColorList::zero_defect(all));
   return inst;
@@ -279,20 +282,26 @@ ListDefectiveInstance random_uniform_list_defective(const Graph& g,
                                                     int list_size, int defect,
                                                     Rng& rng) {
   DCOLOR_CHECK(list_size >= 1 && list_size <= color_space);
+  DCOLOR_CHECK(defect >= 0);
+  PhaseSpan span("setup:random_uniform_list_defective");
   ListDefectiveInstance inst;
   inst.graph = &g;
   inst.color_space = color_space;
-  inst.lists.reserve(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    inst.lists.push_back(ColorList::uniform(
-        random_color_subset(color_space, list_size, rng), defect));
-  }
+  const std::uint64_t base = rng();
+  inst.lists = PaletteStore::build_parallel(
+      g.num_nodes(), default_setup_threads(),
+      [&](std::int64_t v, PaletteStore::Scratch& s) {
+        Rng r = Rng::stream(base, static_cast<std::uint64_t>(v));
+        sample_colors_into(r, color_space, list_size, s.colors);
+        s.defects.assign(s.colors.size(), defect);
+      });
   return inst;
 }
 
 OldcInstance contention_oldc(const Graph& g, Orientation orientation,
                              int list_size, int defect) {
   DCOLOR_CHECK(list_size >= 1);
+  PhaseSpan span("setup:contention_oldc");
   std::vector<Color> shared(static_cast<std::size_t>(list_size));
   std::iota(shared.begin(), shared.end(), 0);
   OldcInstance inst;

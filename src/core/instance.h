@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/palette_store.h"
 #include "graph/coloring_checks.h"
 #include "graph/graph.h"
 #include "graph/orientation.h"
@@ -28,60 +29,6 @@
 namespace dcolor {
 
 class Rng;
-
-/// One node's color list with per-color defects. Colors are kept sorted
-/// for O(log Λ) lookup.
-class ColorList {
- public:
-  ColorList() = default;
-
-  /// Builds from (color, defect) pairs; colors must be distinct, defects
-  /// non-negative.
-  ColorList(std::vector<Color> colors, std::vector<int> defects);
-
-  /// All-zero-defect list (proper list coloring).
-  static ColorList zero_defect(std::vector<Color> colors);
-
-  /// Uniform defect d for every color.
-  static ColorList uniform(std::vector<Color> colors, int defect);
-
-  std::size_t size() const noexcept { return colors_.size(); }
-  bool empty() const noexcept { return colors_.empty(); }
-
-  const std::vector<Color>& colors() const noexcept { return colors_; }
-  const std::vector<int>& defects() const noexcept { return defects_; }
-
-  Color color(std::size_t i) const { return colors_[i]; }
-  int defect(std::size_t i) const { return defects_[i]; }
-
-  bool contains(Color c) const noexcept;
-
-  /// Defect of color c; nullopt if c not in the list.
-  std::optional<int> defect_of(Color c) const noexcept;
-
-  /// Σ_{x∈L}(d(x)+1) — the left side of every slack condition.
-  std::int64_t weight() const noexcept;
-
-  /// New list keeping only colors with transformed defect >= 0;
-  /// `delta(color, defect) -> new defect` applied to each entry.
-  template <typename F>
-  ColorList transform(F&& f) const {
-    std::vector<Color> cs;
-    std::vector<int> ds;
-    for (std::size_t i = 0; i < colors_.size(); ++i) {
-      const int nd = f(colors_[i], defects_[i]);
-      if (nd >= 0) {
-        cs.push_back(colors_[i]);
-        ds.push_back(nd);
-      }
-    }
-    return ColorList(std::move(cs), std::move(ds));
-  }
-
- private:
-  std::vector<Color> colors_;  // sorted ascending
-  std::vector<int> defects_;   // aligned with colors_
-};
 
 /// Oriented list defective coloring instance (orientation is INPUT).
 ///
@@ -93,7 +40,7 @@ class ColorList {
 struct OldcInstance {
   const Graph* graph = nullptr;
   Orientation orientation;
-  std::vector<ColorList> lists;
+  PaletteStore lists;  ///< per-node palettes, arena-backed + deduplicated
   std::int64_t color_space = 0;  ///< colors are from [0, color_space)
   bool symmetric = false;
 
@@ -136,7 +83,7 @@ struct OldcInstance {
 /// Undirected list defective coloring instance (problem family P_D).
 struct ListDefectiveInstance {
   const Graph* graph = nullptr;
-  std::vector<ColorList> lists;
+  PaletteStore lists;  ///< per-node palettes, arena-backed + deduplicated
   std::int64_t color_space = 0;
 
   /// Largest S such that weight(v) > S·deg(v) for all v (∞-free: returns

@@ -1,7 +1,6 @@
 #include "core/mis.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "graph/coloring_checks.h"
 #include "graph/line_graph.h"
@@ -18,19 +17,41 @@ MisResult mis_from_coloring(const Graph& g, const std::vector<Color>& colors) {
   std::vector<Color> classes(colors);
   std::sort(classes.begin(), classes.end());
   classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
-  std::unordered_map<Color, std::int64_t> rank;
-  for (std::size_t i = 0; i < classes.size(); ++i)
-    rank[classes[i]] = static_cast<std::int64_t>(i);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  // Dense per-node ranks via a flat table indexed by the (bounded)
+  // precoloring — no hashing; falls back to binary search only if the
+  // color values are far sparser than the node count.
+  std::vector<std::int64_t> node_rank(n);
+  const Color minc = classes.empty() ? 0 : classes.front();
+  const Color maxc = classes.empty() ? 0 : classes.back();
+  const std::int64_t span = maxc - minc + 1;
+  if (span <= static_cast<std::int64_t>(4 * n + 1024)) {
+    std::vector<std::int64_t> rank_of(static_cast<std::size_t>(span), -1);
+    for (std::size_t i = 0; i < classes.size(); ++i)
+      rank_of[static_cast<std::size_t>(classes[i] - minc)] =
+          static_cast<std::int64_t>(i);
+    for (std::size_t v = 0; v < n; ++v)
+      node_rank[v] = rank_of[static_cast<std::size_t>(colors[v] - minc)];
+  } else {
+    for (std::size_t v = 0; v < n; ++v)
+      node_rank[v] = std::lower_bound(classes.begin(), classes.end(),
+                                      colors[v]) -
+                     classes.begin();
+  }
 
   MisResult result;
-  result.in_set.assign(static_cast<std::size_t>(g.num_nodes()), false);
-  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v)
-    order[static_cast<std::size_t>(v)] = v;
-  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    return colors[static_cast<std::size_t>(a)] <
-           colors[static_cast<std::size_t>(b)];
-  });
+  result.in_set.assign(n, false);
+  // Counting sort by rank replaces the comparison sort of the sweep order.
+  std::vector<std::int64_t> count(classes.size() + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    ++count[static_cast<std::size_t>(node_rank[v]) + 1];
+  for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& slot = count[static_cast<std::size_t>(
+        node_rank[static_cast<std::size_t>(v)])];
+    order[static_cast<std::size_t>(slot++)] = v;
+  }
   for (NodeId v : order) {
     const bool blocked =
         std::any_of(g.neighbors(v).begin(), g.neighbors(v).end(),

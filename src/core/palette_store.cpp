@@ -1,0 +1,279 @@
+#include "core/palette_store.h"
+
+#include <algorithm>
+#include <exception>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+// ---- ColorList ---------------------------------------------------------
+
+ColorList::ColorList(std::vector<Color> colors, std::vector<int> defects)
+    : colors_(std::move(colors)), defects_(std::move(defects)) {
+  DCOLOR_CHECK(colors_.size() == defects_.size());
+  // Sort jointly by color.
+  std::vector<std::size_t> order(colors_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return colors_[a] < colors_[b]; });
+  std::vector<Color> cs(colors_.size());
+  std::vector<int> ds(colors_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    cs[i] = colors_[order[i]];
+    ds[i] = defects_[order[i]];
+    DCOLOR_CHECK_MSG(ds[i] >= 0, "negative defect");
+    if (i > 0) DCOLOR_CHECK_MSG(cs[i] != cs[i - 1], "duplicate color " << cs[i]);
+  }
+  colors_ = std::move(cs);
+  defects_ = std::move(ds);
+}
+
+ColorList ColorList::zero_defect(std::vector<Color> colors) {
+  std::vector<int> d(colors.size(), 0);
+  return {std::move(colors), std::move(d)};
+}
+
+ColorList ColorList::uniform(std::vector<Color> colors, int defect) {
+  std::vector<int> d(colors.size(), defect);
+  return {std::move(colors), std::move(d)};
+}
+
+std::int64_t ColorList::weight() const noexcept {
+  std::int64_t w = 0;
+  for (int d : defects_) w += d + 1;
+  return w;
+}
+
+// ---- PaletteView -------------------------------------------------------
+
+bool PaletteView::contains(Color c) const noexcept {
+  return std::binary_search(colors_, colors_ + size_, c);
+}
+
+std::optional<int> PaletteView::defect_of(Color c) const noexcept {
+  const Color* it = std::lower_bound(colors_, colors_ + size_, c);
+  if (it == colors_ + size_ || *it != c) return std::nullopt;
+  return defects_[it - colors_];
+}
+
+// ---- PaletteStore ------------------------------------------------------
+
+void PaletteStore::clear() {
+  arena_colors_.clear();
+  arena_defects_.clear();
+  palettes_.clear();
+  node_palette_.clear();
+  buckets_.clear();
+  dedup_hits_ = 0;
+}
+
+void PaletteStore::assign(std::size_t n, const ColorList& list) {
+  node_palette_.clear();
+  if (n == 0) return;
+  const PaletteId id = intern(PaletteView(list));
+  node_palette_.assign(n, id);
+  dedup_hits_ += static_cast<std::int64_t>(n) - 1;
+}
+
+void PaletteStore::resize(std::size_t n) {
+  if (n <= node_palette_.size()) {
+    node_palette_.resize(n);
+    return;
+  }
+  const PaletteId empty = intern(PaletteView(nullptr, nullptr, 0, 0));
+  node_palette_.resize(n, empty);
+}
+
+std::uint64_t PaletteStore::hash_palette(PaletteView view) noexcept {
+  // splitmix64-style mixing over the (color, defect) stream; stable
+  // across platforms (no pointer or size_t dependence).
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ view.size();
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    std::uint64_t s = h ^ static_cast<std::uint64_t>(view.color(i));
+    h = splitmix64(s);
+    s = h ^ static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(view.defect(i)));
+    h = splitmix64(s);
+  }
+  return h;
+}
+
+PaletteStore::PaletteId PaletteStore::find(PaletteView view,
+                                           std::uint64_t hash) const noexcept {
+  if (buckets_.empty()) return kNoPalette;
+  std::uint32_t id = buckets_[hash & (buckets_.size() - 1)];
+  while (id != kNoPalette) {
+    if (this->view(id) == view) return id;
+    id = palettes_[id].next;
+  }
+  return kNoPalette;
+}
+
+void PaletteStore::rehash_if_needed() {
+  if (palettes_.size() * 2 < buckets_.size()) return;
+  std::size_t cap = buckets_.empty() ? 64 : buckets_.size() * 2;
+  buckets_.assign(cap, kNoPalette);
+  for (PaletteId id = 0; id < palettes_.size(); ++id) {
+    const std::uint64_t h = hash_palette(view(id));
+    const std::size_t b = h & (cap - 1);
+    palettes_[id].next = buckets_[b];
+    buckets_[b] = id;
+  }
+}
+
+PaletteStore::PaletteId PaletteStore::append_palette(PaletteView view,
+                                                     std::uint64_t hash) {
+  rehash_if_needed();
+  PaletteRecord rec;
+  rec.offset = static_cast<std::int64_t>(arena_colors_.size());
+  rec.len = static_cast<std::uint32_t>(view.size());
+  rec.weight = view.weight();
+  arena_colors_.insert(arena_colors_.end(), view.colors().begin(),
+                       view.colors().end());
+  arena_defects_.insert(arena_defects_.end(), view.defects().begin(),
+                        view.defects().end());
+  const auto id = static_cast<PaletteId>(palettes_.size());
+  const std::size_t b = hash & (buckets_.size() - 1);
+  rec.next = buckets_[b];
+  buckets_[b] = id;
+  palettes_.push_back(rec);
+  return id;
+}
+
+PaletteStore::PaletteId PaletteStore::intern(PaletteView v) {
+  const std::uint64_t h = hash_palette(v);
+  const PaletteId existing = find(v, h);
+  if (existing != kNoPalette) {
+    ++dedup_hits_;
+    return existing;
+  }
+  return append_palette(v, h);
+}
+
+std::int64_t PaletteStore::memory_bytes() const noexcept {
+  return static_cast<std::int64_t>(arena_colors_.capacity() * sizeof(Color) +
+                                   arena_defects_.capacity() * sizeof(int) +
+                                   palettes_.capacity() * sizeof(PaletteRecord) +
+                                   node_palette_.capacity() * sizeof(PaletteId) +
+                                   buckets_.capacity() * sizeof(std::uint32_t));
+}
+
+std::int64_t PaletteStore::normalize_scratch(Scratch& scratch) {
+  auto& cs = scratch.colors;
+  auto& ds = scratch.defects;
+  DCOLOR_CHECK(cs.size() == ds.size());
+  // Most builders emit ascending colors already; only pay the permutation
+  // when needed.
+  if (!std::is_sorted(cs.begin(), cs.end())) {
+    static thread_local std::vector<std::uint32_t> order;
+    static thread_local std::vector<Color> tmp_c;
+    static thread_local std::vector<int> tmp_d;
+    order.resize(cs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) { return cs[a] < cs[b]; });
+    tmp_c.resize(cs.size());
+    tmp_d.resize(ds.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      tmp_c[i] = cs[order[i]];
+      tmp_d[i] = ds[order[i]];
+    }
+    std::swap(cs, tmp_c);
+    std::swap(ds, tmp_d);
+  }
+  std::int64_t weight = 0;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    DCOLOR_CHECK_MSG(ds[i] >= 0, "negative defect");
+    if (i > 0)
+      DCOLOR_CHECK_MSG(cs[i] != cs[i - 1], "duplicate color " << cs[i]);
+    weight += ds[i] + 1;
+  }
+  return weight;
+}
+
+void PaletteStore::push_scratch(Scratch& scratch) {
+  const std::int64_t weight = normalize_scratch(scratch);
+  push_back(PaletteView(scratch.colors.data(), scratch.defects.data(),
+                        static_cast<std::uint32_t>(scratch.colors.size()),
+                        weight));
+}
+
+void PaletteStore::merge_append(const PaletteStore& other) {
+  // Remap chunk-local palette ids to global ids lazily, in node order:
+  // within a chunk nodes appear ascending, so distinct palettes reach
+  // intern() in exactly the first-appearance order a serial build over
+  // the same nodes would produce.
+  std::vector<PaletteId> remap(other.num_palettes(), kNoPalette);
+  for (std::size_t v = 0; v < other.size(); ++v) {
+    const PaletteId lid = other.palette_id(v);
+    if (remap[lid] == kNoPalette) {
+      remap[lid] = intern(other.view(lid));
+    } else {
+      ++dedup_hits_;
+    }
+    node_palette_.push_back(remap[lid]);
+  }
+}
+
+namespace detail {
+
+PaletteStore build_palette_store_parallel(
+    std::int64_t n, int threads,
+    const std::function<void(std::int64_t, PaletteStore::Scratch&)>& fill) {
+  PaletteStore out;
+  out.reserve(static_cast<std::size_t>(n));
+  if (n <= 0) return out;
+
+  const std::int64_t chunk = PaletteStore::kChunkNodes;
+  const auto num_chunks = static_cast<int>((n + chunk - 1) / chunk);
+  if (threads <= 1 || num_chunks <= 1) {
+    PaletteStore::Scratch scratch;
+    for (std::int64_t v = 0; v < n; ++v) {
+      scratch.colors.clear();
+      scratch.defects.clear();
+      fill(v, scratch);
+      out.push_scratch(scratch);
+    }
+    return out;
+  }
+
+  // Chunk-local stores, then a sequential merge in chunk order. The merge
+  // re-interns each node's palette into the global store following the
+  // exact order a serial build would, so the global arena — offsets,
+  // first-appearance order, bytes — is identical for every thread count.
+  std::vector<PaletteStore> local(static_cast<std::size_t>(num_chunks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_chunks));
+  parallel_chunks(num_chunks, threads, [&](int c) {
+    try {
+      const std::int64_t begin = static_cast<std::int64_t>(c) * chunk;
+      const std::int64_t end = std::min<std::int64_t>(n, begin + chunk);
+      PaletteStore& store = local[static_cast<std::size_t>(c)];
+      store.reserve(static_cast<std::size_t>(end - begin));
+      PaletteStore::Scratch scratch;
+      for (std::int64_t v = begin; v < end; ++v) {
+        scratch.colors.clear();
+        scratch.defects.clear();
+        fill(v, scratch);
+        store.push_scratch(scratch);
+      }
+    } catch (...) {
+      // Pool jobs are noexcept; surface the first failing chunk (in chunk
+      // order, for determinism) after the barrier.
+      errors[static_cast<std::size_t>(c)] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  for (const PaletteStore& store : local) out.merge_append(store);
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace dcolor

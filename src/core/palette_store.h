@@ -1,0 +1,341 @@
+// Arena-backed palette storage for list defective coloring instances.
+//
+// The Two-Sweep family is round-cheap but state-heavy: every node carries
+// a color list L_v with per-color defects d_v. Storing each list as a
+// `ColorList` (two private heap vectors per node) makes instance
+// construction and memory footprint — not round execution — the scaling
+// bottleneck. `PaletteStore` replaces that layout with
+//
+//   * two flat CSR arrays holding ALL colors and defects back to back
+//     ("the arena"),
+//   * one (offset, len, weight) record per DISTINCT palette, and
+//   * one 32-bit palette id per node.
+//
+// Palettes are deduplicated structurally on insert: the common cases —
+// identical `[0..Δ]` lists (Δ+1-coloring), uniform-defect lists from
+// Theorem 1.4's d_i = 2^i − 1 iterations, contention instances — store
+// ONE palette shared by millions of nodes, so memory is
+// O(distinct palettes + n) instead of O(Σ|L_v|).
+//
+// Nodes hand out lightweight `PaletteView` spans. `PaletteView` also
+// converts implicitly from `ColorList&` (the compatibility constructor),
+// so helpers taking a view accept both layouts and tests migrate
+// incrementally.
+//
+// Construction is deterministic and parallel: `build_parallel` cuts
+// [0, n) into FIXED-SIZE chunks (independent of the thread count), builds
+// a chunk-local store per chunk on the PR 1 thread pool, and merges the
+// chunk stores in chunk order. The merge reproduces the exact
+// first-appearance interning order of a serial build, so the arena bytes
+// are bit-identical for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcolor {
+
+class ColorList;
+
+/// A borrowed, non-owning view of one node's palette: sorted colors,
+/// aligned defects, and the precomputed weight Σ(d+1). Copy freely; the
+/// backing store (or ColorList) must outlive the view.
+class PaletteView {
+ public:
+  PaletteView() = default;
+
+  PaletteView(const Color* colors, const int* defects, std::uint32_t size,
+              std::int64_t weight) noexcept
+      : colors_(colors), defects_(defects), size_(size), weight_(weight) {}
+
+  /// Compatibility constructor: view over a legacy ColorList (implicit on
+  /// purpose — call sites taking PaletteView accept a ColorList directly).
+  PaletteView(const ColorList& list) noexcept;  // NOLINT(runtime/explicit)
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::span<const Color> colors() const noexcept { return {colors_, size_}; }
+  std::span<const int> defects() const noexcept { return {defects_, size_}; }
+
+  Color color(std::size_t i) const noexcept { return colors_[i]; }
+  int defect(std::size_t i) const noexcept { return defects_[i]; }
+
+  bool contains(Color c) const noexcept;
+
+  /// Defect of color c; nullopt if c not in the palette.
+  std::optional<int> defect_of(Color c) const noexcept;
+
+  /// Σ_{x∈L}(d(x)+1) — precomputed, O(1).
+  std::int64_t weight() const noexcept { return weight_; }
+
+  /// New ColorList keeping only colors with transformed defect >= 0;
+  /// `f(color, defect) -> new defect` applied to each entry.
+  template <typename F>
+  ColorList transform(F&& f) const;
+
+  friend bool operator==(const PaletteView& a, const PaletteView& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    for (std::uint32_t i = 0; i < a.size_; ++i) {
+      if (a.colors_[i] != b.colors_[i] || a.defects_[i] != b.defects_[i])
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  const Color* colors_ = nullptr;
+  const int* defects_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::int64_t weight_ = 0;
+};
+
+/// One node's color list with per-color defects, self-owned. Kept as the
+/// construction/builder type (sorts and validates on construction); bulk
+/// storage lives in PaletteStore.
+class ColorList {
+ public:
+  ColorList() = default;
+
+  /// Builds from (color, defect) pairs; colors must be distinct, defects
+  /// non-negative. Sorted by color on construction.
+  ColorList(std::vector<Color> colors, std::vector<int> defects);
+
+  /// All-zero-defect list (proper list coloring).
+  static ColorList zero_defect(std::vector<Color> colors);
+
+  /// Uniform defect d for every color.
+  static ColorList uniform(std::vector<Color> colors, int defect);
+
+  std::size_t size() const noexcept { return colors_.size(); }
+  bool empty() const noexcept { return colors_.empty(); }
+
+  const std::vector<Color>& colors() const noexcept { return colors_; }
+  const std::vector<int>& defects() const noexcept { return defects_; }
+
+  Color color(std::size_t i) const { return colors_[i]; }
+  int defect(std::size_t i) const { return defects_[i]; }
+
+  bool contains(Color c) const noexcept {
+    return PaletteView(*this).contains(c);
+  }
+
+  /// Defect of color c; nullopt if c not in the list.
+  std::optional<int> defect_of(Color c) const noexcept {
+    return PaletteView(*this).defect_of(c);
+  }
+
+  /// Σ_{x∈L}(d(x)+1) — the left side of every slack condition.
+  std::int64_t weight() const noexcept;
+
+  /// New list keeping only colors with transformed defect >= 0.
+  template <typename F>
+  ColorList transform(F&& f) const {
+    return PaletteView(*this).transform(static_cast<F&&>(f));
+  }
+
+ private:
+  std::vector<Color> colors_;  // sorted ascending
+  std::vector<int> defects_;   // aligned with colors_
+};
+
+inline PaletteView::PaletteView(const ColorList& list) noexcept
+    : colors_(list.colors().data()),
+      defects_(list.defects().data()),
+      size_(static_cast<std::uint32_t>(list.size())),
+      weight_(list.weight()) {}
+
+template <typename F>
+ColorList PaletteView::transform(F&& f) const {
+  std::vector<Color> cs;
+  std::vector<int> ds;
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    const int nd = f(colors_[i], defects_[i]);
+    if (nd >= 0) {
+      cs.push_back(colors_[i]);
+      ds.push_back(nd);
+    }
+  }
+  return ColorList(std::move(cs), std::move(ds));
+}
+
+/// Arena of deduplicated palettes plus a per-node palette-id map.
+///
+/// Exposes a deliberately vector<ColorList>-shaped facade (`push_back`,
+/// `assign`, `emplace_back`, `operator[]`, `size`, iteration) so
+/// instance-building code and tests written against the per-node-vector
+/// layout keep working unchanged; `operator[]` hands out PaletteView.
+class PaletteStore {
+ public:
+  using PaletteId = std::uint32_t;
+
+  PaletteStore() = default;
+
+  // ---- vector-like facade (node axis) --------------------------------
+
+  std::size_t size() const noexcept { return node_palette_.size(); }
+  bool empty() const noexcept { return node_palette_.empty(); }
+  void reserve(std::size_t n) { node_palette_.reserve(n); }
+  void clear();
+
+  /// View of node v's palette.
+  PaletteView operator[](std::size_t v) const noexcept {
+    return view(node_palette_[v]);
+  }
+
+  /// Appends one node whose palette is `list` (interned with dedup).
+  void push_back(const ColorList& list) { push_back(PaletteView(list)); }
+  void push_back(PaletteView view) { node_palette_.push_back(intern(view)); }
+
+  /// Appends one node, building (and validating/sorting) the palette from
+  /// raw (colors, defects) vectors.
+  void emplace_back(std::vector<Color> colors, std::vector<int> defects) {
+    push_back(ColorList(std::move(colors), std::move(defects)));
+  }
+
+  /// n nodes all sharing one palette — the O(1)-palette fast path.
+  void assign(std::size_t n, const ColorList& list);
+
+  /// Grows/shrinks the node axis; new nodes get the empty palette. Use
+  /// with `set_node` for out-of-order construction (e.g. file readers).
+  void resize(std::size_t n);
+  void set_node(std::size_t v, const ColorList& list) {
+    node_palette_[v] = intern(PaletteView(list));
+  }
+
+  struct Iterator {
+    const PaletteStore* store;
+    std::size_t i;
+    PaletteView operator*() const { return (*store)[i]; }
+    Iterator& operator++() {
+      ++i;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return i != o.i; }
+  };
+  Iterator begin() const noexcept { return {this, 0}; }
+  Iterator end() const noexcept { return {this, size()}; }
+
+  // ---- palette axis ---------------------------------------------------
+
+  /// Interns a palette (content-deduplicated); returns its id.
+  PaletteId intern(PaletteView view);
+
+  PaletteId palette_id(std::size_t v) const noexcept {
+    return node_palette_[v];
+  }
+
+  PaletteView view(PaletteId id) const noexcept {
+    const PaletteRecord& p = palettes_[id];
+    return {arena_colors_.data() + p.offset, arena_defects_.data() + p.offset,
+            p.len, p.weight};
+  }
+
+  // ---- accounting (dedup-verification tests, bench reporting) ---------
+
+  /// Distinct palettes stored in the arena.
+  std::size_t num_palettes() const noexcept { return palettes_.size(); }
+  /// Inserts that hit an existing palette instead of growing the arena.
+  std::int64_t dedup_hits() const noexcept { return dedup_hits_; }
+  /// Total (color, defect) entries in the arena = Σ over DISTINCT
+  /// palettes of |L| — the dedup win is visible as arena_entries() ≪
+  /// Σ_v |L_v| on uniform workloads.
+  std::int64_t arena_entries() const noexcept {
+    return static_cast<std::int64_t>(arena_colors_.size());
+  }
+  /// Heap bytes held by the arena + per-palette records + per-node ids.
+  std::int64_t memory_bytes() const noexcept;
+
+  /// Raw arena arrays; byte-comparable across builds (the determinism
+  /// contract of build_parallel).
+  std::span<const Color> arena_colors() const noexcept {
+    return arena_colors_;
+  }
+  std::span<const int> arena_defects() const noexcept {
+    return arena_defects_;
+  }
+
+  // ---- deterministic parallel construction ----------------------------
+
+  /// Number of nodes per construction chunk. Fixed (never derived from
+  /// the thread count) so the chunk decomposition — and therefore the
+  /// merged arena — is identical for every thread count.
+  static constexpr std::int64_t kChunkNodes = 8192;
+
+  /// Scratch buffers a build callback fills for one node. Reused across
+  /// the whole chunk: steady-state construction performs no per-node
+  /// allocation once the buffers reached the palette size high-water mark.
+  struct Scratch {
+    std::vector<Color> colors;
+    std::vector<int> defects;
+  };
+
+  /// Builds a store for n nodes. `fill(v, scratch)` writes node v's
+  /// palette into scratch.colors/scratch.defects (cleared beforehand);
+  /// entries need not be sorted (a joint sort runs per node, matching the
+  /// ColorList constructor's validation). Chunks run on `threads` workers
+  /// (1 = inline serial); the result is bit-identical for every value.
+  template <typename F>
+  static PaletteStore build_parallel(std::int64_t n, int threads, F&& fill);
+
+  /// Appends one node from scratch buffers: sorts/validates in place and
+  /// interns without constructing a ColorList (the allocation-free path
+  /// build_parallel uses per node).
+  void push_scratch(Scratch& scratch);
+
+  /// Appends every node of `other`, re-interning its distinct palettes in
+  /// first-appearance order (the chunk-merge step of build_parallel).
+  void merge_append(const PaletteStore& other);
+
+ private:
+  struct PaletteRecord {
+    std::int64_t offset = 0;
+    std::uint32_t len = 0;
+    std::int64_t weight = 0;
+    std::uint32_t next = kNoPalette;  ///< hash-bucket chain
+  };
+  static constexpr std::uint32_t kNoPalette = 0xFFFFFFFFu;
+
+  static std::uint64_t hash_palette(PaletteView view) noexcept;
+
+  /// Appends the palette bytes to the arena unconditionally (dedup is the
+  /// caller's job) and registers the record in the hash index.
+  PaletteId append_palette(PaletteView view, std::uint64_t hash);
+  void rehash_if_needed();
+  PaletteId find(PaletteView view, std::uint64_t hash) const noexcept;
+
+  /// Sorts scratch jointly by color and validates (distinct colors,
+  /// non-negative defects) — the flat-buffer equivalent of the ColorList
+  /// constructor. Returns the palette weight.
+  static std::int64_t normalize_scratch(Scratch& scratch);
+
+  std::vector<Color> arena_colors_;
+  std::vector<int> arena_defects_;
+  std::vector<PaletteRecord> palettes_;
+  std::vector<PaletteId> node_palette_;
+  std::vector<std::uint32_t> buckets_;  ///< power-of-two hash index
+  std::int64_t dedup_hits_ = 0;
+};
+
+namespace detail {
+/// Type-erased core of build_parallel (implementation in the .cpp so the
+/// thread pool stays out of this header).
+PaletteStore build_palette_store_parallel(
+    std::int64_t n, int threads,
+    const std::function<void(std::int64_t, PaletteStore::Scratch&)>& fill);
+}  // namespace detail
+
+template <typename F>
+PaletteStore PaletteStore::build_parallel(std::int64_t n, int threads,
+                                          F&& fill) {
+  return detail::build_palette_store_parallel(
+      n, threads,
+      std::function<void(std::int64_t, Scratch&)>(static_cast<F&&>(fill)));
+}
+
+}  // namespace dcolor

@@ -22,8 +22,10 @@ struct TrimmedList {
   std::vector<Color> colors;
   std::vector<int> residual;
 
-  static TrimmedList from(const ColorList& list) {
-    return {list.colors(), list.defects()};
+  static TrimmedList from(PaletteView list) {
+    const auto cs = list.colors();
+    const auto ds = list.defects();
+    return {{cs.begin(), cs.end()}, {ds.begin(), ds.end()}};
   }
 
   /// A neighbor was colored with c: residual drops by one, the color is

@@ -37,8 +37,7 @@ TwoSweepProgram::TwoSweepProgram(const OldcInstance& inst,
     k_off_[v + 1] = k_off_[v] + static_cast<std::int64_t>(inst.lists[v].size());
   }
   k_flat_.assign(static_cast<std::size_t>(k_off_[n]), 0);
-  s_flat_.assign(n * static_cast<std::size_t>(p), kNoColor);
-  r_flat_.assign(n * static_cast<std::size_t>(p), 0);
+  sr_flat_.assign(n * 2 * static_cast<std::size_t>(p), 0);
   compute_ops_.assign(n, 0);
 }
 
@@ -64,9 +63,10 @@ void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
   const auto& list = inst_->lists[vi];
   NodeState& st = node_[vi];
   int* const kv = k_flat_.data() + k_off_[vi];
-  Color* const sv = s_flat_.data() + vi * static_cast<std::size_t>(p_);
-  int* const rv = r_flat_.data() + vi * static_cast<std::size_t>(p_);
-  const std::vector<Color>& list_colors = list.colors();
+  std::int64_t* const sv =
+      sr_flat_.data() + vi * 2 * static_cast<std::size_t>(p_);
+  std::int64_t* const rv = sv + p_;
+  const std::span<const Color> list_colors = list.colors();
   std::int64_t ops = 0;
 
   // Ingest this round's inbox: Phase-I sets and Phase-II decisions from

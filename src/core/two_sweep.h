@@ -75,7 +75,7 @@ class TwoSweepProgram final : public SyncAlgorithm {
   /// Phase-I set S_v of node v (valid after the run).
   std::span<const Color> phase1_set(NodeId v) const {
     const auto vi = static_cast<std::size_t>(v);
-    return {s_flat_.data() + vi * static_cast<std::size_t>(p_),
+    return {sr_flat_.data() + vi * 2 * static_cast<std::size_t>(p_),
             static_cast<std::size_t>(node_[vi].s_count)};
   }
 
@@ -117,8 +117,10 @@ class TwoSweepProgram final : public SyncAlgorithm {
   std::vector<NodeState> node_;
   std::vector<std::int64_t> k_off_;  ///< CSR offsets into k_flat_ (n+1)
   std::vector<int> k_flat_;          ///< k_v, aligned with lists[v] order
-  std::vector<Color> s_flat_;        ///< S_v = [v·p, v·p + s_count)
-  std::vector<int> r_flat_;          ///< r_v, aligned with s_flat_
+  /// S_v and r_v interleaved per node — [v·2p, v·2p + p) holds the set,
+  /// [v·2p + p, v·2p + 2p) the per-color decision counts — so a Phase-II
+  /// ingest touches one cache line instead of two parallel arrays.
+  std::vector<std::int64_t> sr_flat_;
   std::vector<std::int64_t> compute_ops_;  // per node: step(v) is
                                            // data-race-free under the
                                            // parallel engine

@@ -3,39 +3,79 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/trace.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace dcolor {
 
+namespace {
+
+/// Nodes per parallel generation chunk. Fixed (never derived from the
+/// thread count); per-node/-row randomness comes from counter-based
+/// streams, so output is identical for every thread count and chunking —
+/// per-chunk edge buffers merged in chunk order yield row-major edges.
+constexpr NodeId kGenChunkNodes = 8192;
+
+/// Runs body(begin, end, chunk_index) over fixed-size node ranges and
+/// returns the number of chunks.
+template <typename Body>
+int for_node_chunks(NodeId n, const Body& body) {
+  const int num_chunks =
+      static_cast<int>((static_cast<std::int64_t>(n) + kGenChunkNodes - 1) /
+                       kGenChunkNodes);
+  parallel_chunks(num_chunks, default_setup_threads(), [&](int c) {
+    const NodeId begin = static_cast<NodeId>(c) * kGenChunkNodes;
+    const NodeId end = std::min<NodeId>(n, begin + kGenChunkNodes);
+    body(begin, end, c);
+  });
+  return num_chunks;
+}
+
+/// Concatenates per-chunk edge buffers in chunk order.
+std::vector<std::pair<NodeId, NodeId>> merge_chunk_edges(
+    std::vector<std::vector<std::pair<NodeId, NodeId>>>& per_chunk) {
+  std::size_t total = 0;
+  for (const auto& v : per_chunk) total += v.size();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(total);
+  for (auto& v : per_chunk)
+    edges.insert(edges.end(), v.begin(), v.end());
+  return edges;
+}
+
+}  // namespace
+
 Graph gnp(NodeId n, double p, Rng& rng) {
   DCOLOR_CHECK(n >= 0);
   DCOLOR_CHECK(p >= 0.0 && p <= 1.0);
-  std::vector<std::pair<NodeId, NodeId>> edges;
   if (p >= 1.0) return complete(n);
-  if (p > 0) {
-    // Geometric skipping over the (u,v) pairs — O(m) not O(n^2).
-    const double log1mp = std::log1p(-p);
-    std::int64_t idx = -1;
-    const std::int64_t total =
-        static_cast<std::int64_t>(n) * (n - 1) / 2;
-    while (true) {
-      const double r = std::max(rng.uniform(), 1e-300);
-      idx += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
-      if (idx >= total) break;
-      // Decode pair index -> (u, v), u < v.
-      const auto u = static_cast<NodeId>(
-          n - 2 -
-          static_cast<NodeId>(std::floor(
-              (std::sqrt(8.0 * static_cast<double>(total - 1 - idx) + 1) - 1) /
-              2)));
-      const std::int64_t before_u =
-          static_cast<std::int64_t>(u) * n - static_cast<std::int64_t>(u) * (u + 1) / 2;
-      const auto v = static_cast<NodeId>(u + 1 + (idx - before_u));
-      if (u >= 0 && v > u && v < n) edges.emplace_back(u, v);
+  if (p <= 0.0 || n < 2) return Graph::from_edges(n, {});
+  PhaseSpan span("setup:gnp");
+  // Geometric skipping within each row u over partners v in (u, n) —
+  // O(m + n) draws total; row u uses its own counter-based stream, so the
+  // edge set is independent of the thread count and chunking.
+  const double log1mp = std::log1p(-p);
+  const std::uint64_t base = rng();
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> per_chunk(
+      static_cast<std::size_t>((static_cast<std::int64_t>(n) +
+                                kGenChunkNodes - 1) /
+                               kGenChunkNodes));
+  for_node_chunks(n, [&](NodeId begin, NodeId end, int c) {
+    auto& edges = per_chunk[static_cast<std::size_t>(c)];
+    for (NodeId u = begin; u < end; ++u) {
+      Rng r = Rng::stream(base, static_cast<std::uint64_t>(u));
+      std::int64_t v = u;
+      while (true) {
+        const double x = std::max(r.uniform(), 1e-300);
+        v += 1 + static_cast<std::int64_t>(std::floor(std::log(x) / log1mp));
+        if (v >= n) break;
+        edges.emplace_back(u, static_cast<NodeId>(v));
+      }
     }
-  }
-  return Graph::from_edges(n, std::move(edges));
+  });
+  return Graph::from_edges(n, merge_chunk_edges(per_chunk));
 }
 
 Graph gnp_avg_degree(NodeId n, double avg_degree, Rng& rng) {
@@ -47,18 +87,44 @@ Graph gnp_avg_degree(NodeId n, double avg_degree, Rng& rng) {
 Graph random_near_regular(NodeId n, int d, Rng& rng) {
   DCOLOR_CHECK(n >= 1 && d >= 0);
   DCOLOR_CHECK_MSG(d < n, "regular degree must be < n");
+  PhaseSpan span("setup:random_near_regular");
   // Configuration model: d stubs per node, random perfect matching of
-  // stubs, then drop loops/multi-edges.
-  std::vector<NodeId> stubs;
-  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
-  for (NodeId v = 0; v < n; ++v)
-    for (int i = 0; i < d; ++i) stubs.push_back(v);
-  if (stubs.size() % 2 == 1) stubs.pop_back();
-  rng.shuffle(stubs);
+  // stubs, then drop loops/multi-edges. The matching is realized by
+  // sorting stubs on independent per-stub random keys (a shuffle whose
+  // result depends only on the seed, not on draw order), so key
+  // generation parallelizes over fixed chunks.
+  std::size_t num_stubs =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(d);
+  if (num_stubs % 2 == 1) --num_stubs;
+  const std::uint64_t base = rng();
+  struct Keyed {
+    std::uint64_t key;
+    NodeId stub_node;
+  };
+  std::vector<Keyed> stubs(num_stubs);
+  if (d > 0) {
+    const auto stub_chunks = static_cast<int>(
+        (num_stubs + static_cast<std::size_t>(kGenChunkNodes) - 1) /
+        static_cast<std::size_t>(kGenChunkNodes));
+    parallel_chunks(stub_chunks, default_setup_threads(), [&](int c) {
+      const std::size_t begin =
+          static_cast<std::size_t>(c) * static_cast<std::size_t>(kGenChunkNodes);
+      const std::size_t end = std::min(
+          num_stubs, begin + static_cast<std::size_t>(kGenChunkNodes));
+      for (std::size_t i = begin; i < end; ++i) {
+        std::uint64_t s = base ^ (0x632BE59BD9B4E019ULL * (i + 1));
+        stubs[i] = {splitmix64(s), static_cast<NodeId>(i / d)};
+      }
+    });
+  }
+  std::sort(stubs.begin(), stubs.end(), [](const Keyed& a, const Keyed& b) {
+    return a.key != b.key ? a.key < b.key
+                          : a.stub_node < b.stub_node;  // tie: stable
+  });
   std::vector<std::pair<NodeId, NodeId>> edges;
-  edges.reserve(stubs.size() / 2);
-  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
-    edges.emplace_back(stubs[i], stubs[i + 1]);
+  edges.reserve(num_stubs / 2);
+  for (std::size_t i = 0; i + 1 < num_stubs; i += 2)
+    edges.emplace_back(stubs[i].stub_node, stubs[i + 1].stub_node);
   return Graph::from_edges(n, std::move(edges));
 }
 
@@ -122,9 +188,19 @@ Graph random_tree(NodeId n, Rng& rng) {
   DCOLOR_CHECK(n >= 1);
   if (n == 1) return Graph::from_edges(1, {});
   if (n == 2) return Graph::from_edges(2, {{0, 1}});
-  // Prüfer sequence decoding.
+  PhaseSpan span("setup:random_tree");
+  // Prüfer sequence decoding. Sequence entries come from per-entry
+  // counter-based streams (parallel, thread-count-independent); the
+  // decode itself is inherently sequential.
+  const std::uint64_t base = rng();
   std::vector<NodeId> pruefer(static_cast<std::size_t>(n - 2));
-  for (auto& x : pruefer) x = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  for_node_chunks(n - 2, [&](NodeId begin, NodeId end, int) {
+    for (NodeId i = begin; i < end; ++i) {
+      Rng r = Rng::stream(base, static_cast<std::uint64_t>(i));
+      pruefer[static_cast<std::size_t>(i)] =
+          static_cast<NodeId>(r.below(static_cast<std::uint64_t>(n)));
+    }
+  });
   std::vector<int> deg(static_cast<std::size_t>(n), 1);
   for (NodeId x : pruefer) ++deg[static_cast<std::size_t>(x)];
   std::vector<std::pair<NodeId, NodeId>> edges;
@@ -216,11 +292,17 @@ Graph random_clique_cover(NodeId n, NodeId clique_size, int cliques_per_node,
 Graph random_geometric(NodeId n, double radius, Rng& rng,
                        std::vector<std::pair<double, double>>* out_xy) {
   DCOLOR_CHECK(radius > 0.0);
+  PhaseSpan span("setup:random_geometric");
+  const std::uint64_t base = rng();
   std::vector<std::pair<double, double>> xy(static_cast<std::size_t>(n));
-  for (auto& [x, y] : xy) {
-    x = rng.uniform();
-    y = rng.uniform();
-  }
+  for_node_chunks(n, [&](NodeId begin, NodeId end, int) {
+    for (NodeId v = begin; v < end; ++v) {
+      Rng r = Rng::stream(base, static_cast<std::uint64_t>(v));
+      auto& [x, y] = xy[static_cast<std::size_t>(v)];
+      x = r.uniform();
+      y = r.uniform();
+    }
+  });
   // Grid hashing: only compare points in neighboring cells.
   const double cell = radius;
   const auto cells = static_cast<std::int64_t>(1.0 / cell) + 1;
@@ -238,29 +320,38 @@ Graph random_geometric(NodeId n, double radius, Rng& rng,
                            xy[static_cast<std::size_t>(v)].second)]
         .push_back(v);
   }
-  std::vector<std::pair<NodeId, NodeId>> edges;
   const double r2 = radius * radius;
-  for (NodeId v = 0; v < n; ++v) {
-    const auto [vx, vy] = xy[static_cast<std::size_t>(v)];
-    const auto cx = std::min<std::int64_t>(cells - 1,
-                                           static_cast<std::int64_t>(vx / cell));
-    const auto cy = std::min<std::int64_t>(cells - 1,
-                                           static_cast<std::int64_t>(vy / cell));
-    for (std::int64_t dx = -1; dx <= 1; ++dx) {
-      for (std::int64_t dy = -1; dy <= 1; ++dy) {
-        const std::int64_t bx = cx + dx, by = cy + dy;
-        if (bx < 0 || by < 0 || bx >= cells || by >= cells) continue;
-        for (NodeId u : grid_buckets[static_cast<std::size_t>(bx * cells + by)]) {
-          if (u <= v) continue;
-          const auto [ux, uy] = xy[static_cast<std::size_t>(u)];
-          const double ddx = vx - ux, ddy = vy - uy;
-          if (ddx * ddx + ddy * ddy <= r2) edges.emplace_back(v, u);
+  // Distance tests read only xy/grid_buckets; per-chunk edge buffers are
+  // merged in chunk order (row-major, thread-count-independent).
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> per_chunk(
+      static_cast<std::size_t>((static_cast<std::int64_t>(n) +
+                                kGenChunkNodes - 1) /
+                               kGenChunkNodes));
+  for_node_chunks(n, [&](NodeId begin, NodeId end, int c) {
+    auto& edges = per_chunk[static_cast<std::size_t>(c)];
+    for (NodeId v = begin; v < end; ++v) {
+      const auto [vx, vy] = xy[static_cast<std::size_t>(v)];
+      const auto cx = std::min<std::int64_t>(
+          cells - 1, static_cast<std::int64_t>(vx / cell));
+      const auto cy = std::min<std::int64_t>(
+          cells - 1, static_cast<std::int64_t>(vy / cell));
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        for (std::int64_t dy = -1; dy <= 1; ++dy) {
+          const std::int64_t bx = cx + dx, by = cy + dy;
+          if (bx < 0 || by < 0 || bx >= cells || by >= cells) continue;
+          for (NodeId u :
+               grid_buckets[static_cast<std::size_t>(bx * cells + by)]) {
+            if (u <= v) continue;
+            const auto [ux, uy] = xy[static_cast<std::size_t>(u)];
+            const double ddx = vx - ux, ddy = vy - uy;
+            if (ddx * ddx + ddy * ddy <= r2) edges.emplace_back(v, u);
+          }
         }
       }
     }
-  }
+  });
   if (out_xy != nullptr) *out_xy = std::move(xy);
-  return Graph::from_edges(n, std::move(edges));
+  return Graph::from_edges(n, merge_chunk_edges(per_chunk));
 }
 
 }  // namespace dcolor

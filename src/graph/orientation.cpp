@@ -34,8 +34,17 @@ Orientation Orientation::from_lists(std::vector<std::vector<NodeId>> out,
 
 Orientation Orientation::from_predicate(
     const Graph& g, const std::function<bool(NodeId, NodeId)>& u_to_v) {
+  // Flat two-pass CSR build: n is large and arc lists are short, so
+  // vector-of-vectors staging would spend the whole budget on small heap
+  // allocations. Pass 1 decides every edge once (the direction bits are
+  // kept in edge order so pass 2 never re-evaluates the predicate) and
+  // counts arc degrees; pass 2 scatters into the finished arrays.
   const auto n = static_cast<std::size_t>(g.num_nodes());
-  std::vector<std::vector<NodeId>> out(n), in(n);
+  Orientation o;
+  o.out_offsets_.assign(n + 1, 0);
+  o.in_offsets_.assign(n + 1, 0);
+  std::vector<std::uint8_t> toward_v;
+  toward_v.reserve(static_cast<std::size_t>(g.num_edges()));
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     for (NodeId v : g.neighbors(u)) {
       if (u >= v) continue;  // visit each edge once
@@ -44,13 +53,43 @@ Orientation Orientation::from_predicate(
       DCOLOR_CHECK_MSG(fwd != bwd, "orientation predicate must pick exactly "
                                    "one direction for edge ("
                                        << u << "," << v << ")");
-      const NodeId from = fwd ? u : v;
-      const NodeId to = fwd ? v : u;
-      out[static_cast<std::size_t>(from)].push_back(to);
-      in[static_cast<std::size_t>(to)].push_back(from);
+      toward_v.push_back(fwd ? 1 : 0);
+      const auto from = static_cast<std::size_t>(fwd ? u : v);
+      const auto to = static_cast<std::size_t>(fwd ? v : u);
+      ++o.out_offsets_[from + 1];
+      ++o.in_offsets_[to + 1];
     }
   }
-  return from_lists(std::move(out), std::move(in));
+  for (std::size_t v = 0; v < n; ++v) {
+    o.out_offsets_[v + 1] += o.out_offsets_[v];
+    o.in_offsets_[v + 1] += o.in_offsets_[v];
+  }
+  o.out_adj_.resize(static_cast<std::size_t>(o.out_offsets_[n]));
+  o.in_adj_.resize(static_cast<std::size_t>(o.in_offsets_[n]));
+  std::vector<std::int64_t> out_cur(o.out_offsets_.begin(),
+                                    o.out_offsets_.end() - 1);
+  std::vector<std::int64_t> in_cur(o.in_offsets_.begin(),
+                                   o.in_offsets_.end() - 1);
+  std::size_t e = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const bool fwd = toward_v[e++] != 0;
+      const auto from = static_cast<std::size_t>(fwd ? u : v);
+      const auto to = static_cast<std::size_t>(fwd ? v : u);
+      o.out_adj_[static_cast<std::size_t>(out_cur[from]++)] = fwd ? v : u;
+      o.in_adj_[static_cast<std::size_t>(in_cur[to]++)] = fwd ? u : v;
+    }
+  }
+  // is_out_edge binary-searches the per-node segments; restore the sorted
+  // order the staged build produced implicitly.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(o.out_adj_.begin() + o.out_offsets_[v],
+              o.out_adj_.begin() + o.out_offsets_[v + 1]);
+    std::sort(o.in_adj_.begin() + o.in_offsets_[v],
+              o.in_adj_.begin() + o.in_offsets_[v + 1]);
+  }
+  return o;
 }
 
 Orientation Orientation::by_priority(const Graph& g,

@@ -168,7 +168,9 @@ OwnedOldcInstance read_oldc(std::istream& is) {
   for (std::size_t v = 0; v < n; ++v) {
     if (!have_list[v]) reader.fail("missing list for node " + std::to_string(v));
   }
-  owned.instance.lists = std::move(lists);
+  owned.instance.lists.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    owned.instance.lists.set_node(v, lists[v]);
 
   if (!symmetric) {
     // Rebuild the orientation from the explicit arcs; every edge must have

@@ -361,20 +361,35 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
       inbox_flat.resize(expanded);  // never shrinks: slots are recycled by
                                     // move-assignment
     }
-    for (auto& out : to_deliver) {
-      if (out.to == Mailbox::kBroadcastTo) {
-        // Expand in adjacency order — exactly the per-neighbor send order
-        // the non-batched broadcast used; the last copy is a move.
-        const auto nbrs = g.neighbors(out.from);
-        for (std::size_t j = 0; j + 1 < nbrs.size(); ++j) {
-          inbox_flat[rt[static_cast<std::size_t>(nbrs[j])].in_cursor++] =
-              Envelope{out.from, out.message};
+    if (graph_shaped) {
+      // Gather in destination order: node v's inbox is exactly its
+      // neighbor list ascending (every neighbor broadcast once, senders
+      // expand in ascending order on the scatter path too, so the content
+      // is identical) — one sequential write stream instead of one
+      // random-access write cursor per delivered message.
+      std::size_t w = 0;
+      for (NodeId v = 0; v < n_nodes; ++v) {
+        for (const NodeId u : g.neighbors(v)) {
+          inbox_flat[w++] =
+              Envelope{u, to_deliver[static_cast<std::size_t>(u)].message};
         }
-        inbox_flat[rt[static_cast<std::size_t>(nbrs.back())].in_cursor++] =
-            Envelope{out.from, std::move(out.message)};
-      } else {
-        inbox_flat[rt[static_cast<std::size_t>(out.to)].in_cursor++] =
-            Envelope{out.from, std::move(out.message)};
+      }
+    } else {
+      for (auto& out : to_deliver) {
+        if (out.to == Mailbox::kBroadcastTo) {
+          // Expand in adjacency order — exactly the per-neighbor send
+          // order the non-batched broadcast used; the last copy is a move.
+          const auto nbrs = g.neighbors(out.from);
+          for (std::size_t j = 0; j + 1 < nbrs.size(); ++j) {
+            inbox_flat[rt[static_cast<std::size_t>(nbrs[j])].in_cursor++] =
+                Envelope{out.from, out.message};
+          }
+          inbox_flat[rt[static_cast<std::size_t>(nbrs.back())].in_cursor++] =
+              Envelope{out.from, std::move(out.message)};
+        } else {
+          inbox_flat[rt[static_cast<std::size_t>(out.to)].in_cursor++] =
+              Envelope{out.from, std::move(out.message)};
+        }
       }
     }
     to_deliver.clear();

@@ -1,0 +1,26 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+#include "sim/network.h"
+#include "sim/thread_pool.h"
+
+namespace dcolor {
+
+int default_setup_threads() noexcept {
+  return Network::default_num_threads();
+}
+
+void parallel_chunks(int num_chunks, int threads,
+                     const std::function<void(int)>& job) {
+  if (num_chunks <= 0) return;
+  threads = std::min(threads, num_chunks);
+  if (threads <= 1) {
+    for (int c = 0; c < num_chunks; ++c) job(c);
+    return;
+  }
+  detail::SimThreadPool pool(threads);
+  pool.run(num_chunks, job);
+}
+
+}  // namespace dcolor

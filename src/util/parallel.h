@@ -1,0 +1,26 @@
+// Chunked parallel-for for the setup path (graph generators, instance
+// builders). Thin wrapper over the simulator's worker pool that keeps
+// sim headers out of util/graph/core headers.
+//
+// Determinism contract (same as the simulator kernel): callers key all
+// per-chunk output by the chunk index and merge in chunk order; the chunk
+// decomposition itself must never depend on the thread count.
+#pragma once
+
+#include <functional>
+
+namespace dcolor {
+
+/// Process default for setup parallelism: Network::default_num_threads()
+/// (DCOLOR_SIM_THREADS / set_default_num_threads), so one knob controls
+/// both construction and round execution.
+int default_setup_threads() noexcept;
+
+/// Runs job(0) .. job(num_chunks - 1) across `threads` workers (any chunk
+/// may run on any worker; the calling thread participates). threads <= 1
+/// or num_chunks <= 1 degrades to an inline serial loop with no pool
+/// spin-up. Exceptions thrown by `job` must not escape.
+void parallel_chunks(int num_chunks, int threads,
+                     const std::function<void(int)>& job);
+
+}  // namespace dcolor

@@ -67,6 +67,17 @@ bool Rng::chance(double p) noexcept { return uniform() < p; }
 
 Rng Rng::fork() noexcept { return Rng((*this)()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t idx) noexcept {
+  // Two splitmix rounds decorrelate (seed, idx) pairs before the xoshiro
+  // seeding (itself a splitmix walk), so streams for adjacent idx share no
+  // low-dimensional structure.
+  std::uint64_t s = seed ^ 0xA3EC647659359ACDULL;
+  std::uint64_t mixed = splitmix64(s);
+  s = mixed ^ idx;
+  mixed = splitmix64(s);
+  return Rng(mixed);
+}
+
 std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
                                                            std::uint64_t k) {
   DCOLOR_CHECK_MSG(k <= n, "sample " << k << " from " << n);

@@ -42,6 +42,13 @@ class Rng {
   /// Fork an independent stream (for per-node randomness in simulations).
   Rng fork() noexcept;
 
+  /// Counter-based stream derivation: an independent generator for
+  /// sub-stream `idx` of `seed`. Unlike fork(), the result depends only on
+  /// (seed, idx) — not on draw order — so parallel builders can hand
+  /// stream(base, v) to node v from any thread/chunking and produce output
+  /// identical to a serial sweep.
+  static Rng stream(std::uint64_t seed, std::uint64_t idx) noexcept;
+
   /// Fisher–Yates shuffle of a vector.
   template <typename T>
   void shuffle(std::vector<T>& v) noexcept {

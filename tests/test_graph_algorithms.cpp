@@ -68,7 +68,8 @@ TEST(AdversarialGenerators, ContentionInstanceSharesOneList) {
       contention_oldc(g, Orientation::by_id(g), 5, 2);
   EXPECT_EQ(inst.color_space, 5);
   for (NodeId v = 0; v < 6; ++v) {
-    EXPECT_EQ(inst.lists[static_cast<std::size_t>(v)].colors(),
+    const auto cs = inst.lists[static_cast<std::size_t>(v)].colors();
+    EXPECT_EQ(std::vector<Color>(cs.begin(), cs.end()),
               (std::vector<Color>{0, 1, 2, 3, 4}));
     EXPECT_EQ(inst.lists[static_cast<std::size_t>(v)].weight(), 15);
   }

@@ -1,0 +1,40 @@
+// Shared test harness: thread-count scoping + metrics equality, used by
+// the parallel-engine determinism suite and the palette-store suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace dcolor {
+
+inline void expect_metrics_eq(const RoundMetrics& a, const RoundMetrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.executed_rounds, b.executed_rounds);
+  EXPECT_EQ(a.peak_active_nodes, b.peak_active_nodes);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_message_bits, b.total_message_bits);
+  EXPECT_EQ(a.local_compute_ops, b.local_compute_ops);
+}
+
+/// Sets the process-default thread count for the enclosing scope. Both
+/// the simulator and the setup path (generators, instance builders) read
+/// this default, so it is the single knob determinism tests vary.
+class ScopedDefaultThreads {
+ public:
+  explicit ScopedDefaultThreads(int threads)
+      : saved_(Network::default_num_threads()) {
+    Network::set_default_num_threads(threads);
+  }
+  ~ScopedDefaultThreads() { Network::set_default_num_threads(saved_); }
+
+  ScopedDefaultThreads(const ScopedDefaultThreads&) = delete;
+  ScopedDefaultThreads& operator=(const ScopedDefaultThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace dcolor

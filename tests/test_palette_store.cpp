@@ -1,0 +1,282 @@
+// PaletteStore tests: ColorList <-> PaletteStore equivalence on randomized
+// instances, structural-dedup accounting (memory O(distinct palettes + n)),
+// and the determinism contract — bit-identical arenas at 1/2/4/8 threads
+// for both the raw parallel builder and the instance/graph generators that
+// sit on top of it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/palette_store.h"
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+#include "test_harness.h"
+
+namespace dcolor {
+namespace {
+
+std::vector<Color> to_vec(std::span<const Color> s) {
+  return {s.begin(), s.end()};
+}
+std::vector<int> to_vec(std::span<const int> s) { return {s.begin(), s.end()}; }
+
+ColorList random_list(Rng& rng, std::int64_t color_space, int max_size) {
+  const int k = 1 + static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(max_size)));
+  const auto raw = rng.sample_without_replacement(
+      static_cast<std::uint64_t>(color_space), static_cast<std::uint64_t>(k));
+  std::vector<Color> colors(raw.begin(), raw.end());
+  std::vector<int> defects(colors.size());
+  for (auto& d : defects) d = static_cast<int>(rng.below(5));
+  return {std::move(colors), std::move(defects)};
+}
+
+void expect_same_store(const PaletteStore& a, const PaletteStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_palettes(), b.num_palettes());
+  EXPECT_EQ(a.dedup_hits(), b.dedup_hits());
+  EXPECT_EQ(a.arena_entries(), b.arena_entries());
+  EXPECT_EQ(to_vec(a.arena_colors()), to_vec(b.arena_colors()));
+  EXPECT_EQ(to_vec(a.arena_defects()), to_vec(b.arena_defects()));
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a.palette_id(v), b.palette_id(v)) << "node " << v;
+  }
+}
+
+TEST(PaletteView, MatchesColorListSemantics) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ColorList list = random_list(rng, 60, 12);
+    const PaletteView view(list);  // compatibility constructor
+    ASSERT_EQ(view.size(), list.size());
+    EXPECT_EQ(view.weight(), list.weight());
+    for (Color c = -1; c < 61; ++c) {
+      EXPECT_EQ(view.contains(c), list.contains(c)) << "color " << c;
+      EXPECT_EQ(view.defect_of(c), list.defect_of(c)) << "color " << c;
+    }
+    const ColorList halved =
+        view.transform([](Color, int d) { return d - 1; });
+    const ColorList expected =
+        list.transform([](Color, int d) { return d - 1; });
+    EXPECT_EQ(halved.colors(), expected.colors());
+    EXPECT_EQ(halved.defects(), expected.defects());
+  }
+}
+
+TEST(PaletteStore, RoundTripsRandomLists) {
+  Rng rng(7);
+  std::vector<ColorList> reference;
+  PaletteStore store;
+  for (int i = 0; i < 500; ++i) {
+    reference.push_back(random_list(rng, 40, 10));
+    store.push_back(reference.back());
+  }
+  ASSERT_EQ(store.size(), reference.size());
+  for (std::size_t v = 0; v < reference.size(); ++v) {
+    const auto& list = reference[v];
+    const auto view = store[v];
+    ASSERT_EQ(view.size(), list.size()) << "node " << v;
+    EXPECT_EQ(to_vec(view.colors()), list.colors());
+    EXPECT_EQ(to_vec(view.defects()), list.defects());
+    EXPECT_EQ(view.weight(), list.weight());
+  }
+}
+
+TEST(PaletteStore, PushScratchSortsAndValidates) {
+  PaletteStore store;
+  PaletteStore::Scratch scratch;
+  scratch.colors = {9, 2, 5};
+  scratch.defects = {1, 0, 3};
+  store.push_scratch(scratch);
+  EXPECT_EQ(to_vec(store[0].colors()), (std::vector<Color>{2, 5, 9}));
+  EXPECT_EQ(to_vec(store[0].defects()), (std::vector<int>{0, 3, 1}));
+
+  PaletteStore::Scratch dup;
+  dup.colors = {3, 3};
+  dup.defects = {0, 0};
+  EXPECT_THROW(store.push_scratch(dup), CheckError);
+  PaletteStore::Scratch neg;
+  neg.colors = {1};
+  neg.defects = {-1};
+  EXPECT_THROW(store.push_scratch(neg), CheckError);
+}
+
+TEST(PaletteStore, DedupAccountingOnSharedLists) {
+  const std::size_t n = 10000;
+  const ColorList shared = ColorList::uniform({0, 1, 2, 3, 4, 5, 6, 7}, 3);
+  PaletteStore store;
+  store.assign(n, shared);
+  EXPECT_EQ(store.size(), n);
+  EXPECT_EQ(store.num_palettes(), 1u);
+  EXPECT_EQ(store.dedup_hits(), static_cast<std::int64_t>(n) - 1);
+  // Memory is O(distinct palettes + n): the arena holds ONE copy of the
+  // 8-entry list no matter how many nodes share it.
+  EXPECT_EQ(store.arena_entries(), 8);
+  const std::int64_t per_node = static_cast<std::int64_t>(
+      sizeof(PaletteStore::PaletteId));
+  EXPECT_LT(store.memory_bytes(),
+            static_cast<std::int64_t>(n) * (per_node + 8) + 4096);
+}
+
+TEST(PaletteStore, DedupAcrossPushBack) {
+  const ColorList a = ColorList::zero_defect({1, 2, 3});
+  const ColorList b = ColorList::uniform({4, 5}, 1);
+  PaletteStore store;
+  store.push_back(a);
+  store.push_back(b);
+  store.push_back(a);  // dedup hit
+  store.push_back(b);  // dedup hit
+  EXPECT_EQ(store.num_palettes(), 2u);
+  EXPECT_EQ(store.dedup_hits(), 2);
+  EXPECT_EQ(store.palette_id(0), store.palette_id(2));
+  EXPECT_EQ(store.palette_id(1), store.palette_id(3));
+  EXPECT_EQ(store.arena_entries(), 5);
+}
+
+TEST(PaletteStore, DeltaPlusOneInstanceStoresOnePalette) {
+  const Graph g = grid(40, 40);
+  const ListDefectiveInstance inst = delta_plus_one_instance(g);
+  EXPECT_EQ(inst.lists.size(), 1600u);
+  EXPECT_EQ(inst.lists.num_palettes(), 1u);
+  EXPECT_EQ(inst.lists.arena_entries(), g.max_degree() + 1);
+}
+
+TEST(PaletteStore, BuildParallelBitIdenticalAcrossThreadCounts) {
+  // n spans several fixed-size chunks so the parallel path really merges.
+  const std::int64_t n = 3 * PaletteStore::kChunkNodes + 1234;
+  auto fill = [](std::int64_t v, PaletteStore::Scratch& s) {
+    // A mix of shared palettes (v % 7) and per-node unique ones, emitted
+    // unsorted to exercise normalize_scratch.
+    if (v % 3 == 0) {
+      const Color base = v % 7;
+      s.colors = {base + 2, base, base + 1};
+      s.defects = {0, 1, 2};
+    } else {
+      s.colors = {v, v + 1};
+      s.defects = {1, 0};
+    }
+  };
+  const PaletteStore serial = PaletteStore::build_parallel(n, 1, fill);
+  ASSERT_EQ(serial.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(serial.dedup_hits(), 0);
+  for (int threads : {2, 4, 8}) {
+    const PaletteStore parallel = PaletteStore::build_parallel(n, threads, fill);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_same_store(serial, parallel);
+  }
+}
+
+TEST(PaletteStore, BuildParallelPropagatesFillErrors) {
+  const std::int64_t n = 2 * PaletteStore::kChunkNodes;
+  auto bad_fill = [](std::int64_t v, PaletteStore::Scratch& s) {
+    s.colors = {1, 1};  // duplicate -> CheckError inside a pool worker
+    s.defects = {0, 0};
+    (void)v;
+  };
+  EXPECT_THROW(PaletteStore::build_parallel(n, 4, bad_fill), CheckError);
+}
+
+TEST(PaletteStore, InstanceBuildersThreadCountInvariant) {
+  Rng graph_rng(99);
+  const Graph g = random_near_regular(20000, 8, graph_rng);
+  auto build = [&](int threads) {
+    ScopedDefaultThreads scope(threads);
+    Rng rng(1234);
+    return random_uniform_oldc(g, Orientation::by_id(g), 64, 8, 3, rng);
+  };
+  const OldcInstance serial = build(1);
+  for (int threads : {2, 4, 8}) {
+    const OldcInstance parallel = build(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_same_store(serial.lists, parallel.lists);
+  }
+}
+
+TEST(PaletteStore, DegreePlusOneBuilderThreadCountInvariant) {
+  const Graph g = [] {
+    Rng r(5);
+    return gnp(9000, 0.001, r);
+  }();
+  auto build = [&](int threads) {
+    ScopedDefaultThreads scope(threads);
+    Rng rng(77);
+    return degree_plus_one_instance(g, g.max_degree() + 40, rng);
+  };
+  const ListDefectiveInstance serial = build(1);
+  for (int threads : {2, 4}) {
+    const ListDefectiveInstance parallel = build(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_same_store(serial.lists, parallel.lists);
+  }
+}
+
+TEST(Generators, ThreadCountInvariantEdgeLists) {
+  auto edges_at = [](int threads, auto&& make) {
+    ScopedDefaultThreads scope(threads);
+    return make().edge_list();
+  };
+  const auto make_gnp = [] {
+    Rng r(2024);
+    return gnp(9000, 0.0015, r);
+  };
+  const auto make_reg = [] {
+    Rng r(2025);
+    return random_near_regular(9000, 6, r);
+  };
+  const auto make_geo = [] {
+    Rng r(2026);
+    return random_geometric(9000, 0.012, r);
+  };
+  const auto make_tree = [] {
+    Rng r(2027);
+    return random_tree(9000, r);
+  };
+  const auto gnp1 = edges_at(1, make_gnp);
+  const auto reg1 = edges_at(1, make_reg);
+  const auto geo1 = edges_at(1, make_geo);
+  const auto tree1 = edges_at(1, make_tree);
+  EXPECT_FALSE(gnp1.empty());
+  EXPECT_FALSE(reg1.empty());
+  EXPECT_FALSE(geo1.empty());
+  EXPECT_EQ(tree1.size(), 8999u);
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(edges_at(threads, make_gnp), gnp1);
+    EXPECT_EQ(edges_at(threads, make_reg), reg1);
+    EXPECT_EQ(edges_at(threads, make_geo), geo1);
+    EXPECT_EQ(edges_at(threads, make_tree), tree1);
+  }
+}
+
+TEST(Rng, StreamIsCounterBased) {
+  // stream(seed, idx) must depend only on (seed, idx) — two streams with
+  // the same key agree draw for draw, different keys diverge.
+  Rng a = Rng::stream(11, 5);
+  Rng b = Rng::stream(11, 5);
+  Rng c = Rng::stream(11, 6);
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    const auto x = a();
+    EXPECT_EQ(x, b());
+    diverged = diverged || (x != c());
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(PaletteStore, SetNodeAndResize) {
+  PaletteStore store;
+  store.resize(3);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_TRUE(store[1].empty());
+  store.set_node(1, ColorList::zero_defect({5, 6}));
+  EXPECT_EQ(to_vec(store[1].colors()), (std::vector<Color>{5, 6}));
+  EXPECT_TRUE(store[0].empty());
+  EXPECT_TRUE(store[2].empty());
+}
+
+}  // namespace
+}  // namespace dcolor

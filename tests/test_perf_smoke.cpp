@@ -1,0 +1,110 @@
+// perf_smoke: a fast E14 subset run as a ctest (`ctest -L perf_smoke`).
+// Guards the two setup-path properties the scale benchmarks rely on:
+//
+//  1. steady-state palette insertion performs ZERO heap allocations —
+//     verified by overriding global operator new with a counter (this is
+//     why these tests live in their own binary);
+//  2. setup throughput: generating a mid-size graph and building its
+//     instance completes well under a generous wall-clock bound (the CI
+//     box is one noisy core; the bound is ~20x the expected time, so it
+//     catches accidental O(n²) setup, not scheduler jitter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/palette_store.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dcolor {
+namespace {
+
+TEST(PerfSmoke, SteadyStatePaletteInsertionAllocatesNothing) {
+  const std::size_t n = 50000;
+  PaletteStore store;
+  store.reserve(n);
+  PaletteStore::Scratch scratch;
+  auto fill = [&](std::size_t v) {
+    // 16-color uniform-defect palettes from a pool of 32 shapes — after
+    // warmup every palette is a dedup hit and the arena never grows.
+    scratch.colors.clear();
+    scratch.defects.clear();
+    const Color base = static_cast<Color>(v % 32);
+    for (Color c = 0; c < 16; ++c) {
+      scratch.colors.push_back(base + c);  // ascending: no sort temporaries
+      scratch.defects.push_back(3);
+    }
+  };
+  // Warmup: intern all 32 distinct palettes, size the hash index and the
+  // scratch buffers to their high-water marks.
+  std::size_t v = 0;
+  for (; v < 1000; ++v) {
+    fill(v);
+    store.push_scratch(scratch);
+  }
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (; v < n; ++v) {
+    fill(v);
+    store.push_scratch(scratch);
+  }
+  const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "steady-state push_scratch should not touch the heap";
+  EXPECT_EQ(store.size(), n);
+  EXPECT_EQ(store.num_palettes(), 32u);
+  EXPECT_EQ(store.arena_entries(), 32 * 16);
+}
+
+TEST(PerfSmoke, SetupThroughputAtMidScale) {
+  using Clock = std::chrono::steady_clock;
+  const NodeId n = 65536;
+  const auto t0 = Clock::now();
+  Rng rng(1800);
+  const Graph g = random_near_regular(n, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 40, 10, 6, rng);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Clock::now() - t0)
+                      .count();
+  EXPECT_EQ(inst.lists.size(), static_cast<std::size_t>(n));
+  // ~64k nodes of generation + arena build takes well under a second even
+  // serial on one core; 10 s only trips on a complexity regression.
+  EXPECT_LT(ms, 10000) << "setup path lost its near-linear throughput";
+
+  // Uniform-list workloads collapse to O(distinct palettes + n) memory:
+  // every node of the (Δ+1)-instance shares ONE palette.
+  const ListDefectiveInstance shared = delta_plus_one_instance(g);
+  EXPECT_EQ(shared.lists.num_palettes(), 1u);
+  EXPECT_EQ(shared.lists.arena_entries(), g.max_degree() + 1);
+  EXPECT_EQ(shared.lists.dedup_hits(), static_cast<std::int64_t>(n) - 1);
+}
+
+}  // namespace
+}  // namespace dcolor

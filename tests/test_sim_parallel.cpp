@@ -30,36 +30,10 @@
 #include "util/check.h"
 #include "util/rng.h"
 
+#include "test_harness.h"
+
 namespace dcolor {
 namespace {
-
-void expect_metrics_eq(const RoundMetrics& a, const RoundMetrics& b) {
-  EXPECT_EQ(a.rounds, b.rounds);
-  EXPECT_EQ(a.executed_rounds, b.executed_rounds);
-  EXPECT_EQ(a.peak_active_nodes, b.peak_active_nodes);
-  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
-  EXPECT_EQ(a.total_messages, b.total_messages);
-  EXPECT_EQ(a.total_message_bits, b.total_message_bits);
-  EXPECT_EQ(a.local_compute_ops, b.local_compute_ops);
-}
-
-/// Sets the process-default thread count for the enclosing scope. The
-/// pipelines under test construct their own Network instances, so the
-/// process default is the only way to reach them.
-class ScopedDefaultThreads {
- public:
-  explicit ScopedDefaultThreads(int threads)
-      : saved_(Network::default_num_threads()) {
-    Network::set_default_num_threads(threads);
-  }
-  ~ScopedDefaultThreads() { Network::set_default_num_threads(saved_); }
-
-  ScopedDefaultThreads(const ScopedDefaultThreads&) = delete;
-  ScopedDefaultThreads& operator=(const ScopedDefaultThreads&) = delete;
-
- private:
-  int saved_;
-};
 
 /// The E14 instance family: near-regular graph, uniform lists, defect =
 /// β so the Two-Sweep premise (Eq. 2) holds comfortably.
