@@ -11,11 +11,14 @@
 //
 // The last section measures the tracing layer itself: the same pipeline
 // untraced, under a sink-less tracer, and under a JSONL sink, plus the
-// per-phase round/bit breakdown the span tree yields.
+// per-phase round/bit breakdown the span tree yields — and the invariant
+// checker the same way (disabled / collect / throw), backing its
+// zero-cost-when-disabled contract with a number.
 #include <algorithm>
 #include <chrono>
 
 #include "bench/bench_util.h"
+#include "check/invariant_checker.h"
 #include "core/fast_two_sweep.h"
 #include "core/list_coloring.h"
 #include "graph/coloring_checks.h"
@@ -210,6 +213,53 @@ int main(int argc, char** argv) {
           {"null", best_null},
           {"jsonl", best_jsonl}}) {
       json.row({{"pipeline", JsonWriter::str("trace_overhead")},
+                {"mode", JsonWriter::str(mode)},
+                {"n", JsonWriter::num(static_cast<std::int64_t>(n))},
+                {"wall_ms", JsonWriter::num(ms)},
+                {"threads", JsonWriter::num(used_threads)}});
+    }
+
+    // Invariant-checker overhead, same protocol as the tracing rows:
+    // disabled (the hooks are one pointer test each — must be free),
+    // collect mode, and throw mode (which also arms the engine's
+    // per-message bandwidth guard).
+    std::int64_t best_ck_off = -1, best_ck_collect = -1, best_ck_throw = -1;
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      {
+        const auto t0 = Clock::now();
+        run_once();
+        keep_min(best_ck_off, ms_since(t0));
+      }
+      {
+        InvariantChecker ck(InvariantChecker::Mode::kCollect);
+        ck.install();
+        const auto t0 = Clock::now();
+        run_once();
+        keep_min(best_ck_collect, ms_since(t0));
+        ck.uninstall();
+        if (!ck.violations().empty()) return 1;
+      }
+      {
+        InvariantChecker ck(InvariantChecker::Mode::kThrow);
+        ck.install();
+        const auto t0 = Clock::now();
+        run_once();
+        keep_min(best_ck_throw, ms_since(t0));
+        ck.uninstall();
+      }
+    }
+    Table ct("Invariant-checker overhead (fast_two_sweep, n=" +
+             std::to_string(n) + ")");
+    ct.header({"mode", "wall ms"});
+    ct.add("disabled", best_ck_off);
+    ct.add("collect", best_ck_collect);
+    ct.add("throw", best_ck_throw);
+    ct.print(std::cout);
+    for (const auto& [mode, ms] :
+         {std::pair<const char*, std::int64_t>{"off", best_ck_off},
+          {"collect", best_ck_collect},
+          {"throw", best_ck_throw}}) {
+      json.row({{"pipeline", JsonWriter::str("check_overhead")},
                 {"mode", JsonWriter::str(mode)},
                 {"n", JsonWriter::num(static_cast<std::int64_t>(n))},
                 {"wall_ms", JsonWriter::num(ms)},

@@ -1,0 +1,411 @@
+#include "check/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "check/invariant_checker.h"
+#include "check/oracle.h"
+#include "coloring/linial.h"
+#include "core/congest_oldc.h"
+#include "core/fast_two_sweep.h"
+#include "core/two_sweep.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Deep copy: the instance plus an owned graph it points at.
+OwnedOldcInstance clone_instance(const OldcInstance& inst) {
+  OwnedOldcInstance out;
+  out.graph = *inst.graph;
+  out.instance = inst;
+  out.instance.graph = &out.graph;
+  return out;
+}
+
+Orientation rebuild_orientation(const Graph& g, const OldcInstance& source,
+                                const std::vector<NodeId>& to_old) {
+  if (source.symmetric) return Orientation::by_id(g);
+  return Orientation::from_predicate(g, [&](NodeId a, NodeId b) {
+    return source.orientation.is_out_edge(
+        to_old[static_cast<std::size_t>(a)],
+        to_old[static_cast<std::size_t>(b)]);
+  });
+}
+
+/// Drops node `drop`, renumbering ids above it down by one (monotone, so
+/// a by_id orientation keeps its meaning).
+OwnedOldcInstance clone_without_node(const OldcInstance& inst, NodeId drop) {
+  const Graph& g = *inst.graph;
+  const NodeId n = g.num_nodes();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const auto& [u, v] : g.edge_list()) {
+    if (u == drop || v == drop) continue;
+    edges.emplace_back(u < drop ? u : u - 1, v < drop ? v : v - 1);
+  }
+  OwnedOldcInstance out;
+  out.graph = Graph::from_edges(n - 1, std::move(edges));
+  std::vector<NodeId> to_old(static_cast<std::size_t>(n - 1));
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    to_old[static_cast<std::size_t>(v)] = v < drop ? v : v + 1;
+  }
+  out.instance.graph = &out.graph;
+  out.instance.color_space = inst.color_space;
+  out.instance.symmetric = inst.symmetric;
+  out.instance.orientation = rebuild_orientation(out.graph, inst, to_old);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    out.instance.lists.push_back(
+        inst.lists[static_cast<std::size_t>(to_old[static_cast<std::size_t>(v)])]);
+  }
+  return out;
+}
+
+/// Drops one edge (by index into the deterministic edge_list() order).
+OwnedOldcInstance clone_without_edge(const OldcInstance& inst,
+                                     std::size_t edge_idx) {
+  const Graph& g = *inst.graph;
+  std::vector<std::pair<NodeId, NodeId>> edges = g.edge_list();
+  edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(edge_idx));
+  OwnedOldcInstance out;
+  out.graph = Graph::from_edges(g.num_nodes(), std::move(edges));
+  std::vector<NodeId> to_old(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    to_old[static_cast<std::size_t>(v)] = v;
+  }
+  out.instance.graph = &out.graph;
+  out.instance.color_space = inst.color_space;
+  out.instance.symmetric = inst.symmetric;
+  out.instance.orientation = rebuild_orientation(out.graph, inst, to_old);
+  out.instance.lists = inst.lists;
+  return out;
+}
+
+/// Replaces node v's palette.
+OwnedOldcInstance clone_with_list(const OldcInstance& inst, NodeId v,
+                                  ColorList list) {
+  OwnedOldcInstance out = clone_instance(inst);
+  out.instance.lists.set_node(static_cast<std::size_t>(v), list);
+  return out;
+}
+
+ColoringResult solve_with(const OldcInstance& inst,
+                          const std::vector<Color>& initial, std::int64_t q,
+                          FuzzAlg alg, int p, double eps) {
+  switch (alg) {
+    case FuzzAlg::kTwoSweep:
+      return two_sweep(inst, initial, q, p);
+    case FuzzAlg::kFastTwoSweep:
+      return fast_two_sweep(inst, initial, q, p, eps);
+    case FuzzAlg::kCongest:
+      return congest_oldc(inst, initial, q);
+  }
+  DCOLOR_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+}  // namespace
+
+const char* fuzz_alg_name(FuzzAlg alg) {
+  switch (alg) {
+    case FuzzAlg::kTwoSweep: return "two_sweep";
+    case FuzzAlg::kFastTwoSweep: return "fast_two_sweep";
+    case FuzzAlg::kCongest: return "congest_oldc";
+  }
+  return "unknown";
+}
+
+FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n) {
+  DCOLOR_CHECK(max_n >= 3);
+  Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(idx));
+  FuzzCase c;
+  const auto n = static_cast<NodeId>(
+      2 + rng.below(static_cast<std::uint64_t>(max_n - 1)));
+  switch (idx % 4) {
+    case 0:
+      c.owned.graph = gnp(n, 0.05 + 0.45 * rng.uniform(), rng);
+      break;
+    case 1:
+      c.owned.graph = random_tree(n, rng);
+      break;
+    case 2:
+      c.owned.graph =
+          random_near_regular(n, 1 + static_cast<int>(rng.below(4)), rng);
+      break;
+    default:
+      c.owned.graph = random_geometric(n, 0.15 + 0.35 * rng.uniform(), rng);
+      break;
+  }
+  const bool symmetric = (idx % 5) == 4;
+  c.alg = (idx % 8) == 3
+              ? FuzzAlg::kCongest
+              : ((idx % 2) != 0 ? FuzzAlg::kFastTwoSweep : FuzzAlg::kTwoSweep);
+  c.p = 2;
+  c.eps = 0.5;
+
+  Orientation o = Orientation::by_id(c.owned.graph);
+  const int beta =
+      symmetric ? std::max(1, c.owned.graph.max_degree()) : o.beta();
+  const int list_size = 4 + static_cast<int>(rng.below(5));  // 4..8
+  const std::int64_t color_space =
+      list_size +
+      static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(list_size + 4)));
+  // Uniform defect sized so the scheduled algorithm's premise holds for
+  // EVERY node (β >= β_v): Theorem 1.2 needs Λ(d+1) >= 3√C·β; Eq. (2)
+  // and Eq. (7) with p=2, ε=1/2 need d+1 > 3β/4.
+  int defect;
+  if (c.alg == FuzzAlg::kCongest) {
+    defect = static_cast<int>(std::ceil(
+                 3.0 * std::sqrt(static_cast<double>(color_space)) * beta /
+                 list_size)) +
+             static_cast<int>(rng.below(2));
+  } else {
+    defect = (3 * beta + 3) / 4 + static_cast<int>(rng.below(3));
+  }
+  c.owned.instance = random_uniform_oldc(c.owned.graph, std::move(o),
+                                         color_space, list_size, defect, rng);
+  c.owned.instance.symmetric = symmetric;
+  return c;
+}
+
+bool fuzz_preconditions_hold(const OldcInstance& inst, FuzzAlg alg, int p,
+                             double eps) {
+  const Graph& g = *inst.graph;
+  if (inst.color_space < 1) return false;
+  const double sqrt_c = std::sqrt(static_cast<double>(inst.color_space));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const PaletteView list = inst.lists[static_cast<std::size_t>(v)];
+    if (inst.effective_outdegree(v) == 0) {
+      if (list.empty()) return false;
+      continue;
+    }
+    const auto beta_v = static_cast<double>(inst.beta_v(v));
+    const auto weight = static_cast<double>(list.weight());
+    switch (alg) {
+      case FuzzAlg::kTwoSweep:
+        if (weight * p <= std::max<double>(static_cast<double>(p) * p,
+                                           static_cast<double>(list.size())) *
+                              beta_v) {
+          return false;
+        }
+        break;
+      case FuzzAlg::kFastTwoSweep:
+        if (weight <=
+            (1.0 + eps) *
+                std::max(static_cast<double>(p),
+                         static_cast<double>(list.size()) / p) *
+                beta_v) {
+          return false;
+        }
+        break;
+      case FuzzAlg::kCongest:
+        if (weight < 3.0 * sqrt_c * beta_v) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string run_fuzz_battery(const OldcInstance& inst, FuzzAlg alg, int p,
+                             double eps, const std::vector<int>& thread_counts,
+                             std::int64_t* oracle_skips,
+                             std::int64_t* oracle_solved) {
+  const Graph& g = *inst.graph;
+  const Orientation lin_o = Orientation::by_id(g);
+  const LinialResult linial = linial_from_ids(g, lin_o);
+
+  struct RunOut {
+    std::vector<Color> colors;
+    std::vector<CheckViolation> violations;
+  };
+  std::vector<RunOut> runs;
+  for (const int t : thread_counts) {
+    Network::set_default_num_threads(t);
+    InvariantChecker checker(InvariantChecker::Mode::kCollect);
+    checker.install();
+    RunOut r;
+    try {
+      r.colors =
+          solve_with(inst, linial.colors, linial.num_colors, alg, p, eps)
+              .colors;
+    } catch (const CheckError& e) {
+      checker.uninstall();
+      Network::set_default_num_threads(0);
+      return std::string(fuzz_alg_name(alg)) + " threw at threads=" +
+             std::to_string(t) + ": " + e.what();
+    }
+    r.violations = checker.violations();
+    checker.uninstall();
+    runs.push_back(std::move(r));
+  }
+  Network::set_default_num_threads(0);
+
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].colors != runs[0].colors) {
+      return "thread divergence: colors differ between threads=" +
+             std::to_string(thread_counts[0]) + " and threads=" +
+             std::to_string(thread_counts[i]);
+    }
+    if (runs[i].violations != runs[0].violations) {
+      return "thread divergence: checker violations differ between thread "
+             "counts";
+    }
+  }
+  if (!runs.empty() && !runs[0].violations.empty()) {
+    const CheckViolation& v = runs[0].violations.front();
+    return "checker violation [" + v.rule + "] node " +
+           std::to_string(v.node) + ": " + v.detail;
+  }
+  if (!runs.empty() && !validate_oldc(inst, runs[0].colors)) {
+    return "distributed result failed validation";
+  }
+
+  const OracleResult oracle = solve_oldc_oracle(inst);
+  switch (oracle.status) {
+    case OracleStatus::kSolved:
+      if (oracle_solved != nullptr) ++*oracle_solved;
+      break;
+    case OracleStatus::kUnsolvable:
+      if (oracle_guarantee_holds(inst)) {
+        return "oracle mismatch: sequential oracle failed on a provably "
+               "solvable instance (" +
+               oracle.detail + ")";
+      }
+      if (oracle_skips != nullptr) ++*oracle_skips;
+      break;
+    case OracleStatus::kSkipped:
+      if (oracle_skips != nullptr) ++*oracle_skips;
+      break;
+  }
+  return {};
+}
+
+OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst, FuzzAlg alg,
+                                   int p, double eps,
+                                   const std::vector<int>& thread_counts,
+                                   std::int64_t max_evals, std::ostream* log) {
+  OwnedOldcInstance current = clone_instance(inst);
+  std::int64_t evals = 0;
+  const auto still_fails = [&](const OldcInstance& cand) {
+    if (!fuzz_preconditions_hold(cand, alg, p, eps)) return false;
+    ++evals;
+    return !run_fuzz_battery(cand, alg, p, eps, thread_counts).empty();
+  };
+
+  bool improved = true;
+  while (improved && evals < max_evals) {
+    improved = false;
+    // Nodes, highest id first: monotone renumbering keeps by_id
+    // orientations meaningful and tends to peel leaves off generators.
+    for (NodeId v = current.graph.num_nodes() - 1;
+         v >= 0 && current.graph.num_nodes() > 1 && evals < max_evals; --v) {
+      OwnedOldcInstance cand = clone_without_node(current.instance, v);
+      if (still_fails(cand.instance)) {
+        current = std::move(cand);
+        improved = true;
+      }
+    }
+    // Edges (removal at index i keeps indices < i stable).
+    for (std::int64_t i = current.graph.num_edges() - 1;
+         i >= 0 && evals < max_evals; --i) {
+      OwnedOldcInstance cand = clone_without_edge(
+          current.instance, static_cast<std::size_t>(i));
+      if (still_fails(cand.instance)) {
+        current = std::move(cand);
+        improved = true;
+      }
+    }
+    // Palette entries: drop colors, then shave defects.
+    for (NodeId v = 0; v < current.graph.num_nodes() && evals < max_evals;
+         ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      for (std::size_t i = current.instance.lists[vi].size();
+           i-- > 0 && evals < max_evals;) {
+        const PaletteView view = current.instance.lists[vi];
+        std::vector<Color> colors(view.colors().begin(), view.colors().end());
+        std::vector<int> defects(view.defects().begin(),
+                                 view.defects().end());
+        {
+          std::vector<Color> cs = colors;
+          std::vector<int> ds = defects;
+          cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(i));
+          ds.erase(ds.begin() + static_cast<std::ptrdiff_t>(i));
+          OwnedOldcInstance cand = clone_with_list(
+              current.instance, v, ColorList(std::move(cs), std::move(ds)));
+          if (still_fails(cand.instance)) {
+            current = std::move(cand);
+            improved = true;
+            continue;  // index i now points at the next entry to try
+          }
+        }
+        if (defects[i] > 0) {
+          std::vector<int> ds = defects;
+          --ds[i];
+          OwnedOldcInstance cand = clone_with_list(
+              current.instance, v, ColorList(std::vector<Color>(colors), std::move(ds)));
+          if (still_fails(cand.instance)) {
+            current = std::move(cand);
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+  if (log != nullptr) {
+    *log << "shrunk to " << current.graph.num_nodes() << " nodes / "
+         << current.graph.num_edges() << " edges after " << evals
+         << " battery evaluations\n";
+  }
+  return current;
+}
+
+FuzzReport fuzz_differential(const FuzzOptions& options, std::ostream* log) {
+  DCOLOR_CHECK(options.cases >= 1);
+  DCOLOR_CHECK(!options.thread_counts.empty());
+  FuzzReport report;
+  for (std::int64_t idx = 0; idx < options.cases; ++idx) {
+    FuzzCase c = make_fuzz_case(options.seed, idx, options.max_n);
+    std::string failure;
+    if (!fuzz_preconditions_hold(c.owned.instance, c.alg, c.p, c.eps)) {
+      failure = "generator produced an instance violating the premise of " +
+                std::string(fuzz_alg_name(c.alg));
+    } else {
+      failure = run_fuzz_battery(c.owned.instance, c.alg, c.p, c.eps,
+                                 options.thread_counts, &report.oracle_skips,
+                                 &report.oracle_solved);
+    }
+    ++report.cases_run;
+    if (!failure.empty()) {
+      ++report.failures;
+      if (log != nullptr) {
+        *log << "case " << idx << " (" << fuzz_alg_name(c.alg) << ", n="
+             << c.owned.graph.num_nodes() << "): FAIL — " << failure << "\n";
+      }
+      if (report.first_failure.empty()) {
+        report.first_failure = "case " + std::to_string(idx) + " (" +
+                               fuzz_alg_name(c.alg) + "): " + failure;
+        OwnedOldcInstance repro =
+            options.shrink
+                ? shrink_fuzz_case(c.owned.instance, c.alg, c.p, c.eps,
+                                   options.thread_counts,
+                                   options.max_shrink_evals, log)
+                : clone_instance(c.owned.instance);
+        save_oldc(options.repro_path, repro.instance);
+        report.repro_path = options.repro_path;
+        if (log != nullptr) {
+          *log << "repro written to " << options.repro_path << "\n";
+        }
+      }
+    } else if (log != nullptr && (idx + 1) % 50 == 0) {
+      *log << "  " << (idx + 1) << "/" << options.cases << " cases passed\n";
+    }
+  }
+  return report;
+}
+
+}  // namespace dcolor

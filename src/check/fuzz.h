@@ -1,0 +1,94 @@
+// Differential fuzz harness: seeded random instances, distributed runs
+// at several thread counts, sequential oracles, and instance shrinking.
+//
+// One case = one seeded instance drawn from one of the four parallelized
+// graph generators (gnp, random_tree, random_near_regular,
+// random_geometric) with parameters chosen so the target algorithm's
+// premise holds BY CONSTRUCTION — any failure is then a bug, not an
+// infeasible input. The battery run on each case:
+//
+//   1. solve with the scheduled algorithm (two_sweep / fast_two_sweep /
+//      congest_oldc) at every requested thread count, under a
+//      collect-mode InvariantChecker;
+//   2. require bit-identical colors and identical (empty) checker
+//      violation lists across thread counts;
+//   3. validate the output against the instance;
+//   4. cross-check against the sequential oracle: on acyclic oriented
+//      instances the oracle provably succeeds, so kUnsolvable there (or
+//      an invalid oracle solution) is a mismatch; symmetric greedy dead
+//      ends only count as skips.
+//
+// On failure the instance is shrunk — node deletion, edge deletion,
+// palette color deletion, defect decrements — as long as the algorithm's
+// premise survives and the battery still fails, then dumped via
+// instance_io for replay with `dcolor --cmd=fuzz --replay=<file>`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "io/instance_io.h"
+
+namespace dcolor {
+
+enum class FuzzAlg { kTwoSweep, kFastTwoSweep, kCongest };
+
+const char* fuzz_alg_name(FuzzAlg alg);
+
+struct FuzzOptions {
+  std::int64_t cases = 200;
+  std::uint64_t seed = 1;
+  NodeId max_n = 48;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::string repro_path = "fuzz_repro.txt";
+  bool shrink = true;
+  std::int64_t max_shrink_evals = 400;  ///< battery runs the shrinker may spend
+};
+
+struct FuzzReport {
+  std::int64_t cases_run = 0;
+  std::int64_t failures = 0;
+  std::int64_t oracle_skips = 0;   ///< symmetric greedy dead ends (benign)
+  std::int64_t oracle_solved = 0;  ///< oracle cross-checks that ran to kSolved
+  std::string first_failure;       ///< description of the first failing case
+  std::string repro_path;          ///< written only when failures > 0
+};
+
+/// Generates case `idx` of the seeded stream: instance + algorithm + the
+/// solver parameters the battery will use. Exposed for tests.
+struct FuzzCase {
+  OwnedOldcInstance owned;
+  FuzzAlg alg = FuzzAlg::kTwoSweep;
+  int p = 2;
+  double eps = 0.5;
+};
+FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n);
+
+/// Runs the battery on one instance; returns "" on pass, otherwise a
+/// failure description. `oracle_skips`/`oracle_solved` (optional) count
+/// oracle outcomes.
+std::string run_fuzz_battery(const OldcInstance& inst, FuzzAlg alg, int p,
+                             double eps, const std::vector<int>& thread_counts,
+                             std::int64_t* oracle_skips = nullptr,
+                             std::int64_t* oracle_solved = nullptr);
+
+/// True iff the algorithm's entry premise holds for `inst` (Eq. (7) for
+/// fast_two_sweep, Eq. (2) for two_sweep, the Theorem 1.2 premise for
+/// congest); shrink candidates that break it are rejected.
+bool fuzz_preconditions_hold(const OldcInstance& inst, FuzzAlg alg, int p,
+                             double eps);
+
+/// Shrinks a failing instance while the battery keeps failing; returns
+/// the minimized instance (at worst the input itself).
+OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst, FuzzAlg alg,
+                                   int p, double eps,
+                                   const std::vector<int>& thread_counts,
+                                   std::int64_t max_evals, std::ostream* log);
+
+/// The full harness. `log` (optional) receives progress lines.
+FuzzReport fuzz_differential(const FuzzOptions& options, std::ostream* log);
+
+}  // namespace dcolor

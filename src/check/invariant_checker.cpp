@@ -1,0 +1,401 @@
+#include "check/invariant_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "graph/coloring_checks.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dcolor {
+
+namespace {
+
+InvariantChecker* g_current = nullptr;
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(Mode mode) : mode_(mode) {}
+
+InvariantChecker::~InvariantChecker() {
+  if (installed_) uninstall();
+}
+
+void InvariantChecker::install() {
+  DCOLOR_CHECK_MSG(!installed_, "checker installed twice");
+  prev_ = g_current;
+  g_current = this;
+  installed_ = true;
+}
+
+void InvariantChecker::uninstall() {
+  DCOLOR_CHECK_MSG(installed_ && g_current == this,
+                   "uninstalling a checker that is not current");
+  g_current = prev_;
+  prev_ = nullptr;
+  installed_ = false;
+}
+
+InvariantChecker* InvariantChecker::current() noexcept { return g_current; }
+
+void InvariantChecker::clear() {
+  violations_.clear();
+  checks_run_ = 0;
+}
+
+void InvariantChecker::report(std::string_view rule, NodeId node,
+                              std::string detail) {
+  CheckViolation v;
+  v.rule = std::string(rule);
+  v.phase = phase_path();
+  v.node = node;
+  v.detail = std::move(detail);
+  if (mode_ == Mode::kThrow) {
+    std::ostringstream os;
+    os << "invariant violation [" << v.rule << "]";
+    if (!v.phase.empty()) os << " in phase " << v.phase;
+    if (v.node >= 0) os << " at node " << v.node;
+    if (!v.detail.empty()) os << ": " << v.detail;
+    throw CheckError(os.str());
+  }
+  violations_.push_back(std::move(v));
+}
+
+void InvariantChecker::on_phase_begin(std::string_view name) {
+  phase_stack_.emplace_back(name);
+}
+
+void InvariantChecker::on_phase_end() {
+  if (!phase_stack_.empty()) phase_stack_.pop_back();
+}
+
+std::string InvariantChecker::phase_path() const {
+  std::string path;
+  for (const std::string& s : phase_stack_) {
+    if (!path.empty()) path += '/';
+    path += s;
+  }
+  return path;
+}
+
+// ---- contract checks ---------------------------------------------------
+
+void InvariantChecker::check_oldc(const OldcInstance& inst,
+                                  const std::vector<Color>& colors,
+                                  std::string_view what) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (colors.size() != n) {
+    report("output_size", -1,
+           std::string(what) + ": coloring has " +
+               std::to_string(colors.size()) + " entries for " +
+               std::to_string(n) + " nodes");
+    return;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const Color c = colors[vi];
+    count_check();
+    if (c == kNoColor) {
+      report("all_colored", v, std::string(what) + ": node left uncolored");
+      continue;
+    }
+    const PaletteView list = inst.lists[vi];
+    const auto d = list.defect_of(c);
+    count_check();
+    if (!d) {
+      report("color_in_list", v,
+             std::string(what) + ": color " + std::to_string(c) +
+                 " not in L_v");
+      continue;
+    }
+    int defect = 0;
+    for (const NodeId u : inst.out_neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == c) ++defect;
+    }
+    count_check();
+    if (defect > *d) {
+      report("defect_bound", v,
+             std::string(what) + ": oriented defect " +
+                 std::to_string(defect) + " exceeds d_v(" +
+                 std::to_string(c) + ") = " + std::to_string(*d));
+    }
+  }
+}
+
+void InvariantChecker::check_list_defective(const ListDefectiveInstance& inst,
+                                            const std::vector<Color>& colors,
+                                            std::string_view what) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (colors.size() != n) {
+    report("output_size", -1,
+           std::string(what) + ": coloring size mismatch");
+    return;
+  }
+  const std::vector<int> defects = undirected_defects(g, colors);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const Color c = colors[vi];
+    count_check();
+    if (c == kNoColor) {
+      report("all_colored", v, std::string(what) + ": node left uncolored");
+      continue;
+    }
+    const auto d = inst.lists[vi].defect_of(c);
+    count_check();
+    if (!d) {
+      report("color_in_list", v,
+             std::string(what) + ": color " + std::to_string(c) +
+                 " not in L_v");
+      continue;
+    }
+    count_check();
+    if (defects[vi] > *d) {
+      report("defect_bound", v,
+             std::string(what) + ": undirected defect " +
+                 std::to_string(defects[vi]) + " exceeds d_v(" +
+                 std::to_string(c) + ") = " + std::to_string(*d));
+    }
+  }
+}
+
+void InvariantChecker::check_arbdefective(const ArbdefectiveInstance& inst,
+                                          const ArbdefectiveResult& result,
+                                          std::string_view what) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (result.colors.size() != n) {
+    report("output_size", -1, std::string(what) + ": coloring size mismatch");
+    return;
+  }
+  const std::vector<int> defects =
+      oriented_defects(result.orientation, result.colors);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const Color c = result.colors[vi];
+    count_check();
+    if (c == kNoColor) {
+      report("all_colored", v, std::string(what) + ": node left uncolored");
+      continue;
+    }
+    const auto d = inst.lists[vi].defect_of(c);
+    count_check();
+    if (!d) {
+      report("color_in_list", v,
+             std::string(what) + ": color " + std::to_string(c) +
+                 " not in L_v");
+      continue;
+    }
+    count_check();
+    if (defects[vi] > *d) {
+      report("defect_bound", v,
+             std::string(what) + ": output-oriented defect " +
+                 std::to_string(defects[vi]) + " exceeds d_v(" +
+                 std::to_string(c) + ") = " + std::to_string(*d));
+    }
+  }
+}
+
+void InvariantChecker::check_proper(const Graph& g,
+                                    const std::vector<Color>& colors,
+                                    std::string_view what) {
+  if (colors.size() != static_cast<std::size_t>(g.num_nodes())) {
+    report("output_size", -1, std::string(what) + ": coloring size mismatch");
+    return;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Color c = colors[static_cast<std::size_t>(v)];
+    count_check();
+    if (c == kNoColor) {
+      report("all_colored", v, std::string(what) + ": node left uncolored");
+      continue;
+    }
+    for (const NodeId u : g.neighbors(v)) {
+      if (u > v && colors[static_cast<std::size_t>(u)] == c) {
+        report("proper_coloring", v,
+               std::string(what) + ": edge (" + std::to_string(v) + "," +
+                   std::to_string(u) + ") is monochromatic with color " +
+                   std::to_string(c));
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_defective_precoloring(
+    const OldcInstance& inst, const std::vector<Color>& psi,
+    std::int64_t num_colors, double alpha, std::string_view what) {
+  const Graph& g = *inst.graph;
+  if (psi.size() != static_cast<std::size_t>(g.num_nodes())) {
+    report("output_size", -1,
+           std::string(what) + ": precoloring size mismatch");
+    return;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const Color c = psi[vi];
+    count_check();
+    if (c < 0 || c >= num_colors) {
+      report("precoloring_range", v,
+             std::string(what) + ": Ψ color " + std::to_string(c) +
+                 " outside [0, " + std::to_string(num_colors) + ")");
+      continue;
+    }
+    int defect = 0;
+    if (inst.symmetric) {
+      for (const NodeId u : g.neighbors(v)) {
+        if (psi[static_cast<std::size_t>(u)] == c) ++defect;
+      }
+    } else {
+      for (const NodeId u : inst.orientation.out_neighbors(v)) {
+        if (psi[static_cast<std::size_t>(u)] == c) ++defect;
+      }
+    }
+    const int allowed =
+        static_cast<int>(std::floor(inst.beta_v(v) * alpha));
+    count_check();
+    if (defect > allowed) {
+      report("precoloring_defect", v,
+             std::string(what) + ": Ψ defect " + std::to_string(defect) +
+                 " exceeds ⌊β_v·α⌋ = " + std::to_string(allowed));
+    }
+  }
+}
+
+void InvariantChecker::check_theorem11(const OldcInstance& inst, int p,
+                                       double eps, std::string_view what) {
+  const Graph& g = *inst.graph;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const PaletteView list = inst.lists[static_cast<std::size_t>(v)];
+    count_check();
+    if (inst.effective_outdegree(v) == 0) {
+      if (list.empty()) {
+        report("theorem11_slack", v,
+               std::string(what) + ": empty list at sink node");
+      }
+      continue;
+    }
+    const double need =
+        (1.0 + eps) *
+        std::max(static_cast<double>(p),
+                 static_cast<double>(list.size()) / static_cast<double>(p)) *
+        inst.beta_v(v);
+    if (static_cast<double>(list.weight()) <= need) {
+      std::ostringstream os;
+      os << what << ": Σ(d_v(x)+1) = " << list.weight()
+         << " ≤ (1+ε)·max{p,|L_v|/p}·β_v = " << need << " (p=" << p
+         << ", ε=" << eps << ", β_v=" << inst.beta_v(v) << ")";
+      report("theorem11_slack", v, os.str());
+    }
+  }
+}
+
+void InvariantChecker::check_theorem12(const OldcInstance& inst,
+                                       std::string_view what) {
+  const Graph& g = *inst.graph;
+  const double sqrt_c = std::sqrt(static_cast<double>(inst.color_space));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const PaletteView list = inst.lists[static_cast<std::size_t>(v)];
+    count_check();
+    if (inst.effective_outdegree(v) == 0) {
+      if (list.empty()) {
+        report("theorem12_premise", v,
+               std::string(what) + ": empty list at sink node");
+      }
+      continue;
+    }
+    if (static_cast<double>(list.weight()) < 3.0 * sqrt_c * inst.beta_v(v)) {
+      std::ostringstream os;
+      os << what << ": weight " << list.weight() << " < 3·√C·β_v = "
+         << 3.0 * sqrt_c * inst.beta_v(v);
+      report("theorem12_premise", v, os.str());
+    }
+  }
+}
+
+int InvariantChecker::theorem12_bit_budget(std::int64_t q,
+                                           std::int64_t color_space) noexcept {
+  const int q_bits = ceil_log2(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(2, q)));
+  const int c_bits = ceil_log2(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(2, color_space)));
+  return 8 + q_bits + 2 * c_bits;
+}
+
+void InvariantChecker::check_message_bits(const RoundMetrics& metrics,
+                                          std::int64_t q,
+                                          std::int64_t color_space,
+                                          std::string_view what) {
+  const int budget = theorem12_bit_budget(q, color_space);
+  count_check();
+  if (metrics.max_message_bits > budget) {
+    std::ostringstream os;
+    os << what << ": widest message " << metrics.max_message_bits
+       << " bits exceeds the O(log q + log C) budget " << budget
+       << " (q=" << q << ", C=" << color_space << ")";
+    report("theorem12_bandwidth", -1, os.str());
+  }
+}
+
+// ---- bandwidth guard ---------------------------------------------------
+
+InvariantChecker::BandwidthGuard::BandwidthGuard(InvariantChecker* checker,
+                                                 int bit_cap) noexcept
+    : checker_(checker) {
+  if (checker_ != nullptr) {
+    prev_cap_ = checker_->bit_cap_;
+    checker_->bit_cap_ = bit_cap;
+  }
+}
+
+InvariantChecker::BandwidthGuard::~BandwidthGuard() {
+  if (checker_ != nullptr) checker_->bit_cap_ = prev_cap_;
+}
+
+// ---- environment wiring ------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+InvariantChecker* g_env_checker = nullptr;
+
+void flush_env_checker() {
+  if (g_env_checker == nullptr) return;
+  const auto& violations = g_env_checker->violations();
+  if (!violations.empty()) {
+    std::fprintf(stderr, "[dcolor-check] %zu invariant violation(s):\n",
+                 violations.size());
+    for (const CheckViolation& v : violations) {
+      std::fprintf(stderr, "[dcolor-check]   %s%s%s node=%d: %s\n",
+                   v.rule.c_str(), v.phase.empty() ? "" : " in ",
+                   v.phase.c_str(), static_cast<int>(v.node),
+                   v.detail.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+void ensure_env_checker() {
+  static const bool done = [] {
+    const char* s = std::getenv("DCOLOR_CHECK");
+    if (s == nullptr || *s == '\0' || std::string_view(s) == "0") return true;
+    const auto mode = std::string_view(s) == "collect"
+                          ? InvariantChecker::Mode::kCollect
+                          : InvariantChecker::Mode::kThrow;
+    static InvariantChecker checker(mode);
+    checker.install();
+    g_env_checker = &checker;
+    std::atexit(flush_env_checker);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace detail
+
+}  // namespace dcolor

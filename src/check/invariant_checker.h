@@ -1,0 +1,181 @@
+// Online invariant checking for coloring executions.
+//
+// The library's solvers carry strong per-node contracts straight from the
+// paper: the chosen color must come from L_v, the oriented defect must
+// stay within d_v(x_v), Theorem 1.1's slack premise
+// Σ(d_v(x)+1) > (1+ε)·max{p, |L_v|/p}·β_v must hold before a sweep, and
+// Theorem 1.2 bounds every CONGEST message to O(log q + log C) bits.
+// Unit tests spot-check these; the `InvariantChecker` enforces them
+// ONLINE, after each algorithm phase of a real run.
+//
+// Design mirrors the Tracer (sim/trace.h): a process-current checker set
+// by install()/uninstall() (installs nest), consulted through a raw
+// `current()` pointer. With no checker installed every hook is a single
+// pointer test — the zero-cost-when-disabled contract the E14 bench row
+// verifies. `detail::ensure_env_checker()` installs a process-global
+// checker from the DCOLOR_CHECK environment variable ("1"/"throw" to
+// fail fast, "collect" to accumulate), so any binary can be checked
+// without wiring; `dcolor --check` does the same via the flag.
+//
+// Threading: all check_* entry points, install/uninstall, and phase
+// notifications run on the simulating (main) thread. The engine's
+// per-message bandwidth guard reads `active_bit_cap()` once per run on
+// the main thread; violations raised from pool threads travel through
+// the engine's existing first-error-in-chunk-order rethrow, so throw-mode
+// failures are deterministic at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.h"
+#include "graph/graph.h"
+#include "sim/metrics.h"
+
+namespace dcolor {
+
+/// One detected contract violation.
+struct CheckViolation {
+  std::string rule;    ///< e.g. "color_in_list", "defect_bound"
+  std::string phase;   ///< innermost PhaseSpan path at detection time
+  NodeId node = -1;    ///< offending node (-1 = not node-specific)
+  std::string detail;  ///< human-readable specifics
+
+  friend bool operator==(const CheckViolation& a,
+                         const CheckViolation& b) = default;
+};
+
+class InvariantChecker {
+ public:
+  enum class Mode {
+    kThrow,    ///< first violation throws CheckError (fail fast)
+    kCollect,  ///< violations accumulate in violations()
+  };
+
+  explicit InvariantChecker(Mode mode = Mode::kThrow);
+  ~InvariantChecker();  ///< uninstalls if still installed
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Makes this checker the process-current one; nests like the Tracer.
+  void install();
+  void uninstall();
+
+  /// The checker solver hooks consult (null = checking disabled).
+  static InvariantChecker* current() noexcept;
+
+  Mode mode() const noexcept { return mode_; }
+  const std::vector<CheckViolation>& violations() const noexcept {
+    return violations_;
+  }
+  /// Total individual invariant evaluations performed (a contract-pass
+  /// run must report > 0 — "no violations" alone can mean "never ran").
+  std::int64_t checks_run() const noexcept { return checks_run_; }
+  void clear();
+
+  // ---- contract checks (called from solver epilogues) -----------------
+
+  /// Colors from lists + oriented defects within d_v(x_v) + all colored.
+  void check_oldc(const OldcInstance& inst, const std::vector<Color>& colors,
+                  std::string_view what);
+
+  /// Colors from lists + undirected defects within d_v(x_v).
+  void check_list_defective(const ListDefectiveInstance& inst,
+                            const std::vector<Color>& colors,
+                            std::string_view what);
+
+  /// Colors from lists + out-defects under the OUTPUT orientation.
+  void check_arbdefective(const ArbdefectiveInstance& inst,
+                          const ArbdefectiveResult& result,
+                          std::string_view what);
+
+  /// Every node colored and no monochromatic edge.
+  void check_proper(const Graph& g, const std::vector<Color>& colors,
+                    std::string_view what);
+
+  /// Defective precoloring contract (Lemma 3.4): every node colored in
+  /// [0, num_colors) and per-node defect (oriented for non-symmetric
+  /// instances, undirected otherwise) at most ⌊β_v·α⌋.
+  void check_defective_precoloring(const OldcInstance& inst,
+                                   const std::vector<Color>& psi,
+                                   std::int64_t num_colors, double alpha,
+                                   std::string_view what);
+
+  /// Theorem 1.1 slack premise per node (sinks only need non-empty lists).
+  void check_theorem11(const OldcInstance& inst, int p, double eps,
+                       std::string_view what);
+
+  /// Theorem 1.2 premise per node: weight(v) ≥ 3·√C·β_v.
+  void check_theorem12(const OldcInstance& inst, std::string_view what);
+
+  /// Theorem 1.2 bandwidth: the widest message of the run must fit the
+  /// O(log q + log C) budget.
+  void check_message_bits(const RoundMetrics& metrics, std::int64_t q,
+                          std::int64_t color_space, std::string_view what);
+
+  /// Concrete per-message budget behind the O(log q + log C) bound: the
+  /// widest wire format in the CONGEST pipeline is a 2-bit tag plus a
+  /// Phase-I set of p = 2 colors (2·⌈log C⌉ bits) or an initial color
+  /// (⌈log q⌉ bits); kuhn_defective's trial messages stay within the same
+  /// shape. The +8 absorbs tags and small per-field rounding.
+  static int theorem12_bit_budget(std::int64_t q,
+                                  std::int64_t color_space) noexcept;
+
+  // ---- engine seam -----------------------------------------------------
+
+  /// Per-message bit cap `Network::run` applies on top of its own
+  /// message_bit_cap; 0 = none. Only armed in kThrow mode (collect mode
+  /// validates post-run via check_message_bits — pool threads never touch
+  /// checker state).
+  int active_bit_cap() const noexcept {
+    return mode_ == Mode::kThrow ? bit_cap_ : 0;
+  }
+
+  /// RAII bandwidth scope: arms active_bit_cap() for the solvers run
+  /// inside it (congest_oldc wraps its pipeline in one).
+  class BandwidthGuard {
+   public:
+    BandwidthGuard(InvariantChecker* checker, int bit_cap) noexcept;
+    ~BandwidthGuard();
+    BandwidthGuard(const BandwidthGuard&) = delete;
+    BandwidthGuard& operator=(const BandwidthGuard&) = delete;
+
+   private:
+    InvariantChecker* checker_ = nullptr;
+    int prev_cap_ = 0;
+  };
+
+  // ---- phase seam (called by PhaseSpan, mirrors the Tracer hook) -------
+  void on_phase_begin(std::string_view name);
+  void on_phase_end();
+  /// "a/b/c" path of the currently open phases (empty at top level).
+  std::string phase_path() const;
+
+  /// Raises one violation: throws CheckError in kThrow mode, appends to
+  /// violations() in kCollect mode.
+  void report(std::string_view rule, NodeId node, std::string detail);
+
+ private:
+  void count_check() noexcept { ++checks_run_; }
+
+  Mode mode_;
+  std::vector<CheckViolation> violations_;
+  std::vector<std::string> phase_stack_;
+  std::int64_t checks_run_ = 0;
+  int bit_cap_ = 0;
+  bool installed_ = false;
+  InvariantChecker* prev_ = nullptr;  ///< checker displaced by install()
+};
+
+namespace detail {
+/// Installs a process-global checker from DCOLOR_CHECK on first call
+/// (no-op when unset/"0"). "collect" accumulates and prints violations
+/// to stderr at exit; anything else fails fast. Called by Network::run
+/// so env-driven checking works in any binary without wiring.
+void ensure_env_checker();
+}  // namespace detail
+
+}  // namespace dcolor

@@ -1,0 +1,243 @@
+#include "check/mutation.h"
+
+#include <utility>
+
+#include "check/invariant_checker.h"
+#include "coloring/linial.h"
+#include "core/instance.h"
+#include "core/two_sweep.h"
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+namespace {
+
+/// A solved, validated baseline execution the generic mutations poke at.
+struct Baseline {
+  Graph g;
+  OldcInstance inst;
+  std::vector<Color> colors;
+  std::int64_t q = 0;
+  RoundMetrics metrics;
+};
+
+Baseline make_baseline() {
+  Baseline b;
+  Rng rng(7);
+  b.g = gnp(20, 0.3, rng);
+  Orientation o = Orientation::by_id(b.g);
+  const int beta = o.beta();
+  // d sized so both Eq. (2) (p=2) and Theorem 1.1 (ε=0.5) hold per node.
+  const int defect = (3 * beta + 3) / 4 + 1;
+  b.inst = random_uniform_oldc(b.g, std::move(o), /*color_space=*/12,
+                               /*list_size=*/6, defect, rng);
+  const LinialResult linial = linial_from_ids(b.g, b.inst.orientation);
+  b.q = linial.num_colors;
+  ColoringResult result =
+      two_sweep(b.inst, linial.colors, linial.num_colors, /*p=*/2);
+  b.colors = std::move(result.colors);
+  b.metrics = result.metrics;
+  DCOLOR_CHECK(validate_oldc(b.inst, b.colors));
+  return b;
+}
+
+/// Replaces node v's palette in a copy of `store`.
+PaletteStore with_palette(const PaletteStore& store, std::size_t v,
+                          const ColorList& list) {
+  PaletteStore out = store;
+  out.set_node(v, list);
+  return out;
+}
+
+/// First node with at least one out-neighbor (mutations that need a
+/// non-sink target; by_id orientations make node 0 a sink).
+NodeId first_non_sink(const OldcInstance& inst) {
+  for (NodeId v = 0; v < inst.graph->num_nodes(); ++v) {
+    if (inst.effective_outdegree(v) > 0) return v;
+  }
+  return -1;
+}
+
+MutationOutcome finish(MutationOutcome out, const InvariantChecker& checker,
+                       bool mutated_phase) {
+  if (!mutated_phase) {
+    out.baseline_clean = checker.violations().empty();
+  } else {
+    out.caught = !checker.violations().empty();
+    if (out.caught) out.rule = checker.violations().front().rule;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* mutation_name(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kOffListColor: return "off_list_color";
+    case MutationKind::kUncoloredNode: return "uncolored_node";
+    case MutationKind::kDefectOverflow: return "defect_overflow";
+    case MutationKind::kImproperFinal: return "improper_final";
+    case MutationKind::kSlackLie: return "slack_lie";
+    case MutationKind::kBandwidthLie: return "bandwidth_lie";
+    case MutationKind::kDroppedMessage: return "dropped_message";
+  }
+  return "unknown";
+}
+
+std::vector<MutationKind> all_mutation_kinds() {
+  return {MutationKind::kOffListColor,   MutationKind::kUncoloredNode,
+          MutationKind::kDefectOverflow, MutationKind::kImproperFinal,
+          MutationKind::kSlackLie,       MutationKind::kBandwidthLie,
+          MutationKind::kDroppedMessage};
+}
+
+MutationOutcome run_mutation(MutationKind kind) {
+  MutationOutcome out;
+  out.kind = kind;
+  InvariantChecker checker(InvariantChecker::Mode::kCollect);
+  checker.install();
+
+  switch (kind) {
+    case MutationKind::kOffListColor: {
+      const Baseline b = make_baseline();
+      checker.check_oldc(b.inst, b.colors, "baseline");
+      out = finish(out, checker, /*mutated_phase=*/false);
+      checker.clear();
+      std::vector<Color> mutated = b.colors;
+      mutated[0] = b.inst.color_space;  // outside every list by construction
+      checker.check_oldc(b.inst, mutated, "mutated");
+      out = finish(std::move(out), checker, /*mutated_phase=*/true);
+      break;
+    }
+    case MutationKind::kUncoloredNode: {
+      const Baseline b = make_baseline();
+      checker.check_oldc(b.inst, b.colors, "baseline");
+      out = finish(out, checker, false);
+      checker.clear();
+      std::vector<Color> mutated = b.colors;
+      mutated[mutated.size() / 2] = kNoColor;
+      checker.check_oldc(b.inst, mutated, "mutated");
+      out = finish(std::move(out), checker, true);
+      break;
+    }
+    case MutationKind::kDefectOverflow: {
+      // K2 with arc 1->0, both lists {5} with defect 1: coloring both 5 is
+      // exactly at budget. The off-by-one twin lowers node 1's budget to 0.
+      const Graph g = Graph::from_edges(2, {{0, 1}});
+      OldcInstance inst;
+      inst.graph = &g;
+      inst.orientation = Orientation::by_id(g);
+      inst.color_space = 6;
+      inst.lists.push_back(ColorList::uniform({5}, 1));
+      inst.lists.push_back(ColorList::uniform({5}, 1));
+      const std::vector<Color> colors = {5, 5};
+      checker.check_oldc(inst, colors, "baseline");
+      out = finish(out, checker, false);
+      checker.clear();
+      OldcInstance mutated = inst;
+      mutated.lists = with_palette(inst.lists, 1, ColorList::uniform({5}, 0));
+      checker.check_oldc(mutated, colors, "mutated");
+      out = finish(std::move(out), checker, true);
+      break;
+    }
+    case MutationKind::kImproperFinal: {
+      const Graph g = path(5);
+      const std::vector<Color> good = {0, 1, 0, 1, 0};
+      checker.check_proper(g, good, "baseline");
+      out = finish(out, checker, false);
+      checker.clear();
+      std::vector<Color> mutated = good;
+      mutated[1] = 0;  // edge (0,1) now monochromatic
+      checker.check_proper(g, mutated, "mutated");
+      out = finish(std::move(out), checker, true);
+      break;
+    }
+    case MutationKind::kSlackLie: {
+      const Baseline b = make_baseline();
+      checker.check_theorem11(b.inst, 2, 0.5, "baseline");
+      out = finish(out, checker, false);
+      checker.clear();
+      const NodeId v = first_non_sink(b.inst);
+      DCOLOR_CHECK(v >= 0);
+      OldcInstance mutated = b.inst;
+      mutated.lists = with_palette(
+          b.inst.lists, static_cast<std::size_t>(v),
+          ColorList::zero_defect({0}));  // weight 1 breaks the premise
+      checker.check_theorem11(mutated, 2, 0.5, "mutated");
+      out = finish(std::move(out), checker, true);
+      break;
+    }
+    case MutationKind::kBandwidthLie: {
+      const Baseline b = make_baseline();
+      const int budget =
+          InvariantChecker::theorem12_bit_budget(b.q, b.inst.color_space);
+      RoundMetrics good;
+      good.max_message_bits = budget;
+      checker.check_message_bits(good, b.q, b.inst.color_space, "baseline");
+      out = finish(out, checker, false);
+      checker.clear();
+      RoundMetrics lied;
+      lied.max_message_bits = budget + 1;
+      checker.check_message_bits(lied, b.q, b.inst.color_space, "mutated");
+      out = finish(std::move(out), checker, true);
+      break;
+    }
+    case MutationKind::kDroppedMessage: {
+      // Path 0-1-2, true orientation by_id (1->0, 2->1). Node 1 must hear
+      // node 0's decision to avoid color 5; hiding that arc reproduces the
+      // state a dropped message leaves behind: node 1 commits to 5 with a
+      // stale conflict count, and the true instance rejects the output.
+      const Graph g = path(3);
+      OldcInstance true_inst;
+      true_inst.graph = &g;
+      true_inst.orientation = Orientation::by_id(g);
+      true_inst.color_space = 8;
+      true_inst.lists.push_back(ColorList::uniform({5}, 1));
+      true_inst.lists.push_back(ColorList::zero_defect({5, 6}));
+      true_inst.lists.push_back(ColorList::zero_defect({5, 6}));
+
+      const std::vector<Color> initial = {0, 1, 2};
+      const ColoringResult honest =
+          two_sweep(true_inst, initial, /*q=*/3, /*p=*/1,
+                    /*skip_precondition_check=*/true);
+      checker.check_oldc(true_inst, honest.colors, "baseline");
+      out = finish(out, checker, false);
+      checker.clear();
+
+      OldcInstance dropped = true_inst;
+      dropped.orientation = Orientation::from_predicate(
+          g, [](NodeId a, NodeId b) {
+            return (a == 0 && b == 1) || (a == 2 && b == 1);
+          });
+      const ColoringResult stale =
+          two_sweep(dropped, initial, /*q=*/3, /*p=*/1,
+                    /*skip_precondition_check=*/true);
+      checker.clear();  // solver-epilogue checks ran against `dropped`
+      checker.check_oldc(true_inst, stale.colors, "mutated");
+      out = finish(std::move(out), checker, true);
+      break;
+    }
+  }
+
+  checker.uninstall();
+  return out;
+}
+
+bool SelfTestReport::all_caught() const {
+  for (const MutationOutcome& o : outcomes) {
+    if (!o.caught || !o.baseline_clean) return false;
+  }
+  return !outcomes.empty();
+}
+
+SelfTestReport run_mutation_self_test() {
+  SelfTestReport report;
+  for (const MutationKind kind : all_mutation_kinds()) {
+    report.outcomes.push_back(run_mutation(kind));
+  }
+  return report;
+}
+
+}  // namespace dcolor

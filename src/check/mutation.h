@@ -1,0 +1,51 @@
+// Mutation self-tests for the invariant checker.
+//
+// A checker that never fires is indistinguishable from a checker that
+// works; each mutation seeds one known contract violation into an
+// otherwise-valid execution and asserts the checker flags it (and that
+// the unmutated twin passes). The kinds cover every rule the checker
+// enforces, including the two failure modes the issue singles out: an
+// off-by-one defect budget and a dropped message (simulated by running
+// Two-Sweep against an orientation with one arc hidden, then checking
+// the output against the true instance — exactly the wrong-conflict-count
+// state a lost decision message produces).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcolor {
+
+enum class MutationKind {
+  kOffListColor,    ///< final color outside L_v
+  kUncoloredNode,   ///< node left at kNoColor
+  kDefectOverflow,  ///< off-by-one defect: budget one below the real defect
+  kImproperFinal,   ///< monochromatic edge in a "proper" output
+  kSlackLie,        ///< Theorem 1.1 premise broken at one node
+  kBandwidthLie,    ///< message wider than the Theorem 1.2 budget
+  kDroppedMessage,  ///< lost decision message -> stale conflict counts
+};
+
+const char* mutation_name(MutationKind kind);
+std::vector<MutationKind> all_mutation_kinds();
+
+struct MutationOutcome {
+  MutationKind kind;
+  bool baseline_clean = false;  ///< unmutated twin raised no violation
+  bool caught = false;          ///< mutated run raised >= 1 violation
+  std::string rule;             ///< first rule that fired (when caught)
+};
+
+/// Runs one mutation scenario under a collect-mode checker.
+MutationOutcome run_mutation(MutationKind kind);
+
+struct SelfTestReport {
+  std::vector<MutationOutcome> outcomes;
+  bool all_caught() const;
+};
+
+/// Runs every mutation kind; the CLI's `fuzz --self-test` and the `check`
+/// test label both assert all_caught().
+SelfTestReport run_mutation_self_test();
+
+}  // namespace dcolor

@@ -1,0 +1,175 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace dcolor {
+
+namespace {
+
+/// Greedy choice at one node: among colors with conflicts(x) ≤ d_v(x),
+/// pick the one maximizing the remaining margin d_v(x) − conflicts(x)
+/// (smallest color on ties — deterministic). Returns kNoColor when every
+/// color's budget is exhausted.
+Color pick_color(PaletteView list, const std::vector<int>& conflicts) {
+  std::int64_t best_margin = -1;
+  Color best = kNoColor;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const std::int64_t margin = list.defect(i) - conflicts[i];
+    if (margin > best_margin) {
+      best_margin = margin;
+      best = list.color(i);
+    }
+  }
+  return best_margin >= 0 ? best : kNoColor;
+}
+
+OracleResult solve_oriented(const OldcInstance& inst) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  OracleResult out;
+  out.colors.assign(n, kNoColor);
+
+  // Kahn over the out-arc DAG: v becomes ready once all out-neighbors are
+  // colored. A min-heap keyed by id makes the order (and thus the output)
+  // deterministic; a stall before all nodes are colored means the
+  // orientation has a directed cycle — no processing order exists.
+  std::vector<int> outstanding(n, 0);
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    outstanding[static_cast<std::size_t>(v)] =
+        static_cast<int>(inst.orientation.out_neighbors(v).size());
+    if (outstanding[static_cast<std::size_t>(v)] == 0) ready.push(v);
+  }
+
+  std::vector<int> conflicts;
+  std::size_t colored = 0;
+  while (!ready.empty()) {
+    const NodeId v = ready.top();
+    ready.pop();
+    const auto vi = static_cast<std::size_t>(v);
+    const PaletteView list = inst.lists[vi];
+    conflicts.assign(list.size(), 0);
+    for (const NodeId u : inst.orientation.out_neighbors(v)) {
+      const Color cu = out.colors[static_cast<std::size_t>(u)];
+      const auto cs = list.colors();
+      const auto it = std::lower_bound(cs.begin(), cs.end(), cu);
+      if (it != cs.end() && *it == cu) {
+        ++conflicts[static_cast<std::size_t>(it - cs.begin())];
+      }
+    }
+    const Color c = pick_color(list, conflicts);
+    if (c == kNoColor) {
+      out.status = OracleStatus::kUnsolvable;
+      out.detail = "no color of node " + std::to_string(v) +
+                   " has defect budget for its out-conflicts";
+      return out;
+    }
+    out.colors[vi] = c;
+    ++colored;
+    for (const NodeId u : inst.orientation.in_neighbors(v)) {
+      if (--outstanding[static_cast<std::size_t>(u)] == 0) ready.push(u);
+    }
+  }
+  if (colored != n) {
+    out.status = OracleStatus::kSkipped;
+    out.detail = "orientation has a directed cycle; no topological order";
+    out.colors.assign(n, kNoColor);
+    return out;
+  }
+  out.status = OracleStatus::kSolved;
+  return out;
+}
+
+OracleResult solve_symmetric(const OldcInstance& inst) {
+  const Graph& g = *inst.graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  OracleResult out;
+  out.colors.assign(n, kNoColor);
+
+  // remaining[u]: how many MORE same-colored neighbors node u can absorb.
+  std::vector<std::int64_t> remaining(n, 0);
+  std::vector<int> conflicts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const PaletteView list = inst.lists[vi];
+    conflicts.assign(list.size(), 0);
+    for (const NodeId u : g.neighbors(v)) {
+      const Color cu = out.colors[static_cast<std::size_t>(u)];
+      if (cu == kNoColor) continue;
+      const auto cs = list.colors();
+      const auto it = std::lower_bound(cs.begin(), cs.end(), cu);
+      if (it != cs.end() && *it == cu) {
+        ++conflicts[static_cast<std::size_t>(it - cs.begin())];
+      }
+    }
+    // Feasible = own budget covers current conflicts AND every
+    // already-colored same-color neighbor still has headroom to absorb v.
+    std::int64_t best_margin = -1;
+    Color best = kNoColor;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const std::int64_t margin = list.defect(i) - conflicts[i];
+      if (margin < 0 || margin <= best_margin) continue;
+      bool neighbors_ok = true;
+      for (const NodeId u : g.neighbors(v)) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (out.colors[ui] == list.color(i) && remaining[ui] == 0) {
+          neighbors_ok = false;
+          break;
+        }
+      }
+      if (neighbors_ok) {
+        best_margin = margin;
+        best = list.color(i);
+      }
+    }
+    if (best == kNoColor) {
+      out.status = OracleStatus::kSkipped;
+      out.detail = "greedy dead end at node " + std::to_string(v) +
+                   " (no guarantee for symmetric instances)";
+      out.colors.assign(n, kNoColor);
+      return out;
+    }
+    out.colors[vi] = best;
+    remaining[vi] = best_margin;  // d_v(best) − conflicts(best)
+    for (const NodeId u : g.neighbors(v)) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (out.colors[ui] == best) --remaining[ui];
+    }
+  }
+  out.status = OracleStatus::kSolved;
+  return out;
+}
+
+}  // namespace
+
+OracleResult solve_oldc_oracle(const OldcInstance& inst) {
+  OracleResult out =
+      inst.symmetric ? solve_symmetric(inst) : solve_oriented(inst);
+  if (out.status == OracleStatus::kSolved &&
+      !validate_oldc(inst, out.colors)) {
+    // The oracle's own invariants failed — never trust a reference that
+    // does not validate.
+    out.status = OracleStatus::kUnsolvable;
+    out.detail = "oracle produced an invalid solution (internal error)";
+  }
+  return out;
+}
+
+bool oracle_guarantee_holds(const OldcInstance& inst) {
+  if (inst.symmetric) return false;
+  const Graph& g = *inst.graph;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const PaletteView list = inst.lists[static_cast<std::size_t>(v)];
+    const int outdeg = inst.effective_outdegree(v);
+    if (outdeg == 0) {
+      if (list.empty()) return false;
+    } else if (list.weight() <= outdeg) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dcolor

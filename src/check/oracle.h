@@ -1,0 +1,49 @@
+// Sequential reference solvers ("oracles") for differential testing.
+//
+// The fuzz harness cross-checks every distributed run against a
+// sequential solver with a provable success guarantee:
+//
+//  * Oriented instances with an ACYCLIC orientation are solved greedily
+//    in reverse topological order (a node is colored only after all of
+//    its out-neighbors). At v's turn every out-conflict count is exact
+//    and final — later choices only affect later nodes' out-defects — so
+//    picking the color maximizing d_v(x) − conflicts(x) succeeds whenever
+//    Σ(d_v(x)+1) > outdeg(v) (pigeonhole), which Eq. (2) implies. An
+//    oracle failure on an Eq.-(2)-feasible acyclic instance is therefore
+//    always a bug, never bad luck.
+//
+//  * Symmetric (undirected) instances get a budget-aware greedy that
+//    tracks how much defect headroom each colored node has left; greedy
+//    has no success guarantee there, so a dead end reports kSkipped
+//    (not a mismatch) and the harness counts it separately.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace dcolor {
+
+enum class OracleStatus {
+  kSolved,      ///< colors is a valid solution (self-validated)
+  kUnsolvable,  ///< provably no valid choice existed at some node
+  kSkipped,     ///< no guarantee applies (cyclic orientation / greedy dead
+                ///< end on a symmetric instance) — not a mismatch
+};
+
+struct OracleResult {
+  OracleStatus status = OracleStatus::kSkipped;
+  std::vector<Color> colors;  ///< valid iff status == kSolved
+  std::string detail;         ///< why it stopped, for kUnsolvable/kSkipped
+};
+
+/// Solves an OLDC instance sequentially (dispatches on inst.symmetric).
+OracleResult solve_oldc_oracle(const OldcInstance& inst);
+
+/// True iff every non-sink node satisfies Eq. (2)'s pigeonhole corollary
+/// weight(v) > outdeg(v) and every sink has a non-empty list — the
+/// premise under which the oriented oracle provably succeeds.
+bool oracle_guarantee_holds(const OldcInstance& inst);
+
+}  // namespace dcolor

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "check/invariant_checker.h"
 #include "sim/trace.h"
 #include "util/check.h"
 
@@ -96,6 +97,9 @@ ColoringResult color_space_reduction(const OldcInstance& inst,
     const ColoringResult level_result = base(choice, initial, q);
     DCOLOR_CHECK_MSG(validate_oldc(choice, level_result.colors),
                      "sub-space choice at level " << level << " is invalid");
+    if (InvariantChecker* ck = InvariantChecker::current(); ck != nullptr) {
+      ck->check_oldc(choice, level_result.colors, "csr_level");
+    }
     result.metrics += level_result.metrics;
 
     for (std::size_t vi = 0; vi < n; ++vi) {
@@ -144,6 +148,9 @@ ColoringResult color_space_reduction(const OldcInstance& inst,
     const ColoringResult final_result = base(last, initial, q);
     DCOLOR_CHECK_MSG(validate_oldc(last, final_result.colors),
                      "final color-space-reduction level is invalid");
+    if (InvariantChecker* ck = InvariantChecker::current(); ck != nullptr) {
+      ck->check_oldc(last, final_result.colors, "csr_final");
+    }
     result.metrics += final_result.metrics;
     result.colors = final_result.colors;
   }

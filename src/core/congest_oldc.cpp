@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/invariant_checker.h"
 #include "core/color_space_reduction.h"
 #include "core/fast_two_sweep.h"
 #include "sim/trace.h"
@@ -31,6 +32,8 @@ ColoringResult congest_oldc(const OldcInstance& inst,
         "Theorem 1.2 premise fails at node " << v << ": weight "
                                              << lst.weight());
   }
+  InvariantChecker* const ck = InvariantChecker::current();
+  if (ck != nullptr) ck->check_theorem12(inst, "congest_oldc entry");
 
   // L = ⌈log₄ C⌉ levels, ε = 1/(3L), base = Fast-Two-Sweep(p=2, ε).
   int levels = 1;
@@ -50,8 +53,22 @@ ColoringResult congest_oldc(const OldcInstance& inst,
                               std::int64_t sub_q) {
     return fast_two_sweep(sub, initial, sub_q, p, eps);
   };
-  return color_space_reduction(inst, initial_coloring, q, /*lambda=*/4, kappa,
-                               base);
+  ColoringResult result;
+  {
+    // Arm the engine-level per-message cap for the whole pipeline: in
+    // throw mode any single message wider than the Theorem 1.2 budget
+    // fails the run at the sending round, not post hoc.
+    const InvariantChecker::BandwidthGuard guard(
+        ck, InvariantChecker::theorem12_bit_budget(q, inst.color_space));
+    result = color_space_reduction(inst, initial_coloring, q, /*lambda=*/4,
+                                   kappa, base);
+  }
+  if (ck != nullptr) {
+    ck->check_oldc(inst, result.colors, "congest_oldc");
+    ck->check_message_bits(result.metrics, q, inst.color_space,
+                           "congest_oldc");
+  }
+  return result;
 }
 
 }  // namespace dcolor

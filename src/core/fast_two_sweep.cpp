@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "check/invariant_checker.h"
 #include "coloring/kuhn_defective.h"
 #include "core/two_sweep.h"
 #include "sim/trace.h"
@@ -37,6 +38,8 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
     DCOLOR_CHECK_MSG(static_cast<double>(lst.weight()) > need,
                      "Eq. (7) fails at node " << v);
   }
+  InvariantChecker* const ck = InvariantChecker::current();
+  if (ck != nullptr) ck->check_theorem11(inst, p, eps, "fast_two_sweep entry");
 
   // Line 1 of Algorithm 2: when q is already small (or ε == 0), the plain
   // sweep is at least as fast.
@@ -61,6 +64,10 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
                : kuhn_defective_coloring(g, inst.orientation, initial_coloring,
                                          static_cast<std::uint64_t>(q), alpha);
   }();
+  if (ck != nullptr) {
+    ck->check_defective_precoloring(inst, psi.colors, psi.num_colors, alpha,
+                                    "defective_precoloring");
+  }
 
   // Line 5: drop Ψ-monochromatic edges and lower the defects by the saved
   // budget ⌊β_v·ε/p⌋.
@@ -106,6 +113,9 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
   ColoringResult result =
       two_sweep(sub_inst, psi.colors, psi.num_colors, p);
   result.metrics += psi.metrics;
+  // The sub-instance epilogue above checked the lowered-defect contract;
+  // this one checks the ORIGINAL instance the caller handed us.
+  if (ck != nullptr) ck->check_oldc(inst, result.colors, "fast_two_sweep");
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariant_checker.h"
 #include "coloring/kuhn_defective.h"
 #include "coloring/linial.h"
 #include "core/congest_oldc.h"
@@ -191,6 +192,9 @@ ArbdefectiveResult solve_arbdefective_slack1(
     if (oracle) return linial.colors[bi] < linial.colors[ai];
     return b < a;
   });
+  if (InvariantChecker* ck = InvariantChecker::current(); ck != nullptr) {
+    ck->check_arbdefective(inst, result, "solve_arbdefective_slack1");
+  }
   return result;
 }
 
@@ -212,6 +216,9 @@ ColoringResult solve_degree_plus_one(const ListDefectiveInstance& inst,
   ColoringResult result;
   result.colors = std::move(arb.colors);
   result.metrics = arb.metrics;
+  if (InvariantChecker* ck = InvariantChecker::current(); ck != nullptr) {
+    ck->check_proper(g, result.colors, "solve_degree_plus_one");
+  }
   return result;
 }
 

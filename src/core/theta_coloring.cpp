@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "check/invariant_checker.h"
 #include "core/instance.h"
 #include "core/list_coloring.h"
 #include "core/slack_reduction.h"
@@ -85,6 +86,9 @@ ColoringResult theta_delta_plus_one(const Graph& g, int theta,
   ColoringResult result;
   result.colors = std::move(arb.colors);
   result.metrics = arb.metrics;
+  if (InvariantChecker* ck = InvariantChecker::current(); ck != nullptr) {
+    ck->check_proper(g, result.colors, "theta_delta_plus_one");
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/invariant_checker.h"
 #include "sim/trace.h"
 #include "util/check.h"
 #include "util/math.h"
@@ -282,6 +283,12 @@ ColoringResult two_sweep_ex(const OldcInstance& inst,
   result.metrics = net.run(program, 2 * q + 4);
   result.metrics.local_compute_ops = program.compute_ops();
   result.colors = program.final_colors();
+  if (InvariantChecker* ck = InvariantChecker::current();
+      ck != nullptr &&
+      options.selection != TwoSweepSelection::kOneSweep) {
+    // kOneSweep is the ablation that intentionally overshoots defects.
+    ck->check_oldc(inst, result.colors, "two_sweep");
+  }
   return result;
 }
 

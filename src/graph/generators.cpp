@@ -85,8 +85,11 @@ Graph gnp_avg_degree(NodeId n, double avg_degree, Rng& rng) {
 }
 
 Graph random_near_regular(NodeId n, int d, Rng& rng) {
-  DCOLOR_CHECK(n >= 1 && d >= 0);
-  DCOLOR_CHECK_MSG(d < n, "regular degree must be < n");
+  DCOLOR_CHECK(n >= 0 && d >= 0);
+  // A simple graph caps degrees at n-1; the contract is "degrees <= d",
+  // so larger d just saturates (and n <= 1 yields an edgeless graph)
+  // instead of rejecting tiny instances.
+  d = std::min(d, static_cast<int>(std::max<NodeId>(n, 1) - 1));
   PhaseSpan span("setup:random_near_regular");
   // Configuration model: d stubs per node, random perfect matching of
   // stubs, then drop loops/multi-edges. The matching is realized by
@@ -185,8 +188,8 @@ Graph hypercube(int dims) {
 }
 
 Graph random_tree(NodeId n, Rng& rng) {
-  DCOLOR_CHECK(n >= 1);
-  if (n == 1) return Graph::from_edges(1, {});
+  DCOLOR_CHECK(n >= 0);
+  if (n <= 1) return Graph::from_edges(n, {});
   if (n == 2) return Graph::from_edges(2, {{0, 1}});
   PhaseSpan span("setup:random_tree");
   // Prüfer sequence decoding. Sequence entries come from per-entry

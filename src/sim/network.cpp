@@ -8,22 +8,27 @@
 #include <exception>
 #include <utility>
 
+#include "check/invariant_checker.h"
 #include "sim/thread_pool.h"
 #include "sim/trace.h"
 #include "util/check.h"
+#include "util/parse.h"
 
 namespace dcolor {
 
 namespace {
 
 int env_threads() {
+  // Strict: a malformed value used to silently fall back to 1 thread,
+  // which reads as "parallelism is broken" rather than "typo in the
+  // environment". Garbage, overflow, or an out-of-range count now throw.
   static const int cached = [] {
     const char* s = std::getenv("DCOLOR_SIM_THREADS");
     if (s == nullptr || *s == '\0') return 1;
-    char* end = nullptr;
-    const long v = std::strtol(s, &end, 10);
-    if (end == nullptr || *end != '\0' || v < 1) return 1;
-    return static_cast<int>(std::min<long>(v, 256));
+    const std::int64_t v = parse_int64(s, "DCOLOR_SIM_THREADS");
+    DCOLOR_CHECK_MSG(v >= 1 && v <= 256,
+                     "DCOLOR_SIM_THREADS must be in [1, 256], got " << v);
+    return static_cast<int>(v);
   }();
   return cached;
 }
@@ -61,9 +66,22 @@ int Network::default_num_threads() noexcept {
 RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
                           int message_bit_cap) {
   detail::ensure_env_tracer();
+  detail::ensure_env_checker();
   // Cached for the whole run: the tracer may not be swapped while a run
   // is in flight. A null tracer costs one pointer test per round.
   Tracer* const tracer = Tracer::current();
+  // Checker-armed bandwidth cap, merged with the caller's cap once per run
+  // on this (the simulating) thread; pool threads only ever read the
+  // resulting int. active_bit_cap() is nonzero only for throw-mode
+  // checkers, whose violations travel through the chunk-order rethrow
+  // below — deterministic at every thread count.
+  const InvariantChecker* const checker = InvariantChecker::current();
+  const int checker_cap = checker != nullptr ? checker->active_bit_cap() : 0;
+  const int effective_bit_cap =
+      message_bit_cap > 0 && checker_cap > 0
+          ? std::min(message_bit_cap, checker_cap)
+          : std::max(message_bit_cap, checker_cap);
+  message_bit_cap = effective_bit_cap;
   const Graph& g = *graph_;
   const NodeId n_nodes = g.num_nodes();
   const auto n = static_cast<std::size_t>(n_nodes);

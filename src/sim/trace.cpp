@@ -8,6 +8,7 @@
 #include <ostream>
 #include <utility>
 
+#include "check/invariant_checker.h"
 #include "util/check.h"
 #include "util/table.h"
 
@@ -158,6 +159,11 @@ std::string Tracer::span_path(std::int32_t id) const {
 
 PhaseSpan::PhaseSpan(std::string_view name) {
   detail::ensure_env_tracer();
+  if (InvariantChecker* const ck = InvariantChecker::current();
+      ck != nullptr) {
+    checker_ = ck;
+    ck->on_phase_begin(name);
+  }
   Tracer* const t = Tracer::current();
   if (t == nullptr) return;
   tracer_ = t;
@@ -166,6 +172,7 @@ PhaseSpan::PhaseSpan(std::string_view name) {
 
 PhaseSpan::~PhaseSpan() {
   if (tracer_ != nullptr) tracer_->end_span(id_);
+  if (checker_ != nullptr) checker_->on_phase_end();
 }
 
 // ---- JSONL sink -------------------------------------------------------

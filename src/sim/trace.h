@@ -181,8 +181,13 @@ class Tracer {
   Tracer* prev_ = nullptr;  ///< tracer displaced by install()
 };
 
-/// RAII phase annotation. Constructing is a no-op when no tracer is
-/// current; otherwise opens a span closed at scope exit.
+class InvariantChecker;
+
+/// RAII phase annotation. Constructing is a no-op when no tracer or
+/// invariant checker is current; otherwise opens a tracer span and/or a
+/// checker phase frame, both closed at scope exit. This is the seam the
+/// checker attributes violations through: the phase path in a
+/// CheckViolation is the stack of open PhaseSpans at detection time.
 class PhaseSpan {
  public:
   explicit PhaseSpan(std::string_view name);
@@ -193,6 +198,7 @@ class PhaseSpan {
 
  private:
   Tracer* tracer_ = nullptr;
+  InvariantChecker* checker_ = nullptr;
   std::int32_t id_ = -1;
 };
 

@@ -1,8 +1,7 @@
 #include "util/cli.h"
 
-#include <cstdlib>
-
 #include "util/check.h"
+#include "util/parse.h"
 
 namespace dcolor {
 
@@ -26,14 +25,14 @@ std::int64_t CliArgs::get_int(const std::string& key,
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   consumed_[key] = true;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_int64(it->second, "--" + key);
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   consumed_[key] = true;
-  return std::strtod(it->second.c_str(), nullptr);
+  return parse_double(it->second, "--" + key);
 }
 
 std::string CliArgs::get_string(const std::string& key,

@@ -1,0 +1,65 @@
+#include "util/parse.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::int64_t parse_int64(std::string_view text, std::string_view context) {
+  const std::string_view t = trim(text);
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  DCOLOR_CHECK_MSG(ec != std::errc::result_out_of_range,
+                   context << ": integer out of range: \"" << std::string(text)
+                           << "\"");
+  DCOLOR_CHECK_MSG(ec == std::errc() && ptr == t.data() + t.size(),
+                   context << ": expected an integer, got \""
+                           << std::string(text) << "\"");
+  return value;
+}
+
+double parse_double(std::string_view text, std::string_view context) {
+  const std::string_view t = trim(text);
+  // strtod via a NUL-terminated copy: from_chars<double> is still missing
+  // from some libstdc++ configurations this project targets.
+  const std::string buf(t);
+  DCOLOR_CHECK_MSG(!buf.empty(), context << ": expected a number, got \""
+                                         << std::string(text) << "\"");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  DCOLOR_CHECK_MSG(errno != ERANGE, context << ": number out of range: \""
+                                            << std::string(text) << "\"");
+  DCOLOR_CHECK_MSG(end == buf.c_str() + buf.size(),
+                   context << ": expected a number, got \"" << std::string(text)
+                           << "\"");
+  return value;
+}
+
+std::optional<std::int64_t> parse_int64_prefix(std::string_view text) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr == text.data()) return std::nullopt;
+  return value;
+}
+
+}  // namespace dcolor

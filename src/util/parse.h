@@ -1,0 +1,29 @@
+// Strict numeric parsing for CLI flags and environment variables.
+//
+// std::strtol-family calls silently turn garbage into 0 and overflow into
+// clamped values; every user-facing number in the library goes through
+// these helpers instead, which accept exactly one well-formed number
+// spanning the whole input and throw CheckError otherwise. `context`
+// names the flag/variable in the error message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dcolor {
+
+/// Parses a base-10 signed integer; the entire input (sans surrounding
+/// whitespace) must be consumed. Throws CheckError on empty input,
+/// trailing characters, or overflow.
+std::int64_t parse_int64(std::string_view text, std::string_view context);
+
+/// Parses a floating-point number with the same whole-input contract.
+double parse_double(std::string_view text, std::string_view context);
+
+/// Non-throwing variant used by scanners that probe text which may not
+/// hold a number at all (e.g. JSON field extraction): parses a base-10
+/// integer PREFIX of `text` and returns nullopt when no digits lead it.
+std::optional<std::int64_t> parse_int64_prefix(std::string_view text);
+
+}  // namespace dcolor

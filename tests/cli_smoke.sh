@@ -47,4 +47,28 @@ if command -v python3 >/dev/null 2>&1; then
 json.load(open(sys.argv[2]))" "$DIR/trace.jsonl" "$DIR/trace.json"
 fi
 
+# Online invariant checking: --check must pass clean runs (and report its
+# check count on stderr), and DCOLOR_CHECK must do the same without flags.
+"$CLI" --cmd=color --instance="$DIR/i.txt" --algorithm=two_sweep --ts_p=5 \
+       --check --out="$DIR/c.txt" 2>"$DIR/check.log"
+grep -q "invariant checks, 0 violation" "$DIR/check.log"
+DCOLOR_CHECK=1 "$CLI" --cmd=color --instance="$DIR/i.txt" \
+       --algorithm=two_sweep --ts_p=5 --out="$DIR/c.txt"
+
+# Differential fuzz: a tiny deterministic run plus repro replay.
+"$CLI" --cmd=fuzz --cases=10 --seed=7 --max-n=24 --threads=1,2 \
+       --out="$DIR/repro.txt"
+"$CLI" --cmd=fuzz --replay="$DIR/i.txt" --algorithm=two_sweep --ts_p=5 \
+       --threads=1,2
+
+# Strict numeric parsing: garbage values must fail loudly, not parse as 0.
+if "$CLI" --cmd=generate --family=regular --n=12abc --degree=3 --seed=1 \
+       --out="$DIR/bad.txt" 2>/dev/null; then
+  echo "cli_smoke: FAIL — garbage --n accepted" >&2; exit 1
+fi
+if DCOLOR_SIM_THREADS=abc "$CLI" --cmd=color --instance="$DIR/i.txt" \
+       --algorithm=two_sweep --ts_p=5 --out="$DIR/c.txt" 2>/dev/null; then
+  echo "cli_smoke: FAIL — garbage DCOLOR_SIM_THREADS accepted" >&2; exit 1
+fi
+
 echo "cli_smoke: OK"

@@ -1,0 +1,306 @@
+// The `check` label: online invariant checker, sequential oracles,
+// mutation self-tests, and the differential fuzz harness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+#include "check/invariant_checker.h"
+#include "check/mutation.h"
+#include "check/oracle.h"
+#include "coloring/linial.h"
+#include "core/congest_oldc.h"
+#include "core/fast_two_sweep.h"
+#include "core/instance.h"
+#include "core/two_sweep.h"
+#include "graph/generators.h"
+#include "io/instance_io.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+/// A known-good OLDC instance + proper initial coloring (same shape the
+/// mutation baseline uses).
+struct GoodSetup {
+  Graph g;
+  OldcInstance inst;  ///< inst.graph points at `g`
+  std::vector<Color> initial;
+  std::int64_t q = 0;
+
+  GoodSetup() = default;
+  GoodSetup(GoodSetup&& other) noexcept { *this = std::move(other); }
+  GoodSetup& operator=(GoodSetup&& other) noexcept {
+    g = std::move(other.g);
+    inst = std::move(other.inst);
+    initial = std::move(other.initial);
+    q = other.q;
+    inst.graph = &g;
+    return *this;
+  }
+};
+
+GoodSetup make_good_setup(std::uint64_t seed) {
+  GoodSetup s;
+  Rng rng(seed);
+  s.g = gnp(24, 0.25, rng);
+  Orientation o = Orientation::by_id(s.g);
+  const int beta = o.beta();
+  const int defect = (3 * beta + 3) / 4 + 1;
+  s.inst = random_uniform_oldc(s.g, std::move(o), /*color_space=*/16,
+                               /*list_size=*/6, defect, rng);
+  const LinialResult linial = linial_from_ids(s.g, s.inst.orientation);
+  s.initial = linial.colors;
+  s.q = linial.num_colors;
+  return s;
+}
+
+// ---- contract pass on known-good runs ----------------------------------
+
+TEST(InvariantChecker, ThrowModePassesOnGoodTwoSweepRun) {
+  const GoodSetup s = make_good_setup(901);
+  InvariantChecker ck(InvariantChecker::Mode::kThrow);
+  ck.install();
+  const ColoringResult res = two_sweep(s.inst, s.initial, s.q, /*p=*/2);
+  ck.uninstall();
+  EXPECT_TRUE(validate_oldc(s.inst, res.colors));
+  // "No violations" alone can mean "hooks never fired": require evidence
+  // the checker actually evaluated invariants.
+  EXPECT_GT(ck.checks_run(), 0);
+  EXPECT_TRUE(ck.violations().empty());
+}
+
+TEST(InvariantChecker, ThrowModePassesOnGoodFastTwoSweepRun) {
+  const GoodSetup s = make_good_setup(902);
+  InvariantChecker ck(InvariantChecker::Mode::kThrow);
+  ck.install();
+  const ColoringResult res =
+      fast_two_sweep(s.inst, s.initial, s.q, /*p=*/2, /*eps=*/0.5);
+  ck.uninstall();
+  EXPECT_TRUE(validate_oldc(s.inst, res.colors));
+  EXPECT_GT(ck.checks_run(), 0);
+}
+
+TEST(InvariantChecker, ThrowModePassesOnGoodCongestRun) {
+  Rng rng(903);
+  GoodSetup s;
+  s.g = gnp(24, 0.25, rng);
+  Orientation o = Orientation::by_id(s.g);
+  const int beta = o.beta();
+  const std::int64_t C = 12;
+  const int list_size = 6;
+  // weight = Λ(d+1) >= 3·√C·β.
+  const int defect = static_cast<int>(
+      3.0 * 3.4641 * beta / list_size) + 1;
+  s.inst = random_uniform_oldc(s.g, std::move(o), C, list_size, defect, rng);
+  const LinialResult linial = linial_from_ids(s.g, s.inst.orientation);
+
+  InvariantChecker ck(InvariantChecker::Mode::kThrow);
+  ck.install();
+  const ColoringResult res =
+      congest_oldc(s.inst, linial.colors, linial.num_colors);
+  ck.uninstall();
+  EXPECT_TRUE(validate_oldc(s.inst, res.colors));
+  EXPECT_GT(ck.checks_run(), 0);
+  // Empirical Theorem 1.2 bandwidth: the widest message of the whole
+  // pipeline fits the O(log q + log C) budget the checker enforces.
+  EXPECT_LE(res.metrics.max_message_bits,
+            InvariantChecker::theorem12_bit_budget(linial.num_colors, C));
+}
+
+// ---- mutation self-test ------------------------------------------------
+
+TEST(MutationSelfTest, EverySeededViolationIsCaught) {
+  const SelfTestReport report = run_mutation_self_test();
+  ASSERT_EQ(report.outcomes.size(), all_mutation_kinds().size());
+  for (const MutationOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.baseline_clean)
+        << mutation_name(o.kind) << ": unmutated twin raised a violation";
+    EXPECT_TRUE(o.caught)
+        << mutation_name(o.kind) << ": seeded violation was NOT caught";
+  }
+  EXPECT_TRUE(report.all_caught());
+}
+
+TEST(MutationSelfTest, DefectOverflowFiresTheDefectRule) {
+  const MutationOutcome o = run_mutation(MutationKind::kDefectOverflow);
+  EXPECT_TRUE(o.caught);
+  EXPECT_EQ(o.rule, "defect_bound");
+}
+
+TEST(MutationSelfTest, DroppedMessageFiresTheDefectRule) {
+  const MutationOutcome o = run_mutation(MutationKind::kDroppedMessage);
+  EXPECT_TRUE(o.caught);
+  EXPECT_EQ(o.rule, "defect_bound");
+}
+
+// ---- determinism across thread counts ----------------------------------
+
+TEST(InvariantChecker, OutputDeterministicAcrossThreadCounts) {
+  const GoodSetup s = make_good_setup(904);
+  std::vector<Color> first_colors;
+  std::int64_t first_checks = -1;
+  for (const int threads : {1, 2, 4, 8}) {
+    Network::set_default_num_threads(threads);
+    InvariantChecker ck(InvariantChecker::Mode::kCollect);
+    ck.install();
+    const ColoringResult res = two_sweep(s.inst, s.initial, s.q, 2);
+    ck.uninstall();
+    EXPECT_TRUE(ck.violations().empty()) << "threads=" << threads;
+    if (first_checks < 0) {
+      first_checks = ck.checks_run();
+      first_colors = res.colors;
+    } else {
+      EXPECT_EQ(ck.checks_run(), first_checks) << "threads=" << threads;
+      EXPECT_EQ(res.colors, first_colors) << "threads=" << threads;
+    }
+  }
+  Network::set_default_num_threads(0);
+}
+
+// ---- phase attribution + bandwidth guard --------------------------------
+
+TEST(InvariantChecker, ViolationsCarryThePhasePath) {
+  InvariantChecker ck(InvariantChecker::Mode::kCollect);
+  ck.install();
+  {
+    PhaseSpan outer("outer");
+    PhaseSpan inner("inner");
+    const Graph g = path(2);
+    ck.check_proper(g, {0, 0}, "attribution");
+  }
+  ck.uninstall();
+  ASSERT_EQ(ck.violations().size(), 1u);
+  EXPECT_EQ(ck.violations()[0].rule, "proper_coloring");
+  EXPECT_EQ(ck.violations()[0].phase, "outer/inner");
+}
+
+TEST(InvariantChecker, BandwidthGuardArmsTheEngineCap) {
+  const GoodSetup s = make_good_setup(905);
+  InvariantChecker ck(InvariantChecker::Mode::kThrow);
+  ck.install();
+  {
+    // 1 bit is below any real message; the engine must reject the first
+    // send of the run, proving the checker cap reaches the simulator.
+    const InvariantChecker::BandwidthGuard guard(&ck, 1);
+    EXPECT_THROW(two_sweep(s.inst, s.initial, s.q, 2), CheckError);
+  }
+  // Guard restored: the same run passes.
+  const ColoringResult res = two_sweep(s.inst, s.initial, s.q, 2);
+  ck.uninstall();
+  EXPECT_TRUE(validate_oldc(s.inst, res.colors));
+}
+
+TEST(InvariantChecker, CollectModeNeverArmsTheEngineCap) {
+  InvariantChecker ck(InvariantChecker::Mode::kCollect);
+  const InvariantChecker::BandwidthGuard guard(&ck, 1);
+  EXPECT_EQ(ck.active_bit_cap(), 0);
+}
+
+// ---- sequential oracles -------------------------------------------------
+
+TEST(Oracle, SolvesGuaranteedOrientedInstances) {
+  for (std::int64_t idx = 0; idx < 24; ++idx) {
+    const FuzzCase c = make_fuzz_case(/*seed=*/31, idx, /*max_n=*/32);
+    if (c.owned.instance.symmetric) continue;
+    ASSERT_TRUE(oracle_guarantee_holds(c.owned.instance)) << "case " << idx;
+    const OracleResult res = solve_oldc_oracle(c.owned.instance);
+    EXPECT_EQ(res.status, OracleStatus::kSolved) << "case " << idx;
+    EXPECT_TRUE(validate_oldc(c.owned.instance, res.colors));
+  }
+}
+
+TEST(Oracle, ReportsUnsolvableWhenNoBudgetExists) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.orientation = Orientation::by_id(g);  // arc 1 -> 0
+  inst.color_space = 1;
+  inst.lists.push_back(ColorList::zero_defect({0}));
+  inst.lists.push_back(ColorList::zero_defect({0}));
+  const OracleResult res = solve_oldc_oracle(inst);
+  EXPECT_EQ(res.status, OracleStatus::kUnsolvable);
+  EXPECT_FALSE(oracle_guarantee_holds(inst));  // weight == outdeg at node 1
+}
+
+TEST(Oracle, SymmetricDeadEndIsASkipNotAnError) {
+  const Graph g = complete(3);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.orientation = Orientation::by_id(g);
+  inst.color_space = 1;
+  inst.symmetric = true;
+  inst.lists.assign(3, ColorList::zero_defect({0}));
+  const OracleResult res = solve_oldc_oracle(inst);
+  EXPECT_EQ(res.status, OracleStatus::kSkipped);
+}
+
+// ---- fuzz harness -------------------------------------------------------
+
+TEST(FuzzHarness, CaseGenerationIsDeterministic) {
+  const FuzzCase a = make_fuzz_case(7, 12, 40);
+  const FuzzCase b = make_fuzz_case(7, 12, 40);
+  EXPECT_EQ(a.owned.graph.num_nodes(), b.owned.graph.num_nodes());
+  EXPECT_EQ(a.owned.graph.edge_list(), b.owned.graph.edge_list());
+  EXPECT_EQ(a.alg, b.alg);
+  EXPECT_EQ(a.owned.instance.color_space, b.owned.instance.color_space);
+}
+
+TEST(FuzzHarness, GeneratedCasesSatisfyTheScheduledPremise) {
+  for (std::int64_t idx = 0; idx < 32; ++idx) {
+    const FuzzCase c = make_fuzz_case(/*seed=*/5, idx, /*max_n=*/40);
+    EXPECT_TRUE(
+        fuzz_preconditions_hold(c.owned.instance, c.alg, c.p, c.eps))
+        << "case " << idx << " (" << fuzz_alg_name(c.alg) << ")";
+  }
+}
+
+TEST(FuzzHarness, SmokeBatteryPassesAcrossGeneratorsAndThreads) {
+  FuzzOptions options;
+  options.cases = 32;  // covers all 4 generators and all 3 algorithms
+  options.seed = 11;
+  options.max_n = 28;
+  options.thread_counts = {1, 2};
+  options.shrink = false;
+  options.repro_path = "test_check_fuzz_repro.txt";
+  const FuzzReport report = fuzz_differential(options, nullptr);
+  EXPECT_EQ(report.cases_run, 32);
+  EXPECT_EQ(report.failures, 0) << report.first_failure;
+  EXPECT_EQ(report.oracle_skips + report.oracle_solved, 32);
+}
+
+TEST(FuzzHarness, ShrinkerPreservesPassingInstances) {
+  // The shrinker only keeps candidates that still FAIL the battery; on a
+  // passing instance every candidate is rejected and the original comes
+  // back intact (while still exercising the node/edge/palette cloners).
+  const FuzzCase c = make_fuzz_case(/*seed=*/13, /*idx=*/0, /*max_n=*/12);
+  const OwnedOldcInstance shrunk =
+      shrink_fuzz_case(c.owned.instance, c.alg, c.p, c.eps, {1},
+                       /*max_evals=*/60, nullptr);
+  EXPECT_EQ(shrunk.graph.num_nodes(), c.owned.graph.num_nodes());
+  EXPECT_EQ(shrunk.graph.edge_list(), c.owned.graph.edge_list());
+  for (NodeId v = 0; v < shrunk.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(shrunk.instance.lists[static_cast<std::size_t>(v)] ==
+                c.owned.instance.lists[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(FuzzHarness, ReproRoundTripsThroughInstanceIo) {
+  const FuzzCase c = make_fuzz_case(/*seed=*/17, /*idx=*/1, /*max_n=*/20);
+  const std::string path = "test_check_roundtrip.txt";
+  save_oldc(path, c.owned.instance);
+  const OwnedOldcInstance loaded = load_oldc(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.graph.edge_list(), c.owned.graph.edge_list());
+  const std::string failure = run_fuzz_battery(
+      loaded.instance, c.alg, c.p, c.eps, {1, 2});
+  EXPECT_TRUE(failure.empty()) << failure;
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -9,6 +9,7 @@
 #include "coloring/poly_reduce.h"
 #include "core/color_space_reduction.h"
 #include "core/congest_oldc.h"
+#include "core/fast_two_sweep.h"
 #include "core/instance.h"
 #include "core/list_coloring.h"
 #include "core/theta_color_space.h"
@@ -205,6 +206,84 @@ TEST(Theorem15, QuasiPolylogBranchOnTinyLineGraph) {
   options.base_color_threshold = 2;
   const ColoringResult res = theta_delta_plus_one(g, 2, options);
   EXPECT_TRUE(is_proper_coloring(g, res.colors));
+}
+
+// ---- Degenerate sizes through the fuzz generators -----------------------------
+
+TEST(EdgeCases, GeneratorsAcceptZeroAndOneNode) {
+  // The fuzz harness draws from these four generators; n = 0 and n = 1
+  // must yield valid (edgeless) graphs, not crash. random_tree(0) used to
+  // reject n = 0 outright.
+  Rng rng(7300);
+  for (const NodeId n : {0, 1}) {
+    EXPECT_EQ(gnp(n, 0.5, rng).num_nodes(), n);
+    EXPECT_EQ(random_tree(n, rng).num_nodes(), n);
+    EXPECT_EQ(random_near_regular(n, 3, rng).num_nodes(), n);
+    EXPECT_EQ(random_geometric(n, 0.5, rng).num_nodes(), n);
+    EXPECT_EQ(gnp(n, 0.5, rng).num_edges(), 0);
+  }
+}
+
+TEST(EdgeCases, EmptyInstanceThroughAllSolvers) {
+  const Graph g = Graph::from_edges(0, {});
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 1;
+  inst.orientation = Orientation::by_id(g);
+  const std::vector<Color> init;
+  EXPECT_TRUE(two_sweep(inst, init, 1, 1).colors.empty());
+  EXPECT_TRUE(fast_two_sweep(inst, init, 1, 2, 0.5).colors.empty());
+  EXPECT_TRUE(congest_oldc(inst, init, 1).colors.empty());
+}
+
+TEST(EdgeCases, EmptyListAtSinkIsRejected) {
+  // A node with an empty palette can never be colored; the precondition
+  // check must say so instead of looping or emitting kNoColor.
+  const Graph g = Graph::from_edges(1, {});
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 1;
+  inst.orientation = Orientation::by_id(g);
+  inst.lists.push_back(ColorList());
+  EXPECT_THROW(two_sweep(inst, {0}, 1, 1), CheckError);
+  EXPECT_THROW(fast_two_sweep(inst, {0}, 1, 2, 0.5), CheckError);
+}
+
+TEST(EdgeCases, SingleColorListsForceOneColor) {
+  // Identical single-color lists with defect >= outdegree: everyone must
+  // take that color and the result is still a valid OLDC solution.
+  const Graph g = path(4);
+  OldcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 8;
+  inst.orientation = Orientation::by_id(g);
+  inst.lists.assign(4, ColorList::uniform({5}, 1));
+  const std::vector<Color> init = {0, 1, 0, 1};
+  const ColoringResult res = two_sweep(inst, init, 2, 1);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  EXPECT_EQ(res.colors, (std::vector<Color>{5, 5, 5, 5}));
+}
+
+// ---- Congest OLDC at tiny color spaces ----------------------------------------
+
+TEST(CongestOldc, TinyColorSpacesSolve) {
+  // Regression probe for the color space reduction's level arithmetic at
+  // C < λ (a single level must cover the whole space): C from 1 to 5 on
+  // K_2 with full lists and enough defect for the Theorem 1.2 premise
+  // weight = 3C >= 3·√C·β (β = 1).
+  for (std::int64_t C = 1; C <= 5; ++C) {
+    const Graph g = complete(2);
+    OldcInstance inst;
+    inst.graph = &g;
+    inst.color_space = C;
+    inst.orientation = Orientation::by_id(g);
+    std::vector<Color> all(static_cast<std::size_t>(C));
+    for (std::size_t i = 0; i < all.size(); ++i)
+      all[i] = static_cast<Color>(i);
+    inst.lists.assign(2, ColorList::uniform(all, 2));
+    const ColoringResult res = congest_oldc(inst, {0, 1}, 2);
+    EXPECT_TRUE(validate_oldc(inst, res.colors)) << "C=" << C;
+  }
 }
 
 // ---- Congest OLDC with symmetric instances ------------------------------------

@@ -13,6 +13,7 @@
 #include "util/gf.h"
 #include "util/logstar.h"
 #include "util/math.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -304,6 +305,43 @@ TEST(Cli, DetectsUnknownFlag) {
 TEST(Cli, RejectsMalformedArgument) {
   const char* argv[] = {"prog", "positional"};
   EXPECT_THROW(CliArgs(2, const_cast<char**>(argv)), CheckError);
+}
+
+TEST(Cli, RejectsGarbageNumericValues) {
+  // strtol would silently read "12abc" as 12 and "abc" as 0; the strict
+  // parser must reject both so typos never become silent parameters.
+  const char* argv[] = {"prog", "--n=12abc", "--rate=0.5.5", "--k=abc"};
+  CliArgs args(4, const_cast<char**>(argv));
+  EXPECT_THROW(args.get_int("n", 0), CheckError);
+  EXPECT_THROW(args.get_double("rate", 0.0), CheckError);
+  EXPECT_THROW(args.get_int("k", 0), CheckError);
+}
+
+TEST(Parse, Int64WholeInputContract) {
+  EXPECT_EQ(parse_int64("42", "t"), 42);
+  EXPECT_EQ(parse_int64("-7", "t"), -7);
+  EXPECT_EQ(parse_int64("  13  ", "t"), 13);
+  EXPECT_THROW(parse_int64("", "t"), CheckError);
+  EXPECT_THROW(parse_int64("12abc", "t"), CheckError);
+  EXPECT_THROW(parse_int64("abc", "t"), CheckError);
+  EXPECT_THROW(parse_int64("1 2", "t"), CheckError);
+  EXPECT_THROW(parse_int64("99999999999999999999", "t"), CheckError);
+}
+
+TEST(Parse, DoubleWholeInputContract) {
+  EXPECT_DOUBLE_EQ(parse_double("0.5", "t"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3", "t"), -2000.0);
+  EXPECT_THROW(parse_double("", "t"), CheckError);
+  EXPECT_THROW(parse_double("0.5x", "t"), CheckError);
+  EXPECT_THROW(parse_double("nanx", "t"), CheckError);
+}
+
+TEST(Parse, Int64PrefixForScanners) {
+  EXPECT_EQ(parse_int64_prefix("123, \"next\""), 123);
+  EXPECT_EQ(parse_int64_prefix("-1}"), -1);
+  EXPECT_EQ(parse_int64_prefix("7"), 7);
+  EXPECT_FALSE(parse_int64_prefix("x123").has_value());
+  EXPECT_FALSE(parse_int64_prefix("").has_value());
 }
 
 }  // namespace

@@ -19,11 +19,20 @@
 //             --graph=graph.txt [--exact_theta]
 //   trace_summary  Fold a JSONL round trace into a per-phase table.
 //             --trace=trace.jsonl
+//   fuzz      Differential fuzzing against sequential oracles.
+//             [--cases=200] [--seed=1] [--max-n=48] [--threads=1,2,4,8]
+//             [--out=fuzz_repro.txt] [--shrink=true]
+//             [--max-shrink-evals=400]
+//             --self-test            run the mutation self-test instead
+//             --replay=repro.txt     re-run the battery on a saved repro
+//               [--algorithm=two_sweep|fast|congest] [--ts_p=..] [--eps=..]
 //
 // Any subcommand accepts --trace=<path> [--trace-format=jsonl|chrome|
 // summary] to record an execution trace of the run (the DCOLOR_TRACE /
 // DCOLOR_TRACE_FORMAT environment variables do the same for binaries
-// without flags).
+// without flags), and --check[=collect] to run it under the online
+// invariant checker (fail fast by default, or collect + report; the
+// DCOLOR_CHECK environment variable does the same).
 //
 // Exit code 0 on success / valid, 1 otherwise.
 #include <cstdlib>
@@ -32,6 +41,9 @@
 #include <memory>
 #include <optional>
 
+#include "check/fuzz.h"
+#include "check/invariant_checker.h"
+#include "check/mutation.h"
 #include "coloring/linial.h"
 #include "core/congest_oldc.h"
 #include "core/fast_two_sweep.h"
@@ -47,6 +59,7 @@
 #include "sim/trace.h"
 #include "util/check.h"
 #include "util/cli.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -205,7 +218,11 @@ std::optional<std::int64_t> json_int(const std::string& line,
   const std::string needle = "\"" + key + "\":";
   const auto pos = line.find(needle);
   if (pos == std::string::npos) return std::nullopt;
-  return std::strtoll(line.c_str() + pos + needle.size(), nullptr, 10);
+  // Prefix parse (the value is followed by "," or "}"); unlike the old
+  // strtoll this yields nullopt — not a silent 0 — when the field is
+  // non-numeric.
+  return parse_int64_prefix(
+      std::string_view(line).substr(pos + needle.size()));
 }
 
 std::string json_str(const std::string& line, const std::string& key) {
@@ -281,6 +298,92 @@ int cmd_trace_summary(const CliArgs& args) {
   return 0;
 }
 
+// ---- fuzz --------------------------------------------------------------
+
+std::vector<int> parse_thread_list(const std::string& spec) {
+  std::vector<int> out;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const auto comma = spec.find(',', begin);
+    const auto end = comma == std::string::npos ? spec.size() : comma;
+    const std::int64_t t =
+        parse_int64(std::string_view(spec).substr(begin, end - begin),
+                    "--threads");
+    DCOLOR_CHECK_MSG(t >= 1 && t <= 256,
+                     "--threads entries must be in [1, 256], got " << t);
+    out.push_back(static_cast<int>(t));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  DCOLOR_CHECK_MSG(!out.empty(), "--threads must name at least one count");
+  return out;
+}
+
+int cmd_fuzz(const CliArgs& args) {
+  if (args.get_bool("self-test")) {
+    const SelfTestReport report = run_mutation_self_test();
+    for (const MutationOutcome& o : report.outcomes) {
+      std::cout << "self-test " << mutation_name(o.kind) << ": baseline "
+                << (o.baseline_clean ? "clean" : "DIRTY") << ", mutation "
+                << (o.caught ? "caught [" + o.rule + "]" : "MISSED") << "\n";
+    }
+    std::cout << "mutation self-test: "
+              << (report.all_caught() ? "all violations caught"
+                                      : "FAILED — see above")
+              << "\n";
+    return report.all_caught() ? 0 : 1;
+  }
+
+  FuzzOptions options;
+  options.cases = args.get_int("cases", args.get_int("max-cases", 200));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.max_n = static_cast<NodeId>(args.get_int("max-n", 48));
+  options.repro_path = args.get_string("out", "fuzz_repro.txt");
+  options.shrink = args.get_bool("shrink", true);
+  options.max_shrink_evals = args.get_int("max-shrink-evals", 400);
+  options.thread_counts =
+      parse_thread_list(args.get_string("threads", "1,2,4,8"));
+
+  if (args.has("replay")) {
+    const OwnedOldcInstance owned = load_oldc(args.get_string("replay", ""));
+    const std::string alg_name = args.get_string("algorithm", "two_sweep");
+    const FuzzAlg alg = alg_name == "fast"      ? FuzzAlg::kFastTwoSweep
+                        : alg_name == "congest" ? FuzzAlg::kCongest
+                                                : FuzzAlg::kTwoSweep;
+    const int p = static_cast<int>(args.get_int("ts_p", 2));
+    const double eps = args.get_double("eps", 0.5);
+    if (!fuzz_preconditions_hold(owned.instance, alg, p, eps)) {
+      std::cout << "replay: " << fuzz_alg_name(alg)
+                << " premise does not hold on this instance\n";
+      return 1;
+    }
+    const std::string failure =
+        run_fuzz_battery(owned.instance, alg, p, eps, options.thread_counts);
+    if (failure.empty()) {
+      std::cout << "replay PASS (" << fuzz_alg_name(alg) << ", "
+                << owned.graph.summary() << ")\n";
+      return 0;
+    }
+    std::cout << "replay FAIL: " << failure << "\n";
+    return 1;
+  }
+
+  const FuzzReport report = fuzz_differential(options, &std::cout);
+  std::cout << "fuzz: " << report.cases_run << " cases, " << report.failures
+            << " failure(s); oracle solved " << report.oracle_solved
+            << ", skipped " << report.oracle_skips << "\n";
+  if (report.failures > 0) {
+    std::cout << "first failure: " << report.first_failure << "\n";
+    if (!report.repro_path.empty()) {
+      std::cout << "shrunk repro saved to " << report.repro_path
+                << " (re-run with --cmd=fuzz --replay=" << report.repro_path
+                << ")\n";
+    }
+    return 1;
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const std::string cmd = args.get_string("cmd", "info");
@@ -299,6 +402,15 @@ int run(int argc, char** argv) {
     tracer->install();
   }
 
+  std::unique_ptr<InvariantChecker> checker;
+  if (args.has("check")) {
+    const std::string mode = args.get_string("check", "true");
+    checker = std::make_unique<InvariantChecker>(
+        mode == "collect" ? InvariantChecker::Mode::kCollect
+                          : InvariantChecker::Mode::kThrow);
+    checker->install();
+  }
+
   int code;
   if (cmd == "generate") {
     code = cmd_generate(args);
@@ -310,9 +422,24 @@ int run(int argc, char** argv) {
     code = cmd_validate(args);
   } else if (cmd == "info") {
     code = cmd_info(args);
+  } else if (cmd == "fuzz") {
+    code = cmd_fuzz(args);
   } else {
     DCOLOR_CHECK_MSG(false, "unknown --cmd=" << cmd);
     return 1;
+  }
+  if (checker != nullptr) {
+    const auto& violations = checker->violations();
+    for (const CheckViolation& v : violations) {
+      std::cerr << "[check] " << v.rule
+                << (v.phase.empty() ? "" : " in " + v.phase) << " node="
+                << v.node << ": " << v.detail << "\n";
+    }
+    std::cerr << "[check] " << checker->checks_run()
+              << " invariant checks, " << violations.size()
+              << " violation(s)\n";
+    if (!violations.empty()) code = 1;
+    checker->uninstall();
   }
   if (tracer != nullptr) tracer->finish();
   args.check_all_consumed();
