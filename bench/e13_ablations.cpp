@@ -112,10 +112,12 @@ int main(int argc, char** argv) {
           TwoSweepOptions options;
           options.selection = selection;
           options.selection_seed = 99 + static_cast<std::uint64_t>(seed);
-          options.skip_precondition_check = true;
+          RunContext ctx;
+          ctx.skip_precondition_check = true;
           bool success;
           try {
-            const ColoringResult res = two_sweep_ex(inst, init, q, p, options);
+            const ColoringResult res =
+                two_sweep(inst, init, q, p, ctx, options);
             success = validate_oldc(inst, res.colors);
           } catch (const CheckError&) {
             success = false;

@@ -86,11 +86,11 @@ int main(int argc, char** argv) {
     for (const auto& [name, engine] :
          {std::pair{"oracle", PartitionEngine::kBeg18Oracle},
           std::pair{"honest", PartitionEngine::kHonest}}) {
-      ListColoringBreakdown breakdown;
+      RunContext ctx;
       ListColoringOptions options;
       options.engine = engine;
-      options.breakdown = &breakdown;
-      solve_degree_plus_one(inst, options);
+      solve_degree_plus_one(inst, ctx, options);
+      const ListColoringBreakdown& breakdown = ctx.breakdown;
       bt.add(name, breakdown.initial_coloring_rounds,
              breakdown.partition_rounds, breakdown.class_rounds,
              breakdown.idle_slot_rounds, breakdown.levels,

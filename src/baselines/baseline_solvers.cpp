@@ -1,0 +1,119 @@
+// Registry adapters for the baselines the paper positions itself
+// against: sequential first-fit, sequential greedy list arbdefective
+// coloring, and the randomized Luby-style (Δ+1)-coloring. Exposing them
+// through the same Solver interface lets the CLI, the batch runner, and
+// the fuzz harness compare them head to head with the paper's
+// algorithms.
+#include <utility>
+
+#include "baselines/greedy.h"
+#include "baselines/luby.h"
+#include "core/solver_registry.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+using Input = SolverCapabilities::Input;
+
+class GreedySolver final : public Solver {
+ public:
+  std::string_view name() const override { return "greedy"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kGraph;
+    c.proper_output = true;
+    c.distributed = false;
+    return c;
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.graph != nullptr, "greedy needs a graph");
+    ColoringResult r = greedy_delta_plus_one(*req.graph);
+    SolveResult out;
+    out.colors = std::move(r.colors);
+    out.metrics = r.metrics;
+    ctx.metrics += r.metrics;
+    return out;
+  }
+};
+
+class GreedyArbdefectiveSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "greedy_arbdefective"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kArbdefective;
+    c.lists = true;
+    c.defects = true;
+    c.outputs_orientation = true;
+    c.distributed = false;
+    return c;
+  }
+
+  bool premise_holds(const SolveRequest& req) const override {
+    if (req.list_defective == nullptr || req.list_defective->color_space < 1)
+      return false;
+    const ArbdefectiveInstance& inst = *req.list_defective;
+    for (NodeId v = 0; v < inst.graph->num_nodes(); ++v) {
+      if (inst.lists[static_cast<std::size_t>(v)].weight() <=
+          inst.graph->degree(v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.list_defective != nullptr,
+                     "greedy_arbdefective needs an arbdefective instance");
+    ArbdefectiveResult r = greedy_arbdefective(*req.list_defective);
+    SolveResult out;
+    out.colors = std::move(r.colors);
+    out.orientation = std::move(r.orientation);
+    out.has_orientation = true;
+    out.metrics = r.metrics;
+    ctx.metrics += r.metrics;
+    return out;
+  }
+};
+
+class LubySolver final : public Solver {
+ public:
+  std::string_view name() const override { return "luby"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kGraph;
+    c.proper_output = true;
+    c.randomized = true;
+    return c;
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.graph != nullptr, "luby needs a graph");
+    Rng rng = ctx.rng(/*salt=*/0x6c756279);  // "luby"
+    ColoringResult r = luby_delta_plus_one(*req.graph, rng);
+    SolveResult out;
+    out.colors = std::move(r.colors);
+    out.metrics = r.metrics;
+    ctx.metrics += r.metrics;
+    return out;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_baseline_solvers(SolverRegistry& registry) {
+  registry.add(std::make_unique<GreedySolver>());
+  registry.add(std::make_unique<GreedyArbdefectiveSolver>());
+  registry.add(std::make_unique<LubySolver>());
+}
+
+}  // namespace detail
+}  // namespace dcolor

@@ -8,11 +8,9 @@
 #include "check/invariant_checker.h"
 #include "check/oracle.h"
 #include "coloring/linial.h"
-#include "core/congest_oldc.h"
-#include "core/fast_two_sweep.h"
-#include "core/two_sweep.h"
+#include "core/run_context.h"
+#include "core/solver_registry.h"
 #include "graph/generators.h"
-#include "sim/network.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -94,33 +92,23 @@ OwnedOldcInstance clone_with_list(const OldcInstance& inst, NodeId v,
   return out;
 }
 
-ColoringResult solve_with(const OldcInstance& inst,
-                          const std::vector<Color>& initial, std::int64_t q,
-                          FuzzAlg alg, int p, double eps) {
-  switch (alg) {
-    case FuzzAlg::kTwoSweep:
-      return two_sweep(inst, initial, q, p);
-    case FuzzAlg::kFastTwoSweep:
-      return fast_two_sweep(inst, initial, q, p, eps);
-    case FuzzAlg::kCongest:
-      return congest_oldc(inst, initial, q);
-  }
-  DCOLOR_CHECK_MSG(false, "unreachable");
-  return {};
-}
-
 }  // namespace
 
-const char* fuzz_alg_name(FuzzAlg alg) {
-  switch (alg) {
-    case FuzzAlg::kTwoSweep: return "two_sweep";
-    case FuzzAlg::kFastTwoSweep: return "fast_two_sweep";
-    case FuzzAlg::kCongest: return "congest_oldc";
+std::vector<const Solver*> fuzz_solver_axis() {
+  std::vector<const Solver*> axis;
+  for (const Solver* s : SolverRegistry::get().solvers()) {
+    const SolverCapabilities caps = s->capabilities();
+    if (caps.input == SolverCapabilities::Input::kOldc && caps.lists &&
+        caps.defects) {
+      axis.push_back(s);
+    }
   }
-  return "unknown";
+  DCOLOR_CHECK_MSG(!axis.empty(), "no OLDC-capable solvers registered");
+  return axis;
 }
 
-FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n) {
+FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n,
+                        const Solver* force_solver) {
   DCOLOR_CHECK(max_n >= 3);
   Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(idx));
   FuzzCase c;
@@ -141,12 +129,30 @@ FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n) {
       c.owned.graph = random_geometric(n, 0.15 + 0.35 * rng.uniform(), rng);
       break;
   }
-  const bool symmetric = (idx % 5) == 4;
-  c.alg = (idx % 8) == 3
-              ? FuzzAlg::kCongest
-              : ((idx % 2) != 0 ? FuzzAlg::kFastTwoSweep : FuzzAlg::kTwoSweep);
-  c.p = 2;
-  c.eps = 0.5;
+
+  // Schedule a solver from the registry axis: CONGEST-capable solvers own
+  // the idx%8==3 slot (they need the steeper Theorem 1.2 defect sizing),
+  // the rest rotate through the remaining slots.
+  if (force_solver != nullptr) {
+    c.solver = force_solver;
+  } else {
+    const std::vector<const Solver*> axis = fuzz_solver_axis();
+    std::vector<const Solver*> congest;
+    std::vector<const Solver*> others;
+    for (const Solver* s : axis) {
+      (s->capabilities().congest ? congest : others).push_back(s);
+    }
+    const auto u = static_cast<std::uint64_t>(idx);
+    if ((idx % 8) == 3 && !congest.empty()) {
+      c.solver = congest[(u / 8) % congest.size()];
+    } else if (!others.empty()) {
+      c.solver = others[u % others.size()];
+    } else {
+      c.solver = congest[u % congest.size()];
+    }
+  }
+  const SolverCapabilities caps = c.solver->capabilities();
+  const bool symmetric = (idx % 5) == 4 && caps.symmetric;
 
   Orientation o = Orientation::by_id(c.owned.graph);
   const int beta =
@@ -155,11 +161,12 @@ FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n) {
   const std::int64_t color_space =
       list_size +
       static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(list_size + 4)));
-  // Uniform defect sized so the scheduled algorithm's premise holds for
+  // Uniform defect sized so the scheduled solver's premise holds for
   // EVERY node (β >= β_v): Theorem 1.2 needs Λ(d+1) >= 3√C·β; Eq. (2)
-  // and Eq. (7) with p=2, ε=1/2 need d+1 > 3β/4.
+  // and Eq. (7) with p=2, ε=1/2 need d+1 > 3β/4 (which also implies the
+  // oracle guarantee weight > outdeg).
   int defect;
-  if (c.alg == FuzzAlg::kCongest) {
+  if (caps.congest) {
     defect = static_cast<int>(std::ceil(
                  3.0 * std::sqrt(static_cast<double>(color_space)) * beta /
                  list_size)) +
@@ -173,51 +180,28 @@ FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n) {
   return c;
 }
 
-bool fuzz_preconditions_hold(const OldcInstance& inst, FuzzAlg alg, int p,
-                             double eps) {
-  const Graph& g = *inst.graph;
-  if (inst.color_space < 1) return false;
-  const double sqrt_c = std::sqrt(static_cast<double>(inst.color_space));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const PaletteView list = inst.lists[static_cast<std::size_t>(v)];
-    if (inst.effective_outdegree(v) == 0) {
-      if (list.empty()) return false;
-      continue;
-    }
-    const auto beta_v = static_cast<double>(inst.beta_v(v));
-    const auto weight = static_cast<double>(list.weight());
-    switch (alg) {
-      case FuzzAlg::kTwoSweep:
-        if (weight * p <= std::max<double>(static_cast<double>(p) * p,
-                                           static_cast<double>(list.size())) *
-                              beta_v) {
-          return false;
-        }
-        break;
-      case FuzzAlg::kFastTwoSweep:
-        if (weight <=
-            (1.0 + eps) *
-                std::max(static_cast<double>(p),
-                         static_cast<double>(list.size()) / p) *
-                beta_v) {
-          return false;
-        }
-        break;
-      case FuzzAlg::kCongest:
-        if (weight < 3.0 * sqrt_c * beta_v) return false;
-        break;
-    }
-  }
-  return true;
+bool fuzz_preconditions_hold(const OldcInstance& inst, const Solver& solver,
+                             const SolverParams& params) {
+  SolveRequest req;
+  req.oldc = &inst;
+  req.params = params;
+  return solver.premise_holds(req);
 }
 
-std::string run_fuzz_battery(const OldcInstance& inst, FuzzAlg alg, int p,
-                             double eps, const std::vector<int>& thread_counts,
+std::string run_fuzz_battery(const OldcInstance& inst, const Solver& solver,
+                             const SolverParams& params,
+                             const std::vector<int>& thread_counts,
                              std::int64_t* oracle_skips,
                              std::int64_t* oracle_solved) {
   const Graph& g = *inst.graph;
   const Orientation lin_o = Orientation::by_id(g);
   const LinialResult linial = linial_from_ids(g, lin_o);
+
+  SolveRequest req;
+  req.oldc = &inst;
+  req.initial_coloring = &linial.colors;
+  req.q = linial.num_colors;
+  req.params = params;
 
   struct RunOut {
     std::vector<Color> colors;
@@ -225,25 +209,23 @@ std::string run_fuzz_battery(const OldcInstance& inst, FuzzAlg alg, int p,
   };
   std::vector<RunOut> runs;
   for (const int t : thread_counts) {
-    Network::set_default_num_threads(t);
     InvariantChecker checker(InvariantChecker::Mode::kCollect);
-    checker.install();
+    RunContext ctx;
+    ctx.num_threads = t;
+    ctx.checker = &checker;
     RunOut r;
-    try {
-      r.colors =
-          solve_with(inst, linial.colors, linial.num_colors, alg, p, eps)
-              .colors;
-    } catch (const CheckError& e) {
-      checker.uninstall();
-      Network::set_default_num_threads(0);
-      return std::string(fuzz_alg_name(alg)) + " threw at threads=" +
-             std::to_string(t) + ": " + e.what();
+    {
+      const RunScope scope(ctx);
+      try {
+        r.colors = solver.solve(req, ctx).colors;
+      } catch (const CheckError& e) {
+        return std::string(solver.name()) + " threw at threads=" +
+               std::to_string(t) + ": " + e.what();
+      }
     }
     r.violations = checker.violations();
-    checker.uninstall();
     runs.push_back(std::move(r));
   }
-  Network::set_default_num_threads(0);
 
   for (std::size_t i = 1; i < runs.size(); ++i) {
     if (runs[i].colors != runs[0].colors) {
@@ -285,16 +267,17 @@ std::string run_fuzz_battery(const OldcInstance& inst, FuzzAlg alg, int p,
   return {};
 }
 
-OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst, FuzzAlg alg,
-                                   int p, double eps,
+OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst,
+                                   const Solver& solver,
+                                   const SolverParams& params,
                                    const std::vector<int>& thread_counts,
                                    std::int64_t max_evals, std::ostream* log) {
   OwnedOldcInstance current = clone_instance(inst);
   std::int64_t evals = 0;
   const auto still_fails = [&](const OldcInstance& cand) {
-    if (!fuzz_preconditions_hold(cand, alg, p, eps)) return false;
+    if (!fuzz_preconditions_hold(cand, solver, params)) return false;
     ++evals;
-    return !run_fuzz_battery(cand, alg, p, eps, thread_counts).empty();
+    return !run_fuzz_battery(cand, solver, params, thread_counts).empty();
   };
 
   bool improved = true;
@@ -367,15 +350,19 @@ OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst, FuzzAlg alg,
 FuzzReport fuzz_differential(const FuzzOptions& options, std::ostream* log) {
   DCOLOR_CHECK(options.cases >= 1);
   DCOLOR_CHECK(!options.thread_counts.empty());
+  const Solver* forced =
+      options.solver.empty() ? nullptr
+                             : &SolverRegistry::get().require(options.solver);
   FuzzReport report;
   for (std::int64_t idx = 0; idx < options.cases; ++idx) {
-    FuzzCase c = make_fuzz_case(options.seed, idx, options.max_n);
+    FuzzCase c = make_fuzz_case(options.seed, idx, options.max_n, forced);
+    const std::string solver_name(c.solver->name());
     std::string failure;
-    if (!fuzz_preconditions_hold(c.owned.instance, c.alg, c.p, c.eps)) {
+    if (!fuzz_preconditions_hold(c.owned.instance, *c.solver, c.params)) {
       failure = "generator produced an instance violating the premise of " +
-                std::string(fuzz_alg_name(c.alg));
+                solver_name;
     } else {
-      failure = run_fuzz_battery(c.owned.instance, c.alg, c.p, c.eps,
+      failure = run_fuzz_battery(c.owned.instance, *c.solver, c.params,
                                  options.thread_counts, &report.oracle_skips,
                                  &report.oracle_solved);
     }
@@ -383,15 +370,15 @@ FuzzReport fuzz_differential(const FuzzOptions& options, std::ostream* log) {
     if (!failure.empty()) {
       ++report.failures;
       if (log != nullptr) {
-        *log << "case " << idx << " (" << fuzz_alg_name(c.alg) << ", n="
+        *log << "case " << idx << " (" << solver_name << ", n="
              << c.owned.graph.num_nodes() << "): FAIL — " << failure << "\n";
       }
       if (report.first_failure.empty()) {
         report.first_failure = "case " + std::to_string(idx) + " (" +
-                               fuzz_alg_name(c.alg) + "): " + failure;
+                               solver_name + "): " + failure;
         OwnedOldcInstance repro =
             options.shrink
-                ? shrink_fuzz_case(c.owned.instance, c.alg, c.p, c.eps,
+                ? shrink_fuzz_case(c.owned.instance, *c.solver, c.params,
                                    options.thread_counts,
                                    options.max_shrink_evals, log)
                 : clone_instance(c.owned.instance);

@@ -3,13 +3,16 @@
 //
 // One case = one seeded instance drawn from one of the four parallelized
 // graph generators (gnp, random_tree, random_near_regular,
-// random_geometric) with parameters chosen so the target algorithm's
+// random_geometric) with parameters chosen so the scheduled solver's
 // premise holds BY CONSTRUCTION — any failure is then a bug, not an
-// infeasible input. The battery run on each case:
+// infeasible input. The algorithm axis is the solver registry itself:
+// every registered OLDC-capable solver (including the sequential
+// `oracle_greedy` baseline) is scheduled, so new solvers join the fuzz
+// rotation the moment they register. The battery run on each case:
 //
-//   1. solve with the scheduled algorithm (two_sweep / fast_two_sweep /
-//      congest_oldc) at every requested thread count, under a
-//      collect-mode InvariantChecker;
+//   1. solve with the scheduled solver at every requested thread count,
+//      each run inside its own RunScope with a collect-mode
+//      InvariantChecker;
 //   2. require bit-identical colors and identical (empty) checker
 //      violation lists across thread counts;
 //   3. validate the output against the instance;
@@ -19,7 +22,7 @@
 //      ends only count as skips.
 //
 // On failure the instance is shrunk — node deletion, edge deletion,
-// palette color deletion, defect decrements — as long as the algorithm's
+// palette color deletion, defect decrements — as long as the solver's
 // premise survives and the battery still fails, then dumped via
 // instance_io for replay with `dcolor --cmd=fuzz --replay=<file>`.
 #pragma once
@@ -30,13 +33,10 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/solver.h"
 #include "io/instance_io.h"
 
 namespace dcolor {
-
-enum class FuzzAlg { kTwoSweep, kFastTwoSweep, kCongest };
-
-const char* fuzz_alg_name(FuzzAlg alg);
 
 struct FuzzOptions {
   std::int64_t cases = 200;
@@ -46,6 +46,9 @@ struct FuzzOptions {
   std::string repro_path = "fuzz_repro.txt";
   bool shrink = true;
   std::int64_t max_shrink_evals = 400;  ///< battery runs the shrinker may spend
+  /// Restrict the algorithm axis to one registry solver (name or alias);
+  /// empty = rotate over the whole OLDC-capable axis.
+  std::string solver;
 };
 
 struct FuzzReport {
@@ -57,34 +60,43 @@ struct FuzzReport {
   std::string repro_path;          ///< written only when failures > 0
 };
 
-/// Generates case `idx` of the seeded stream: instance + algorithm + the
-/// solver parameters the battery will use. Exposed for tests.
+/// The registry solvers the case generator rotates over: every solver
+/// taking OLDC input with list + defect support, sorted by name.
+std::vector<const Solver*> fuzz_solver_axis();
+
+/// Generates case `idx` of the seeded stream: instance + scheduled solver
+/// + parameters. CONGEST-capable solvers take the idx%8==3 slot (their
+/// Theorem 1.2 premise needs the steeper defect sizing); the rest of the
+/// axis rotates through the remaining slots. `force_solver` (optional)
+/// pins the schedule to one solver — the instance sizing then follows its
+/// capabilities. Exposed for tests.
 struct FuzzCase {
   OwnedOldcInstance owned;
-  FuzzAlg alg = FuzzAlg::kTwoSweep;
-  int p = 2;
-  double eps = 0.5;
+  const Solver* solver = nullptr;
+  SolverParams params;
 };
-FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n);
+FuzzCase make_fuzz_case(std::uint64_t seed, std::int64_t idx, NodeId max_n,
+                        const Solver* force_solver = nullptr);
 
 /// Runs the battery on one instance; returns "" on pass, otherwise a
 /// failure description. `oracle_skips`/`oracle_solved` (optional) count
 /// oracle outcomes.
-std::string run_fuzz_battery(const OldcInstance& inst, FuzzAlg alg, int p,
-                             double eps, const std::vector<int>& thread_counts,
+std::string run_fuzz_battery(const OldcInstance& inst, const Solver& solver,
+                             const SolverParams& params,
+                             const std::vector<int>& thread_counts,
                              std::int64_t* oracle_skips = nullptr,
                              std::int64_t* oracle_solved = nullptr);
 
-/// True iff the algorithm's entry premise holds for `inst` (Eq. (7) for
-/// fast_two_sweep, Eq. (2) for two_sweep, the Theorem 1.2 premise for
-/// congest); shrink candidates that break it are rejected.
-bool fuzz_preconditions_hold(const OldcInstance& inst, FuzzAlg alg, int p,
-                             double eps);
+/// True iff the solver's entry premise holds for `inst` (delegates to
+/// Solver::premise_holds); shrink candidates that break it are rejected.
+bool fuzz_preconditions_hold(const OldcInstance& inst, const Solver& solver,
+                             const SolverParams& params);
 
 /// Shrinks a failing instance while the battery keeps failing; returns
 /// the minimized instance (at worst the input itself).
-OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst, FuzzAlg alg,
-                                   int p, double eps,
+OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst,
+                                   const Solver& solver,
+                                   const SolverParams& params,
                                    const std::vector<int>& thread_counts,
                                    std::int64_t max_evals, std::ostream* log);
 

@@ -14,14 +14,25 @@ namespace dcolor {
 
 namespace {
 
-InvariantChecker* g_current = nullptr;
+// Thread-local for the same reason as the Tracer's current pointer:
+// concurrent batch workers install per-job checkers without racing, and
+// a checker installed on one thread never observes another thread's run.
+thread_local InvariantChecker* g_current = nullptr;
 
 }  // namespace
 
 InvariantChecker::InvariantChecker(Mode mode) : mode_(mode) {}
 
 InvariantChecker::~InvariantChecker() {
-  if (installed_) uninstall();
+  // Tolerate destruction on a thread other than the installing one (the
+  // env-driven checker can be installed by whichever thread first runs a
+  // Network, but static destruction happens on the main thread): only pop
+  // the thread-local current pointer when it is actually ours.
+  if (installed_ && g_current == this) {
+    uninstall();
+  } else {
+    installed_ = false;
+  }
 }
 
 void InvariantChecker::install() {

@@ -1,0 +1,63 @@
+// Registry adapter for the sequential OLDC oracle (check/oracle.h).
+//
+// Exposed as the `oracle_greedy` baseline: on acyclically oriented
+// instances whose per-node weight exceeds the outdegree (a corollary of
+// Eq. (2)) the reverse-topological greedy provably succeeds, so the fuzz
+// harness can schedule it like any other solver in its registry-driven
+// algorithm axis — its premise is implied by the harness's
+// premise-by-construction instance sizing.
+#include <utility>
+
+#include "check/oracle.h"
+#include "core/solver_registry.h"
+#include "util/check.h"
+
+namespace dcolor {
+namespace {
+
+class OracleGreedySolver final : public Solver {
+ public:
+  std::string_view name() const override { return "oracle_greedy"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = SolverCapabilities::Input::kOldc;
+    c.oriented = true;
+    c.symmetric = false;  // the symmetric greedy has no success guarantee
+    c.lists = true;
+    c.defects = true;
+    c.distributed = false;
+    return c;
+  }
+
+  bool premise_holds(const SolveRequest& req) const override {
+    return req.oldc != nullptr && !req.oldc->symmetric &&
+           oracle_guarantee_holds(*req.oldc);
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.oldc != nullptr,
+                     "oracle_greedy needs an OLDC instance");
+    OracleResult r = solve_oldc_oracle(*req.oldc);
+    DCOLOR_CHECK_MSG(r.status == OracleStatus::kSolved,
+                     "oracle_greedy could not solve the instance: "
+                         << r.detail);
+    SolveResult out;
+    out.colors = std::move(r.colors);
+    // Sequential horizon: one node decides per "round".
+    out.metrics.rounds = req.oldc->graph->num_nodes();
+    ctx.metrics += out.metrics;
+    return out;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_check_solvers(SolverRegistry& registry) {
+  registry.add(std::make_unique<OracleGreedySolver>());
+}
+
+}  // namespace detail
+}  // namespace dcolor

@@ -1,0 +1,76 @@
+// Registry adapters for the substrate colorings (coloring/): Linial's
+// O(β²)-coloring and the Lemma 3.4 defective coloring. Both are
+// graph-input solvers that start from unique IDs under the by-id
+// orientation — useful as standalone CLI/batch targets and as the
+// building blocks the core solvers compose.
+#include <utility>
+
+#include "coloring/kuhn_defective.h"
+#include "coloring/linial.h"
+#include "core/solver_registry.h"
+#include "util/check.h"
+
+namespace dcolor {
+namespace {
+
+using Input = SolverCapabilities::Input;
+
+class LinialSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "linial"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kGraph;
+    c.proper_output = true;
+    return c;
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.graph != nullptr, "linial needs a graph");
+    const Orientation o = Orientation::by_id(*req.graph);
+    LinialResult r = linial_from_ids(*req.graph, o);
+    SolveResult out;
+    out.colors = std::move(r.colors);
+    out.metrics = r.metrics;
+    ctx.metrics += r.metrics;
+    return out;
+  }
+};
+
+class KuhnDefectiveSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "kuhn_defective"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kGraph;
+    c.oriented = true;
+    c.defects = true;  // output is α·β_v-defective, not proper
+    return c;
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.graph != nullptr, "kuhn_defective needs a graph");
+    const Orientation o = Orientation::by_id(*req.graph);
+    DefectiveColoringResult r =
+        kuhn_defective_from_ids(*req.graph, o, req.params.alpha);
+    SolveResult out;
+    out.colors = std::move(r.colors);
+    out.metrics = r.metrics;
+    ctx.metrics += r.metrics;
+    return out;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_coloring_solvers(SolverRegistry& registry) {
+  registry.add(std::make_unique<LinialSolver>());
+  registry.add(std::make_unique<KuhnDefectiveSolver>(), {"kuhn"});
+}
+
+}  // namespace detail
+}  // namespace dcolor

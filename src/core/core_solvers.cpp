@@ -1,0 +1,308 @@
+// Registry adapters for the paper's core algorithms (Theorems 1.1–1.5).
+//
+// Each adapter translates the uniform SolveRequest into the algorithm's
+// native entry point, resolving the initial proper coloring (Linial from
+// IDs when the request does not carry one — its cost folds into the
+// returned metrics) and copying per-phase accounting out of the
+// RunContext. The premise predicates mirror the per-node checks the
+// algorithms enforce themselves — sinks only need non-empty lists —
+// which is also the contract the fuzz harness relies on for its
+// premise-by-construction case generation.
+#include <cmath>
+#include <utility>
+
+#include "coloring/linial.h"
+#include "core/congest_oldc.h"
+#include "core/fast_two_sweep.h"
+#include "core/list_coloring.h"
+#include "core/solver_registry.h"
+#include "core/theta_coloring.h"
+#include "core/two_sweep.h"
+#include "util/check.h"
+
+namespace dcolor {
+namespace {
+
+using Input = SolverCapabilities::Input;
+
+/// The initial proper q-coloring an OLDC run starts from: the request's,
+/// or Linial-from-IDs computed here (metrics then carry the Linial cost).
+struct InitialColoring {
+  std::vector<Color> owned;
+  const std::vector<Color>* colors = nullptr;
+  std::int64_t q = 0;
+  RoundMetrics metrics;
+};
+
+InitialColoring resolve_initial(const SolveRequest& req) {
+  InitialColoring out;
+  if (req.initial_coloring != nullptr) {
+    DCOLOR_CHECK_MSG(req.q > 0, "initial coloring supplied without q");
+    out.colors = req.initial_coloring;
+    out.q = req.q;
+    return out;
+  }
+  const OldcInstance& inst = *req.oldc;
+  const Orientation lin_o = Orientation::by_id(*inst.graph);
+  LinialResult lin = linial_from_ids(*inst.graph, lin_o);
+  out.owned = std::move(lin.colors);
+  out.colors = &out.owned;
+  out.q = lin.num_colors;
+  out.metrics = lin.metrics;
+  return out;
+}
+
+enum class OldcPremise { kEq2, kEq7, kTheorem12 };
+
+/// Per-node premise with the solvers' actual sink convention (a sink
+/// succeeds with any non-empty list; Eq. (2)/(7)/Theorem 1.2 only bind
+/// at outdegree >= 1).
+bool oldc_premise_holds(const OldcInstance& inst, OldcPremise premise, int p,
+                        double eps) {
+  if (inst.color_space < 1) return false;
+  const Graph& g = *inst.graph;
+  const double sqrt_c = std::sqrt(static_cast<double>(inst.color_space));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const PaletteView list = inst.lists[static_cast<std::size_t>(v)];
+    if (inst.effective_outdegree(v) == 0) {
+      if (list.empty()) return false;
+      continue;
+    }
+    const auto beta_v = static_cast<double>(inst.beta_v(v));
+    const auto weight = static_cast<double>(list.weight());
+    switch (premise) {
+      case OldcPremise::kEq2:
+        if (weight * p <= std::max<double>(static_cast<double>(p) * p,
+                                           static_cast<double>(list.size())) *
+                              beta_v) {
+          return false;
+        }
+        break;
+      case OldcPremise::kEq7:
+        if (weight <=
+            (1.0 + eps) *
+                std::max(static_cast<double>(p),
+                         static_cast<double>(list.size()) / p) *
+                beta_v) {
+          return false;
+        }
+        break;
+      case OldcPremise::kTheorem12:
+        if (weight < 3.0 * sqrt_c * beta_v) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+SolveResult finish(RunContext& ctx, std::vector<Color> colors,
+                   RoundMetrics metrics) {
+  SolveResult out;
+  out.colors = std::move(colors);
+  out.metrics = metrics;
+  ctx.metrics += metrics;
+  return out;
+}
+
+class TwoSweepSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "two_sweep"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kOldc;
+    c.oriented = true;
+    c.symmetric = true;
+    c.lists = true;
+    c.defects = true;
+    return c;
+  }
+
+  bool premise_holds(const SolveRequest& req) const override {
+    return req.oldc != nullptr &&
+           oldc_premise_holds(*req.oldc, OldcPremise::kEq2, req.params.p,
+                              0.0);
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.oldc != nullptr, "two_sweep needs an OLDC instance");
+    const InitialColoring init = resolve_initial(req);
+    ColoringResult r =
+        two_sweep(*req.oldc, *init.colors, init.q, req.params.p, ctx);
+    return finish(ctx, std::move(r.colors), init.metrics + r.metrics);
+  }
+};
+
+class FastTwoSweepSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "fast_two_sweep"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kOldc;
+    c.oriented = true;
+    c.symmetric = true;
+    c.lists = true;
+    c.defects = true;
+    return c;
+  }
+
+  bool premise_holds(const SolveRequest& req) const override {
+    return req.oldc != nullptr &&
+           oldc_premise_holds(*req.oldc, OldcPremise::kEq7, req.params.p,
+                              req.params.eps);
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.oldc != nullptr,
+                     "fast_two_sweep needs an OLDC instance");
+    const InitialColoring init = resolve_initial(req);
+    ColoringResult r = fast_two_sweep(*req.oldc, *init.colors, init.q,
+                                      req.params.p, req.params.eps);
+    return finish(ctx, std::move(r.colors), init.metrics + r.metrics);
+  }
+};
+
+class CongestOldcSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "congest_oldc"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kOldc;
+    c.oriented = true;
+    c.symmetric = true;
+    c.lists = true;
+    c.defects = true;
+    c.congest = true;
+    return c;
+  }
+
+  bool premise_holds(const SolveRequest& req) const override {
+    return req.oldc != nullptr &&
+           oldc_premise_holds(*req.oldc, OldcPremise::kTheorem12, 2, 0.0);
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.oldc != nullptr,
+                     "congest_oldc needs an OLDC instance");
+    const InitialColoring init = resolve_initial(req);
+    ColoringResult r = congest_oldc(*req.oldc, *init.colors, init.q);
+    return finish(ctx, std::move(r.colors), init.metrics + r.metrics);
+  }
+};
+
+class Slack1ArbdefectiveSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "slack1_arbdefective"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kArbdefective;
+    c.lists = true;
+    c.defects = true;
+    c.outputs_orientation = true;
+    return c;
+  }
+
+  bool premise_holds(const SolveRequest& req) const override {
+    if (req.list_defective == nullptr || req.list_defective->color_space < 1)
+      return false;
+    const ArbdefectiveInstance& inst = *req.list_defective;
+    for (NodeId v = 0; v < inst.graph->num_nodes(); ++v) {
+      if (inst.lists[static_cast<std::size_t>(v)].weight() <=
+          inst.graph->degree(v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.list_defective != nullptr,
+                     "slack1_arbdefective needs an arbdefective instance");
+    ArbdefectiveResult r = solve_arbdefective_slack1(
+        *req.list_defective, ctx, ListColoringOptions{req.params.engine});
+    SolveResult out = finish(ctx, std::move(r.colors), r.metrics);
+    out.orientation = std::move(r.orientation);
+    out.has_orientation = true;
+    out.breakdown = ctx.breakdown;
+    return out;
+  }
+};
+
+class DegPlusOneSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "deg_plus_one"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kListDefective;
+    c.lists = true;
+    c.proper_output = true;
+    return c;
+  }
+
+  bool premise_holds(const SolveRequest& req) const override {
+    if (req.list_defective == nullptr || req.list_defective->color_space < 1)
+      return false;
+    const ListDefectiveInstance& inst = *req.list_defective;
+    for (NodeId v = 0; v < inst.graph->num_nodes(); ++v) {
+      const PaletteView list = inst.lists[static_cast<std::size_t>(v)];
+      if (static_cast<int>(list.size()) < inst.graph->degree(v) + 1)
+        return false;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list.defect(i) != 0) return false;
+      }
+    }
+    return true;
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.list_defective != nullptr,
+                     "deg_plus_one needs a list defective instance");
+    ColoringResult r = solve_degree_plus_one(
+        *req.list_defective, ctx, ListColoringOptions{req.params.engine});
+    SolveResult out = finish(ctx, std::move(r.colors), r.metrics);
+    out.breakdown = ctx.breakdown;
+    return out;
+  }
+};
+
+class ThetaSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "theta"; }
+
+  SolverCapabilities capabilities() const override {
+    SolverCapabilities c;
+    c.input = Input::kGraph;
+    c.proper_output = true;
+    return c;
+  }
+
+  SolveResult solve(const SolveRequest& req, RunContext& ctx) const override {
+    DCOLOR_CHECK_MSG(req.graph != nullptr, "theta needs a graph");
+    ThetaColoringOptions options;
+    options.branch = ThetaColoringOptions::Branch::kBaseOnly;
+    options.engine = req.params.engine;
+    ColoringResult r =
+        theta_delta_plus_one(*req.graph, req.params.theta, options);
+    return finish(ctx, std::move(r.colors), r.metrics);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_core_solvers(SolverRegistry& registry) {
+  registry.add(std::make_unique<TwoSweepSolver>());
+  registry.add(std::make_unique<FastTwoSweepSolver>(), {"fast"});
+  registry.add(std::make_unique<CongestOldcSolver>(), {"congest"});
+  registry.add(std::make_unique<Slack1ArbdefectiveSolver>(), {"slack1"});
+  registry.add(std::make_unique<DegPlusOneSolver>(), {"degplus1"});
+  registry.add(std::make_unique<ThetaSolver>());
+}
+
+}  // namespace detail
+}  // namespace dcolor

@@ -15,6 +15,13 @@ namespace dcolor {
 
 ArbdefectiveResult solve_arbdefective_slack1(
     const ArbdefectiveInstance& inst, const ListColoringOptions& options) {
+  RunContext ctx;
+  return solve_arbdefective_slack1(inst, ctx, options);
+}
+
+ArbdefectiveResult solve_arbdefective_slack1(
+    const ArbdefectiveInstance& inst, RunContext& ctx,
+    const ListColoringOptions& options) {
   const Graph& g = *inst.graph;
   const auto n = static_cast<std::size_t>(g.num_nodes());
   DCOLOR_CHECK(inst.color_space >= 1);
@@ -26,9 +33,7 @@ ArbdefectiveResult solve_arbdefective_slack1(
 
   ArbdefectiveResult result;
   result.colors.assign(n, kNoColor);
-  ListColoringBreakdown local_breakdown;
-  ListColoringBreakdown& breakdown =
-      options.breakdown != nullptr ? *options.breakdown : local_breakdown;
+  ListColoringBreakdown& breakdown = ctx.breakdown;
   breakdown = {};
 
   // Initial O(Δ²)-coloring (Linial), the "proper q-coloring" every later
@@ -200,6 +205,13 @@ ArbdefectiveResult solve_arbdefective_slack1(
 
 ColoringResult solve_degree_plus_one(const ListDefectiveInstance& inst,
                                      const ListColoringOptions& options) {
+  RunContext ctx;
+  return solve_degree_plus_one(inst, ctx, options);
+}
+
+ColoringResult solve_degree_plus_one(const ListDefectiveInstance& inst,
+                                     RunContext& ctx,
+                                     const ListColoringOptions& options) {
   const Graph& g = *inst.graph;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     const auto& lst = inst.lists[static_cast<std::size_t>(v)];
@@ -210,7 +222,7 @@ ColoringResult solve_degree_plus_one(const ListDefectiveInstance& inst,
                        "solve_degree_plus_one expects zero defects");
     }
   }
-  ArbdefectiveResult arb = solve_arbdefective_slack1(inst, options);
+  ArbdefectiveResult arb = solve_arbdefective_slack1(inst, ctx, options);
   // Zero defects + an orientation of monochromatic edges = no
   // monochromatic edges at all: the coloring is proper.
   ColoringResult result;

@@ -34,37 +34,37 @@
 
 #include "coloring/arbdefective.h"
 #include "core/instance.h"
+#include "core/run_context.h"
 
 namespace dcolor {
 
-/// Optional round accounting by phase — answers "where do the rounds go"
-/// for the Theorem 1.3 framework (reported by bench/e7 and usable by any
-/// caller).
-struct ListColoringBreakdown {
-  std::int64_t initial_coloring_rounds = 0;  ///< Linial
-  std::int64_t partition_rounds = 0;         ///< per-level partitions
-  std::int64_t class_rounds = 0;             ///< inner OLDC runs
-  std::int64_t idle_slot_rounds = 0;         ///< empty class slots
-  std::int64_t levels = 0;
-  std::int64_t classes_run = 0;
-  std::int64_t classes_idle = 0;
-};
+// The per-phase round accounting type (ListColoringBreakdown) lives in
+// core/run_context.h: the framework solvers report it through
+// RunContext::breakdown instead of an out-pointer.
 
 struct ListColoringOptions {
   PartitionEngine engine = PartitionEngine::kHonest;
-  /// When non-null, filled with the per-phase round breakdown.
-  ListColoringBreakdown* breakdown = nullptr;
 };
 
 /// Solves any list arbdefective instance with slack > 1
 /// (Σ(d_v(x)+1) > deg(v), i.e. P_A(1, C); (deg+1)-list coloring instances
 /// qualify with defects 0). Throws CheckError if the slack condition
-/// fails.
+/// fails. Fills ctx.breakdown with the per-phase round accounting.
+ArbdefectiveResult solve_arbdefective_slack1(
+    const ArbdefectiveInstance& inst, RunContext& ctx,
+    const ListColoringOptions& options = {});
+
+/// Context-free convenience (breakdown discarded).
 ArbdefectiveResult solve_arbdefective_slack1(
     const ArbdefectiveInstance& inst, const ListColoringOptions& options = {});
 
 /// Theorem 1.3 proper: zero-defect lists with |L_v| >= deg(v)+1 produce a
-/// PROPER coloring from the lists.
+/// PROPER coloring from the lists. Fills ctx.breakdown.
+ColoringResult solve_degree_plus_one(const ListDefectiveInstance& inst,
+                                     RunContext& ctx,
+                                     const ListColoringOptions& options = {});
+
+/// Context-free convenience (breakdown discarded).
 ColoringResult solve_degree_plus_one(const ListDefectiveInstance& inst,
                                      const ListColoringOptions& options = {});
 

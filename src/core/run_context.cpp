@@ -1,0 +1,27 @@
+#include "core/run_context.h"
+
+#include "check/invariant_checker.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+
+namespace dcolor {
+
+RunScope::RunScope(RunContext& ctx) : ctx_(&ctx) {
+  prev_thread_override_ = Network::set_thread_override(ctx.num_threads);
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->install();
+    tracer_installed_ = true;
+  }
+  if (ctx.checker != nullptr) {
+    ctx.checker->install();
+    checker_installed_ = true;
+  }
+}
+
+RunScope::~RunScope() {
+  if (checker_installed_) ctx_->checker->uninstall();
+  if (tracer_installed_) ctx_->tracer->uninstall();
+  Network::set_thread_override(prev_thread_override_);
+}
+
+}  // namespace dcolor

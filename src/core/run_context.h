@@ -1,0 +1,102 @@
+// RunContext: one bundle for everything a solver run threads through the
+// library — tracer, invariant checker, metrics accumulation, simulator
+// thread count, the RNG stream root for randomized solvers, and the
+// scratch-arena handle batch jobs reuse between runs.
+//
+// Before this seam existed every entry point hand-plumbed its own subset
+// (a bool here, an out-pointer there); the solver registry (core/solver.h)
+// passes a RunContext& everywhere instead. Activate a context with
+// RunScope: it installs the tracer/checker (both keep *thread-local*
+// current pointers, so concurrent batch jobs on different worker threads
+// are fully isolated) and pins the simulator thread count for the current
+// thread, restoring everything on scope exit.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+class Tracer;
+class InvariantChecker;
+class PaletteStore;
+
+/// Per-phase round accounting for the Theorem 1.3 recursive framework —
+/// answers "where do the rounds go". Filled into RunContext::breakdown by
+/// solve_arbdefective_slack1 / solve_degree_plus_one (and surfaced by the
+/// registry as SolveResult::breakdown).
+struct ListColoringBreakdown {
+  std::int64_t initial_coloring_rounds = 0;  ///< Linial
+  std::int64_t partition_rounds = 0;         ///< per-level partitions
+  std::int64_t class_rounds = 0;             ///< inner OLDC runs
+  std::int64_t idle_slot_rounds = 0;         ///< empty class slots
+  std::int64_t levels = 0;
+  std::int64_t classes_run = 0;
+  std::int64_t classes_idle = 0;
+};
+
+struct RunContext {
+  /// Observability/verification hooks this run should install (borrowed,
+  /// may be null — a null field leaves whatever is already current on the
+  /// thread in place).
+  Tracer* tracer = nullptr;
+  InvariantChecker* checker = nullptr;
+
+  /// Simulator worker threads for Network::run calls made inside the
+  /// scope (0 = inherit the process default). Batch workers pin this to 1
+  /// so the job axis, not the round axis, is the parallel one.
+  int num_threads = 0;
+
+  /// RNG stream root. Randomized solvers derive independent per-purpose
+  /// streams with rng(salt), so two solvers sharing a context never
+  /// consume each other's draws.
+  std::uint64_t seed = 1;
+
+  /// Skip per-node entry-premise checks (Eq. (2)/(7)...). Replaces the
+  /// old TwoSweepOptions::skip_precondition_check plumbing; ablation
+  /// benches that intentionally run below threshold set this.
+  bool skip_precondition_check = false;
+
+  /// Metrics accumulated across the solve() calls made under this
+  /// context (sequential composition).
+  RoundMetrics metrics;
+
+  /// Per-phase breakdown of the last framework solver run under this
+  /// context. Replaces the old ListColoringOptions::breakdown
+  /// out-pointer.
+  ListColoringBreakdown breakdown;
+
+  /// Optional scratch palette arena a batch runner hands each job so
+  /// steady-state jobs rebuild instances without regrowing arenas
+  /// (borrowed; see sim/batch_runner.h for the reuse accounting).
+  PaletteStore* scratch_palettes = nullptr;
+
+  /// Independent RNG stream `salt` of this context's seed; depends only
+  /// on (seed, salt), never on draw order.
+  Rng rng(std::uint64_t salt = 0) const noexcept {
+    return Rng::stream(seed, salt);
+  }
+};
+
+/// RAII activation of a RunContext on the current thread: installs
+/// ctx.tracer / ctx.checker (if non-null) and applies ctx.num_threads as
+/// the thread-local simulator override. Destruction restores the previous
+/// state in reverse order. Non-movable; stack-scope only.
+class RunScope {
+ public:
+  explicit RunScope(RunContext& ctx);
+  ~RunScope();
+
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+
+ private:
+  RunContext* ctx_;
+  int prev_thread_override_ = 0;
+  bool tracer_installed_ = false;
+  bool checker_installed_ = false;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,70 @@
+#include "core/solver.h"
+
+#include "graph/coloring_checks.h"
+
+namespace dcolor {
+
+const char* SolverCapabilities::input_name(Input input) noexcept {
+  switch (input) {
+    case Input::kOldc: return "oldc";
+    case Input::kListDefective: return "list_defective";
+    case Input::kArbdefective: return "arbdefective";
+    case Input::kGraph: return "graph";
+  }
+  return "unknown";
+}
+
+std::string SolverCapabilities::summary() const {
+  std::string s = input_name(input);
+  const auto add = [&s](bool on, const char* flag) {
+    if (on) {
+      s += '|';
+      s += flag;
+    }
+  };
+  add(oriented, "oriented");
+  add(symmetric, "symmetric");
+  add(lists, "lists");
+  add(defects, "defects");
+  add(outputs_orientation, "orients");
+  add(proper_output, "proper");
+  add(congest, "congest");
+  add(!distributed, "sequential");
+  add(randomized, "randomized");
+  return s;
+}
+
+bool Solver::premise_holds(const SolveRequest&) const { return true; }
+
+bool validate_solve(const SolveRequest& req, const SolverCapabilities& caps,
+                    const SolveResult& res) {
+  switch (caps.input) {
+    case SolverCapabilities::Input::kOldc:
+      return req.oldc != nullptr && validate_oldc(*req.oldc, res.colors);
+    case SolverCapabilities::Input::kListDefective:
+      if (req.list_defective == nullptr) return false;
+      if (caps.proper_output &&
+          !is_proper_coloring(*req.list_defective->graph, res.colors)) {
+        return false;
+      }
+      return validate_list_defective(*req.list_defective, res.colors);
+    case SolverCapabilities::Input::kArbdefective: {
+      if (req.list_defective == nullptr || !res.has_orientation) return false;
+      ArbdefectiveResult arb;
+      arb.colors = res.colors;
+      arb.orientation = res.orientation;
+      return validate_arbdefective(*req.list_defective, arb);
+    }
+    case SolverCapabilities::Input::kGraph:
+      if (req.graph == nullptr) return false;
+      if (caps.proper_output) return is_proper_coloring(*req.graph, res.colors);
+      for (const Color c : res.colors) {
+        if (c == kNoColor) return false;
+      }
+      return res.colors.size() ==
+             static_cast<std::size_t>(req.graph->num_nodes());
+  }
+  return false;
+}
+
+}  // namespace dcolor

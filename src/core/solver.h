@@ -1,0 +1,138 @@
+// The unified solver interface behind the registry (solver_registry.h).
+//
+// The paper's algorithms are one family — Theorems 1.1–1.5 compose the
+// same OLDC primitives — and the library treats them that way: every
+// coloring algorithm (core OLDC solvers, the recursive frameworks, the
+// sequential and randomized baselines) is exposed as a `Solver` with
+//   * a stable registry name,
+//   * a capability descriptor (which problem family it consumes, whether
+//     it is oriented/symmetric-capable, honors lists and defects, emits
+//     an output orientation, respects a CONGEST bandwidth budget), and
+//   * one entry point: solve(SolveRequest, RunContext) -> SolveResult.
+//
+// The CLI, the batch runner, the fuzz harness, and the benches dispatch
+// through this interface; adding a solver means implementing the adapter
+// and registering it (see solver_registry.h), after which all of those
+// surfaces pick it up automatically.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coloring/arbdefective.h"
+#include "core/instance.h"
+#include "core/run_context.h"
+#include "graph/orientation.h"
+
+namespace dcolor {
+
+/// What a solver consumes and guarantees. The flag set mirrors the
+/// paper's problem families: P_O (oriented list defective), P_D
+/// (undirected list defective), P_A (arbdefective; orientation is
+/// output), plus graph-only Δ+1 convenience solvers.
+struct SolverCapabilities {
+  enum class Input : std::uint8_t {
+    kOldc,           ///< OldcInstance (+ optional initial proper coloring)
+    kListDefective,  ///< ListDefectiveInstance (P_D)
+    kArbdefective,   ///< ArbdefectiveInstance (P_A)
+    kGraph,          ///< bare Graph; the solver owns its problem statement
+  };
+  Input input = Input::kOldc;
+
+  bool oriented = false;      ///< consumes an input edge orientation
+  bool symmetric = false;     ///< accepts symmetric (undirected) OLDC mode
+  bool lists = false;         ///< honors per-node color lists
+  bool defects = false;       ///< honors per-color defect budgets
+  bool outputs_orientation = false;  ///< arbdefective: orientation out
+  bool proper_output = false;        ///< result is a proper coloring
+  bool congest = false;       ///< messages bounded by O(log q + log C)
+  bool distributed = true;    ///< false: sequential baseline (rounds ~ n)
+  bool randomized = false;    ///< draws from RunContext::seed
+
+  /// "oldc|oriented|lists|defects|congest"-style flag string for
+  /// `dcolor --cmd=list` and reports.
+  std::string summary() const;
+
+  static const char* input_name(Input input) noexcept;
+};
+
+/// Per-solve tuning parameters. One flat struct rather than per-solver
+/// option types so job specs, fuzz cases, and CLI flags all serialize the
+/// same way; solvers read only the fields they document.
+struct SolverParams {
+  int p = 2;          ///< Two-Sweep Phase-I set size (Theorem 1.1)
+  double eps = 0.5;   ///< Fast-Two-Sweep slack parameter (Eq. (7))
+  double alpha = 0.25;  ///< defective-precoloring parameter (Lemma 3.4)
+  int theta = 2;      ///< neighborhood independence bound (Theorem 1.5)
+  PartitionEngine engine = PartitionEngine::kBeg18Oracle;
+};
+
+/// One problem handed to Solver::solve. Exactly the pointers matching the
+/// solver's Input kind must be set (kOldc -> oldc; kListDefective /
+/// kArbdefective -> list_defective; kGraph -> graph). All pointers are
+/// borrowed and must outlive the call.
+struct SolveRequest {
+  const OldcInstance* oldc = nullptr;
+  const ListDefectiveInstance* list_defective = nullptr;  ///< P_D and P_A
+  const Graph* graph = nullptr;
+
+  /// Optional proper q-coloring for OLDC solvers (values in [0, q)).
+  /// When null the solver computes Linial from IDs itself and folds that
+  /// cost into the returned metrics.
+  const std::vector<Color>* initial_coloring = nullptr;
+  std::int64_t q = 0;  ///< size of the initial color space (with the above)
+
+  SolverParams params;
+
+  /// The graph the request ranges over, whichever instance kind carries it.
+  const Graph* any_graph() const noexcept {
+    if (oldc != nullptr) return oldc->graph;
+    if (list_defective != nullptr) return list_defective->graph;
+    return graph;
+  }
+};
+
+/// What every solver returns. `breakdown` is only populated by the
+/// recursive-framework solvers; `orientation` only when
+/// capabilities().outputs_orientation.
+struct SolveResult {
+  std::vector<Color> colors;
+  Orientation orientation;
+  bool has_orientation = false;
+  RoundMetrics metrics;
+  ListColoringBreakdown breakdown;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual SolverCapabilities capabilities() const = 0;
+
+  /// True iff this solver's entry premise holds on `req` (Eq. (2) for
+  /// Two-Sweep, Eq. (7) for Fast-Two-Sweep, the 3·√C·β bound for the
+  /// CONGEST solver, slack > 1 for the frameworks...). Default: true.
+  /// The fuzz harness only schedules cases whose premise holds by
+  /// construction, so any later failure is a bug.
+  virtual bool premise_holds(const SolveRequest& req) const;
+
+  /// Solves `req`. The solver accumulates into ctx.metrics as well as
+  /// returning per-call metrics, honors ctx.skip_precondition_check, and
+  /// derives any randomness from ctx.rng(...). Throws CheckError on
+  /// malformed requests or violated preconditions.
+  virtual SolveResult solve(const SolveRequest& req, RunContext& ctx)
+      const = 0;
+};
+
+/// Validates `res` against whatever `req` carries, dispatching on the
+/// solver's capabilities (OLDC validation, list-defective validation,
+/// arbdefective validation under the output orientation, or proper-
+/// coloring validation for graph solvers). Defective non-list graph
+/// solvers (input == kGraph, !proper_output) only get an all-colored
+/// check — their defect guarantee depends on solver-specific parameters.
+bool validate_solve(const SolveRequest& req, const SolverCapabilities& caps,
+                    const SolveResult& res);
+
+}  // namespace dcolor

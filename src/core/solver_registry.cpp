@@ -1,0 +1,77 @@
+#include "core/solver_registry.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+SolverRegistry::SolverRegistry() {
+  detail::register_core_solvers(*this);
+  detail::register_coloring_solvers(*this);
+  detail::register_baseline_solvers(*this);
+  detail::register_check_solvers(*this);
+}
+
+SolverRegistry& SolverRegistry::get() {
+  static SolverRegistry registry;
+  return registry;
+}
+
+const Solver* SolverRegistry::find(std::string_view name_or_alias) const {
+  for (const Entry& e : entries_) {
+    if (e.solver->name() == name_or_alias) return e.solver.get();
+    for (const std::string& a : e.aliases) {
+      if (a == name_or_alias) return e.solver.get();
+    }
+  }
+  return nullptr;
+}
+
+const Solver& SolverRegistry::require(std::string_view name_or_alias) const {
+  const Solver* solver = find(name_or_alias);
+  if (solver != nullptr) return *solver;
+  std::string available;
+  for (const Solver* s : solvers()) {
+    if (!available.empty()) available += ", ";
+    available += s->name();
+  }
+  DCOLOR_CHECK_MSG(false, "unknown solver \"" << name_or_alias
+                                              << "\"; available: "
+                                              << available);
+  // Unreachable; DCOLOR_CHECK_MSG throws.
+  throw CheckError("unreachable");
+}
+
+std::vector<const Solver*> SolverRegistry::solvers() const {
+  std::vector<const Solver*> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.solver.get());
+  std::sort(out.begin(), out.end(), [](const Solver* a, const Solver* b) {
+    return a->name() < b->name();
+  });
+  return out;
+}
+
+std::vector<std::string> SolverRegistry::aliases_of(
+    std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.solver->name() == name) return e.aliases;
+  }
+  return {};
+}
+
+void SolverRegistry::add(std::unique_ptr<Solver> solver,
+                         std::vector<std::string> aliases) {
+  DCOLOR_CHECK(solver != nullptr);
+  DCOLOR_CHECK_MSG(find(solver->name()) == nullptr,
+                   "duplicate solver name " << solver->name());
+  for (const std::string& a : aliases) {
+    DCOLOR_CHECK_MSG(find(a) == nullptr,
+                     "solver alias " << a << " collides with an existing "
+                                        "registration");
+  }
+  entries_.push_back(Entry{std::move(solver), std::move(aliases)});
+}
+
+}  // namespace dcolor

@@ -1,0 +1,69 @@
+// Central registry of every coloring solver in the library.
+//
+// The registry is the single lookup point behind `dcolor --cmd=color`,
+// `dcolor --cmd=list`, the batch runner, the fuzz harness's algorithm
+// axis, and the benches: each resolves a solver by name (or alias) and
+// drives it through the uniform Solver interface (core/solver.h).
+//
+// Registration is CENTRAL, not self-registering: the constructor calls
+// one `detail::register_*_solvers` hook per algorithm family, each
+// defined in a dedicated adapter file (core/core_solvers.cpp,
+// coloring/coloring_solvers.cpp, baselines/baseline_solvers.cpp,
+// check/oracle_solver.cpp). The undefined-symbol reference is what pulls
+// those objects out of the static library — per-file static-initializer
+// self-registration would be silently dead-stripped by the linker the
+// moment nothing else references the object.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace dcolor {
+
+class SolverRegistry {
+ public:
+  /// The process-wide registry, built (with every builtin solver) on
+  /// first use. Thread-safe construction; read-only afterwards.
+  static SolverRegistry& get();
+
+  /// Solver by canonical name or alias; nullptr when unknown.
+  const Solver* find(std::string_view name_or_alias) const;
+
+  /// Like find(), but throws CheckError naming the available solvers.
+  const Solver& require(std::string_view name_or_alias) const;
+
+  /// All solvers, sorted by canonical name.
+  std::vector<const Solver*> solvers() const;
+
+  /// Aliases registered for a canonical solver name (may be empty).
+  std::vector<std::string> aliases_of(std::string_view name) const;
+
+  /// Registers a solver (takes ownership). Throws CheckError when the
+  /// name or an alias collides with an existing registration.
+  void add(std::unique_ptr<Solver> solver,
+           std::vector<std::string> aliases = {});
+
+ private:
+  SolverRegistry();
+
+  struct Entry {
+    std::unique_ptr<Solver> solver;
+    std::vector<std::string> aliases;
+  };
+  std::vector<Entry> entries_;
+};
+
+namespace detail {
+// Per-family registration hooks, one per adapter file (see header
+// comment for why registration is centralized here).
+void register_core_solvers(SolverRegistry& registry);
+void register_coloring_solvers(SolverRegistry& registry);
+void register_baseline_solvers(SolverRegistry& registry);
+void register_check_solvers(SolverRegistry& registry);
+}  // namespace detail
+
+}  // namespace dcolor

@@ -229,16 +229,24 @@ std::int64_t TwoSweepProgram::compute_ops() const noexcept {
 ColoringResult two_sweep(const OldcInstance& inst,
                          const std::vector<Color>& initial_coloring,
                          std::int64_t q, int p, bool skip_precondition_check) {
-  TwoSweepOptions options;
-  options.skip_precondition_check = skip_precondition_check;
-  return two_sweep_ex(inst, initial_coloring, q, p, options);
+  RunContext ctx;
+  ctx.skip_precondition_check = skip_precondition_check;
+  return two_sweep(inst, initial_coloring, q, p, ctx);
 }
 
 ColoringResult two_sweep_ex(const OldcInstance& inst,
                             const std::vector<Color>& initial_coloring,
                             std::int64_t q, int p,
                             const TwoSweepOptions& options) {
-  const bool skip_precondition_check = options.skip_precondition_check;
+  RunContext ctx;
+  return two_sweep(inst, initial_coloring, q, p, ctx, options);
+}
+
+ColoringResult two_sweep(const OldcInstance& inst,
+                         const std::vector<Color>& initial_coloring,
+                         std::int64_t q, int p, RunContext& ctx,
+                         const TwoSweepOptions& options) {
+  const bool skip_precondition_check = ctx.skip_precondition_check;
   const Graph& g = *inst.graph;
   DCOLOR_CHECK(static_cast<NodeId>(initial_coloring.size()) == g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

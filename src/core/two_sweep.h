@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/run_context.h"
 #include "sim/network.h"
 
 namespace dcolor {
@@ -35,20 +36,30 @@ enum class TwoSweepSelection {
 struct TwoSweepOptions {
   TwoSweepSelection selection = TwoSweepSelection::kBestMargin;
   std::uint64_t selection_seed = 0;  ///< for kRandomSubset
-  bool skip_precondition_check = false;
 };
 
 /// Distributed Two-Sweep run through the message-passing simulator.
 ///
 /// `initial_coloring` must be a proper coloring with values in [0, q).
-/// Checks Eq. (2) per node up front (throws CheckError otherwise, unless
-/// `skip_precondition_check`; Phase II still verifies it found a color).
+/// Checks Eq. (2) per node up front and throws CheckError otherwise,
+/// unless the active RunContext sets `skip_precondition_check` (Phase II
+/// still verifies every node found a color). The context also names the
+/// simulator thread count the run executes under (via RunScope at the
+/// call site or ctx-free defaults).
+ColoringResult two_sweep(const OldcInstance& inst,
+                         const std::vector<Color>& initial_coloring,
+                         std::int64_t q, int p, RunContext& ctx,
+                         const TwoSweepOptions& options = {});
+
+/// Context-free convenience (defaults: precondition check ON). The bool
+/// form mirrors the pre-RunContext signature for callers that only ever
+/// toggled the precondition check (ablation benches, mutation tests).
 ColoringResult two_sweep(const OldcInstance& inst,
                          const std::vector<Color>& initial_coloring,
                          std::int64_t q, int p,
                          bool skip_precondition_check = false);
 
-/// Variant with explicit options (ablations, E13).
+/// Variant with explicit options (ablations, E13), default context.
 ColoringResult two_sweep_ex(const OldcInstance& inst,
                             const std::vector<Color>& initial_coloring,
                             std::int64_t q, int p,

@@ -19,6 +19,9 @@
 #include "coloring/linial.h"            // IWYU pragma: export
 #include "core/color_space_reduction.h" // IWYU pragma: export
 #include "core/congest_oldc.h"          // IWYU pragma: export
+#include "core/run_context.h"           // IWYU pragma: export
+#include "core/solver.h"                // IWYU pragma: export
+#include "core/solver_registry.h"       // IWYU pragma: export
 #include "core/defective_from_arbdefective.h"  // IWYU pragma: export
 #include "core/edge_coloring.h"         // IWYU pragma: export
 #include "core/fast_two_sweep.h"        // IWYU pragma: export
@@ -38,4 +41,5 @@
 #include "graph/line_graph.h"           // IWYU pragma: export
 #include "graph/orientation.h"          // IWYU pragma: export
 #include "io/instance_io.h"             // IWYU pragma: export
+#include "sim/batch_runner.h"           // IWYU pragma: export
 #include "sim/network.h"                // IWYU pragma: export

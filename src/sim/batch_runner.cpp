@@ -1,0 +1,476 @@
+#include "sim/batch_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "check/invariant_checker.h"
+#include "core/run_context.h"
+#include "core/solver_registry.h"
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/parse.h"
+#include "util/rng.h"
+
+namespace dcolor {
+
+namespace {
+
+using Input = SolverCapabilities::Input;
+
+// RNG stream salts: one independent stream per construction purpose so a
+// job's graph and lists never consume each other's draws.
+constexpr std::uint64_t kGraphSalt = 0x67726170;  // "grap"
+constexpr std::uint64_t kListSalt = 0x6c697374;   // "list"
+
+/// Per-worker scratch a job builds its instance into. Leased from a
+/// mutex-guarded pool and returned after the job, so steady-state jobs
+/// rebuild lists inside the previous job's arenas: PaletteStore::clear
+/// keeps capacity and push_scratch is the allocation-free insert path.
+struct BatchScratch {
+  Graph graph;
+  OldcInstance oldc;
+  ListDefectiveInstance list_defective;
+  PaletteStore::Scratch list_buf;
+  std::vector<Color> color_pool;     ///< Fisher–Yates sampling pool
+  std::vector<Color> distinct_buf;   ///< colors_used counting
+};
+
+Graph build_graph(const BatchJob& job, Rng& rng) {
+  DCOLOR_CHECK_MSG(job.n >= 2, "batch job needs n >= 2 (got " << job.n << ")");
+  if (job.generator == "gnp") {
+    return gnp_avg_degree(job.n, static_cast<double>(job.degree), rng);
+  }
+  if (job.generator == "regular") {
+    return random_near_regular(job.n, std::max(1, job.degree), rng);
+  }
+  if (job.generator == "tree") return random_tree(job.n, rng);
+  if (job.generator == "geometric") {
+    // Radius giving expected degree ~ `degree`: n·π·r² neighbors in the
+    // unit square (ignoring boundary effects).
+    const double radius =
+        std::sqrt(static_cast<double>(job.degree + 1) /
+                  (3.14159265358979323846 * static_cast<double>(job.n)));
+    return random_geometric(job.n, std::min(1.0, radius), rng);
+  }
+  if (job.generator == "cycle") return cycle(std::max<NodeId>(3, job.n));
+  DCOLOR_CHECK_MSG(false, "unknown generator '"
+                              << job.generator
+                              << "' (gnp|regular|tree|geometric|cycle)");
+  return {};
+}
+
+/// Writes `count` distinct colors from [0, color_space) into scratch.colors
+/// with defect `defect` each, via a partial Fisher–Yates over the reusable
+/// pool (no per-node allocation once the pool reached color_space).
+void sample_palette(PaletteStore::Scratch& scratch,
+                    std::vector<Color>& pool, std::int64_t color_space,
+                    std::size_t count, int defect, Rng& rng) {
+  pool.resize(static_cast<std::size_t>(color_space));
+  std::iota(pool.begin(), pool.end(), Color{0});
+  scratch.colors.clear();
+  scratch.defects.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    scratch.colors.push_back(pool[i]);
+    scratch.defects.push_back(defect);
+  }
+}
+
+/// OLDC instance sized so the target solver's premise holds for every
+/// node by construction (same scheme as the fuzz harness, generalized to
+/// the job's p/ε): uniform defect with Λ(d+1) strictly above the Eq. (2)
+/// and Eq. (7) thresholds, and above 3√C·β for CONGEST solvers.
+void fill_oldc(BatchScratch& s, const BatchJob& job,
+               const SolverCapabilities& caps, Rng& rng) {
+  OldcInstance& inst = s.oldc;
+  inst.graph = &s.graph;
+  inst.orientation = Orientation::by_id(s.graph);
+  inst.symmetric = job.symmetric && caps.symmetric;
+  const int beta = inst.symmetric ? std::max(1, s.graph.max_degree())
+                                  : inst.orientation.beta();
+  const int list_size = 4 + static_cast<int>(rng.below(5));  // 4..8
+  const std::int64_t color_space =
+      list_size + static_cast<std::int64_t>(
+                      rng.below(static_cast<std::uint64_t>(list_size + 4)));
+  const auto p = static_cast<double>(std::max(1, job.params.p));
+  const double eq2 =
+      std::max(p * p, static_cast<double>(list_size)) * beta / p;
+  const double eq7 = (1.0 + job.params.eps) *
+                     std::max(p, static_cast<double>(list_size) / p) * beta;
+  double need = std::max(eq2, eq7);
+  if (caps.congest) {
+    need = std::max(
+        need, 3.0 * std::sqrt(static_cast<double>(color_space)) * beta);
+  }
+  // weight = Λ(defect+1) = Λ·(⌊need/Λ⌋+1) + Λ·jitter > need.
+  const int defect =
+      static_cast<int>(std::floor(need / list_size)) +
+      static_cast<int>(rng.below(2));
+
+  inst.color_space = color_space;
+  inst.lists.clear();
+  inst.lists.reserve(static_cast<std::size_t>(s.graph.num_nodes()));
+  for (NodeId v = 0; v < s.graph.num_nodes(); ++v) {
+    sample_palette(s.list_buf, s.color_pool, color_space,
+                   static_cast<std::size_t>(list_size), defect, rng);
+    inst.lists.push_scratch(s.list_buf);
+  }
+}
+
+/// (deg+1)-list instance with zero defects from a 2(Δ+1) color space —
+/// satisfies both the slack-1 premise (weight = deg+1 > deg) and the
+/// deg_plus_one premise by construction.
+void fill_deg_plus_one(BatchScratch& s, Rng& rng) {
+  ListDefectiveInstance& inst = s.list_defective;
+  inst.graph = &s.graph;
+  inst.color_space = 2 * (static_cast<std::int64_t>(s.graph.max_degree()) + 1);
+  inst.lists.clear();
+  inst.lists.reserve(static_cast<std::size_t>(s.graph.num_nodes()));
+  for (NodeId v = 0; v < s.graph.num_nodes(); ++v) {
+    sample_palette(s.list_buf, s.color_pool, inst.color_space,
+                   static_cast<std::size_t>(s.graph.degree(v)) + 1,
+                   /*defect=*/0, rng);
+    inst.lists.push_scratch(s.list_buf);
+  }
+}
+
+std::uint64_t fnv1a(const std::vector<Color>& colors) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Color c : colors) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::int64_t count_distinct(const std::vector<Color>& colors,
+                            std::vector<Color>& buf) {
+  buf.assign(colors.begin(), colors.end());
+  std::sort(buf.begin(), buf.end());
+  return std::unique(buf.begin(), buf.end()) - buf.begin();
+}
+
+BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
+                       BatchScratch& s) {
+  BatchJobResult out;
+  out.label = job.label;
+  // Everything that can throw (unknown solver, bad generator/n, solver
+  // preconditions) is handled HERE: an exception must fail this one job,
+  // never escape into the worker pool.
+  const Solver* solver = SolverRegistry::get().find(job.solver);
+  out.solver = solver != nullptr ? std::string(solver->name()) : job.solver;
+  if (out.label.empty()) {
+    out.label = out.solver + "/" + job.generator + "/n=" +
+                std::to_string(job.n) + "#" + std::to_string(job.seed);
+  }
+  if (solver == nullptr) {
+    out.error = "unknown solver '" + job.solver + "'";
+    return out;
+  }
+  const SolverCapabilities caps = solver->capabilities();
+  const std::uint64_t seed = job.seed + options.seed;
+
+  InvariantChecker checker(InvariantChecker::Mode::kCollect);
+  try {
+    Rng graph_rng = Rng::stream(seed, kGraphSalt);
+    s.graph = build_graph(job, graph_rng);
+    out.nodes = s.graph.num_nodes();
+    out.edges = s.graph.num_edges();
+
+    SolveRequest req;
+    req.params = job.params;
+    Rng list_rng = Rng::stream(seed, kListSalt);
+    RunContext ctx;
+    switch (caps.input) {
+      case Input::kOldc:
+        fill_oldc(s, job, caps, list_rng);
+        req.oldc = &s.oldc;
+        ctx.scratch_palettes = &s.oldc.lists;
+        break;
+      case Input::kListDefective:
+      case Input::kArbdefective:
+        fill_deg_plus_one(s, list_rng);
+        req.list_defective = &s.list_defective;
+        ctx.scratch_palettes = &s.list_defective.lists;
+        break;
+      case Input::kGraph:
+        req.graph = &s.graph;
+        break;
+    }
+
+    // Jobs are the parallel axis: pin the simulator to one thread so the
+    // result is independent of how many batch workers run concurrently.
+    ctx.num_threads = 1;
+    ctx.seed = seed;
+    if (options.check) ctx.checker = &checker;
+    RunScope scope(ctx);
+
+    if (solver->premise_holds(req)) {
+      SolveResult res = solver->solve(req, ctx);
+      out.valid = validate_solve(req, caps, res);
+      out.metrics = res.metrics;
+      out.colors_used = count_distinct(res.colors, s.distinct_buf);
+      out.color_hash = fnv1a(res.colors);
+    } else {
+      out.error = "premise does not hold for " + out.solver;
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.valid = false;
+  }
+  out.checker_violations =
+      static_cast<std::int64_t>(checker.violations().size());
+  return out;
+}
+
+// ---- job spec parsing ----------------------------------------------------
+
+bool is_spec_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_spec_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_spec_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool parse_bool_field(std::string_view value, std::string_view key) {
+  if (value == "1" || value == "true" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "no") return false;
+  DCOLOR_CHECK_MSG(false, "batch job key '" << key << "': expected a boolean, got '"
+                                            << value << "'");
+  return false;
+}
+
+PartitionEngine parse_engine(std::string_view value) {
+  if (value == "honest") return PartitionEngine::kHonest;
+  if (value == "oracle" || value == "beg18") {
+    return PartitionEngine::kBeg18Oracle;
+  }
+  DCOLOR_CHECK_MSG(false, "batch job key 'engine': expected honest|oracle, got '"
+                              << value << "'");
+  return PartitionEngine::kHonest;
+}
+
+/// Parses one ','-separated spec, expanding `repeat=K` into K jobs with
+/// consecutive seeds.
+void parse_job_spec(std::string_view spec, std::vector<BatchJob>& out) {
+  BatchJob job;
+  bool saw_solver = false;
+  std::int64_t repeat = 1;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view field = trim(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    DCOLOR_CHECK_MSG(eq != std::string_view::npos,
+                     "batch job field '" << field << "' is not key=value");
+    const std::string_view key = trim(field.substr(0, eq));
+    const std::string_view value = trim(field.substr(eq + 1));
+    if (key == "solver" || key == "alg") {
+      job.solver = std::string(value);
+      saw_solver = true;
+    } else if (key == "generator" || key == "gen") {
+      job.generator = std::string(value);
+    } else if (key == "n") {
+      job.n = static_cast<NodeId>(parse_int64(value, "batch job n"));
+    } else if (key == "degree") {
+      job.degree = static_cast<int>(parse_int64(value, "batch job degree"));
+    } else if (key == "seed") {
+      job.seed =
+          static_cast<std::uint64_t>(parse_int64(value, "batch job seed"));
+    } else if (key == "symmetric") {
+      job.symmetric = parse_bool_field(value, key);
+    } else if (key == "repeat") {
+      repeat = parse_int64(value, "batch job repeat");
+      DCOLOR_CHECK_MSG(repeat >= 1, "batch job repeat must be >= 1");
+    } else if (key == "label") {
+      job.label = std::string(value);
+    } else if (key == "p") {
+      job.params.p = static_cast<int>(parse_int64(value, "batch job p"));
+    } else if (key == "eps") {
+      job.params.eps = parse_double(value, "batch job eps");
+    } else if (key == "alpha") {
+      job.params.alpha = parse_double(value, "batch job alpha");
+    } else if (key == "theta") {
+      job.params.theta =
+          static_cast<int>(parse_int64(value, "batch job theta"));
+    } else if (key == "engine") {
+      job.params.engine = parse_engine(value);
+    } else {
+      DCOLOR_CHECK_MSG(false, "unknown batch job key '" << key << "'");
+    }
+  }
+  DCOLOR_CHECK_MSG(saw_solver,
+                   "batch job spec '" << spec << "' is missing solver=");
+  for (std::int64_t r = 0; r < repeat; ++r) {
+    BatchJob expanded = job;
+    expanded.seed = job.seed + static_cast<std::uint64_t>(r);
+    if (!job.label.empty() && repeat > 1) {
+      expanded.label = job.label + "#" + std::to_string(r);
+    }
+    out.push_back(std::move(expanded));
+  }
+}
+
+// ---- JSON report ---------------------------------------------------------
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::vector<BatchJob> parse_batch_jobs(const std::string& file_or_spec) {
+  std::vector<BatchJob> jobs;
+  std::ifstream in(file_or_spec);
+  if (in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string_view s(line);
+      if (const std::size_t hash = s.find('#');
+          hash != std::string_view::npos) {
+        s = s.substr(0, hash);
+      }
+      s = trim(s);
+      if (!s.empty()) parse_job_spec(s, jobs);
+    }
+    DCOLOR_CHECK_MSG(!jobs.empty(),
+                     "batch job file '" << file_or_spec << "' has no jobs");
+    return jobs;
+  }
+  std::string_view spec(file_or_spec);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = std::min(spec.find(';', pos), spec.size());
+    const std::string_view one = trim(spec.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (!one.empty()) parse_job_spec(one, jobs);
+  }
+  DCOLOR_CHECK_MSG(!jobs.empty(), "batch spec '" << file_or_spec
+                                                 << "' has no jobs");
+  return jobs;
+}
+
+BatchReport run_batch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options) {
+  DCOLOR_CHECK_MSG(!jobs.empty(), "run_batch needs at least one job");
+  const int threads =
+      options.threads > 0 ? options.threads : default_setup_threads();
+
+  BatchReport report;
+  report.jobs.resize(jobs.size());
+
+  std::vector<std::unique_ptr<BatchScratch>> storage;
+  std::vector<BatchScratch*> idle;
+  std::int64_t reused = 0;
+  std::mutex pool_mutex;
+
+  parallel_chunks(static_cast<int>(jobs.size()), threads, [&](int i) {
+    BatchScratch* scratch = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(pool_mutex);
+      if (idle.empty()) {
+        storage.push_back(std::make_unique<BatchScratch>());
+        scratch = storage.back().get();
+      } else {
+        scratch = idle.back();
+        idle.pop_back();
+        ++reused;
+      }
+    }
+    report.jobs[static_cast<std::size_t>(i)] =
+        run_one(jobs[static_cast<std::size_t>(i)], options, *scratch);
+    const std::lock_guard<std::mutex> lock(pool_mutex);
+    idle.push_back(scratch);
+  });
+
+  report.scratch_created = static_cast<int>(storage.size());
+  report.scratch_reused = reused;
+  for (const BatchJobResult& r : report.jobs) {
+    if (r.valid && r.error.empty()) {
+      ++report.jobs_valid;
+    } else {
+      ++report.jobs_failed;
+    }
+    report.total_rounds += r.metrics.rounds;
+    report.total_messages += r.metrics.total_messages;
+    report.total_violations += r.checker_violations;
+  }
+  return report;
+}
+
+std::string BatchReport::to_json() const {
+  std::string out = "{\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJobResult& r = jobs[i];
+    out += "    {\"label\": ";
+    append_json_string(out, r.label);
+    out += ", \"solver\": ";
+    append_json_string(out, r.solver);
+    out += ", \"valid\": ";
+    out += r.valid ? "true" : "false";
+    out += ", \"nodes\": " + std::to_string(r.nodes);
+    out += ", \"edges\": " + std::to_string(r.edges);
+    out += ", \"colors_used\": " + std::to_string(r.colors_used);
+    {
+      char hash[32];
+      std::snprintf(hash, sizeof(hash), "\"%016llx\"",
+                    static_cast<unsigned long long>(r.color_hash));
+      out += ", \"color_hash\": ";
+      out += hash;
+    }
+    out += ", \"rounds\": " + std::to_string(r.metrics.rounds);
+    out += ", \"messages\": " + std::to_string(r.metrics.total_messages);
+    out += ", \"violations\": " + std::to_string(r.checker_violations);
+    if (!r.error.empty()) {
+      out += ", \"error\": ";
+      append_json_string(out, r.error);
+    }
+    out += i + 1 < jobs.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"summary\": {";
+  out += "\"jobs\": " + std::to_string(jobs.size());
+  out += ", \"valid\": " + std::to_string(jobs_valid);
+  out += ", \"failed\": " + std::to_string(jobs_failed);
+  out += ", \"total_rounds\": " + std::to_string(total_rounds);
+  out += ", \"total_messages\": " + std::to_string(total_messages);
+  out += ", \"total_violations\": " + std::to_string(total_violations);
+  out += ", \"scratch_created\": " + std::to_string(scratch_created);
+  out += ", \"scratch_reused\": " + std::to_string(scratch_reused);
+  out += "}\n}\n";
+  return out;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,101 @@
+// Batch multi-instance runner: executes N independent coloring jobs
+// concurrently over the chunked thread pool (util/parallel.h), one job
+// per chunk.
+//
+// The parallel axis is the JOB, not the round: every job runs with its
+// simulator thread count pinned to 1 inside its own RunScope (tracer,
+// checker, and thread override are all thread-local), so a batch produces
+// bit-identical per-job results for every batch thread count and every
+// job-completion order — results are merged by job index.
+//
+// Steady-state jobs are allocation-lean: each worker leases a BatchScratch
+// from a mutex-guarded pool and rebuilds the next job's instance inside
+// the previous job's arenas (PaletteStore::clear keeps capacity;
+// push_scratch is the allocation-free insert path). The pool accounting
+// (scratch_created / scratch_reused) is exposed on the report so tests can
+// assert arena reuse actually happened.
+//
+// Job specs come from `--cmd=batch --jobs=<file-or-inline-spec>`:
+//   * inline: jobs separated by ';', fields 'key=value' separated by ','
+//       "solver=two_sweep,n=256,degree=8,seed=1;solver=greedy,n=512"
+//   * file: one job spec per line, '#' starts a comment
+// Keys: solver (required), generator (gnp|regular|tree|geometric|cycle),
+// n, degree, seed, symmetric, repeat, label, p, eps, alpha, theta, engine
+// (honest|oracle). `repeat=K` expands a spec into K jobs with seeds
+// seed .. seed+K-1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace dcolor {
+
+/// One batch job: which solver to run on which generated instance. The
+/// instance itself is built inside the worker (premise-by-construction,
+/// sized for the solver's capability class) — jobs are pure descriptions
+/// and cheap to copy.
+struct BatchJob {
+  std::string solver = "two_sweep";  ///< registry name or alias
+  std::string generator = "gnp";     ///< gnp|regular|tree|geometric|cycle
+  NodeId n = 256;
+  int degree = 8;           ///< target average degree (generator-dependent)
+  std::uint64_t seed = 1;   ///< instance seed (also the RunContext seed root)
+  bool symmetric = false;   ///< OLDC symmetric mode (if the solver supports it)
+  SolverParams params;
+  std::string label;        ///< display label; defaulted when empty
+};
+
+struct BatchOptions {
+  int threads = 0;        ///< batch workers; 0 = default_setup_threads()
+  bool check = false;     ///< run each job under a collect-mode checker
+  std::uint64_t seed = 0; ///< base seed folded into every job's seed
+};
+
+/// Outcome of one job. Everything here is a pure function of the job
+/// description (plus BatchOptions::seed) — never of the thread count or
+/// scheduling order; test_batch.cpp pins that down.
+struct BatchJobResult {
+  std::string label;
+  std::string solver;            ///< canonical registry name
+  bool valid = false;            ///< validate_solve() verdict
+  NodeId nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t colors_used = 0;  ///< distinct colors in the output
+  std::uint64_t color_hash = 0;  ///< FNV-1a over the color vector
+  RoundMetrics metrics;
+  std::int64_t checker_violations = 0;  ///< collect-mode findings (check on)
+  std::string error;             ///< non-empty iff the solver threw
+
+  friend bool operator==(const BatchJobResult&, const BatchJobResult&) =
+      default;
+};
+
+struct BatchReport {
+  std::vector<BatchJobResult> jobs;  ///< in job order
+  std::int64_t jobs_valid = 0;
+  std::int64_t jobs_failed = 0;      ///< error or invalid output
+  std::int64_t total_rounds = 0;
+  std::int64_t total_messages = 0;
+  std::int64_t total_violations = 0;
+  /// Scratch-pool accounting: arenas materialized (bounded by the worker
+  /// count) and jobs served by a previously-built arena.
+  int scratch_created = 0;
+  std::int64_t scratch_reused = 0;
+
+  std::string to_json() const;
+};
+
+/// Parses `--jobs`: if the argument names a readable file, one job spec
+/// per line ('#' comments, blank lines skipped); otherwise the argument
+/// itself is an inline ';'-separated spec list. Throws CheckError on
+/// unknown keys, malformed numbers, or an empty result.
+std::vector<BatchJob> parse_batch_jobs(const std::string& file_or_spec);
+
+/// Runs every job and merges results by job index.
+BatchReport run_batch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options = {});
+
+}  // namespace dcolor

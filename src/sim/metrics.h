@@ -30,6 +30,8 @@ struct RoundMetrics {
   /// parts' nodes can be active in the same round).
   RoundMetrics& merge_parallel(const RoundMetrics& other);
 
+  friend bool operator==(const RoundMetrics&, const RoundMetrics&) = default;
+
   std::string summary() const;
 };
 

@@ -35,6 +35,10 @@ int env_threads() {
 
 std::atomic<int> g_default_threads{0};  // 0 = fall back to the environment
 
+// Per-thread override set by RunScope; lets concurrent batch workers pin
+// their jobs' simulators independently of the process default.
+thread_local int t_thread_override = 0;
+
 /// Parallelizing a round only pays off past a minimum amount of work.
 constexpr std::size_t kMinParallelActive = 128;
 
@@ -50,8 +54,18 @@ Network::Network(const Graph& g) : graph_(&g) {}
 Network::~Network() = default;
 
 int Network::num_threads() const noexcept {
-  return num_threads_ > 0 ? num_threads_ : default_num_threads();
+  if (num_threads_ > 0) return num_threads_;
+  if (t_thread_override > 0) return t_thread_override;
+  return default_num_threads();
 }
+
+int Network::set_thread_override(int threads) noexcept {
+  const int prev = t_thread_override;
+  t_thread_override = threads > 0 ? threads : 0;
+  return prev;
+}
+
+int Network::thread_override() noexcept { return t_thread_override; }
 
 void Network::set_default_num_threads(int threads) noexcept {
   g_default_threads.store(threads > 0 ? threads : 0,

@@ -186,6 +186,14 @@ class Network {
   static void set_default_num_threads(int threads) noexcept;
   static int default_num_threads() noexcept;
 
+  /// Thread-LOCAL override consulted between the instance setting and the
+  /// process default (0 clears it). This is how a RunScope pins the
+  /// simulators of one batch job to a thread count without touching the
+  /// process-wide knob other workers read concurrently. Returns the
+  /// previous override so scopes can nest.
+  static int set_thread_override(int threads) noexcept;
+  static int thread_override() noexcept;
+
  private:
   const Graph* graph_;
   int num_threads_ = 0;  ///< 0 = use process default

@@ -16,7 +16,11 @@ namespace dcolor {
 
 namespace {
 
-Tracer* g_current = nullptr;
+// Thread-local: install() only affects the installing thread, so batch
+// workers running concurrent jobs each see their own job's tracer (or
+// none) and never race on this pointer. All existing single-threaded
+// callers install and simulate on the same thread, which is unchanged.
+thread_local Tracer* g_current = nullptr;
 
 std::int64_t steady_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(

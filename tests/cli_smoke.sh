@@ -61,6 +61,47 @@ DCOLOR_CHECK=1 "$CLI" --cmd=color --instance="$DIR/i.txt" \
 "$CLI" --cmd=fuzz --replay="$DIR/i.txt" --algorithm=two_sweep --ts_p=5 \
        --threads=1,2
 
+# Solver registry surfaces: --cmd=list enumerates every solver with its
+# capability flags, and --alg=help routes to the same listing.
+"$CLI" --cmd=list > "$DIR/list.txt"
+for name in two_sweep fast_two_sweep congest_oldc deg_plus_one greedy luby; do
+  grep -q "$name" "$DIR/list.txt" || {
+    echo "cli_smoke: FAIL — --cmd=list is missing $name" >&2; exit 1; }
+done
+grep -q "oldc" "$DIR/list.txt"
+"$CLI" --cmd=color --alg=help | grep -q fast_two_sweep
+
+# Batch runner: an inline mixed-solver spec (repeat expansion included)
+# must validate every job and produce identical JSON at 1 and 4 workers.
+SPEC="solver=two_sweep,n=64,degree=6,seed=3,repeat=2;solver=greedy,generator=cycle,n=40;solver=fast,gen=tree,n=48,seed=9"
+"$CLI" --cmd=batch --jobs="$SPEC" --threads=1 --verify \
+       --json="$DIR/batch1.json"
+"$CLI" --cmd=batch --jobs="$SPEC" --threads=4 --verify \
+       --json="$DIR/batch4.json"
+# Per-job results must be bit-identical; only the summary's scratch-pool
+# accounting may differ with the worker count.
+grep '"label"' "$DIR/batch1.json" > "$DIR/jobs1.txt"
+grep '"label"' "$DIR/batch4.json" > "$DIR/jobs4.txt"
+cmp "$DIR/jobs1.txt" "$DIR/jobs4.txt" || {
+  echo "cli_smoke: FAIL — batch job results differ across thread counts" >&2
+  exit 1; }
+grep -q '"failed": 0' "$DIR/batch1.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "$DIR/batch1.json"
+fi
+# Job files work too: same spec, one job per line with comments.
+{
+  echo "# cli smoke batch jobs"
+  echo "solver=two_sweep, n=64, degree=6, seed=3"
+  echo "solver=greedy, generator=cycle, n=40"
+} > "$DIR/jobs.txt"
+"$CLI" --cmd=batch --jobs="$DIR/jobs.txt" --threads=2
+# A bad job must fail the batch exit code without killing the report.
+if "$CLI" --cmd=batch --jobs="solver=nonexistent,n=32" 2>/dev/null; then
+  echo "cli_smoke: FAIL — unknown batch solver exited 0" >&2; exit 1
+fi
+
 # Strict numeric parsing: garbage values must fail loudly, not parse as 0.
 if "$CLI" --cmd=generate --family=regular --n=12abc --degree=3 --seed=1 \
        --out="$DIR/bad.txt" 2>/dev/null; then

@@ -1,0 +1,257 @@
+// Tests for the batch multi-instance runner (sim/batch_runner.h), the
+// `batch` ctest label: job-spec parsing, bit-identical results across
+// batch thread counts and job orderings, scratch-pool (arena reuse)
+// accounting, a mixed-solver 50-job batch under the collect-mode
+// invariant checker, and the JSON report shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/batch_runner.h"
+#include "util/check.h"
+
+namespace dcolor {
+namespace {
+
+/// A mixed-solver job list touching every capability class: OLDC solvers
+/// (two_sweep / fast_two_sweep / congest_oldc / oracle_greedy), the
+/// recursive frameworks (deg_plus_one / slack1_arbdefective), the
+/// sequential and randomized baselines, and the graph-only primitives.
+/// Theta jobs run on cycles (neighborhood independence 2 by
+/// construction); everything else cycles through the generators.
+std::vector<BatchJob> mixed_jobs(std::size_t count) {
+  const std::vector<std::string> solvers = {
+      "two_sweep", "fast_two_sweep", "congest_oldc", "oracle_greedy",
+      "deg_plus_one", "slack1_arbdefective", "greedy_arbdefective",
+      "greedy", "luby", "linial", "kuhn_defective", "theta"};
+  const std::vector<std::string> generators = {"gnp", "regular", "tree",
+                                               "geometric", "cycle"};
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    BatchJob job;
+    job.solver = solvers[i % solvers.size()];
+    job.generator =
+        job.solver == "theta" ? "cycle" : generators[i % generators.size()];
+    job.n = static_cast<NodeId>(40 + 8 * (i % 5));
+    job.degree = 3 + static_cast<int>(i % 3);
+    job.seed = 100 + i;  // unique seeds -> unique default labels
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(BatchParse, InlineSpecWithMultipleJobs) {
+  const std::vector<BatchJob> jobs = parse_batch_jobs(
+      "solver=two_sweep,n=64,degree=6,seed=3,p=3;"
+      " solver=greedy, generator=cycle, n=40 ;"
+      "alg=fast, gen=tree, n=32, eps=0.25, symmetric=1");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].solver, "two_sweep");
+  EXPECT_EQ(jobs[0].n, 64);
+  EXPECT_EQ(jobs[0].degree, 6);
+  EXPECT_EQ(jobs[0].seed, 3u);
+  EXPECT_EQ(jobs[0].params.p, 3);
+  EXPECT_EQ(jobs[1].solver, "greedy");
+  EXPECT_EQ(jobs[1].generator, "cycle");
+  EXPECT_EQ(jobs[2].solver, "fast");
+  EXPECT_EQ(jobs[2].generator, "tree");
+  EXPECT_DOUBLE_EQ(jobs[2].params.eps, 0.25);
+  EXPECT_TRUE(jobs[2].symmetric);
+}
+
+TEST(BatchParse, RepeatExpandsIntoConsecutiveSeeds) {
+  const std::vector<BatchJob> jobs =
+      parse_batch_jobs("solver=greedy,n=32,seed=5,repeat=3,label=smoke");
+  ASSERT_EQ(jobs.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(jobs[r].seed, 5u + r);
+    EXPECT_EQ(jobs[r].label, "smoke#" + std::to_string(r));
+  }
+}
+
+TEST(BatchParse, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_batch_jobs("n=64,degree=6"), CheckError);  // no solver
+  EXPECT_THROW(parse_batch_jobs("solver=greedy,frobnicate=1"), CheckError);
+  EXPECT_THROW(parse_batch_jobs("solver=greedy,n=notanumber"), CheckError);
+  EXPECT_THROW(parse_batch_jobs("solver=greedy,symmetric=maybe"), CheckError);
+  EXPECT_THROW(parse_batch_jobs("solver=greedy,engine=turbo"), CheckError);
+  EXPECT_THROW(parse_batch_jobs("solver=greedy,repeat=0"), CheckError);
+  EXPECT_THROW(parse_batch_jobs(" ; ; "), CheckError);  // empty
+}
+
+TEST(BatchParse, ReadsJobFilesWithComments) {
+  const std::string path =
+      ::testing::TempDir() + "/dcolor_batch_jobs_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# batch smoke jobs\n"
+        << "solver=two_sweep, n=48, seed=2   # OLDC\n"
+        << "\n"
+        << "solver=greedy, generator=cycle, n=30, repeat=2\n";
+  }
+  const std::vector<BatchJob> jobs = parse_batch_jobs(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].solver, "two_sweep");
+  EXPECT_EQ(jobs[0].n, 48);
+  EXPECT_EQ(jobs[1].solver, "greedy");
+  EXPECT_EQ(jobs[2].seed, jobs[1].seed + 1);
+}
+
+TEST(BatchRun, BitIdenticalAcrossBatchThreadCounts) {
+  // The acceptance bar: per-job results (colors hashed, metrics, validity)
+  // are a pure function of the job description — never of how many batch
+  // workers ran or how they interleaved.
+  const std::vector<BatchJob> jobs = mixed_jobs(24);
+  BatchOptions options;
+  options.threads = 1;
+  const BatchReport base = run_batch(jobs, options);
+  ASSERT_EQ(base.jobs.size(), jobs.size());
+  for (const BatchJobResult& r : base.jobs) {
+    EXPECT_TRUE(r.valid) << r.label << ": " << r.error;
+  }
+  for (int threads : {2, 4, 8}) {
+    options.threads = threads;
+    const BatchReport report = run_batch(jobs, options);
+    EXPECT_EQ(report.jobs, base.jobs) << "threads=" << threads;
+    EXPECT_EQ(report.jobs_valid, base.jobs_valid);
+    EXPECT_EQ(report.total_rounds, base.total_rounds);
+    EXPECT_EQ(report.total_messages, base.total_messages);
+  }
+}
+
+TEST(BatchRun, ResultsIndependentOfJobOrder) {
+  std::vector<BatchJob> jobs = mixed_jobs(16);
+  BatchOptions options;
+  options.threads = 4;
+  const BatchReport forward = run_batch(jobs, options);
+  std::reverse(jobs.begin(), jobs.end());
+  const BatchReport backward = run_batch(jobs, options);
+
+  std::map<std::string, BatchJobResult> by_label;
+  for (const BatchJobResult& r : forward.jobs) by_label[r.label] = r;
+  ASSERT_EQ(by_label.size(), forward.jobs.size());  // labels unique
+  for (const BatchJobResult& r : backward.jobs) {
+    const auto it = by_label.find(r.label);
+    ASSERT_NE(it, by_label.end()) << r.label;
+    EXPECT_EQ(r, it->second) << r.label;
+  }
+  // Results merge by job index: backward order reverses the report.
+  EXPECT_EQ(backward.jobs.front().label, forward.jobs.back().label);
+}
+
+TEST(BatchRun, BaseSeedShiftsEveryJob) {
+  const std::vector<BatchJob> jobs = mixed_jobs(6);
+  BatchOptions options;
+  options.threads = 2;
+  const BatchReport a = run_batch(jobs, options);
+  options.seed = 17;
+  const BatchReport b = run_batch(jobs, options);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_TRUE(b.jobs[i].valid) << b.jobs[i].label;
+    any_differs = any_differs || a.jobs[i].color_hash != b.jobs[i].color_hash;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BatchRun, ScratchPoolAccountsForArenaReuse) {
+  const std::vector<BatchJob> jobs = mixed_jobs(16);
+  BatchOptions options;
+  options.threads = 4;
+  const BatchReport report = run_batch(jobs, options);
+  // At most one arena per worker ever materializes; every remaining job
+  // is served by a leased, already-built arena.
+  EXPECT_GE(report.scratch_created, 1);
+  EXPECT_LE(report.scratch_created, 4);
+  EXPECT_EQ(report.scratch_reused,
+            static_cast<std::int64_t>(jobs.size()) - report.scratch_created);
+
+  options.threads = 1;
+  const BatchReport serial = run_batch(jobs, options);
+  EXPECT_EQ(serial.scratch_created, 1);
+  EXPECT_EQ(serial.scratch_reused, static_cast<std::int64_t>(jobs.size()) - 1);
+}
+
+TEST(BatchRun, FiftyJobMixedBatchUnderCheckerIsClean) {
+  // The ISSUE acceptance batch: >= 50 jobs across every solver family,
+  // each job under a collect-mode invariant checker; everything validates
+  // with zero violations at several thread counts.
+  const std::vector<BatchJob> jobs = mixed_jobs(50);
+  BatchOptions options;
+  options.check = true;
+  options.threads = 4;
+  const BatchReport report = run_batch(jobs, options);
+  ASSERT_EQ(report.jobs.size(), 50u);
+  for (const BatchJobResult& r : report.jobs) {
+    EXPECT_TRUE(r.valid) << r.label << ": " << r.error;
+    EXPECT_TRUE(r.error.empty()) << r.label << ": " << r.error;
+    EXPECT_EQ(r.checker_violations, 0) << r.label;
+  }
+  EXPECT_EQ(report.jobs_valid, 50);
+  EXPECT_EQ(report.jobs_failed, 0);
+  EXPECT_EQ(report.total_violations, 0);
+  EXPECT_GT(report.total_rounds, 0);
+
+  // And the checker does not perturb determinism.
+  options.threads = 8;
+  const BatchReport again = run_batch(jobs, options);
+  EXPECT_EQ(again.jobs, report.jobs);
+}
+
+TEST(BatchRun, FailedJobsAreReportedNotFatal) {
+  std::vector<BatchJob> jobs = mixed_jobs(3);
+  BatchJob bogus;
+  bogus.solver = "no_such_solver";
+  bogus.label = "bogus";
+  jobs.push_back(bogus);
+  BatchJob tiny;
+  tiny.solver = "greedy";
+  tiny.n = 1;  // build_graph requires n >= 2
+  tiny.label = "tiny";
+  jobs.push_back(tiny);
+
+  BatchOptions options;
+  options.threads = 2;
+  const BatchReport report = run_batch(jobs, options);
+  ASSERT_EQ(report.jobs.size(), 5u);
+  EXPECT_EQ(report.jobs_valid, 3);
+  EXPECT_EQ(report.jobs_failed, 2);
+  EXPECT_NE(report.jobs[3].error.find("unknown solver"), std::string::npos);
+  EXPECT_FALSE(report.jobs[4].error.empty());
+}
+
+TEST(BatchRun, AliasResolvesToCanonicalSolverName) {
+  const std::vector<BatchJob> jobs =
+      parse_batch_jobs("solver=fast,n=40,seed=9");
+  const BatchReport report = run_batch(jobs, BatchOptions{});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].solver, "fast_two_sweep");
+  EXPECT_TRUE(report.jobs[0].valid) << report.jobs[0].error;
+}
+
+TEST(BatchReportJson, CarriesJobsAndSummary) {
+  const std::vector<BatchJob> jobs =
+      parse_batch_jobs("solver=greedy,n=24,label=a;solver=luby,n=24,label=b");
+  BatchOptions options;
+  options.threads = 1;
+  const BatchReport report = run_batch(jobs, options);
+  const std::string json = report.to_json();
+  for (const char* needle :
+       {"\"jobs\": [", "\"label\": \"a\"", "\"label\": \"b\"",
+        "\"solver\": \"greedy\"", "\"solver\": \"luby\"", "\"valid\": true",
+        "\"color_hash\": \"", "\"summary\": {", "\"scratch_created\": 1"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(json.find("\"error\""), std::string::npos);  // clean run
+}
+
+}  // namespace
+}  // namespace dcolor

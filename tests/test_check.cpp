@@ -2,6 +2,7 @@
 // mutation self-tests, and the differential fuzz harness.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -247,22 +248,48 @@ TEST(FuzzHarness, CaseGenerationIsDeterministic) {
   const FuzzCase b = make_fuzz_case(7, 12, 40);
   EXPECT_EQ(a.owned.graph.num_nodes(), b.owned.graph.num_nodes());
   EXPECT_EQ(a.owned.graph.edge_list(), b.owned.graph.edge_list());
-  EXPECT_EQ(a.alg, b.alg);
+  EXPECT_EQ(a.solver, b.solver);  // same registry singleton
   EXPECT_EQ(a.owned.instance.color_space, b.owned.instance.color_space);
+}
+
+TEST(FuzzHarness, SolverAxisComesFromTheRegistry) {
+  // Every OLDC-capable registered solver is in the rotation — including
+  // the sequential oracle_greedy baseline.
+  const std::vector<const Solver*> axis = fuzz_solver_axis();
+  std::vector<std::string> names;
+  for (const Solver* s : axis) names.emplace_back(s->name());
+  EXPECT_NE(std::find(names.begin(), names.end(), "two_sweep"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fast_two_sweep"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "congest_oldc"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "oracle_greedy"),
+            names.end());
+  // The schedule actually reaches each of them.
+  std::vector<std::string> scheduled;
+  for (std::int64_t idx = 0; idx < 32; ++idx) {
+    const FuzzCase c = make_fuzz_case(/*seed=*/3, idx, /*max_n=*/10);
+    scheduled.emplace_back(c.solver->name());
+  }
+  for (const std::string& name : names) {
+    EXPECT_NE(std::find(scheduled.begin(), scheduled.end(), name),
+              scheduled.end())
+        << name << " never scheduled";
+  }
 }
 
 TEST(FuzzHarness, GeneratedCasesSatisfyTheScheduledPremise) {
   for (std::int64_t idx = 0; idx < 32; ++idx) {
     const FuzzCase c = make_fuzz_case(/*seed=*/5, idx, /*max_n=*/40);
     EXPECT_TRUE(
-        fuzz_preconditions_hold(c.owned.instance, c.alg, c.p, c.eps))
-        << "case " << idx << " (" << fuzz_alg_name(c.alg) << ")";
+        fuzz_preconditions_hold(c.owned.instance, *c.solver, c.params))
+        << "case " << idx << " (" << c.solver->name() << ")";
   }
 }
 
 TEST(FuzzHarness, SmokeBatteryPassesAcrossGeneratorsAndThreads) {
   FuzzOptions options;
-  options.cases = 32;  // covers all 4 generators and all 3 algorithms
+  options.cases = 32;  // covers all 4 generators and the whole solver axis
   options.seed = 11;
   options.max_n = 28;
   options.thread_counts = {1, 2};
@@ -274,13 +301,29 @@ TEST(FuzzHarness, SmokeBatteryPassesAcrossGeneratorsAndThreads) {
   EXPECT_EQ(report.oracle_skips + report.oracle_solved, 32);
 }
 
+TEST(FuzzHarness, BaselineSolverSmokeRun) {
+  // The registry-driven axis makes baselines fuzzable too: a short run
+  // pinned to the sequential oracle_greedy baseline.
+  FuzzOptions options;
+  options.cases = 12;
+  options.seed = 19;
+  options.max_n = 24;
+  options.thread_counts = {1, 2};
+  options.shrink = false;
+  options.solver = "oracle_greedy";
+  options.repro_path = "test_check_fuzz_baseline_repro.txt";
+  const FuzzReport report = fuzz_differential(options, nullptr);
+  EXPECT_EQ(report.cases_run, 12);
+  EXPECT_EQ(report.failures, 0) << report.first_failure;
+}
+
 TEST(FuzzHarness, ShrinkerPreservesPassingInstances) {
   // The shrinker only keeps candidates that still FAIL the battery; on a
   // passing instance every candidate is rejected and the original comes
   // back intact (while still exercising the node/edge/palette cloners).
   const FuzzCase c = make_fuzz_case(/*seed=*/13, /*idx=*/0, /*max_n=*/12);
   const OwnedOldcInstance shrunk =
-      shrink_fuzz_case(c.owned.instance, c.alg, c.p, c.eps, {1},
+      shrink_fuzz_case(c.owned.instance, *c.solver, c.params, {1},
                        /*max_evals=*/60, nullptr);
   EXPECT_EQ(shrunk.graph.num_nodes(), c.owned.graph.num_nodes());
   EXPECT_EQ(shrunk.graph.edge_list(), c.owned.graph.edge_list());
@@ -298,7 +341,7 @@ TEST(FuzzHarness, ReproRoundTripsThroughInstanceIo) {
   std::remove(path.c_str());
   EXPECT_EQ(loaded.graph.edge_list(), c.owned.graph.edge_list());
   const std::string failure = run_fuzz_battery(
-      loaded.instance, c.alg, c.p, c.eps, {1, 2});
+      loaded.instance, *c.solver, c.params, {1, 2});
   EXPECT_TRUE(failure.empty()) << failure;
 }
 

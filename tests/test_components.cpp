@@ -204,9 +204,10 @@ TEST(TwoSweepPolicies, RandomSubsetValidAtGenerousSlack) {
   TwoSweepOptions options;
   options.selection = TwoSweepSelection::kRandomSubset;
   options.selection_seed = 77;
-  options.skip_precondition_check = true;
+  RunContext ctx;
+  ctx.skip_precondition_check = true;
   const ColoringResult res =
-      two_sweep_ex(inst, linial.colors, linial.num_colors, p, options);
+      two_sweep(inst, linial.colors, linial.num_colors, p, ctx, options);
   EXPECT_TRUE(validate_oldc(inst, res.colors));
 }
 

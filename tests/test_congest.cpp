@@ -214,11 +214,10 @@ TEST(DegPlusOne, BreakdownAccountsForAllRounds) {
   const Graph g = random_near_regular(200, 8, rng);
   const std::int64_t C = 2 * (g.max_degree() + 1);
   const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
-  ListColoringBreakdown breakdown;
-  ListColoringOptions options;
-  options.engine = PartitionEngine::kBeg18Oracle;
-  options.breakdown = &breakdown;
-  const ColoringResult res = solve_degree_plus_one(inst, options);
+  RunContext ctx;
+  const ColoringResult res = solve_degree_plus_one(
+      inst, ctx, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+  const ListColoringBreakdown& breakdown = ctx.breakdown;
   EXPECT_TRUE(is_proper_coloring(g, res.colors));
   // The phases partition the total round count exactly.
   EXPECT_EQ(res.metrics.rounds,

@@ -94,10 +94,8 @@ TEST_P(ExhaustiveSmall, BelowThresholdFailsCleanly) {
         contention_oldc(g, std::move(o), static_cast<int>(starved), d);
     ++runs;
     try {
-      TwoSweepOptions options;
-      options.skip_precondition_check = true;
-      const ColoringResult res =
-          two_sweep_ex(inst, greedy.colors, q, p, options);
+      const ColoringResult res = two_sweep(inst, greedy.colors, q, p,
+                                           /*skip_precondition_check=*/true);
       // If it returned, the output must still be internally consistent.
       EXPECT_TRUE(validate_oldc(inst, res.colors));
     } catch (const CheckError&) {

@@ -19,6 +19,7 @@
 #include "core/instance.h"
 #include "core/palette_store.h"
 #include "graph/generators.h"
+#include "sim/batch_runner.h"
 #include "util/rng.h"
 
 namespace {
@@ -79,6 +80,49 @@ TEST(PerfSmoke, SteadyStatePaletteInsertionAllocatesNothing) {
   EXPECT_EQ(store.size(), n);
   EXPECT_EQ(store.num_palettes(), 32u);
   EXPECT_EQ(store.arena_entries(), 32 * 16);
+}
+
+TEST(PerfSmoke, BatchSteadyStateReusesArenas) {
+  // The batch runner's steady state rebuilds each job's instance inside
+  // the previous job's arenas. Guard: the MARGINAL allocation cost of 8
+  // extra identical jobs is below the cost of the first 8 (i.e. the pool
+  // amortizes — per-job allocations shrink once arenas exist), and the
+  // scratch accounting proves reuse actually happened.
+  auto jobs = [](std::size_t count) {
+    std::vector<BatchJob> out;
+    for (std::size_t i = 0; i < count; ++i) {
+      BatchJob job;
+      job.solver = "two_sweep";
+      job.generator = "regular";
+      job.n = 400;
+      job.degree = 6;
+      job.seed = 1;  // identical jobs: steady state from job 2 onward
+      out.push_back(std::move(job));
+    }
+    return out;
+  };
+  BatchOptions options;
+  options.threads = 1;  // one worker = one arena, pure reuse after job 1
+  run_batch(jobs(2), options);  // warm up process-level lazies
+
+  const std::int64_t base = g_allocations.load(std::memory_order_relaxed);
+  const BatchReport small = run_batch(jobs(8), options);
+  const std::int64_t mid = g_allocations.load(std::memory_order_relaxed);
+  const BatchReport big = run_batch(jobs(16), options);
+  const std::int64_t end = g_allocations.load(std::memory_order_relaxed);
+
+  const std::int64_t cost8 = mid - base;
+  const std::int64_t marginal8 = (end - mid) - cost8;  // jobs 9..16 extra
+  EXPECT_LT(marginal8, cost8)
+      << "batch steady state regrew its arenas (8 jobs cost " << cost8
+      << " allocations, the next 8 cost " << marginal8 + cost8 << ")";
+
+  EXPECT_EQ(small.scratch_created, 1);
+  EXPECT_EQ(small.scratch_reused, 7);
+  EXPECT_EQ(big.scratch_created, 1);
+  EXPECT_EQ(big.scratch_reused, 15);
+  EXPECT_EQ(small.jobs_valid, 8);
+  EXPECT_EQ(big.jobs_valid, 16);
 }
 
 TEST(PerfSmoke, SetupThroughputAtMidScale) {

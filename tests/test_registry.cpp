@@ -1,0 +1,304 @@
+// Tests for the central solver registry (core/solver_registry.h) and the
+// uniform Solver interface (core/solver.h): enumeration, lookup by name
+// and alias, capability descriptors, premise predicates (including the
+// sink convention), validate_solve dispatch, and equivalence between
+// registry dispatch and the native entry points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "coloring/linial.h"
+#include "core/instance.h"
+#include "core/list_coloring.h"
+#include "core/solver_registry.h"
+#include "core/two_sweep.h"
+#include "graph/coloring_checks.h"
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor {
+namespace {
+
+using Input = SolverCapabilities::Input;
+
+/// Eq. (2) regime instance for Two-Sweep with parameter p: uniform defect
+/// 1, lists of size p² + p + 1 where p = β/2 + 1 (the e13 construction).
+OldcInstance eq2_instance(const Graph& g, int* p_out, Rng& rng) {
+  Orientation o = Orientation::by_id(g);
+  const int p = o.beta() / 2 + 1;
+  const int list_size = p * p + p + 1;
+  *p_out = p;
+  return random_uniform_oldc(g, std::move(o), list_size, list_size,
+                             /*defect=*/1, rng);
+}
+
+TEST(SolverRegistry, EnumeratesEveryBuiltinSolver) {
+  const std::vector<const Solver*> all = SolverRegistry::get().solvers();
+  std::vector<std::string> names;
+  names.reserve(all.size());
+  for (const Solver* s : all) names.emplace_back(s->name());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Every algorithm family is reachable: the paper's core solvers
+  // (Theorems 1.1-1.5), the standalone coloring primitives, the
+  // baselines, and the differential-testing oracle.
+  for (const char* expected :
+       {"two_sweep", "fast_two_sweep", "congest_oldc", "slack1_arbdefective",
+        "deg_plus_one", "theta", "linial", "kuhn_defective", "greedy",
+        "greedy_arbdefective", "luby", "oracle_greedy"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(SolverRegistry, FindsByNameAndAlias) {
+  const SolverRegistry& reg = SolverRegistry::get();
+  const Solver* fast = reg.find("fast_two_sweep");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_EQ(reg.find("fast"), fast);          // alias -> same object
+  EXPECT_EQ(reg.find("congest"), reg.find("congest_oldc"));
+  EXPECT_EQ(reg.find("degplus1"), reg.find("deg_plus_one"));
+  EXPECT_EQ(reg.find("slack1"), reg.find("slack1_arbdefective"));
+  EXPECT_EQ(reg.find("kuhn"), reg.find("kuhn_defective"));
+  EXPECT_EQ(reg.find("no_such_solver"), nullptr);
+}
+
+TEST(SolverRegistry, RequireThrowsNamingTheAvailableSolvers) {
+  EXPECT_EQ(&SolverRegistry::get().require("two_sweep"),
+            SolverRegistry::get().find("two_sweep"));
+  try {
+    SolverRegistry::get().require("bogus");
+    FAIL() << "require(bogus) did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("two_sweep"), std::string::npos);
+  }
+}
+
+TEST(SolverRegistry, AliasesOfReportsRegisteredAliases) {
+  const SolverRegistry& reg = SolverRegistry::get();
+  const std::vector<std::string> fast = reg.aliases_of("fast_two_sweep");
+  EXPECT_NE(std::find(fast.begin(), fast.end(), "fast"), fast.end());
+  EXPECT_TRUE(reg.aliases_of("two_sweep").empty());
+}
+
+TEST(SolverRegistry, CapabilityFlagsPartitionTheFamilies) {
+  std::vector<std::string> oldc, congest, sequential;
+  for (const Solver* s : SolverRegistry::get().solvers()) {
+    const SolverCapabilities caps = s->capabilities();
+    if (caps.input == Input::kOldc && caps.lists && caps.defects) {
+      oldc.emplace_back(s->name());
+    }
+    if (caps.congest) congest.emplace_back(s->name());
+    if (!caps.distributed) sequential.emplace_back(s->name());
+  }
+  // The fuzz harness's OLDC axis (plus the oracle).
+  EXPECT_EQ(oldc, (std::vector<std::string>{"congest_oldc", "fast_two_sweep",
+                                            "oracle_greedy", "two_sweep"}));
+  EXPECT_EQ(congest, std::vector<std::string>{"congest_oldc"});
+  // At least two sequential baselines are registered (acceptance
+  // criterion: baselines reachable through the registry).
+  EXPECT_GE(sequential.size(), 2u);
+  EXPECT_NE(std::find(sequential.begin(), sequential.end(), "greedy"),
+            sequential.end());
+}
+
+TEST(SolverRegistry, CapabilitySummaryIsHumanReadable) {
+  const Solver& ts = SolverRegistry::get().require("two_sweep");
+  const std::string summary = ts.capabilities().summary();
+  EXPECT_NE(summary.find("oldc"), std::string::npos);
+  EXPECT_NE(summary.find("lists"), std::string::npos);
+  EXPECT_NE(summary.find("defects"), std::string::npos);
+}
+
+TEST(SolverPremise, TwoSweepAcceptsEq2Regime) {
+  Rng rng(71);
+  const Graph g = random_near_regular(80, 4, rng);
+  int p = 0;
+  const OldcInstance inst = eq2_instance(g, &p, rng);
+  SolveRequest req;
+  req.oldc = &inst;
+  req.params.p = p;
+  EXPECT_TRUE(SolverRegistry::get().require("two_sweep").premise_holds(req));
+}
+
+TEST(SolverPremise, TwoSweepRejectsStarvedLists) {
+  Rng rng(72);
+  const Graph g = complete(12);
+  Orientation o = Orientation::by_id(g);
+  OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 1024, /*list_size=*/2,
+                          /*defect=*/0, rng);
+  SolveRequest req;
+  req.oldc = &inst;
+  req.params.p = 2;
+  EXPECT_FALSE(SolverRegistry::get().require("two_sweep").premise_holds(req));
+}
+
+TEST(SolverPremise, SinksOnlyNeedANonEmptyList) {
+  // Eq. (2)/(7)/Theorem 1.2 only bind at outdegree >= 1: on an edgeless
+  // graph every node is a sink and a single-color list suffices.
+  Rng rng(73);
+  const Graph g = Graph::from_edges(10, {});
+  Orientation o = Orientation::by_id(g);
+  OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 16, /*list_size=*/1,
+                          /*defect=*/0, rng);
+  SolveRequest req;
+  req.oldc = &inst;
+  for (const char* name : {"two_sweep", "fast_two_sweep", "congest_oldc"}) {
+    EXPECT_TRUE(SolverRegistry::get().require(name).premise_holds(req))
+        << name;
+  }
+}
+
+TEST(SolverPremise, DefaultPremiseIsTrue) {
+  // Graph-only solvers have no entry premise.
+  SolveRequest req;
+  const Graph g = cycle(8);
+  req.graph = &g;
+  EXPECT_TRUE(SolverRegistry::get().require("greedy").premise_holds(req));
+  EXPECT_TRUE(SolverRegistry::get().require("luby").premise_holds(req));
+}
+
+TEST(SolverSolve, RegistryDispatchMatchesNativeTwoSweep) {
+  Rng rng(74);
+  const Graph g = random_near_regular(100, 4, rng);
+  int p = 0;
+  const OldcInstance inst = eq2_instance(g, &p, rng);
+  const LinialResult lin = linial_from_ids(g, inst.orientation);
+
+  const ColoringResult native =
+      two_sweep(inst, lin.colors, lin.num_colors, p);
+
+  const Solver& solver = SolverRegistry::get().require("two_sweep");
+  SolveRequest req;
+  req.oldc = &inst;
+  req.initial_coloring = &lin.colors;
+  req.q = lin.num_colors;
+  req.params.p = p;
+  RunContext ctx;
+  const SolveResult via_registry = solver.solve(req, ctx);
+
+  EXPECT_EQ(via_registry.colors, native.colors);
+  EXPECT_EQ(via_registry.metrics.rounds, native.metrics.rounds);
+  EXPECT_TRUE(validate_solve(req, solver.capabilities(), via_registry));
+  // The context accumulated the same metrics the call returned.
+  EXPECT_EQ(ctx.metrics.rounds, via_registry.metrics.rounds);
+}
+
+TEST(SolverSolve, RegistryDispatchMatchesNativeDegPlusOne) {
+  Rng rng(75);
+  const Graph g = random_near_regular(120, 6, rng);
+  const std::int64_t C = 2 * (g.max_degree() + 1);
+  const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+
+  // SolverParams defaults to the BEG18-oracle engine; pin the native call
+  // to the same engine for an apples-to-apples comparison.
+  const ColoringResult native = solve_degree_plus_one(
+      inst, ListColoringOptions{PartitionEngine::kBeg18Oracle});
+
+  const Solver& solver = SolverRegistry::get().require("deg_plus_one");
+  SolveRequest req;
+  req.list_defective = &inst;
+  ASSERT_TRUE(solver.premise_holds(req));
+  RunContext ctx;
+  const SolveResult via_registry = solver.solve(req, ctx);
+
+  EXPECT_EQ(via_registry.colors, native.colors);
+  EXPECT_TRUE(is_proper_coloring(g, via_registry.colors));
+  EXPECT_TRUE(validate_solve(req, solver.capabilities(), via_registry));
+  // Framework solvers surface the per-phase breakdown on the result.
+  EXPECT_GE(via_registry.breakdown.levels, 1);
+}
+
+TEST(SolverSolve, ComputesLinialWhenNoInitialColoringGiven) {
+  Rng rng(76);
+  const Graph g = random_near_regular(60, 4, rng);
+  int p = 0;
+  const OldcInstance inst = eq2_instance(g, &p, rng);
+  const Solver& solver = SolverRegistry::get().require("two_sweep");
+  SolveRequest req;
+  req.oldc = &inst;
+  req.params.p = p;
+  RunContext ctx;
+  const SolveResult res = solver.solve(req, ctx);
+  EXPECT_TRUE(validate_oldc(inst, res.colors));
+  // The folded-in Linial run costs rounds on top of the sweeps.
+  const LinialResult lin = linial_from_ids(g, inst.orientation);
+  const ColoringResult native = two_sweep(inst, lin.colors, lin.num_colors, p);
+  EXPECT_EQ(res.metrics.rounds,
+            lin.metrics.rounds + native.metrics.rounds);
+}
+
+TEST(SolverSolve, ValidateSolveRejectsCorruptedOutput) {
+  Rng rng(77);
+  const Graph g = random_near_regular(60, 4, rng);
+  int p = 0;
+  const OldcInstance inst = eq2_instance(g, &p, rng);
+  const Solver& solver = SolverRegistry::get().require("two_sweep");
+  SolveRequest req;
+  req.oldc = &inst;
+  req.params.p = p;
+  RunContext ctx;
+  SolveResult res = solver.solve(req, ctx);
+  ASSERT_TRUE(validate_solve(req, solver.capabilities(), res));
+  res.colors[0] = inst.color_space + 41;  // not on any list
+  EXPECT_FALSE(validate_solve(req, solver.capabilities(), res));
+}
+
+TEST(SolverSolve, GraphBaselinesSolveThroughTheRegistry) {
+  Rng rng(78);
+  const Graph g = random_near_regular(80, 6, rng);
+  SolveRequest req;
+  req.graph = &g;
+  for (const char* name : {"greedy", "luby", "linial", "theta"}) {
+    const Solver& solver = SolverRegistry::get().require(name);
+    RunContext ctx;
+    ctx.seed = 7;
+    const SolveResult res = solver.solve(req, ctx);
+    EXPECT_TRUE(validate_solve(req, solver.capabilities(), res)) << name;
+    if (solver.capabilities().proper_output) {
+      EXPECT_TRUE(is_proper_coloring(g, res.colors)) << name;
+    }
+  }
+}
+
+TEST(SolverSolve, RandomizedSolversDeriveFromContextSeed) {
+  Rng rng(79);
+  const Graph g = random_near_regular(80, 6, rng);
+  SolveRequest req;
+  req.graph = &g;
+  const Solver& luby = SolverRegistry::get().require("luby");
+  RunContext a, b, c;
+  a.seed = 5;
+  b.seed = 5;
+  c.seed = 6;
+  const SolveResult ra = luby.solve(req, a);
+  const SolveResult rb = luby.solve(req, b);
+  const SolveResult rc = luby.solve(req, c);
+  EXPECT_EQ(ra.colors, rb.colors);  // same seed -> same run
+  EXPECT_TRUE(is_proper_coloring(g, rc.colors));
+}
+
+TEST(SolverSolve, ArbdefectiveSolverOutputsAnOrientation) {
+  Rng rng(80);
+  const Graph g = random_near_regular(90, 5, rng);
+  const std::int64_t C = 2 * (g.max_degree() + 1);
+  const ListDefectiveInstance inst = degree_plus_one_instance(g, C, rng);
+  const Solver& solver = SolverRegistry::get().require("slack1_arbdefective");
+  EXPECT_TRUE(solver.capabilities().outputs_orientation);
+  SolveRequest req;
+  req.list_defective = &inst;
+  ASSERT_TRUE(solver.premise_holds(req));
+  RunContext ctx;
+  const SolveResult res = solver.solve(req, ctx);
+  EXPECT_TRUE(res.has_orientation);
+  EXPECT_TRUE(validate_solve(req, solver.capabilities(), res));
+}
+
+}  // namespace
+}  // namespace dcolor

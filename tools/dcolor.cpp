@@ -8,24 +8,35 @@
 //   instance  Build a random OLDC instance over a saved graph.
 //             --graph=graph.txt --colorspace=.. --list=.. --defect=..
 //             [--symmetric] --seed=.. --out=instance.txt
-//   color     Solve a saved instance (or a (deg+1) instance over a graph).
-//             --instance=instance.txt --algorithm=two_sweep|fast|congest
-//               [--ts_p=..] [--eps=..]
-//             --graph=graph.txt --algorithm=degplus1|theta [--theta=..]
+//   color     Solve with any registry solver (--alg=help lists them).
+//             Input depends on the solver's capability class:
+//               OLDC solvers:   --instance=instance.txt
+//               list solvers:   --graph=graph.txt [--colorspace=..] [--seed=..]
+//               graph solvers:  --graph=graph.txt
+//             --algorithm=<name-or-alias> (--alg works too)
+//               [--ts_p=..] [--eps=..] [--theta=..] [--alpha=..]
 //             --out=coloring.txt
+//   list      Enumerate the solver registry with capability flags.
+//   batch     Run N independent jobs concurrently (job = solver + seeded
+//             generated instance); see sim/batch_runner.h for the spec
+//             grammar.
+//             --jobs=<file-or-inline-spec> [--threads=0] [--seed=0]
+//             [--verify] (collect-mode checker per job) [--json=report.json]
 //   validate  Check a coloring against an instance.
 //             --instance=instance.txt --coloring=coloring.txt
 //   info      Print summary statistics of a saved graph.
 //             --graph=graph.txt [--exact_theta]
 //   trace_summary  Fold a JSONL round trace into a per-phase table.
 //             --trace=trace.jsonl
-//   fuzz      Differential fuzzing against sequential oracles.
+//   fuzz      Differential fuzzing against sequential oracles. The
+//             algorithm axis comes from the solver registry; --alg=<name>
+//             restricts it to one solver.
 //             [--cases=200] [--seed=1] [--max-n=48] [--threads=1,2,4,8]
 //             [--out=fuzz_repro.txt] [--shrink=true]
 //             [--max-shrink-evals=400]
 //             --self-test            run the mutation self-test instead
 //             --replay=repro.txt     re-run the battery on a saved repro
-//               [--algorithm=two_sweep|fast|congest] [--ts_p=..] [--eps=..]
+//               [--algorithm=<name>] [--ts_p=..] [--eps=..]
 //
 // Any subcommand accepts --trace=<path> [--trace-format=jsonl|chrome|
 // summary] to record an execution trace of the run (the DCOLOR_TRACE /
@@ -45,17 +56,15 @@
 #include "check/invariant_checker.h"
 #include "check/mutation.h"
 #include "coloring/linial.h"
-#include "core/congest_oldc.h"
-#include "core/fast_two_sweep.h"
 #include "core/instance.h"
-#include "core/list_coloring.h"
-#include "core/theta_coloring.h"
-#include "core/two_sweep.h"
+#include "core/run_context.h"
+#include "core/solver_registry.h"
 #include "graph/coloring_checks.h"
 #include "graph/generators.h"
 #include "graph/independence.h"
 #include "graph/line_graph.h"
 #include "io/instance_io.h"
+#include "sim/batch_runner.h"
 #include "sim/trace.h"
 #include "util/check.h"
 #include "util/cli.h"
@@ -114,53 +123,82 @@ int cmd_instance(const CliArgs& args) {
   return 0;
 }
 
-int cmd_color(const CliArgs& args) {
-  const std::string algorithm = args.get_string("algorithm", "two_sweep");
-  const std::string out = args.get_string("out", "coloring.txt");
-  ColoringResult result;
-  bool valid = false;
-
-  if (algorithm == "two_sweep" || algorithm == "fast" ||
-      algorithm == "congest") {
-    const OwnedOldcInstance owned =
-        load_oldc(args.get_string("instance", "instance.txt"));
-    const OldcInstance& inst = owned.instance;
-    const Orientation lin_orient = Orientation::by_id(owned.graph);
-    const LinialResult linial = linial_from_ids(owned.graph, lin_orient);
-    if (algorithm == "two_sweep") {
-      const int p = static_cast<int>(args.get_int("ts_p", 2));
-      result = two_sweep(inst, linial.colors, linial.num_colors, p);
-    } else if (algorithm == "fast") {
-      const int p = static_cast<int>(args.get_int("ts_p", 2));
-      const double eps = args.get_double("eps", 0.5);
-      result = fast_two_sweep(inst, linial.colors, linial.num_colors, p, eps);
-    } else {
-      result = congest_oldc(inst, linial.colors, linial.num_colors);
-    }
-    result.metrics += linial.metrics;
-    valid = validate_oldc(inst, result.colors);
-  } else if (algorithm == "degplus1" || algorithm == "theta") {
-    const Graph g = load_graph(args.get_string("graph", "graph.txt"));
-    if (algorithm == "degplus1") {
-      Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
-      const std::int64_t space =
-          args.get_int("colorspace", 2 * (g.max_degree() + 1));
-      const ListDefectiveInstance inst =
-          degree_plus_one_instance(g, space, rng);
-      result = solve_degree_plus_one(
-          inst, ListColoringOptions{PartitionEngine::kBeg18Oracle});
-      valid = is_proper_coloring(g, result.colors) &&
-              validate_list_defective(inst, result.colors);
-    } else {
-      const int theta = static_cast<int>(args.get_int("theta", 2));
-      ThetaColoringOptions options;
-      options.branch = ThetaColoringOptions::Branch::kBaseOnly;
-      result = theta_delta_plus_one(g, theta, options);
-      valid = is_proper_coloring(g, result.colors);
-    }
-  } else {
-    DCOLOR_CHECK_MSG(false, "unknown algorithm " << algorithm);
+std::string join_aliases(const std::vector<std::string>& aliases) {
+  std::string out;
+  for (const std::string& a : aliases) {
+    if (!out.empty()) out += ", ";
+    out += a;
   }
+  return out;
+}
+
+int cmd_list(const CliArgs&) {
+  const SolverRegistry& registry = SolverRegistry::get();
+  Table t("registered solvers");
+  t.header({"name", "capabilities", "aliases"});
+  for (const Solver* s : registry.solvers()) {
+    t.add(std::string(s->name()), s->capabilities().summary(),
+          join_aliases(registry.aliases_of(s->name())));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_color(const CliArgs& args) {
+  const std::string alg_fallback = args.get_string("alg", "two_sweep");
+  const std::string algorithm = args.get_string("algorithm", alg_fallback);
+  if (algorithm == "help") return cmd_list(args);
+  const std::string out = args.get_string("out", "coloring.txt");
+
+  const Solver& solver = SolverRegistry::get().require(algorithm);
+  const SolverCapabilities caps = solver.capabilities();
+
+  SolveRequest req;
+  req.params.p = static_cast<int>(args.get_int("ts_p", 2));
+  req.params.eps = args.get_double("eps", 0.5);
+  req.params.theta = static_cast<int>(args.get_int("theta", 2));
+  req.params.alpha = args.get_double("alpha", 0.25);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::int64_t colorspace = args.get_int("colorspace", 0);
+
+  // Input storage outliving the request (which only borrows).
+  OwnedOldcInstance owned;
+  Graph g;
+  ListDefectiveInstance list_inst;
+  LinialResult linial;
+
+  using Input = SolverCapabilities::Input;
+  switch (caps.input) {
+    case Input::kOldc: {
+      owned = load_oldc(args.get_string("instance", "instance.txt"));
+      const Orientation lin_orient = Orientation::by_id(owned.graph);
+      linial = linial_from_ids(owned.graph, lin_orient);
+      req.oldc = &owned.instance;
+      req.initial_coloring = &linial.colors;
+      req.q = linial.num_colors;
+      break;
+    }
+    case Input::kListDefective:
+    case Input::kArbdefective: {
+      g = load_graph(args.get_string("graph", "graph.txt"));
+      Rng rng(seed);
+      const std::int64_t space =
+          colorspace > 0 ? colorspace : 2 * (g.max_degree() + 1);
+      list_inst = degree_plus_one_instance(g, space, rng);
+      req.list_defective = &list_inst;
+      break;
+    }
+    case Input::kGraph:
+      g = load_graph(args.get_string("graph", "graph.txt"));
+      req.graph = &g;
+      break;
+  }
+
+  RunContext ctx;
+  ctx.seed = seed;
+  SolveResult result = solver.solve(req, ctx);
+  if (caps.input == Input::kOldc) result.metrics += linial.metrics;
+  const bool valid = validate_solve(req, caps, result);
 
   std::ofstream os(out);
   DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << out);
@@ -168,13 +206,56 @@ int cmd_color(const CliArgs& args) {
 
   Table t("dcolor color");
   t.header({"metric", "value"});
-  t.add("algorithm", algorithm);
+  t.add("algorithm", std::string(solver.name()));
+  t.add("capabilities", caps.summary());
   t.add("valid", valid ? "yes" : "NO");
   t.add("colors used", num_colors_used(result.colors));
   t.add("rounds", result.metrics.rounds);
   t.add("max message bits", result.metrics.max_message_bits);
   t.print(std::cout);
   return valid ? 0 : 1;
+}
+
+int cmd_batch(const CliArgs& args) {
+  const std::string jobs_spec = args.get_string("jobs", "");
+  DCOLOR_CHECK_MSG(!jobs_spec.empty(),
+                   "--cmd=batch requires --jobs=<file-or-inline-spec>");
+  const std::vector<BatchJob> jobs = parse_batch_jobs(jobs_spec);
+
+  BatchOptions options;
+  options.threads = static_cast<int>(args.get_int("threads", 0));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  options.check = args.get_bool("verify");
+  const BatchReport report = run_batch(jobs, options);
+
+  if (args.has("json")) {
+    const std::string path = args.get_string("json", "batch_report.json");
+    std::ofstream os(path);
+    DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << path);
+    os << report.to_json();
+    std::cout << "report written to " << path << "\n";
+  }
+
+  Table t("batch results");
+  t.header({"label", "solver", "valid", "colors", "rounds", "violations"});
+  for (const BatchJobResult& r : report.jobs) {
+    t.add(r.label, r.solver,
+          r.error.empty() ? (r.valid ? "yes" : "NO") : "ERROR",
+          r.colors_used, r.metrics.rounds, r.checker_violations);
+  }
+  t.print(std::cout);
+  std::cout << "batch: " << report.jobs.size() << " jobs, "
+            << report.jobs_valid << " valid, " << report.jobs_failed
+            << " failed; " << report.total_rounds << " total rounds, "
+            << report.total_violations << " checker violation(s); scratch "
+            << report.scratch_created << " created / "
+            << report.scratch_reused << " reused\n";
+  for (const BatchJobResult& r : report.jobs) {
+    if (!r.error.empty()) {
+      std::cout << "  " << r.label << ": " << r.error << "\n";
+    }
+  }
+  return report.jobs_failed == 0 && report.total_violations == 0 ? 0 : 1;
 }
 
 int cmd_validate(const CliArgs& args) {
@@ -343,24 +424,26 @@ int cmd_fuzz(const CliArgs& args) {
   options.max_shrink_evals = args.get_int("max-shrink-evals", 400);
   options.thread_counts =
       parse_thread_list(args.get_string("threads", "1,2,4,8"));
+  const std::string alg_fallback = args.get_string("alg", "");
+  options.solver = args.get_string("algorithm", alg_fallback);
 
   if (args.has("replay")) {
     const OwnedOldcInstance owned = load_oldc(args.get_string("replay", ""));
-    const std::string alg_name = args.get_string("algorithm", "two_sweep");
-    const FuzzAlg alg = alg_name == "fast"      ? FuzzAlg::kFastTwoSweep
-                        : alg_name == "congest" ? FuzzAlg::kCongest
-                                                : FuzzAlg::kTwoSweep;
-    const int p = static_cast<int>(args.get_int("ts_p", 2));
-    const double eps = args.get_double("eps", 0.5);
-    if (!fuzz_preconditions_hold(owned.instance, alg, p, eps)) {
-      std::cout << "replay: " << fuzz_alg_name(alg)
+    const Solver& solver = SolverRegistry::get().require(
+        options.solver.empty() ? "two_sweep" : options.solver);
+    SolverParams params;
+    params.p = static_cast<int>(args.get_int("ts_p", 2));
+    params.eps = args.get_double("eps", 0.5);
+    if (!fuzz_preconditions_hold(owned.instance, solver, params)) {
+      std::cout << "replay: " << solver.name()
                 << " premise does not hold on this instance\n";
       return 1;
     }
-    const std::string failure =
-        run_fuzz_battery(owned.instance, alg, p, eps, options.thread_counts);
+    const std::string failure = run_fuzz_battery(owned.instance, solver,
+                                                 params,
+                                                 options.thread_counts);
     if (failure.empty()) {
-      std::cout << "replay PASS (" << fuzz_alg_name(alg) << ", "
+      std::cout << "replay PASS (" << solver.name() << ", "
                 << owned.graph.summary() << ")\n";
       return 0;
     }
@@ -418,6 +501,10 @@ int run(int argc, char** argv) {
     code = cmd_instance(args);
   } else if (cmd == "color") {
     code = cmd_color(args);
+  } else if (cmd == "list") {
+    code = cmd_list(args);
+  } else if (cmd == "batch") {
+    code = cmd_batch(args);
   } else if (cmd == "validate") {
     code = cmd_validate(args);
   } else if (cmd == "info") {
