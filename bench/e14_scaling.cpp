@@ -6,8 +6,13 @@
 // Flags: --quick (smaller sizes), --threads=N (simulator worker threads;
 // results are bit-identical, only wall-clock changes), --reps=N (repeat
 // each measurement and report the minimum — the noise-robust statistic
-// for wall-clock). Besides the tables, writes BENCH_e14.json with one
-// object per measured row for machine consumption.
+// for wall-clock), --engine=auto|scalar|vector (pin the simulator
+// execution engine; without the flag the solver sections measure scalar
+// AND vector back to back and emit one row per engine — results are
+// bit-identical, the two rows differ only in wall-clock). Besides the
+// tables, writes BENCH_e14.json with one object per measured row for
+// machine consumption; tools/bench_diff compares two such files and
+// perf_gate (ctest) fails the build on wall-clock regressions.
 //
 // The last section measures the tracing layer itself: the same pipeline
 // untraced, under a sink-less tracer, and under a JSONL sink, plus the
@@ -22,6 +27,7 @@
 #include "core/fast_two_sweep.h"
 #include "core/solver_registry.h"
 #include "graph/coloring_checks.h"
+#include "sim/engine.h"
 #include "sim/network.h"
 #include "sim/trace.h"
 
@@ -32,9 +38,21 @@ int main(int argc, char** argv) {
   const bool quick = args.get_bool("quick");
   const std::int64_t threads = args.get_int("threads", 0);
   const std::int64_t reps = std::max<std::int64_t>(1, args.get_int("reps", 1));
+  const std::string engine_arg = args.get_string("engine", "");
   args.check_all_consumed();
   if (threads > 0) Network::set_default_num_threads(static_cast<int>(threads));
   const std::int64_t used_threads = Network::default_num_threads();
+
+  // Solver sections measure one row per engine. With --engine the list
+  // collapses to that engine (and the non-solver sections run under it
+  // too, via the process default).
+  const std::vector<EngineKind> engines =
+      engine_arg.empty()
+          ? std::vector<EngineKind>{EngineKind::kScalar, EngineKind::kVector}
+          : std::vector<EngineKind>{engine_from_string(engine_arg)};
+  const EngineKind rest_engine =
+      engine_arg.empty() ? EngineKind::kAuto : engines.front();
+  set_default_engine(rest_engine);
 
   banner("E14", "wall-clock scaling of the simulator and pipelines");
 
@@ -48,8 +66,9 @@ int main(int argc, char** argv) {
   JsonWriter json("BENCH_e14.json");
   {
     Table t("Fast-Two-Sweep (p=2, eps=0.5, degree 6, q = n)");
-    t.header({"n", "sim rounds", "wall ms", "us per node"});
-    CsvWriter csv("e14_scaling.csv", {"pipeline", "n", "rounds", "ms"});
+    t.header({"n", "engine", "sim rounds", "wall ms", "us per node"});
+    CsvWriter csv("e14_scaling.csv", {"pipeline", "n", "engine", "rounds",
+                                      "ms"});
     for (NodeId n : {2000, 8000, 32000, quick ? 32000 : 64000}) {
       Rng rng(1800);
       const Graph g = random_near_regular(n, 6, rng);
@@ -67,28 +86,33 @@ int main(int argc, char** argv) {
       req.oldc = &inst;
       req.initial_coloring = &ids;
       req.q = n;
-      std::int64_t best_ms = -1;
-      ColoringResult res;
-      for (std::int64_t rep = 0; rep < reps; ++rep) {
-        const auto t0 = Clock::now();
-        RunContext ctx;
-        SolveResult sres = solver.solve(req, ctx);
-        const auto ms = ms_since(t0);
-        res.colors = std::move(sres.colors);
-        res.metrics = sres.metrics;
-        if (best_ms < 0 || ms < best_ms) best_ms = ms;
+      for (const EngineKind ek : engines) {
+        set_default_engine(ek);
+        std::int64_t best_ms = -1;
+        ColoringResult res;
+        for (std::int64_t rep = 0; rep < reps; ++rep) {
+          const auto t0 = Clock::now();
+          RunContext ctx;
+          SolveResult sres = solver.solve(req, ctx);
+          const auto ms = ms_since(t0);
+          res.colors = std::move(sres.colors);
+          res.metrics = sres.metrics;
+          if (best_ms < 0 || ms < best_ms) best_ms = ms;
+        }
+        if (!validate_oldc(inst, res.colors)) return 1;
+        const double us_per_node = 1000.0 * static_cast<double>(best_ms) / n;
+        t.add(n, engine_name(ek), res.metrics.rounds, best_ms, us_per_node);
+        csv.row({"fast_two_sweep", std::to_string(n), engine_name(ek),
+                 std::to_string(res.metrics.rounds), std::to_string(best_ms)});
+        json.row({{"pipeline", JsonWriter::str("fast_two_sweep")},
+                  {"n", JsonWriter::num(static_cast<std::int64_t>(n))},
+                  {"engine", JsonWriter::str(engine_name(ek))},
+                  {"rounds", JsonWriter::num(res.metrics.rounds)},
+                  {"wall_ms", JsonWriter::num(best_ms)},
+                  {"us_per_node", JsonWriter::num(us_per_node)},
+                  {"threads", JsonWriter::num(used_threads)}});
       }
-      if (!validate_oldc(inst, res.colors)) return 1;
-      const double us_per_node = 1000.0 * static_cast<double>(best_ms) / n;
-      t.add(n, res.metrics.rounds, best_ms, us_per_node);
-      csv.row({"fast_two_sweep", std::to_string(n),
-               std::to_string(res.metrics.rounds), std::to_string(best_ms)});
-      json.row({{"pipeline", JsonWriter::str("fast_two_sweep")},
-                {"n", JsonWriter::num(static_cast<std::int64_t>(n))},
-                {"rounds", JsonWriter::num(res.metrics.rounds)},
-                {"wall_ms", JsonWriter::num(best_ms)},
-                {"us_per_node", JsonWriter::num(us_per_node)},
-                {"threads", JsonWriter::num(used_threads)}});
+      set_default_engine(rest_engine);
     }
     t.print(std::cout);
   }
@@ -133,8 +157,8 @@ int main(int argc, char** argv) {
     // arena-backed setup path) split from the solve, with peak RSS and the
     // palette-dedup accounting that keeps list memory O(distinct + n).
     Table t("Setup vs solve at scale (fast_two_sweep, degree 6)");
-    t.header({"n", "setup ms", "solve ms", "rounds", "palettes", "arena MiB",
-              "peak RSS MiB"});
+    t.header({"n", "engine", "setup ms", "solve ms", "rounds", "palettes",
+              "arena MiB", "peak RSS MiB"});
     std::vector<NodeId> big_sizes = quick ? std::vector<NodeId>{65536}
                                           : std::vector<NodeId>{262144, 1048576};
     for (NodeId n : big_sizes) {
@@ -148,29 +172,40 @@ int main(int argc, char** argv) {
       const std::int64_t setup_ms = ms_since(t_setup);
       std::vector<Color> ids(static_cast<std::size_t>(n));
       for (NodeId i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
-      const auto t_solve = Clock::now();
-      const ColoringResult res = fast_two_sweep(inst, ids, n, 2, 0.5);
-      const std::int64_t solve_ms = ms_since(t_solve);
-      if (!validate_oldc(inst, res.colors)) return 1;
-      const double arena_mib =
-          static_cast<double>(inst.lists.memory_bytes()) / (1024.0 * 1024.0);
-      const double rss_mib = peak_rss_mib();
-      t.add(n, setup_ms, solve_ms, res.metrics.rounds,
-            static_cast<std::int64_t>(inst.lists.num_palettes()), arena_mib,
-            rss_mib);
-      json.row({{"pipeline", JsonWriter::str("fast_two_sweep_scale")},
-                {"n", JsonWriter::num(static_cast<std::int64_t>(n))},
-                {"setup_ms", JsonWriter::num(setup_ms)},
-                {"solve_ms", JsonWriter::num(solve_ms)},
-                {"rounds", JsonWriter::num(res.metrics.rounds)},
-                {"num_palettes",
-                 JsonWriter::num(
-                     static_cast<std::int64_t>(inst.lists.num_palettes()))},
-                {"dedup_hits", JsonWriter::num(inst.lists.dedup_hits())},
-                {"arena_entries", JsonWriter::num(inst.lists.arena_entries())},
-                {"palette_mib", JsonWriter::num(arena_mib)},
-                {"peak_rss_mib", JsonWriter::num(rss_mib)},
-                {"threads", JsonWriter::num(used_threads)}});
+      for (const EngineKind ek : engines) {
+        set_default_engine(ek);
+        std::int64_t solve_ms = -1;
+        ColoringResult res;
+        for (std::int64_t rep = 0; rep < reps; ++rep) {
+          const auto t_solve = Clock::now();
+          res = fast_two_sweep(inst, ids, n, 2, 0.5);
+          const std::int64_t ms = ms_since(t_solve);
+          if (solve_ms < 0 || ms < solve_ms) solve_ms = ms;
+        }
+        if (!validate_oldc(inst, res.colors)) return 1;
+        const double arena_mib =
+            static_cast<double>(inst.lists.memory_bytes()) / (1024.0 * 1024.0);
+        const double rss_mib = peak_rss_mib();
+        t.add(n, engine_name(ek), setup_ms, solve_ms, res.metrics.rounds,
+              static_cast<std::int64_t>(inst.lists.num_palettes()), arena_mib,
+              rss_mib);
+        json.row({{"pipeline", JsonWriter::str("fast_two_sweep_scale")},
+                  {"n", JsonWriter::num(static_cast<std::int64_t>(n))},
+                  {"engine", JsonWriter::str(engine_name(ek))},
+                  {"setup_ms", JsonWriter::num(setup_ms)},
+                  {"solve_ms", JsonWriter::num(solve_ms)},
+                  {"rounds", JsonWriter::num(res.metrics.rounds)},
+                  {"num_palettes",
+                   JsonWriter::num(
+                       static_cast<std::int64_t>(inst.lists.num_palettes()))},
+                  {"dedup_hits", JsonWriter::num(inst.lists.dedup_hits())},
+                  {"arena_entries",
+                   JsonWriter::num(inst.lists.arena_entries())},
+                  {"palette_mib", JsonWriter::num(arena_mib)},
+                  {"peak_rss_mib", JsonWriter::num(rss_mib)},
+                  {"threads", JsonWriter::num(used_threads)}});
+      }
+      set_default_engine(rest_engine);
     }
     t.print(std::cout);
   }

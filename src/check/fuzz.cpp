@@ -11,6 +11,7 @@
 #include "core/run_context.h"
 #include "core/solver_registry.h"
 #include "graph/generators.h"
+#include "sim/engine.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -203,39 +204,57 @@ std::string run_fuzz_battery(const OldcInstance& inst, const Solver& solver,
   req.q = linial.num_colors;
   req.params = params;
 
+  // The battery's run grid is engine × thread count: the forced-scalar
+  // runs pin down thread determinism of the sparse path, the forced-
+  // vector runs exercise the dense kernels (which silently fall back to
+  // scalar rounds on solvers without one), and every run must match the
+  // scalar/threads[0] baseline bit for bit — colors AND checker
+  // violation lists. This is the continuous enforcement of the
+  // engine-equivalence contract in sim/engine.h.
   struct RunOut {
+    EngineKind engine;
+    int threads;
     std::vector<Color> colors;
     std::vector<CheckViolation> violations;
   };
   std::vector<RunOut> runs;
-  for (const int t : thread_counts) {
-    InvariantChecker checker(InvariantChecker::Mode::kCollect);
-    RunContext ctx;
-    ctx.num_threads = t;
-    ctx.checker = &checker;
-    RunOut r;
-    {
-      const RunScope scope(ctx);
-      try {
-        r.colors = solver.solve(req, ctx).colors;
-      } catch (const CheckError& e) {
-        return std::string(solver.name()) + " threw at threads=" +
-               std::to_string(t) + ": " + e.what();
+  for (const EngineKind engine : {EngineKind::kScalar, EngineKind::kVector}) {
+    for (const int t : thread_counts) {
+      InvariantChecker checker(InvariantChecker::Mode::kCollect);
+      RunContext ctx;
+      ctx.num_threads = t;
+      ctx.engine = engine;
+      ctx.checker = &checker;
+      RunOut r;
+      r.engine = engine;
+      r.threads = t;
+      {
+        const RunScope scope(ctx);
+        try {
+          r.colors = solver.solve(req, ctx).colors;
+        } catch (const CheckError& e) {
+          return std::string(solver.name()) + " threw at engine=" +
+                 engine_name(engine) + " threads=" + std::to_string(t) +
+                 ": " + e.what();
+        }
       }
+      r.violations = checker.violations();
+      runs.push_back(std::move(r));
     }
-    r.violations = checker.violations();
-    runs.push_back(std::move(r));
   }
 
+  const auto run_label = [](const RunOut& r) {
+    return std::string(engine_name(r.engine)) + "/threads=" +
+           std::to_string(r.threads);
+  };
   for (std::size_t i = 1; i < runs.size(); ++i) {
     if (runs[i].colors != runs[0].colors) {
-      return "thread divergence: colors differ between threads=" +
-             std::to_string(thread_counts[0]) + " and threads=" +
-             std::to_string(thread_counts[i]);
+      return "engine/thread divergence: colors differ between " +
+             run_label(runs[0]) + " and " + run_label(runs[i]);
     }
     if (runs[i].violations != runs[0].violations) {
-      return "thread divergence: checker violations differ between thread "
-             "counts";
+      return "engine/thread divergence: checker violations differ between " +
+             run_label(runs[0]) + " and " + run_label(runs[i]);
     }
   }
   if (!runs.empty() && !runs[0].violations.empty()) {

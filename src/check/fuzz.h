@@ -10,11 +10,13 @@
 // `oracle_greedy` baseline) is scheduled, so new solvers join the fuzz
 // rotation the moment they register. The battery run on each case:
 //
-//   1. solve with the scheduled solver at every requested thread count,
-//      each run inside its own RunScope with a collect-mode
-//      InvariantChecker;
+//   1. solve with the scheduled solver over the full engine × thread
+//      grid — forced-scalar and forced-vector (sim/engine.h) at every
+//      requested thread count — each run inside its own RunScope with a
+//      collect-mode InvariantChecker;
 //   2. require bit-identical colors and identical (empty) checker
-//      violation lists across thread counts;
+//      violation lists across every engine/thread combination (the
+//      continuous enforcement of the engine-equivalence contract);
 //   3. validate the output against the instance;
 //   4. cross-check against the sequential oracle: on acyclic oriented
 //      instances the oracle provably succeeds, so kUnsolvable there (or

@@ -8,6 +8,7 @@
 #include "util/check.h"
 #include "util/gf.h"
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace dcolor {
 
@@ -113,9 +114,8 @@ void PolyReduceProgram::init(NodeId v, Mailbox& mail) {
   broadcast(*graph_, mail, m);
 }
 
-void PolyReduceProgram::apply_step(
-    NodeId v, const PolyStep& ps,
-    const std::vector<std::pair<NodeId, Color>>& out_colors) {
+void PolyReduceProgram::apply_step(NodeId v, const PolyStep& ps,
+                                   std::span<const Color> out_colors) {
   const auto vi = static_cast<std::size_t>(v);
   const int nc = ps.degree + 1;
   DCOLOR_CHECK(nc <= 64);
@@ -134,14 +134,35 @@ void PolyReduceProgram::apply_step(
     DCOLOR_CHECK_MSG(value == 0, "color does not fit in k^(D+1) at node "
                                      << v << " (k=" << ps.k << ")");
   }
+  const std::size_t rows = out_colors.size();
+  // Small fields take the SIMD-friendly point counter: neighbor digits are
+  // laid out TRANSPOSED (digit i of neighbor j at [i*rows + j]) so each
+  // Horner level is one contiguous load, and simd::count_eval_eq tallies
+  // agreements for all neighbors at once. Exactness: both its paths
+  // compute the true mod (see util/simd.h), so the counts — and therefore
+  // the argmin below — match the eval_digits loop bit for bit.
+  const bool fast = simd::gf_eval_supported(ps.k);
+  static thread_local std::vector<std::int32_t> tdigits;
   static thread_local std::vector<std::uint64_t> nbr_digits;
-  nbr_digits.resize(out_colors.size() * static_cast<std::size_t>(nc));
-  for (std::size_t j = 0; j < out_colors.size(); ++j) {
-    std::uint64_t value = static_cast<std::uint64_t>(out_colors[j].second);
-    std::uint64_t* d = nbr_digits.data() + j * static_cast<std::size_t>(nc);
-    for (int i = 0; i < nc; ++i) {
-      d[i] = value % ps.k;
-      value /= ps.k;
+  if (fast) {
+    tdigits.resize(rows * static_cast<std::size_t>(nc));
+    for (std::size_t j = 0; j < rows; ++j) {
+      std::uint64_t value = static_cast<std::uint64_t>(out_colors[j]);
+      for (int i = 0; i < nc; ++i) {
+        tdigits[static_cast<std::size_t>(i) * rows + j] =
+            static_cast<std::int32_t>(value % ps.k);
+        value /= ps.k;
+      }
+    }
+  } else {
+    nbr_digits.resize(rows * static_cast<std::size_t>(nc));
+    for (std::size_t j = 0; j < rows; ++j) {
+      std::uint64_t value = static_cast<std::uint64_t>(out_colors[j]);
+      std::uint64_t* d = nbr_digits.data() + j * static_cast<std::size_t>(nc);
+      for (int i = 0; i < nc; ++i) {
+        d[i] = value % ps.k;
+        value /= ps.k;
+      }
     }
   }
   // Pick the evaluation point with the fewest value-agreements among
@@ -149,17 +170,27 @@ void PolyReduceProgram::apply_step(
   // keeps the first-strict-minimum rule but stops early: once a
   // zero-collision point is found no later point can win, and within a
   // point counting past the current best cannot change the argmin — both
-  // cuts leave best_s bit-identical to the full scan.
+  // cuts leave best_s bit-identical to the full scan. (The counting cut
+  // only applies to the scalar loop; the batched counter always counts
+  // fully, which records the same best_s/best_collisions because a cut
+  // count is only ever >= the running best.)
   std::uint64_t best_s = 0;
   std::int64_t best_collisions = -1;
   for (std::uint64_t s = 0; s < ps.k && best_collisions != 0; ++s) {
     const std::uint64_t mine_at_s = eval_digits(mine_digits, nc, ps.k, s);
     std::int64_t collisions = 0;
-    for (std::size_t j = 0; j < out_colors.size(); ++j) {
-      if (eval_digits(nbr_digits.data() + j * static_cast<std::size_t>(nc),
-                      nc, ps.k, s) == mine_at_s) {
-        ++collisions;
-        if (best_collisions >= 0 && collisions >= best_collisions) break;
+    if (fast) {
+      collisions = simd::count_eval_eq(
+          tdigits.data(), rows, nc, static_cast<std::uint32_t>(ps.k),
+          static_cast<std::uint32_t>(s),
+          static_cast<std::uint32_t>(mine_at_s));
+    } else {
+      for (std::size_t j = 0; j < rows; ++j) {
+        if (eval_digits(nbr_digits.data() + j * static_cast<std::size_t>(nc),
+                        nc, ps.k, s) == mine_at_s) {
+          ++collisions;
+          if (best_collisions >= 0 && collisions >= best_collisions) break;
+        }
       }
     }
     if (best_collisions < 0 || collisions < best_collisions) {
@@ -187,11 +218,11 @@ void PolyReduceProgram::step(NodeId v, int round, Mailbox& mail) {
   // undirected mode) from the inbox. Thread-local scratch: step() runs on
   // pool threads, and reusing one buffer per thread avoids a heap
   // allocation per step.
-  static thread_local std::vector<std::pair<NodeId, Color>> out_colors;
+  static thread_local std::vector<Color> out_colors;
   out_colors.clear();
   for (const Envelope& env : mail.inbox()) {
     if (undirected_ || orientation_->is_out_edge(v, env.from)) {
-      out_colors.emplace_back(env.from, env.message.field(0));
+      out_colors.push_back(env.message.field(0));
     }
   }
   apply_step(v, schedule_[static_cast<std::size_t>(idx)], out_colors);
@@ -208,6 +239,160 @@ void PolyReduceProgram::step(NodeId v, int round, Mailbox& mail) {
 
 bool PolyReduceProgram::done(NodeId v) const {
   return finished_[static_cast<std::size_t>(v)] != 0;
+}
+
+// ---- DenseKernel ------------------------------------------------------
+//
+// Representation: a pending broadcast from v is one nonzero entry in the
+// per-node width lane; the payload is v's current color (every message
+// here is a one-field color broadcast), snapshotted at deliver time.
+
+bool PolyReduceProgram::absorb(std::span<const Mailbox::Outgoing> queued) {
+  const std::size_t n = color_.size();
+  if (read_round_.empty()) {  // lazily sized: scalar runs never pay this
+    pending_bits_.assign(n, 0);
+    read_round_.assign(n, -1);
+    read_color_.assign(n, 0);
+    touch_stamp_.assign(n, -1);
+  }
+  DCOLOR_CHECK(pending_senders_.empty());
+  const Graph& g = *graph_;
+  bool ok = true;
+  for (const Mailbox::Outgoing& out : queued) {
+    const auto vi = static_cast<std::size_t>(out.from);
+    const Message& m = out.message;
+    if (out.to != Mailbox::kBroadcastTo || vi >= n ||
+        pending_bits_[vi] != 0 || m.num_fields() != 1 ||
+        m.field(0) != color_[vi] || m.bits() <= 0 || m.bits() > 64) {
+      ok = false;
+      break;
+    }
+    pending_bits_[vi] = static_cast<std::int8_t>(m.bits());
+    pending_senders_.push_back(out.from);
+    pending_msgs_ += g.degree(out.from);
+  }
+  if (!ok) {  // leave no trace: the engine keeps the scalar buffer
+    for (const NodeId s : pending_senders_) {
+      pending_bits_[static_cast<std::size_t>(s)] = 0;
+    }
+    pending_senders_.clear();
+    pending_msgs_ = 0;
+  }
+  return ok;
+}
+
+void PolyReduceProgram::spill(std::vector<Mailbox::Outgoing>& sink) {
+  for (const NodeId s : pending_senders_) {
+    const auto si = static_cast<std::size_t>(s);
+    Message m;
+    m.push(color_[si], pending_bits_[si]);
+    pending_bits_[si] = 0;
+    sink.push_back({Mailbox::kBroadcastTo, s, std::move(m)});
+  }
+  pending_senders_.clear();
+  pending_msgs_ = 0;
+}
+
+void PolyReduceProgram::deliver(std::int64_t round,
+                                std::vector<NodeId>& touched) {
+  const Graph& g = *graph_;
+  const std::size_t n = color_.size();
+  bool graph_shaped = pending_senders_.size() == n;
+  for (std::size_t i = 0; graph_shaped && i < n; ++i) {
+    graph_shaped = pending_senders_[i] == static_cast<NodeId>(i);
+  }
+  for (const NodeId s : pending_senders_) {
+    const auto si = static_cast<std::size_t>(s);
+    read_round_[si] = round;
+    read_color_[si] = color_[si];
+    pending_bits_[si] = 0;
+  }
+  if (graph_shaped) {
+    // Mirrors the scalar engine's graph-shaped fast path: receivers are
+    // the non-isolated nodes ascending (same set and order — `touched`
+    // becomes the step order).
+    for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+      if (g.degree(v) != 0) touched.push_back(v);
+    }
+  } else {
+    for (const NodeId s : pending_senders_) {
+      for (const NodeId u : g.neighbors(s)) {
+        if (touch_stamp_[static_cast<std::size_t>(u)] != round) {
+          touch_stamp_[static_cast<std::size_t>(u)] = round;
+          touched.push_back(u);
+        }
+      }
+    }
+  }
+  pending_senders_.clear();
+  pending_msgs_ = 0;
+}
+
+void PolyReduceProgram::step_batch(std::int64_t round,
+                                   std::span<const NodeId> active,
+                                   std::size_t lo, std::size_t hi,
+                                   int message_bit_cap, DenseChunk& chunk) {
+  const Graph& g = *graph_;
+  static thread_local std::vector<Color> out_colors;
+  for (std::size_t i = lo; i < hi; ++i) {
+    // Prefetch the stamp/color lanes the node-after-next will gather:
+    // adjacency rows stream sequentially in dense rounds (active ids
+    // ascend), but the per-neighbor stamps they point at are random.
+    if (i + 2 < hi) {
+      const NodeId pv = active[i + 2];
+      const std::span<const NodeId> pn =
+          undirected_ ? g.neighbors(pv) : orientation_->out_neighbors(pv);
+      for (const NodeId u : pn) {
+        const auto ui = static_cast<std::size_t>(u);
+        __builtin_prefetch(&read_round_[ui]);
+        __builtin_prefetch(&read_color_[ui]);
+      }
+    }
+    const NodeId v = active[i];
+    const auto vi = static_cast<std::size_t>(v);
+    const int idx = static_cast<int>(round) - 1;
+    if (idx >= static_cast<int>(schedule_.size())) {
+      finished_[vi] = 1;
+      continue;
+    }
+    // Same sender set as the scalar inbox filter (u sent ∧ u is an
+    // out-neighbor), gathered by scanning out-neighbors for live stamps;
+    // order differs, which the collision sums are invariant to.
+    out_colors.clear();
+    for (const NodeId u :
+         undirected_ ? g.neighbors(v) : orientation_->out_neighbors(v)) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (read_round_[ui] == round) out_colors.push_back(read_color_[ui]);
+    }
+    apply_step(v, schedule_[static_cast<std::size_t>(idx)], out_colors);
+
+    if (idx + 1 < static_cast<int>(schedule_.size())) {
+      const int deg = g.degree(v);
+      if (deg != 0) {  // isolated broadcasts expand to nothing (scalar
+                       // account pass drops them before the cap check)
+        const int bits = std::max(
+            1, ceil_log2(spaces_[static_cast<std::size_t>(idx) + 1]));
+        DCOLOR_CHECK_MSG(message_bit_cap <= 0 || bits <= message_bit_cap,
+                         "CONGEST violation: node "
+                             << v << " sent " << bits << " bits (cap "
+                             << message_bit_cap << ")");
+        pending_bits_[vi] = static_cast<std::int8_t>(bits);
+        chunk.senders.push_back(v);
+        chunk.msgs += deg;
+        chunk.bits += static_cast<std::int64_t>(deg) * bits;
+        chunk.max_bits = std::max(chunk.max_bits, bits);
+      }
+    } else {
+      finished_[vi] = 1;
+    }
+  }
+}
+
+void PolyReduceProgram::commit_senders(std::span<const NodeId> senders) {
+  const Graph& g = *graph_;
+  pending_senders_.insert(pending_senders_.end(), senders.begin(),
+                          senders.end());
+  for (const NodeId s : senders) pending_msgs_ += g.degree(s);
 }
 
 LinialResult linial_coloring(const Graph& g, const Orientation& o,

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -50,7 +51,16 @@ std::vector<PolyStep> poly_schedule_defective(std::uint64_t q,
 
 /// Iterated polynomial color reduction as a message-passing program.
 /// After the run, `colors()` holds values in [0, final_space()).
-class PolyReduceProgram final : public SyncAlgorithm {
+///
+/// Doubles as its own dense-round kernel (sim/engine.h): every message is
+/// a one-field broadcast of the sender's current color, so the vector
+/// path keeps a per-node color snapshot plus a send stamp instead of
+/// materialized envelopes, and ingests by scanning out-neighbors for live
+/// stamps. The collision argmin is a per-point SUM over neighbors, hence
+/// order-independent — neighbor-order ingestion is bit-identical to
+/// inbox-order. GF evaluations go through util/simd.h when the field
+/// fits the exact double-precision window (k < 2^25), on BOTH engines.
+class PolyReduceProgram final : public SyncAlgorithm, public DenseKernel {
  public:
   /// `initial` must be a proper Q-coloring when `proper == true` (the
   /// program then checks each step finds a collision-free point); in the
@@ -72,9 +82,21 @@ class PolyReduceProgram final : public SyncAlgorithm {
   std::uint64_t final_space() const noexcept { return space_; }
   int iterations() const noexcept { return static_cast<int>(schedule_.size()); }
 
+  DenseKernel* dense_kernel() override { return this; }
+
+  // ---- DenseKernel (see sim/engine.h for the contract) ----------------
+  bool absorb(std::span<const Mailbox::Outgoing> queued) override;
+  void spill(std::vector<Mailbox::Outgoing>& sink) override;
+  std::int64_t pending_messages() const override { return pending_msgs_; }
+  void deliver(std::int64_t round, std::vector<NodeId>& touched) override;
+  void step_batch(std::int64_t round, std::span<const NodeId> active,
+                  std::size_t lo, std::size_t hi, int message_bit_cap,
+                  DenseChunk& chunk) override;
+  void commit_senders(std::span<const NodeId> senders) override;
+
  private:
   void apply_step(NodeId v, const PolyStep& ps,
-                  const std::vector<std::pair<NodeId, Color>>& out_colors);
+                  std::span<const Color> out_colors);
 
   const Graph* graph_;
   const Orientation* orientation_;
@@ -88,6 +110,17 @@ class PolyReduceProgram final : public SyncAlgorithm {
   std::vector<std::uint8_t> finished_;  // not vector<bool>: per-node bytes
                                         // are data-race-free when stepped
                                         // in parallel
+
+  // ---- dense-kernel lanes (sized lazily on first absorb) --------------
+  // A pending broadcast from v is (width lane != 0); its payload is
+  // color_[v], snapshotted into read_color_ when deliver() retires it so
+  // this round's re-coloring never races the payloads being read.
+  std::vector<NodeId> pending_senders_;   ///< scalar-equivalent order
+  std::vector<std::int8_t> pending_bits_; ///< per node; 0 = not pending
+  std::vector<std::int64_t> read_round_;  ///< round the payload is live
+  std::vector<Color> read_color_;         ///< payload snapshot
+  std::vector<std::int64_t> touch_stamp_; ///< deliver() dedup scratch
+  std::int64_t pending_msgs_ = 0;         ///< Σ deg over pending senders
 };
 
 }  // namespace dcolor

@@ -115,6 +115,7 @@ class TwoSweepSolver final : public Solver {
     c.symmetric = true;
     c.lists = true;
     c.defects = true;
+    c.dense_kernel = true;  // TwoSweepProgram
     return c;
   }
 
@@ -144,6 +145,7 @@ class FastTwoSweepSolver final : public Solver {
     c.symmetric = true;
     c.lists = true;
     c.defects = true;
+    c.dense_kernel = true;  // PolyReduce (Ψ) + TwoSweep programs
     return c;
   }
 
@@ -175,6 +177,7 @@ class CongestOldcSolver final : public Solver {
     c.lists = true;
     c.defects = true;
     c.congest = true;
+    c.dense_kernel = true;  // delegates to fast_two_sweep
     return c;
   }
 
@@ -202,6 +205,7 @@ class Slack1ArbdefectiveSolver final : public Solver {
     c.lists = true;
     c.defects = true;
     c.outputs_orientation = true;
+    c.dense_kernel = true;  // Linial + inner Two-Sweep runs
     return c;
   }
 
@@ -240,6 +244,7 @@ class DegPlusOneSolver final : public Solver {
     c.input = Input::kListDefective;
     c.lists = true;
     c.proper_output = true;
+    c.dense_kernel = true;  // Linial + inner Two-Sweep runs
     return c;
   }
 
@@ -277,6 +282,7 @@ class ThetaSolver final : public Solver {
     SolverCapabilities c;
     c.input = Input::kGraph;
     c.proper_output = true;
+    c.dense_kernel = true;  // Linial stage runs PolyReduce
     return c;
   }
 

@@ -1,7 +1,10 @@
 #include "core/fast_two_sweep.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "check/invariant_checker.h"
@@ -22,6 +25,20 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
   PhaseSpan phase("fast_two_sweep");
   const Graph& g = *inst.graph;
 
+  // Same lightweight profiling switch the simulator honors: per-stage wall
+  // times of the (non-simulated) setup work, printed to stderr.
+  using Clk = std::chrono::steady_clock;
+  const bool simprof = std::getenv("DCOLOR_SIMPROF") != nullptr;
+  auto t0 = Clk::now();
+  auto lap = [&](const char* what) {
+    if (!simprof) return;
+    const auto t1 = Clk::now();
+    std::fprintf(
+        stderr, "fast_two_sweep %-12s %8.1fms\n", what,
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    t0 = t1;
+  };
+
   // Check Eq. (7) up front (sink nodes only need a non-empty list; see the
   // matching refinement in two_sweep).
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -38,6 +55,7 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
     DCOLOR_CHECK_MSG(static_cast<double>(lst.weight()) > need,
                      "Eq. (7) fails at node " << v);
   }
+  lap("eq7");
   InvariantChecker* const ck = InvariantChecker::current();
   if (ck != nullptr) ck->check_theorem11(inst, p, eps, "fast_two_sweep entry");
 
@@ -64,31 +82,39 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
                : kuhn_defective_coloring(g, inst.orientation, initial_coloring,
                                          static_cast<std::uint64_t>(q), alpha);
   }();
+  lap("psi");
   if (ck != nullptr) {
     ck->check_defective_precoloring(inst, psi.colors, psi.num_colors, alpha,
                                     "defective_precoloring");
   }
 
   // Line 5: drop Ψ-monochromatic edges and lower the defects by the saved
-  // budget ⌊β_v·ε/p⌋.
-  std::vector<std::pair<NodeId, NodeId>> kept;
-  for (const auto& [u, v] : g.edge_list()) {
-    if (psi.colors[static_cast<std::size_t>(u)] !=
-        psi.colors[static_cast<std::size_t>(v)])
-      kept.emplace_back(u, v);
-  }
-  const Graph sub = g.edge_subgraph(kept);
+  // budget ⌊β_v·ε/p⌋. The predicate is symmetric, so the CSR filter keeps
+  // each surviving edge in both adjacency directions.
+  const Graph sub = g.edge_subgraph_if([&](NodeId a, NodeId b) {
+    return psi.colors[static_cast<std::size_t>(a)] !=
+           psi.colors[static_cast<std::size_t>(b)];
+  });
+  lap("subgraph");
 
   OldcInstance sub_inst;
   sub_inst.graph = &sub;
   sub_inst.color_space = inst.color_space;
   sub_inst.symmetric = inst.symmetric;
-  sub_inst.orientation =
-      inst.symmetric
-          ? Orientation::by_id(sub)
-          : Orientation::from_predicate(sub, [&](NodeId a, NodeId b) {
-              return inst.orientation.is_out_edge(a, b);
-            });
+  // Symmetric instances re-derive the canonical by-id orientation; oriented
+  // ones keep the input directions, restricted to the surviving edges.
+  sub_inst.orientation = inst.symmetric
+                             ? Orientation::by_id(sub)
+                             : Orientation::induced(sub, inst.orientation);
+  lap("orientation");
+  // Σ|L_v| of the parent instance upper-bounds the rebuilt arena (colors
+  // are only ever dropped) — pre-sizing it skips the geometric-growth
+  // copies of a large mostly-distinct palette set.
+  std::int64_t parent_entries = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    parent_entries +=
+        static_cast<std::int64_t>(inst.lists[static_cast<std::size_t>(v)].size());
+  }
   sub_inst.lists = PaletteStore::build_parallel(
       g.num_nodes(), default_setup_threads(),
       [&](std::int64_t v, PaletteStore::Scratch& s) {
@@ -107,11 +133,14 @@ ColoringResult fast_two_sweep(const OldcInstance& inst,
             s.defects.push_back(nd);
           }
         }
-      });
+      },
+      parent_entries);
+  lap("lists");
 
   // Line 6: Two-Sweep on the Ψ-colored subgraph (Ψ is proper there).
   ColoringResult result =
       two_sweep(sub_inst, psi.colors, psi.num_colors, p);
+  lap("two_sweep");
   result.metrics += psi.metrics;
   // The sub-instance epilogue above checked the lowered-defect contract;
   // this one checks the ORIGINAL instance the caller handed us.

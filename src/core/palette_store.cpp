@@ -107,8 +107,9 @@ PaletteStore::PaletteId PaletteStore::find(PaletteView view,
   if (buckets_.empty()) return kNoPalette;
   std::uint32_t id = buckets_[hash & (buckets_.size() - 1)];
   while (id != kNoPalette) {
-    if (this->view(id) == view) return id;
-    id = palettes_[id].next;
+    const PaletteRecord& rec = palettes_[id];
+    if (rec.hash == hash && this->view(id) == view) return id;
+    id = rec.next;
   }
   return kNoPalette;
 }
@@ -117,9 +118,10 @@ void PaletteStore::rehash_if_needed() {
   if (palettes_.size() * 2 < buckets_.size()) return;
   std::size_t cap = buckets_.empty() ? 64 : buckets_.size() * 2;
   buckets_.assign(cap, kNoPalette);
+  // Relink only — the cached record hashes make a rehash O(palettes)
+  // pointer writes instead of a full re-read of the arena.
   for (PaletteId id = 0; id < palettes_.size(); ++id) {
-    const std::uint64_t h = hash_palette(view(id));
-    const std::size_t b = h & (cap - 1);
+    const std::size_t b = palettes_[id].hash & (cap - 1);
     palettes_[id].next = buckets_[b];
     buckets_[b] = id;
   }
@@ -132,6 +134,7 @@ PaletteStore::PaletteId PaletteStore::append_palette(PaletteView view,
   rec.offset = static_cast<std::int64_t>(arena_colors_.size());
   rec.len = static_cast<std::uint32_t>(view.size());
   rec.weight = view.weight();
+  rec.hash = hash;
   arena_colors_.insert(arena_colors_.end(), view.colors().begin(),
                        view.colors().end());
   arena_defects_.insert(arena_defects_.end(), view.defects().begin(),
@@ -166,8 +169,24 @@ std::int64_t PaletteStore::normalize_scratch(Scratch& scratch) {
   auto& cs = scratch.colors;
   auto& ds = scratch.defects;
   DCOLOR_CHECK(cs.size() == ds.size());
-  // Most builders emit ascending colors already; only pay the permutation
-  // when needed.
+  // Fast path: strictly ascending colors prove sortedness AND
+  // distinctness in the same pass that accumulates the weight, so the
+  // common already-sorted case touches each entry exactly once.
+  {
+    bool ascending = true;
+    std::int64_t weight = 0;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      DCOLOR_CHECK_MSG(ds[i] >= 0, "negative defect");
+      if (i > 0 && cs[i] <= cs[i - 1]) {
+        DCOLOR_CHECK_MSG(cs[i] != cs[i - 1], "duplicate color " << cs[i]);
+        ascending = false;
+        break;
+      }
+      weight += ds[i] + 1;
+    }
+    if (ascending) return weight;
+  }
+  // Slow path: out-of-order input — sort jointly, then validate.
   if (!std::is_sorted(cs.begin(), cs.end())) {
     static thread_local std::vector<std::uint32_t> order;
     static thread_local std::vector<Color> tmp_c;
@@ -223,9 +242,11 @@ namespace detail {
 
 PaletteStore build_palette_store_parallel(
     std::int64_t n, int threads,
-    const std::function<void(std::int64_t, PaletteStore::Scratch&)>& fill) {
+    const std::function<void(std::int64_t, PaletteStore::Scratch&)>& fill,
+    std::int64_t expected_entries) {
   PaletteStore out;
   out.reserve(static_cast<std::size_t>(n));
+  out.reserve_arena(expected_entries);
   if (n <= 0) return out;
 
   const std::int64_t chunk = PaletteStore::kChunkNodes;

@@ -280,8 +280,11 @@ class PaletteStore {
   /// entries need not be sorted (a joint sort runs per node, matching the
   /// ColorList constructor's validation). Chunks run on `threads` workers
   /// (1 = inline serial); the result is bit-identical for every value.
+  /// `expected_entries` (optional) pre-sizes the arena — pass an upper
+  /// bound on Σ|L_v| when known; -1 grows geometrically as before.
   template <typename F>
-  static PaletteStore build_parallel(std::int64_t n, int threads, F&& fill);
+  static PaletteStore build_parallel(std::int64_t n, int threads, F&& fill,
+                                     std::int64_t expected_entries = -1);
 
   /// Appends one node from scratch buffers: sorts/validates in place and
   /// interns without constructing a ColorList (the allocation-free path
@@ -292,12 +295,26 @@ class PaletteStore {
   /// first-appearance order (the chunk-merge step of build_parallel).
   void merge_append(const PaletteStore& other);
 
+  /// Pre-sizes the arena arrays for `entries` total (color, defect)
+  /// pairs. Purely an allocation hint: large all-distinct builds
+  /// otherwise pay the geometric-growth copies of a multi-hundred-MB
+  /// arena. Safe to over-estimate (Σ|L_v| is always an upper bound).
+  void reserve_arena(std::int64_t entries) {
+    if (entries <= 0) return;
+    arena_colors_.reserve(static_cast<std::size_t>(entries));
+    arena_defects_.reserve(static_cast<std::size_t>(entries));
+  }
+
  private:
   struct PaletteRecord {
     std::int64_t offset = 0;
     std::uint32_t len = 0;
     std::int64_t weight = 0;
     std::uint32_t next = kNoPalette;  ///< hash-bucket chain
+    std::uint64_t hash = 0;  ///< cached hash_palette value: rehashing
+                             ///  relinks chains without re-reading (and
+                             ///  re-mixing) the palette bytes, and find()
+                             ///  skips deep equality on chain collisions
   };
   static constexpr std::uint32_t kNoPalette = 0xFFFFFFFFu;
 
@@ -327,15 +344,17 @@ namespace detail {
 /// thread pool stays out of this header).
 PaletteStore build_palette_store_parallel(
     std::int64_t n, int threads,
-    const std::function<void(std::int64_t, PaletteStore::Scratch&)>& fill);
+    const std::function<void(std::int64_t, PaletteStore::Scratch&)>& fill,
+    std::int64_t expected_entries);
 }  // namespace detail
 
 template <typename F>
-PaletteStore PaletteStore::build_parallel(std::int64_t n, int threads,
-                                          F&& fill) {
+PaletteStore PaletteStore::build_parallel(std::int64_t n, int threads, F&& fill,
+                                          std::int64_t expected_entries) {
   return detail::build_palette_store_parallel(
       n, threads,
-      std::function<void(std::int64_t, Scratch&)>(static_cast<F&&>(fill)));
+      std::function<void(std::int64_t, Scratch&)>(static_cast<F&&>(fill)),
+      expected_entries);
 }
 
 }  // namespace dcolor

@@ -8,6 +8,7 @@ namespace dcolor {
 
 RunScope::RunScope(RunContext& ctx) : ctx_(&ctx) {
   prev_thread_override_ = Network::set_thread_override(ctx.num_threads);
+  prev_engine_override_ = set_engine_override(ctx.engine);
   if (ctx.tracer != nullptr) {
     ctx.tracer->install();
     tracer_installed_ = true;
@@ -21,6 +22,7 @@ RunScope::RunScope(RunContext& ctx) : ctx_(&ctx) {
 RunScope::~RunScope() {
   if (checker_installed_) ctx_->checker->uninstall();
   if (tracer_installed_) ctx_->tracer->uninstall();
+  set_engine_override(prev_engine_override_);
   Network::set_thread_override(prev_thread_override_);
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "sim/engine.h"
 #include "sim/metrics.h"
 #include "util/rng.h"
 
@@ -48,6 +49,14 @@ struct RunContext {
   /// scope (0 = inherit the process default). Batch workers pin this to 1
   /// so the job axis, not the round axis, is the parallel one.
   int num_threads = 0;
+
+  /// Execution engine for Network::run calls made inside the scope
+  /// (kAuto = inherit the process default / DCOLOR_ENGINE). Installed as
+  /// the thread-local engine override by RunScope, so concurrent batch
+  /// jobs can pin different engines. Results are bit-identical across
+  /// engines; this knob exists for performance and for differential
+  /// testing.
+  EngineKind engine = EngineKind::kAuto;
 
   /// RNG stream root. Randomized solvers derive independent per-purpose
   /// streams with rng(salt), so two solvers sharing a context never
@@ -95,6 +104,7 @@ class RunScope {
  private:
   RunContext* ctx_;
   int prev_thread_override_ = 0;
+  EngineKind prev_engine_override_ = EngineKind::kAuto;
   bool tracer_installed_ = false;
   bool checker_installed_ = false;
 };

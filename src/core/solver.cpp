@@ -31,6 +31,7 @@ std::string SolverCapabilities::summary() const {
   add(congest, "congest");
   add(!distributed, "sequential");
   add(randomized, "randomized");
+  add(dense_kernel, "dense");
   return s;
 }
 

@@ -49,6 +49,9 @@ struct SolverCapabilities {
   bool congest = false;       ///< messages bounded by O(log q + log C)
   bool distributed = true;    ///< false: sequential baseline (rounds ~ n)
   bool randomized = false;    ///< draws from RunContext::seed
+  bool dense_kernel = false;  ///< provides a DenseKernel: dense rounds can
+                              ///  run on the vector engine (results stay
+                              ///  bit-identical to scalar either way)
 
   /// "oldc|oriented|lists|defects|congest"-style flag string for
   /// `dcolor --cmd=list` and reports.

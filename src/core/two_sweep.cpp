@@ -8,6 +8,7 @@
 #include "util/check.h"
 #include "util/math.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace dcolor {
 
@@ -33,13 +34,14 @@ TwoSweepProgram::TwoSweepProgram(const OldcInstance& inst,
   const auto n = static_cast<std::size_t>(inst.graph->num_nodes());
   DCOLOR_CHECK(initial_coloring.size() == n);
   node_.assign(n, {});
+  list_view_.resize(n);
   k_off_.assign(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
-    k_off_[v + 1] = k_off_[v] + static_cast<std::int64_t>(inst.lists[v].size());
+    list_view_[v] = inst.lists[v];
+    k_off_[v + 1] = k_off_[v] + static_cast<std::int64_t>(list_view_[v].size());
   }
   k_flat_.assign(static_cast<std::size_t>(k_off_[n]), 0);
   sr_flat_.assign(n * 2 * static_cast<std::size_t>(p), 0);
-  compute_ops_.assign(n, 0);
 }
 
 int TwoSweepProgram::color_bits() const noexcept {
@@ -51,17 +53,47 @@ void TwoSweepProgram::init(NodeId v, Mailbox& mail) {
   // Nodes forward their initial color first (Theorem 1.1's message
   // pattern); the sweep schedule itself is driven by the global round
   // counter, which every node shares in the synchronous model.
+  broadcast(*inst_->graph, mail,
+            rebuild_message(v, static_cast<std::int8_t>(kMsgInitial)));
+}
+
+// Single source of truth for the wire format: init/step, the dense
+// kernel's spill, and absorb's shape validation all agree by
+// construction because every Message goes through here.
+Message TwoSweepProgram::rebuild_message(NodeId v, std::int8_t type) const {
+  const auto vi = static_cast<std::size_t>(v);
   Message m;
-  m.push(kMsgInitial, 2);
-  m.push((*initial_)[static_cast<std::size_t>(v)],
-         std::max(1, ceil_log2(static_cast<std::uint64_t>(
-                         std::max<std::int64_t>(2, q_)))));
-  broadcast(*inst_->graph, mail, m);
+  if (type == kMsgInitial) {
+    m.push(kMsgInitial, 2);
+    m.push((*initial_)[vi], std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                                            std::max<std::int64_t>(2, q_)))));
+  } else if (type == kMsgPhase1Set) {
+    m.push(kMsgPhase1Set, 2);
+    const std::int64_t* const sv =
+        sr_flat_.data() + vi * 2 * static_cast<std::size_t>(p_);
+    const std::int32_t count = node_[vi].s_count;
+    for (std::int32_t i = 0; i < count; ++i) m.push(sv[i], color_bits());
+  } else {
+    m.push(kMsgDecision, 2);
+    m.push(node_[vi].final_color, color_bits());
+  }
+  return m;
+}
+
+int TwoSweepProgram::message_bits(NodeId v, std::int8_t type) const noexcept {
+  if (type == kMsgInitial) {
+    return 2 + std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                               std::max<std::int64_t>(2, q_))));
+  }
+  if (type == kMsgPhase1Set) {
+    return 2 + node_[static_cast<std::size_t>(v)].s_count * color_bits();
+  }
+  return 2 + color_bits();
 }
 
 void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
   const auto vi = static_cast<std::size_t>(v);
-  const auto& list = inst_->lists[vi];
+  const PaletteView& list = list_view_[vi];
   NodeState& st = node_[vi];
   int* const kv = k_flat_.data() + k_off_[vi];
   std::int64_t* const sv =
@@ -105,98 +137,115 @@ void TwoSweepProgram::step(NodeId v, int round, Mailbox& mail) {
       }
     }
   }
-  if (ops != 0) compute_ops_[vi] += ops;
+  if (ops != 0) st.ops += ops;
 
   const Color my_color = (*initial_)[vi];
 
   // Phase I turn: round == my_color + 1 (colors ascend 0..q-1).
   if (round == static_cast<int>(my_color) + 1) {
-    st.n_greater = inst_->beta_v(v) - st.heard_from;
-    const std::size_t take =
-        options_.selection == TwoSweepSelection::kOneSweep
-            ? std::min<std::size_t>(1, list.size())
-            : std::min<std::size_t>(static_cast<std::size_t>(p_),
-                                    list.size());
-    // Thread-local scratch: one buffer per pool thread instead of a heap
-    // allocation per phase-I turn.
-    static thread_local std::vector<std::size_t> order;
-    order.resize(list.size());
-    std::iota(order.begin(), order.end(), 0);
-    if (options_.selection == TwoSweepSelection::kRandomSubset) {
-      // Ablation: an arbitrary p-subset instead of the best one.
-      Rng rng(options_.selection_seed ^
-              (static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ULL));
-      rng.shuffle(order);
-    } else {
-      // Select S_v: the min(p, |L_v|) colors maximizing d_v(x) - k_v(x)
-      // (best possible choice per the Remark after Lemma 3.1). Only the
-      // top `take` entries are consumed, and the comparator is a total
-      // order, so a partial sort selects the identical subset.
-      std::partial_sort(order.begin(), order.begin() + take, order.end(),
-                        [&](std::size_t a, std::size_t b) {
-                          const int ma = list.defect(a) - kv[a];
-                          const int mb = list.defect(b) - kv[b];
-                          if (ma != mb) return ma > mb;
-                          return a < b;
-                        });
-    }
-    compute_ops_[vi] += static_cast<std::int64_t>(list.size()) *
-                        std::max(1, ceil_log2(std::max<std::uint64_t>(
-                                        2, list.size())));
-    for (std::size_t i = 0; i < take; ++i) {
-      sv[i] = list.color(order[i]);
-      rv[i] = 0;
-    }
-    std::sort(sv, sv + take);
-    st.s_count = static_cast<std::int32_t>(take);
-
-    Message m;
-    m.push(kMsgPhase1Set, 2);
-    for (std::size_t i = 0; i < take; ++i) m.push(sv[i], color_bits());
-    broadcast(*inst_->graph, mail, m);
-
-    if (options_.selection == TwoSweepSelection::kOneSweep) {
-      // Ablation: commit immediately — no second sweep. Out-edges toward
-      // later nodes are uncontrolled; the bench measures the damage.
-      DCOLOR_CHECK_MSG(take > 0, "empty list at node " << v);
-      st.final_color = sv[0];
-    }
+    phase1_turn(v);
+    broadcast(*inst_->graph, mail,
+              rebuild_message(v, static_cast<std::int8_t>(kMsgPhase1Set)));
     return;
   }
   if (options_.selection == TwoSweepSelection::kOneSweep) return;
 
   // Phase II turn: round == q + (q - my_color) (colors descend q-1..0).
   if (round == static_cast<int>(2 * q_ - my_color)) {
-    DCOLOR_CHECK_MSG(st.s_count > 0,
-                     "node " << v << " has an empty Phase-I set");
-    // Pick the color with the largest remaining margin d - k - r; Lemma 3.2
-    // guarantees some margin is >= 0 whenever Eq. (2) held.
-    std::int64_t best_margin = -1;
-    Color best = kNoColor;
-    for (std::int32_t i = 0; i < st.s_count; ++i) {
-      const auto d = list.defect_of(sv[i]);
-      const auto it =
-          std::lower_bound(list_colors.begin(), list_colors.end(), sv[i]);
-      const std::int64_t margin =
-          static_cast<std::int64_t>(*d) - kv[it - list_colors.begin()] -
-          rv[i];
-      ++compute_ops_[vi];
-      if (margin > best_margin) {
-        best_margin = margin;
-        best = sv[i];
-      }
-    }
-    DCOLOR_CHECK_MSG(best_margin >= 0,
-                     "Phase II found no feasible color at node "
-                         << v << " — Eq. (2) precondition violated?");
-    st.final_color = best;
-
-    Message m;
-    m.push(kMsgDecision, 2);
-    m.push(best, color_bits());
-    broadcast(*inst_->graph, mail, m);
+    phase2_turn(v);
+    broadcast(*inst_->graph, mail,
+              rebuild_message(v, static_cast<std::int8_t>(kMsgDecision)));
     return;
   }
+}
+
+std::size_t TwoSweepProgram::phase1_turn(NodeId v) {
+  const auto vi = static_cast<std::size_t>(v);
+  const PaletteView& list = list_view_[vi];
+  NodeState& st = node_[vi];
+  int* const kv = k_flat_.data() + k_off_[vi];
+  std::int64_t* const sv =
+      sr_flat_.data() + vi * 2 * static_cast<std::size_t>(p_);
+  std::int64_t* const rv = sv + p_;
+
+  st.n_greater = inst_->beta_v(v) - st.heard_from;
+  const std::size_t take =
+      options_.selection == TwoSweepSelection::kOneSweep
+          ? std::min<std::size_t>(1, list.size())
+          : std::min<std::size_t>(static_cast<std::size_t>(p_), list.size());
+  // Thread-local scratch: one buffer per pool thread instead of a heap
+  // allocation per phase-I turn.
+  static thread_local std::vector<std::size_t> order;
+  order.resize(list.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options_.selection == TwoSweepSelection::kRandomSubset) {
+    // Ablation: an arbitrary p-subset instead of the best one.
+    Rng rng(options_.selection_seed ^
+            (static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ULL));
+    rng.shuffle(order);
+  } else {
+    // Select S_v: the min(p, |L_v|) colors maximizing d_v(x) - k_v(x)
+    // (best possible choice per the Remark after Lemma 3.1). Only the
+    // top `take` entries are consumed, and the comparator is a total
+    // order, so a partial sort selects the identical subset.
+    std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        const int ma = list.defect(a) - kv[a];
+                        const int mb = list.defect(b) - kv[b];
+                        if (ma != mb) return ma > mb;
+                        return a < b;
+                      });
+  }
+  st.ops += static_cast<std::int64_t>(list.size()) *
+            std::max(1, ceil_log2(std::max<std::uint64_t>(2, list.size())));
+  for (std::size_t i = 0; i < take; ++i) {
+    sv[i] = list.color(order[i]);
+    rv[i] = 0;
+  }
+  std::sort(sv, sv + take);
+  st.s_count = static_cast<std::int32_t>(take);
+
+  if (options_.selection == TwoSweepSelection::kOneSweep) {
+    // Ablation: commit immediately — no second sweep. Out-edges toward
+    // later nodes are uncontrolled; the bench measures the damage.
+    DCOLOR_CHECK_MSG(take > 0, "empty list at node " << v);
+    st.final_color = sv[0];
+  }
+  return take;
+}
+
+void TwoSweepProgram::phase2_turn(NodeId v) {
+  const auto vi = static_cast<std::size_t>(v);
+  const PaletteView& list = list_view_[vi];
+  NodeState& st = node_[vi];
+  int* const kv = k_flat_.data() + k_off_[vi];
+  std::int64_t* const sv =
+      sr_flat_.data() + vi * 2 * static_cast<std::size_t>(p_);
+  std::int64_t* const rv = sv + p_;
+  const std::span<const Color> list_colors = list.colors();
+
+  DCOLOR_CHECK_MSG(st.s_count > 0,
+                   "node " << v << " has an empty Phase-I set");
+  // Pick the color with the largest remaining margin d - k - r; Lemma 3.2
+  // guarantees some margin is >= 0 whenever Eq. (2) held.
+  std::int64_t best_margin = -1;
+  Color best = kNoColor;
+  for (std::int32_t i = 0; i < st.s_count; ++i) {
+    const auto d = list.defect_of(sv[i]);
+    const auto it =
+        std::lower_bound(list_colors.begin(), list_colors.end(), sv[i]);
+    const std::int64_t margin =
+        static_cast<std::int64_t>(*d) - kv[it - list_colors.begin()] - rv[i];
+    ++st.ops;
+    if (margin > best_margin) {
+      best_margin = margin;
+      best = sv[i];
+    }
+  }
+  DCOLOR_CHECK_MSG(best_margin >= 0,
+                   "Phase II found no feasible color at node "
+                       << v << " — Eq. (2) precondition violated?");
+  st.final_color = best;
 }
 
 bool TwoSweepProgram::done(NodeId v) const {
@@ -222,8 +271,246 @@ std::int64_t TwoSweepProgram::next_active_round(NodeId v,
 
 std::int64_t TwoSweepProgram::compute_ops() const noexcept {
   std::int64_t total = 0;
-  for (const std::int64_t ops : compute_ops_) total += ops;
+  for (const NodeState& st : node_) total += st.ops;
   return total;
+}
+
+// ---- DenseKernel ------------------------------------------------------
+//
+// Representation: a pending broadcast from v is one (stamp, type) pair;
+// the payload is recovered from v's own state (initial color / S_v /
+// final color), so absorb and spill are loss-free by construction —
+// absorb verifies each queued Message matches what rebuild_message(v)
+// would emit and declines the round otherwise.
+
+bool TwoSweepProgram::absorb(std::span<const Mailbox::Outgoing> queued) {
+  const std::size_t n = node_.size();
+  if (pending_type_.empty()) {  // lazily sized: scalar runs never pay this
+    pending_type_.assign(n, 0);
+  }
+  DCOLOR_CHECK(pending_senders_.empty());
+  const Graph& g = *inst_->graph;
+  bool ok = true;
+  for (const Mailbox::Outgoing& out : queued) {
+    const auto vi = static_cast<std::size_t>(out.from);
+    const Message& m = out.message;
+    if (out.to != Mailbox::kBroadcastTo || m.empty() || vi >= n ||
+        pending_type_[vi] != 0) {
+      ok = false;
+      break;
+    }
+    const std::int64_t type = m.field(0);
+    bool match = false;
+    if (type == kMsgInitial) {
+      match = m.num_fields() == 2 && m.field(1) == (*initial_)[vi];
+    } else if (type == kMsgPhase1Set) {
+      const std::int64_t* const sv =
+          sr_flat_.data() + vi * 2 * static_cast<std::size_t>(p_);
+      match = m.num_fields() ==
+              static_cast<std::size_t>(node_[vi].s_count) + 1;
+      for (std::size_t i = 1; match && i < m.num_fields(); ++i) {
+        match = m.field(i) == sv[i - 1];
+      }
+    } else if (type == kMsgDecision) {
+      match = m.num_fields() == 2 && m.field(1) == node_[vi].final_color;
+    }
+    if (!match ||
+        m.bits() != message_bits(out.from, static_cast<std::int8_t>(type))) {
+      ok = false;
+      break;
+    }
+    pending_type_[vi] = static_cast<std::int8_t>(type + 1);
+    pending_senders_.push_back(out.from);
+    pending_msgs_ += g.degree(out.from);
+  }
+  if (!ok) {  // leave no trace: the engine keeps the scalar buffer
+    for (const NodeId s : pending_senders_) {
+      pending_type_[static_cast<std::size_t>(s)] = 0;
+    }
+    pending_senders_.clear();
+    pending_msgs_ = 0;
+  }
+  return ok;
+}
+
+void TwoSweepProgram::spill(std::vector<Mailbox::Outgoing>& sink) {
+  for (const NodeId s : pending_senders_) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto type = static_cast<std::int8_t>(pending_type_[si] - 1);
+    pending_type_[si] = 0;
+    sink.push_back({Mailbox::kBroadcastTo, s, rebuild_message(s, type)});
+  }
+  pending_senders_.clear();
+  pending_msgs_ = 0;
+}
+
+void TwoSweepProgram::deliver(std::int64_t round,
+                              std::vector<NodeId>& touched) {
+  (void)round;
+  const Graph& g = *inst_->graph;
+  // Scatter-side ingest: each retiring broadcast walks the nodes that
+  // hold an out-arc TOWARD its sender (under the instance orientation)
+  // and applies the update in place. This runs serially before any
+  // step_batch of the round, so it cannot race the turns; and because
+  // turns only run in step_batch, every s_count read here reflects
+  // exactly the turns of earlier rounds — the same "before my Phase-I
+  // turn" predicate the scalar ingest evaluates. The op tallies
+  // reproduce the scalar counts: one op per set color searched,
+  // scan-length ops per decision.
+  //
+  // `touched` intentionally stays EMPTY: ingest-only receivers need no
+  // step (no send, no done()/wake-up transition is possible outside a
+  // turn), and the turn nodes re-enter the active set through their
+  // registered wake-ups.
+  //
+  // The walk is expanded into flat (receiver, payload) work lists first:
+  // receiver lists are only ~Δ items long — too short a horizon to hide
+  // a cache miss — while the flat lists let the ingest loops software-
+  // prefetch a dozen items ahead. Item order equals (sender order ×
+  // receiver order), the exact order the nested walk would use, and both
+  // ingest kinds are order-independent anyway (see the class comment).
+  scatter_p1_.clear();
+  scatter_dec_.clear();
+  for (const NodeId s : pending_senders_) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto type = static_cast<std::int8_t>(pending_type_[si] - 1);
+    pending_type_[si] = 0;
+    if (type == kMsgInitial) continue;  // ignored by every receiver
+    const std::span<const NodeId> receivers =
+        inst_->symmetric ? g.neighbors(s) : inst_->orientation.in_neighbors(s);
+    if (type == kMsgPhase1Set) {
+      for (const NodeId v : receivers) scatter_p1_.push_back({v, s});
+    } else {  // kMsgDecision
+      const Color x = node_[si].final_color;
+      for (const NodeId v : receivers) scatter_dec_.push_back({v, x});
+    }
+  }
+  pending_senders_.clear();
+  pending_msgs_ = 0;
+
+  // Phase-I set ingest. Two prefetch stages: the far stage pulls the
+  // receiver's metadata lines (state record, k-offset, palette view), the
+  // near stage chases the pointers those lines contain (palette colors,
+  // k-row) once the far stage has had time to land.
+  const std::size_t np1 = scatter_p1_.size();
+  for (std::size_t i = 0; i < np1; ++i) {
+    if (i + 12 < np1) {
+      const auto pf = static_cast<std::size_t>(scatter_p1_[i + 12].v);
+      __builtin_prefetch(&node_[pf]);
+      __builtin_prefetch(&k_off_[pf]);
+      __builtin_prefetch(&list_view_[pf]);
+    }
+    if (i + 4 < np1) {
+      const auto pf = static_cast<std::size_t>(scatter_p1_[i + 4].v);
+      __builtin_prefetch(list_view_[pf].colors().data());
+      __builtin_prefetch(k_flat_.data() + k_off_[pf]);
+    }
+    const auto vi = static_cast<std::size_t>(scatter_p1_[i].v);
+    NodeState& st = node_[vi];
+    if (st.s_count != 0) continue;  // Phase-I turn already taken:
+                                    // sets from N_>(v) are ignored
+    ++st.heard_from;
+    const auto ui = static_cast<std::size_t>(scatter_p1_[i].u);
+    const std::int64_t* const su_sv =
+        sr_flat_.data() + ui * 2 * static_cast<std::size_t>(p_);
+    const std::int32_t su_count = node_[ui].s_count;
+    const std::span<const Color> list_colors = list_view_[vi].colors();
+    int* const kv = k_flat_.data() + k_off_[vi];
+    for (std::int32_t t = 0; t < su_count; ++t) {
+      const Color x = su_sv[t];
+      const std::size_t pos =
+          simd::lower_bound_i64(list_colors.data(), list_colors.size(), x);
+      if (pos < list_colors.size() && list_colors[pos] == x) ++kv[pos];
+    }
+    st.ops += su_count;
+  }
+
+  // Phase-II decision ingest: one stage suffices — the S_v/r_v row
+  // address is computable from the item alone, nothing to chase.
+  const std::size_t nde = scatter_dec_.size();
+  for (std::size_t i = 0; i < nde; ++i) {
+    if (i + 8 < nde) {
+      const auto pf = static_cast<std::size_t>(scatter_dec_[i + 8].v);
+      __builtin_prefetch(&node_[pf]);
+      __builtin_prefetch(&sr_flat_[pf * 2 * static_cast<std::size_t>(p_)]);
+    }
+    const auto vi = static_cast<std::size_t>(scatter_dec_[i].v);
+    const Color x = scatter_dec_[i].x;
+    std::int64_t* const sv =
+        sr_flat_.data() + vi * 2 * static_cast<std::size_t>(p_);
+    std::int64_t* const rv = sv + p_;
+    const auto s_count = static_cast<std::size_t>(node_[vi].s_count);
+    const std::size_t pos = simd::find_first_eq_i64(sv, s_count, x);
+    node_[vi].ops += pos < s_count ? static_cast<std::int64_t>(pos) + 1
+                                   : static_cast<std::int64_t>(s_count);
+    if (pos < s_count) ++rv[pos];
+  }
+  (void)touched;
+}
+
+void TwoSweepProgram::step_batch(std::int64_t round,
+                                 std::span<const NodeId> active,
+                                 std::size_t lo, std::size_t hi,
+                                 int message_bit_cap, DenseChunk& chunk) {
+  const Graph& g = *inst_->graph;
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    // Active ids arrive in random graph order; two prefetch stages (far:
+    // per-node metadata, near: the palette/k rows those records point at)
+    // keep the turn loop from serializing on cache misses.
+    if (idx + 12 < hi) {
+      const auto pf = static_cast<std::size_t>(active[idx + 12]);
+      __builtin_prefetch(&node_[pf]);
+      __builtin_prefetch(&k_off_[pf]);
+      __builtin_prefetch(&list_view_[pf]);
+      __builtin_prefetch(initial_->data() + pf);
+    }
+    if (idx + 4 < hi) {
+      const auto pf = static_cast<std::size_t>(active[idx + 4]);
+      __builtin_prefetch(list_view_[pf].colors().data());
+      __builtin_prefetch(list_view_[pf].defects().data());
+      __builtin_prefetch(k_flat_.data() + k_off_[pf]);
+      __builtin_prefetch(&sr_flat_[pf * 2 * static_cast<std::size_t>(p_)]);
+    }
+    const NodeId v = active[idx];
+    const auto vi = static_cast<std::size_t>(v);
+
+    // Ingest already happened in deliver(); only the sweep turns remain.
+    // Turns touch node-local state exclusively (k_v, S_v, r_v, the color
+    // list), so chunks never contend.
+    const Color my_color = (*initial_)[vi];
+    std::int8_t send_type = -1;
+    if (round == static_cast<std::int64_t>(my_color) + 1) {
+      phase1_turn(v);
+      send_type = static_cast<std::int8_t>(kMsgPhase1Set);
+    } else if (options_.selection != TwoSweepSelection::kOneSweep &&
+               round == 2 * q_ - static_cast<std::int64_t>(my_color)) {
+      phase2_turn(v);
+      send_type = static_cast<std::int8_t>(kMsgDecision);
+    }
+    if (send_type >= 0) {
+      const int deg = g.degree(v);
+      if (deg != 0) {  // isolated broadcasts expand to nothing (scalar
+                       // account pass drops them before the cap check)
+        const int bits = message_bits(v, send_type);
+        DCOLOR_CHECK_MSG(message_bit_cap <= 0 || bits <= message_bit_cap,
+                         "CONGEST violation: node "
+                             << v << " sent " << bits << " bits (cap "
+                             << message_bit_cap << ")");
+        pending_type_[vi] = static_cast<std::int8_t>(send_type + 1);
+        chunk.senders.push_back(v);
+        chunk.msgs += deg;
+        chunk.bits += static_cast<std::int64_t>(deg) * bits;
+        chunk.max_bits = std::max(chunk.max_bits, bits);
+      }
+    }
+  }
+}
+
+void TwoSweepProgram::commit_senders(std::span<const NodeId> senders) {
+  const Graph& g = *inst_->graph;
+  pending_senders_.insert(pending_senders_.end(), senders.begin(),
+                          senders.end());
+  for (const NodeId s : senders) pending_msgs_ += g.degree(s);
 }
 
 ColoringResult two_sweep(const OldcInstance& inst,
@@ -250,6 +537,14 @@ ColoringResult two_sweep(const OldcInstance& inst,
   const Graph& g = *inst.graph;
   DCOLOR_CHECK(static_cast<NodeId>(initial_coloring.size()) == g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // The adjacency rows stream sequentially but the neighbor colors are
+    // random reads; prefetching the next-next row's colors keeps this
+    // whole-edge-set scan from running at one miss per arc.
+    if (v + 2 < g.num_nodes()) {
+      for (NodeId u : g.neighbors(v + 2)) {
+        __builtin_prefetch(initial_coloring.data() + u);
+      }
+    }
     const Color c = initial_coloring[static_cast<std::size_t>(v)];
     DCOLOR_CHECK_MSG(c >= 0 && c < q, "initial color out of range at " << v);
     for (NodeId u : g.neighbors(v)) {

@@ -67,7 +67,23 @@ ColoringResult two_sweep_ex(const OldcInstance& inst,
 
 /// The SyncAlgorithm behind `two_sweep`, exposed for white-box tests of
 /// the Phase-I invariants (Eq. 3 and Eq. 4).
-class TwoSweepProgram final : public SyncAlgorithm {
+///
+/// Doubles as its own dense-round kernel (sim/engine.h): all three
+/// message kinds are broadcasts whose payloads are recoverable from
+/// per-node state (initial color, S_v, final color), so the vector path
+/// keeps no message copies at all — only a per-node pending-type lane.
+/// Delivery is SENDER-side scatter: each retiring broadcast walks the
+/// arcs pointing at its sender and applies the k_v/r_v/heard_from
+/// updates right there, which keeps the (few) senders' payload state
+/// cache-hot instead of re-fetching it per receiver, never scans a
+/// neighborhood that received nothing, and leaves only the turn nodes
+/// for step_batch (ingest-only receivers need no step: their done()/
+/// wake-up state cannot change outside a turn). Both ingest kinds are
+/// order-independent within a round (S_u is immutable after u's Phase-I
+/// turn; r_v increments never affect later scans; the k_v guard
+/// s_count == 0 is constant during a delivery), so scatter order is
+/// bit-identical to inbox-order ingestion.
+class TwoSweepProgram final : public SyncAlgorithm, public DenseKernel {
  public:
   TwoSweepProgram(const OldcInstance& inst,
                   const std::vector<Color>& initial_coloring, std::int64_t q,
@@ -82,6 +98,18 @@ class TwoSweepProgram final : public SyncAlgorithm {
   /// between turns it only needs to be stepped when messages arrive.
   std::int64_t next_active_round(NodeId v,
                                  std::int64_t after_round) const override;
+
+  DenseKernel* dense_kernel() override { return this; }
+
+  // ---- DenseKernel (see sim/engine.h for the contract) ----------------
+  bool absorb(std::span<const Mailbox::Outgoing> queued) override;
+  void spill(std::vector<Mailbox::Outgoing>& sink) override;
+  std::int64_t pending_messages() const override { return pending_msgs_; }
+  void deliver(std::int64_t round, std::vector<NodeId>& touched) override;
+  void step_batch(std::int64_t round, std::span<const NodeId> active,
+                  std::size_t lo, std::size_t hi, int message_bit_cap,
+                  DenseChunk& chunk) override;
+  void commit_senders(std::span<const NodeId> senders) override;
 
   /// Phase-I set S_v of node v (valid after the run).
   std::span<const Color> phase1_set(NodeId v) const {
@@ -108,6 +136,13 @@ class TwoSweepProgram final : public SyncAlgorithm {
 
  private:
   int color_bits() const noexcept;
+  Message rebuild_message(NodeId v, std::int8_t type) const;
+  int message_bits(NodeId v, std::int8_t type) const noexcept;
+  /// Shared Phase-I selection: fills S_v / r_v / s_count / n_greater and
+  /// tallies selection ops; returns |S_v| (also commits for kOneSweep).
+  std::size_t phase1_turn(NodeId v);
+  /// Shared Phase-II commit: margin argmax over S_v; sets final_color.
+  void phase2_turn(NodeId v);
 
   const OldcInstance* inst_;
   const std::vector<Color>* initial_;
@@ -124,17 +159,49 @@ class TwoSweepProgram final : public SyncAlgorithm {
     std::int32_t n_greater = 0;    ///< β_v − |N_<(v)|, set at Phase-I turn
     std::int32_t s_count = 0;      ///< |S_v|; 0 until the Phase-I turn
     Color final_color = kNoColor;  ///< Phase-II commitment
+    std::int64_t ops = 0;          ///< local compute-op tally; lives here
+                                   ///  so an ingest pays no extra cache
+                                   ///  line (step(v) is node-local, so
+                                   ///  parallel rounds stay race-free)
   };
   std::vector<NodeState> node_;
+  /// Per-node palette views resolved once at construction: the ingest and
+  /// turn loops hit lists at random node order, and going through
+  /// PaletteStore each time costs two extra dependent cache misses
+  /// (palette-id map + palette record) before the color data.
+  std::vector<PaletteView> list_view_;
   std::vector<std::int64_t> k_off_;  ///< CSR offsets into k_flat_ (n+1)
   std::vector<int> k_flat_;          ///< k_v, aligned with lists[v] order
   /// S_v and r_v interleaved per node — [v·2p, v·2p + p) holds the set,
   /// [v·2p + p, v·2p + 2p) the per-color decision counts — so a Phase-II
   /// ingest touches one cache line instead of two parallel arrays.
   std::vector<std::int64_t> sr_flat_;
-  std::vector<std::int64_t> compute_ops_;  // per node: step(v) is
-                                           // data-race-free under the
-                                           // parallel engine
+
+  // ---- dense-kernel lanes (meaningful only under the vector engine) ----
+  // A "send" is one pending-type mark; payloads live in node_ / sr_flat_.
+  // deliver() retires the marks by scatter-ingesting into the receivers
+  // (serial, before any step_batch of the round runs), so a round never
+  // races its own sends against its ingests.
+  std::vector<NodeId> pending_senders_;     ///< queued broadcasts, in
+                                            ///  scalar-equivalent order
+  std::vector<std::int8_t> pending_type_;   ///< per node, message tag
+                                            ///  (+1; 0 = not pending)
+  std::int64_t pending_msgs_ = 0;           ///< Σ deg over pending senders
+  /// Flattened scatter work lists rebuilt each dense round. Expanding the
+  /// (sender → receivers) walk into flat items first gives the ingest
+  /// loops a long iteration space, so software prefetch can run 4–12
+  /// items ahead — receiver lists themselves are only ~Δ long, far too
+  /// short a horizon to hide a cache miss inside.
+  struct P1Item {
+    NodeId v;  ///< receiver
+    NodeId u;  ///< sender (S_u / |S_u| read from node_ / sr_flat_)
+  };
+  struct DecItem {
+    NodeId v;  ///< receiver
+    Color x;   ///< sender's committed color
+  };
+  std::vector<P1Item> scatter_p1_;
+  std::vector<DecItem> scatter_dec_;
 };
 
 }  // namespace dcolor

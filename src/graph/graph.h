@@ -70,6 +70,34 @@ class Graph {
   Graph edge_subgraph(
       const std::vector<std::pair<NodeId, NodeId>>& kept_edges) const;
 
+  /// Subgraph on the same node set keeping exactly the edges the predicate
+  /// accepts. `keep(u, v)` must be symmetric (keep(u, v) == keep(v, u)) —
+  /// it is evaluated once per directed arc. Unlike edge_subgraph, this
+  /// never materializes an edge list and never re-sorts: it filters the
+  /// (already sorted) adjacency arrays in two CSR passes, so it is the
+  /// right tool when the kept set is a large fraction of a large graph.
+  template <class Pred>
+  Graph edge_subgraph_if(Pred&& keep) const {
+    Graph s;
+    s.n_ = n_;
+    const auto n = static_cast<std::size_t>(n_);
+    s.offsets_.assign(n + 1, 0);
+    for (NodeId u = 0; u < n_; ++u) {
+      std::int64_t cnt = 0;
+      for (const NodeId v : neighbors(u)) cnt += keep(u, v) ? 1 : 0;
+      s.offsets_[static_cast<std::size_t>(u) + 1] =
+          s.offsets_[static_cast<std::size_t>(u)] + cnt;
+    }
+    s.adj_.resize(static_cast<std::size_t>(s.offsets_[n]));
+    std::int64_t w = 0;
+    for (NodeId u = 0; u < n_; ++u) {
+      for (const NodeId v : neighbors(u)) {
+        if (keep(u, v)) s.adj_[static_cast<std::size_t>(w++)] = v;
+      }
+    }
+    return s;
+  }
+
   /// Human-readable one-line summary for logs.
   std::string summary() const;
 

@@ -103,7 +103,75 @@ Orientation Orientation::by_priority(const Graph& g,
 }
 
 Orientation Orientation::by_id(const Graph& g) {
-  return from_predicate(g, [](NodeId u, NodeId v) { return v < u; });
+  // Specialized build: adjacency lists are sorted ascending, so the
+  // out-arcs of u ({v : v < u}) are exactly the prefix of nb(u) below u
+  // and the in-arcs the suffix — one split point per node, no predicate
+  // calls, and the copied segments are already sorted.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  Orientation o;
+  o.out_offsets_.assign(n + 1, 0);
+  o.in_offsets_.assign(n + 1, 0);
+  const auto arcs = static_cast<std::size_t>(g.num_edges());
+  o.out_adj_.reserve(arcs);
+  o.in_adj_.reserve(arcs);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nb = g.neighbors(u);
+    const auto split = std::lower_bound(nb.begin(), nb.end(), u);
+    o.out_adj_.insert(o.out_adj_.end(), nb.begin(), split);
+    o.in_adj_.insert(o.in_adj_.end(), split, nb.end());
+    const auto ui = static_cast<std::size_t>(u);
+    o.out_offsets_[ui + 1] = static_cast<std::int64_t>(o.out_adj_.size());
+    o.in_offsets_[ui + 1] = static_cast<std::int64_t>(o.in_adj_.size());
+  }
+  return o;
+}
+
+Orientation Orientation::induced(const Graph& sub, const Orientation& full) {
+  DCOLOR_CHECK(full.num_nodes() == sub.num_nodes());
+  const auto n = static_cast<std::size_t>(sub.num_nodes());
+  Orientation o;
+  o.out_offsets_.assign(n + 1, 0);
+  o.in_offsets_.assign(n + 1, 0);
+  const auto arcs = static_cast<std::size_t>(sub.num_edges());
+  o.out_adj_.reserve(arcs);
+  o.in_adj_.reserve(arcs);
+  // Both inputs keep per-node lists sorted, so the intersection is a
+  // linear merge; the output segments inherit the sorted order.
+  const auto intersect_into = [](std::span<const NodeId> a,
+                                 std::span<const NodeId> b,
+                                 std::vector<NodeId>& sink) {
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (b[j] < a[i]) {
+        ++j;
+      } else {
+        sink.push_back(a[i]);
+        ++i;
+        ++j;
+      }
+    }
+  };
+  std::size_t matched = 0;
+  for (NodeId u = 0; u < sub.num_nodes(); ++u) {
+    const auto nb = sub.neighbors(u);
+    intersect_into(nb, full.out_neighbors(u), o.out_adj_);
+    intersect_into(nb, full.in_neighbors(u), o.in_adj_);
+    const auto ui = static_cast<std::size_t>(u);
+    o.out_offsets_[ui + 1] = static_cast<std::int64_t>(o.out_adj_.size());
+    o.in_offsets_[ui + 1] = static_cast<std::int64_t>(o.in_adj_.size());
+    matched += static_cast<std::size_t>(o.out_offsets_[ui + 1] -
+                                        o.out_offsets_[ui]) +
+               static_cast<std::size_t>(o.in_offsets_[ui + 1] -
+                                        o.in_offsets_[ui]);
+  }
+  // Every sub-edge must have appeared in full's arcs (once per endpoint);
+  // a shortfall means `sub` is not a subgraph of full's graph.
+  DCOLOR_CHECK_MSG(matched == 2 * arcs,
+                   "Orientation::induced: sub has edges the full "
+                   "orientation does not cover");
+  return o;
 }
 
 Orientation Orientation::random(const Graph& g, Rng& rng) {

@@ -43,6 +43,14 @@ class Orientation {
   static Orientation from_predicate(
       const Graph& g, const std::function<bool(NodeId, NodeId)>& u_to_v);
 
+  /// Restriction of `full` (an orientation of a supergraph with the same
+  /// node ids) to the edges of `sub`: every edge of `sub` keeps the
+  /// direction `full` gave it. Built by merge-intersecting each node's
+  /// (sorted) sub-adjacency with its (sorted) full arc lists — no
+  /// predicate calls, no binary searches, no re-sorts — so restricting a
+  /// large graph costs one linear pass over the two adjacency structures.
+  static Orientation induced(const Graph& sub, const Orientation& full);
+
   NodeId num_nodes() const noexcept {
     return static_cast<NodeId>(out_offsets_.empty()
                                    ? 0

@@ -212,6 +212,7 @@ BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
     // Jobs are the parallel axis: pin the simulator to one thread so the
     // result is independent of how many batch workers run concurrently.
     ctx.num_threads = 1;
+    ctx.engine = job.sim_engine;
     ctx.seed = seed;
     if (options.check) ctx.checker = &checker;
     RunScope scope(ctx);
@@ -311,6 +312,8 @@ void parse_job_spec(std::string_view spec, std::vector<BatchJob>& out) {
           static_cast<int>(parse_int64(value, "batch job theta"));
     } else if (key == "engine") {
       job.params.engine = parse_engine(value);
+    } else if (key == "sim_engine") {
+      job.sim_engine = engine_from_string(std::string(value));
     } else {
       DCOLOR_CHECK_MSG(false, "unknown batch job key '" << key << "'");
     }

@@ -21,8 +21,8 @@
 //   * file: one job spec per line, '#' starts a comment
 // Keys: solver (required), generator (gnp|regular|tree|geometric|cycle),
 // n, degree, seed, symmetric, repeat, label, p, eps, alpha, theta, engine
-// (honest|oracle). `repeat=K` expands a spec into K jobs with seeds
-// seed .. seed+K-1.
+// (honest|oracle), sim_engine (auto|scalar|vector). `repeat=K` expands a
+// spec into K jobs with seeds seed .. seed+K-1.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +45,11 @@ struct BatchJob {
   std::uint64_t seed = 1;   ///< instance seed (also the RunContext seed root)
   bool symmetric = false;   ///< OLDC symmetric mode (if the solver supports it)
   SolverParams params;
+  /// Simulator execution engine for this job (spec key `sim_engine` —
+  /// distinct from `engine`, which picks the partition oracle). Results
+  /// are bit-identical across engines; kVector on a solver without the
+  /// dense_kernel capability simply runs scalar rounds.
+  EngineKind sim_engine = EngineKind::kAuto;
   std::string label;        ///< display label; defaulted when empty
 };
 

@@ -1,0 +1,68 @@
+#include "sim/engine.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+EngineKind env_engine() {
+  // Strict like DCOLOR_SIM_THREADS: a typo in the environment should read
+  // as "typo", not as a silent fall-back to one engine or the other.
+  static const EngineKind cached = [] {
+    const char* s = std::getenv("DCOLOR_ENGINE");
+    if (s == nullptr || *s == '\0') return EngineKind::kAuto;
+    return engine_from_string(s);
+  }();
+  return cached;
+}
+
+std::atomic<EngineKind> g_default_engine{EngineKind::kAuto};
+
+// Per-thread override set by RunScope; lets concurrent batch workers pin
+// their jobs' engines independently of the process default.
+thread_local EngineKind t_engine_override = EngineKind::kAuto;
+
+}  // namespace
+
+EngineKind engine_from_string(const std::string& name) {
+  if (name == "auto") return EngineKind::kAuto;
+  if (name == "scalar") return EngineKind::kScalar;
+  if (name == "vector") return EngineKind::kVector;
+  DCOLOR_CHECK_MSG(false, "unknown engine \"" << name
+                                              << "\" (auto|scalar|vector)");
+}
+
+const char* engine_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kScalar:
+      return "scalar";
+    case EngineKind::kVector:
+      return "vector";
+    case EngineKind::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+void set_default_engine(EngineKind kind) noexcept {
+  g_default_engine.store(kind, std::memory_order_relaxed);
+}
+
+EngineKind default_engine() noexcept {
+  const EngineKind k = g_default_engine.load(std::memory_order_relaxed);
+  return k != EngineKind::kAuto ? k : env_engine();
+}
+
+EngineKind set_engine_override(EngineKind kind) noexcept {
+  const EngineKind prev = t_engine_override;
+  t_engine_override = kind;
+  return prev;
+}
+
+EngineKind engine_override() noexcept { return t_engine_override; }
+
+}  // namespace dcolor

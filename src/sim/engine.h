@@ -1,0 +1,97 @@
+// Execution-engine selection for the simulator (see SIMULATOR.md,
+// "Dense-round engine").
+//
+// The simulator has two ways to materialize a round:
+//
+//   * SCALAR — the sparse wake-up path in Network::run: last round's
+//     sends are regrouped into per-destination CSR inboxes (one Envelope
+//     copy per delivered message) and every active node is stepped
+//     through the virtual SyncAlgorithm::step with a Mailbox.
+//
+//   * VECTOR — the dense-round path (DenseRoundEngine, engine.cpp): for
+//     algorithms whose traffic is broadcast-shaped, the pending
+//     broadcasts live in structure-of-arrays payload lanes owned by the
+//     algorithm's DenseKernel. Delivery marks receivers straight off the
+//     CSR adjacency (no Envelope is ever built) and whole batches of
+//     active nodes are stepped by one kernel call whose inner loops read
+//     neighbor payload lanes directly — the flat per-agent step shape
+//     that SIMD (util/simd.h) accelerates.
+//
+// Selection is per ROUND, not per run: kAuto enters the vector path on
+// the first dense round (>= 50% of nodes sent, which covers every
+// broadcast_fast_path round) and stays on it while the kernel keeps
+// absorbing the traffic; kVector forces the vector path whenever the
+// algorithm has a kernel and the round shape permits; kScalar never
+// leaves the sparse path. A kernel may decline a round (can_step), in
+// which case its pending broadcasts are spilled back into scalar
+// envelopes — mixed-engine runs are a supported, tested configuration.
+//
+// Contract: every algorithm observable of a run — final colors,
+// RoundMetrics (including local_compute_ops), and checker violations —
+// is bit-identical between the two paths at every thread count, with
+// ONE carve-out: peak_active_nodes reports the nodes an engine actually
+// stepped, and the vector path's EAGER ingest style (see
+// DenseKernel::deliver) legitimately steps fewer nodes than the scalar
+// path — receivers whose step would be observationally a no-op are
+// skipped; that is where part of the speedup comes from. So
+// peak_active_nodes is engine-dependent by design, like the trace
+// timing fields. Trace records additionally say which engine
+// materialized each round (the engine/fast-path/timing fields are the
+// only other ones allowed to differ). The cross-engine fuzz
+// differential (check/fuzz.h) enforces this continuously.
+//
+// Resolution order for the engine kind (mirrors the thread-count knobs):
+// instance setting (Network::set_engine) > thread-local override
+// (RunScope, via set_engine_override) > process default
+// (set_default_engine / the DCOLOR_ENGINE environment variable) > kAuto.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcolor {
+
+enum class EngineKind : std::uint8_t {
+  kAuto = 0,   ///< per-round density heuristic (the default)
+  kScalar,     ///< always the sparse per-node path
+  kVector,     ///< dense kernel whenever the algorithm provides one
+};
+
+/// "auto" | "scalar" | "vector" -> EngineKind; throws CheckError else.
+EngineKind engine_from_string(const std::string& name);
+const char* engine_name(EngineKind kind) noexcept;
+
+/// Process-wide default engine (kAuto resets to the DCOLOR_ENGINE
+/// environment variable, or kAuto when unset).
+void set_default_engine(EngineKind kind) noexcept;
+EngineKind default_engine() noexcept;
+
+/// Thread-LOCAL override consulted between the instance setting and the
+/// process default; this is how a RunScope pins one batch job's engine
+/// without touching the process-wide knob. Returns the previous override
+/// so scopes can nest (kAuto clears it).
+EngineKind set_engine_override(EngineKind kind) noexcept;
+EngineKind engine_override() noexcept;
+
+/// Per-chunk output of a DenseKernel::step_batch call. Chunks cover
+/// contiguous ranges of the round's active vector; the engine commits
+/// them in chunk order, so the merged sender order — and with it every
+/// tally — is identical to a serial sweep at any thread count.
+struct DenseChunk {
+  std::vector<NodeId> senders;  ///< nodes that queued a broadcast, step order
+  std::int64_t msgs = 0;        ///< point-to-point messages those stand for
+  std::int64_t bits = 0;        ///< Σ degree(sender) · message bits
+  std::int64_t ops = 0;         ///< kernel-internal tally (algorithm use)
+  int max_bits = 0;             ///< widest single message queued
+
+  void clear() {
+    senders.clear();
+    msgs = bits = ops = 0;
+    max_bits = 0;
+  }
+};
+
+}  // namespace dcolor

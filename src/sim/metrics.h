@@ -12,7 +12,13 @@ struct RoundMetrics {
   std::int64_t executed_rounds = 0;   ///< rounds actually stepped by the
                                       ///< engine (the rest were
                                       ///< fast-forwarded as guaranteed no-ops)
-  std::int64_t peak_active_nodes = 0; ///< max nodes stepped in one round
+  std::int64_t peak_active_nodes = 0; ///< max nodes stepped in one round.
+                                      ///< Engine-dependent: the vector
+                                      ///< path's eager ingest skips no-op
+                                      ///< receiver steps, so this is the
+                                      ///< one field outside the
+                                      ///< cross-engine identity contract
+                                      ///< (sim/engine.h)
   int max_message_bits = 0;           ///< widest single message
   std::int64_t total_messages = 0;    ///< messages sent
   std::int64_t total_message_bits = 0;

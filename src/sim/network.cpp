@@ -67,6 +67,12 @@ int Network::set_thread_override(int threads) noexcept {
 
 int Network::thread_override() noexcept { return t_thread_override; }
 
+EngineKind Network::engine() const noexcept {
+  if (engine_ != EngineKind::kAuto) return engine_;
+  if (const EngineKind o = engine_override(); o != EngineKind::kAuto) return o;
+  return default_engine();
+}
+
 void Network::set_default_num_threads(int threads) noexcept {
   g_default_threads.store(threads > 0 ? threads : 0,
                           std::memory_order_relaxed);
@@ -230,13 +236,51 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
 
   const bool dense_all = always.size() == n;
 
+  // ---- Engine selection (see sim/engine.h) -----------------------------
+  // Sticky policy: the vector path is entered at a round boundary by
+  // absorbing the queued scalar sends into the algorithm's dense kernel —
+  // under kAuto only when the traffic is dense (>= half the nodes sent,
+  // which covers every broadcast-flood round), under kVector whenever the
+  // kernel accepts the shape. Once entered, rounds stay dense while the
+  // kernel keeps producing (its sends never return to the scalar buffer);
+  // a can_step() decline spills the pending broadcasts back and hands
+  // that round to the scalar path. Spilled/absorbed messages were already
+  // accounted when first queued and are never re-tallied.
+  DenseKernel* const kernel = algo.dense_kernel();
+  const EngineKind engine_kind = engine();
+  const bool vector_allowed =
+      kernel != nullptr && engine_kind != EngineKind::kScalar;
+  std::int64_t kernel_pending = 0;
+  // Latched after the first successful absorb: sparse rounds of an
+  // already-vectorized run (a thin color class between two dense sweeps)
+  // keep flowing through the kernel instead of bouncing the rest of the
+  // run back to the scalar path — kernel work per round is O(senders),
+  // so a thin round is cheap on either path and staying avoids the
+  // re-entry density gate.
+  bool dense_latched = false;
   // Lightweight phase profiling (DCOLOR_SIMPROF=1): per-run totals of the
-  // three per-round passes, printed to stderr. The clock reads cost a few
-  // tens of nanoseconds per round — noise next to any real round.
+  // per-round passes, printed to stderr. The clock reads cost a few tens
+  // of nanoseconds per round — noise next to any real round.
   using Clk = std::chrono::steady_clock;
   const bool simprof = std::getenv("DCOLOR_SIMPROF") != nullptr;
-  std::int64_t t_deliver = 0, t_active = 0, t_step = 0;
+  std::int64_t t_deliver = 0, t_active = 0, t_step = 0, t_absorb = 0;
   auto tick = [] { return Clk::now(); };
+  auto try_enter_dense = [&] {
+    if (!vector_allowed || to_deliver.empty()) return;
+    if (engine_kind != EngineKind::kVector && !dense_latched &&
+        to_deliver.size() * 2 < n)
+      return;
+    const auto ta = tick();
+    if (kernel->absorb(to_deliver)) {
+      dense_latched = true;
+      kernel_pending = kernel->pending_messages();
+      to_deliver.clear();
+    }
+    t_absorb += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    tick() - ta)
+                    .count();
+  };
+  try_enter_dense();
   // ---- Per-round scratch (allocated once, reused) ----------------------
   std::vector<Envelope> inbox_flat;
   std::vector<NodeId> touched, active, identity;
@@ -256,6 +300,7 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     std::int64_t bits = 0;
     std::int64_t step_ns = 0;  ///< this chunk's step wall (traced runs)
     int max_bits = 0;
+    DenseChunk dense;  ///< vector-path tallies (scalar path leaves it idle)
     std::exception_ptr error;
   };
   std::vector<ChunkState> chunks;
@@ -312,7 +357,8 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
 
   for (std::int64_t round = 1;; ++round) {
     // Start-of-round termination test — O(1) instead of two O(n) scans.
-    if (done_count == static_cast<std::int64_t>(n) && to_deliver.empty())
+    if (done_count == static_cast<std::int64_t>(n) && to_deliver.empty() &&
+        kernel_pending == 0)
       break;
 
     // Fast-forward: with no messages in flight and no dense nodes, every
@@ -321,7 +367,7 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     // just not materialized. An empty wake queue here is a stalled
     // execution — the dense engine would spin no-op rounds into the cap,
     // so report the same overrun.
-    if (to_deliver.empty() && always.empty()) {
+    if (to_deliver.empty() && kernel_pending == 0 && always.empty()) {
       auto b = static_cast<std::size_t>(round);
       while (b < wake_buckets.size() && wake_buckets[b].empty()) ++b;
       round = b < wake_buckets.size() ? static_cast<std::int64_t>(b)
@@ -330,17 +376,34 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     DCOLOR_CHECK_MSG(round <= max_rounds,
                      "algorithm exceeded max_rounds=" << max_rounds);
 
+    // A kernel that cannot represent this round's shape hands its pending
+    // broadcasts back to the scalar path (content and order identical to
+    // the scalar buffer it absorbed from).
+    bool dense_round = kernel_pending > 0;
+    if (dense_round && !kernel->can_step(round)) {
+      kernel->spill(to_deliver);
+      kernel_pending = 0;
+      dense_round = false;
+    }
+
     // ---- Deliver: regroup last round's sends by destination (CSR) ----
     auto t0 = tick();
     touched.clear();
     std::size_t expanded = 0;
+    bool graph_shaped = false;
+    if (dense_round) {
+      // Vector path: no Envelope is materialized — the kernel retires its
+      // pending broadcasts into readable payload lanes and reports the
+      // receivers (deduplicated, first-message order) for the active set.
+      kernel->deliver(round, touched);
+    } else {
     // Fast path for fully dense broadcast rounds (every node broadcast
     // exactly once — the shape of the polynomial color reductions): the
     // inbox layout IS the graph's CSR, so per-node counts/offsets are a
     // sequential fill instead of one random-access increment per
     // delivered message. Detecting the shape is one sequential scan over
     // the (much shorter) outgoing list.
-    bool graph_shaped = to_deliver.size() == n;
+    graph_shaped = to_deliver.size() == n;
     for (std::size_t i = 0; graph_shaped && i < to_deliver.size(); ++i) {
       graph_shaped = to_deliver[i].to == Mailbox::kBroadcastTo &&
                      to_deliver[i].from == static_cast<NodeId>(i);
@@ -425,6 +488,7 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
       }
     }
     to_deliver.clear();
+    }
     auto t1 = tick();
 
     // ---- Active set: inbox owners ∪ due wake-ups ∪ dense nodes ----
@@ -472,7 +536,92 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     const std::int64_t msgs_before_step = metrics.total_messages;
     const std::int64_t bits_before_step = metrics.total_message_bits;
     bool chunked = false;
-    if (threads > 1 && n_active >= kMinParallelActive) {
+    if (dense_round) {
+      // Vector path: chunks call the kernel's batch step over the SAME
+      // contiguous ranges of the active vector the scalar path would
+      // iterate; done/hook bookkeeping runs per chunk exactly like
+      // step_range's tail (node-local state + chunk-local sinks only).
+      // Sender lists are committed in chunk order after the barrier, so
+      // the kernel's pending-sender order — and with it next round's
+      // delivery — is identical to a serial sweep at any thread count.
+      auto post_step = [&](std::size_t lo, std::size_t hi,
+                           std::vector<WakeEntry>& wake_sink,
+                           std::vector<NodeId>& promote_sink,
+                           std::int64_t& done_delta) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const NodeId v = (*act)[i];
+          NodeRt& r = rt[static_cast<std::size_t>(v)];
+          if (r.done == 0 && algo.done(v)) {
+            r.done = 1;
+            ++done_delta;
+          }
+          if (r.always == 0 && r.wake_round <= round) {
+            query_hook(v, round, wake_sink, promote_sink);
+          }
+        }
+      };
+      auto merge_dense = [&](ChunkState& cs) {
+        kernel->commit_senders(cs.dense.senders);
+        for (const WakeEntry& e : cs.wakes) register_wake(e);
+        for (const NodeId v : cs.promote) {
+          rt[static_cast<std::size_t>(v)].always = 1;
+          always.insert(std::lower_bound(always.begin(), always.end(), v),
+                        v);
+        }
+        done_count += cs.done_delta;
+        metrics.total_messages += cs.dense.msgs;
+        metrics.total_message_bits += cs.dense.bits;
+        metrics.max_message_bits =
+            std::max(metrics.max_message_bits, cs.dense.max_bits);
+      };
+      if (threads > 1 && n_active >= kMinParallelActive) {
+        chunked = true;
+        if (!pool_ || pool_->threads() != threads) {
+          pool_ = std::make_unique<detail::SimThreadPool>(threads);
+        }
+        const int n_chunks = threads;
+        chunks.resize(static_cast<std::size_t>(n_chunks));
+        pool_->run(n_chunks, [&](int c) {
+          ChunkState& cs = chunks[static_cast<std::size_t>(c)];
+          cs.wakes.clear();
+          cs.promote.clear();
+          cs.done_delta = 0;
+          cs.step_ns = 0;
+          cs.dense.clear();
+          cs.error = nullptr;
+          const std::size_t lo = n_active * static_cast<std::size_t>(c) /
+                                 static_cast<std::size_t>(n_chunks);
+          const std::size_t hi =
+              n_active * (static_cast<std::size_t>(c) + 1) /
+              static_cast<std::size_t>(n_chunks);
+          const auto c0 = tracer != nullptr ? tick() : Clk::time_point{};
+          try {
+            kernel->step_batch(round, *act, lo, hi, message_bit_cap,
+                               cs.dense);
+            post_step(lo, hi, cs.wakes, cs.promote, cs.done_delta);
+          } catch (...) {
+            cs.error = std::current_exception();
+          }
+          if (tracer != nullptr) cs.step_ns = (tick() - c0).count();
+        });
+        for (const ChunkState& cs : chunks) {
+          if (cs.error) std::rethrow_exception(cs.error);
+        }
+        for (ChunkState& cs : chunks) merge_dense(cs);
+      } else {
+        if (chunks.empty()) chunks.resize(1);
+        ChunkState& cs = chunks.front();
+        cs.wakes.clear();
+        cs.promote.clear();
+        cs.done_delta = 0;
+        cs.dense.clear();
+        kernel->step_batch(round, *act, 0, n_active, message_bit_cap,
+                           cs.dense);
+        post_step(0, n_active, cs.wakes, cs.promote, cs.done_delta);
+        merge_dense(cs);
+      }
+      kernel_pending = kernel->pending_messages();
+    } else if (threads > 1 && n_active >= kMinParallelActive) {
       chunked = true;
       if (!pool_ || pool_->threads() != threads) {
         pool_ = std::make_unique<detail::SimThreadPool>(threads);
@@ -575,6 +724,7 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
       rec.sent_messages = sent_msgs;
       rec.sent_bits = sent_bits;
       rec.broadcast_fast_path = graph_shaped;
+      rec.engine = dense_round ? EngineKind::kVector : EngineKind::kScalar;
       rec.ts_ns = tracer->to_trace_ns(t0.time_since_epoch().count());
       rec.wall_ns = (t3 - t0).count();
       rec.step_ns = (t3 - t2).count();
@@ -593,14 +743,17 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     pending_bits = sent_bits;
     prev_materialized = round;
     to_deliver.swap(sent);
+    try_enter_dense();
   }
   if (tracer != nullptr) tracer->on_run_end(metrics.rounds);
   if (simprof) {
     std::fprintf(
-        stderr, "[simprof] deliver=%lldms active=%lldms step=%lldms\n",
+        stderr,
+        "[simprof] deliver=%lldms active=%lldms step=%lldms absorb=%lldms\n",
         static_cast<long long>(t_deliver / 1000000),
         static_cast<long long>(t_active / 1000000),
-        static_cast<long long>(t_step / 1000000));
+        static_cast<long long>(t_step / 1000000),
+        static_cast<long long>(t_absorb / 1000000));
   }
   return metrics;
 }

@@ -33,10 +33,13 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/engine.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 
 namespace dcolor {
+
+class DenseKernel;
 
 /// Interface a node uses inside one round: read this round's inbox and
 /// queue messages for delivery next round.
@@ -143,6 +146,88 @@ class SyncAlgorithm {
     (void)after_round;
     return kEveryRound;
   }
+
+  /// Dense-round kernel of this algorithm, or null when it only supports
+  /// the scalar path (the default). The returned object is typically the
+  /// algorithm itself; it must stay valid for the whole run. See
+  /// sim/engine.h for the selection policy and the bit-identity contract.
+  virtual DenseKernel* dense_kernel() { return nullptr; }
+};
+
+/// The dense-round seam a broadcast-shaped algorithm implements to opt
+/// into the vector engine. The kernel owns the pending-broadcast state in
+/// SoA payload lanes; the engine keeps ownership of scheduling (active
+/// sets, wake-ups, done transitions, termination) and of all accounting
+/// merges. Obligations, enforced by the cross-engine fuzz differential:
+///
+///   * state transitions must be bit-identical to SyncAlgorithm::step,
+///     including algorithm-side tallies like compute-op counts;
+///   * reported per-chunk tallies (DenseChunk) must match what the
+///     scalar path's account pass would have produced for the same
+///     sends: a broadcast from v counts degree(v) messages and
+///     degree(v) · bits traffic, and broadcasts from isolated nodes are
+///     not queued at all;
+///   * step_batch must be thread-safe for disjoint active ranges (write
+///     only node-local lanes of the stepped nodes plus the chunk).
+class DenseKernel {
+ public:
+  virtual ~DenseKernel() = default;
+
+  /// Takes ownership of queued scalar sends (the engine's to_deliver
+  /// buffer at a round boundary) as pending dense broadcasts. Returns
+  /// false — leaving the kernel's pending state EMPTY and the buffer
+  /// untouched — when any entry is not representable (non-broadcast, or
+  /// an unknown message shape); the engine then stays scalar.
+  virtual bool absorb(std::span<const Mailbox::Outgoing> queued) = 0;
+
+  /// Inverse of absorb: re-materializes all pending broadcasts as scalar
+  /// Outgoing entries (identical message content and declared widths, in
+  /// pending-sender order) and clears the pending state. Used when the
+  /// engine hands a round back to the scalar path.
+  virtual void spill(std::vector<Mailbox::Outgoing>& sink) = 0;
+
+  /// Point-to-point messages the pending broadcasts stand for
+  /// (Σ degree(sender)); 0 means nothing is in flight.
+  virtual std::int64_t pending_messages() const = 0;
+
+  /// May this round be stepped densely? Kernels that cannot represent
+  /// some round shape decline here and the engine spills + falls back
+  /// for that round. Default: every round.
+  virtual bool can_step(std::int64_t round) const {
+    (void)round;
+    return true;
+  }
+
+  /// Delivery for `round`: retire the pending broadcasts. Runs serially,
+  /// strictly before any step_batch of the round. The kernel chooses
+  /// between two ingestion styles:
+  ///   * LAZY — stamp the payloads readable and append every receiver to
+  ///     `touched` (deduplicated); receivers then ingest inside their
+  ///     step_batch call.
+  ///   * EAGER — apply the receivers' state updates right here
+  ///     (sender-side scatter) and append only the receivers that still
+  ///     need a step. A receiver may be omitted ONLY when skipping its
+  ///     step is observationally equivalent to the scalar path stepping
+  ///     it: no send, no done() transition, and no wake-up re-query
+  ///     (wake_round > round) can result from the ingest alone. Omitted
+  ///     receivers shrink metrics.peak_active_nodes relative to the
+  ///     scalar path — the one RoundMetrics field the engine contract
+  ///     (sim/engine.h) exempts from cross-engine identity.
+  /// Nodes with a due wake-up are stepped regardless of `touched`.
+  virtual void deliver(std::int64_t round, std::vector<NodeId>& touched) = 0;
+
+  /// Step nodes active[lo..hi) for `round`: read payloads retired by
+  /// deliver(round, ...), queue new pending broadcasts into node-local
+  /// lanes, record senders/tallies into `chunk`. `message_bit_cap` > 0
+  /// enforces the CONGEST cap exactly like the scalar account pass.
+  virtual void step_batch(std::int64_t round, std::span<const NodeId> active,
+                          std::size_t lo, std::size_t hi, int message_bit_cap,
+                          DenseChunk& chunk) = 0;
+
+  /// Called after all chunks of a round, in chunk order, with each
+  /// chunk's sender list: the kernel appends them to its pending-sender
+  /// order (identical to a serial sweep at any thread count).
+  virtual void commit_senders(std::span<const NodeId> senders) = 0;
 };
 
 namespace detail {
@@ -194,9 +279,17 @@ class Network {
   static int set_thread_override(int threads) noexcept;
   static int thread_override() noexcept;
 
+  /// Per-instance engine selection (kAuto = fall through to the
+  /// thread-local override, then the process default — see engine.h).
+  void set_engine(EngineKind kind) noexcept { engine_ = kind; }
+
+  /// Engine this instance will select rounds with.
+  EngineKind engine() const noexcept;
+
  private:
   const Graph* graph_;
   int num_threads_ = 0;  ///< 0 = use process default
+  EngineKind engine_ = EngineKind::kAuto;  ///< kAuto = inherit
   std::unique_ptr<detail::SimThreadPool> pool_;
 };
 

@@ -261,6 +261,8 @@ class JsonlSink final : public TraceSink {
     append_key_int(buf_, "sbits", r.sent_bits);
     buf_.push_back(',');
     append_key_int(buf_, "bfast", r.broadcast_fast_path ? 1 : 0);
+    buf_.append(",\"engine\":");
+    append_quoted(buf_, engine_name(r.engine));
     buf_.append(",\"t\":{");
     append_key_int(buf_, "ts_ns", r.ts_ns);
     buf_.push_back(',');
@@ -348,6 +350,8 @@ class ChromeSink final : public TraceSink {
     append_key_int(buf_, "dbits", r.delivered_bits);
     buf_.push_back(',');
     append_key_int(buf_, "bfast", r.broadcast_fast_path ? 1 : 0);
+    buf_.append(",\"engine\":");
+    append_quoted(buf_, engine_name(r.engine));
     buf_.append("}}");
     os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
     // Chunk rows: step-pass slice per pool chunk, laid out from the step

@@ -42,6 +42,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/engine.h"
+
 namespace dcolor {
 
 /// Deterministic aggregate a span (or the whole trace) accumulates.
@@ -78,6 +80,10 @@ struct TraceRound {
   std::int64_t sent_messages = 0;  ///< queued this round, delivered next
   std::int64_t sent_bits = 0;
   bool broadcast_fast_path = false;  ///< graph-shaped CSR delivery fired
+  /// Which execution path materialized this round (kScalar or kVector —
+  /// never kAuto; under --engine=auto this records the per-round density
+  /// decision, making the heuristic observable).
+  EngineKind engine = EngineKind::kScalar;
 
   // ---- timing (excluded from record identity) ------------------------
   std::int64_t ts_ns = 0;    ///< round start, ns since tracer creation

@@ -1,0 +1,250 @@
+#include "util/simd.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/check.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define DCOLOR_SIMD_X86 1
+#include <cpuid.h>
+#include <immintrin.h>
+#else
+#define DCOLOR_SIMD_X86 0
+#endif
+
+namespace dcolor::simd {
+
+namespace {
+
+#if DCOLOR_SIMD_X86
+bool cpu_has_avx2() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_max(0, nullptr) < 7) return false;
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  return (ebx & bit_AVX2) != 0;
+}
+#endif
+
+SimdLevel detect_level() {
+  const char* s = std::getenv("DCOLOR_SIMD");
+  const std::string v = s != nullptr ? s : "auto";
+  if (v == "off" || v == "generic") return SimdLevel::kGeneric;
+#if DCOLOR_SIMD_X86
+  if (v == "avx2") {
+    DCOLOR_CHECK_MSG(cpu_has_avx2(), "DCOLOR_SIMD=avx2 but CPU lacks AVX2");
+    return SimdLevel::kAvx2;
+  }
+  DCOLOR_CHECK_MSG(v == "auto" || v.empty(),
+                   "DCOLOR_SIMD must be auto|off|generic|avx2, got \"" << v
+                                                                      << "\"");
+  return cpu_has_avx2() ? SimdLevel::kAvx2 : SimdLevel::kGeneric;
+#else
+  DCOLOR_CHECK_MSG(v == "auto" || v.empty(),
+                   "DCOLOR_SIMD=" << v << " unsupported on this architecture");
+  return SimdLevel::kGeneric;
+#endif
+}
+
+// ---- portable paths ---------------------------------------------------
+// Branch-free inner loops over plain arrays: auto-vectorizable, and the
+// reference semantics the AVX2 paths must reproduce exactly.
+
+std::size_t lower_bound_generic(const std::int64_t* a, std::size_t n,
+                                std::int64_t x) noexcept {
+  // Sorted input: the number of elements below x IS the lower bound.
+  // Counting compares branch-free beats binary search for the short
+  // palette lists the kernels probe; long arrays take std::lower_bound.
+  if (n > 64) {
+    return static_cast<std::size_t>(std::lower_bound(a, a + n, x) - a);
+  }
+  std::size_t before = 0;
+  for (std::size_t i = 0; i < n; ++i) before += a[i] < x ? 1 : 0;
+  return before;
+}
+
+std::size_t find_first_eq_generic(const std::int64_t* a, std::size_t n,
+                                  std::int64_t x) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == x) return i;
+  }
+  return n;
+}
+
+/// Exact a mod k for integers held in doubles (a < 2^53, 2 <= k < 2^25):
+/// the rounded quotient is within 3/4 of a/k, so a - q*k lands in
+/// (-k, k) and one conditional add recovers the representative in [0, k).
+inline double mod_exact(double a, double k, double inv_k) noexcept {
+  double q = a * inv_k;
+  // round-to-nearest without <cmath> (keeps the loop vectorizable):
+  // adding and subtracting 2^52 snaps a non-negative double below 2^51
+  // to the nearest integer under the default rounding mode.
+  constexpr double kSnap = 4503599627370496.0;  // 2^52
+  q = (q + kSnap) - kSnap;
+  double r = a - q * k;
+  r += r < 0.0 ? k : 0.0;
+  return r;
+}
+
+std::int64_t count_eval_eq_generic(const std::int32_t* digits,
+                                   std::size_t rows, int nc, std::uint32_t k,
+                                   std::uint32_t x,
+                                   std::uint32_t target) noexcept {
+  const double kd = static_cast<double>(k);
+  const double inv_k = 1.0 / kd;
+  const double xd = static_cast<double>(x);
+  const double td = static_cast<double>(target);
+  std::int64_t count = 0;
+  for (std::size_t j = 0; j < rows; ++j) {
+    double acc = 0.0;
+    for (int i = nc - 1; i >= 0; --i) {
+      acc = mod_exact(
+          acc * xd +
+              static_cast<double>(digits[static_cast<std::size_t>(i) * rows +
+                                         j]),
+          kd, inv_k);
+    }
+    count += acc == td ? 1 : 0;
+  }
+  return count;
+}
+
+// ---- AVX2 paths -------------------------------------------------------
+// Compiled with per-function target attributes so the translation unit
+// builds without -mavx2; only entered behind the runtime CPUID check.
+
+#if DCOLOR_SIMD_X86
+
+__attribute__((target("avx2"))) std::size_t lower_bound_avx2(
+    const std::int64_t* a, std::size_t n, std::int64_t x) noexcept {
+  if (n > 64) {
+    return static_cast<std::size_t>(std::lower_bound(a, a + n, x) - a);
+  }
+  const __m256i vx = _mm256_set1_epi64x(x);
+  std::size_t before = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    // a[i] < x  <=>  x > a[i]
+    const int mask =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(vx, va)));
+    before += static_cast<std::size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+  }
+  for (; i < n; ++i) before += a[i] < x ? 1 : 0;
+  return before;
+}
+
+__attribute__((target("avx2"))) std::size_t find_first_eq_avx2(
+    const std::int64_t* a, std::size_t n, std::int64_t x) noexcept {
+  const __m256i vx = _mm256_set1_epi64x(x);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const int mask =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vx)));
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] == x) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) std::int64_t count_eval_eq_avx2(
+    const std::int32_t* digits, std::size_t rows, int nc, std::uint32_t k,
+    std::uint32_t x, std::uint32_t target) noexcept {
+  const __m256d vk = _mm256_set1_pd(static_cast<double>(k));
+  const __m256d vinv_k = _mm256_set1_pd(1.0 / static_cast<double>(k));
+  const __m256d vx = _mm256_set1_pd(static_cast<double>(x));
+  const __m256d vt = _mm256_set1_pd(static_cast<double>(target));
+  const __m256d vzero = _mm256_setzero_pd();
+  std::int64_t count = 0;
+  std::size_t j = 0;
+  for (; j + 4 <= rows; j += 4) {
+    __m256d acc = vzero;
+    for (int i = nc - 1; i >= 0; --i) {
+      // Four rows' digit i: contiguous in the transposed layout.
+      const __m128i d32 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          digits + static_cast<std::size_t>(i) * rows + j));
+      const __m256d d = _mm256_cvtepi32_pd(d32);
+      acc = _mm256_add_pd(_mm256_mul_pd(acc, vx), d);
+      // Exact remainder (see mod_exact): acc - round(acc/k)*k, one
+      // conditional +k. All intermediates are integers below 2^50.
+      __m256d q = _mm256_mul_pd(acc, vinv_k);
+      q = _mm256_round_pd(q, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+      acc = _mm256_sub_pd(acc, _mm256_mul_pd(q, vk));
+      const __m256d neg = _mm256_cmp_pd(acc, vzero, _CMP_LT_OQ);
+      acc = _mm256_add_pd(acc, _mm256_and_pd(neg, vk));
+    }
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(acc, vt, _CMP_EQ_OQ));
+    count += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  if (j < rows) {
+    // Tail rows through the scalar path (identical arithmetic).
+    const double kd = static_cast<double>(k);
+    const double inv_k = 1.0 / kd;
+    for (; j < rows; ++j) {
+      double acc = 0.0;
+      for (int i = nc - 1; i >= 0; --i) {
+        acc = mod_exact(
+            acc * static_cast<double>(x) +
+                static_cast<double>(
+                    digits[static_cast<std::size_t>(i) * rows + j]),
+            kd, inv_k);
+      }
+      count += acc == static_cast<double>(target) ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+#endif  // DCOLOR_SIMD_X86
+
+}  // namespace
+
+SimdLevel active_level() {
+  static const SimdLevel level = detect_level();
+  return level;
+}
+
+const char* level_name(SimdLevel level) noexcept {
+  return level == SimdLevel::kAvx2 ? "avx2" : "generic";
+}
+
+std::size_t lower_bound_i64(const std::int64_t* a, std::size_t n,
+                            std::int64_t x) noexcept {
+#if DCOLOR_SIMD_X86
+  if (active_level() == SimdLevel::kAvx2) return lower_bound_avx2(a, n, x);
+#endif
+  return lower_bound_generic(a, n, x);
+}
+
+std::size_t find_first_eq_i64(const std::int64_t* a, std::size_t n,
+                              std::int64_t x) noexcept {
+#if DCOLOR_SIMD_X86
+  if (active_level() == SimdLevel::kAvx2) return find_first_eq_avx2(a, n, x);
+#endif
+  return find_first_eq_generic(a, n, x);
+}
+
+std::int64_t count_eval_eq(const std::int32_t* digits, std::size_t rows,
+                           int nc, std::uint32_t k, std::uint32_t x,
+                           std::uint32_t target) noexcept {
+#if DCOLOR_SIMD_X86
+  if (active_level() == SimdLevel::kAvx2) {
+    return count_eval_eq_avx2(digits, rows, nc, k, x, target);
+  }
+#endif
+  return count_eval_eq_generic(digits, rows, nc, k, x, target);
+}
+
+}  // namespace dcolor::simd

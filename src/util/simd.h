@@ -1,0 +1,64 @@
+// Runtime-dispatched SIMD primitives for the dense-round kernels.
+//
+// Every primitive here has two implementations selected once per process:
+//   * a PORTABLE fallback — plain scalar C++ written so the compiler can
+//     auto-vectorize it on any target (and which any target can run);
+//   * an AVX2 path compiled with a per-function target attribute (no
+//     global -mavx2 build flag), entered only when CPUID reports AVX2 at
+//     runtime.
+//
+// Selection: the DCOLOR_SIMD environment variable pins the level
+// ("off"/"generic" force the portable path, "avx2" requires the AVX2
+// path and throws when the CPU lacks it, "auto"/unset detects). Both
+// paths are EXACT — integer results never depend on the level — so the
+// engine's bit-identity contract (sim/engine.h) is preserved; tests run
+// each primitive under both levels against a reference.
+//
+// The GF(k) evaluation uses double-precision modular arithmetic: for
+// k < 2^25 every Horner intermediate acc·x + d is below 2^50 < 2^53 and
+// therefore exact in a double, and the remainder is recovered exactly
+// from the rounded quotient with one conditional fix-up. Callers gate on
+// `gf_eval_supported(k)` and keep the 128-bit scalar path otherwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcolor::simd {
+
+enum class SimdLevel : std::uint8_t {
+  kGeneric = 0,  ///< portable fallback
+  kAvx2,         ///< AVX2 intrinsics (x86-64, runtime-detected)
+};
+
+/// The level every primitive dispatches to (cached; consults DCOLOR_SIMD
+/// on first use, then CPUID). Throws CheckError on a malformed
+/// DCOLOR_SIMD value — strict like the other DCOLOR_* knobs.
+SimdLevel active_level();
+
+const char* level_name(SimdLevel level) noexcept;
+
+/// First index i in the ascending array a[0..n) with a[i] >= x (n when
+/// none) — identical to std::lower_bound(a, a+n, x) - a.
+std::size_t lower_bound_i64(const std::int64_t* a, std::size_t n,
+                            std::int64_t x) noexcept;
+
+/// First index i in a[0..n) with a[i] == x, n when none.
+std::size_t find_first_eq_i64(const std::int64_t* a, std::size_t n,
+                              std::int64_t x) noexcept;
+
+/// True when the exact double-precision GF(k) evaluation applies.
+constexpr bool gf_eval_supported(std::uint64_t k) noexcept {
+  return k >= 2 && k < (std::uint64_t{1} << 25);
+}
+
+/// Count rows j in [0, rows) whose degree-(nc-1) polynomial evaluates to
+/// `target` at point `x` over GF(k). `digits` is the TRANSPOSED digit
+/// matrix: digit i of row j lives at digits[i*rows + j]; all digits are
+/// in [0, k). Requires gf_eval_supported(k), x < k, target < k, nc >= 1.
+/// Bit-identical to calling eval_digits (util/gf.h) per row.
+std::int64_t count_eval_eq(const std::int32_t* digits, std::size_t rows,
+                           int nc, std::uint32_t k, std::uint32_t x,
+                           std::uint32_t target) noexcept;
+
+}  // namespace dcolor::simd

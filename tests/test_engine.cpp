@@ -1,0 +1,394 @@
+// Dense-round engine tests (`ctest -L engine`): the bit-identity
+// contract of sim/engine.h and its selection knobs.
+//
+//   * forced kVector == forced kScalar == kAuto — colors AND the full
+//     RoundMetrics — at every thread count, for the Two-Sweep program,
+//     the whole Fast-Two-Sweep pipeline, and dense (clique-chain)
+//     graphs;
+//   * forced kVector on sparse-round instances (the kernel declines /
+//     spills and the scalar path finishes the round) stays identical;
+//   * threshold-straddling runs under kAuto really are mixed-engine:
+//     the per-round trace records carry both engine labels, and a
+//     forced-scalar run carries only "scalar";
+//   * fast-forwarded quiet stretches (rounds > executed_rounds) don't
+//     perturb cross-engine identity;
+//   * the knob plumbing: engine_from_string/engine_name, the
+//     default/override resolution order, RunScope installing
+//     RunContext::engine as the thread-local override, Network's
+//     per-instance setting, and the batch runner's `sim_engine` key;
+//   * the SIMD primitives (util/simd.h) against scalar references —
+//     the `engine_portable_fallback` ctest entry re-runs this whole
+//     binary under DCOLOR_SIMD=off to pin the portable path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fast_two_sweep.h"
+#include "core/instance.h"
+#include "core/solver_registry.h"
+#include "core/two_sweep.h"
+#include "graph/generators.h"
+#include "sim/batch_runner.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+#include "util/check.h"
+#include "util/gf.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+#include "test_harness.h"
+
+namespace dcolor {
+namespace {
+
+/// Sets the process-default engine for the enclosing scope (the knob the
+/// direct pipeline entry points resolve to when no override is active).
+class ScopedDefaultEngine {
+ public:
+  explicit ScopedDefaultEngine(EngineKind kind) : saved_(default_engine()) {
+    set_default_engine(kind);
+  }
+  ~ScopedDefaultEngine() { set_default_engine(saved_); }
+
+  ScopedDefaultEngine(const ScopedDefaultEngine&) = delete;
+  ScopedDefaultEngine& operator=(const ScopedDefaultEngine&) = delete;
+
+ private:
+  EngineKind saved_;
+};
+
+OldcInstance uniform_instance(const Graph& g, Rng& rng) {
+  Orientation o = Orientation::by_id(g);
+  const int d = o.beta();
+  return random_uniform_oldc(g, std::move(o), 40, 10, d, rng);
+}
+
+std::vector<Color> identity_coloring(NodeId n) {
+  std::vector<Color> ids(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  return ids;
+}
+
+// ---- knob plumbing ------------------------------------------------------
+
+TEST(Engine, NameRoundTrip) {
+  EXPECT_EQ(engine_from_string("auto"), EngineKind::kAuto);
+  EXPECT_EQ(engine_from_string("scalar"), EngineKind::kScalar);
+  EXPECT_EQ(engine_from_string("vector"), EngineKind::kVector);
+  EXPECT_STREQ(engine_name(EngineKind::kAuto), "auto");
+  EXPECT_STREQ(engine_name(EngineKind::kScalar), "scalar");
+  EXPECT_STREQ(engine_name(EngineKind::kVector), "vector");
+  EXPECT_THROW(engine_from_string("simd"), CheckError);
+  EXPECT_THROW(engine_from_string(""), CheckError);
+}
+
+TEST(Engine, OverrideBeatsDefaultAndRestores) {
+  const ScopedDefaultEngine def(EngineKind::kScalar);
+  Rng rng(3);
+  const Graph g = random_near_regular(40, 4, rng);
+  Network net(g);
+  EXPECT_EQ(net.engine(), EngineKind::kScalar);  // falls to the default
+
+  const EngineKind prev = set_engine_override(EngineKind::kVector);
+  EXPECT_EQ(prev, EngineKind::kAuto);
+  EXPECT_EQ(net.engine(), EngineKind::kVector);  // override wins
+
+  net.set_engine(EngineKind::kScalar);
+  EXPECT_EQ(net.engine(), EngineKind::kScalar);  // instance wins over all
+
+  set_engine_override(prev);  // kAuto clears
+  EXPECT_EQ(engine_override(), EngineKind::kAuto);
+}
+
+TEST(Engine, RunScopeInstallsContextEngine) {
+  RunContext ctx;
+  ctx.engine = EngineKind::kVector;
+  EXPECT_EQ(engine_override(), EngineKind::kAuto);
+  {
+    const RunScope scope(ctx);
+    EXPECT_EQ(engine_override(), EngineKind::kVector);
+  }
+  EXPECT_EQ(engine_override(), EngineKind::kAuto);
+}
+
+TEST(Engine, RegistrySolversDeclareDenseKernels) {
+  const SolverRegistry& registry = SolverRegistry::get();
+  const SolverCapabilities ts = registry.require("two_sweep").capabilities();
+  EXPECT_TRUE(ts.dense_kernel);
+  EXPECT_NE(ts.summary().find("dense"), std::string::npos);
+  const SolverCapabilities fts =
+      registry.require("fast_two_sweep").capabilities();
+  EXPECT_TRUE(fts.dense_kernel);
+}
+
+// ---- bit-identity across engines ---------------------------------------
+
+TEST(Engine, FastTwoSweepIdenticalAcrossEnginesAndThreads) {
+  Rng rng(1800);
+  const NodeId n = 2000;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  ColoringResult baseline;
+  {
+    ScopedDefaultThreads t(1);
+    const ScopedDefaultEngine e(EngineKind::kScalar);
+    baseline = fast_two_sweep(inst, ids, n, 2, 0.5);
+  }
+  ASSERT_TRUE(validate_oldc(inst, baseline.colors));
+  // The quiet stretches between Two-Sweep turns fast-forward; the
+  // cross-engine comparison below therefore also covers empty active
+  // sets after a fast-forward.
+  ASSERT_GT(baseline.metrics.rounds, baseline.metrics.executed_rounds);
+
+  for (const EngineKind ek :
+       {EngineKind::kScalar, EngineKind::kVector, EngineKind::kAuto}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      ScopedDefaultThreads t(threads);
+      const ScopedDefaultEngine e(ek);
+      const ColoringResult run = fast_two_sweep(inst, ids, n, 2, 0.5);
+      EXPECT_EQ(run.colors, baseline.colors)
+          << "engine=" << engine_name(ek) << " threads=" << threads;
+      expect_metrics_eq_cross_engine(run.metrics, baseline.metrics);
+    }
+  }
+}
+
+TEST(Engine, TwoSweepPerInstanceEngineSetting) {
+  Rng rng(77);
+  const NodeId n = 600;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  std::vector<Color> scalar_colors;
+  RoundMetrics scalar_metrics;
+  for (const EngineKind ek :
+       {EngineKind::kScalar, EngineKind::kVector, EngineKind::kAuto}) {
+    TwoSweepProgram program(inst, ids, n, 2);
+    Network net(*inst.graph);
+    net.set_engine(ek);
+    const RoundMetrics m = net.run(program, 2 * n + 4);
+    const std::vector<Color> colors = program.final_colors();
+    if (ek == EngineKind::kScalar) {
+      scalar_colors = colors;
+      scalar_metrics = m;
+      continue;
+    }
+    EXPECT_EQ(colors, scalar_colors) << "engine=" << engine_name(ek);
+    expect_metrics_eq_cross_engine(m, scalar_metrics);
+  }
+}
+
+TEST(Engine, DenseAllCliqueChainIdentical) {
+  // Clique chains keep every round dense (each node hears from almost
+  // all neighbors every turn) — the shape the vector path was built for.
+  const Graph g = clique_chain(24, 12);
+  Rng rng(11);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const NodeId n = g.num_nodes();
+  const std::vector<Color> ids = identity_coloring(n);
+
+  ColoringResult scalar;
+  {
+    const ScopedDefaultEngine e(EngineKind::kScalar);
+    scalar = fast_two_sweep(inst, ids, n, 2, 0.5);
+  }
+  ASSERT_TRUE(validate_oldc(inst, scalar.colors));
+  for (const EngineKind ek : {EngineKind::kVector, EngineKind::kAuto}) {
+    const ScopedDefaultEngine e(ek);
+    const ColoringResult run = fast_two_sweep(inst, ids, n, 2, 0.5);
+    EXPECT_EQ(run.colors, scalar.colors) << "engine=" << engine_name(ek);
+    expect_metrics_eq_cross_engine(run.metrics, scalar.metrics);
+  }
+}
+
+TEST(Engine, ForcedVectorOnSparseRoundsIdentical) {
+  // Trees and cycles make Two-Sweep's turn rounds sparse (one color
+  // class sends per round, most rounds nearly empty). Forcing kVector
+  // here exercises the decline/spill path: the kernel hands the
+  // non-dense rounds back to the scalar loop, and the result must not
+  // change.
+  Rng rng(5);
+  for (const Graph& g : {random_tree(300, rng), cycle(128)}) {
+    Rng irng(9);
+    const OldcInstance inst = uniform_instance(g, irng);
+    const NodeId n = g.num_nodes();
+    const std::vector<Color> ids = identity_coloring(n);
+
+    ColoringResult scalar;
+    {
+      const ScopedDefaultEngine e(EngineKind::kScalar);
+      scalar = fast_two_sweep(inst, ids, n, 2, 0.5);
+    }
+    ASSERT_TRUE(validate_oldc(inst, scalar.colors));
+    {
+      const ScopedDefaultEngine e(EngineKind::kVector);
+      const ColoringResult vec = fast_two_sweep(inst, ids, n, 2, 0.5);
+      EXPECT_EQ(vec.colors, scalar.colors);
+      expect_metrics_eq_cross_engine(vec.metrics, scalar.metrics);
+    }
+  }
+}
+
+// ---- trace labeling -----------------------------------------------------
+
+/// Runs the pipeline with a JSONL trace sink and returns how many round
+/// records carry each engine label.
+struct EngineRoundCounts {
+  std::int64_t scalar = 0;
+  std::int64_t vector = 0;
+};
+EngineRoundCounts traced_engine_counts(const OldcInstance& inst,
+                                       const std::vector<Color>& ids,
+                                       NodeId n, EngineKind engine) {
+  const ScopedDefaultEngine e(engine);
+  std::ostringstream trace;
+  {
+    Tracer tracer;
+    tracer.add_sink(make_jsonl_trace_sink(trace));
+    tracer.install();
+    fast_two_sweep(inst, ids, n, 2, 0.5);
+    tracer.finish();
+  }
+  EngineRoundCounts counts;
+  std::istringstream is(trace.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"type\":\"round\"") == std::string::npos) continue;
+    if (line.find("\"engine\":\"scalar\"") != std::string::npos) {
+      ++counts.scalar;
+    } else if (line.find("\"engine\":\"vector\"") != std::string::npos) {
+      ++counts.vector;
+    } else {
+      ADD_FAILURE() << "round record without engine label: " << line;
+    }
+  }
+  return counts;
+}
+
+TEST(Engine, AutoRunsStraddleTheDensityThreshold) {
+  Rng rng(1800);
+  const NodeId n = 2000;
+  const Graph g = random_near_regular(n, 6, rng);
+  const OldcInstance inst = uniform_instance(g, rng);
+  const std::vector<Color> ids = identity_coloring(n);
+
+  // kAuto: the broadcast floods run vectorized, the thin leading rounds
+  // scalar — a genuinely mixed-engine run, visible per round in traces.
+  const EngineRoundCounts autos =
+      traced_engine_counts(inst, ids, n, EngineKind::kAuto);
+  EXPECT_GT(autos.vector, 0);
+  EXPECT_GT(autos.scalar, 0);
+
+  // Forced scalar: every executed round is labeled scalar.
+  const EngineRoundCounts scalars =
+      traced_engine_counts(inst, ids, n, EngineKind::kScalar);
+  EXPECT_EQ(scalars.vector, 0);
+  EXPECT_GT(scalars.scalar, 0);
+  EXPECT_EQ(scalars.scalar, autos.scalar + autos.vector);
+}
+
+// ---- batch runner -------------------------------------------------------
+
+TEST(Engine, BatchSimEngineKeyParsesAndStaysIdentical) {
+  const std::vector<BatchJob> jobs = parse_batch_jobs(
+      "solver=two_sweep,n=200,degree=6,seed=4,sim_engine=vector;"
+      "solver=two_sweep,n=200,degree=6,seed=4,sim_engine=scalar;"
+      "solver=two_sweep,n=200,degree=6,seed=4");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].sim_engine, EngineKind::kVector);
+  EXPECT_EQ(jobs[1].sim_engine, EngineKind::kScalar);
+  EXPECT_EQ(jobs[2].sim_engine, EngineKind::kAuto);
+
+  const BatchReport report = run_batch(jobs);
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_EQ(report.jobs_failed, 0);
+  // Same job, three engines: identical colors and metrics, modulo the
+  // display label and peak_active_nodes (engine-dependent by design —
+  // the vector path steps fewer nodes; see sim/engine.h).
+  BatchJobResult a = report.jobs[0], b = report.jobs[1], c = report.jobs[2];
+  a.label = b.label = c.label = "";
+  a.metrics.peak_active_nodes = b.metrics.peak_active_nodes =
+      c.metrics.peak_active_nodes = 0;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+
+  EXPECT_THROW(parse_batch_jobs("solver=two_sweep,sim_engine=simd"),
+               CheckError);
+}
+
+// ---- SIMD primitives ----------------------------------------------------
+
+TEST(Simd, LowerBoundMatchesStd) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = rng.below(70);
+    std::vector<std::int64_t> a(n);
+    for (auto& v : a) v = static_cast<std::int64_t>(rng.below(200)) - 50;
+    std::sort(a.begin(), a.end());
+    for (std::int64_t x = -60; x <= 160; x += 7) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::lower_bound(a.begin(), a.end(), x) - a.begin());
+      EXPECT_EQ(simd::lower_bound_i64(a.data(), n, x), want)
+          << "n=" << n << " x=" << x
+          << " level=" << simd::level_name(simd::active_level());
+    }
+  }
+}
+
+TEST(Simd, FindFirstEqMatchesLinearScan) {
+  Rng rng(321);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = rng.below(70);
+    std::vector<std::int64_t> a(n);
+    for (auto& v : a) v = static_cast<std::int64_t>(rng.below(20));
+    for (std::int64_t x = -1; x < 22; ++x) {
+      std::size_t want = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] == x) {
+          want = i;
+          break;
+        }
+      }
+      EXPECT_EQ(simd::find_first_eq_i64(a.data(), n, x), want);
+    }
+  }
+}
+
+TEST(Simd, CountEvalEqMatchesScalarHorner) {
+  Rng rng(555);
+  for (const std::uint32_t k : {2u, 3u, 7u, 101u, 65521u}) {
+    ASSERT_TRUE(simd::gf_eval_supported(k));
+    const int nc = 3;
+    const std::size_t rows = 97;
+    // Transposed digit matrix: digit i of row j at digits[i*rows + j].
+    std::vector<std::int32_t> digits(nc * rows);
+    for (auto& d : digits) d = static_cast<std::int32_t>(rng.below(k));
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto x = static_cast<std::uint32_t>(rng.below(k));
+      const auto target = static_cast<std::uint32_t>(rng.below(k));
+      std::int64_t want = 0;
+      for (std::size_t j = 0; j < rows; ++j) {
+        std::uint64_t d[nc];
+        for (int i = 0; i < nc; ++i) {
+          d[i] = static_cast<std::uint64_t>(digits[i * rows + j]);
+        }
+        if (eval_digits(d, nc, k, x) == target) ++want;
+      }
+      EXPECT_EQ(simd::count_eval_eq(digits.data(), rows, nc, k, x, target),
+                want)
+          << "k=" << k << " x=" << x << " target=" << target
+          << " level=" << simd::level_name(simd::active_level());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcolor

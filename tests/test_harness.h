@@ -19,6 +19,20 @@ inline void expect_metrics_eq(const RoundMetrics& a, const RoundMetrics& b) {
   EXPECT_EQ(a.local_compute_ops, b.local_compute_ops);
 }
 
+/// Metrics identity across ENGINES: everything except peak_active_nodes,
+/// which reports the nodes an engine actually stepped and is
+/// engine-dependent by design (the vector path's eager ingest skips
+/// no-op receiver steps — see sim/engine.h).
+inline void expect_metrics_eq_cross_engine(const RoundMetrics& a,
+                                           const RoundMetrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.executed_rounds, b.executed_rounds);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_message_bits, b.total_message_bits);
+  EXPECT_EQ(a.local_compute_ops, b.local_compute_ops);
+}
+
 /// Sets the process-default thread count for the enclosing scope. Both
 /// the simulator and the setup path (generators, instance builders) read
 /// this default, so it is the single knob determinism tests vary.

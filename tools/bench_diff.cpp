@@ -1,0 +1,240 @@
+// bench_diff — wall-clock regression gate over two BENCH_*.json files.
+//
+// Both inputs are row-oriented JSON arrays as written by
+// bench::JsonWriter (one flat object per line). Rows are matched by
+// their identity fields (pipeline, n, engine, mode, phase, threads);
+// for every matched pair the timing fields (--fields, default
+// wall_ms,solve_ms) are compared and the run FAILS if
+//
+//     candidate > baseline * (1 + tolerance) + slack_ms
+//
+// for any of them. The absolute slack floor exists because relative
+// gates flap on small rows (a 3 ms -> 4 ms jitter is +33%) and because
+// single-digit-percent wall-clock noise is real on shared machines;
+// the relative tolerance alone guards the big rows, the slack alone
+// guards the tiny ones.
+//
+// Rows present on only one side are reported and skipped (benches grow
+// new rows; a baseline refresh picks them up), but zero matched
+// comparisons is an error — a gate that compares nothing must not pass.
+//
+// Flags:
+//   --baseline=BENCH_e14.json    committed reference
+//   --candidate=BENCH_e14.json   freshly measured file
+//   --tolerance=0.10             relative regression budget
+//   --slack-ms=150               absolute budget added on top
+//   --fields=wall_ms,solve_ms    comma-separated timing fields
+//
+// Exit code: 0 = no regression, 1 = regression (or nothing compared),
+// 2 = bad invocation / unreadable input.
+//
+// The `perf_gate` ctest label wires this against the repo's committed
+// BENCH_e14.json (see tests/CMakeLists.txt).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace dcolor {
+namespace {
+
+/// One flat JSON object: string values unquoted, numeric values kept as
+/// text (parsed on demand). JsonWriter emits neither nesting nor escapes
+/// beyond \" and \\, so a hand scanner is enough.
+using BenchRow = std::map<std::string, std::string>;
+
+std::optional<BenchRow> parse_row(const std::string& line) {
+  const auto open = line.find('{');
+  if (open == std::string::npos) return std::nullopt;
+  BenchRow row;
+  std::size_t i = open + 1;
+  while (i < line.size()) {
+    const auto kq = line.find('"', i);
+    if (kq == std::string::npos) break;
+    const auto kend = line.find('"', kq + 1);
+    DCOLOR_CHECK_MSG(kend != std::string::npos, "unterminated key: " << line);
+    std::string key = line.substr(kq + 1, kend - kq - 1);
+    auto v = line.find(':', kend);
+    DCOLOR_CHECK_MSG(v != std::string::npos, "missing ':' after \"" << key
+                                                                    << '"');
+    ++v;
+    while (v < line.size() && line[v] == ' ') ++v;
+    std::string value;
+    if (v < line.size() && line[v] == '"') {
+      std::size_t e = v + 1;
+      while (e < line.size() && line[e] != '"') {
+        if (line[e] == '\\') ++e;
+        value.push_back(line[e]);
+        ++e;
+      }
+      i = e + 1;
+    } else {
+      std::size_t e = v;
+      while (e < line.size() && line[e] != ',' && line[e] != '}') ++e;
+      value = line.substr(v, e - v);
+      while (!value.empty() && value.back() == ' ') value.pop_back();
+      i = e;
+    }
+    row[std::move(key)] = std::move(value);
+    const auto next = line.find_first_of(",}", i);
+    if (next == std::string::npos || line[next] == '}') break;
+    i = next + 1;
+  }
+  return row;
+}
+
+std::vector<BenchRow> load_rows(const std::string& path) {
+  std::ifstream is(path);
+  DCOLOR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
+  std::vector<BenchRow> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto row = parse_row(line); row && !row->empty()) {
+      rows.push_back(std::move(*row));
+    }
+  }
+  return rows;
+}
+
+/// Identity of a row: every non-timing field that names WHAT was
+/// measured. Unknown identity-ish fields are included so new axes added
+/// to a bench split rows instead of silently colliding.
+std::string row_key(const BenchRow& row,
+                    const std::vector<std::string>& fields) {
+  std::string key;
+  for (const auto& [k, v] : row) {
+    bool is_timing = false;
+    for (const std::string& f : fields) {
+      if (k == f) is_timing = true;
+    }
+    // us_per_node is derived from wall_ms; setup_ms and the memory
+    // accounting columns are measurements, not identity.
+    if (is_timing || k == "us_per_node" || k == "setup_ms" ||
+        k == "peak_rss_mib" || k == "palette_mib" || k == "wall_ns") {
+      continue;
+    }
+    key += k;
+    key += '=';
+    key += v;
+    key += '|';
+  }
+  return key;
+}
+
+std::optional<double> get_num(const BenchRow& row, const std::string& field) {
+  const auto it = row.find(field);
+  if (it == row.end() || it->second == "null") return std::nullopt;
+  return std::stod(it->second);
+}
+
+std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> out;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string baseline_path = args.get_string("baseline", "");
+  const std::string candidate_path = args.get_string("candidate", "");
+  const double tolerance = args.get_double("tolerance", 0.10);
+  const double slack_ms = args.get_double("slack-ms", 150.0);
+  const std::vector<std::string> fields =
+      split_csv(args.get_string("fields", "wall_ms,solve_ms"));
+  args.check_all_consumed();
+  DCOLOR_CHECK_MSG(!baseline_path.empty() && !candidate_path.empty(),
+                   "usage: bench_diff --baseline=a.json --candidate=b.json "
+                   "[--tolerance=0.10] [--slack-ms=150] "
+                   "[--fields=wall_ms,solve_ms]");
+
+  const std::vector<BenchRow> base_rows = load_rows(baseline_path);
+  const std::vector<BenchRow> cand_rows = load_rows(candidate_path);
+
+  // Key -> row; on duplicate keys (e.g. --quick measuring one size
+  // twice) keep the faster side — consistent with every bench reporting
+  // min-of-reps.
+  const auto index = [&](const std::vector<BenchRow>& rows) {
+    std::map<std::string, BenchRow> out;
+    for (const BenchRow& row : rows) {
+      const std::string key = row_key(row, fields);
+      const auto [it, inserted] = out.emplace(key, row);
+      if (inserted) continue;
+      for (const std::string& f : fields) {
+        const auto fresh = get_num(row, f);
+        const auto kept = get_num(it->second, f);
+        if (fresh && (!kept || *fresh < *kept)) {
+          it->second[f] = row.at(f);
+        }
+      }
+    }
+    return out;
+  };
+  const std::map<std::string, BenchRow> base = index(base_rows);
+  const std::map<std::string, BenchRow> cand = index(cand_rows);
+
+  Table t("bench_diff (" + baseline_path + " -> " + candidate_path + ")");
+  t.header({"row", "field", "base ms", "cand ms", "delta", "verdict"});
+  std::int64_t compared = 0, regressions = 0, skipped = 0;
+  for (const auto& [key, crow] : cand) {
+    const auto bit = base.find(key);
+    if (bit == base.end()) {
+      ++skipped;
+      continue;
+    }
+    for (const std::string& f : fields) {
+      const auto b = get_num(bit->second, f);
+      const auto c = get_num(crow, f);
+      if (!b || !c) continue;
+      ++compared;
+      const double budget = *b * (1.0 + tolerance) + slack_ms;
+      const bool bad = *c > budget;
+      if (bad) ++regressions;
+      const double delta_pct = *b > 0.0 ? 100.0 * (*c - *b) / *b : 0.0;
+      std::ostringstream delta;
+      delta << (delta_pct >= 0 ? "+" : "") << static_cast<int>(delta_pct)
+            << "%";
+      // Trim the trailing '|' and print only the identity fields.
+      t.add(key.substr(0, key.empty() ? 0 : key.size() - 1), f, *b, *c,
+            delta.str(), bad ? "REGRESSED" : "ok");
+    }
+  }
+  for (const auto& [key, brow] : base) {
+    if (cand.find(key) == cand.end()) ++skipped;
+  }
+  t.print(std::cout);
+  std::cout << "bench_diff: " << compared << " comparison(s), " << regressions
+            << " regression(s), " << skipped
+            << " unmatched row(s) skipped (tolerance "
+            << static_cast<int>(100.0 * tolerance) << "%, slack " << slack_ms
+            << " ms)\n";
+  if (compared == 0) {
+    std::cout << "bench_diff: FAIL — nothing compared (key mismatch between "
+                 "the two files?)\n";
+    return 1;
+  }
+  return regressions == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dcolor
+
+int main(int argc, char** argv) {
+  try {
+    return dcolor::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -41,9 +41,13 @@
 // Any subcommand accepts --trace=<path> [--trace-format=jsonl|chrome|
 // summary] to record an execution trace of the run (the DCOLOR_TRACE /
 // DCOLOR_TRACE_FORMAT environment variables do the same for binaries
-// without flags), and --check[=collect] to run it under the online
+// without flags), --check[=collect] to run it under the online
 // invariant checker (fail fast by default, or collect + report; the
-// DCOLOR_CHECK environment variable does the same).
+// DCOLOR_CHECK environment variable does the same), and
+// --engine=auto|scalar|vector to pin the simulator execution engine
+// (sim/engine.h; DCOLOR_ENGINE does the same). Results are bit-identical
+// across engines — the flag is a perf / differential-testing knob. Batch
+// jobs can override it per job with the `sim_engine` spec key.
 //
 // Exit code 0 on success / valid, 1 otherwise.
 #include <cstdlib>
@@ -65,6 +69,7 @@
 #include "graph/line_graph.h"
 #include "io/instance_io.h"
 #include "sim/batch_runner.h"
+#include "sim/engine.h"
 #include "sim/trace.h"
 #include "util/check.h"
 #include "util/cli.h"
@@ -329,6 +334,10 @@ int cmd_trace_summary(const CliArgs& args) {
   };
   std::vector<Row> rows;  // indexed by span id == begin order
   TraceTotals unattributed;
+  // Executed rounds per materializing engine (sim/engine.h): how often
+  // the density heuristic picked the vector path is itself a summary-
+  // worthy fact of a run.
+  std::int64_t scalar_rounds = 0, vector_rounds = 0;
 
   std::string line;
   while (std::getline(is, line)) {
@@ -354,6 +363,12 @@ int cmd_trace_summary(const CliArgs& args) {
       t.bits = json_int(line, "bits").value_or(0);
       t.wall_ns = json_int(line, "wall_ns").value_or(0);
     } else if (type == "round") {
+      const std::string engine = json_str(line, "engine");
+      if (engine == "vector") {
+        ++vector_rounds;
+      } else if (!engine.empty()) {
+        ++scalar_rounds;
+      }
       if (json_int(line, "span").value_or(-1) == -1) {
         unattributed.rounds += 1 + json_int(line, "ff").value_or(0);
         unattributed.executed += 1;
@@ -376,6 +391,10 @@ int cmd_trace_summary(const CliArgs& args) {
     out.push_back({row.depth, row.name, row.totals});
   }
   render_phase_summary("trace summary (" + path + ")", out, total, std::cout);
+  if (scalar_rounds + vector_rounds > 0) {
+    std::cout << "executed rounds by engine: scalar " << scalar_rounds
+              << ", vector " << vector_rounds << "\n";
+  }
   return 0;
 }
 
@@ -475,6 +494,13 @@ int run(int argc, char** argv) {
     const int code = cmd_trace_summary(args);
     args.check_all_consumed();
     return code;
+  }
+
+  // Process-wide engine pin — the CLI equivalent of DCOLOR_ENGINE.
+  // Thread-local overrides (RunScope with a non-auto ctx.engine, e.g. a
+  // batch job's `sim_engine` key) still take precedence per job.
+  if (args.has("engine")) {
+    set_default_engine(engine_from_string(args.get_string("engine", "auto")));
   }
 
   std::unique_ptr<Tracer> tracer;
