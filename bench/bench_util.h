@@ -18,17 +18,27 @@
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/rng.h"
+#include "util/rss.h"
 #include "util/table.h"
 
 namespace dcolor::bench {
 
 /// Peak resident set size of this process in MiB (ru_maxrss is KiB on
-/// Linux). Monotone over the process lifetime — sample after the workload
-/// whose footprint you want to bound.
+/// Linux). Monotone over the PROCESS lifetime, not the section: once any
+/// earlier workload in the same binary pushed RSS up, every later sample
+/// repeats that high-water mark. Only useful as a whole-run bound; for
+/// per-section figures use current_rss_mib() deltas.
 inline double peak_rss_mib() {
   struct rusage ru {};
   getrusage(RUSAGE_SELF, &ru);
   return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+/// CURRENT resident set size in MiB (/proc/self/statm — see util/rss.h).
+/// Not monotone: sample before and after a section and report the delta
+/// to attribute memory to that section.
+inline double current_rss_mib() {
+  return static_cast<double>(current_rss_bytes()) / (1024.0 * 1024.0);
 }
 
 /// Standard experiment banner so the combined bench log is navigable.

@@ -154,13 +154,19 @@ int main(int argc, char** argv) {
 
   {
     // Large-scale runs: generation + instance build (the parallel,
-    // arena-backed setup path) split from the solve, with peak RSS and the
+    // arena-backed setup path) split from the solve, with RSS and the
     // palette-dedup accounting that keeps list memory O(distinct + n).
+    // Memory is reported as CURRENT RSS plus its delta over the
+    // section-entry baseline: getrusage's max-RSS is monotone over the
+    // process lifetime, so once the n=1M row runs, a lifetime-peak column
+    // would repeat its high-water mark for every later sample. peak RSS
+    // stays as the whole-process bound it actually is.
     Table t("Setup vs solve at scale (fast_two_sweep, degree 6)");
     t.header({"n", "engine", "setup ms", "solve ms", "rounds", "palettes",
-              "arena MiB", "peak RSS MiB"});
+              "arena MiB", "RSS MiB", "dRSS MiB", "peak RSS MiB"});
     std::vector<NodeId> big_sizes = quick ? std::vector<NodeId>{65536}
                                           : std::vector<NodeId>{262144, 1048576};
+    const double section_rss_mib = current_rss_mib();
     for (NodeId n : big_sizes) {
       Rng rng(1800);
       const auto t_setup = Clock::now();
@@ -185,10 +191,12 @@ int main(int argc, char** argv) {
         if (!validate_oldc(inst, res.colors)) return 1;
         const double arena_mib =
             static_cast<double>(inst.lists.memory_bytes()) / (1024.0 * 1024.0);
-        const double rss_mib = peak_rss_mib();
+        const double rss_mib = current_rss_mib();
+        const double rss_delta_mib = rss_mib - section_rss_mib;
+        const double lifetime_peak_mib = peak_rss_mib();
         t.add(n, engine_name(ek), setup_ms, solve_ms, res.metrics.rounds,
               static_cast<std::int64_t>(inst.lists.num_palettes()), arena_mib,
-              rss_mib);
+              rss_mib, rss_delta_mib, lifetime_peak_mib);
         json.row({{"pipeline", JsonWriter::str("fast_two_sweep_scale")},
                   {"n", JsonWriter::num(static_cast<std::int64_t>(n))},
                   {"engine", JsonWriter::str(engine_name(ek))},
@@ -202,7 +210,9 @@ int main(int argc, char** argv) {
                   {"arena_entries",
                    JsonWriter::num(inst.lists.arena_entries())},
                   {"palette_mib", JsonWriter::num(arena_mib)},
-                  {"peak_rss_mib", JsonWriter::num(rss_mib)},
+                  {"rss_mib", JsonWriter::num(rss_mib)},
+                  {"rss_delta_mib", JsonWriter::num(rss_delta_mib)},
+                  {"peak_rss_mib", JsonWriter::num(lifetime_peak_mib)},
                   {"threads", JsonWriter::num(used_threads)}});
       }
       set_default_engine(rest_engine);

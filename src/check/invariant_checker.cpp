@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "graph/coloring_checks.h"
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -64,6 +65,11 @@ void InvariantChecker::report(std::string_view rule, NodeId node,
   v.phase = phase_path();
   v.node = node;
   v.detail = std::move(detail);
+  // Count before the throw-mode escape so a thrown violation is still
+  // visible in the resource accounting of the run that died.
+  if (StatsRegistry* const stats = StatsRegistry::current(); stats != nullptr) {
+    stats->counter("check.violations").add(1);
+  }
   if (mode_ == Mode::kThrow) {
     std::ostringstream os;
     os << "invariant violation [" << v.rule << "]";

@@ -165,6 +165,13 @@ std::int64_t PaletteStore::memory_bytes() const noexcept {
                                    buckets_.capacity() * sizeof(std::uint32_t));
 }
 
+std::int64_t PaletteStore::content_bytes() const noexcept {
+  return static_cast<std::int64_t>(arena_colors_.size() * sizeof(Color) +
+                                   arena_defects_.size() * sizeof(int) +
+                                   palettes_.size() * sizeof(PaletteRecord) +
+                                   node_palette_.size() * sizeof(PaletteId));
+}
+
 std::int64_t PaletteStore::normalize_scratch(Scratch& scratch) {
   auto& cs = scratch.colors;
   auto& ds = scratch.defects;

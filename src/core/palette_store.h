@@ -249,7 +249,16 @@ class PaletteStore {
     return static_cast<std::int64_t>(arena_colors_.size());
   }
   /// Heap bytes held by the arena + per-palette records + per-node ids.
+  /// CAPACITY-based: a leased scratch arena retains capacity from earlier
+  /// jobs, so this depends on the reuse schedule. Use content_bytes() for
+  /// schedule-independent accounting.
   std::int64_t memory_bytes() const noexcept;
+  /// Heap bytes a freshly built store of exactly this content would hold
+  /// (SIZE-based, excluding the hash index). Deterministic: a pure
+  /// function of the stored palettes and nodes, bit-identical across
+  /// arena-reuse histories, thread counts, and engines — the figure batch
+  /// reports and the arena Pareto table use for their memory column.
+  std::int64_t content_bytes() const noexcept;
 
   /// Raw arena arrays; byte-comparable across builds (the determinism
   /// contract of build_parallel).

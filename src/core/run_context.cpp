@@ -1,6 +1,7 @@
 #include "core/run_context.h"
 
 #include "check/invariant_checker.h"
+#include "obs/stats.h"
 #include "sim/network.h"
 #include "sim/trace.h"
 
@@ -17,9 +18,14 @@ RunScope::RunScope(RunContext& ctx) : ctx_(&ctx) {
     ctx.checker->install();
     checker_installed_ = true;
   }
+  if (ctx.stats != nullptr) {
+    ctx.stats->install();
+    stats_installed_ = true;
+  }
 }
 
 RunScope::~RunScope() {
+  if (stats_installed_) ctx_->stats->uninstall();
   if (checker_installed_) ctx_->checker->uninstall();
   if (tracer_installed_) ctx_->tracer->uninstall();
   set_engine_override(prev_engine_override_);

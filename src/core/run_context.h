@@ -23,6 +23,7 @@ namespace dcolor {
 class Tracer;
 class InvariantChecker;
 class PaletteStore;
+class StatsRegistry;
 
 /// Per-phase round accounting for the Theorem 1.3 recursive framework —
 /// answers "where do the rounds go". Filled into RunContext::breakdown by
@@ -44,6 +45,9 @@ struct RunContext {
   /// thread in place).
   Tracer* tracer = nullptr;
   InvariantChecker* checker = nullptr;
+  /// Resource-accounting registry (obs/stats.h) producers on this thread
+  /// record into while the scope is active (borrowed, may be null).
+  StatsRegistry* stats = nullptr;
 
   /// Simulator worker threads for Network::run calls made inside the
   /// scope (0 = inherit the process default). Batch workers pin this to 1
@@ -107,6 +111,7 @@ class RunScope {
   EngineKind prev_engine_override_ = EngineKind::kAuto;
   bool tracer_installed_ = false;
   bool checker_installed_ = false;
+  bool stats_installed_ = false;
 };
 
 }  // namespace dcolor

@@ -1,0 +1,229 @@
+#include "obs/arena.h"
+
+#include <cstdio>
+#include <string_view>
+
+#include "core/solver_registry.h"
+#include "util/check.h"
+
+namespace dcolor {
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Strict (colors, rounds, bits) Pareto dominance over valid rows.
+bool dominates(const BatchJobResult& a, const BatchJobResult& b) {
+  const bool le = a.colors_used <= b.colors_used &&
+                  a.metrics.rounds <= b.metrics.rounds &&
+                  a.metrics.total_message_bits <= b.metrics.total_message_bits;
+  const bool lt = a.colors_used < b.colors_used ||
+                  a.metrics.rounds < b.metrics.rounds ||
+                  a.metrics.total_message_bits < b.metrics.total_message_bits;
+  return le && lt;
+}
+
+void mark_pareto(ArenaScenario& scenario) {
+  for (ArenaRow& row : scenario.rows) {
+    if (!row.result.valid || !row.result.error.empty()) continue;
+    row.pareto = true;
+    for (const ArenaRow& other : scenario.rows) {
+      if (&other == &row || !other.result.valid ||
+          !other.result.error.empty())
+        continue;
+      if (dominates(other.result, row.result)) {
+        row.pareto = false;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ArenaReport run_arena(const ArenaOptions& options) {
+  DCOLOR_CHECK_MSG(!options.generators.empty() && !options.sizes.empty() &&
+                       !options.degrees.empty(),
+                   "arena needs a non-empty generator/n/degree matrix");
+  std::vector<std::string> solver_names = options.solvers;
+  if (solver_names.empty()) {
+    for (const Solver* s : SolverRegistry::get().solvers()) {
+      solver_names.emplace_back(s->name());
+    }
+  } else {
+    for (const std::string& name : solver_names) {
+      SolverRegistry::get().require(name);  // fail fast on typos
+    }
+  }
+
+  ArenaReport report;
+  report.seed = options.seed;
+  report.sim_engine = options.sim_engine;
+
+  std::vector<BatchJob> jobs;
+  for (const std::string& gen : options.generators) {
+    for (const NodeId n : options.sizes) {
+      for (const int degree : options.degrees) {
+        ArenaScenario scenario;
+        scenario.generator = gen;
+        scenario.n = n;
+        scenario.degree = degree;
+        report.scenarios.push_back(std::move(scenario));
+        for (const std::string& solver : solver_names) {
+          BatchJob job;
+          job.solver = solver;
+          job.generator = gen;
+          job.n = n;
+          job.degree = degree;
+          // One seed per scenario, shared by every solver: they all
+          // color the SAME graph, so the rows are comparable.
+          job.seed = options.seed;
+          job.sim_engine = options.sim_engine;
+          job.label = solver;
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+
+  BatchOptions batch_options;
+  batch_options.threads = options.threads;
+  batch_options.check = options.check;
+  const BatchReport batch = run_batch(jobs, batch_options);
+  report.jobs_valid = batch.jobs_valid;
+  report.jobs_failed = batch.jobs_failed;
+
+  std::size_t next = 0;
+  for (ArenaScenario& scenario : report.scenarios) {
+    scenario.rows.resize(solver_names.size());
+    for (ArenaRow& row : scenario.rows) row.result = batch.jobs[next++];
+    mark_pareto(scenario);
+  }
+  return report;
+}
+
+std::string ArenaReport::to_markdown() const {
+  std::string out;
+  out += "# dcolor arena (seed " + std::to_string(seed) + ", engine " +
+         std::string(engine_name(sim_engine)) + ")\n\n";
+  out += "Pareto front per scenario over (colors, rounds, message bits), "
+         "minimized across valid rows; `*` marks front rows. Wall time is "
+         "nondeterministic; every other column is bit-identical at any "
+         "thread count and engine.\n";
+  for (const ArenaScenario& s : scenarios) {
+    out += "\n## " + s.generator + " n=" + std::to_string(s.n) +
+           " deg=" + std::to_string(s.degree) + "\n\n";
+    out += "| solver | ok | colors | rounds | msg bits | mem KiB | wall ms "
+           "| front |\n";
+    out += "|---|---|---:|---:|---:|---:|---:|:---:|\n";
+    std::string notes;
+    for (const ArenaRow& row : s.rows) {
+      const BatchJobResult& r = row.result;
+      const bool ok = r.valid && r.error.empty();
+      char line[256];
+      if (ok) {
+        std::snprintf(line, sizeof line,
+                      "| %s | yes | %lld | %lld | %lld | %.1f | %.2f | %s |\n",
+                      r.solver.c_str(),
+                      static_cast<long long>(r.colors_used),
+                      static_cast<long long>(r.metrics.rounds),
+                      static_cast<long long>(r.metrics.total_message_bits),
+                      static_cast<double>(r.palette_bytes) / 1024.0,
+                      static_cast<double>(r.t.wall_ns) / 1e6,
+                      row.pareto ? "*" : "");
+      } else {
+        std::snprintf(line, sizeof line,
+                      "| %s | no | - | - | - | - | - |  |\n",
+                      r.solver.c_str());
+        if (!r.error.empty()) {
+          notes += "- `" + r.solver + "`: " + r.error + "\n";
+        }
+      }
+      out += line;
+    }
+    if (!notes.empty()) out += "\n" + notes;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof tail, "\n%lld rows valid, %lld not run.\n",
+                static_cast<long long>(jobs_valid),
+                static_cast<long long>(jobs_failed));
+  out += tail;
+  return out;
+}
+
+std::string ArenaReport::to_json() const {
+  std::string out = "{\n  \"seed\": " + std::to_string(seed);
+  out += ",\n  \"engine\": ";
+  append_json_string(out, engine_name(sim_engine));
+  out += ",\n  \"scenarios\": [\n";
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const ArenaScenario& s = scenarios[si];
+    out += "    {\"generator\": ";
+    append_json_string(out, s.generator);
+    out += ", \"n\": " + std::to_string(s.n);
+    out += ", \"degree\": " + std::to_string(s.degree);
+    out += ", \"rows\": [\n";
+    for (std::size_t ri = 0; ri < s.rows.size(); ++ri) {
+      const BatchJobResult& r = s.rows[ri].result;
+      out += "      {\"solver\": ";
+      append_json_string(out, r.solver);
+      out += ", \"valid\": ";
+      out += (r.valid && r.error.empty()) ? "true" : "false";
+      out += ", \"colors\": " + std::to_string(r.colors_used);
+      out += ", \"rounds\": " + std::to_string(r.metrics.rounds);
+      out += ", \"bits\": " + std::to_string(r.metrics.total_message_bits);
+      out += ", \"palette_bytes\": " + std::to_string(r.palette_bytes);
+      {
+        char hash[32];
+        std::snprintf(hash, sizeof hash, "\"%016llx\"",
+                      static_cast<unsigned long long>(r.color_hash));
+        out += ", \"color_hash\": ";
+        out += hash;
+      }
+      out += ", \"pareto\": ";
+      out += s.rows[ri].pareto ? "true" : "false";
+      if (!r.error.empty()) {
+        out += ", \"error\": ";
+        append_json_string(out, r.error);
+      }
+      // Last key by convention: strip `"t"` for cross-run comparison.
+      char t[96];
+      std::snprintf(t, sizeof t,
+                    ", \"t\": {\"wall_ms\": %.3f, \"rss_mib\": %.1f}",
+                    static_cast<double>(r.t.wall_ns) / 1e6,
+                    static_cast<double>(r.t.rss_bytes) / (1024.0 * 1024.0));
+      out += t;
+      out += ri + 1 < s.rows.size() ? "},\n" : "}\n";
+    }
+    out += "    ]";
+    out += si + 1 < scenarios.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"summary\": {\"scenarios\": " +
+         std::to_string(scenarios.size());
+  out += ", \"valid\": " + std::to_string(jobs_valid);
+  out += ", \"failed\": " + std::to_string(jobs_failed);
+  out += "}\n}\n";
+  return out;
+}
+
+}  // namespace dcolor

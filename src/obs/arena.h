@@ -1,0 +1,74 @@
+// Cross-solver "arena": every capable registry solver head-to-head on a
+// scenario matrix, joined into a Pareto report (ROADMAP item 4).
+//
+// The paper's contribution is a trade-off — colors used versus rounds
+// versus CONGEST message bits — so a single-column leaderboard would
+// miss the point. The arena runs each scenario (generator × n × Δ,
+// premise-by-construction via the batch runner) through every selected
+// solver and marks the rows on the Pareto front of
+// (colors_used, rounds, message_bits), minimized over valid rows.
+//
+// Determinism: the heavy lifting is run_batch, so every deterministic
+// field (colors, rounds, bits, palette bytes, the front itself) is
+// bit-identical at every worker count and across scalar/vector engines;
+// wall time and RSS ride in the per-row "t" quarantine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/batch_runner.h"
+
+namespace dcolor {
+
+/// Scenario matrix + execution knobs. The defaults give a small but
+/// non-trivial 2×2×2 matrix over all registry solvers.
+struct ArenaOptions {
+  std::vector<std::string> generators = {"gnp", "regular"};
+  std::vector<NodeId> sizes = {128, 512};
+  std::vector<int> degrees = {6, 12};
+  /// Registry names/aliases to race; empty = every registered solver.
+  std::vector<std::string> solvers;
+  std::uint64_t seed = 1;  ///< per-scenario instance seed (shared by all
+                           ///< solvers, so they color the SAME graph)
+  int threads = 0;         ///< batch workers; 0 = default_setup_threads()
+  bool check = false;      ///< run each job under a collect-mode checker
+  /// Simulator engine for every job (differential runs pin kScalar /
+  /// kVector; deterministic fields are identical either way).
+  EngineKind sim_engine = EngineKind::kAuto;
+};
+
+struct ArenaRow {
+  BatchJobResult result;
+  bool pareto = false;  ///< on the (colors, rounds, bits) front
+};
+
+struct ArenaScenario {
+  std::string generator;
+  NodeId n = 0;
+  int degree = 0;
+  std::vector<ArenaRow> rows;  ///< one per solver, selection order
+};
+
+struct ArenaReport {
+  std::vector<ArenaScenario> scenarios;
+  std::uint64_t seed = 1;
+  EngineKind sim_engine = EngineKind::kAuto;
+  std::int64_t jobs_valid = 0;
+  std::int64_t jobs_failed = 0;  ///< error (incl. premise refusal) or invalid
+
+  /// Human-readable Pareto tables, one section per scenario.
+  std::string to_markdown() const;
+  /// Machine-readable twin; per-row timing quarantined in a trailing "t"
+  /// object, so stripping `"t"` is byte-identical across worker counts
+  /// and engines.
+  std::string to_json() const;
+};
+
+/// Runs the matrix (via run_batch — per-job stats, arena reuse, and the
+/// worker-count determinism contract come from there) and computes the
+/// per-scenario Pareto fronts.
+ArenaReport run_arena(const ArenaOptions& options = {});
+
+}  // namespace dcolor

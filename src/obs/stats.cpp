@@ -1,0 +1,295 @@
+#include "obs/stats.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "core/palette_store.h"
+#include "util/check.h"
+#include "util/rss.h"
+
+namespace dcolor {
+namespace {
+
+thread_local StatsRegistry* t_current_stats = nullptr;
+
+/// Upper bound (Prometheus `le`) of histogram bucket i: 2^i - 1.
+std::int64_t bucket_le(int i) noexcept {
+  if (i >= 63) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << i) - 1;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+void StatHistogram::record(std::int64_t v) noexcept {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+  const int idx =
+      v <= 0 ? 0 : std::bit_width(static_cast<std::uint64_t>(v));
+  buckets[static_cast<std::size_t>(idx >= kBuckets ? kBuckets - 1 : idx)]++;
+}
+
+StatsRegistry::~StatsRegistry() {
+  if (installed_) uninstall();
+}
+
+void StatsRegistry::install() {
+  DCOLOR_CHECK_MSG(!installed_, "StatsRegistry installed twice");
+  prev_ = t_current_stats;
+  t_current_stats = this;
+  installed_ = true;
+}
+
+void StatsRegistry::uninstall() {
+  DCOLOR_CHECK_MSG(installed_, "uninstall without install");
+  DCOLOR_CHECK_MSG(t_current_stats == this,
+                   "StatsRegistry uninstall on a different thread or out of "
+                   "nesting order");
+  t_current_stats = prev_;
+  prev_ = nullptr;
+  installed_ = false;
+}
+
+StatsRegistry* StatsRegistry::current() noexcept { return t_current_stats; }
+
+StatCounter& StatsRegistry::counter(std::string_view name, StatDomain domain) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name), Entry<StatCounter>{domain, {}})
+             .first;
+  }
+  return it->second.metric;
+}
+
+StatGauge& StatsRegistry::gauge(std::string_view name, StatDomain domain) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name), Entry<StatGauge>{domain, {}})
+             .first;
+  }
+  return it->second.metric;
+}
+
+StatHistogram& StatsRegistry::histogram(std::string_view name,
+                                        StatDomain domain) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .try_emplace(std::string(name), Entry<StatHistogram>{domain, {}})
+             .first;
+  }
+  return it->second.metric;
+}
+
+void StatsRegistry::observe_palettes(const PaletteStore& store,
+                                     std::string_view prefix) {
+  std::string name(prefix);
+  const std::size_t base = name.size();
+  const auto set = [&](std::string_view suffix, std::int64_t v,
+                       StatDomain domain) {
+    name.resize(base);
+    name += suffix;
+    gauge(name, domain).set(v);
+  };
+  set(".nodes", static_cast<std::int64_t>(store.size()), StatDomain::kStable);
+  set(".num_palettes", static_cast<std::int64_t>(store.num_palettes()),
+      StatDomain::kStable);
+  set(".arena_entries", store.arena_entries(), StatDomain::kStable);
+  set(".dedup_hits", store.dedup_hits(), StatDomain::kStable);
+  set(".content_bytes", store.content_bytes(), StatDomain::kStable);
+  // Capacity-based: leased arenas keep capacity from earlier jobs, so
+  // this depends on the reuse schedule — quarantined like wall clocks.
+  set(".arena_bytes", store.memory_bytes(), StatDomain::kTiming);
+}
+
+void StatsRegistry::sample_rss() {
+  gauge("mem.current_rss_bytes", StatDomain::kTiming).set(current_rss_bytes());
+  gauge("mem.peak_rss_bytes", StatDomain::kTiming).set(peak_rss_bytes());
+}
+
+std::string StatsRegistry::to_json(StatDomain max_domain) const {
+  std::string out;
+  out.reserve(256);
+
+  const auto emit_domain = [&](StatDomain d) {
+    out += "\"counters\":{";
+    bool first = true;
+    for (const auto& [name, e] : counters_) {
+      if (e.domain != d) continue;
+      if (!first) out += ',';
+      first = false;
+      append_json_string(out, name);
+      out += ':';
+      append_int(out, e.metric.value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, e] : gauges_) {
+      if (e.domain != d) continue;
+      if (!first) out += ',';
+      first = false;
+      append_json_string(out, name);
+      out += ":{\"value\":";
+      append_int(out, e.metric.value);
+      out += ",\"peak\":";
+      append_int(out, e.metric.peak);
+      out += '}';
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, e] : histograms_) {
+      if (e.domain != d) continue;
+      if (!first) out += ',';
+      first = false;
+      append_json_string(out, name);
+      const StatHistogram& h = e.metric;
+      out += ":{\"count\":";
+      append_int(out, h.count);
+      out += ",\"sum\":";
+      append_int(out, h.sum);
+      out += ",\"min\":";
+      append_int(out, h.count > 0 ? h.min : 0);
+      out += ",\"max\":";
+      append_int(out, h.max);
+      out += ",\"buckets\":[";
+      bool bfirst = true;
+      for (int i = 0; i < StatHistogram::kBuckets; ++i) {
+        const std::int64_t c = h.buckets[static_cast<std::size_t>(i)];
+        if (c == 0) continue;
+        if (!bfirst) out += ',';
+        bfirst = false;
+        out += '[';
+        append_int(out, bucket_le(i));
+        out += ',';
+        append_int(out, c);
+        out += ']';
+      }
+      out += "]}";
+    }
+    out += '}';
+  };
+
+  out += '{';
+  emit_domain(StatDomain::kStable);
+  if (max_domain >= StatDomain::kEngine) {
+    out += ",\"engine\":{";
+    emit_domain(StatDomain::kEngine);
+    out += '}';
+  }
+  if (max_domain >= StatDomain::kTiming) {
+    out += ",\"t\":{";
+    emit_domain(StatDomain::kTiming);
+    out += '}';
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// `sim.round_sent_bits` -> `dcolor_sim_round_sent_bits`.
+std::string prometheus_name(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  out += '_';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StatsRegistry::to_prometheus(std::string_view prefix) const {
+  std::string out;
+  out.reserve(512);
+  for (const auto& [name, e] : counters_) {
+    const std::string pn = prometheus_name(prefix, name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + ' ' + std::to_string(e.metric.value) + '\n';
+  }
+  for (const auto& [name, e] : gauges_) {
+    const std::string pn = prometheus_name(prefix, name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + ' ' + std::to_string(e.metric.value) + '\n';
+    out += "# TYPE " + pn + "_peak gauge\n";
+    out += pn + "_peak " + std::to_string(e.metric.peak) + '\n';
+  }
+  for (const auto& [name, e] : histograms_) {
+    const std::string pn = prometheus_name(prefix, name);
+    const StatHistogram& h = e.metric;
+    out += "# TYPE " + pn + " histogram\n";
+    int top = -1;
+    for (int i = 0; i < StatHistogram::kBuckets; ++i) {
+      if (h.buckets[static_cast<std::size_t>(i)] != 0) top = i;
+    }
+    std::int64_t cumulative = 0;
+    for (int i = 0; i <= top; ++i) {
+      cumulative += h.buckets[static_cast<std::size_t>(i)];
+      out += pn + "_bucket{le=\"" + std::to_string(bucket_le(i)) + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    out += pn + "_sum " + std::to_string(h.sum) + '\n';
+    out += pn + "_count " + std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
+void write_stats_file(const StatsRegistry& stats, const std::string& format,
+                      const std::string& path) {
+  std::string payload;
+  if (format == "json") {
+    payload = stats.to_json();
+  } else if (format == "prom" || format == "prometheus") {
+    payload = stats.to_prometheus();
+  } else {
+    DCOLOR_CHECK_MSG(false, "unknown stats format \""
+                                << format << "\" (json, prom, prometheus)");
+  }
+  std::ofstream ofs(path, std::ios::binary);
+  DCOLOR_CHECK_MSG(ofs.good(), "cannot open stats file " << path);
+  ofs << payload;
+  DCOLOR_CHECK_MSG(ofs.good(), "write failed for stats file " << path);
+}
+
+}  // namespace dcolor

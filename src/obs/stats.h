@@ -1,0 +1,176 @@
+// Resource-accounting metrics: counters, gauges, and histograms behind a
+// hierarchical StatsRegistry, installable like Tracer/InvariantChecker.
+//
+// The paper's whole contribution is a trade-off surface — colors used
+// versus rounds versus CONGEST message bits — and this layer is how the
+// repo measures it. Producers throughout the stack (Network, PaletteStore
+// call sites, the batch runner, the invariant checker) record into the
+// thread-local current registry; `dcolor --cmd=arena` joins the numbers
+// into a cross-solver Pareto report, and `--stats` dumps them as JSON or
+// Prometheus text exposition.
+//
+// Determinism contract (mirrors the JSONL trace's "t" quarantine): every
+// metric carries a StatDomain:
+//   * kStable — bit-identical at every thread count AND engine;
+//   * kEngine — bit-identical at every thread count, but may differ
+//     between the scalar and vector engines (e.g. active-node histograms
+//     inherit RoundMetrics::peak_active_nodes' documented carve-out, and
+//     scalar/vector dispatch counts differ by construction);
+//   * kTiming — wall clocks and RSS; nondeterministic, quarantined in a
+//     trailing "t" section of the JSON export.
+// `to_json(StatDomain::kStable)` therefore yields a byte-identical string
+// for one workload at any thread count and engine.
+//
+// Cost contract (mirrors the tracer's):
+//   * no registry installed — producers pay one thread-local pointer test
+//     (Network::run caches it once per run, like the tracer pointer);
+//   * registry installed — metric handles are resolved once (the only
+//     allocating step, first resolution per name) and recording into a
+//     resolved handle never allocates. Verified by test_stats.cpp with
+//     the perf_smoke operator-new counter.
+//
+// Threading: install/uninstall/current are thread-local, so concurrent
+// batch jobs on different worker threads record into fully isolated
+// per-job registries. A registry itself is not thread-safe; record from
+// the thread that installed it (pool threads inside one Network::run
+// never touch the registry — the engine records at serial points).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dcolor {
+
+class PaletteStore;
+
+/// Determinism class of one metric. Order matters: exports can be
+/// truncated at a maximum domain (`to_json(kStable)` drops everything
+/// engine-dependent and timed).
+enum class StatDomain : std::uint8_t {
+  kStable = 0,  ///< identical at every thread count and engine
+  kEngine = 1,  ///< identical per engine; may differ scalar vs vector
+  kTiming = 2,  ///< wall clock / RSS — nondeterministic, quarantined
+};
+
+/// Monotone event count.
+struct StatCounter {
+  std::int64_t value = 0;
+
+  void add(std::int64_t delta) noexcept { value += delta; }
+};
+
+/// Point-in-time level plus its high-water mark.
+struct StatGauge {
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+
+  void set(std::int64_t v) noexcept {
+    value = v;
+    if (v > peak) peak = v;
+  }
+};
+
+/// Power-of-two-bucket distribution with exact count/sum/min/max.
+/// Bucket i holds values in [2^(i-1), 2^i - 1] (bucket 0 holds 0), i.e.
+/// upper bound 2^i - 1 — the Prometheus `le` label of the bucket.
+struct StatHistogram {
+  static constexpr int kBuckets = 64;
+
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  ///< meaningful only when count > 0
+  std::int64_t max = 0;
+  std::array<std::int64_t, kBuckets> buckets{};
+
+  void record(std::int64_t v) noexcept;
+};
+
+/// Hierarchical (dot-named) registry of counters, gauges, and
+/// histograms. Handle references returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime (node-based
+/// storage), so producers resolve once and record through the handle.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  ~StatsRegistry();  ///< uninstalls if still installed
+
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// Makes this registry the thread-current one (picked up by every
+  /// producer on this thread). Installs nest: uninstall restores the
+  /// previously current registry.
+  void install();
+  /// Restores the registry that was current before install().
+  void uninstall();
+  /// The registry producers record into (null = metrics disabled).
+  static StatsRegistry* current() noexcept;
+
+  /// Finds or creates a metric. The domain is fixed by the first
+  /// resolution of a name; later calls may pass any domain (ignored).
+  /// First resolution of a name allocates; nothing else here does.
+  StatCounter& counter(std::string_view name,
+                       StatDomain domain = StatDomain::kStable);
+  StatGauge& gauge(std::string_view name,
+                   StatDomain domain = StatDomain::kStable);
+  StatHistogram& histogram(std::string_view name,
+                           StatDomain domain = StatDomain::kStable);
+
+  /// Convenience producer: snapshots a palette store's accounting into
+  /// `<prefix>.*` gauges. `palette.content_bytes` is the deterministic
+  /// size-based figure (PaletteStore::content_bytes); the capacity-based
+  /// `palette.arena_bytes` is recorded under kTiming because leased
+  /// arenas retain capacity from previous jobs.
+  void observe_palettes(const PaletteStore& store,
+                        std::string_view prefix = "palette");
+
+  /// Convenience producer: samples current/peak RSS into
+  /// `mem.current_rss_bytes` / `mem.peak_rss_bytes` (kTiming gauges).
+  void sample_rss();
+
+  /// Structured JSON. Metrics are grouped into a deterministic part
+  /// ("counters"/"gauges"/"histograms", kStable only), an "engine"
+  /// section (kEngine), and a trailing "t" section (kTiming) — the same
+  /// quarantine convention as the JSONL trace. `max_domain` truncates:
+  /// kStable emits only the deterministic part.
+  std::string to_json(StatDomain max_domain = StatDomain::kTiming) const;
+
+  /// Prometheus text exposition format (the future `--cmd=serve`
+  /// payload): HELP-free `# TYPE` blocks, names prefixed and sanitized
+  /// (`sim.round_sent_bits` -> `dcolor_sim_round_sent_bits`), gauges
+  /// emit a `_peak` twin, histograms emit cumulative `_bucket{le=...}`,
+  /// `_sum`, and `_count` series.
+  std::string to_prometheus(std::string_view prefix = "dcolor") const;
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  template <typename T>
+  struct Entry {
+    StatDomain domain = StatDomain::kStable;
+    T metric;
+  };
+  // std::map: sorted iteration gives deterministic export order and node
+  // stability keeps handle references valid; heterogeneous less<> makes
+  // repeat lookups by string_view allocation-free.
+  template <typename T>
+  using Table = std::map<std::string, Entry<T>, std::less<>>;
+
+  Table<StatCounter> counters_;
+  Table<StatGauge> gauges_;
+  Table<StatHistogram> histograms_;
+  bool installed_ = false;
+  StatsRegistry* prev_ = nullptr;  ///< registry displaced by install()
+};
+
+/// Writes a registry to `path` in `format` ("json", "prom"/"prometheus").
+/// Throws CheckError on unknown format or unwritable path.
+void write_stats_file(const StatsRegistry& stats, const std::string& format,
+                      const std::string& path);
+
+}  // namespace dcolor

@@ -1,6 +1,7 @@
 #include "sim/batch_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -15,10 +16,12 @@
 #include "core/run_context.h"
 #include "core/solver_registry.h"
 #include "graph/generators.h"
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/parse.h"
 #include "util/rng.h"
+#include "util/rss.h"
 
 namespace dcolor {
 
@@ -182,6 +185,11 @@ BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
   const std::uint64_t seed = job.seed + options.seed;
 
   InvariantChecker checker(InvariantChecker::Mode::kCollect);
+  // Per-job registry, installed by the job's RunScope on this worker
+  // thread: producers (Network round histograms, palette snapshots,
+  // checker counts) record here without touching other workers' jobs.
+  StatsRegistry stats;
+  const auto wall0 = std::chrono::steady_clock::now();
   try {
     Rng graph_rng = Rng::stream(seed, kGraphSalt);
     s.graph = build_graph(job, graph_rng);
@@ -215,7 +223,14 @@ BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
     ctx.engine = job.sim_engine;
     ctx.seed = seed;
     if (options.check) ctx.checker = &checker;
+    ctx.stats = &stats;
     RunScope scope(ctx);
+
+    if (req.oldc != nullptr) {
+      stats.observe_palettes(req.oldc->lists);
+    } else if (req.list_defective != nullptr) {
+      stats.observe_palettes(req.list_defective->lists);
+    }
 
     if (solver->premise_holds(req)) {
       SolveResult res = solver->solve(req, ctx);
@@ -232,6 +247,11 @@ BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
   }
   out.checker_violations =
       static_cast<std::int64_t>(checker.violations().size());
+  out.palette_bytes = stats.gauge("palette.content_bytes").value;
+  out.t.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count();
+  out.t.rss_bytes = current_rss_bytes();
   return out;
 }
 
@@ -429,7 +449,25 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
     }
     report.total_rounds += r.metrics.rounds;
     report.total_messages += r.metrics.total_messages;
+    report.total_bits += r.metrics.total_message_bits;
     report.total_violations += r.checker_violations;
+  }
+  // Aggregate into the CALLER's registry (the per-job registries lived on
+  // worker threads and died with their jobs). Lease accounting depends on
+  // the worker count/schedule, so it goes under the kTiming quarantine.
+  if (StatsRegistry* const stats = StatsRegistry::current();
+      stats != nullptr) {
+    stats->counter("batch.jobs").add(static_cast<std::int64_t>(jobs.size()));
+    stats->counter("batch.jobs_valid").add(report.jobs_valid);
+    stats->counter("batch.jobs_failed").add(report.jobs_failed);
+    stats->counter("batch.rounds").add(report.total_rounds);
+    stats->counter("batch.messages").add(report.total_messages);
+    stats->counter("batch.message_bits").add(report.total_bits);
+    stats->counter("batch.violations").add(report.total_violations);
+    stats->counter("batch.scratch_created", StatDomain::kTiming)
+        .add(report.scratch_created);
+    stats->counter("batch.scratch_reused", StatDomain::kTiming)
+        .add(report.scratch_reused);
   }
   return report;
 }
@@ -456,10 +494,21 @@ std::string BatchReport::to_json() const {
     }
     out += ", \"rounds\": " + std::to_string(r.metrics.rounds);
     out += ", \"messages\": " + std::to_string(r.metrics.total_messages);
+    out += ", \"bits\": " + std::to_string(r.metrics.total_message_bits);
+    out += ", \"palette_bytes\": " + std::to_string(r.palette_bytes);
     out += ", \"violations\": " + std::to_string(r.checker_violations);
     if (!r.error.empty()) {
       out += ", \"error\": ";
       append_json_string(out, r.error);
+    }
+    // INVARIANT: "t" is the LAST key — stripping `, "t": {...}` from every
+    // job line yields a byte-identical report at every worker count.
+    {
+      char t[96];
+      std::snprintf(t, sizeof(t), ", \"t\": {\"wall_ms\": %.3f, \"rss_mib\": %.1f}",
+                    static_cast<double>(r.t.wall_ns) / 1e6,
+                    static_cast<double>(r.t.rss_bytes) / (1024.0 * 1024.0));
+      out += t;
     }
     out += i + 1 < jobs.size() ? "},\n" : "}\n";
   }
@@ -469,6 +518,7 @@ std::string BatchReport::to_json() const {
   out += ", \"failed\": " + std::to_string(jobs_failed);
   out += ", \"total_rounds\": " + std::to_string(total_rounds);
   out += ", \"total_messages\": " + std::to_string(total_messages);
+  out += ", \"total_bits\": " + std::to_string(total_bits);
   out += ", \"total_violations\": " + std::to_string(total_violations);
   out += ", \"scratch_created\": " + std::to_string(scratch_created);
   out += ", \"scratch_reused\": " + std::to_string(scratch_reused);

@@ -59,9 +59,9 @@ struct BatchOptions {
   std::uint64_t seed = 0; ///< base seed folded into every job's seed
 };
 
-/// Outcome of one job. Everything here is a pure function of the job
-/// description (plus BatchOptions::seed) — never of the thread count or
-/// scheduling order; test_batch.cpp pins that down.
+/// Outcome of one job. Everything here except the `t` block is a pure
+/// function of the job description (plus BatchOptions::seed) — never of
+/// the thread count or scheduling order; test_batch.cpp pins that down.
 struct BatchJobResult {
   std::string label;
   std::string solver;            ///< canonical registry name
@@ -71,11 +71,30 @@ struct BatchJobResult {
   std::int64_t colors_used = 0;  ///< distinct colors in the output
   std::uint64_t color_hash = 0;  ///< FNV-1a over the color vector
   RoundMetrics metrics;
+  /// Size-based instance memory (PaletteStore::content_bytes, via the
+  /// per-job StatsRegistry); 0 for graph-input solvers. Deterministic —
+  /// the capacity-based figure would leak the arena-reuse schedule.
+  std::int64_t palette_bytes = 0;
   std::int64_t checker_violations = 0;  ///< collect-mode findings (check on)
   std::string error;             ///< non-empty iff the solver threw
 
-  friend bool operator==(const BatchJobResult&, const BatchJobResult&) =
-      default;
+  /// Nondeterministic per-job readings, quarantined the way the JSONL
+  /// trace quarantines its trailing "t" object: excluded from equality
+  /// and emitted as the last key of the job's JSON line (so stripping
+  /// `"t"` yields a byte-identical report for every worker count).
+  struct Timing {
+    std::int64_t wall_ns = 0;   ///< instance build + solve + validate
+    std::int64_t rss_bytes = 0; ///< current RSS sampled at job end
+  };
+  Timing t;
+
+  friend bool operator==(const BatchJobResult& a, const BatchJobResult& b) {
+    return a.label == b.label && a.solver == b.solver && a.valid == b.valid &&
+           a.nodes == b.nodes && a.edges == b.edges &&
+           a.colors_used == b.colors_used && a.color_hash == b.color_hash &&
+           a.metrics == b.metrics && a.palette_bytes == b.palette_bytes &&
+           a.checker_violations == b.checker_violations && a.error == b.error;
+  }
 };
 
 struct BatchReport {
@@ -84,6 +103,7 @@ struct BatchReport {
   std::int64_t jobs_failed = 0;      ///< error or invalid output
   std::int64_t total_rounds = 0;
   std::int64_t total_messages = 0;
+  std::int64_t total_bits = 0;
   std::int64_t total_violations = 0;
   /// Scratch-pool accounting: arenas materialized (bounded by the worker
   /// count) and jobs served by a previously-built arena.

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "check/invariant_checker.h"
+#include "obs/stats.h"
 #include "sim/thread_pool.h"
 #include "sim/trace.h"
 #include "util/check.h"
@@ -96,6 +97,29 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
   // checkers, whose violations travel through the chunk-order rethrow
   // below — deterministic at every thread count.
   const InvariantChecker* const checker = InvariantChecker::current();
+  // Stats mirror the tracer's cost contract: null registry = one pointer
+  // test per run; otherwise handles resolve once here and per-round
+  // recording is a few field updates on the simulating thread.
+  StatsRegistry* const stats = StatsRegistry::current();
+  StatCounter* c_scalar_rounds = nullptr;
+  StatCounter* c_vector_rounds = nullptr;
+  StatHistogram* h_round_active = nullptr;
+  StatHistogram* h_round_sent_msgs = nullptr;
+  StatHistogram* h_round_sent_bits = nullptr;
+  StatGauge* g_inbox_flat = nullptr;
+  if (stats != nullptr) {
+    // Which rounds go dense — and therefore which rounds materialize
+    // envelopes, and which nodes the eager ingest skips — is exactly what
+    // differs between engines, hence the kEngine domain on these four.
+    c_scalar_rounds = &stats->counter("sim.scalar_rounds", StatDomain::kEngine);
+    c_vector_rounds = &stats->counter("sim.vector_rounds", StatDomain::kEngine);
+    h_round_active =
+        &stats->histogram("sim.round_active_nodes", StatDomain::kEngine);
+    g_inbox_flat =
+        &stats->gauge("sim.inbox_flat_bytes", StatDomain::kEngine);
+    h_round_sent_msgs = &stats->histogram("sim.round_sent_messages");
+    h_round_sent_bits = &stats->histogram("sim.round_sent_bits");
+  }
   const int checker_cap = checker != nullptr ? checker->active_bit_cap() : 0;
   const int effective_bit_cap =
       message_bit_cap > 0 && checker_cap > 0
@@ -739,6 +763,14 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
       rec.chunk_ns = chunk_ns_scratch;
       tracer->on_round(rec);
     }
+    if (stats != nullptr) {
+      (dense_round ? c_vector_rounds : c_scalar_rounds)->add(1);
+      h_round_active->record(static_cast<std::int64_t>(n_active));
+      h_round_sent_msgs->record(sent_msgs);
+      h_round_sent_bits->record(sent_bits);
+      g_inbox_flat->set(
+          static_cast<std::int64_t>(expanded * sizeof(Envelope)));
+    }
     pending_msgs = sent_msgs;
     pending_bits = sent_bits;
     prev_materialized = round;
@@ -746,6 +778,16 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
     try_enter_dense();
   }
   if (tracer != nullptr) tracer->on_run_end(metrics.rounds);
+  if (stats != nullptr) {
+    stats->counter("sim.runs").add(1);
+    stats->counter("sim.rounds").add(metrics.rounds);
+    stats->counter("sim.executed_rounds").add(metrics.executed_rounds);
+    stats->counter("sim.messages").add(metrics.total_messages);
+    stats->counter("sim.message_bits").add(metrics.total_message_bits);
+    stats->gauge("sim.max_message_bits").set(metrics.max_message_bits);
+    stats->gauge("sim.peak_active_nodes", StatDomain::kEngine)
+        .set(metrics.peak_active_nodes);
+  }
   if (simprof) {
     std::fprintf(
         stderr,

@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <istream>
+#include <optional>
 #include <ostream>
 #include <utility>
 
 #include "check/invariant_checker.h"
 #include "util/check.h"
+#include "util/parse.h"
 #include "util/table.h"
 
 namespace dcolor {
@@ -487,6 +490,122 @@ void render_phase_summary(const std::string& title,
         row.totals);
   }
   t.print(os);
+}
+
+// ---- JSONL summary (the inverse of JsonlSink) -------------------------
+
+namespace {
+
+/// Substring field extractors over ONE region of a JSONL line. The sink
+/// writes every key exactly once per line, so quoted-key search is
+/// unambiguous — as long as the search is confined to the right side of
+/// the `,"t":{` split (deterministic head vs timing tail): the timing
+/// object is free to grow fields whose names collide with deterministic
+/// keys, and span names travel through append_quoted unmodified.
+std::optional<std::int64_t> region_int(std::string_view region,
+                                       std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const auto pos = region.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  return parse_int64_prefix(region.substr(pos + needle.size()));
+}
+
+std::string_view region_str(std::string_view region, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 4);
+  needle += '"';
+  needle += key;
+  needle += "\":\"";
+  const auto pos = region.find(needle);
+  if (pos == std::string_view::npos) return {};
+  const auto begin = pos + needle.size();
+  const auto end = region.find('"', begin);  // sink names contain no escapes
+  return end == std::string_view::npos ? std::string_view()
+                                       : region.substr(begin, end - begin);
+}
+
+}  // namespace
+
+TraceSummaryData summarize_trace_jsonl(std::istream& is) {
+  struct Row {
+    std::int32_t parent = -1;
+    int depth = 0;
+    std::string name;
+    TraceTotals totals;
+  };
+  std::vector<Row> rows;  // indexed by span id == begin order
+  TraceTotals unattributed;
+  TraceSummaryData out;
+
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view full(line);
+    // The timing object is the LAST key of every line (JsonlSink
+    // invariant); rfind tolerates a span name that embeds the marker.
+    const auto t_pos = full.rfind(",\"t\":{");
+    const std::string_view head =
+        t_pos == std::string_view::npos ? full : full.substr(0, t_pos);
+    const std::string_view tail =
+        t_pos == std::string_view::npos ? std::string_view()
+                                        : full.substr(t_pos);
+    const std::string_view type = region_str(head, "type");
+    if (type == "span_begin") {
+      const auto id = region_int(head, "id");
+      DCOLOR_CHECK_MSG(id && *id == static_cast<std::int64_t>(rows.size()),
+                       "span ids out of order at trace line " << line_no);
+      Row row;
+      row.parent =
+          static_cast<std::int32_t>(region_int(head, "parent").value_or(-1));
+      row.depth = static_cast<int>(region_int(head, "depth").value_or(0));
+      row.name = std::string(region_str(head, "name"));
+      rows.push_back(std::move(row));
+    } else if (type == "span_end") {
+      const auto id = region_int(head, "id");
+      DCOLOR_CHECK_MSG(id && *id >= 0 &&
+                           *id < static_cast<std::int64_t>(rows.size()),
+                       "span_end without span_begin at trace line "
+                           << line_no);
+      TraceTotals& t = rows[static_cast<std::size_t>(*id)].totals;
+      t.rounds = region_int(head, "rounds").value_or(0);
+      t.executed = region_int(head, "executed").value_or(0);
+      t.messages = region_int(head, "msgs").value_or(0);
+      t.bits = region_int(head, "bits").value_or(0);
+      t.wall_ns = region_int(tail, "wall_ns").value_or(0);
+    } else if (type == "round") {
+      const std::string_view engine = region_str(head, "engine");
+      if (engine == "vector") {
+        ++out.vector_rounds;
+      } else if (!engine.empty()) {
+        ++out.scalar_rounds;
+      }
+      if (region_int(head, "span").value_or(-1) == -1) {
+        unattributed.rounds += 1 + region_int(head, "ff").value_or(0);
+        unattributed.executed += 1;
+        unattributed.messages += region_int(head, "dmsgs").value_or(0);
+        unattributed.bits += region_int(head, "dbits").value_or(0);
+        unattributed.wall_ns += region_int(tail, "wall_ns").value_or(0);
+      }
+    }
+    // Unknown types: future line kinds fold to nothing, not an error.
+  }
+
+  out.total = unattributed;
+  for (const Row& row : rows) {
+    if (row.parent == -1) out.total += row.totals;
+  }
+  if (unattributed.rounds != 0 || unattributed.executed != 0) {
+    out.rows.push_back({0, "(unattributed)", unattributed});
+  }
+  for (Row& row : rows) {
+    out.rows.push_back({row.depth, std::move(row.name), row.totals});
+  }
+  return out;
 }
 
 // ---- env wiring -------------------------------------------------------

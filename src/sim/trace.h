@@ -242,6 +242,26 @@ void render_phase_summary(const std::string& title,
                           const std::vector<PhaseSummaryRow>& rows,
                           const TraceTotals& total, std::ostream& os);
 
+/// Folded view of a JSONL trace stream (`dcolor --cmd=trace_summary`).
+struct TraceSummaryData {
+  std::vector<PhaseSummaryRow> rows;  ///< "(unattributed)" first when present
+  TraceTotals total;                  ///< unattributed + top-level subtrees
+  /// Executed rounds per materializing engine (round lines' "engine"
+  /// label; both stay 0 on pre-label traces).
+  std::int64_t scalar_rounds = 0;
+  std::int64_t vector_rounds = 0;
+};
+
+/// Rebuilds the per-phase summary from a JSONL trace. Hardened against
+/// mixed-engine traces (per-round engine labels — absent on old traces —
+/// are tallied, never required) and against the trailing "t" object:
+/// deterministic keys are matched strictly BEFORE the `,"t":{` split of
+/// each line, so nothing inside the timing block (ts_ns, step_ns, chunk
+/// arrays — whatever future fields it grows) can shadow them; wall_ns is
+/// read strictly INSIDE it. Unknown line types are skipped. Throws
+/// CheckError on out-of-order span ids.
+TraceSummaryData summarize_trace_jsonl(std::istream& is);
+
 namespace detail {
 /// Installs a process-global tracer from DCOLOR_TRACE /
 /// DCOLOR_TRACE_FORMAT on first call (no-op when unset). Flushed via

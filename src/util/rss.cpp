@@ -1,0 +1,39 @@
+#include "util/rss.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace dcolor {
+
+std::int64_t peak_rss_bytes() noexcept {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is KiB on Linux (bytes on macOS; this repo targets Linux).
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+}
+
+std::int64_t current_rss_bytes() noexcept {
+#if defined(__linux__)
+  // /proc/self/statm: "size resident shared ..." in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "re");
+  if (f != nullptr) {
+    long long size_pages = 0;
+    long long resident_pages = 0;
+    const int got = std::fscanf(f, "%lld %lld", &size_pages, &resident_pages);
+    std::fclose(f);
+    if (got == 2) {
+      const long page = sysconf(_SC_PAGESIZE);
+      return static_cast<std::int64_t>(resident_pages) *
+             static_cast<std::int64_t>(page > 0 ? page : 4096);
+    }
+  }
+#endif
+  return peak_rss_bytes();
+}
+
+}  // namespace dcolor

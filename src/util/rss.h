@@ -1,0 +1,23 @@
+// Resident-set-size sampling for memory accounting.
+//
+// `getrusage` max-RSS is monotone over the PROCESS lifetime: once one
+// large workload has run, every later sample inherits its peak, which is
+// useless for per-section reporting (bench/e14 learned this the hard
+// way). These helpers expose both readings so callers can pick the right
+// one: `current_rss_bytes` for per-section deltas, `peak_rss_bytes` for
+// the process-lifetime bound.
+#pragma once
+
+#include <cstdint>
+
+namespace dcolor {
+
+/// Resident set size RIGHT NOW, in bytes (Linux: /proc/self/statm,
+/// falling back to getrusage peak elsewhere). 0 when unreadable.
+std::int64_t current_rss_bytes() noexcept;
+
+/// Process-lifetime PEAK resident set size in bytes (getrusage
+/// ru_maxrss). Monotone: never decreases, regardless of frees.
+std::int64_t peak_rss_bytes() noexcept;
+
+}  // namespace dcolor

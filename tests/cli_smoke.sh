@@ -78,10 +78,12 @@ SPEC="solver=two_sweep,n=64,degree=6,seed=3,repeat=2;solver=greedy,generator=cyc
        --json="$DIR/batch1.json"
 "$CLI" --cmd=batch --jobs="$SPEC" --threads=4 --verify \
        --json="$DIR/batch4.json"
-# Per-job results must be bit-identical; only the summary's scratch-pool
-# accounting may differ with the worker count.
-grep '"label"' "$DIR/batch1.json" > "$DIR/jobs1.txt"
-grep '"label"' "$DIR/batch4.json" > "$DIR/jobs4.txt"
+# Per-job results must be bit-identical after stripping the trailing
+# "t" timing quarantine (wall clock / RSS are nondeterministic by
+# design); only the summary's scratch-pool accounting may differ with
+# the worker count.
+grep '"label"' "$DIR/batch1.json" | sed 's/, "t": {[^}]*}//' > "$DIR/jobs1.txt"
+grep '"label"' "$DIR/batch4.json" | sed 's/, "t": {[^}]*}//' > "$DIR/jobs4.txt"
 cmp "$DIR/jobs1.txt" "$DIR/jobs4.txt" || {
   echo "cli_smoke: FAIL — batch job results differ across thread counts" >&2
   exit 1; }
@@ -100,6 +102,40 @@ fi
 # A bad job must fail the batch exit code without killing the report.
 if "$CLI" --cmd=batch --jobs="solver=nonexistent,n=32" 2>/dev/null; then
   echo "cli_smoke: FAIL — unknown batch solver exited 0" >&2; exit 1
+fi
+
+# Metrics: --stats writes a JSON registry dump whose deterministic part
+# leads and whose "t" quarantine trails; prom format works too.
+"$CLI" --cmd=color --instance="$DIR/i.txt" --algorithm=two_sweep --ts_p=5 \
+       --out="$DIR/c.txt" --stats="$DIR/stats.json" 2>/dev/null
+grep -q '"sim.rounds"' "$DIR/stats.json"
+grep -q '"t":{' "$DIR/stats.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "$DIR/stats.json"
+fi
+"$CLI" --cmd=color --instance="$DIR/i.txt" --algorithm=two_sweep --ts_p=5 \
+       --out="$DIR/c.txt" --stats="$DIR/stats.prom" --stats-format=prom \
+       2>/dev/null
+grep -q '# TYPE dcolor_sim_rounds counter' "$DIR/stats.prom"
+
+# Arena: the cross-solver Pareto report over a small matrix — markdown to
+# stdout, JSON twin on request, and identical deterministic fields at 1
+# and 4 workers.
+"$CLI" --cmd=arena --generators=gnp --n=48 --degrees=6 --seed=5 \
+       --threads=1 --json="$DIR/arena1.json" > "$DIR/arena.md"
+grep -q '| solver |' "$DIR/arena.md"
+grep -q '0 not run' "$DIR/arena.md"
+"$CLI" --cmd=arena --generators=gnp --n=48 --degrees=6 --seed=5 \
+       --threads=4 --json="$DIR/arena4.json" >/dev/null
+sed 's/, "t": {[^}]*}//' "$DIR/arena1.json" > "$DIR/arena1.stripped"
+sed 's/, "t": {[^}]*}//' "$DIR/arena4.json" > "$DIR/arena4.stripped"
+cmp "$DIR/arena1.stripped" "$DIR/arena4.stripped" || {
+  echo "cli_smoke: FAIL — arena results differ across thread counts" >&2
+  exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "$DIR/arena1.json"
 fi
 
 # Strict numeric parsing: garbage values must fail loudly, not parse as 0.

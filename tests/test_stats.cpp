@@ -1,0 +1,529 @@
+// Resource-accounting metrics tests (`ctest -L observability`):
+// obs/stats.h's determinism and cost contracts, plus the hardened JSONL
+// trace summarizer and the arena report.
+//
+//   * install/uninstall nesting and thread-locality of the current
+//     registry;
+//   * counter/gauge/histogram semantics (power-of-two buckets, exact
+//     count/sum/min/max);
+//   * export shapes: domain-truncated JSON (the "t" quarantine) and
+//     Prometheus text exposition;
+//   * the cost contract — recording into resolved handles performs ZERO
+//     heap allocations, and a solve under a warm registry allocates
+//     exactly as much as one with metrics disabled. This is why the
+//     suite lives in its own binary: it overrides global operator new
+//     with a counter (and is skipped under sanitizers, whose allocators
+//     conflict with the override — see tests/CMakeLists.txt);
+//   * kStable stats are byte-identical at 1/2/4/8 simulator threads AND
+//     across the scalar/vector engines; kEngine stats per engine;
+//   * summarize_trace_jsonl on a recorded mixed-engine trace whose "t"
+//     objects contain decoy keys;
+//   * the arena report's deterministic fields are byte-identical across
+//     batch worker counts and engines once "t" is stripped.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/palette_store.h"
+#include "core/run_context.h"
+#include "core/solver_registry.h"
+#include "graph/generators.h"
+#include "obs/arena.h"
+#include "obs/stats.h"
+#include "sim/trace.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/rss.h"
+
+#include "test_harness.h"
+
+// GCC cannot see that the counting operator new below pairs with the
+// free()-based operator delete once both are inlined into library code;
+// the mismatch it reports is a false positive of this idiom.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dcolor {
+namespace {
+
+std::int64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+// ---- registry mechanics -------------------------------------------------
+
+TEST(Stats, InstallNestsAndRestores) {
+  EXPECT_EQ(StatsRegistry::current(), nullptr);
+  StatsRegistry outer;
+  outer.install();
+  EXPECT_EQ(StatsRegistry::current(), &outer);
+  {
+    StatsRegistry inner;
+    inner.install();
+    EXPECT_EQ(StatsRegistry::current(), &inner);
+    inner.uninstall();
+  }
+  EXPECT_EQ(StatsRegistry::current(), &outer);
+  outer.uninstall();
+  EXPECT_EQ(StatsRegistry::current(), nullptr);
+  EXPECT_THROW(outer.uninstall(), CheckError);
+}
+
+TEST(Stats, DestructorUninstalls) {
+  {
+    StatsRegistry reg;
+    reg.install();
+    EXPECT_EQ(StatsRegistry::current(), &reg);
+  }
+  EXPECT_EQ(StatsRegistry::current(), nullptr);
+}
+
+TEST(Stats, HandlesAreStableAndDomainIsFixedByFirstResolution) {
+  StatsRegistry reg;
+  StatCounter& c = reg.counter("a.b", StatDomain::kEngine);
+  c.add(3);
+  // Later resolutions return the same metric; the domain argument is
+  // ignored after the first.
+  reg.counter("a.b", StatDomain::kStable).add(4);
+  EXPECT_EQ(c.value, 7);
+  const std::string stable = reg.to_json(StatDomain::kStable);
+  EXPECT_EQ(stable.find("a.b"), std::string::npos)
+      << "domain should stay kEngine: " << stable;
+}
+
+TEST(Stats, HistogramBucketsAreExactPowersOfTwo) {
+  StatsRegistry reg;
+  StatHistogram& h = reg.histogram("h");
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1000);
+  h.record(-5);  // clamped into the zero bucket
+  EXPECT_EQ(h.count, 6);
+  EXPECT_EQ(h.sum, 1001);
+  EXPECT_EQ(h.min, -5);
+  EXPECT_EQ(h.max, 1000);
+  EXPECT_EQ(h.buckets[0], 2);  // 0 and -5
+  EXPECT_EQ(h.buckets[1], 1);  // 1
+  EXPECT_EQ(h.buckets[2], 2);  // 2, 3
+  EXPECT_EQ(h.buckets[10], 1);  // 1000 in (511, 1023]
+}
+
+// ---- export shapes ------------------------------------------------------
+
+TEST(Stats, JsonTruncatesAtMaxDomain) {
+  StatsRegistry reg;
+  reg.counter("stable.c", StatDomain::kStable).add(1);
+  reg.counter("engine.c", StatDomain::kEngine).add(2);
+  reg.gauge("timing.g", StatDomain::kTiming).set(3);
+
+  const std::string stable = reg.to_json(StatDomain::kStable);
+  EXPECT_NE(stable.find("\"stable.c\":1"), std::string::npos);
+  EXPECT_EQ(stable.find("engine.c"), std::string::npos);
+  EXPECT_EQ(stable.find("\"t\":"), std::string::npos);
+
+  const std::string full = reg.to_json();
+  EXPECT_NE(full.find("\"engine\":{"), std::string::npos);
+  EXPECT_NE(full.find("\"t\":{"), std::string::npos);
+  EXPECT_NE(full.find("\"timing.g\":{\"value\":3,\"peak\":3}"),
+            std::string::npos);
+  // The quarantine convention: "t" is the LAST section.
+  EXPECT_GT(full.find("\"t\":{"), full.find("\"engine\":{"));
+}
+
+TEST(Stats, PrometheusExposition) {
+  StatsRegistry reg;
+  reg.counter("sim.rounds").add(7);
+  reg.gauge("mem.bytes").set(10);
+  reg.gauge("mem.bytes").set(4);  // value drops, peak stays
+  StatHistogram& h = reg.histogram("sim.active");
+  h.record(1);
+  h.record(3);
+
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE dcolor_sim_rounds counter\n"
+                      "dcolor_sim_rounds 7\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dcolor_mem_bytes 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("dcolor_mem_bytes_peak 10\n"), std::string::npos);
+  // Cumulative buckets up to the last non-empty one, then +Inf.
+  EXPECT_NE(prom.find("dcolor_sim_active_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dcolor_sim_active_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dcolor_sim_active_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dcolor_sim_active_sum 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("dcolor_sim_active_count 2\n"), std::string::npos);
+}
+
+TEST(Stats, WriteStatsFileRejectsUnknownFormat) {
+  const StatsRegistry reg;
+  EXPECT_THROW(write_stats_file(reg, "xml", "/tmp/stats_test_out"),
+               CheckError);
+}
+
+// ---- producers ----------------------------------------------------------
+
+TEST(Stats, ObservePalettesSnapshotsTheStore) {
+  PaletteStore store;
+  store.emplace_back({1, 2, 3}, {0, 0, 0});
+  store.emplace_back({1, 2, 3}, {0, 0, 0});  // dedup hit
+  StatsRegistry reg;
+  reg.observe_palettes(store);
+  EXPECT_EQ(reg.gauge("palette.nodes").value, 2);
+  EXPECT_EQ(reg.gauge("palette.num_palettes").value, 1);
+  EXPECT_EQ(reg.gauge("palette.arena_entries").value, 3);
+  EXPECT_EQ(reg.gauge("palette.dedup_hits").value, 1);
+  EXPECT_EQ(reg.gauge("palette.content_bytes").value, store.content_bytes());
+  EXPECT_GT(reg.gauge("palette.arena_bytes").value, 0);
+}
+
+TEST(Stats, ContentBytesIgnoresCapacityHistory) {
+  // Same content through two different capacity histories: content_bytes
+  // (the figure batch/arena reports use) must agree; memory_bytes is
+  // capacity-based and may not.
+  const auto fill = [](PaletteStore& store) {
+    for (int i = 0; i < 8; ++i) {
+      store.emplace_back({static_cast<Color>(i), static_cast<Color>(i + 1)},
+                         {1, 1});
+    }
+  };
+  PaletteStore fresh;
+  fill(fresh);
+  PaletteStore reused;
+  reused.reserve(4096);
+  reused.reserve_arena(4096);
+  for (int i = 0; i < 100; ++i) {
+    reused.emplace_back({static_cast<Color>(i)}, {0});
+  }
+  reused.clear();
+  fill(reused);
+  EXPECT_EQ(fresh.content_bytes(), reused.content_bytes());
+  EXPECT_GE(reused.memory_bytes(), fresh.content_bytes());
+}
+
+TEST(Stats, RssSamplerReportsPlausibleValues) {
+  StatsRegistry reg;
+  reg.sample_rss();
+  EXPECT_GT(reg.gauge("mem.current_rss_bytes").value, 0);
+  EXPECT_GT(reg.gauge("mem.peak_rss_bytes").value, 0);
+  // getrusage's high-water mark bounds the /proc/self/statm sample.
+  EXPECT_GE(reg.gauge("mem.peak_rss_bytes").value,
+            reg.gauge("mem.current_rss_bytes").value / 2);
+}
+
+// ---- cost contract ------------------------------------------------------
+
+TEST(Stats, RecordingIntoResolvedHandlesAllocatesNothing) {
+  StatsRegistry reg;
+  // Deliberately longer than any SSO buffer: a lookup that builds a
+  // std::string key would show up in the counter.
+  const char* const kLong = "sim.some_quite_long_histogram_metric_name";
+  StatCounter& c = reg.counter(kLong);
+  StatGauge& g = reg.gauge("sim.another_long_gauge_metric_name_here");
+  StatHistogram& h = reg.histogram("sim.round_sent_bits_histogram_name");
+
+  const std::int64_t before = allocations();
+  for (int i = 0; i < 10000; ++i) {
+    c.add(1);
+    g.set(i);
+    h.record(i);
+    // Re-resolution of an existing name is heterogeneous (string_view):
+    // no key string is materialized.
+    reg.counter(kLong).add(1);
+  }
+  EXPECT_EQ(allocations() - before, 0)
+      << "steady-state metric recording touched the heap";
+}
+
+TEST(Stats, SolveUnderWarmRegistryAllocatesLikeDisabled) {
+  ScopedDefaultThreads threads(1);
+  Rng rng(1800);
+  const NodeId n = 600;
+  const Graph g = random_near_regular(n, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int d = o.beta();
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 40, 10, d, rng);
+  std::vector<Color> ids(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  const Solver& solver = SolverRegistry::get().require("fast_two_sweep");
+  SolveRequest req;
+  req.oldc = &inst;
+  req.initial_coloring = &ids;
+  req.q = n;
+
+  const auto solve_allocations = [&](StatsRegistry* stats) {
+    RunContext ctx;
+    ctx.stats = stats;
+    const RunScope scope(ctx);
+    const std::int64_t before = allocations();
+    solver.solve(req, ctx);
+    return allocations() - before;
+  };
+
+  solve_allocations(nullptr);  // process warmup (lazy singletons, pools)
+  const std::int64_t disabled = solve_allocations(nullptr);
+  EXPECT_EQ(solve_allocations(nullptr), disabled)
+      << "baseline solve is not allocation-deterministic; the contract "
+         "below would be meaningless";
+
+  StatsRegistry reg;
+  solve_allocations(&reg);  // resolve every handle once (allocates)
+  EXPECT_EQ(solve_allocations(&reg), disabled)
+      << "a warm registry must add zero steady-state allocations";
+  EXPECT_EQ(solve_allocations(nullptr), disabled);
+}
+
+// ---- determinism across threads and engines -----------------------------
+
+TEST(Stats, StableStatsIdenticalAcrossThreadsAndEngines) {
+  Rng rng(1800);
+  const NodeId n = 800;
+  const Graph g = random_near_regular(n, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int d = o.beta();
+  const OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), 40, 10, d, rng);
+  std::vector<Color> ids(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  const Solver& solver = SolverRegistry::get().require("fast_two_sweep");
+  SolveRequest req;
+  req.oldc = &inst;
+  req.initial_coloring = &ids;
+  req.q = n;
+
+  const auto run = [&](EngineKind engine, int threads) {
+    StatsRegistry reg;
+    RunContext ctx;
+    ctx.stats = &reg;
+    ctx.engine = engine;
+    ctx.num_threads = threads;
+    {
+      const RunScope scope(ctx);
+      solver.solve(req, ctx);
+    }
+    return std::pair<std::string, std::string>{
+        reg.to_json(StatDomain::kStable), reg.to_json(StatDomain::kEngine)};
+  };
+
+  const auto [stable_base, engine_base] = run(EngineKind::kScalar, 1);
+  EXPECT_NE(stable_base.find("sim.runs"), std::string::npos);
+  EXPECT_NE(stable_base.find("sim.round_sent_bits"), std::string::npos);
+  std::string engine_vector_base;
+  for (const EngineKind ek : {EngineKind::kScalar, EngineKind::kVector}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      const auto [stable, engine_incl] = run(ek, threads);
+      EXPECT_EQ(stable, stable_base)
+          << "kStable stats diverged at engine=" << engine_name(ek)
+          << " threads=" << threads;
+      // kEngine-inclusive export must agree WITHIN an engine at every
+      // thread count (across engines it may differ by design).
+      std::string& per_engine_base =
+          ek == EngineKind::kScalar
+              ? const_cast<std::string&>(engine_base)
+              : engine_vector_base;
+      if (per_engine_base.empty()) {
+        per_engine_base = engine_incl;
+      } else {
+        EXPECT_EQ(engine_incl, per_engine_base)
+            << "kEngine stats diverged within engine=" << engine_name(ek)
+            << " at threads=" << threads;
+      }
+    }
+  }
+}
+
+// ---- trace summarizer ---------------------------------------------------
+
+TEST(Stats, SummarizeTraceJsonlHandlesEngineLabelsAndDecoyTimingKeys) {
+  // A recorded-trace regression fixture in JsonlSink's exact format:
+  // mixed engine labels, one pre-label line (no "engine" key), an
+  // unattributed round, an unknown line type, and "t" objects carrying
+  // DECOY deterministic key names ("rounds", "engine") that a naive
+  // whole-line scan would pick up.
+  const char* const kTrace =
+      R"({"type":"span_begin","id":0,"parent":-1,"depth":0,"name":"outer","g_round":0,"t":{"ts_ns":100}}
+{"type":"round","g_round":1,"round":1,"ff":0,"span":0,"active":5,"inbox":5,"woken":0,"dense":0,"dmsgs":10,"dbits":80,"smsgs":10,"sbits":80,"bfast":0,"engine":"scalar","t":{"ts_ns":200,"wall_ns":50,"step_ns":40,"chunks":[40],"rounds":999,"engine":"vector"}}
+{"type":"round","g_round":2,"round":2,"ff":0,"span":0,"active":5,"inbox":5,"woken":0,"dense":0,"dmsgs":10,"dbits":80,"smsgs":0,"sbits":0,"bfast":0,"engine":"vector","t":{"ts_ns":300,"wall_ns":60,"step_ns":50,"chunks":[50]}}
+{"type":"span_end","id":0,"name":"outer","g_round":2,"rounds":2,"executed":2,"msgs":20,"bits":160,"t":{"ts_ns":400,"wall_ns":110}}
+{"type":"round","g_round":3,"round":3,"ff":4,"span":-1,"active":1,"inbox":1,"woken":0,"dense":0,"dmsgs":2,"dbits":16,"smsgs":0,"sbits":0,"bfast":0,"t":{"ts_ns":500,"wall_ns":30}}
+{"type":"future_record","payload":"ignored","t":{"ts_ns":600}}
+)";
+  std::istringstream is(kTrace);
+  const TraceSummaryData data = summarize_trace_jsonl(is);
+
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_EQ(data.rows[0].name, "(unattributed)");
+  EXPECT_EQ(data.rows[0].totals.rounds, 5);  // 1 + 4 fast-forwarded
+  EXPECT_EQ(data.rows[0].totals.executed, 1);
+  EXPECT_EQ(data.rows[0].totals.messages, 2);
+  EXPECT_EQ(data.rows[0].totals.bits, 16);
+  EXPECT_EQ(data.rows[0].totals.wall_ns, 30);
+  EXPECT_EQ(data.rows[1].name, "outer");
+  EXPECT_EQ(data.rows[1].totals.rounds, 2);  // NOT the decoy 999
+  EXPECT_EQ(data.rows[1].totals.executed, 2);
+  EXPECT_EQ(data.rows[1].totals.messages, 20);
+  EXPECT_EQ(data.rows[1].totals.bits, 160);
+  EXPECT_EQ(data.rows[1].totals.wall_ns, 110);
+
+  EXPECT_EQ(data.total.rounds, 7);
+  EXPECT_EQ(data.total.executed, 3);
+  EXPECT_EQ(data.total.bits, 176);
+
+  // One scalar + one vector label; the unlabeled (pre-label) round is
+  // tallied under neither.
+  EXPECT_EQ(data.scalar_rounds, 1);
+  EXPECT_EQ(data.vector_rounds, 1);
+}
+
+TEST(Stats, SummarizeTraceJsonlRejectsOutOfOrderSpanIds) {
+  std::istringstream is(
+      R"({"type":"span_begin","id":3,"parent":-1,"depth":0,"name":"x","g_round":0,"t":{"ts_ns":1}}
+)");
+  EXPECT_THROW(summarize_trace_jsonl(is), CheckError);
+}
+
+// ---- arena --------------------------------------------------------------
+
+/// Removes every `, "t": {...}` quarantine block (JSON) and the engine
+/// header field, leaving only fields the determinism contract covers.
+std::string strip_nondeterministic(std::string s) {
+  for (std::size_t pos; (pos = s.find(", \"t\": {")) != std::string::npos;) {
+    const std::size_t close = s.find('}', pos);
+    s.erase(pos, close - pos + 1);
+  }
+  const std::size_t epos = s.find("\"engine\": \"");
+  if (epos != std::string::npos) {
+    const std::size_t vbegin = epos + 11;
+    const std::size_t vend = s.find('"', vbegin);
+    s.replace(vbegin, vend - vbegin, "X");
+  }
+  return s;
+}
+
+TEST(Stats, ArenaReportDeterministicAcrossWorkersAndEngines) {
+  ArenaOptions options;
+  options.generators = {"gnp"};
+  options.sizes = {64};
+  options.degrees = {6};
+  options.solvers = {"greedy", "two_sweep", "fast_two_sweep", "luby"};
+  options.seed = 7;
+
+  const auto render = [&](int threads, EngineKind engine) {
+    ArenaOptions o = options;
+    o.threads = threads;
+    o.sim_engine = engine;
+    return strip_nondeterministic(run_arena(o).to_json());
+  };
+
+  const std::string base = render(1, EngineKind::kScalar);
+  EXPECT_EQ(render(4, EngineKind::kScalar), base);
+  EXPECT_EQ(render(1, EngineKind::kVector), base);
+  EXPECT_EQ(render(4, EngineKind::kVector), base);
+}
+
+TEST(Stats, ArenaMarksTheParetoFrontAndCoversTheRegistry) {
+  ArenaOptions options;
+  options.generators = {"gnp"};
+  options.sizes = {64};
+  options.degrees = {6};
+  options.seed = 1;
+  const ArenaReport report = run_arena(options);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  // ROADMAP item 4 wants a cross-solver report: every registry solver
+  // runs, and at least 8 produce valid comparable rows.
+  EXPECT_GE(report.jobs_valid, 8);
+  EXPECT_EQ(report.jobs_failed, 0);
+  std::int64_t front = 0;
+  for (const ArenaRow& row : report.scenarios[0].rows) {
+    if (row.pareto) ++front;
+    if (!row.result.valid || !row.result.error.empty()) {
+      EXPECT_FALSE(row.pareto);
+    }
+  }
+  EXPECT_GE(front, 1);
+  EXPECT_LT(front, static_cast<std::int64_t>(report.scenarios[0].rows.size()))
+      << "a front containing every row compares nothing";
+  const std::string md = report.to_markdown();
+  EXPECT_NE(md.find("| solver |"), std::string::npos);
+  EXPECT_NE(md.find(" | * |"), std::string::npos);
+}
+
+// ---- batch integration --------------------------------------------------
+
+TEST(Stats, BatchJobsCarryPaletteBytesAndAggregateIntoCallerRegistry) {
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    BatchJob job;
+    job.solver = "two_sweep";
+    job.generator = "regular";
+    job.n = 200;
+    job.degree = 6;
+    job.seed = static_cast<std::uint64_t>(i + 1);
+    jobs.push_back(std::move(job));
+  }
+  StatsRegistry reg;
+  reg.install();
+  BatchOptions options;
+  options.threads = 2;
+  const BatchReport report = run_batch(jobs, options);
+  reg.uninstall();
+
+  EXPECT_EQ(report.jobs_valid, 4);
+  for (const BatchJobResult& r : report.jobs) {
+    EXPECT_GT(r.palette_bytes, 0) << r.label;
+    EXPECT_GT(r.t.wall_ns, 0) << r.label;
+  }
+  EXPECT_EQ(reg.counter("batch.jobs").value, 4);
+  EXPECT_EQ(reg.counter("batch.jobs_valid").value, 4);
+  EXPECT_EQ(reg.counter("batch.message_bits").value, report.total_bits);
+  // Lease accounting depends on the worker count -> kTiming quarantine.
+  const std::string stable = reg.to_json(StatDomain::kStable);
+  EXPECT_EQ(stable.find("batch.scratch_created"), std::string::npos);
+  EXPECT_NE(reg.to_json().find("batch.scratch_created"), std::string::npos);
+}
+
+TEST(Stats, BatchResultEqualityIgnoresTimingQuarantine) {
+  BatchJobResult a;
+  BatchJobResult b;
+  a.t.wall_ns = 123;
+  b.t.wall_ns = 456;
+  b.t.rss_bytes = 1 << 20;
+  EXPECT_EQ(a, b);
+  b.palette_bytes = 7;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -18,12 +18,20 @@
 // new rows; a baseline refresh picks them up), but zero matched
 // comparisons is an error — a gate that compares nothing must not pass.
 //
+// Memory fields (--mem-fields, default none) are gated the same way with
+// their own tolerance and an absolute slack in MiB: RSS is page-
+// granular and allocator-dependent, so small rows need a floor just
+// like small timings do.
+//
 // Flags:
 //   --baseline=BENCH_e14.json    committed reference
 //   --candidate=BENCH_e14.json   freshly measured file
 //   --tolerance=0.10             relative regression budget
 //   --slack-ms=150               absolute budget added on top
 //   --fields=wall_ms,solve_ms    comma-separated timing fields
+//   --mem-fields=rss_mib         comma-separated memory fields (MiB)
+//   --mem-tolerance=0.10         relative memory budget
+//   --mem-slack-mib=32           absolute memory budget added on top
 //
 // Exit code: 0 = no regression, 1 = regression (or nothing compared),
 // 2 = bad invocation / unreadable input.
@@ -118,7 +126,8 @@ std::string row_key(const BenchRow& row,
     // us_per_node is derived from wall_ms; setup_ms and the memory
     // accounting columns are measurements, not identity.
     if (is_timing || k == "us_per_node" || k == "setup_ms" ||
-        k == "peak_rss_mib" || k == "palette_mib" || k == "wall_ns") {
+        k == "peak_rss_mib" || k == "rss_mib" || k == "rss_delta_mib" ||
+        k == "palette_mib" || k == "wall_ns") {
       continue;
     }
     key += k;
@@ -153,7 +162,14 @@ int run(int argc, char** argv) {
   const double slack_ms = args.get_double("slack-ms", 150.0);
   const std::vector<std::string> fields =
       split_csv(args.get_string("fields", "wall_ms,solve_ms"));
+  const double mem_tolerance = args.get_double("mem-tolerance", 0.10);
+  const double mem_slack_mib = args.get_double("mem-slack-mib", 32.0);
+  const std::vector<std::string> mem_fields =
+      split_csv(args.get_string("mem-fields", ""));
   args.check_all_consumed();
+  // Both field lists are measurements, not identity.
+  std::vector<std::string> measured = fields;
+  measured.insert(measured.end(), mem_fields.begin(), mem_fields.end());
   DCOLOR_CHECK_MSG(!baseline_path.empty() && !candidate_path.empty(),
                    "usage: bench_diff --baseline=a.json --candidate=b.json "
                    "[--tolerance=0.10] [--slack-ms=150] "
@@ -168,10 +184,10 @@ int run(int argc, char** argv) {
   const auto index = [&](const std::vector<BenchRow>& rows) {
     std::map<std::string, BenchRow> out;
     for (const BenchRow& row : rows) {
-      const std::string key = row_key(row, fields);
+      const std::string key = row_key(row, measured);
       const auto [it, inserted] = out.emplace(key, row);
       if (inserted) continue;
-      for (const std::string& f : fields) {
+      for (const std::string& f : measured) {
         const auto fresh = get_num(row, f);
         const auto kept = get_num(it->second, f);
         if (fresh && (!kept || *fresh < *kept)) {
@@ -185,7 +201,7 @@ int run(int argc, char** argv) {
   const std::map<std::string, BenchRow> cand = index(cand_rows);
 
   Table t("bench_diff (" + baseline_path + " -> " + candidate_path + ")");
-  t.header({"row", "field", "base ms", "cand ms", "delta", "verdict"});
+  t.header({"row", "field", "base", "cand", "delta", "verdict"});
   std::int64_t compared = 0, regressions = 0, skipped = 0;
   for (const auto& [key, crow] : cand) {
     const auto bit = base.find(key);
@@ -193,22 +209,27 @@ int run(int argc, char** argv) {
       ++skipped;
       continue;
     }
-    for (const std::string& f : fields) {
-      const auto b = get_num(bit->second, f);
-      const auto c = get_num(crow, f);
-      if (!b || !c) continue;
-      ++compared;
-      const double budget = *b * (1.0 + tolerance) + slack_ms;
-      const bool bad = *c > budget;
-      if (bad) ++regressions;
-      const double delta_pct = *b > 0.0 ? 100.0 * (*c - *b) / *b : 0.0;
-      std::ostringstream delta;
-      delta << (delta_pct >= 0 ? "+" : "") << static_cast<int>(delta_pct)
-            << "%";
-      // Trim the trailing '|' and print only the identity fields.
-      t.add(key.substr(0, key.empty() ? 0 : key.size() - 1), f, *b, *c,
-            delta.str(), bad ? "REGRESSED" : "ok");
-    }
+    const auto gate = [&](const std::vector<std::string>& fs, double tol,
+                          double slack) {
+      for (const std::string& f : fs) {
+        const auto b = get_num(bit->second, f);
+        const auto c = get_num(crow, f);
+        if (!b || !c) continue;
+        ++compared;
+        const double budget = *b * (1.0 + tol) + slack;
+        const bool bad = *c > budget;
+        if (bad) ++regressions;
+        const double delta_pct = *b > 0.0 ? 100.0 * (*c - *b) / *b : 0.0;
+        std::ostringstream delta;
+        delta << (delta_pct >= 0 ? "+" : "") << static_cast<int>(delta_pct)
+              << "%";
+        // Trim the trailing '|' and print only the identity fields.
+        t.add(key.substr(0, key.empty() ? 0 : key.size() - 1), f, *b, *c,
+              delta.str(), bad ? "REGRESSED" : "ok");
+      }
+    };
+    gate(fields, tolerance, slack_ms);
+    gate(mem_fields, mem_tolerance, mem_slack_mib);
   }
   for (const auto& [key, brow] : base) {
     if (cand.find(key) == cand.end()) ++skipped;
@@ -218,7 +239,12 @@ int run(int argc, char** argv) {
             << " regression(s), " << skipped
             << " unmatched row(s) skipped (tolerance "
             << static_cast<int>(100.0 * tolerance) << "%, slack " << slack_ms
-            << " ms)\n";
+            << " ms";
+  if (!mem_fields.empty()) {
+    std::cout << "; mem tolerance " << static_cast<int>(100.0 * mem_tolerance)
+              << "%, mem slack " << mem_slack_mib << " MiB";
+  }
+  std::cout << ")\n";
   if (compared == 0) {
     std::cout << "bench_diff: FAIL — nothing compared (key mismatch between "
                  "the two files?)\n";

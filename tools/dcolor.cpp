@@ -28,6 +28,12 @@
 //             --graph=graph.txt [--exact_theta]
 //   trace_summary  Fold a JSONL round trace into a per-phase table.
 //             --trace=trace.jsonl
+//   arena     Race every capable registry solver over a scenario matrix
+//             and report per-scenario Pareto fronts over (colors, rounds,
+//             message bits); see obs/arena.h.
+//             [--generators=gnp,regular] [--n=128,512] [--degrees=6,12]
+//             [--solvers=a,b,...] [--seed=1] [--threads=0] [--verify]
+//             [--out=arena.md] [--json=arena.json]
 //   fuzz      Differential fuzzing against sequential oracles. The
 //             algorithm axis comes from the solver registry; --alg=<name>
 //             restricts it to one solver.
@@ -49,6 +55,11 @@
 // across engines — the flag is a perf / differential-testing knob. Batch
 // jobs can override it per job with the `sim_engine` spec key.
 //
+// --stats=<path> [--stats-format=json|prom] installs a process-wide
+// StatsRegistry (obs/stats.h) for the run and writes the collected
+// counters/gauges/histograms — plus an end-of-run RSS sample — to the
+// given file on exit.
+//
 // Exit code 0 on success / valid, 1 otherwise.
 #include <cstdlib>
 #include <fstream>
@@ -68,6 +79,8 @@
 #include "graph/independence.h"
 #include "graph/line_graph.h"
 #include "io/instance_io.h"
+#include "obs/arena.h"
+#include "obs/stats.h"
 #include "sim/batch_runner.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
@@ -293,109 +306,82 @@ int cmd_info(const CliArgs& args) {
 }
 
 // ---- trace_summary ----------------------------------------------------
-//
-// Minimal field extractors for the tracer's own JSONL output. The sink
-// writes flat objects (the only nested value is the trailing "t" timing
-// block), every key exactly once per line, so substring search with the
-// quoted key + colon is unambiguous.
-
-std::optional<std::int64_t> json_int(const std::string& line,
-                                     const std::string& key) {
-  const std::string needle = "\"" + key + "\":";
-  const auto pos = line.find(needle);
-  if (pos == std::string::npos) return std::nullopt;
-  // Prefix parse (the value is followed by "," or "}"); unlike the old
-  // strtoll this yields nullopt — not a silent 0 — when the field is
-  // non-numeric.
-  return parse_int64_prefix(
-      std::string_view(line).substr(pos + needle.size()));
-}
-
-std::string json_str(const std::string& line, const std::string& key) {
-  const std::string needle = "\"" + key + "\":\"";
-  const auto pos = line.find(needle);
-  if (pos == std::string::npos) return {};
-  const auto begin = pos + needle.size();
-  const auto end = line.find('"', begin);  // sink names contain no escapes
-  return end == std::string::npos ? std::string()
-                                  : line.substr(begin, end - begin);
-}
 
 int cmd_trace_summary(const CliArgs& args) {
   const std::string path = args.get_string("trace", "trace.jsonl");
   std::ifstream is(path);
   DCOLOR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
-
-  struct Row {
-    std::int32_t parent = -1;
-    int depth = 0;
-    std::string name;
-    TraceTotals totals;
-  };
-  std::vector<Row> rows;  // indexed by span id == begin order
-  TraceTotals unattributed;
-  // Executed rounds per materializing engine (sim/engine.h): how often
-  // the density heuristic picked the vector path is itself a summary-
-  // worthy fact of a run.
-  std::int64_t scalar_rounds = 0, vector_rounds = 0;
-
-  std::string line;
-  while (std::getline(is, line)) {
-    const std::string type = json_str(line, "type");
-    if (type == "span_begin") {
-      const auto id = json_int(line, "id");
-      DCOLOR_CHECK_MSG(id && *id == static_cast<std::int64_t>(rows.size()),
-                       "span ids out of order in " << path);
-      Row row;
-      row.parent = static_cast<std::int32_t>(json_int(line, "parent").value_or(-1));
-      row.depth = static_cast<int>(json_int(line, "depth").value_or(0));
-      row.name = json_str(line, "name");
-      rows.push_back(std::move(row));
-    } else if (type == "span_end") {
-      const auto id = json_int(line, "id");
-      DCOLOR_CHECK_MSG(id && *id >= 0 &&
-                           *id < static_cast<std::int64_t>(rows.size()),
-                       "span_end without span_begin in " << path);
-      TraceTotals& t = rows[static_cast<std::size_t>(*id)].totals;
-      t.rounds = json_int(line, "rounds").value_or(0);
-      t.executed = json_int(line, "executed").value_or(0);
-      t.messages = json_int(line, "msgs").value_or(0);
-      t.bits = json_int(line, "bits").value_or(0);
-      t.wall_ns = json_int(line, "wall_ns").value_or(0);
-    } else if (type == "round") {
-      const std::string engine = json_str(line, "engine");
-      if (engine == "vector") {
-        ++vector_rounds;
-      } else if (!engine.empty()) {
-        ++scalar_rounds;
-      }
-      if (json_int(line, "span").value_or(-1) == -1) {
-        unattributed.rounds += 1 + json_int(line, "ff").value_or(0);
-        unattributed.executed += 1;
-        unattributed.messages += json_int(line, "dmsgs").value_or(0);
-        unattributed.bits += json_int(line, "dbits").value_or(0);
-        unattributed.wall_ns += json_int(line, "wall_ns").value_or(0);
-      }
-    }
-  }
-
-  TraceTotals total = unattributed;
-  for (const Row& row : rows) {
-    if (row.parent == -1) total += row.totals;
-  }
-  std::vector<PhaseSummaryRow> out;
-  if (unattributed.rounds != 0 || unattributed.executed != 0) {
-    out.push_back({0, "(unattributed)", unattributed});
-  }
-  for (const Row& row : rows) {
-    out.push_back({row.depth, row.name, row.totals});
-  }
-  render_phase_summary("trace summary (" + path + ")", out, total, std::cout);
-  if (scalar_rounds + vector_rounds > 0) {
-    std::cout << "executed rounds by engine: scalar " << scalar_rounds
-              << ", vector " << vector_rounds << "\n";
+  // The folding lives in the library (sim/trace.h) so the hardening
+  // against mixed-engine lines and "t"-object contents is testable.
+  const TraceSummaryData summary = summarize_trace_jsonl(is);
+  render_phase_summary("trace summary (" + path + ")", summary.rows,
+                       summary.total, std::cout);
+  if (summary.scalar_rounds + summary.vector_rounds > 0) {
+    std::cout << "executed rounds by engine: scalar " << summary.scalar_rounds
+              << ", vector " << summary.vector_rounds << "\n";
   }
   return 0;
+}
+
+// ---- arena -------------------------------------------------------------
+
+std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const auto comma = std::min(spec.find(',', begin), spec.size());
+    if (comma > begin) out.push_back(spec.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return out;
+}
+
+int cmd_arena(const CliArgs& args) {
+  ArenaOptions options;
+  if (args.has("generators")) {
+    options.generators = split_csv(args.get_string("generators", "gnp"));
+  }
+  if (args.has("n")) {
+    options.sizes.clear();
+    for (const std::string& v : split_csv(args.get_string("n", "256"))) {
+      options.sizes.push_back(static_cast<NodeId>(parse_int64(v, "--n")));
+    }
+  }
+  if (args.has("degrees")) {
+    options.degrees.clear();
+    for (const std::string& v : split_csv(args.get_string("degrees", "8"))) {
+      options.degrees.push_back(static_cast<int>(parse_int64(v, "--degrees")));
+    }
+  }
+  if (args.has("solvers")) {
+    options.solvers = split_csv(args.get_string("solvers", ""));
+  }
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.threads = static_cast<int>(args.get_int("threads", 0));
+  options.check = args.get_bool("verify");
+  // Per-job pin (recorded in the report header); the same flag also set
+  // the process default above, which kAuto jobs would inherit anyway.
+  options.sim_engine =
+      engine_from_string(args.get_string("engine", "auto"));
+
+  const ArenaReport report = run_arena(options);
+  const std::string markdown = report.to_markdown();
+  std::cout << markdown;
+  if (args.has("out")) {
+    const std::string path = args.get_string("out", "arena.md");
+    std::ofstream os(path);
+    DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << path);
+    os << markdown;
+    std::cout << "markdown written to " << path << "\n";
+  }
+  if (args.has("json")) {
+    const std::string path = args.get_string("json", "arena.json");
+    std::ofstream os(path);
+    DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << path);
+    os << report.to_json();
+    std::cout << "report written to " << path << "\n";
+  }
+  return report.jobs_failed == 0 ? 0 : 1;
 }
 
 // ---- fuzz --------------------------------------------------------------
@@ -520,6 +506,16 @@ int run(int argc, char** argv) {
     checker->install();
   }
 
+  std::unique_ptr<StatsRegistry> stats;
+  std::string stats_path;
+  std::string stats_format;
+  if (args.has("stats")) {
+    stats_path = args.get_string("stats", "stats.json");
+    stats_format = args.get_string("stats-format", "json");
+    stats = std::make_unique<StatsRegistry>();
+    stats->install();
+  }
+
   int code;
   if (cmd == "generate") {
     code = cmd_generate(args);
@@ -535,11 +531,19 @@ int run(int argc, char** argv) {
     code = cmd_validate(args);
   } else if (cmd == "info") {
     code = cmd_info(args);
+  } else if (cmd == "arena") {
+    code = cmd_arena(args);
   } else if (cmd == "fuzz") {
     code = cmd_fuzz(args);
   } else {
     DCOLOR_CHECK_MSG(false, "unknown --cmd=" << cmd);
     return 1;
+  }
+  if (stats != nullptr) {
+    stats->sample_rss();
+    stats->uninstall();
+    write_stats_file(*stats, stats_format, stats_path);
+    std::cerr << "[stats] written to " << stats_path << "\n";
   }
   if (checker != nullptr) {
     const auto& violations = checker->violations();
