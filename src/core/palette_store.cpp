@@ -172,6 +172,50 @@ std::int64_t PaletteStore::content_bytes() const noexcept {
                                    node_palette_.size() * sizeof(PaletteId));
 }
 
+PaletteStore PaletteStore::adopt(std::span<const Color> arena_colors,
+                                 std::span<const int> arena_defects,
+                                 std::span<const PaletteRecord> palettes,
+                                 std::span<const PaletteId> node_palette,
+                                 std::int64_t dedup_hits) {
+  DCOLOR_CHECK_MSG(arena_colors.size() == arena_defects.size(),
+                   "adopt: color/defect arenas disagree on size");
+  const auto arena = static_cast<std::int64_t>(arena_colors.size());
+  for (const PaletteRecord& rec : palettes) {
+    DCOLOR_CHECK_MSG(rec.offset >= 0 && rec.len <= arena &&
+                         rec.offset <= arena - rec.len,
+                     "adopt: palette record overruns the arena");
+  }
+  for (const PaletteId id : node_palette) {
+    DCOLOR_CHECK_MSG(id < palettes.size(),
+                     "adopt: node palette id " << id << " out of range");
+  }
+  PaletteStore s;
+  s.arena_colors_ =
+      StorageVec<Color>::adopt(arena_colors.data(), arena_colors.size());
+  s.arena_defects_ =
+      StorageVec<int>::adopt(arena_defects.data(), arena_defects.size());
+  s.palettes_ =
+      StorageVec<PaletteRecord>::adopt(palettes.data(), palettes.size());
+  s.node_palette_ =
+      StorageVec<PaletteId>::adopt(node_palette.data(), node_palette.size());
+  s.dedup_hits_ = dedup_hits;
+  return s;
+}
+
+PaletteStore PaletteStore::borrow() const noexcept {
+  PaletteStore s;
+  s.arena_colors_ =
+      StorageVec<Color>::adopt(arena_colors_.data(), arena_colors_.size());
+  s.arena_defects_ =
+      StorageVec<int>::adopt(arena_defects_.data(), arena_defects_.size());
+  s.palettes_ =
+      StorageVec<PaletteRecord>::adopt(palettes_.data(), palettes_.size());
+  s.node_palette_ =
+      StorageVec<PaletteId>::adopt(node_palette_.data(), node_palette_.size());
+  s.dedup_hits_ = dedup_hits_;
+  return s;
+}
+
 std::int64_t PaletteStore::normalize_scratch(Scratch& scratch) {
   auto& cs = scratch.colors;
   auto& ds = scratch.defects;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "storage/storage_vec.h"
 
 namespace dcolor {
 
@@ -174,6 +175,26 @@ class PaletteStore {
  public:
   using PaletteId = std::uint32_t;
 
+  static constexpr std::uint32_t kNoPalette = 0xFFFFFFFFu;
+
+  /// One record per DISTINCT palette. Exactly 32 bytes, padding-free —
+  /// the record array is a snapshot file section verbatim, so the layout
+  /// is part of the on-disk format (bump the snapshot version if it
+  /// changes).
+  struct PaletteRecord {
+    std::int64_t offset = 0;  ///< start in the arena arrays
+    std::int64_t weight = 0;  ///< cached Σ(d+1)
+    std::uint64_t hash = 0;   ///< cached hash_palette value: rehashing
+                              ///  relinks chains without re-reading (and
+                              ///  re-mixing) the palette bytes, and find()
+                              ///  skips deep equality on chain collisions
+    std::uint32_t len = 0;
+    std::uint32_t next = kNoPalette;  ///< hash-bucket chain
+  };
+  static_assert(sizeof(PaletteRecord) == 32 &&
+                    std::is_trivially_copyable_v<PaletteRecord>,
+                "PaletteRecord is serialized raw into snapshots");
+
   PaletteStore() = default;
 
   // ---- vector-like facade (node axis) --------------------------------
@@ -263,11 +284,43 @@ class PaletteStore {
   /// Raw arena arrays; byte-comparable across builds (the determinism
   /// contract of build_parallel).
   std::span<const Color> arena_colors() const noexcept {
-    return arena_colors_;
+    return {arena_colors_.data(), arena_colors_.size()};
   }
   std::span<const int> arena_defects() const noexcept {
-    return arena_defects_;
+    return {arena_defects_.data(), arena_defects_.size()};
   }
+
+  // ---- storage seam (snapshot serialization) ---------------------------
+
+  /// Per-distinct-palette records (offsets into the arena); raw section of
+  /// the snapshot format.
+  std::span<const PaletteRecord> palette_records() const noexcept {
+    return {palettes_.data(), palettes_.size()};
+  }
+  /// Per-node palette ids; raw section of the snapshot format.
+  std::span<const PaletteId> node_palette_ids() const noexcept {
+    return {node_palette_.data(), node_palette_.size()};
+  }
+
+  /// Builds a store that *borrows* prebuilt arena arrays (e.g. sections of
+  /// a memory-mapped snapshot) zero-copy. The caller keeps the spans alive
+  /// for the store's lifetime. A borrowed store serves every read
+  /// (operator[], view, accounting) at full speed; interning NEW palettes
+  /// into it fails loudly (the hash index is owner-only), which is the
+  /// point — mapped instances are immutable.
+  static PaletteStore adopt(std::span<const Color> arena_colors,
+                            std::span<const int> arena_defects,
+                            std::span<const PaletteRecord> palettes,
+                            std::span<const PaletteId> node_palette,
+                            std::int64_t dedup_hits);
+
+  /// A zero-copy borrowed view of this store (this object must outlive
+  /// it). Carries dedup_hits_ along so the deterministic accounting fields
+  /// of a job running over a cached instance match a scratch-built run.
+  PaletteStore borrow() const noexcept;
+
+  /// True when the arena arrays are borrowed rather than owned.
+  bool borrowed() const noexcept { return arena_colors_.borrowed(); }
 
   // ---- deterministic parallel construction ----------------------------
 
@@ -315,18 +368,6 @@ class PaletteStore {
   }
 
  private:
-  struct PaletteRecord {
-    std::int64_t offset = 0;
-    std::uint32_t len = 0;
-    std::int64_t weight = 0;
-    std::uint32_t next = kNoPalette;  ///< hash-bucket chain
-    std::uint64_t hash = 0;  ///< cached hash_palette value: rehashing
-                             ///  relinks chains without re-reading (and
-                             ///  re-mixing) the palette bytes, and find()
-                             ///  skips deep equality on chain collisions
-  };
-  static constexpr std::uint32_t kNoPalette = 0xFFFFFFFFu;
-
   static std::uint64_t hash_palette(PaletteView view) noexcept;
 
   /// Appends the palette bytes to the arena unconditionally (dedup is the
@@ -340,11 +381,12 @@ class PaletteStore {
   /// constructor. Returns the palette weight.
   static std::int64_t normalize_scratch(Scratch& scratch);
 
-  std::vector<Color> arena_colors_;
-  std::vector<int> arena_defects_;
-  std::vector<PaletteRecord> palettes_;
-  std::vector<PaletteId> node_palette_;
+  StorageVec<Color> arena_colors_;
+  StorageVec<int> arena_defects_;
+  StorageVec<PaletteRecord> palettes_;
+  StorageVec<PaletteId> node_palette_;
   std::vector<std::uint32_t> buckets_;  ///< power-of-two hash index
+                                        ///  (rebuilt, never serialized)
   std::int64_t dedup_hits_ = 0;
 };
 

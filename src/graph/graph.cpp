@@ -100,6 +100,43 @@ Graph Graph::edge_subgraph(
   return Graph::from_edges(n_, kept_edges);
 }
 
+Graph Graph::adopt(NodeId num_nodes, std::span<const std::int64_t> offsets,
+                   std::span<const NodeId> adj) {
+  DCOLOR_CHECK(num_nodes >= 0);
+  DCOLOR_CHECK_MSG(offsets.size() == static_cast<std::size_t>(num_nodes) + 1,
+                   "adopt: offsets size " << offsets.size() << " != n+1");
+  DCOLOR_CHECK_MSG(!offsets.empty() && offsets.front() == 0,
+                   "adopt: offsets[0] must be 0");
+  DCOLOR_CHECK_MSG(offsets.back() == static_cast<std::int64_t>(adj.size()),
+                   "adopt: offsets[n] " << offsets.back()
+                                        << " != adjacency size " << adj.size());
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    DCOLOR_CHECK_MSG(offsets[i] >= offsets[i - 1],
+                     "adopt: offsets not monotone at " << i);
+  }
+  for (const NodeId v : adj) {
+    DCOLOR_CHECK_MSG(v >= 0 && v < num_nodes,
+                     "adopt: neighbor id " << v << " out of range");
+  }
+  Graph g;
+  g.n_ = num_nodes;
+  g.offsets_ = StorageVec<std::int64_t>::adopt(offsets.data(), offsets.size());
+  g.adj_ = StorageVec<NodeId>::adopt(adj.data(), adj.size());
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<std::int64_t> offsets,
+                      std::vector<NodeId> adj) {
+  DCOLOR_CHECK_MSG(!offsets.empty(), "from_csr: offsets must hold n+1 entries");
+  const auto n = static_cast<NodeId>(offsets.size() - 1);
+  (void)adopt(n, {offsets.data(), offsets.size()}, {adj.data(), adj.size()});
+  Graph g;
+  g.n_ = n;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  return g;
+}
+
 std::string Graph::summary() const {
   std::ostringstream os;
   os << "Graph(n=" << n_ << ", m=" << num_edges() << ", Δ=" << max_degree()

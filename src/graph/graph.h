@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "storage/storage_vec.h"
+
 namespace dcolor {
 
 /// Node identifier; graphs are laptop-scale so 32 bits suffice.
@@ -101,10 +103,38 @@ class Graph {
   /// Human-readable one-line summary for logs.
   std::string summary() const;
 
+  // ---- storage seam (snapshot serialization) ---------------------------
+
+  /// Raw CSR arrays; byte-comparable across builds of the same edge set.
+  std::span<const std::int64_t> raw_offsets() const noexcept {
+    return {offsets_.data(), offsets_.size()};
+  }
+  std::span<const NodeId> raw_adjacency() const noexcept {
+    return {adj_.data(), adj_.size()};
+  }
+
+  /// Builds a graph that *borrows* prebuilt CSR arrays (e.g. sections of a
+  /// memory-mapped snapshot) zero-copy. The caller keeps the spans alive
+  /// for the graph's lifetime. Validates the CSR invariants (monotone
+  /// offsets, in-range neighbor ids) in one O(n) + O(m) pass — cheap
+  /// relative to mapping, and the only line of defense against a
+  /// hand-corrupted payload.
+  static Graph adopt(NodeId num_nodes, std::span<const std::int64_t> offsets,
+                     std::span<const NodeId> adj);
+
+  /// True when the CSR arrays are borrowed (mmap-backed) rather than owned.
+  bool borrowed() const noexcept { return adj_.borrowed(); }
+
+  /// Builds an OWNING graph from prebuilt CSR arrays (same validation as
+  /// `adopt`). This is how a mapped snapshot graph is materialized back
+  /// onto the heap when the caller needs the graph to outlive the mapping.
+  static Graph from_csr(std::vector<std::int64_t> offsets,
+                        std::vector<NodeId> adj);
+
  private:
   NodeId n_ = 0;
-  std::vector<std::int64_t> offsets_;  // size n_+1
-  std::vector<NodeId> adj_;
+  StorageVec<std::int64_t> offsets_;  // size n_+1
+  StorageVec<NodeId> adj_;
 };
 
 struct Graph::Induced {

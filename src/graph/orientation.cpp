@@ -139,7 +139,7 @@ Orientation Orientation::induced(const Graph& sub, const Orientation& full) {
   // linear merge; the output segments inherit the sorted order.
   const auto intersect_into = [](std::span<const NodeId> a,
                                  std::span<const NodeId> b,
-                                 std::vector<NodeId>& sink) {
+                                 StorageVec<NodeId>& sink) {
     std::size_t i = 0, j = 0;
     while (i < a.size() && j < b.size()) {
       if (a[i] < b[j]) {
@@ -229,6 +229,46 @@ Orientation Orientation::degeneracy(const Graph& g) {
     return removal_pos[static_cast<std::size_t>(u)] <
            removal_pos[static_cast<std::size_t>(v)];
   });
+}
+
+Orientation Orientation::adopt(std::span<const std::int64_t> out_offsets,
+                               std::span<const NodeId> out_adj,
+                               std::span<const std::int64_t> in_offsets,
+                               std::span<const NodeId> in_adj) {
+  DCOLOR_CHECK_MSG(out_offsets.size() == in_offsets.size(),
+                   "adopt: out/in offset arrays disagree on n");
+  const auto check_csr = [](std::span<const std::int64_t> offsets,
+                            std::span<const NodeId> adj, const char* what) {
+    DCOLOR_CHECK_MSG(!offsets.empty() && offsets.front() == 0,
+                     "adopt: " << what << " offsets[0] must be 0");
+    DCOLOR_CHECK_MSG(offsets.back() == static_cast<std::int64_t>(adj.size()),
+                     "adopt: " << what << " offsets[n] != arc count");
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+      DCOLOR_CHECK_MSG(offsets[i] >= offsets[i - 1],
+                       "adopt: " << what << " offsets not monotone at " << i);
+    }
+  };
+  check_csr(out_offsets, out_adj, "out");
+  check_csr(in_offsets, in_adj, "in");
+  Orientation o;
+  o.out_offsets_ =
+      StorageVec<std::int64_t>::adopt(out_offsets.data(), out_offsets.size());
+  o.out_adj_ = StorageVec<NodeId>::adopt(out_adj.data(), out_adj.size());
+  o.in_offsets_ =
+      StorageVec<std::int64_t>::adopt(in_offsets.data(), in_offsets.size());
+  o.in_adj_ = StorageVec<NodeId>::adopt(in_adj.data(), in_adj.size());
+  return o;
+}
+
+Orientation Orientation::borrow() const noexcept {
+  Orientation o;
+  o.out_offsets_ =
+      StorageVec<std::int64_t>::adopt(out_offsets_.data(), out_offsets_.size());
+  o.out_adj_ = StorageVec<NodeId>::adopt(out_adj_.data(), out_adj_.size());
+  o.in_offsets_ =
+      StorageVec<std::int64_t>::adopt(in_offsets_.data(), in_offsets_.size());
+  o.in_adj_ = StorageVec<NodeId>::adopt(in_adj_.data(), in_adj_.size());
+  return o;
 }
 
 int Orientation::beta() const noexcept {

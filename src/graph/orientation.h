@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "storage/storage_vec.h"
 
 namespace dcolor {
 
@@ -79,6 +80,41 @@ class Orientation {
 
   bool is_out_edge(NodeId u, NodeId v) const noexcept;
 
+  // ---- storage seam (snapshot serialization) ---------------------------
+
+  /// Raw CSR arrays; byte-comparable across builds of the same arc set.
+  std::span<const std::int64_t> raw_out_offsets() const noexcept {
+    return {out_offsets_.data(), out_offsets_.size()};
+  }
+  std::span<const NodeId> raw_out_adj() const noexcept {
+    return {out_adj_.data(), out_adj_.size()};
+  }
+  std::span<const std::int64_t> raw_in_offsets() const noexcept {
+    return {in_offsets_.data(), in_offsets_.size()};
+  }
+  std::span<const NodeId> raw_in_adj() const noexcept {
+    return {in_adj_.data(), in_adj_.size()};
+  }
+
+  /// Builds an orientation that *borrows* prebuilt CSR arc arrays (e.g.
+  /// sections of a memory-mapped snapshot) zero-copy. The caller keeps the
+  /// spans alive for the orientation's lifetime. Validates monotonicity
+  /// and size consistency; deep arc validation (every arc is a graph edge)
+  /// is the snapshot verifier's job.
+  static Orientation adopt(std::span<const std::int64_t> out_offsets,
+                           std::span<const NodeId> out_adj,
+                           std::span<const std::int64_t> in_offsets,
+                           std::span<const NodeId> in_adj);
+
+  /// A zero-copy borrowed view of this orientation: shares the CSR arrays
+  /// (this object must outlive the view). Lets many batch jobs carry
+  /// value-type Orientations over one cached instance without copying
+  /// megabytes of arcs per job.
+  Orientation borrow() const noexcept;
+
+  /// True when the CSR arrays are borrowed rather than owned.
+  bool borrowed() const noexcept { return out_adj_.borrowed(); }
+
  private:
   /// Builds the CSR arrays from per-node arc lists (construction helper).
   static Orientation from_lists(std::vector<std::vector<NodeId>> out,
@@ -87,10 +123,10 @@ class Orientation {
   // CSR layout, mirroring Graph: `is_out_edge` and the ingest loops of the
   // coloring programs hit these on every received message, and one flat
   // array costs one cache miss where a vector-of-vectors costs two.
-  std::vector<std::int64_t> out_offsets_;  // size n+1
-  std::vector<NodeId> out_adj_;
-  std::vector<std::int64_t> in_offsets_;   // size n+1
-  std::vector<NodeId> in_adj_;
+  StorageVec<std::int64_t> out_offsets_;  // size n+1
+  StorageVec<NodeId> out_adj_;
+  StorageVec<std::int64_t> in_offsets_;   // size n+1
+  StorageVec<NodeId> in_adj_;
 };
 
 }  // namespace dcolor

@@ -1,0 +1,151 @@
+#include "io/edge_list.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/parse.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens (no allocation churn:
+/// the vector is reused across lines by the caller).
+void split_tokens(const std::string& line, std::vector<std::string_view>* out) {
+  out->clear();
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j])))
+      ++j;
+    if (j > i) out->push_back(std::string_view(line).substr(i, j - i));
+    i = j;
+  }
+}
+
+std::string line_context(std::int64_t line_no, const char* what) {
+  std::ostringstream os;
+  os << "edge list line " << line_no << " (" << what << ")";
+  return os.str();
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& is, EdgeListStats* stats) {
+  EdgeListStats local;
+  EdgeListStats& st = stats != nullptr ? *stats : local;
+  st = EdgeListStats{};
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::string_view> tok;
+  std::string line;
+  std::int64_t declared_nodes = -1;  // from a DIMACS problem line
+  std::int64_t declared_edges = -1;
+  std::int64_t max_id = -1;
+  std::int64_t line_no = 0;
+
+  const auto parse_endpoint = [&](std::string_view text) {
+    std::int64_t id = parse_int64(text, line_context(line_no, "node id"));
+    if (st.dimacs) {
+      DCOLOR_CHECK_MSG(id >= 1 && id <= declared_nodes,
+                       "edge list line " << line_no << ": node id " << id
+                                         << " outside [1, " << declared_nodes
+                                         << "]");
+      --id;  // DIMACS ids are 1-based
+    } else {
+      DCOLOR_CHECK_MSG(id >= 0, "edge list line " << line_no
+                                                  << ": negative node id "
+                                                  << id);
+      DCOLOR_CHECK_MSG(id <= 0x7FFFFFFF, "edge list line "
+                                             << line_no << ": node id " << id
+                                             << " exceeds 32-bit range");
+    }
+    max_id = std::max(max_id, id);
+    return static_cast<NodeId>(id);
+  };
+
+  const auto add_edge = [&](NodeId u, NodeId v) {
+    ++st.edges;
+    if (u == v) {
+      ++st.self_loops;
+      return;
+    }
+    if (u > v) std::swap(u, v);
+    edges.emplace_back(u, v);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    ++st.lines;
+    split_tokens(line, &tok);
+    if (tok.empty() || tok[0][0] == '#' || tok[0][0] == '%' || tok[0] == "c") {
+      ++st.comments;
+      continue;
+    }
+    if (tok[0] == "p") {
+      DCOLOR_CHECK_MSG(!st.dimacs,
+                       "edge list line " << line_no
+                                         << ": duplicate DIMACS problem line");
+      DCOLOR_CHECK_MSG(tok.size() == 4, "edge list line "
+                                            << line_no
+                                            << ": expected 'p <fmt> <n> <m>'");
+      declared_nodes =
+          parse_int64(tok[2], line_context(line_no, "node count"));
+      declared_edges =
+          parse_int64(tok[3], line_context(line_no, "edge count"));
+      DCOLOR_CHECK_MSG(declared_nodes >= 0 && declared_edges >= 0,
+                       "edge list line " << line_no
+                                         << ": negative problem-line counts");
+      st.dimacs = true;
+      continue;
+    }
+    if (tok[0] == "e" || tok[0] == "a") {
+      DCOLOR_CHECK_MSG(st.dimacs, "edge list line "
+                                      << line_no
+                                      << ": 'e' line before the DIMACS "
+                                         "problem line");
+      DCOLOR_CHECK_MSG(tok.size() == 3, "edge list line "
+                                            << line_no
+                                            << ": expected 'e <u> <v>'");
+      add_edge(parse_endpoint(tok[1]), parse_endpoint(tok[2]));
+      continue;
+    }
+    // Bare "<u> <v>" pair (SNAP). Extra columns (weights, timestamps)
+    // are rejected — strictness over silent misreads.
+    DCOLOR_CHECK_MSG(tok.size() == 2, "edge list line "
+                                          << line_no
+                                          << ": expected '<u> <v>', got "
+                                          << tok.size() << " tokens");
+    add_edge(parse_endpoint(tok[0]), parse_endpoint(tok[1]));
+  }
+
+  if (st.dimacs) {
+    DCOLOR_CHECK_MSG(st.edges == declared_edges,
+                     "edge list: DIMACS problem line declares "
+                         << declared_edges << " edges, file has " << st.edges);
+  }
+  const std::int64_t n = st.dimacs ? declared_nodes : max_id + 1;
+  const auto accepted = static_cast<std::int64_t>(edges.size());
+  Graph g = Graph::from_edges(static_cast<NodeId>(n), std::move(edges));
+  st.duplicates = accepted - g.num_edges();
+  return g;
+}
+
+Graph load_edge_list(const std::string& path, EdgeListStats* stats) {
+  std::ifstream is(path);
+  DCOLOR_CHECK_MSG(is.good(), "cannot open edge list '" << path << "'");
+  return read_edge_list(is, stats);
+}
+
+}  // namespace dcolor

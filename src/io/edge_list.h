@@ -1,0 +1,51 @@
+// Whitespace edge-list ingestion (SNAP / DIMACS families).
+//
+// The real-graph on-ramp for the snapshot pipeline: parse a text edge
+// list once, build the CSR `Graph`, and persist it as a binary snapshot
+// (`dcolor --cmd=snapshot --from-edges=<file> --save=<g.snap>`) so every
+// later run maps it back zero-copy instead of re-parsing megabytes of
+// text.
+//
+// Accepted syntax, line by line:
+//   * blank lines — skipped;
+//   * comments — lines starting with '#' (SNAP), '%' (Matrix-Market-style
+//     headers some mirrors prepend), or 'c' (DIMACS);
+//   * 'p edge <n> <m>' / 'p sp <n> <m>' — DIMACS problem line: fixes the
+//     node count and switches ids to 1-based;
+//   * 'e <u> <v>' — DIMACS edge line;
+//   * '<u> <v>' — bare pair (SNAP); ids are 0-based unless a problem
+//     line appeared.
+//
+// Numbers go through util/parse (strict whole-token parsing: garbage
+// throws with a line number instead of becoming node 0). Self-loops and
+// duplicate edges are legal input — real datasets have both — and are
+// dropped with counts reported in `EdgeListStats`. Without a problem
+// line the node count is max id + 1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dcolor {
+
+struct EdgeListStats {
+  std::int64_t lines = 0;          ///< total lines read
+  std::int64_t comments = 0;       ///< comment/blank lines skipped
+  std::int64_t edges = 0;          ///< edge lines accepted
+  std::int64_t self_loops = 0;     ///< dropped u == v lines
+  std::int64_t duplicates = 0;     ///< dropped repeated {u,v}
+  bool dimacs = false;             ///< a 'p' problem line was seen
+};
+
+/// Parses an edge-list stream into a Graph. `stats` (optional) receives
+/// ingestion accounting. Throws CheckError with a line number on
+/// malformed input, out-of-range ids, or a DIMACS edge count mismatch.
+Graph read_edge_list(std::istream& is, EdgeListStats* stats = nullptr);
+
+/// File convenience wrapper (throws CheckError when unreadable).
+Graph load_edge_list(const std::string& path, EdgeListStats* stats = nullptr);
+
+}  // namespace dcolor

@@ -5,7 +5,9 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
+#include "storage/snapshot.h"
 #include "util/check.h"
 
 namespace dcolor {
@@ -80,6 +82,24 @@ Graph read_graph_body(LineReader& reader) {
 }
 
 }  // namespace
+
+OwnedOldcInstance::OwnedOldcInstance() = default;
+OwnedOldcInstance::~OwnedOldcInstance() = default;
+
+OwnedOldcInstance::OwnedOldcInstance(OwnedOldcInstance&& other) noexcept {
+  *this = std::move(other);
+}
+
+OwnedOldcInstance& OwnedOldcInstance::operator=(
+    OwnedOldcInstance&& other) noexcept {
+  graph = std::move(other.graph);
+  instance = std::move(other.instance);
+  backing = std::move(other.backing);
+  // The snapshot's graph lives on its own heap allocation, so its address
+  // survives this move; the inline `graph` member does not.
+  instance.graph = backing != nullptr ? &backing->graph() : &graph;
+  return *this;
+}
 
 void write_graph(std::ostream& os, const Graph& g) {
   os << "dcolor-graph v1\n";
@@ -226,6 +246,13 @@ void save_graph(const std::string& path, const Graph& g) {
 }
 
 Graph load_graph(const std::string& path) {
+  if (is_snapshot_file(path)) {
+    const InstanceSnapshot snap = InstanceSnapshot::load(path);
+    const Graph& g = snap.graph();
+    return Graph::from_csr(
+        {g.raw_offsets().begin(), g.raw_offsets().end()},
+        {g.raw_adjacency().begin(), g.raw_adjacency().end()});
+  }
   std::ifstream is(path);
   DCOLOR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
   return read_graph(is);
@@ -238,6 +265,21 @@ void save_oldc(const std::string& path, const OldcInstance& inst) {
 }
 
 OwnedOldcInstance load_oldc(const std::string& path) {
+  if (is_snapshot_file(path)) {
+    auto snap =
+        std::make_shared<InstanceSnapshot>(InstanceSnapshot::load(path));
+    DCOLOR_CHECK_MSG(snap->has_instance(),
+                     "snapshot " << path
+                                 << " is graph-only (no palette lists); "
+                                    "load it with --graph instead");
+    OwnedOldcInstance owned;
+    owned.backing = std::move(snap);
+    // Copying the snapshot's instance copies borrowed views (pointer
+    // copies into the mapping), which `backing` keeps alive.
+    owned.instance = owned.backing->instance();
+    owned.instance.graph = &owned.backing->graph();
+    return owned;
+  }
   std::ifstream is(path);
   DCOLOR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
   return read_oldc(is);

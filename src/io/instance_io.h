@@ -23,12 +23,15 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "core/instance.h"
 #include "graph/graph.h"
 
 namespace dcolor {
+
+class InstanceSnapshot;
 
 /// Writes/reads a Graph.
 void write_graph(std::ostream& os, const Graph& g);
@@ -40,16 +43,17 @@ void write_oldc(std::ostream& os, const OldcInstance& inst);
 
 struct OwnedOldcInstance {
   Graph graph;
-  OldcInstance instance;  ///< instance.graph points at `graph`
+  OldcInstance instance;  ///< instance.graph points at `graph` — or at the
+                          ///  snapshot's graph when `backing` is set
+  /// Non-null when the instance was loaded zero-copy from a binary
+  /// snapshot (storage/snapshot.h): the mapping plus the borrowed graph
+  /// live here, and `graph` above stays empty.
+  std::shared_ptr<InstanceSnapshot> backing;
 
-  OwnedOldcInstance() = default;
-  OwnedOldcInstance(OwnedOldcInstance&& other) noexcept { *this = std::move(other); }
-  OwnedOldcInstance& operator=(OwnedOldcInstance&& other) noexcept {
-    graph = std::move(other.graph);
-    instance = std::move(other.instance);
-    instance.graph = &graph;
-    return *this;
-  }
+  OwnedOldcInstance();
+  ~OwnedOldcInstance();
+  OwnedOldcInstance(OwnedOldcInstance&& other) noexcept;
+  OwnedOldcInstance& operator=(OwnedOldcInstance&& other) noexcept;
 };
 OwnedOldcInstance read_oldc(std::istream& is);
 
@@ -59,7 +63,12 @@ void write_coloring(std::ostream& os, const std::vector<Color>& colors);
 std::vector<Color> read_coloring(std::istream& is);
 
 /// File convenience wrappers (throw CheckError when the file cannot be
-/// opened).
+/// opened). The loaders SNIFF binary snapshots (storage/snapshot.h): a
+/// file starting with the snapshot magic is mmap'd instead of parsed, so
+/// every `--graph=` / `--instance=` / `--replay=` flag accepts either
+/// format. `load_oldc` keeps the zero-copy borrowed views (see
+/// OwnedOldcInstance::backing); `load_graph` materializes an owned copy
+/// because its return value must outlive the mapping.
 void save_graph(const std::string& path, const Graph& g);
 Graph load_graph(const std::string& path);
 void save_oldc(const std::string& path, const OldcInstance& inst);

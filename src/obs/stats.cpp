@@ -141,6 +141,9 @@ void StatsRegistry::observe_palettes(const PaletteStore& store,
 void StatsRegistry::sample_rss() {
   gauge("mem.current_rss_bytes", StatDomain::kTiming).set(current_rss_bytes());
   gauge("mem.peak_rss_bytes", StatDomain::kTiming).set(peak_rss_bytes());
+  const PageFaults pf = page_faults();
+  gauge("mem.page_faults_minor", StatDomain::kTiming).set(pf.minor);
+  gauge("mem.page_faults_major", StatDomain::kTiming).set(pf.major);
 }
 
 std::string StatsRegistry::to_json(StatDomain max_domain) const {

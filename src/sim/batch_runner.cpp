@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <string_view>
 #include <utility>
@@ -17,6 +19,7 @@
 #include "core/solver_registry.h"
 #include "graph/generators.h"
 #include "obs/stats.h"
+#include "storage/snapshot_cache.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/parse.h"
@@ -94,13 +97,15 @@ void sample_palette(PaletteStore::Scratch& scratch,
 /// node by construction (same scheme as the fuzz harness, generalized to
 /// the job's p/ε): uniform defect with Λ(d+1) strictly above the Eq. (2)
 /// and Eq. (7) thresholds, and above 3√C·β for CONGEST solvers.
-void fill_oldc(BatchScratch& s, const BatchJob& job,
-               const SolverCapabilities& caps, Rng& rng) {
-  OldcInstance& inst = s.oldc;
-  inst.graph = &s.graph;
-  inst.orientation = Orientation::by_id(s.graph);
+/// Explicit graph/instance targets so the same builder fills a private
+/// scratch OR a shared snapshot-cache entry.
+void fill_oldc(const Graph& graph, OldcInstance& inst, const BatchJob& job,
+               const SolverCapabilities& caps, Rng& rng,
+               PaletteStore::Scratch& list_buf, std::vector<Color>& pool) {
+  inst.graph = &graph;
+  inst.orientation = Orientation::by_id(graph);
   inst.symmetric = job.symmetric && caps.symmetric;
-  const int beta = inst.symmetric ? std::max(1, s.graph.max_degree())
+  const int beta = inst.symmetric ? std::max(1, graph.max_degree())
                                   : inst.orientation.beta();
   const int list_size = 4 + static_cast<int>(rng.below(5));  // 4..8
   const std::int64_t color_space =
@@ -123,29 +128,67 @@ void fill_oldc(BatchScratch& s, const BatchJob& job,
 
   inst.color_space = color_space;
   inst.lists.clear();
-  inst.lists.reserve(static_cast<std::size_t>(s.graph.num_nodes()));
-  for (NodeId v = 0; v < s.graph.num_nodes(); ++v) {
-    sample_palette(s.list_buf, s.color_pool, color_space,
+  inst.lists.reserve(static_cast<std::size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    sample_palette(list_buf, pool, color_space,
                    static_cast<std::size_t>(list_size), defect, rng);
-    inst.lists.push_scratch(s.list_buf);
+    inst.lists.push_scratch(list_buf);
   }
 }
 
 /// (deg+1)-list instance with zero defects from a 2(Δ+1) color space —
 /// satisfies both the slack-1 premise (weight = deg+1 > deg) and the
 /// deg_plus_one premise by construction.
-void fill_deg_plus_one(BatchScratch& s, Rng& rng) {
-  ListDefectiveInstance& inst = s.list_defective;
-  inst.graph = &s.graph;
-  inst.color_space = 2 * (static_cast<std::int64_t>(s.graph.max_degree()) + 1);
+void fill_deg_plus_one(const Graph& graph, ListDefectiveInstance& inst,
+                       Rng& rng, PaletteStore::Scratch& list_buf,
+                       std::vector<Color>& pool) {
+  inst.graph = &graph;
+  inst.color_space = 2 * (static_cast<std::int64_t>(graph.max_degree()) + 1);
   inst.lists.clear();
-  inst.lists.reserve(static_cast<std::size_t>(s.graph.num_nodes()));
-  for (NodeId v = 0; v < s.graph.num_nodes(); ++v) {
-    sample_palette(s.list_buf, s.color_pool, inst.color_space,
-                   static_cast<std::size_t>(s.graph.degree(v)) + 1,
+  inst.lists.reserve(static_cast<std::size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    sample_palette(list_buf, pool, inst.color_space,
+                   static_cast<std::size_t>(graph.degree(v)) + 1,
                    /*defect=*/0, rng);
-    inst.lists.push_scratch(s.list_buf);
+    inst.lists.push_scratch(list_buf);
   }
+}
+
+/// The cache key of a job's instance: exactly the fields the builders
+/// above consume. Jobs with equal keys — `repeat=` expansions resolved to
+/// the same seed, or different solvers with matching capability bits over
+/// one scenario — build byte-identical instances. nullopt for jobs that
+/// will fail solver lookup (they never build anything).
+std::optional<InstanceKey> job_key(const BatchJob& job,
+                                   const BatchOptions& options) {
+  const Solver* solver = SolverRegistry::get().find(job.solver);
+  if (solver == nullptr) return std::nullopt;
+  const SolverCapabilities caps = solver->capabilities();
+  InstanceKey key;
+  key.generator = job.generator;
+  key.n = job.n;
+  key.degree = job.degree;
+  key.seed = job.seed + options.seed;
+  switch (caps.input) {
+    case Input::kOldc:
+      key.kind = 0;
+      key.symmetric = job.symmetric && caps.symmetric;
+      key.congest = caps.congest;
+      key.p = job.params.p;
+      key.eps = job.params.eps;
+      break;
+    case Input::kListDefective:
+    case Input::kArbdefective:
+      // fill_deg_plus_one reads nothing but the graph and the list RNG,
+      // so the capability-bit fields stay at their defaults and the
+      // instance is shared across every P_D/P_A solver on the scenario.
+      key.kind = 1;
+      break;
+    case Input::kGraph:
+      key.kind = 2;
+      break;
+  }
+  return key;
 }
 
 std::uint64_t fnv1a(const std::vector<Color>& colors) {
@@ -165,7 +208,8 @@ std::int64_t count_distinct(const std::vector<Color>& colors,
 }
 
 BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
-                       BatchScratch& s) {
+                       BatchScratch& s, SnapshotCache* cache,
+                       const InstanceKey* key) {
   BatchJobResult out;
   out.label = job.label;
   // Everything that can throw (unknown solver, bad generator/n, solver
@@ -190,11 +234,49 @@ BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
   // checker counts) record here without touching other workers' jobs.
   StatsRegistry stats;
   const auto wall0 = std::chrono::steady_clock::now();
+  // Instance borrowed from a snapshot-cache entry; declared at function
+  // scope so the views outlive the solve below.
+  SnapshotCache::EntryPtr cached;
+  OldcInstance cached_oldc;
+  ListDefectiveInstance cached_ld;
   try {
-    Rng graph_rng = Rng::stream(seed, kGraphSalt);
-    s.graph = build_graph(job, graph_rng);
-    out.nodes = s.graph.num_nodes();
-    out.edges = s.graph.num_edges();
+    // One build per distinct repeated spec: the first job with this key
+    // constructs the instance (under the cache's per-key future), every
+    // other job borrows it zero-copy. Keys occurring once — and batches
+    // without a cache — take the private scratch path unchanged.
+    if (cache != nullptr && key != nullptr) {
+      cached = cache->get_or_build(*key, [&](SnapshotCache::Entry& entry) {
+        Rng graph_rng = Rng::stream(seed, kGraphSalt);
+        entry.graph = build_graph(job, graph_rng);
+        Rng list_rng = Rng::stream(seed, kListSalt);
+        PaletteStore::Scratch list_buf;
+        std::vector<Color> pool;
+        switch (caps.input) {
+          case Input::kOldc:
+            fill_oldc(entry.graph, entry.oldc, job, caps, list_rng, list_buf,
+                      pool);
+            break;
+          case Input::kListDefective:
+          case Input::kArbdefective:
+            fill_deg_plus_one(entry.graph, entry.list_defective, list_rng,
+                              list_buf, pool);
+            break;
+          case Input::kGraph:
+            break;
+        }
+      });
+    }
+
+    const Graph* graph = nullptr;
+    if (cached != nullptr) {
+      graph = &cached->graph_ref();
+    } else {
+      Rng graph_rng = Rng::stream(seed, kGraphSalt);
+      s.graph = build_graph(job, graph_rng);
+      graph = &s.graph;
+    }
+    out.nodes = graph->num_nodes();
+    out.edges = graph->num_edges();
 
     SolveRequest req;
     req.params = job.params;
@@ -202,18 +284,30 @@ BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
     RunContext ctx;
     switch (caps.input) {
       case Input::kOldc:
-        fill_oldc(s, job, caps, list_rng);
-        req.oldc = &s.oldc;
-        ctx.scratch_palettes = &s.oldc.lists;
+        if (cached != nullptr) {
+          cached_oldc = cached->borrow_oldc();
+          req.oldc = &cached_oldc;
+        } else {
+          fill_oldc(s.graph, s.oldc, job, caps, list_rng, s.list_buf,
+                    s.color_pool);
+          req.oldc = &s.oldc;
+          ctx.scratch_palettes = &s.oldc.lists;
+        }
         break;
       case Input::kListDefective:
       case Input::kArbdefective:
-        fill_deg_plus_one(s, list_rng);
-        req.list_defective = &s.list_defective;
-        ctx.scratch_palettes = &s.list_defective.lists;
+        if (cached != nullptr) {
+          cached_ld = cached->borrow_list_defective();
+          req.list_defective = &cached_ld;
+        } else {
+          fill_deg_plus_one(s.graph, s.list_defective, list_rng, s.list_buf,
+                            s.color_pool);
+          req.list_defective = &s.list_defective;
+          ctx.scratch_palettes = &s.list_defective.lists;
+        }
         break;
       case Input::kGraph:
-        req.graph = &s.graph;
+        req.graph = graph;
         break;
     }
 
@@ -415,6 +509,28 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
   BatchReport report;
   report.jobs.resize(jobs.size());
 
+  // Snapshot-cache planning: key every job, and (in-memory mode) mark the
+  // keys that occur more than once as cacheable — single-occurrence jobs
+  // keep the scratch path, so a batch of all-distinct specs has the same
+  // memory profile as before. File-backed mode caches everything
+  // (cross-run reuse is its point).
+  SnapshotCache cache(options.snapshot_dir);
+  std::vector<std::optional<InstanceKey>> keys(jobs.size());
+  {
+    std::map<std::string, int> counts;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      keys[i] = job_key(jobs[i], options);
+      if (keys[i].has_value()) ++counts[keys[i]->fingerprint()];
+    }
+    std::vector<InstanceKey> cacheable;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (keys[i].has_value() && counts[keys[i]->fingerprint()] > 1) {
+        cacheable.push_back(*keys[i]);
+      }
+    }
+    cache.set_cacheable(cacheable);
+  }
+
   std::vector<std::unique_ptr<BatchScratch>> storage;
   std::vector<BatchScratch*> idle;
   std::int64_t reused = 0;
@@ -433,14 +549,19 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
         ++reused;
       }
     }
+    const auto& key = keys[static_cast<std::size_t>(i)];
     report.jobs[static_cast<std::size_t>(i)] =
-        run_one(jobs[static_cast<std::size_t>(i)], options, *scratch);
+        run_one(jobs[static_cast<std::size_t>(i)], options, *scratch, &cache,
+                key.has_value() ? &*key : nullptr);
     const std::lock_guard<std::mutex> lock(pool_mutex);
     idle.push_back(scratch);
   });
 
   report.scratch_created = static_cast<int>(storage.size());
   report.scratch_reused = reused;
+  report.snapshot_built = cache.built();
+  report.snapshot_loaded = cache.loaded();
+  report.snapshot_reused = cache.reused();
   for (const BatchJobResult& r : report.jobs) {
     if (r.valid && r.error.empty()) {
       ++report.jobs_valid;
@@ -468,6 +589,12 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
         .add(report.scratch_created);
     stats->counter("batch.scratch_reused", StatDomain::kTiming)
         .add(report.scratch_reused);
+    stats->counter("batch.snapshot_built", StatDomain::kTiming)
+        .add(report.snapshot_built);
+    stats->counter("batch.snapshot_loaded", StatDomain::kTiming)
+        .add(report.snapshot_loaded);
+    stats->counter("batch.snapshot_reused", StatDomain::kTiming)
+        .add(report.snapshot_reused);
   }
   return report;
 }
@@ -522,6 +649,9 @@ std::string BatchReport::to_json() const {
   out += ", \"total_violations\": " + std::to_string(total_violations);
   out += ", \"scratch_created\": " + std::to_string(scratch_created);
   out += ", \"scratch_reused\": " + std::to_string(scratch_reused);
+  out += ", \"snapshot_built\": " + std::to_string(snapshot_built);
+  out += ", \"snapshot_loaded\": " + std::to_string(snapshot_loaded);
+  out += ", \"snapshot_reused\": " + std::to_string(snapshot_reused);
   out += "}\n}\n";
   return out;
 }

@@ -57,6 +57,10 @@ struct BatchOptions {
   int threads = 0;        ///< batch workers; 0 = default_setup_threads()
   bool check = false;     ///< run each job under a collect-mode checker
   std::uint64_t seed = 0; ///< base seed folded into every job's seed
+  /// Directory for the file-backed snapshot cache (`--snapshot-cache`).
+  /// Empty = in-memory cache only: repeated job specs still build each
+  /// distinct instance once per batch, but nothing persists across runs.
+  std::string snapshot_dir;
 };
 
 /// Outcome of one job. Everything here except the `t` block is a pure
@@ -109,6 +113,13 @@ struct BatchReport {
   /// count) and jobs served by a previously-built arena.
   int scratch_created = 0;
   std::int64_t scratch_reused = 0;
+  /// Snapshot-cache accounting (deterministic at every worker count):
+  /// distinct instances built once for a repeated spec, instances mmap'd
+  /// from a --snapshot-cache directory, and jobs served by an
+  /// already-available cached instance instead of a rebuild.
+  std::int64_t snapshot_built = 0;
+  std::int64_t snapshot_loaded = 0;
+  std::int64_t snapshot_reused = 0;
 
   std::string to_json() const;
 };

@@ -1,0 +1,139 @@
+#include "storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/stats.h"
+
+namespace dcolor {
+
+namespace {
+
+void record_map(std::size_t bytes) {
+  if (StatsRegistry* stats = StatsRegistry::current()) {
+    stats->counter("storage.maps", StatDomain::kTiming).add(1);
+    stats->counter("storage.mapped_bytes", StatDomain::kTiming)
+        .add(static_cast<std::int64_t>(bytes));
+  }
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& o) noexcept { *this = std::move(o); }
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this == &o) return *this;
+  reset();
+  data_ = std::exchange(o.data_, nullptr);
+  size_ = std::exchange(o.size_, 0);
+  fd_ = std::exchange(o.fd_, -1);
+  writable_ = std::exchange(o.writable_, false);
+  path_ = std::move(o.path_);
+  o.path_.clear();
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+  writable_ = false;
+}
+
+MappedFile MappedFile::map_readonly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  DCOLOR_CHECK_MSG(fd >= 0, "cannot open '" << path
+                                            << "': " << std::strerror(errno));
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    DCOLOR_CHECK_MSG(false,
+                     "cannot stat '" << path << "': " << std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    DCOLOR_CHECK_MSG(false, "'" << path << "' is empty");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
+    DCOLOR_CHECK_MSG(false,
+                     "cannot mmap '" << path << "': " << std::strerror(err));
+  }
+  MappedFile f;
+  f.data_ = static_cast<std::byte*>(p);
+  f.size_ = size;
+  f.fd_ = fd;
+  f.writable_ = false;
+  f.path_ = path;
+  record_map(size);
+  return f;
+}
+
+MappedFile MappedFile::create_rw(const std::string& path, std::size_t size) {
+  DCOLOR_CHECK_MSG(size > 0, "create_rw: zero-sized mapping");
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  DCOLOR_CHECK_MSG(fd >= 0, "cannot create '" << path << "': "
+                                              << std::strerror(errno));
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    DCOLOR_CHECK_MSG(false, "cannot size '" << path << "' to " << size
+                                            << " bytes: "
+                                            << std::strerror(err));
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
+    DCOLOR_CHECK_MSG(false,
+                     "cannot mmap '" << path << "': " << std::strerror(err));
+  }
+  MappedFile f;
+  f.data_ = static_cast<std::byte*>(p);
+  f.size_ = size;
+  f.fd_ = fd;
+  f.writable_ = true;
+  f.path_ = path;
+  record_map(size);
+  return f;
+}
+
+void MappedFile::sync() {
+  DCOLOR_CHECK_MSG(writable_, "sync on a read-only mapping");
+  DCOLOR_CHECK_MSG(::msync(data_, size_, MS_SYNC) == 0,
+                   "msync '" << path_ << "': " << std::strerror(errno));
+}
+
+void MappedFile::advise_dontneed() const noexcept {
+  if (data_ != nullptr) ::madvise(data_, size_, MADV_DONTNEED);
+}
+
+void MappedFile::advise_sequential() const noexcept {
+  if (data_ != nullptr) ::madvise(data_, size_, MADV_SEQUENTIAL);
+}
+
+std::size_t MappedFile::page_size() noexcept {
+  const long p = ::sysconf(_SC_PAGESIZE);
+  return p > 0 ? static_cast<std::size_t>(p) : 4096;
+}
+
+}  // namespace dcolor

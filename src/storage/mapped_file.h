@@ -1,0 +1,104 @@
+// Memory-mapped file regions for out-of-core instance storage.
+//
+// `MappedFile` is the OS-facing half of the storage seam: it owns one
+// mmap'd region (read-only over an existing file, or read-write over a
+// freshly created one) and hands out typed, bounds- and alignment-checked
+// `view<T>()` spans that `StorageVec<T>::adopt` borrows. Nothing above
+// this layer touches a file descriptor or a page size.
+//
+// Page-cache control is explicit: `sync()` flushes a written snapshot to
+// disk before it is advertised to other processes, `advise_sequential()`
+// primes readahead for the one-pass verifier, and `advise_dontneed()`
+// drops the clean pages of a read-only mapping — the kernel reloads them
+// on demand, so a long-lived process can shed the RSS of an instance it
+// only touches occasionally (the out-of-core story for graphs that
+// exceed RAM).
+//
+// Every successful map records `storage.maps` / `storage.mapped_bytes`
+// into the thread-current StatsRegistry (kTiming domain: whether a map
+// happens can depend on cache state, which is not part of the stable
+// determinism contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& o) noexcept;
+  MappedFile& operator=(MappedFile&& o) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps an existing file read-only (PROT_READ, MAP_SHARED — instances of
+  /// the same snapshot in different processes share the page cache).
+  /// Throws CheckError when the file is missing, empty, or unmappable.
+  static MappedFile map_readonly(const std::string& path);
+
+  /// Creates (or truncates) `path` at exactly `size` bytes and maps it
+  /// read-write. The fresh pages are zero-filled by the kernel, so
+  /// whatever the writer does not touch is deterministically zero — the
+  /// property that makes snapshot files byte-comparable.
+  static MappedFile create_rw(const std::string& path, std::size_t size);
+
+  bool mapped() const noexcept { return data_ != nullptr; }
+  bool writable() const noexcept { return writable_; }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+  const std::byte* data() const noexcept { return data_; }
+  std::byte* mutable_data() {
+    DCOLOR_CHECK_MSG(writable_, "mutable_data on a read-only mapping");
+    return data_;
+  }
+
+  /// Typed span over `count` elements of T starting at byte `offset`.
+  /// CHECKs bounds and that the offset respects alignof(T) — a mapping
+  /// always starts page-aligned, so section offsets carry the alignment.
+  template <typename T>
+  std::span<const T> view(std::size_t offset, std::size_t count) const {
+    DCOLOR_CHECK_MSG(offset % alignof(T) == 0,
+                     "misaligned view at offset " << offset);
+    DCOLOR_CHECK_MSG(offset <= size_ && count <= (size_ - offset) / sizeof(T),
+                     "view [" << offset << ", +" << count * sizeof(T)
+                              << ") overruns mapping of " << size_ << " bytes");
+    return {reinterpret_cast<const T*>(data_ + offset), count};
+  }
+
+  /// msync(MS_SYNC): blocks until the written pages are on disk.
+  void sync();
+
+  /// madvise(MADV_DONTNEED) over the whole mapping. On a read-only
+  /// MAP_SHARED mapping this drops the resident pages (they reload from
+  /// the file on next touch) — the explicit "shrink my RSS" knob.
+  void advise_dontneed() const noexcept;
+
+  /// madvise(MADV_SEQUENTIAL): aggressive readahead for one-pass scans.
+  void advise_sequential() const noexcept;
+
+  /// Unmaps and closes now (the destructor's job, callable early).
+  void reset() noexcept;
+
+  /// System page size (the section alignment quantum of the snapshot
+  /// format is fixed at 4096 independent of this, but mappings verify
+  /// they are at least that aligned).
+  static std::size_t page_size() noexcept;
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  int fd_ = -1;
+  bool writable_ = false;
+  std::string path_;
+};
+
+}  // namespace dcolor

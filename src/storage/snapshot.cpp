@@ -1,0 +1,364 @@
+#include "storage/snapshot.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/stats.h"
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = kFnvBasis) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t align_up(std::uint64_t x) noexcept {
+  return (x + (kSnapshotAlign - 1)) & ~static_cast<std::uint64_t>(
+                                          kSnapshotAlign - 1);
+}
+
+/// One payload section queued for writing.
+struct SectionSpec {
+  std::uint32_t id = 0;
+  std::uint32_t elem_size = 0;
+  const void* data = nullptr;
+  std::uint64_t count = 0;
+};
+
+void record_counter(const char* name) {
+  if (StatsRegistry* stats = StatsRegistry::current()) {
+    stats->counter(name, StatDomain::kTiming).add(1);
+  }
+}
+
+/// Lays out, writes, checksums, and fsyncs one snapshot file. The
+/// superblock is assembled last (checksums need the payload), but all
+/// bytes — including padding — are deterministic: create_rw zero-fills
+/// and sections are emitted in the fixed id order the callers pass.
+void write_snapshot(const std::string& path, SnapshotHeader header,
+                    const std::vector<SectionSpec>& specs) {
+  DCOLOR_CHECK(specs.size() <= kSnapshotMaxSections);
+  std::vector<SnapshotSection> table(specs.size());
+  std::uint64_t off = kSnapshotAlign;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::uint64_t bytes = specs[i].count * specs[i].elem_size;
+    table[i].id = specs[i].id;
+    table[i].elem_size = specs[i].elem_size;
+    table[i].offset = off;
+    table[i].count = specs[i].count;
+    table[i].byte_size = bytes;
+    off += align_up(bytes);
+  }
+
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.version = kSnapshotVersion;
+  header.endian = kSnapshotEndianTag;
+  header.file_size = off;
+  header.header_checksum = 0;
+  header.num_sections = static_cast<std::uint32_t>(specs.size());
+
+  MappedFile file = MappedFile::create_rw(path, off);
+  std::byte* base = file.mutable_data();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (table[i].byte_size > 0) {
+      std::memcpy(base + table[i].offset, specs[i].data, table[i].byte_size);
+    }
+    table[i].checksum = fnv1a(base + table[i].offset, table[i].byte_size);
+  }
+  std::memcpy(base, &header, sizeof(header));
+  if (!table.empty()) {
+    std::memcpy(base + sizeof(header), table.data(),
+                table.size() * sizeof(SnapshotSection));
+  }
+  // Superblock checksum: over the full 4096 bytes with the checksum field
+  // itself still zero, then patched in.
+  const std::uint64_t sum = fnv1a(base, kSnapshotAlign);
+  std::memcpy(base + offsetof(SnapshotHeader, header_checksum), &sum,
+              sizeof(sum));
+  file.sync();
+  record_counter("storage.snapshot_saves");
+}
+
+void append_graph_sections(const Graph& g, std::vector<SectionSpec>& specs) {
+  const auto offsets = g.raw_offsets();
+  const auto adj = g.raw_adjacency();
+  specs.push_back({1, sizeof(std::int64_t), offsets.data(), offsets.size()});
+  specs.push_back({2, sizeof(NodeId), adj.data(), adj.size()});
+}
+
+void append_palette_sections(const PaletteStore& lists,
+                             std::vector<SectionSpec>& specs) {
+  const auto colors = lists.arena_colors();
+  const auto defects = lists.arena_defects();
+  const auto records = lists.palette_records();
+  const auto nodes = lists.node_palette_ids();
+  specs.push_back({7, sizeof(Color), colors.data(), colors.size()});
+  specs.push_back({8, sizeof(int), defects.data(), defects.size()});
+  specs.push_back({9, sizeof(PaletteStore::PaletteRecord), records.data(),
+                   records.size()});
+  specs.push_back({10, sizeof(PaletteStore::PaletteId), nodes.data(),
+                   nodes.size()});
+}
+
+}  // namespace
+
+void save_graph_snapshot(const std::string& path, const Graph& g) {
+  SnapshotHeader header{};
+  header.num_nodes = g.num_nodes();
+  header.num_edges = g.num_edges();
+  std::vector<SectionSpec> specs;
+  append_graph_sections(g, specs);
+  write_snapshot(path, header, specs);
+}
+
+void save_instance_snapshot(const std::string& path,
+                            const OldcInstance& inst) {
+  DCOLOR_CHECK_MSG(inst.graph != nullptr, "instance has no graph");
+  SnapshotHeader header{};
+  header.num_nodes = inst.graph->num_nodes();
+  header.num_edges = inst.graph->num_edges();
+  header.color_space = inst.color_space;
+  header.dedup_hits = inst.lists.dedup_hits();
+  header.flags = kSnapHasLists;
+  if (inst.symmetric) header.flags |= kSnapSymmetric;
+  std::vector<SectionSpec> specs;
+  append_graph_sections(*inst.graph, specs);
+  const auto out_off = inst.orientation.raw_out_offsets();
+  if (!out_off.empty()) {
+    header.flags |= kSnapHasOrientation;
+    const auto out_adj = inst.orientation.raw_out_adj();
+    const auto in_off = inst.orientation.raw_in_offsets();
+    const auto in_adj = inst.orientation.raw_in_adj();
+    specs.push_back(
+        {3, sizeof(std::int64_t), out_off.data(), out_off.size()});
+    specs.push_back({4, sizeof(NodeId), out_adj.data(), out_adj.size()});
+    specs.push_back({5, sizeof(std::int64_t), in_off.data(), in_off.size()});
+    specs.push_back({6, sizeof(NodeId), in_adj.data(), in_adj.size()});
+  }
+  append_palette_sections(inst.lists, specs);
+  write_snapshot(path, header, specs);
+}
+
+void save_instance_snapshot(const std::string& path,
+                            const ListDefectiveInstance& inst) {
+  DCOLOR_CHECK_MSG(inst.graph != nullptr, "instance has no graph");
+  SnapshotHeader header{};
+  header.num_nodes = inst.graph->num_nodes();
+  header.num_edges = inst.graph->num_edges();
+  header.color_space = inst.color_space;
+  header.dedup_hits = inst.lists.dedup_hits();
+  header.flags = kSnapHasLists | kSnapSymmetric;
+  std::vector<SectionSpec> specs;
+  append_graph_sections(*inst.graph, specs);
+  append_palette_sections(inst.lists, specs);
+  write_snapshot(path, header, specs);
+}
+
+namespace {
+
+/// Superblock + section-table validation common to load() and
+/// read_snapshot_info(). Returns the parsed table.
+std::vector<SnapshotSection> parse_superblock(const MappedFile& file,
+                                              SnapshotHeader* header) {
+  DCOLOR_CHECK_MSG(file.size() >= kSnapshotAlign,
+                   "'" << file.path() << "' too small for a snapshot ("
+                       << file.size() << " bytes)");
+  std::memcpy(header, file.data(), sizeof(*header));
+  DCOLOR_CHECK_MSG(
+      std::memcmp(header->magic, kSnapshotMagic, sizeof(kSnapshotMagic)) == 0,
+      "'" << file.path() << "' is not a dcolor snapshot (bad magic)");
+  DCOLOR_CHECK_MSG(header->endian == kSnapshotEndianTag,
+                   "'" << file.path()
+                       << "' was written on a foreign-endian host");
+  DCOLOR_CHECK_MSG(header->version == kSnapshotVersion,
+                   "'" << file.path() << "' has snapshot version "
+                       << header->version << ", expected "
+                       << kSnapshotVersion);
+  DCOLOR_CHECK_MSG(header->file_size == file.size(),
+                   "'" << file.path() << "' truncated: header says "
+                       << header->file_size << " bytes, file has "
+                       << file.size());
+  DCOLOR_CHECK_MSG(header->num_sections <= kSnapshotMaxSections,
+                   "'" << file.path() << "' section table overflows");
+  // Superblock checksum: recompute with the stored checksum zeroed.
+  std::vector<std::byte> block(file.data(), file.data() + kSnapshotAlign);
+  std::memset(block.data() + offsetof(SnapshotHeader, header_checksum), 0,
+              sizeof(std::uint64_t));
+  DCOLOR_CHECK_MSG(fnv1a(block.data(), block.size()) ==
+                       header->header_checksum,
+                   "'" << file.path() << "' superblock checksum mismatch "
+                       << "(corrupted file)");
+
+  std::vector<SnapshotSection> table(header->num_sections);
+  if (!table.empty()) {
+    std::memcpy(table.data(), file.data() + sizeof(SnapshotHeader),
+                table.size() * sizeof(SnapshotSection));
+  }
+  for (const SnapshotSection& s : table) {
+    DCOLOR_CHECK_MSG(s.byte_size == s.count * s.elem_size,
+                     "'" << file.path() << "' section " << s.id
+                         << " has inconsistent sizes");
+    DCOLOR_CHECK_MSG(s.offset % kSnapshotAlign == 0,
+                     "'" << file.path() << "' section " << s.id
+                         << " is misaligned");
+    DCOLOR_CHECK_MSG(s.offset >= kSnapshotAlign &&
+                         s.offset <= file.size() &&
+                         s.byte_size <= file.size() - s.offset,
+                     "'" << file.path() << "' section " << s.id
+                         << " overruns the file");
+  }
+  return table;
+}
+
+const SnapshotSection* find_section(const std::vector<SnapshotSection>& table,
+                                    std::uint32_t id) {
+  for (const SnapshotSection& s : table) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+const SnapshotSection& require_section(
+    const std::vector<SnapshotSection>& table, std::uint32_t id,
+    std::uint32_t elem_size, const std::string& path) {
+  const SnapshotSection* s = find_section(table, id);
+  DCOLOR_CHECK_MSG(s != nullptr,
+                   "'" << path << "' is missing section " << id);
+  DCOLOR_CHECK_MSG(s->elem_size == elem_size,
+                   "'" << path << "' section " << id << " has element size "
+                       << s->elem_size << ", expected " << elem_size);
+  return *s;
+}
+
+SnapshotInfo info_from_header(const SnapshotHeader& h) {
+  SnapshotInfo info;
+  info.num_nodes = h.num_nodes;
+  info.num_edges = h.num_edges;
+  info.color_space = h.color_space;
+  info.has_orientation = (h.flags & kSnapHasOrientation) != 0;
+  info.has_lists = (h.flags & kSnapHasLists) != 0;
+  info.symmetric = (h.flags & kSnapSymmetric) != 0;
+  info.file_size = h.file_size;
+  info.num_sections = h.num_sections;
+  return info;
+}
+
+}  // namespace
+
+InstanceSnapshot InstanceSnapshot::load(const std::string& path) {
+  InstanceSnapshot snap;
+  snap.file_ = std::make_shared<MappedFile>(MappedFile::map_readonly(path));
+  const MappedFile& file = *snap.file_;
+  SnapshotHeader header{};
+  const auto table = parse_superblock(file, &header);
+  snap.info_ = info_from_header(header);
+  DCOLOR_CHECK_MSG(header.num_nodes >= 0,
+                   "'" << path << "' has negative node count");
+
+  const auto n = static_cast<std::size_t>(header.num_nodes);
+  const auto& off_sec =
+      require_section(table, 1, sizeof(std::int64_t), path);
+  const auto& adj_sec = require_section(table, 2, sizeof(NodeId), path);
+  DCOLOR_CHECK_MSG(off_sec.count == n + 1,
+                   "'" << path << "' offsets section disagrees with n");
+  snap.graph_ = std::make_unique<Graph>(Graph::adopt(
+      static_cast<NodeId>(header.num_nodes),
+      file.view<std::int64_t>(off_sec.offset, off_sec.count),
+      file.view<NodeId>(adj_sec.offset, adj_sec.count)));
+
+  snap.instance_.graph = snap.graph_.get();
+  snap.instance_.color_space = header.color_space;
+  snap.instance_.symmetric = snap.info_.symmetric;
+
+  if (snap.info_.has_orientation) {
+    const auto& oo = require_section(table, 3, sizeof(std::int64_t), path);
+    const auto& oa = require_section(table, 4, sizeof(NodeId), path);
+    const auto& io = require_section(table, 5, sizeof(std::int64_t), path);
+    const auto& ia = require_section(table, 6, sizeof(NodeId), path);
+    DCOLOR_CHECK_MSG(oo.count == n + 1 && io.count == n + 1,
+                     "'" << path << "' orientation sections disagree with n");
+    snap.instance_.orientation = Orientation::adopt(
+        file.view<std::int64_t>(oo.offset, oo.count),
+        file.view<NodeId>(oa.offset, oa.count),
+        file.view<std::int64_t>(io.offset, io.count),
+        file.view<NodeId>(ia.offset, ia.count));
+  }
+
+  if (snap.info_.has_lists) {
+    const auto& ac = require_section(table, 7, sizeof(Color), path);
+    const auto& ad = require_section(table, 8, sizeof(int), path);
+    const auto& pr = require_section(
+        table, 9, sizeof(PaletteStore::PaletteRecord), path);
+    const auto& np = require_section(
+        table, 10, sizeof(PaletteStore::PaletteId), path);
+    DCOLOR_CHECK_MSG(np.count == n,
+                     "'" << path << "' node-palette section disagrees with n");
+    snap.instance_.lists = PaletteStore::adopt(
+        file.view<Color>(ac.offset, ac.count),
+        file.view<int>(ad.offset, ad.count),
+        file.view<PaletteStore::PaletteRecord>(pr.offset, pr.count),
+        file.view<PaletteStore::PaletteId>(np.offset, np.count),
+        header.dedup_hits);
+  }
+
+  record_counter("storage.snapshot_loads");
+  return snap;
+}
+
+ListDefectiveInstance InstanceSnapshot::list_instance() const {
+  DCOLOR_CHECK_MSG(has_instance(), "snapshot carries no palette lists");
+  ListDefectiveInstance inst;
+  inst.graph = graph_.get();
+  inst.lists = instance_.lists.borrow();
+  inst.color_space = instance_.color_space;
+  return inst;
+}
+
+void InstanceSnapshot::verify_payload() const {
+  SnapshotHeader header{};
+  const auto table = parse_superblock(*file_, &header);
+  file_->advise_sequential();
+  for (const SnapshotSection& s : table) {
+    const std::uint64_t sum = fnv1a(file_->data() + s.offset, s.byte_size);
+    DCOLOR_CHECK_MSG(sum == s.checksum,
+                     "'" << file_->path() << "' section " << s.id
+                         << " payload checksum mismatch (corrupted file)");
+  }
+}
+
+void InstanceSnapshot::release_pages() const noexcept {
+  if (file_) file_->advise_dontneed();
+}
+
+SnapshotInfo read_snapshot_info(const std::string& path) {
+  const MappedFile file = MappedFile::map_readonly(path);
+  SnapshotHeader header{};
+  parse_superblock(file, &header);
+  return info_from_header(header);
+}
+
+bool is_snapshot_file(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[sizeof(kSnapshotMagic)];
+  const std::size_t got = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return got == sizeof(magic) &&
+         std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0;
+}
+
+}  // namespace dcolor

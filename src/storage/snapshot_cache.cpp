@@ -1,0 +1,172 @@
+#include "storage/snapshot_cache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+std::uint64_t fnv1a_str(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string InstanceKey::fingerprint() const {
+  char buf[256];
+  // %.17g round-trips every double, so equal keys — and only equal keys —
+  // share a fingerprint.
+  std::snprintf(buf, sizeof(buf), "%d|%s|%lld|%d|%llu|%d|%d|%d|%.17g", kind,
+                generator.c_str(), static_cast<long long>(n), degree,
+                static_cast<unsigned long long>(seed), symmetric ? 1 : 0,
+                congest ? 1 : 0, p, eps);
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv1a_str(buf)));
+  return hex;
+}
+
+std::size_t SnapshotCache::KeyHash::operator()(
+    const InstanceKey& k) const noexcept {
+  std::uint64_t h = fnv1a_str(k.generator);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(k.kind));
+  mix(static_cast<std::uint64_t>(k.n));
+  mix(static_cast<std::uint64_t>(k.degree));
+  mix(k.seed);
+  mix(static_cast<std::uint64_t>(k.symmetric ? 1 : 2));
+  mix(static_cast<std::uint64_t>(k.congest ? 1 : 2));
+  mix(static_cast<std::uint64_t>(k.p));
+  std::uint64_t eps_bits = 0;
+  static_assert(sizeof(eps_bits) == sizeof(k.eps));
+  std::memcpy(&eps_bits, &k.eps, sizeof(eps_bits));
+  mix(eps_bits);
+  return static_cast<std::size_t>(h);
+}
+
+OldcInstance SnapshotCache::Entry::borrow_oldc() const {
+  const OldcInstance& src =
+      snapshot != nullptr ? snapshot->instance() : oldc;
+  OldcInstance inst;
+  inst.graph = &graph_ref();
+  inst.orientation = src.orientation.borrow();
+  inst.lists = src.lists.borrow();
+  inst.color_space = src.color_space;
+  inst.symmetric = src.symmetric;
+  return inst;
+}
+
+ListDefectiveInstance SnapshotCache::Entry::borrow_list_defective() const {
+  if (snapshot != nullptr) return snapshot->list_instance();
+  ListDefectiveInstance inst;
+  inst.graph = &graph_ref();
+  inst.lists = list_defective.lists.borrow();
+  inst.color_space = list_defective.color_space;
+  return inst;
+}
+
+SnapshotCache::SnapshotCache(std::string dir) : dir_(std::move(dir)) {}
+
+void SnapshotCache::set_cacheable(const std::vector<InstanceKey>& keys) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cacheable_.insert(keys.begin(), keys.end());
+}
+
+SnapshotCache::EntryPtr SnapshotCache::get_or_build(const InstanceKey& key,
+                                                    const Builder& build) {
+  std::promise<EntryPtr> promise;
+  std::shared_future<EntryPtr> fut;
+  bool builder_turn = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (dir_.empty() && cacheable_.find(key) == cacheable_.end()) {
+      return nullptr;  // single-occurrence key: scratch path
+    }
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      fut = it->second;
+      ++reused_;
+    } else {
+      fut = promise.get_future().share();
+      map_.emplace(key, fut);
+      builder_turn = true;
+    }
+  }
+  if (!builder_turn) return fut.get();  // blocks until the builder is done
+
+  try {
+    auto entry = std::make_shared<Entry>();
+    entry->key = key;
+    const std::string path =
+        dir_.empty() ? std::string()
+                     : dir_ + "/" + key.fingerprint() + ".snap";
+    bool from_file = false;
+    if (!path.empty() && is_snapshot_file(path)) {
+      // A stale or corrupted cache file must not fail the batch: fall
+      // back to a fresh build (which overwrites it).
+      try {
+        entry->snapshot =
+            std::make_unique<InstanceSnapshot>(InstanceSnapshot::load(path));
+        from_file = true;
+      } catch (const std::exception&) {
+        entry->snapshot.reset();
+      }
+    }
+    if (!from_file) {
+      build(*entry);
+      if (!path.empty()) {
+        std::filesystem::create_directories(dir_);
+        switch (key.kind) {
+          case 0: save_instance_snapshot(path, entry->oldc); break;
+          case 1: save_instance_snapshot(path, entry->list_defective); break;
+          default: save_graph_snapshot(path, entry->graph); break;
+        }
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (from_file) {
+        ++loaded_;
+      } else {
+        ++built_;
+      }
+    }
+    EntryPtr result = entry;
+    promise.set_value(result);
+    return result;
+  } catch (...) {
+    // Surface the failure to every waiter, then forget the key so a
+    // later call can retry.
+    promise.set_exception(std::current_exception());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    map_.erase(key);
+    throw;
+  }
+}
+
+std::int64_t SnapshotCache::built() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return built_;
+}
+std::int64_t SnapshotCache::loaded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_;
+}
+std::int64_t SnapshotCache::reused() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reused_;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,125 @@
+// Build-once instance cache for the batch runner and the arena command.
+//
+// A batch with `repeat=` expansion or several solvers over one scenario
+// used to rebuild the SAME instance bytes once per job (the instance is a
+// pure function of the generator spec + effective seed + the handful of
+// capability bits that shape the lists). The cache keys on exactly those
+// inputs, builds each distinct instance once, and hands every other job a
+// zero-copy borrowed view (StorageVec adopt over the entry's arrays).
+//
+// Two storage modes:
+//   * in-memory (default): entries live on the heap for the batch's
+//     lifetime. Only keys the planner marked cacheable (they occur more
+//     than once) are cached, so a batch of all-distinct jobs keeps the
+//     old scratch-arena memory profile.
+//   * file-backed (`--snapshot-cache=<dir>`): every key maps to a
+//     snapshot file named by its fingerprint. Hits mmap the file
+//     zero-copy — including hits from PREVIOUS runs, which is where the
+//     20× build-vs-reload gap pays off; misses build, save, and keep the
+//     built entry.
+//
+// Concurrency: one mutex guards the key map; each entry is built under a
+// per-key shared_future, so N workers racing on one key produce exactly
+// one build (and deterministic built/reused accounting at every worker
+// count — the batch report's determinism contract extends to these
+// numbers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/instance.h"
+#include "graph/graph.h"
+#include "storage/snapshot.h"
+
+namespace dcolor {
+
+/// Everything the batch instance builders consume. Two jobs with equal
+/// keys build byte-identical instances (the builders draw from
+/// Rng::stream(seed, salt) and the capability bits below — nothing else).
+struct InstanceKey {
+  int kind = 0;  ///< 0 = OLDC, 1 = list-defective, 2 = graph-only
+  std::string generator;
+  std::int64_t n = 0;
+  int degree = 0;
+  std::uint64_t seed = 0;  ///< effective seed (job seed + batch seed)
+  bool symmetric = false;  ///< job.symmetric && caps.symmetric
+  bool congest = false;    ///< caps.congest (shapes the defect sizing)
+  int p = 0;
+  double eps = 0.0;
+
+  bool operator==(const InstanceKey&) const = default;
+
+  /// Stable hex fingerprint (FNV-1a over the normalized field string);
+  /// doubles as the snapshot file stem in file-backed mode.
+  std::string fingerprint() const;
+};
+
+class SnapshotCache {
+ public:
+  /// One cached instance. `graph` has a stable heap address (entries are
+  /// always shared_ptr-held), so borrowed views can point at it.
+  struct Entry {
+    InstanceKey key;
+    Graph graph;
+    OldcInstance oldc;                      ///< kind 0; .graph == &graph
+    ListDefectiveInstance list_defective;   ///< kind 1; .graph == &graph
+    std::unique_ptr<InstanceSnapshot> snapshot;  ///< file-backed hits
+
+    const Graph& graph_ref() const {
+      return snapshot != nullptr ? snapshot->graph() : graph;
+    }
+    /// Borrowed per-job views — cheap (pointer copies), independent
+    /// lifetimes, read-only by construction (mutation CHECK-fails).
+    OldcInstance borrow_oldc() const;
+    ListDefectiveInstance borrow_list_defective() const;
+  };
+
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  /// Fills entry.graph plus the instance matching key.kind. Must be a
+  /// pure function of the key (the cache trusts this).
+  using Builder = std::function<void(Entry&)>;
+
+  /// `dir` empty = in-memory mode; otherwise snapshot files live in `dir`
+  /// (created on first save if missing).
+  explicit SnapshotCache(std::string dir = "");
+
+  /// In-memory mode only caches keys announced here (the batch planner
+  /// passes the keys occurring more than once). File-backed mode caches
+  /// everything — cross-run reuse is the point.
+  void set_cacheable(const std::vector<InstanceKey>& keys);
+
+  /// The shared entry for `key`, building (at most once, under a per-key
+  /// future) or mmap-loading as needed. Returns nullptr when the key is
+  /// not cacheable — the caller falls back to its private scratch build.
+  EntryPtr get_or_build(const InstanceKey& key, const Builder& build);
+
+  // Accounting (deterministic at every worker count; see header comment).
+  std::int64_t built() const;   ///< entries constructed by a Builder
+  std::int64_t loaded() const;  ///< entries mmap'd from a snapshot file
+  std::int64_t reused() const;  ///< get_or_build calls served an
+                                ///  already-available entry
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const InstanceKey& k) const noexcept;
+  };
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::unordered_set<InstanceKey, KeyHash> cacheable_;
+  std::unordered_map<InstanceKey, std::shared_future<EntryPtr>, KeyHash> map_;
+  std::int64_t built_ = 0;
+  std::int64_t loaded_ = 0;
+  std::int64_t reused_ = 0;
+};
+
+}  // namespace dcolor

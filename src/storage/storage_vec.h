@@ -1,0 +1,197 @@
+// Owning-or-borrowed flat array — the storage seam under the hot data
+// structures.
+//
+// The CSR arrays in `Graph`/`Orientation` and the palette arena in
+// `PaletteStore` historically were plain `std::vector`s. To let the same
+// structures view a read-only memory-mapped snapshot *zero-copy* (no
+// per-element deserialization, no copy into the heap), each of those
+// members is a `StorageVec<T>`: either it owns a `std::vector<T>` (the
+// heap path, byte-identical layout and behavior to before) or it borrows
+// a `[data, size)` span of externally owned memory (an mmap'd file
+// section whose lifetime the caller guarantees).
+//
+// Reads go through cached `data_`/`size_` pointers, so the hot loops
+// (`neighbors()`, `view()`, the simulator ingest paths) cost exactly what
+// the raw vector cost — one load, no branch on the storage mode.
+// Mutation is owner-only: every mutator CHECKs `!borrowed_`, so code that
+// accidentally tries to grow or edit a mapped instance fails loudly
+// instead of scribbling on a shared read-only page.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcolor {
+
+template <typename T>
+class StorageVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StorageVec elements must be trivially copyable (they may "
+                "be raw bytes in a mapped file)");
+
+ public:
+  StorageVec() = default;
+
+  /*implicit*/ StorageVec(std::vector<T> v)  // NOLINT(runtime/explicit)
+      : owned_(std::move(v)) {
+    sync();
+  }
+
+  StorageVec(const StorageVec& o) { *this = o; }
+  StorageVec(StorageVec&& o) noexcept { *this = std::move(o); }
+
+  /// Copying a borrowed vec yields another borrow of the same memory
+  /// (cheap; the backing mapping must outlive both). Copying an owned vec
+  /// deep-copies as a vector would.
+  StorageVec& operator=(const StorageVec& o) {
+    if (this == &o) return *this;
+    if (o.borrowed_) {
+      owned_.clear();
+      data_ = o.data_;
+      size_ = o.size_;
+      borrowed_ = true;
+    } else {
+      owned_ = o.owned_;
+      borrowed_ = false;
+      sync();
+    }
+    return *this;
+  }
+
+  StorageVec& operator=(StorageVec&& o) noexcept {
+    if (this == &o) return *this;
+    if (o.borrowed_) {
+      owned_.clear();
+      data_ = o.data_;
+      size_ = o.size_;
+      borrowed_ = true;
+    } else {
+      owned_ = std::move(o.owned_);
+      borrowed_ = false;
+      sync();
+    }
+    o.owned_.clear();
+    o.borrowed_ = false;
+    o.sync();
+    return *this;
+  }
+
+  StorageVec& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    borrowed_ = false;
+    sync();
+    return *this;
+  }
+
+  /// Borrows externally owned memory. The caller keeps `ptr[0..size)`
+  /// alive and unchanged for the lifetime of this vec (and of any copies
+  /// made from it).
+  static StorageVec adopt(const T* ptr, std::size_t size) noexcept {
+    StorageVec v;
+    v.data_ = ptr;
+    v.size_ = size;
+    v.borrowed_ = true;
+    return v;
+  }
+
+  bool borrowed() const noexcept { return borrowed_; }
+
+  // ---- reads (both modes, zero-overhead) ------------------------------
+
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
+  std::size_t capacity() const noexcept {
+    return borrowed_ ? size_ : owned_.capacity();
+  }
+
+  // ---- mutation (owner-only) ------------------------------------------
+
+  T* data() {
+    require_owned();
+    return owned_.data();
+  }
+  T& operator[](std::size_t i) {
+    require_owned();
+    return owned_[i];
+  }
+  T* begin() {
+    require_owned();
+    return owned_.data();
+  }
+  T* end() {
+    require_owned();
+    return owned_.data() + owned_.size();
+  }
+
+  void push_back(const T& x) {
+    require_owned();
+    owned_.push_back(x);
+    sync();
+  }
+
+  template <typename It>
+  void insert(const T* pos, It first, It last) {
+    require_owned();
+    DCOLOR_CHECK_MSG(pos == data_ + size_,
+                     "StorageVec::insert supports append-at-end only");
+    owned_.insert(owned_.end(), first, last);
+    sync();
+  }
+
+  void assign(std::size_t n, const T& x) {
+    require_owned();
+    owned_.assign(n, x);
+    sync();
+  }
+
+  void resize(std::size_t n) {
+    require_owned();
+    owned_.resize(n);
+    sync();
+  }
+  void resize(std::size_t n, const T& x) {
+    require_owned();
+    owned_.resize(n, x);
+    sync();
+  }
+
+  void reserve(std::size_t n) {
+    require_owned();
+    owned_.reserve(n);
+    sync();
+  }
+
+  /// Always allowed: resets to an empty *owned* vec, releasing any borrow
+  /// (the borrowed memory itself is untouched — it belongs to the caller).
+  void clear() noexcept {
+    owned_.clear();
+    borrowed_ = false;
+    sync();
+  }
+
+ private:
+  void require_owned() const {
+    DCOLOR_CHECK_MSG(!borrowed_,
+                     "mutation of a borrowed (mmap-backed) StorageVec");
+  }
+  void sync() noexcept {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool borrowed_ = false;
+};
+
+}  // namespace dcolor

@@ -17,6 +17,13 @@ std::int64_t peak_rss_bytes() noexcept {
   return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
 }
 
+PageFaults page_faults() noexcept {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return {};
+  return {static_cast<std::int64_t>(ru.ru_minflt),
+          static_cast<std::int64_t>(ru.ru_majflt)};
+}
+
 std::int64_t current_rss_bytes() noexcept {
 #if defined(__linux__)
   // /proc/self/statm: "size resident shared ..." in pages.

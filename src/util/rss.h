@@ -20,4 +20,15 @@ std::int64_t current_rss_bytes() noexcept;
 /// ru_maxrss). Monotone: never decreases, regardless of frees.
 std::int64_t peak_rss_bytes() noexcept;
 
+/// Cumulative page-fault counters (getrusage; monotone like ru_maxrss —
+/// diff two readings to attribute faults to a section). `minor` faults
+/// are satisfied without I/O (fresh anonymous pages, already-cached file
+/// pages — the expected cost of touching a mapped snapshot); `major`
+/// faults hit the disk. Both 0 when unreadable.
+struct PageFaults {
+  std::int64_t minor = 0;
+  std::int64_t major = 0;
+};
+PageFaults page_faults() noexcept;
+
 }  // namespace dcolor

@@ -138,6 +138,59 @@ if command -v python3 >/dev/null 2>&1; then
       "$DIR/arena1.json"
 fi
 
+# Snapshots: a text instance converted to a binary snapshot must load,
+# verify, and color BIT-identically to the text original.
+"$CLI" --cmd=snapshot --instance="$DIR/i.txt" --save="$DIR/i.snap"
+"$CLI" --cmd=snapshot --load="$DIR/i.snap" --verify > "$DIR/snapinfo.txt"
+grep -q "verified" "$DIR/snapinfo.txt"
+"$CLI" --cmd=color --instance="$DIR/i.txt" --algorithm=two_sweep --ts_p=5 \
+       --out="$DIR/ct.txt"
+"$CLI" --cmd=color --instance="$DIR/i.snap" --algorithm=two_sweep --ts_p=5 \
+       --out="$DIR/cs.txt"
+cmp "$DIR/ct.txt" "$DIR/cs.txt" || {
+  echo "cli_smoke: FAIL — snapshot instance colored differently" >&2
+  exit 1; }
+"$CLI" --cmd=validate --instance="$DIR/i.snap" --coloring="$DIR/cs.txt"
+
+# Edge-list ingestion: SNAP pairs with comments/loops/duplicates become a
+# graph snapshot that every --graph= flag accepts.
+printf '# toy snap file\n0 1\n1 2\n2 2\n0 1\n3 0\n' > "$DIR/edges.txt"
+"$CLI" --cmd=snapshot --from-edges="$DIR/edges.txt" --save="$DIR/e.snap" \
+    | grep -q "1 self-loops dropped"
+"$CLI" --cmd=info --graph="$DIR/e.snap"
+
+# Generator-sourced snapshots skip the text round-trip entirely.
+"$CLI" --cmd=snapshot --family=regular --n=120 --degree=8 --seed=3 \
+       --defect=1 --save="$DIR/gen.snap"
+"$CLI" --cmd=color --instance="$DIR/gen.snap" --algorithm=two_sweep \
+       --ts_p=5 --out="$DIR/c.txt"
+"$CLI" --cmd=validate --instance="$DIR/gen.snap" --coloring="$DIR/c.txt"
+
+# Corrupt and non-snapshot files must be rejected loudly.
+if "$CLI" --cmd=snapshot --load="$DIR/i.txt" 2>/dev/null; then
+  echo "cli_smoke: FAIL — text file accepted as snapshot" >&2; exit 1
+fi
+printf 'DCSNAP01 corrupted superblock follows' > "$DIR/bad.snap"
+if "$CLI" --cmd=snapshot --load="$DIR/bad.snap" 2>/dev/null; then
+  echo "cli_smoke: FAIL — corrupt snapshot accepted" >&2; exit 1
+fi
+
+# Batch with a file-backed snapshot cache: same results as cache-less,
+# and the second run reloads what the first one built.
+"$CLI" --cmd=batch --jobs="$SPEC" --threads=2 --verify \
+       --snapshot-cache="$DIR/snapcache" --json="$DIR/batchc.json" \
+    | grep -q "snapshots"
+grep '"label"' "$DIR/batchc.json" | sed 's/, "t": {[^}]*}//' \
+    > "$DIR/jobsc.txt"
+cmp "$DIR/jobs1.txt" "$DIR/jobsc.txt" || {
+  echo "cli_smoke: FAIL — snapshot-cached batch results differ" >&2
+  exit 1; }
+"$CLI" --cmd=batch --jobs="$SPEC" --threads=2 \
+       --snapshot-cache="$DIR/snapcache" > "$DIR/batchc2.txt"
+grep -q "0 built" "$DIR/batchc2.txt" || {
+  echo "cli_smoke: FAIL — second cached batch run rebuilt instances" >&2
+  exit 1; }
+
 # Strict numeric parsing: garbage values must fail loudly, not parse as 0.
 if "$CLI" --cmd=generate --family=regular --n=12abc --degree=3 --seed=1 \
        --out="$DIR/bad.txt" 2>/dev/null; then

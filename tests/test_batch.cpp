@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -180,6 +181,63 @@ TEST(BatchRun, ScratchPoolAccountsForArenaReuse) {
   EXPECT_EQ(serial.scratch_reused, static_cast<std::int64_t>(jobs.size()) - 1);
 }
 
+TEST(BatchRun, SnapshotCacheBuildsSharedInstancesOnce) {
+  // Three OLDC solvers over the SAME generator spec share one InstanceKey:
+  // the batch planner marks it cacheable and the cache builds it exactly
+  // once — every other job gets a zero-copy borrowed view. The distinct
+  // fourth job stays on the scratch path (in-memory mode caches only
+  // keys that occur more than once).
+  const std::vector<BatchJob> jobs = parse_batch_jobs(
+      "solver=two_sweep,n=64,degree=6,seed=3;"
+      "solver=fast_two_sweep,n=64,degree=6,seed=3;"
+      "solver=oracle_greedy,n=64,degree=6,seed=3;"
+      "solver=greedy,n=48,seed=4");
+  BatchOptions options;
+  options.threads = 1;
+  const BatchReport base = run_batch(jobs, options);
+  EXPECT_EQ(base.snapshot_built, 1);
+  EXPECT_EQ(base.snapshot_reused, 2);
+  EXPECT_EQ(base.snapshot_loaded, 0);
+  EXPECT_EQ(base.jobs_valid, 4);
+
+  // The accounting — like every other report field — is deterministic at
+  // every worker count (the per-key future serializes racing builders).
+  for (const int threads : {2, 4, 8}) {
+    options.threads = threads;
+    const BatchReport report = run_batch(jobs, options);
+    EXPECT_EQ(report.snapshot_built, 1) << "threads=" << threads;
+    EXPECT_EQ(report.snapshot_reused, 2) << "threads=" << threads;
+    EXPECT_EQ(report.snapshot_loaded, 0) << "threads=" << threads;
+    EXPECT_EQ(report.jobs, base.jobs) << "threads=" << threads;
+  }
+}
+
+TEST(BatchRun, FileBackedSnapshotCachePersistsAcrossRuns) {
+  const std::string dir = "batch_snapshot_cache_test";
+  std::filesystem::remove_all(dir);
+  const std::vector<BatchJob> jobs = mixed_jobs(8);
+  BatchOptions options;
+  options.threads = 2;
+  options.snapshot_dir = dir;
+  const BatchReport first = run_batch(jobs, options);
+  // File-backed mode caches every key, including single-occurrence ones.
+  EXPECT_GT(first.snapshot_built, 0);
+  EXPECT_EQ(first.snapshot_loaded, 0);
+
+  const BatchReport second = run_batch(jobs, options);
+  EXPECT_EQ(second.snapshot_loaded, first.snapshot_built)
+      << "the second run must mmap what the first run built";
+  EXPECT_EQ(second.snapshot_built, 0);
+  EXPECT_EQ(second.jobs, first.jobs)
+      << "mapped instances must solve bit-identically to built ones";
+
+  // And against a cache-less run: the cache must be invisible in results.
+  options.snapshot_dir.clear();
+  const BatchReport plain = run_batch(jobs, options);
+  EXPECT_EQ(plain.jobs, first.jobs);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(BatchRun, FiftyJobMixedBatchUnderCheckerIsClean) {
   // The ISSUE acceptance batch: >= 50 jobs across every solver family,
   // each job under a collect-mode invariant checker; everything validates
@@ -247,7 +305,8 @@ TEST(BatchReportJson, CarriesJobsAndSummary) {
   for (const char* needle :
        {"\"jobs\": [", "\"label\": \"a\"", "\"label\": \"b\"",
         "\"solver\": \"greedy\"", "\"solver\": \"luby\"", "\"valid\": true",
-        "\"color_hash\": \"", "\"summary\": {", "\"scratch_created\": 1"}) {
+        "\"color_hash\": \"", "\"summary\": {", "\"scratch_created\": 1",
+        "\"snapshot_built\":", "\"snapshot_reused\":"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   EXPECT_EQ(json.find("\"error\""), std::string::npos);  // clean run

@@ -8,6 +8,7 @@
 #include "graph/generators.h"
 #include "graph/orientation.h"
 #include "io/dot_export.h"
+#include "io/edge_list.h"
 #include "io/instance_io.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -194,6 +195,83 @@ TEST(DotExport, LabelWithColorOption) {
   std::stringstream ss;
   write_dot(ss, g, {7, 9}, options);
   EXPECT_NE(ss.str().find("label=\"0:7\""), std::string::npos);
+}
+
+TEST(EdgeListIo, SnapBarePairsWithCommentsLoopsAndDuplicates) {
+  std::stringstream ss(
+      "# SNAP-style comment\n"
+      "% matrix-market-style header\n"
+      "\n"
+      "0 1\n"
+      "1 0\n"      // duplicate of {0,1}
+      "2 2\n"      // self-loop
+      "1 3\n"
+      "3\t2\n");   // tabs are whitespace too
+  EdgeListStats stats;
+  const Graph g = read_edge_list(ss, &stats);
+  EXPECT_EQ(g.num_nodes(), 4);  // max id + 1
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(stats.comments, 3);
+  EXPECT_EQ(stats.edges, 5);  // edge LINES, before loop/duplicate dropping
+  EXPECT_EQ(stats.self_loops, 1);
+  EXPECT_EQ(stats.duplicates, 1);
+  EXPECT_FALSE(stats.dimacs);
+}
+
+TEST(EdgeListIo, DimacsProblemLineSwitchesToOneBasedIds) {
+  std::stringstream ss(
+      "c DIMACS comment\n"
+      "p edge 4 3\n"
+      "e 1 2\n"
+      "e 2 3\n"
+      "e 4 1\n");
+  EdgeListStats stats;
+  const Graph g = read_edge_list(ss, &stats);
+  EXPECT_TRUE(stats.dimacs);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));  // 'e 1 2', shifted to 0-based
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(3, 0));
+}
+
+TEST(EdgeListIo, RejectsMalformedEdgeLists) {
+  {
+    std::stringstream ss("0 1\n2 three\n");  // garbage token
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+  {
+    std::stringstream ss("0 1 2\n");  // extra column on a bare pair
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+  {
+    std::stringstream ss("e 1 2\np edge 3 1\n");  // 'e' before 'p'
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+  {
+    std::stringstream ss("p edge 3 1\ne 1 4\n");  // id beyond declared n
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+  {
+    std::stringstream ss("p edge 3 2\ne 1 2\n");  // declared m != actual
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+  {
+    std::stringstream ss("0 -1\n");  // negative id
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+}
+
+TEST(EdgeListIo, LoadedGraphMatchesFromEdges) {
+  // The reader must produce the same CSR from_edges builds — snapshot
+  // determinism downstream depends on it.
+  std::stringstream ss("0 1\n0 2\n1 2\n3 1\n");
+  const Graph parsed = read_edge_list(ss);
+  const Graph direct = Graph::from_edges(4, {{0, 1}, {0, 2}, {1, 2}, {3, 1}});
+  EXPECT_EQ(parsed.edge_list(), direct.edge_list());
 }
 
 }  // namespace

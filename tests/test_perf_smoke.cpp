@@ -12,14 +12,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/palette_store.h"
 #include "graph/generators.h"
 #include "sim/batch_runner.h"
+#include "storage/snapshot.h"
 #include "util/rng.h"
 
 namespace {
@@ -123,6 +126,50 @@ TEST(PerfSmoke, BatchSteadyStateReusesArenas) {
   EXPECT_EQ(big.scratch_reused, 15);
   EXPECT_EQ(small.jobs_valid, 8);
   EXPECT_EQ(big.jobs_valid, 16);
+}
+
+TEST(PerfSmoke, SnapshotReadsAllocateNothingAfterLoad) {
+  // The zero-copy contract of the storage seam: once a snapshot is
+  // mapped, traversing the borrowed graph and palette arrays must not
+  // touch the heap — the bytes in the mapping ARE the arrays. (The load
+  // itself allocates: the mapping handle, the heap Graph, the section
+  // table. Steady-state reads after it must not.)
+  const NodeId n = 20000;
+  Rng rng(1800);
+  const Graph g = random_near_regular(n, 6, rng);
+  Orientation o = Orientation::by_id(g);
+  const int d = o.beta();
+  const OldcInstance built =
+      random_uniform_oldc(g, std::move(o), 40, 10, d, rng);
+  const std::string path = "perf_smoke_snapshot.snap";
+  save_instance_snapshot(path, built);
+  const InstanceSnapshot snap = InstanceSnapshot::load(path);
+  const OldcInstance& inst = snap.instance();
+
+  // Warm the pages (page faults are the kernel's business, not the
+  // allocator's, but fault-driven lazy work should not skew the count).
+  std::int64_t warm_sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : snap.graph().neighbors(v)) warm_sum += u;
+  }
+
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  std::int64_t sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : snap.graph().neighbors(v)) sum += u;
+    for (const NodeId u : inst.out_neighbors(v)) sum += u;
+    const auto palette = inst.lists[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < palette.size(); ++i) {
+      sum += palette.color(i) + palette.defect(i);
+    }
+  }
+  const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "reading a mapped snapshot should not touch the heap";
+  // Keep both sweeps observable so the loops cannot be elided.
+  EXPECT_GT(warm_sum, 0);
+  EXPECT_GT(sum, warm_sum);
+  std::remove(path.c_str());
 }
 
 TEST(PerfSmoke, SetupThroughputAtMidScale) {

@@ -123,11 +123,13 @@ std::string row_key(const BenchRow& row,
     for (const std::string& f : fields) {
       if (k == f) is_timing = true;
     }
-    // us_per_node is derived from wall_ms; setup_ms and the memory
-    // accounting columns are measurements, not identity.
+    // us_per_node is derived from wall_ms; setup_ms, speedup, the
+    // snapshot-roundtrip readings and the memory accounting columns are
+    // measurements, not identity.
     if (is_timing || k == "us_per_node" || k == "setup_ms" ||
         k == "peak_rss_mib" || k == "rss_mib" || k == "rss_delta_mib" ||
-        k == "palette_mib" || k == "wall_ns") {
+        k == "palette_mib" || k == "wall_ns" || k == "speedup" ||
+        k == "first_solve_ms" || k == "file_mib") {
       continue;
     }
     key += k;

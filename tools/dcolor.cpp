@@ -22,6 +22,22 @@
 //             grammar.
 //             --jobs=<file-or-inline-spec> [--threads=0] [--seed=0]
 //             [--verify] (collect-mode checker per job) [--json=report.json]
+//             [--snapshot-cache=<dir>] (file-backed instance cache: repeat
+//             runs mmap instances instead of rebuilding them)
+//   snapshot  Save / load binary zero-copy instance snapshots
+//             (storage/snapshot.h).
+//             --save=<out.snap> with ONE input source:
+//               --from-edges=<file>    SNAP/DIMACS edge list -> graph
+//               --graph=<graph.txt>    text graph -> graph snapshot
+//               --instance=<inst.txt>  text OLDC instance -> full snapshot
+//               (none)                 generate like --cmd=instance
+//                                      (--family/--n/--degree/--seed/
+//                                      --list/--defect/--colorspace/
+//                                      [--symmetric])
+//             --load=<in.snap> [--verify]  map a snapshot, print its
+//             shape; --verify additionally checks every payload checksum.
+//             Snapshots are also accepted directly by --graph=/--instance=/
+//             --replay= everywhere (the loaders sniff the magic).
 //   validate  Check a coloring against an instance.
 //             --instance=instance.txt --coloring=coloring.txt
 //   info      Print summary statistics of a saved graph.
@@ -78,12 +94,14 @@
 #include "graph/generators.h"
 #include "graph/independence.h"
 #include "graph/line_graph.h"
+#include "io/edge_list.h"
 #include "io/instance_io.h"
 #include "obs/arena.h"
 #include "obs/stats.h"
 #include "sim/batch_runner.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
+#include "storage/snapshot.h"
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/parse.h"
@@ -189,8 +207,11 @@ int cmd_color(const CliArgs& args) {
   switch (caps.input) {
     case Input::kOldc: {
       owned = load_oldc(args.get_string("instance", "instance.txt"));
-      const Orientation lin_orient = Orientation::by_id(owned.graph);
-      linial = linial_from_ids(owned.graph, lin_orient);
+      // owned.instance.graph, not owned.graph: the inline member is empty
+      // when the instance came from a mapped snapshot.
+      const Graph& ig = *owned.instance.graph;
+      const Orientation lin_orient = Orientation::by_id(ig);
+      linial = linial_from_ids(ig, lin_orient);
       req.oldc = &owned.instance;
       req.initial_coloring = &linial.colors;
       req.q = linial.num_colors;
@@ -234,6 +255,81 @@ int cmd_color(const CliArgs& args) {
   return valid ? 0 : 1;
 }
 
+int cmd_snapshot(const CliArgs& args) {
+  if (args.has("load")) {
+    const std::string path = args.get_string("load", "snapshot.snap");
+    const InstanceSnapshot snap = InstanceSnapshot::load(path);
+    if (args.get_bool("verify")) snap.verify_payload();
+    const SnapshotInfo& info = snap.info();
+    Table t("snapshot info");
+    t.header({"field", "value"});
+    t.add("file", path);
+    t.add("bytes", static_cast<std::int64_t>(info.file_size));
+    t.add("sections", static_cast<std::int64_t>(info.num_sections));
+    t.add("nodes", info.num_nodes);
+    t.add("edges", info.num_edges);
+    t.add("colorspace", info.color_space);
+    t.add("orientation", info.has_orientation ? "yes" : "no");
+    t.add("lists", info.has_lists ? "yes" : "no");
+    t.add("symmetric", info.symmetric ? "yes" : "no");
+    t.add("payload checksums",
+          args.get_bool("verify") ? "verified" : "not checked");
+    t.print(std::cout);
+    return 0;
+  }
+
+  const std::string out = args.get_string("save", "");
+  DCOLOR_CHECK_MSG(!out.empty(),
+                   "--cmd=snapshot requires --save=<path> or --load=<path>");
+  if (args.has("from-edges")) {
+    EdgeListStats st;
+    const Graph g = load_edge_list(args.get_string("from-edges", ""), &st);
+    save_graph_snapshot(out, g);
+    std::cout << "wrote graph snapshot " << g.summary() << " to " << out
+              << " (" << st.edges << " edge lines, " << st.self_loops
+              << " self-loops dropped, " << st.duplicates
+              << " duplicates merged" << (st.dimacs ? ", DIMACS" : "")
+              << ")\n";
+    return 0;
+  }
+  if (args.has("graph")) {
+    const Graph g = load_graph(args.get_string("graph", "graph.txt"));
+    save_graph_snapshot(out, g);
+    std::cout << "wrote graph snapshot " << g.summary() << " to " << out
+              << "\n";
+    return 0;
+  }
+  if (args.has("instance")) {
+    const OwnedOldcInstance owned =
+        load_oldc(args.get_string("instance", "instance.txt"));
+    save_instance_snapshot(out, owned.instance);
+    std::cout << "wrote instance snapshot (C=" << owned.instance.color_space
+              << ", " << owned.instance.graph->summary() << ") to " << out
+              << "\n";
+    return 0;
+  }
+  // Generator source — the same knobs (and sizing defaults) as
+  // --cmd=generate followed by --cmd=instance, without the text
+  // round-trip in between.
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const Graph g = generate_family(args, rng);
+  Orientation o = Orientation::by_id(g);
+  const int beta = o.beta();
+  const int defect = static_cast<int>(args.get_int("defect", 1));
+  const int default_p = beta / (defect + 1) + 1;
+  const auto list_size = static_cast<int>(
+      args.get_int("list", default_p * default_p + default_p + 1));
+  const std::int64_t space = args.get_int("colorspace", 4 * list_size);
+  OldcInstance inst =
+      random_uniform_oldc(g, std::move(o), space, list_size, defect, rng);
+  inst.symmetric = args.get_bool("symmetric");
+  save_instance_snapshot(out, inst);
+  std::cout << "wrote instance snapshot (C=" << space << ", Λ=" << list_size
+            << ", d=" << defect << (inst.symmetric ? ", symmetric" : "")
+            << ", " << g.summary() << ") to " << out << "\n";
+  return 0;
+}
+
 int cmd_batch(const CliArgs& args) {
   const std::string jobs_spec = args.get_string("jobs", "");
   DCOLOR_CHECK_MSG(!jobs_spec.empty(),
@@ -244,6 +340,7 @@ int cmd_batch(const CliArgs& args) {
   options.threads = static_cast<int>(args.get_int("threads", 0));
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
   options.check = args.get_bool("verify");
+  options.snapshot_dir = args.get_string("snapshot-cache", "");
   const BatchReport report = run_batch(jobs, options);
 
   if (args.has("json")) {
@@ -267,7 +364,9 @@ int cmd_batch(const CliArgs& args) {
             << " failed; " << report.total_rounds << " total rounds, "
             << report.total_violations << " checker violation(s); scratch "
             << report.scratch_created << " created / "
-            << report.scratch_reused << " reused\n";
+            << report.scratch_reused << " reused; snapshots "
+            << report.snapshot_built << " built / " << report.snapshot_loaded
+            << " loaded / " << report.snapshot_reused << " reused\n";
   for (const BatchJobResult& r : report.jobs) {
     if (!r.error.empty()) {
       std::cout << "  " << r.label << ": " << r.error << "\n";
@@ -449,7 +548,7 @@ int cmd_fuzz(const CliArgs& args) {
                                                  options.thread_counts);
     if (failure.empty()) {
       std::cout << "replay PASS (" << solver.name() << ", "
-                << owned.graph.summary() << ")\n";
+                << owned.instance.graph->summary() << ")\n";
       return 0;
     }
     std::cout << "replay FAIL: " << failure << "\n";
@@ -525,6 +624,8 @@ int run(int argc, char** argv) {
     code = cmd_color(args);
   } else if (cmd == "list") {
     code = cmd_list(args);
+  } else if (cmd == "snapshot") {
+    code = cmd_snapshot(args);
   } else if (cmd == "batch") {
     code = cmd_batch(args);
   } else if (cmd == "validate") {
