@@ -11,6 +11,7 @@
 #include "core/run_context.h"
 #include "core/solver_registry.h"
 #include "graph/generators.h"
+#include "serve/dynamic_instance.h"
 #include "sim/engine.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -366,6 +367,128 @@ OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst,
   return current;
 }
 
+std::string run_recolor_battery(std::uint64_t seed, std::int64_t idx,
+                                NodeId max_n) {
+  Rng rng = Rng::stream(seed + 0xC01055u, static_cast<std::uint64_t>(idx));
+  const NodeId floor_n = 8;
+  const NodeId span = std::max<NodeId>(1, max_n - floor_n + 1);
+  const auto n = static_cast<NodeId>(
+      floor_n + rng.below(static_cast<std::uint64_t>(span)));
+  Graph g;
+  switch (idx % 3) {
+    case 0:
+      g = gnp_avg_degree(n, 4.0, rng);
+      break;
+    case 1:
+      g = random_tree(n, rng);
+      break;
+    default:
+      g = random_geometric(n, 0.3, rng);
+      break;
+  }
+  serve::DynamicInstance inst(n, g.edge_list(), /*headroom=*/2,
+                              seed + static_cast<std::uint64_t>(idx));
+  const Solver& solver = SolverRegistry::get().require("deg_plus_one");
+
+  // From-scratch solve on the CURRENT topology; `install` decides whether
+  // the result becomes the resident coloring or is only a feasibility
+  // probe (the differential oracle side).
+  const auto full_solve = [&](bool install,
+                              const std::string& what) -> std::string {
+    const Graph mg = inst.materialize();
+    ListDefectiveInstance ldi;
+    ldi.graph = &mg;
+    ldi.lists = inst.lists().borrow();
+    ldi.color_space = inst.color_space();
+    SolveRequest req;
+    req.list_defective = &ldi;
+    RunContext ctx;
+    ctx.seed = seed + static_cast<std::uint64_t>(idx);
+    ctx.num_threads = 1;
+    SolveResult res;
+    try {
+      res = solver.solve(req, ctx);
+    } catch (const CheckError& e) {
+      return what + ": from-scratch solve threw: " + e.what();
+    }
+    if (!validate_list_defective(ldi, res.colors)) {
+      return what + ": from-scratch coloring invalid";
+    }
+    if (install) inst.set_colors(std::move(res.colors));
+    return "";
+  };
+  if (std::string err = full_solve(true, "initial"); !err.empty()) {
+    return err;
+  }
+
+  const int steps = 10;
+  for (int s = 0; s < steps; ++s) {
+    const auto batch = 1 + static_cast<int>(rng.below(3));
+    for (int b = 0; b < batch; ++b) {
+      const std::uint64_t kind = rng.below(8);
+      const auto pick = [&] {
+        return static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(inst.num_nodes())));
+      };
+      if (kind < 5) {  // insertions dominate: they are what dirties
+        const NodeId u = pick();
+        const NodeId v = pick();
+        if (u != v && inst.alive(u) && inst.alive(v)) inst.add_edge(u, v);
+      } else if (kind == 5) {
+        const NodeId u = pick();
+        const auto nbrs = inst.neighbors(u);
+        if (!nbrs.empty()) {
+          inst.remove_edge(u, nbrs[rng.below(nbrs.size())]);
+        }
+      } else if (kind == 6) {
+        inst.add_node();
+      } else {
+        const NodeId u = pick();
+        if (inst.alive(u)) inst.remove_node(u);
+      }
+    }
+    if (inst.has_dirty()) {
+      RunContext ctx;
+      ctx.seed = seed + static_cast<std::uint64_t>(idx * 1000 + s);
+      ctx.num_threads = 1;
+      try {
+        inst.recolor(ctx);
+      } catch (const CheckError&) {
+        // Local repair impossible — the documented full-re-solve fallback.
+        if (std::string err = full_solve(true, "fallback step " +
+                                                   std::to_string(s));
+            !err.empty()) {
+          return err;
+        }
+      }
+    }
+    if (!inst.validate()) {
+      return "step " + std::to_string(s) +
+             ": repaired coloring not proper/in-list";
+    }
+    {
+      InvariantChecker checker(InvariantChecker::Mode::kCollect);
+      const Graph mg = inst.materialize();
+      ListDefectiveInstance ldi;
+      ldi.graph = &mg;
+      ldi.lists = inst.lists().borrow();
+      ldi.color_space = inst.color_space();
+      checker.check_list_defective(ldi, inst.colors(), "recolor_battery");
+      if (!checker.violations().empty()) {
+        return "step " + std::to_string(s) + ": checker flagged " +
+               checker.violations().front().rule + " — " +
+               checker.violations().front().detail;
+      }
+    }
+    if (std::string err =
+            full_solve(false, "differential step " + std::to_string(s));
+        !err.empty()) {
+      return err;
+    }
+  }
+  return "";
+}
+
 FuzzReport fuzz_differential(const FuzzOptions& options, std::ostream* log) {
   DCOLOR_CHECK(options.cases >= 1);
   DCOLOR_CHECK(!options.thread_counts.empty());
@@ -409,6 +532,23 @@ FuzzReport fuzz_differential(const FuzzOptions& options, std::ostream* log) {
       }
     } else if (log != nullptr && (idx + 1) % 50 == 0) {
       *log << "  " << (idx + 1) << "/" << options.cases << " cases passed\n";
+    }
+    // The incremental-recolor axis rides along on every 4th case (only
+    // when the forced-solver knob leaves the schedule alone; it has no
+    // repro/shrink path — failures name the seeded case for replay).
+    if (forced == nullptr && idx % 4 == 3) {
+      const std::string rfail =
+          run_recolor_battery(options.seed, idx, options.max_n);
+      if (!rfail.empty()) {
+        ++report.failures;
+        if (log != nullptr) {
+          *log << "recolor case " << idx << ": FAIL — " << rfail << "\n";
+        }
+        if (report.first_failure.empty()) {
+          report.first_failure =
+              "recolor case " + std::to_string(idx) + ": " + rfail;
+        }
+      }
     }
   }
   return report;

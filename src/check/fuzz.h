@@ -102,6 +102,18 @@ OwnedOldcInstance shrink_fuzz_case(const OldcInstance& inst,
                                    const std::vector<int>& thread_counts,
                                    std::int64_t max_evals, std::ostream* log);
 
+/// Incremental-recolor differential axis: builds a seeded resident
+/// instance (serve/dynamic_instance.h) over one of the fuzz generators,
+/// solves it from scratch, then applies a seeded mutation sequence
+/// (edge/node insertions and deletions) with incremental recoloring after
+/// each batch. After every repair the coloring must be proper, in-list,
+/// clean under a collect-mode InvariantChecker, and a from-scratch solve
+/// of the mutated instance must also succeed (the differential oracle).
+/// Returns "" on pass, else a failure description. Scheduled by
+/// fuzz_differential on every 4th case.
+std::string run_recolor_battery(std::uint64_t seed, std::int64_t idx,
+                                NodeId max_n);
+
 /// The full harness. `log` (optional) receives progress lines.
 FuzzReport fuzz_differential(const FuzzOptions& options, std::ostream* log);
 

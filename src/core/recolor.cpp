@@ -1,0 +1,286 @@
+#include "core/recolor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/two_sweep.h"
+#include "graph/orientation.h"
+#include "util/check.h"
+
+namespace dcolor {
+
+namespace {
+
+/// Working state of one repair attempt over a fixed dirty set.
+struct SubProblem {
+  std::vector<NodeId> to_orig;             ///< sub id -> original id
+  std::vector<NodeId> to_sub;              ///< original id -> sub id or -1
+  Graph graph;                             ///< induced dirty subgraph
+  PaletteStore lists;                      ///< reduced palettes, sub order
+  bool infeasible = false;                 ///< some reduced palette is empty
+};
+
+/// True when u's defect budget counts neighbor w.
+bool counts(const RecolorProblem& prob, NodeId u, NodeId w) {
+  return prob.symmetric || prob.is_out(u, w);
+}
+
+/// Builds the reduced sub-instance for the current dirty set.
+///
+/// Besides reducing each dirty node's defects by its FIXED same-colored
+/// neighbors (the node's own side of every boundary edge), the build also
+/// protects the fixed side: a fixed node u colored c has headroom
+/// h = d_u(c) − (current same-colored fixed neighbors), and at most h of
+/// the dirty neighbors u counts may take c. The headroom is granted to
+/// u's dirty neighbors in id order; the rest get c struck from their
+/// palettes. Any assignment of the resulting sub-instance therefore
+/// leaves every fixed node's contract intact — zero-defect lists make
+/// this coincide with the plain "drop the neighbor's color" rule.
+SubProblem build_subproblem(const RecolorProblem& prob,
+                            const std::vector<Color>& colors,
+                            const std::vector<NodeId>& dirty,
+                            const std::vector<char>& in_dirty) {
+  SubProblem sub;
+  sub.to_orig = dirty;
+  sub.to_sub.assign(static_cast<std::size_t>(prob.num_nodes), -1);
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    sub.to_sub[static_cast<std::size_t>(dirty[i])] = static_cast<NodeId>(i);
+  }
+
+  // Fixed-side protection: per dirty node, the colors struck because a
+  // fixed neighbor's headroom ran out.
+  std::unordered_map<NodeId, std::unordered_set<Color>> forbidden;
+  std::vector<char> seen_fixed(static_cast<std::size_t>(prob.num_nodes), 0);
+  for (const NodeId v : dirty) {
+    for (const NodeId u : prob.neighbors(v)) {
+      if (in_dirty[static_cast<std::size_t>(u)] ||
+          seen_fixed[static_cast<std::size_t>(u)]) {
+        continue;
+      }
+      seen_fixed[static_cast<std::size_t>(u)] = 1;
+      const Color c = colors[static_cast<std::size_t>(u)];
+      if (c == kNoColor) continue;
+      // Headroom of u for its own color, counting only fixed neighbors
+      // (dirty ones are being replaced and are what the grants bound).
+      std::int64_t used = 0;
+      for (const NodeId w : prob.neighbors(u)) {
+        if (!in_dirty[static_cast<std::size_t>(w)] &&
+            colors[static_cast<std::size_t>(w)] == c && counts(prob, u, w)) {
+          ++used;
+        }
+      }
+      const auto d = (*prob.lists)[static_cast<std::size_t>(u)].defect_of(c);
+      std::int64_t grants = d.has_value() ? *d - used : 0;
+      for (const NodeId w : prob.neighbors(u)) {
+        if (!in_dirty[static_cast<std::size_t>(w)] || !counts(prob, u, w))
+          continue;
+        if (grants > 0) {
+          --grants;
+        } else {
+          forbidden[w].insert(c);
+        }
+      }
+    }
+  }
+
+  // Reduced palettes + sub edge list in one pass over the dirty nodes.
+  std::vector<std::pair<NodeId, NodeId>> sub_edges;
+  std::unordered_map<Color, int> fixed_count;
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const NodeId v = dirty[i];
+    fixed_count.clear();
+    for (const NodeId u : prob.neighbors(v)) {
+      if (in_dirty[static_cast<std::size_t>(u)]) {
+        if (v < u) {
+          sub_edges.emplace_back(
+              static_cast<NodeId>(i),
+              sub.to_sub[static_cast<std::size_t>(u)]);
+        }
+        continue;
+      }
+      const Color c = colors[static_cast<std::size_t>(u)];
+      if (c != kNoColor && counts(prob, v, u)) ++fixed_count[c];
+    }
+    const auto* struck =
+        forbidden.count(v) != 0 ? &forbidden.at(v) : nullptr;
+    const ColorList reduced =
+        (*prob.lists)[static_cast<std::size_t>(v)].transform(
+            [&](Color c, int d) -> int {
+              if (struck != nullptr && struck->count(c) != 0) return -1;
+              const auto it = fixed_count.find(c);
+              return it == fixed_count.end() ? d : d - it->second;
+            });
+    if (reduced.empty()) sub.infeasible = true;
+    sub.lists.push_back(reduced);
+  }
+  sub.graph = Graph::from_edges(static_cast<NodeId>(dirty.size()),
+                                std::move(sub_edges));
+  return sub;
+}
+
+/// Deterministic sequential last resort: first feasible palette color per
+/// node in id order, honoring both sides' (already reduced) defects.
+/// Returns the sub coloring; throws CheckError on a dead end.
+std::vector<Color> greedy_repair(const SubProblem& sub, bool symmetric,
+                                 const RecolorProblem& prob) {
+  const auto sub_n = static_cast<NodeId>(sub.to_orig.size());
+  std::vector<Color> out(static_cast<std::size_t>(sub_n), kNoColor);
+  const auto sub_counts = [&](NodeId a, NodeId b) {
+    return symmetric || prob.is_out(sub.to_orig[static_cast<std::size_t>(a)],
+                                    sub.to_orig[static_cast<std::size_t>(b)]);
+  };
+  const auto committed_with = [&](NodeId a, Color c) {
+    std::int64_t k = 0;
+    for (const NodeId b : sub.graph.neighbors(a)) {
+      if (out[static_cast<std::size_t>(b)] == c && sub_counts(a, b)) ++k;
+    }
+    return k;
+  };
+  for (NodeId v = 0; v < sub_n; ++v) {
+    const PaletteView list = sub.lists[static_cast<std::size_t>(v)];
+    Color chosen = kNoColor;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const Color c = list.color(i);
+      if (committed_with(v, c) > list.defect(i)) continue;
+      // Committing v to c must also leave every already-committed
+      // same-colored neighbor within its own reduced budget.
+      bool ok = true;
+      for (const NodeId u : sub.graph.neighbors(v)) {
+        if (out[static_cast<std::size_t>(u)] != c || !sub_counts(u, v))
+          continue;
+        const auto du =
+            sub.lists[static_cast<std::size_t>(u)].defect_of(c);
+        if (!du.has_value() || committed_with(u, c) + 1 > *du) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        chosen = c;
+        break;
+      }
+    }
+    DCOLOR_CHECK_MSG(chosen != kNoColor,
+                     "recolor: greedy fallback dead-ended at dirty node "
+                         << sub.to_orig[static_cast<std::size_t>(v)]
+                         << "; full re-solve required");
+    out[static_cast<std::size_t>(v)] = chosen;
+  }
+  return out;
+}
+
+}  // namespace
+
+RecolorResult recolor_dirty(const RecolorProblem& problem,
+                            std::vector<Color> colors,
+                            std::vector<NodeId> dirty, RunContext& ctx,
+                            const RecolorOptions& options) {
+  const NodeId n = problem.num_nodes;
+  DCOLOR_CHECK_MSG(problem.lists != nullptr &&
+                       problem.lists->size() == static_cast<std::size_t>(n),
+                   "recolor: lists must cover all " << n << " nodes");
+  DCOLOR_CHECK_MSG(colors.size() == static_cast<std::size_t>(n),
+                   "recolor: coloring must cover all " << n << " nodes");
+  DCOLOR_CHECK_MSG(problem.symmetric || problem.is_out,
+                   "recolor: oriented problems need an is_out predicate");
+
+  RecolorResult result;
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  for (const NodeId v : dirty) {
+    DCOLOR_CHECK_MSG(v >= 0 && v < n, "recolor: dirty node " << v
+                                          << " out of range [0, " << n << ")");
+  }
+  if (dirty.empty()) {
+    result.colors = std::move(colors);
+    return result;
+  }
+  const std::vector<Color> original = colors;
+  std::vector<char> in_dirty(static_cast<std::size_t>(n), 0);
+  for (const NodeId v : dirty) in_dirty[static_cast<std::size_t>(v)] = 1;
+
+  const auto grow_one_hop = [&]() {
+    std::vector<NodeId> added;
+    for (const NodeId v : dirty) {
+      for (const NodeId u : problem.neighbors(v)) {
+        if (in_dirty[static_cast<std::size_t>(u)] == 0) {
+          in_dirty[static_cast<std::size_t>(u)] = 1;
+          added.push_back(u);
+        }
+      }
+    }
+    dirty.insert(dirty.end(), added.begin(), added.end());
+    std::sort(dirty.begin(), dirty.end());
+    return !added.empty();
+  };
+
+  SubProblem sub;
+  std::vector<Color> sub_colors;
+  bool solved = false;
+  for (int attempt = 0; attempt <= options.max_growth && !solved; ++attempt) {
+    sub = build_subproblem(problem, colors, dirty, in_dirty);
+    if (!sub.infeasible) {
+      OldcInstance inst;
+      inst.graph = &sub.graph;
+      inst.lists = sub.lists.borrow();
+      inst.color_space = problem.color_space;
+      inst.symmetric = problem.symmetric;
+      if (!problem.symmetric) {
+        inst.orientation = Orientation::from_predicate(
+            sub.graph, [&](NodeId a, NodeId b) {
+              return problem.is_out(
+                  sub.to_orig[static_cast<std::size_t>(a)],
+                  sub.to_orig[static_cast<std::size_t>(b)]);
+            });
+      }
+      // Identity initial coloring: trivially proper, and q = |dirty| keeps
+      // the sweep at O(|dirty|) rounds — the whole point of the repair.
+      const auto sub_n = static_cast<std::int64_t>(dirty.size());
+      std::vector<Color> initial(static_cast<std::size_t>(sub_n));
+      for (std::int64_t i = 0; i < sub_n; ++i)
+        initial[static_cast<std::size_t>(i)] = i;
+      // The reduced sub-instance generally sits below Eq. (2); a Phase-II
+      // dead end is handled by growing the region, not by failing.
+      const bool prev_skip = ctx.skip_precondition_check;
+      ctx.skip_precondition_check = true;
+      try {
+        ColoringResult res =
+            two_sweep(inst, initial, sub_n, options.p, ctx);
+        ctx.skip_precondition_check = prev_skip;
+        sub_colors = std::move(res.colors);
+        result.rounds += res.metrics.rounds;
+        solved = true;
+      } catch (const CheckError&) {
+        ctx.skip_precondition_check = prev_skip;
+      }
+    }
+    if (!solved && attempt < options.max_growth && !grow_one_hop()) {
+      break;  // region already closed: growing again cannot help
+    }
+  }
+  if (!solved) {
+    sub = build_subproblem(problem, colors, dirty, in_dirty);
+    DCOLOR_CHECK_MSG(!sub.infeasible,
+                     "recolor: dirty region has a node with an empty "
+                     "reduced palette; full re-solve required");
+    sub_colors = greedy_repair(sub, problem.symmetric, problem);
+    result.used_greedy_fallback = true;
+  }
+
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    colors[static_cast<std::size_t>(dirty[i])] = sub_colors[i];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (colors[static_cast<std::size_t>(v)] !=
+        original[static_cast<std::size_t>(v)]) {
+      ++result.colors_changed;
+    }
+  }
+  result.dirty_nodes = static_cast<std::int64_t>(dirty.size());
+  result.colors = std::move(colors);
+  return result;
+}
+
+}  // namespace dcolor

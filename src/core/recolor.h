@@ -1,0 +1,79 @@
+// Incremental recoloring: repair a coloring on a dirty region instead of
+// re-solving the whole instance.
+//
+// The paper's framing makes local repair natural: a solved instance is a
+// list defective coloring, and after a topology mutation only the nodes
+// whose contracts may now be violated — the dirty region — need new
+// colors. The repair builds a sub-instance on the dirty nodes whose
+// palettes are the original lists with each color's defect reduced by the
+// consumption of FIXED (non-dirty) neighbors already committed to it
+// (colors whose reduced defect would go negative drop out entirely), and
+// re-runs Two-Sweep (Algorithm 1) on that sub-instance seeded from a
+// trivially proper coloring. A fixed-point of the sub-instance is, by
+// construction, a valid coloring of the dirty nodes against the full
+// instance: every constraint involving a dirty node is either inside the
+// subgraph (checked by the sub-solve) or against a fixed neighbor (paid
+// for in the reduced defect).
+//
+// The sub-instance generally sits below the Eq. (2) premise — the repair
+// runs with skip_precondition_check and treats a Phase-II dead end as a
+// signal, not a failure: the dirty region grows by one hop (freeing the
+// colors of the ring that boxed it in) and the repair retries. After
+// `max_growth` rounds a deterministic greedy pass over the sub-instance
+// runs as the last resort; only when that also dead-ends does the call
+// throw, telling the caller to fall back to a from-scratch solve.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/run_context.h"
+
+namespace dcolor {
+
+/// The instance view a repair runs against. Adjacency is a callback so a
+/// mutable topology (the serve layer's dynamic instances) repairs in
+/// place without materializing a CSR graph of the full n first — the
+/// repair only ever asks for the neighborhoods of dirty nodes.
+struct RecolorProblem {
+  NodeId num_nodes = 0;
+  /// Sorted neighbor list of v; spans must stay valid for the call.
+  std::function<std::span<const NodeId>(NodeId)> neighbors;
+  const PaletteStore* lists = nullptr;  ///< full per-node palettes
+  std::int64_t color_space = 0;
+  /// Symmetric (undirected) defect semantics; false counts only
+  /// out-neighbors, via `is_out`.
+  bool symmetric = true;
+  /// u -> v arc test (required iff !symmetric).
+  std::function<bool(NodeId, NodeId)> is_out;
+};
+
+struct RecolorOptions {
+  int p = 2;           ///< Two-Sweep Phase-I set size
+  int max_growth = 3;  ///< dead-end retries, each growing the region 1 hop
+};
+
+struct RecolorResult {
+  std::vector<Color> colors;          ///< full repaired coloring
+  std::int64_t colors_changed = 0;    ///< nodes whose color differs
+  std::int64_t dirty_nodes = 0;       ///< final dirty-region size
+  std::int64_t rounds = 0;            ///< simulated rounds of the repair
+  bool used_greedy_fallback = false;  ///< Two-Sweep dead-ended every round
+};
+
+/// Repairs `colors` so that every node again satisfies its list/defect
+/// contract, changing only nodes in (a grown superset of) `dirty`.
+/// `colors[v]` may be kNoColor or contract-violating for dirty nodes;
+/// FIXED nodes must satisfy their contracts against other fixed nodes
+/// (the caller's invariant — mutations only invalidate the region they
+/// report). Throws CheckError when even the greedy fallback dead-ends;
+/// the caller should then re-solve from scratch.
+RecolorResult recolor_dirty(const RecolorProblem& problem,
+                            std::vector<Color> colors,
+                            std::vector<NodeId> dirty, RunContext& ctx,
+                            const RecolorOptions& options = {});
+
+}  // namespace dcolor

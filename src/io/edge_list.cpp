@@ -40,6 +40,17 @@ std::string line_context(std::int64_t line_no, const char* what) {
   return os.str();
 }
 
+/// True when `tok` is the single DIMACS tag character `tag`, matched
+/// case-insensitively — SNAP mirrors carry `P`/`E` problem and edge lines.
+bool is_tag(std::string_view tok, char tag) {
+  return tok.size() == 1 &&
+         std::tolower(static_cast<unsigned char>(tok[0])) == tag;
+}
+
+/// Largest node id we accept: `n = max_id + 1` must itself fit NodeId,
+/// so the id ceiling is INT32_MAX - 1, not INT32_MAX.
+constexpr std::int64_t kMaxNodeId = 0x7FFFFFFE;
+
 }  // namespace
 
 Graph read_edge_list(std::istream& is, EdgeListStats* stats) {
@@ -67,9 +78,9 @@ Graph read_edge_list(std::istream& is, EdgeListStats* stats) {
       DCOLOR_CHECK_MSG(id >= 0, "edge list line " << line_no
                                                   << ": negative node id "
                                                   << id);
-      DCOLOR_CHECK_MSG(id <= 0x7FFFFFFF, "edge list line "
+      DCOLOR_CHECK_MSG(id <= kMaxNodeId, "edge list line "
                                              << line_no << ": node id " << id
-                                             << " exceeds 32-bit range");
+                                             << " exceeds NodeId range");
     }
     max_id = std::max(max_id, id);
     return static_cast<NodeId>(id);
@@ -89,11 +100,12 @@ Graph read_edge_list(std::istream& is, EdgeListStats* stats) {
     ++line_no;
     ++st.lines;
     split_tokens(line, &tok);
-    if (tok.empty() || tok[0][0] == '#' || tok[0][0] == '%' || tok[0] == "c") {
+    if (tok.empty() || tok[0][0] == '#' || tok[0][0] == '%' ||
+        is_tag(tok[0], 'c')) {
       ++st.comments;
       continue;
     }
-    if (tok[0] == "p") {
+    if (is_tag(tok[0], 'p')) {
       DCOLOR_CHECK_MSG(!st.dimacs,
                        "edge list line " << line_no
                                          << ": duplicate DIMACS problem line");
@@ -107,10 +119,14 @@ Graph read_edge_list(std::istream& is, EdgeListStats* stats) {
       DCOLOR_CHECK_MSG(declared_nodes >= 0 && declared_edges >= 0,
                        "edge list line " << line_no
                                          << ": negative problem-line counts");
+      DCOLOR_CHECK_MSG(declared_nodes <= kMaxNodeId + 1,
+                       "edge list line " << line_no << ": node count "
+                                         << declared_nodes
+                                         << " exceeds NodeId range");
       st.dimacs = true;
       continue;
     }
-    if (tok[0] == "e" || tok[0] == "a") {
+    if (is_tag(tok[0], 'e') || is_tag(tok[0], 'a')) {
       DCOLOR_CHECK_MSG(st.dimacs, "edge list line "
                                       << line_no
                                       << ": 'e' line before the DIMACS "

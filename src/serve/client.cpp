@@ -1,0 +1,63 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dcolor::serve {
+
+Client::Client(int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DCOLOR_CHECK_MSG(fd_ >= 0, "client: socket() failed: "
+                                 << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    DCOLOR_CHECK_MSG(false, "client: cannot connect to 127.0.0.1:"
+                                << port << ": " << std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::call_line(const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    DCOLOR_CHECK_MSG(n > 0, "client: connection lost while sending");
+    off += static_cast<std::size_t>(n);
+  }
+  std::size_t nl;
+  while ((nl = buffer_.find('\n')) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    DCOLOR_CHECK_MSG(n > 0, "client: connection closed before a response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string response = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  return response;
+}
+
+JsonValue Client::call(const JsonValue& request) {
+  return JsonValue::parse(call_line(request.dump()));
+}
+
+}  // namespace dcolor::serve

@@ -1,0 +1,35 @@
+// Minimal blocking client for the serve daemon (serve/server.h).
+//
+// One TCP connection, one request in flight: call() writes a request
+// line, blocks for the response line, and returns it parsed. Used by
+// `dcolor --cmd=client`, the serve tests, and cli_smoke.sh round-trips.
+#pragma once
+
+#include <string>
+
+#include "serve/json.h"
+
+namespace dcolor::serve {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port; throws CheckError on failure.
+  explicit Client(int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request, blocks for its response. Throws CheckError when
+  /// the connection drops or the response line is not valid JSON.
+  JsonValue call(const JsonValue& request);
+
+  /// Raw line round-trip (for --cmd=client, which forwards stdin lines).
+  std::string call_line(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last response line
+};
+
+}  // namespace dcolor::serve

@@ -1,0 +1,203 @@
+#include "serve/dynamic_instance.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor::serve {
+
+DynamicInstance::DynamicInstance(
+    NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges,
+    int headroom, std::uint64_t seed)
+    : headroom_(std::max(0, headroom)), seed_(seed) {
+  DCOLOR_CHECK_MSG(num_nodes >= 0, "dynamic instance: negative node count");
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+  alive_.assign(static_cast<std::size_t>(num_nodes), 1);
+  in_dirty_.assign(static_cast<std::size_t>(num_nodes), 0);
+  for (const auto& [u, v] : edges) {
+    DCOLOR_CHECK_MSG(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes,
+                     "dynamic instance: edge (" << u << ", " << v
+                                                << ") out of range");
+    if (u == v) continue;
+    auto& au = adj_[static_cast<std::size_t>(u)];
+    const auto it = std::lower_bound(au.begin(), au.end(), v);
+    if (it != au.end() && *it == v) continue;  // duplicate
+    au.insert(it, v);
+    auto& av = adj_[static_cast<std::size_t>(v)];
+    av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+    ++num_edges_;
+  }
+  int max_deg = 0;
+  for (const auto& a : adj_) {
+    max_deg = std::max(max_deg, static_cast<int>(a.size()));
+  }
+  color_space_ = std::max<std::int64_t>(64, 4 * (max_deg + 1 + headroom_));
+  lists_.resize(static_cast<std::size_t>(num_nodes));
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    regrow_list(v, adj_[static_cast<std::size_t>(v)].size() + 1 +
+                       static_cast<std::size_t>(headroom_));
+  }
+}
+
+void DynamicInstance::regrow_list(NodeId v, std::size_t min_size) {
+  while (static_cast<std::int64_t>(min_size) > color_space_) {
+    color_space_ *= 2;
+  }
+  // Deterministic per-node stream: the same (seed, v, color_space, size)
+  // always yields the same list, independent of mutation interleaving.
+  Rng rng = Rng::stream(seed_, static_cast<std::uint64_t>(v));
+  std::vector<Color> colors;
+  colors.reserve(min_size);
+  std::vector<char> taken(static_cast<std::size_t>(color_space_), 0);
+  while (colors.size() < min_size) {
+    const auto c = static_cast<Color>(
+        rng.below(static_cast<std::uint64_t>(color_space_)));
+    if (taken[static_cast<std::size_t>(c)]) continue;
+    taken[static_cast<std::size_t>(c)] = 1;
+    colors.push_back(c);
+  }
+  lists_.set_node(static_cast<std::size_t>(v),
+                  ColorList::zero_defect(std::move(colors)));
+}
+
+void DynamicInstance::mark_dirty(NodeId v) {
+  if (in_dirty_[static_cast<std::size_t>(v)]) return;
+  in_dirty_[static_cast<std::size_t>(v)] = 1;
+  dirty_.push_back(v);
+}
+
+bool DynamicInstance::add_edge(NodeId u, NodeId v) {
+  DCOLOR_CHECK_MSG(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+                   "add_edge: (" << u << ", " << v << ") out of range");
+  DCOLOR_CHECK_MSG(alive(u) && alive(v),
+                   "add_edge: endpoint was removed");
+  if (u == v) return false;
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  const auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it != au.end() && *it == v) return false;
+  au.insert(it, v);
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++num_edges_;
+  for (const NodeId w : {u, v}) {
+    const auto need = adj_[static_cast<std::size_t>(w)].size() + 1;
+    if (lists_[static_cast<std::size_t>(w)].size() < need) {
+      regrow_list(w, need + static_cast<std::size_t>(headroom_));
+    }
+    mark_dirty(w);
+  }
+  return true;
+}
+
+bool DynamicInstance::remove_edge(NodeId u, NodeId v) {
+  DCOLOR_CHECK_MSG(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+                   "remove_edge: (" << u << ", " << v << ") out of range");
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  const auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it == au.end() || *it != v) return false;
+  au.erase(it);
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  av.erase(std::lower_bound(av.begin(), av.end(), u));
+  --num_edges_;
+  // Dropping a constraint cannot invalidate a zero-defect coloring: no
+  // new dirt.
+  return true;
+}
+
+NodeId DynamicInstance::add_node() {
+  const NodeId v = num_nodes();
+  adj_.emplace_back();
+  alive_.push_back(1);
+  in_dirty_.push_back(0);
+  lists_.resize(static_cast<std::size_t>(v) + 1);
+  regrow_list(v, 1 + static_cast<std::size_t>(headroom_));
+  if (has_coloring()) {
+    // Isolated: any list color is valid immediately.
+    colors_.push_back(lists_[static_cast<std::size_t>(v)].color(0));
+  }
+  return v;
+}
+
+bool DynamicInstance::remove_node(NodeId v) {
+  DCOLOR_CHECK_MSG(v >= 0 && v < num_nodes(),
+                   "remove_node: " << v << " out of range");
+  if (!alive(v)) return false;
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  for (const NodeId u : av) {
+    auto& au = adj_[static_cast<std::size_t>(u)];
+    au.erase(std::lower_bound(au.begin(), au.end(), v));
+  }
+  num_edges_ -= static_cast<std::int64_t>(av.size());
+  av.clear();
+  alive_[static_cast<std::size_t>(v)] = 0;
+  // The slot stays (stable ids), isolated with a singleton list so every
+  // downstream pass can keep treating the node uniformly.
+  regrow_list(v, 1);
+  if (has_coloring()) {
+    colors_[static_cast<std::size_t>(v)] =
+        lists_[static_cast<std::size_t>(v)].color(0);
+  }
+  return true;
+}
+
+std::vector<NodeId> DynamicInstance::dirty() const {
+  std::vector<NodeId> out = dirty_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void DynamicInstance::set_colors(std::vector<Color> colors) {
+  DCOLOR_CHECK_MSG(colors.size() == static_cast<std::size_t>(num_nodes()),
+                   "set_colors: expected " << num_nodes() << " colors, got "
+                                           << colors.size());
+  colors_ = std::move(colors);
+  dirty_.clear();
+  std::fill(in_dirty_.begin(), in_dirty_.end(), 0);
+}
+
+RecolorResult DynamicInstance::recolor(RunContext& ctx,
+                                       const RecolorOptions& options) {
+  DCOLOR_CHECK_MSG(has_coloring(),
+                   "recolor: session has no coloring yet; solve first");
+  RecolorProblem problem;
+  problem.num_nodes = num_nodes();
+  problem.neighbors = [this](NodeId v) { return neighbors(v); };
+  problem.lists = &lists_;
+  problem.color_space = color_space_;
+  problem.symmetric = true;
+  RecolorResult result =
+      recolor_dirty(problem, colors_, dirty_, ctx, options);
+  colors_ = result.colors;
+  dirty_.clear();
+  std::fill(in_dirty_.begin(), in_dirty_.end(), 0);
+  return result;
+}
+
+Graph DynamicInstance::materialize() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges_));
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const NodeId u : adj_[static_cast<std::size_t>(v)]) {
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return Graph::from_edges(num_nodes(), std::move(edges));
+}
+
+bool DynamicInstance::validate() const {
+  if (!has_coloring()) return false;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    const Color c = colors_[static_cast<std::size_t>(v)];
+    if (c == kNoColor || !lists_[static_cast<std::size_t>(v)].contains(c)) {
+      return false;
+    }
+    for (const NodeId u : adj_[static_cast<std::size_t>(v)]) {
+      if (colors_[static_cast<std::size_t>(u)] == c) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dcolor::serve

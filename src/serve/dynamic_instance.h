@@ -1,0 +1,121 @@
+// A mutable resident coloring instance for serve sessions.
+//
+// The rest of the library works on immutable CSR graphs; a session of the
+// serve daemon instead holds a DynamicInstance — adjacency as per-node
+// sorted vectors so edges and nodes can be added/removed in O(deg), plus
+// the per-node color lists, the current coloring, and the DIRTY SET of
+// nodes whose colors the mutations may have invalidated.
+//
+// List maintenance follows the (deg+1)-list discipline of the batch
+// runner's premise-by-construction instances: node v holds
+// deg(v) + 1 + headroom distinct colors drawn deterministically from
+// Rng::stream(seed, v), so the instance is always greedily colorable and
+// Two-Sweep repair (core/recolor.h) has slack to work with. When an edge
+// insertion pushes deg(v) past the list, the list is regrown — which is
+// fine, because the endpoint is dirty anyway.
+//
+// Mutation/dirtiness contract (what `recolor` repairs):
+//   * add_edge   — both endpoints become dirty (their colors may now
+//                  collide, and their lists may have been regrown);
+//   * remove_edge— never dirties: dropping a constraint cannot invalidate
+//                  a zero-defect coloring;
+//   * add_node   — the new node arrives isolated; if the instance is
+//                  already colored it is colored immediately (any list
+//                  color works), otherwise it just joins the uncolored
+//                  instance. Never dirties.
+//   * remove_node— detaches all incident edges and retires the slot (ids
+//                  are stable; the slot stays, isolated and trivially
+//                  colored). Never dirties the survivors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/palette_store.h"
+#include "core/recolor.h"
+#include "core/run_context.h"
+#include "graph/graph.h"
+
+namespace dcolor::serve {
+
+class DynamicInstance {
+ public:
+  /// Adopts an initial topology. `headroom` is the extra list slack past
+  /// deg+1; `seed` drives every list draw (same seed + same mutation
+  /// history = identical instance).
+  DynamicInstance(NodeId num_nodes,
+                  std::vector<std::pair<NodeId, NodeId>> edges, int headroom,
+                  std::uint64_t seed);
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(adj_.size());
+  }
+  std::int64_t num_edges() const noexcept { return num_edges_; }
+  std::int64_t color_space() const noexcept { return color_space_; }
+  bool alive(NodeId v) const { return alive_[static_cast<std::size_t>(v)]; }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    const auto& a = adj_[static_cast<std::size_t>(v)];
+    return {a.data(), a.size()};
+  }
+
+  const PaletteStore& lists() const noexcept { return lists_; }
+
+  // ---- mutations --------------------------------------------------------
+
+  /// Adds edge {u,v}; false (and no-op) when it exists or u == v.
+  bool add_edge(NodeId u, NodeId v);
+  /// Removes edge {u,v}; false when absent.
+  bool remove_edge(NodeId u, NodeId v);
+  /// Appends a new isolated node; returns its id.
+  NodeId add_node();
+  /// Detaches and retires node v; false when already retired.
+  bool remove_node(NodeId v);
+
+  /// Nodes dirtied since the last recolor (sorted, deduplicated).
+  std::vector<NodeId> dirty() const;
+  bool has_dirty() const noexcept { return !dirty_.empty(); }
+
+  // ---- coloring ---------------------------------------------------------
+
+  bool has_coloring() const noexcept { return !colors_.empty(); }
+  const std::vector<Color>& colors() const noexcept { return colors_; }
+
+  /// Installs a full fresh coloring (a from-scratch solve) and clears the
+  /// dirty set. Size must equal num_nodes().
+  void set_colors(std::vector<Color> colors);
+
+  /// Incrementally repairs the current coloring on the dirty region via
+  /// core/recolor.h and clears the dirty set. Requires has_coloring().
+  /// Throws CheckError when repair is impossible (caller falls back to a
+  /// from-scratch solve; the dirty set is preserved in that case).
+  RecolorResult recolor(RunContext& ctx, const RecolorOptions& options = {});
+
+  /// Materializes the current topology as an immutable CSR graph (the
+  /// from-scratch solve path and the verifier both need one).
+  Graph materialize() const;
+
+  /// True iff the current coloring is proper and in-list everywhere.
+  bool validate() const;
+
+ private:
+  /// (Re)draws node v's list: deg(v) + 1 + headroom distinct colors from
+  /// Rng::stream(seed_, v); grows color_space_ when lists outgrow it.
+  void regrow_list(NodeId v, std::size_t min_size);
+  void mark_dirty(NodeId v);
+
+  std::vector<std::vector<NodeId>> adj_;  ///< sorted neighbor vectors
+  std::vector<char> alive_;
+  PaletteStore lists_;
+  std::vector<Color> colors_;  ///< empty until first solve
+  std::vector<NodeId> dirty_;
+  std::vector<char> in_dirty_;
+  std::int64_t num_edges_ = 0;
+  std::int64_t color_space_ = 0;
+  int headroom_ = 0;
+  std::uint64_t seed_ = 1;
+};
+
+}  // namespace dcolor::serve

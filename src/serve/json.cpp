@@ -1,0 +1,405 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace dcolor::serve {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    DCOLOR_CHECK_MSG(pos_ == text_.size(),
+                     "json: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;  ///< stack guard for hostile input
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    DCOLOR_CHECK_MSG(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    DCOLOR_CHECK_MSG(pos_ < text_.size() && text_[pos_] == c,
+                     "json: expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    DCOLOR_CHECK_MSG(depth < kMaxDepth, "json: nesting deeper than "
+                                            << kMaxDepth);
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        DCOLOR_CHECK_MSG(consume_literal("true"),
+                         "json: bad literal at offset " << pos_);
+        return JsonValue(true);
+      case 'f':
+        DCOLOR_CHECK_MSG(consume_literal("false"),
+                         "json: bad literal at offset " << pos_);
+        return JsonValue(false);
+      case 'n':
+        DCOLOR_CHECK_MSG(consume_literal("null"),
+                         "json: bad literal at offset " << pos_);
+        return JsonValue();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      DCOLOR_CHECK_MSG(pos_ < text_.size(), "json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        DCOLOR_CHECK_MSG(static_cast<unsigned char>(c) >= 0x20,
+                         "json: raw control character in string");
+        out.push_back(c);
+        continue;
+      }
+      DCOLOR_CHECK_MSG(pos_ < text_.size(), "json: unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode(out); break;
+        default:
+          DCOLOR_CHECK_MSG(false, "json: bad escape '\\" << e << "'");
+      }
+    }
+  }
+
+  void append_unicode(std::string& out) {
+    DCOLOR_CHECK_MSG(pos_ + 4 <= text_.size(), "json: truncated \\u escape");
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') {
+        cp |= static_cast<std::uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+      } else {
+        DCOLOR_CHECK_MSG(false, "json: bad \\u escape digit '" << h << "'");
+      }
+    }
+    // UTF-8 encode the BMP code point (surrogate pairs unsupported — the
+    // protocol's strings are identifiers and error text, all ASCII).
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    DCOLOR_CHECK_MSG(!token.empty() && token != "-",
+                     "json: bad number at offset " << start);
+    // JSON forbids leading zeros ("01"); "0" and "0.5" stay legal.
+    const std::size_t first = token[0] == '-' ? 1 : 0;
+    DCOLOR_CHECK_MSG(first + 1 >= token.size() || token[first] != '0' ||
+                         !std::isdigit(static_cast<unsigned char>(
+                             token[first + 1])),
+                     "json: leading zero in number '" << token << "'");
+    errno = 0;
+    char* end = nullptr;
+    if (integral) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      DCOLOR_CHECK_MSG(errno == 0 && end == token.c_str() + token.size(),
+                       "json: bad integer '" << token << "'");
+      return JsonValue(static_cast<std::int64_t>(v));
+    }
+    const double v = std::strtod(token.c_str(), &end);
+    DCOLOR_CHECK_MSG(errno == 0 && end == token.c_str() + token.size() &&
+                         std::isfinite(v),
+                     "json: bad number '" << token << "'");
+    return JsonValue(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+bool JsonValue::as_bool(std::string_view what) const {
+  DCOLOR_CHECK_MSG(kind_ == Kind::kBool, "json: " << what << " must be a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int(std::string_view what) const {
+  DCOLOR_CHECK_MSG(kind_ == Kind::kInt,
+                   "json: " << what << " must be an integer");
+  return int_;
+}
+
+double JsonValue::as_double(std::string_view what) const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  DCOLOR_CHECK_MSG(kind_ == Kind::kDouble,
+                   "json: " << what << " must be a number");
+  return double_;
+}
+
+const std::string& JsonValue::as_string(std::string_view what) const {
+  DCOLOR_CHECK_MSG(kind_ == Kind::kString,
+                   "json: " << what << " must be a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array(std::string_view what) const {
+  DCOLOR_CHECK_MSG(kind_ == Kind::kArray,
+                   "json: " << what << " must be an array");
+  return elements_;
+}
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::require(std::string_view key) const {
+  const JsonValue* v = get(key);
+  DCOLOR_CHECK_MSG(v != nullptr, "request is missing \"" << key << "\"");
+  return *v;
+}
+
+std::int64_t JsonValue::get_int(std::string_view key,
+                                std::int64_t fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_int(key);
+}
+
+double JsonValue::get_double(std::string_view key, double fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_double(key);
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? std::move(fallback) : v->as_string(key);
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_bool(key);
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+  DCOLOR_CHECK_MSG(kind_ == Kind::kObject || kind_ == Kind::kNull,
+                   "json: set() on a non-object");
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push_back(JsonValue value) {
+  DCOLOR_CHECK_MSG(kind_ == Kind::kArray || kind_ == Kind::kNull,
+                   "json: push_back() on a non-array");
+  kind_ = Kind::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      dump_string(string_, out);
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& v : elements_) {
+        if (!first) out.push_back(',');
+        first = false;
+        v.dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(k, out);
+        out.push_back(':');
+        v.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace dcolor::serve

@@ -1,0 +1,116 @@
+// Minimal JSON value type for the serve protocol (serve/server.h).
+//
+// The daemon speaks line-delimited JSON: one request object per line in,
+// one response object per line out. The library's other JSON surfaces
+// only EMIT (trace JSONL, stats export); the daemon also has to PARSE
+// untrusted request lines, so this module provides a small recursive-
+// descent parser plus a writer, with the strictness conventions of the
+// rest of the input layer: malformed input throws CheckError naming the
+// offset, trailing garbage after the value is an error, and numbers keep
+// int64 exactness when they have no fraction/exponent.
+//
+// Deliberately not a general JSON library: no Unicode escapes beyond
+// \uXXXX -> UTF-8, no streaming, objects preserve insertion order (which
+// makes responses deterministic and tests byte-stable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dcolor::serve {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}          // NOLINT
+  JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}    // NOLINT
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}    // NOLINT
+  JsonValue(std::string s)                                     // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}      // NOLINT
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  /// Parses exactly one JSON value spanning all of `text` (leading and
+  /// trailing whitespace allowed, anything else after the value throws).
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_number() const noexcept {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  /// Typed reads; throw CheckError (naming `what`) on kind mismatch.
+  bool as_bool(std::string_view what = "value") const;
+  std::int64_t as_int(std::string_view what = "value") const;
+  double as_double(std::string_view what = "value") const;
+  const std::string& as_string(std::string_view what = "value") const;
+  const std::vector<JsonValue>& as_array(std::string_view what = "value") const;
+
+  // ---- object access ----------------------------------------------------
+
+  /// Member lookup; nullptr when absent (or when this is not an object).
+  const JsonValue* get(std::string_view key) const;
+
+  /// Required member of a request; throws CheckError naming the key.
+  const JsonValue& require(std::string_view key) const;
+
+  /// Typed optional reads with defaults (request-parsing convenience).
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  std::string get_string(std::string_view key, std::string fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Sets/overwrites an object member (keeps first-set order).
+  JsonValue& set(std::string key, JsonValue value);
+
+  /// Appends an array element.
+  JsonValue& push_back(JsonValue value);
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Compact single-line serialization (doubles via %.17g round-trip).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> elements_;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject
+};
+
+}  // namespace dcolor::serve

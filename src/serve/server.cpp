@@ -1,0 +1,521 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <unordered_set>
+#include <utility>
+
+#include "check/invariant_checker.h"
+#include "core/solver_registry.h"
+#include "graph/generators.h"
+#include "io/edge_list.h"
+#include "io/instance_io.h"
+#include "obs/stats.h"
+#include "serve/dynamic_instance.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor::serve {
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::int64_t distinct_colors(const std::vector<Color>& colors) {
+  std::unordered_set<Color> seen;
+  for (const Color c : colors) {
+    if (c != kNoColor) seen.insert(c);
+  }
+  return static_cast<std::int64_t>(seen.size());
+}
+
+/// Mirrors the batch runner's generator dispatch for `create` requests.
+Graph build_generator_graph(const std::string& generator, NodeId n,
+                            int degree, Rng& rng) {
+  DCOLOR_CHECK_MSG(n >= 2, "create: generator needs n >= 2 (got " << n
+                                                                  << ")");
+  if (generator == "gnp") {
+    return gnp_avg_degree(n, static_cast<double>(degree), rng);
+  }
+  if (generator == "regular") {
+    return random_near_regular(n, std::max(1, degree), rng);
+  }
+  if (generator == "tree") return random_tree(n, rng);
+  if (generator == "geometric") {
+    const double radius =
+        std::sqrt(static_cast<double>(degree + 1) /
+                  (3.14159265358979323846 * static_cast<double>(n)));
+    return random_geometric(n, std::min(1.0, radius), rng);
+  }
+  if (generator == "cycle") return cycle(std::max<NodeId>(3, n));
+  DCOLOR_CHECK_MSG(false, "create: unknown generator '"
+                              << generator
+                              << "' (gnp|regular|tree|geometric|cycle)");
+  return {};
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+constexpr std::size_t kMaxLineBytes = 16u << 20;  ///< hostile-input guard
+
+}  // namespace
+
+/// One warm resident instance plus its per-session observability state.
+/// `mutex` serializes every request touching the session, so the stats
+/// registry and violation log need no locking of their own — and two
+/// requests can never race on the instance.
+struct Server::Session {
+  std::mutex mutex;
+  std::unique_ptr<DynamicInstance> instance;
+  StatsRegistry stats;
+  std::vector<CheckViolation> violations;  ///< collect-mode accumulation
+  std::uint64_t seed = 1;
+  std::int64_t requests = 0;  ///< per-request RNG stream derivation
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), queue_(std::max(1, options_.workers)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DCOLOR_CHECK_MSG(listen_fd_ >= 0, "serve: socket() failed: "
+                                        << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  DCOLOR_CHECK_MSG(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) == 0,
+      "serve: cannot bind 127.0.0.1:" << options_.port << ": "
+                                      << std::strerror(errno));
+  DCOLOR_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+                   "serve: listen() failed: " << std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+Server::~Server() {
+  shutdown();
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::shutdown() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::run() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or broken beyond repair)
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    client_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLineBytes) break;  // unterminated flood
+    std::size_t nl;
+    while (open && (nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      JsonValue response;
+      bool stop_after = false;
+      try {
+        const JsonValue request = JsonValue::parse(line);
+        stop_after = request.get_string("op", "") == "shutdown";
+        response = handle(request);
+      } catch (const std::exception& e) {
+        response = JsonValue::object();
+        response.set("ok", false).set("error", std::string(e.what()));
+        stop_after = false;
+      }
+      open = write_all(fd, response.dump() + "\n");
+      if (stop_after) {
+        shutdown();
+        open = false;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+JsonValue Server::handle(const JsonValue& request) {
+  JsonValue response;
+  try {
+    response = dispatch(request);
+    if (response.get("ok") == nullptr) response.set("ok", true);
+  } catch (const std::exception& e) {
+    response = JsonValue::object();
+    response.set("ok", false).set("error", std::string(e.what()));
+  }
+  if (const JsonValue* id = request.get("id")) {
+    response.set("id", *id);
+  }
+  return response;
+}
+
+std::shared_ptr<Server::Session> Server::find_session(
+    const JsonValue& request) {
+  const std::string& name = request.require("session").as_string("session");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(name);
+  DCOLOR_CHECK_MSG(it != sessions_.end(),
+                   "unknown session \"" << name << "\"");
+  return it->second;
+}
+
+JsonValue Server::dispatch(const JsonValue& request) {
+  DCOLOR_CHECK_MSG(request.is_object(), "request must be a JSON object");
+  const std::string op = request.require("op").as_string("op");
+  JsonValue response = JsonValue::object();
+  if (op == "ping") {
+    response.set("pong", true);
+    return response;
+  }
+  if (op == "shutdown") {
+    response.set("stopping", true);
+    return response;
+  }
+  if (op == "create") return op_create(request);
+  if (op == "drop") {
+    const std::string& name =
+        request.require("session").as_string("session");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    DCOLOR_CHECK_MSG(sessions_.erase(name) == 1,
+                     "unknown session \"" << name << "\"");
+    response.set("dropped", name);
+    return response;
+  }
+
+  const std::shared_ptr<Session> session = find_session(request);
+  if (op == "solve" || op == "recolor") {
+    // Heavy requests run on the shared worker pool: the connection thread
+    // enqueues and blocks on the future, so a fixed worker budget serves
+    // any number of connections and per-connection order is preserved.
+    auto task = std::make_shared<std::packaged_task<JsonValue()>>(
+        [this, &request, session, op] {
+          const std::lock_guard<std::mutex> lock(session->mutex);
+          return op == "solve" ? op_solve(request, *session)
+                               : op_recolor(request, *session);
+        });
+    std::future<JsonValue> fut = task->get_future();
+    queue_.submit([task] { (*task)(); });
+    return fut.get();
+  }
+  const std::lock_guard<std::mutex> lock(session->mutex);
+  if (op == "mutate") return op_mutate(request, *session);
+  if (op == "query") return op_query(request, *session);
+  if (op == "info") return op_info(*session);
+  if (op == "stats") return op_stats(request, *session);
+  DCOLOR_CHECK_MSG(false, "unknown op \"" << op << "\"");
+  return response;
+}
+
+JsonValue Server::op_create(const JsonValue& request) {
+  const std::string& name = request.require("session").as_string("session");
+  const auto seed =
+      static_cast<std::uint64_t>(request.get_int("seed", 1));
+  const int headroom = static_cast<int>(
+      request.get_int("headroom", options_.headroom));
+
+  NodeId n = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (const JsonValue* gen = request.get("generator")) {
+    Rng rng(seed);
+    const Graph g = build_generator_graph(
+        gen->as_string("generator"),
+        static_cast<NodeId>(request.require("n").as_int("n")),
+        static_cast<int>(request.get_int("degree", 8)), rng);
+    n = g.num_nodes();
+    edges = g.edge_list();
+  } else if (const JsonValue* list = request.get("edges")) {
+    NodeId max_id = -1;
+    for (const JsonValue& e : list->as_array("edges")) {
+      const auto& pair = e.as_array("edge");
+      DCOLOR_CHECK_MSG(pair.size() == 2, "create: edges entries are [u, v]");
+      const auto u = static_cast<NodeId>(pair[0].as_int("u"));
+      const auto v = static_cast<NodeId>(pair[1].as_int("v"));
+      edges.emplace_back(u, v);
+      max_id = std::max({max_id, u, v});
+    }
+    n = static_cast<NodeId>(request.get_int("n", max_id + 1));
+  } else if (const JsonValue* path = request.get("path")) {
+    // Text graph or binary snapshot, sniffed by the io/storage seams.
+    const Graph g = load_graph(path->as_string("path"));
+    n = g.num_nodes();
+    edges = g.edge_list();
+  } else if (const JsonValue* path = request.get("edge_list")) {
+    const Graph g = load_edge_list(path->as_string("edge_list"));
+    n = g.num_nodes();
+    edges = g.edge_list();
+  } else {
+    DCOLOR_CHECK_MSG(
+        false, "create needs \"generator\", \"edges\", \"path\", or "
+               "\"edge_list\"");
+  }
+
+  auto session = std::make_shared<Session>();
+  session->seed = seed;
+  session->instance = std::make_unique<DynamicInstance>(n, std::move(edges),
+                                                        headroom, seed);
+  JsonValue response = JsonValue::object();
+  response.set("session", name)
+      .set("nodes", static_cast<std::int64_t>(session->instance->num_nodes()))
+      .set("edges", session->instance->num_edges())
+      .set("color_space", session->instance->color_space());
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    DCOLOR_CHECK_MSG(sessions_.find(name) == sessions_.end(),
+                     "session \"" << name << "\" already exists (drop it "
+                                  << "first)");
+    sessions_.emplace(name, std::move(session));
+  }
+  return response;
+}
+
+JsonValue Server::op_solve(const JsonValue& request, Session& session) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::string solver_name =
+      request.get_string("solver", options_.default_solver);
+  const Solver& solver = SolverRegistry::get().require(solver_name);
+  const SolverCapabilities caps = solver.capabilities();
+  using Input = SolverCapabilities::Input;
+  DCOLOR_CHECK_MSG(
+      caps.lists && (caps.input == Input::kListDefective ||
+                     caps.input == Input::kArbdefective),
+      "solver '" << solver_name
+                 << "' does not accept the session's list instance; pick a "
+                    "list-defective solver (e.g. deg_plus_one)");
+
+  DynamicInstance& inst = *session.instance;
+  const Graph g = inst.materialize();
+  ListDefectiveInstance ldi;
+  ldi.graph = &g;
+  ldi.lists = inst.lists().borrow();
+  ldi.color_space = inst.color_space();
+  SolveRequest req;
+  req.list_defective = &ldi;
+  req.params.p = static_cast<int>(request.get_int("p", 2));
+
+  // The per-request scope: checker + the session's stats registry live on
+  // this worker thread for exactly this request.
+  InvariantChecker checker(options_.check == "collect"
+                               ? InvariantChecker::Mode::kCollect
+                               : InvariantChecker::Mode::kThrow);
+  RunContext ctx;
+  ctx.seed = session.seed + static_cast<std::uint64_t>(++session.requests);
+  ctx.num_threads = 1;  // the request axis is the parallel one
+  ctx.stats = &session.stats;
+  if (!options_.check.empty()) ctx.checker = &checker;
+  RunScope scope(ctx);
+
+  SolveResult res = solver.solve(req, ctx);
+  DCOLOR_CHECK_MSG(validate_solve(req, caps, res),
+                   "solver '" << solver_name << "' returned an invalid "
+                              << "coloring");
+  inst.set_colors(std::move(res.colors));
+  if (ctx.checker != nullptr) {
+    ctx.checker->check_list_defective(ldi, inst.colors(), "serve/solve");
+  }
+  session.violations.insert(session.violations.end(),
+                            checker.violations().begin(),
+                            checker.violations().end());
+  session.stats.counter("serve.solves").add(1);
+
+  JsonValue response = JsonValue::object();
+  response.set("solver", solver_name)
+      .set("nodes", static_cast<std::int64_t>(inst.num_nodes()))
+      .set("colors_used", distinct_colors(inst.colors()))
+      .set("rounds", res.metrics.rounds)
+      .set("wall_ms", wall_ms_since(start));
+  return response;
+}
+
+JsonValue Server::op_mutate(const JsonValue& request, Session& session) {
+  DynamicInstance& inst = *session.instance;
+  const std::string kind = request.require("kind").as_string("kind");
+  bool applied = false;
+  JsonValue response = JsonValue::object();
+  if (kind == "add_edge" || kind == "remove_edge") {
+    const auto u = static_cast<NodeId>(request.require("u").as_int("u"));
+    const auto v = static_cast<NodeId>(request.require("v").as_int("v"));
+    applied = kind == "add_edge" ? inst.add_edge(u, v)
+                                 : inst.remove_edge(u, v);
+  } else if (kind == "add_node") {
+    response.set("node", static_cast<std::int64_t>(inst.add_node()));
+    applied = true;
+  } else if (kind == "remove_node") {
+    applied = inst.remove_node(
+        static_cast<NodeId>(request.require("u").as_int("u")));
+  } else {
+    DCOLOR_CHECK_MSG(false, "mutate: unknown kind \"" << kind << "\"");
+  }
+  session.stats.counter("serve.mutations").add(1);
+  response.set("applied", applied)
+      .set("nodes", static_cast<std::int64_t>(inst.num_nodes()))
+      .set("edges", inst.num_edges())
+      .set("dirty", static_cast<std::int64_t>(inst.dirty().size()));
+  return response;
+}
+
+JsonValue Server::op_recolor(const JsonValue& request, Session& session) {
+  const auto start = std::chrono::steady_clock::now();
+  DynamicInstance& inst = *session.instance;
+  DCOLOR_CHECK_MSG(inst.has_coloring(),
+                   "recolor: session has no coloring yet; solve first");
+
+  InvariantChecker checker(options_.check == "collect"
+                               ? InvariantChecker::Mode::kCollect
+                               : InvariantChecker::Mode::kThrow);
+  RunContext ctx;
+  ctx.seed = session.seed + static_cast<std::uint64_t>(++session.requests);
+  ctx.num_threads = 1;
+  ctx.stats = &session.stats;
+  if (!options_.check.empty()) ctx.checker = &checker;
+  RunScope scope(ctx);
+
+  RecolorOptions opts;
+  opts.p = static_cast<int>(request.get_int("p", 2));
+  std::string fallback = "none";
+  RecolorResult result;
+  try {
+    result = inst.recolor(ctx, opts);
+    if (result.used_greedy_fallback) fallback = "greedy";
+  } catch (const CheckError&) {
+    // Local repair is impossible (the checker may also have vetoed it in
+    // throw mode): fall back to a from-scratch solve, which also clears
+    // the dirty set.
+    const std::vector<Color> before = inst.colors();
+    JsonValue solve_request = JsonValue::object();
+    const JsonValue solved = op_solve(solve_request, session);
+    fallback = "full";
+    result = RecolorResult{};
+    result.colors = inst.colors();
+    result.dirty_nodes = static_cast<std::int64_t>(before.size());
+    result.rounds = solved.require("rounds").as_int("rounds");
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      if (i >= result.colors.size() || before[i] != result.colors[i]) {
+        ++result.colors_changed;
+      }
+    }
+  }
+  if (ctx.checker != nullptr && fallback != "full") {
+    // Verify the repaired coloring against the FULL instance, not just
+    // the dirty subgraph the repair solved.
+    const Graph g = inst.materialize();
+    ListDefectiveInstance ldi;
+    ldi.graph = &g;
+    ldi.lists = inst.lists().borrow();
+    ldi.color_space = inst.color_space();
+    ctx.checker->check_list_defective(ldi, inst.colors(), "serve/recolor");
+  }
+  session.violations.insert(session.violations.end(),
+                            checker.violations().begin(),
+                            checker.violations().end());
+  session.stats.counter("serve.recolors").add(1);
+  session.stats.histogram("serve.recolor_changed")
+      .record(result.colors_changed);
+
+  JsonValue response = JsonValue::object();
+  response.set("colors_changed", result.colors_changed)
+      .set("dirty_nodes", result.dirty_nodes)
+      .set("rounds", result.rounds)
+      .set("fallback", fallback)
+      .set("wall_ms", wall_ms_since(start));
+  return response;
+}
+
+JsonValue Server::op_query(const JsonValue& request, Session& session) {
+  const DynamicInstance& inst = *session.instance;
+  DCOLOR_CHECK_MSG(inst.has_coloring(), "query: session has no coloring");
+  JsonValue colors = JsonValue::array();
+  if (const JsonValue* nodes = request.get("nodes")) {
+    for (const JsonValue& nv : nodes->as_array("nodes")) {
+      const auto v = static_cast<NodeId>(nv.as_int("node"));
+      DCOLOR_CHECK_MSG(v >= 0 && v < inst.num_nodes(),
+                       "query: node " << v << " out of range");
+      colors.push_back(inst.colors()[static_cast<std::size_t>(v)]);
+    }
+  } else {
+    for (const Color c : inst.colors()) colors.push_back(c);
+  }
+  JsonValue response = JsonValue::object();
+  response.set("colors", std::move(colors));
+  return response;
+}
+
+JsonValue Server::op_info(Session& session) {
+  const DynamicInstance& inst = *session.instance;
+  std::int64_t alive = 0;
+  for (NodeId v = 0; v < inst.num_nodes(); ++v) {
+    if (inst.alive(v)) ++alive;
+  }
+  JsonValue response = JsonValue::object();
+  response.set("nodes", static_cast<std::int64_t>(inst.num_nodes()))
+      .set("alive", alive)
+      .set("edges", inst.num_edges())
+      .set("color_space", inst.color_space())
+      .set("colored", inst.has_coloring())
+      .set("dirty", static_cast<std::int64_t>(inst.dirty().size()))
+      .set("violations",
+           static_cast<std::int64_t>(session.violations.size()));
+  return response;
+}
+
+JsonValue Server::op_stats(const JsonValue& request, Session& session) {
+  const std::string format = request.get_string("format", "json");
+  JsonValue response = JsonValue::object();
+  if (format == "json") {
+    response.set("stats", session.stats.to_json());
+  } else if (format == "prom" || format == "prometheus") {
+    response.set("stats", session.stats.to_prometheus());
+  } else {
+    DCOLOR_CHECK_MSG(false, "stats: unknown format \"" << format
+                                                       << "\" (json|prom)");
+  }
+  return response;
+}
+
+}  // namespace dcolor::serve

@@ -1,0 +1,102 @@
+// The coloring-as-a-service daemon behind `dcolor --cmd=serve`.
+//
+// Speaks line-delimited JSON over a local TCP socket: one request object
+// per line, one response object per line, answered in request order per
+// connection. Sessions are named, warm, resident DynamicInstances shared
+// across connections; heavy requests (solve, recolor) are queued onto a
+// shared detail::TaskQueue so a fixed worker budget serves any number of
+// connections, and every such request executes under its own RunScope —
+// a per-request invariant checker and the session's stats registry are
+// installed on the worker thread for exactly the request's duration, so
+// checking and metrics compose per session without any cross-session
+// bleed (requests on one session are serialized by the session mutex).
+//
+// Protocol (all requests may carry "id", echoed in the response; every
+// response has "ok", errors add "error"):
+//   {"op":"ping"}
+//   {"op":"create","session":"s","generator":"gnp","n":1000,"degree":8,
+//    "seed":1}                      — or "edges":[[u,v],...] ("n" optional)
+//                                   — or "path":"g.snap" (graph/snapshot
+//                                     via io/storage), "edge_list":"f.txt"
+//   {"op":"solve","session":"s","solver":"deg_plus_one"}
+//   {"op":"mutate","session":"s","kind":"add_edge","u":0,"v":1}
+//        kinds: add_edge | remove_edge | add_node | remove_node ("u")
+//   {"op":"recolor","session":"s"}  — incremental repair of the dirty set
+//   {"op":"query","session":"s","nodes":[0,1]}   — colors of given nodes
+//   {"op":"info","session":"s"}
+//   {"op":"stats","session":"s","format":"json"|"prom"}
+//   {"op":"drop","session":"s"}
+//   {"op":"shutdown"}
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.h"
+#include "sim/thread_pool.h"
+
+namespace dcolor::serve {
+
+struct ServerOptions {
+  int port = 0;          ///< 0 = ephemeral (read the bound port back)
+  int workers = 4;       ///< TaskQueue threads for solve/recolor requests
+  std::string check;     ///< "": no checker; "collect"/"throw" per request
+  int headroom = 2;      ///< list slack past deg+1 for resident instances
+  std::string default_solver = "deg_plus_one";
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (valid after construction; ephemeral ports resolved).
+  int port() const noexcept { return port_; }
+
+  /// Accept loop; returns after a shutdown request (or shutdown() call).
+  void run();
+
+  /// Thread-safe stop: unblocks run() and closes every connection.
+  void shutdown();
+
+  /// Handles one already-parsed request (the protocol core, exposed so
+  /// tests can drive the daemon without sockets).
+  JsonValue handle(const JsonValue& request);
+
+ private:
+  struct Session;
+
+  void serve_connection(int fd);
+  JsonValue dispatch(const JsonValue& request);
+  std::shared_ptr<Session> find_session(const JsonValue& request);
+
+  JsonValue op_create(const JsonValue& request);
+  JsonValue op_solve(const JsonValue& request, Session& session);
+  JsonValue op_mutate(const JsonValue& request, Session& session);
+  JsonValue op_recolor(const JsonValue& request, Session& session);
+  JsonValue op_query(const JsonValue& request, Session& session);
+  JsonValue op_info(Session& session);
+  JsonValue op_stats(const JsonValue& request, Session& session);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  detail::TaskQueue queue_;
+
+  std::mutex mutex_;  ///< guards sessions_ and client_fds_
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::vector<int> client_fds_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace dcolor::serve

@@ -76,4 +76,57 @@ void SimThreadPool::run(int jobs, const std::function<void(int)>& job) {
   done_cv_.wait(lock, [&] { return in_flight_ == 0; });
 }
 
+TaskQueue::TaskQueue(int threads) {
+  const int count = std::max(1, threads);
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskQueue::~TaskQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskQueue::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void TaskQueue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void TaskQueue::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      // Drain-on-destruction: only exit once the queue is empty.
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
 }  // namespace dcolor::detail

@@ -1,4 +1,5 @@
-// A tiny persistent worker pool for the simulator's parallel rounds.
+// A tiny persistent worker pool for the simulator's parallel rounds,
+// plus a FIFO task queue for asynchronous work (the serve daemon).
 //
 // The pool runs `job(chunk)` for chunk = 0..jobs-1 and blocks the caller
 // until every chunk finished. Chunks are claimed from an atomic counter,
@@ -9,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -48,6 +50,44 @@ class SimThreadPool {
   int in_flight_ = 0;        ///< chunks claimed but not finished
   std::uint64_t generation_ = 0;
   int workers_ = 0;
+  bool stop_ = false;
+};
+
+/// FIFO queue of independent tasks over a fixed set of worker threads.
+///
+/// SimThreadPool is fork-join: `run` blocks the caller until the batch
+/// drains, which is exactly wrong for a daemon that must keep accepting
+/// requests while earlier ones execute. TaskQueue is the complementary
+/// shape — `submit` enqueues and returns immediately; completion is the
+/// caller's business (wrap the task in a std::packaged_task and keep the
+/// future). Tasks must not throw (wrap and capture, same contract as
+/// SimThreadPool jobs). Destruction drains: queued tasks still run, then
+/// the workers exit.
+class TaskQueue {
+ public:
+  explicit TaskQueue(int threads);
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  int threads() const noexcept { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task; some worker runs it in FIFO order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void drain();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int running_ = 0;  ///< tasks currently executing
   bool stop_ = false;
 };
 

@@ -1,8 +1,11 @@
 #include "storage/snapshot_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iomanip>
+#include <sstream>
 #include <utility>
 
 #include "util/check.h"
@@ -20,19 +23,46 @@ std::uint64_t fnv1a_str(const std::string& s) noexcept {
   return h;
 }
 
+/// Expected node count of the instance a Builder constructs for `key` —
+/// the generators produce exactly key.n nodes except `cycle`, which
+/// saturates at 3 (see batch_runner's build_graph).
+std::int64_t expected_nodes(const InstanceKey& key) {
+  if (key.generator == "cycle") return std::max<std::int64_t>(3, key.n);
+  return key.n;
+}
+
+/// True when a loaded snapshot plausibly IS the instance `key` describes.
+/// A fingerprint collision — or, more likely, a stale file written by an
+/// older generator version under the same key — otherwise loads silently
+/// and serves the wrong instance bytes to every job sharing the key.
+bool snapshot_matches_key(const SnapshotInfo& info, const InstanceKey& key) {
+  if (info.num_nodes != expected_nodes(key)) return false;
+  switch (key.kind) {
+    case 0:  // OLDC: lists + input orientation, symmetric bit must agree
+      return info.has_lists && info.has_orientation &&
+             info.symmetric == key.symmetric;
+    case 1:  // list-defective: lists, no orientation sections
+      return info.has_lists && !info.has_orientation;
+    default:  // graph-only
+      return !info.has_lists && !info.has_orientation;
+  }
+}
+
 }  // namespace
 
 std::string InstanceKey::fingerprint() const {
-  char buf[256];
-  // %.17g round-trips every double, so equal keys — and only equal keys —
-  // share a fingerprint.
-  std::snprintf(buf, sizeof(buf), "%d|%s|%lld|%d|%llu|%d|%d|%d|%.17g", kind,
-                generator.c_str(), static_cast<long long>(n), degree,
-                static_cast<unsigned long long>(seed), symmetric ? 1 : 0,
-                congest ? 1 : 0, p, eps);
+  // The pre-hash string is unbounded: a fixed buffer would silently
+  // truncate long generator names and alias distinct keys onto one
+  // fingerprint (and therefore one cache file). %.17g-equivalent
+  // precision round-trips every double, so equal keys — and only equal
+  // keys — share a fingerprint.
+  std::ostringstream os;
+  os << kind << '|' << generator << '|' << n << '|' << degree << '|' << seed
+     << '|' << (symmetric ? 1 : 0) << '|' << (congest ? 1 : 0) << '|' << p
+     << '|' << std::setprecision(17) << eps;
   char hex[32];
   std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(fnv1a_str(buf)));
+                static_cast<unsigned long long>(fnv1a_str(os.str())));
   return hex;
 }
 
@@ -115,11 +145,17 @@ SnapshotCache::EntryPtr SnapshotCache::get_or_build(const InstanceKey& key,
     bool from_file = false;
     if (!path.empty() && is_snapshot_file(path)) {
       // A stale or corrupted cache file must not fail the batch: fall
-      // back to a fresh build (which overwrites it).
+      // back to a fresh build (which overwrites it). "Loadable" is not
+      // enough — a structurally valid file whose shape contradicts the
+      // key (stale generator version, fingerprint alias) is rejected the
+      // same way.
       try {
-        entry->snapshot =
+        auto snapshot =
             std::make_unique<InstanceSnapshot>(InstanceSnapshot::load(path));
-        from_file = true;
+        if (snapshot_matches_key(snapshot->info(), key)) {
+          entry->snapshot = std::move(snapshot);
+          from_file = true;
+        }
       } catch (const std::exception&) {
         entry->snapshot.reset();
       }

@@ -1,5 +1,7 @@
 #include "util/cli.h"
 
+#include <cctype>
+
 #include "util/check.h"
 #include "util/parse.h"
 
@@ -8,14 +10,18 @@ namespace dcolor {
 CliArgs::CliArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    DCOLOR_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --key[=value]: " << arg);
+    // A bare "--" carries no flag name; reject it like any positional.
+    DCOLOR_CHECK_MSG(arg.rfind("--", 0) == 0 && arg.size() > 2,
+                     "expected --key[=value]: " << arg);
     arg = arg.substr(2);
     const auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      values_[arg] = "true";
-    } else {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    }
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    DCOLOR_CHECK_MSG(!key.empty(), "empty flag name: --" << arg);
+    // Silent last-one-wins would let `--n=100 --n=200` hide a typo'd
+    // experiment configuration; repeated flags are an error instead.
+    DCOLOR_CHECK_MSG(values_.find(key) == values_.end(),
+                     "duplicate flag --" << key);
+    values_[key] = eq == std::string::npos ? "true" : arg.substr(eq + 1);
   }
   for (const auto& [k, v] : values_) consumed_[k] = false;
 }
@@ -47,7 +53,14 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   consumed_[key] = true;
-  return it->second != "false" && it->second != "0";
+  std::string v = it->second;
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  // Anything-but-false-is-true made `--x=OFF` silently enable x.
+  DCOLOR_CHECK_MSG(false, "--" << key << " expects true/false/1/0, got: "
+                                << it->second);
+  return fallback;  // unreachable
 }
 
 bool CliArgs::has(const std::string& key) const {

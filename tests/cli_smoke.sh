@@ -201,4 +201,53 @@ if DCOLOR_SIM_THREADS=abc "$CLI" --cmd=color --instance="$DIR/i.txt" \
   echo "cli_smoke: FAIL — garbage DCOLOR_SIM_THREADS accepted" >&2; exit 1
 fi
 
+# Strict flag parsing: duplicates, non-boolean bool values, and empty
+# flag names must all be rejected, not silently last-wins/zeroed.
+if "$CLI" --cmd=info --graph="$DIR/g.txt" --graph="$DIR/g.txt" \
+       2>/dev/null; then
+  echo "cli_smoke: FAIL — duplicate flag accepted" >&2; exit 1
+fi
+if "$CLI" --cmd=batch --jobs="solver=greedy,generator=cycle,n=40" \
+       --verify=maybe 2>/dev/null; then
+  echo "cli_smoke: FAIL — non-boolean --verify accepted" >&2; exit 1
+fi
+if "$CLI" --cmd=info --=value 2>/dev/null; then
+  echo "cli_smoke: FAIL — empty flag name accepted" >&2; exit 1
+fi
+
+# Serve daemon round-trip: start on an ephemeral port, drive one session
+# through create -> solve -> mutate -> recolor with the bundled client,
+# then shut the daemon down and wait for it to exit.
+"$CLI" --cmd=serve --workers=2 --port-file="$DIR/port.txt" \
+       > "$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  test -s "$DIR/port.txt" && break
+  sleep 0.25
+done
+test -s "$DIR/port.txt" || {
+  echo "cli_smoke: FAIL — serve daemon never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null; exit 1; }
+PORT=$(cat "$DIR/port.txt")
+"$CLI" --cmd=client --port="$PORT" --request='{"op":"ping"}' \
+    | grep -q '"pong":true'
+"$CLI" --cmd=client --port="$PORT" --request='{"op":"create","session":"s","generator":"gnp","n":400,"degree":6,"seed":3}' \
+    | grep -q '"ok":true'
+"$CLI" --cmd=client --port="$PORT" --request='{"op":"solve","session":"s"}' \
+    | grep -q '"ok":true'
+"$CLI" --cmd=client --port="$PORT" --request='{"op":"mutate","session":"s","kind":"add_edge","u":1,"v":200}' \
+    | grep -q '"dirty":2'
+"$CLI" --cmd=client --port="$PORT" --request='{"op":"recolor","session":"s"}' \
+    | grep -q '"colors_changed"'
+if "$CLI" --cmd=client --port="$PORT" \
+       --request='{"op":"solve","session":"missing"}' \
+    | grep -q '"ok":true'; then
+  echo "cli_smoke: FAIL — unknown serve session accepted" >&2
+  kill "$SERVE_PID" 2>/dev/null; exit 1
+fi
+"$CLI" --cmd=client --port="$PORT" --request='{"op":"shutdown"}' \
+    | grep -q '"ok":true'
+wait "$SERVE_PID" || {
+  echo "cli_smoke: FAIL — serve daemon exited non-zero" >&2; exit 1; }
+
 echo "cli_smoke: OK"

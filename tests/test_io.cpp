@@ -265,6 +265,42 @@ TEST(EdgeListIo, RejectsMalformedEdgeLists) {
   }
 }
 
+TEST(EdgeListIo, UppercaseDimacsTagsAccepted) {
+  // SNAP mirrors of DIMACS files carry uppercase tag letters.
+  std::stringstream ss(
+      "C uppercase comment\n"
+      "P edge 4 3\n"
+      "E 1 2\n"
+      "e 2 3\n"
+      "A 4 1\n");  // arc lines read as edges too
+  EdgeListStats stats;
+  const Graph g = read_edge_list(ss, &stats);
+  EXPECT_TRUE(stats.dimacs);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(3, 0));
+}
+
+TEST(EdgeListIo, NodeIdBoundaryGuardsAgainstOverflow) {
+  {
+    // id 0x7FFFFFFF itself passes a naive 32-bit check, but n = id + 1
+    // then overflows NodeId; the reader must reject the id up front.
+    std::stringstream ss("0 2147483647\n");
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+  {
+    std::stringstream ss("0 2147483648\n");  // beyond 32-bit entirely
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+  {
+    // A DIMACS problem line declaring more nodes than NodeId can count.
+    std::stringstream ss("p edge 2147483648 0\n");
+    EXPECT_THROW(read_edge_list(ss), CheckError);
+  }
+}
+
 TEST(EdgeListIo, LoadedGraphMatchesFromEdges) {
   // The reader must produce the same CSR from_edges builds — snapshot
   // determinism downstream depends on it.

@@ -1,0 +1,410 @@
+// Serve layer: JSON protocol parsing, the mutable resident instance and
+// its dirtiness contract, incremental recoloring (unit + differential),
+// and the daemon itself — socket-free through Server::handle plus real
+// TCP round-trips with concurrent sessions (the `ctest -L serve` group a
+// TSan build targets). The incremental-vs-full speedup gate runs only in
+// plain builds (sanitizers would measure themselves).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/fuzz.h"
+#include "check/invariant_checker.h"
+#include "core/recolor.h"
+#include "core/run_context.h"
+#include "core/solver_registry.h"
+#include "graph/generators.h"
+#include "serve/client.h"
+#include "serve/dynamic_instance.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcolor::serve {
+namespace {
+
+// ---- JSON ---------------------------------------------------------------
+
+TEST(ServeJson, ParsesAndRoundTrips) {
+  const JsonValue v = JsonValue::parse(
+      R"( {"a": 1, "b": [true, null, "x\nA"], "c": -2.5, "d": "", )"
+      R"("e": {"nested": 7}} )");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.require("a").as_int(), 1);
+  const auto& b = v.require("b").as_array();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b[0].as_bool());
+  EXPECT_TRUE(b[1].is_null());
+  EXPECT_EQ(b[2].as_string(), "x\nA");
+  EXPECT_DOUBLE_EQ(v.require("c").as_double(), -2.5);
+  EXPECT_EQ(v.require("e").require("nested").as_int(), 7);
+  // dump -> parse -> dump is stable (objects keep insertion order).
+  const std::string once = v.dump();
+  EXPECT_EQ(JsonValue::parse(once).dump(), once);
+}
+
+TEST(ServeJson, IntegersKeepInt64Exactness) {
+  const JsonValue v = JsonValue::parse(R"({"big": 9007199254740993})");
+  EXPECT_EQ(v.require("big").as_int(), 9007199254740993LL);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), CheckError);
+  EXPECT_THROW(JsonValue::parse("{"), CheckError);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), CheckError);
+  EXPECT_THROW(JsonValue::parse(R"({"a": })"), CheckError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), CheckError);
+  EXPECT_THROW(JsonValue::parse(R"("bad \q escape")"), CheckError);
+  EXPECT_THROW(JsonValue::parse("01"), CheckError);
+  // Depth bomb: 80 nested arrays exceeds the parser's depth cap.
+  std::string bomb;
+  for (int i = 0; i < 80; ++i) bomb += '[';
+  for (int i = 0; i < 80; ++i) bomb += ']';
+  EXPECT_THROW(JsonValue::parse(bomb), CheckError);
+}
+
+TEST(ServeJson, TypedAccessorsNameTheField) {
+  const JsonValue v = JsonValue::parse(R"({"n": "not a number"})");
+  try {
+    v.require("n").as_int("n");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find('n'), std::string::npos);
+  }
+  EXPECT_THROW(v.require("missing"), CheckError);
+  EXPECT_EQ(v.get_int("absent", 42), 42);
+}
+
+// ---- DynamicInstance ----------------------------------------------------
+
+/// Greedy proper list coloring — always possible on (deg+1)-lists.
+void solve_greedy(DynamicInstance& inst) {
+  std::vector<Color> colors(static_cast<std::size_t>(inst.num_nodes()),
+                            kNoColor);
+  for (NodeId v = 0; v < inst.num_nodes(); ++v) {
+    const PaletteView list = inst.lists()[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const Color c = list.color(i);
+      bool clash = false;
+      for (const NodeId u : inst.neighbors(v)) {
+        if (colors[static_cast<std::size_t>(u)] == c) clash = true;
+      }
+      if (!clash) {
+        colors[static_cast<std::size_t>(v)] = c;
+        break;
+      }
+    }
+    ASSERT_NE(colors[static_cast<std::size_t>(v)], kNoColor);
+  }
+  inst.set_colors(std::move(colors));
+}
+
+TEST(DynamicInstance, BuildsDegPlusOneHeadroomLists) {
+  Rng rng(7);
+  const Graph g = gnp_avg_degree(200, 6.0, rng);
+  DynamicInstance inst(200, g.edge_list(), /*headroom=*/2, /*seed=*/7);
+  EXPECT_EQ(inst.num_nodes(), 200);
+  EXPECT_EQ(inst.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < inst.num_nodes(); ++v) {
+    const PaletteView list = inst.lists()[static_cast<std::size_t>(v)];
+    EXPECT_EQ(list.size(), inst.neighbors(v).size() + 3u);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ(list.defect(i), 0);
+      EXPECT_LT(list.color(i), inst.color_space());
+    }
+  }
+}
+
+TEST(DynamicInstance, MutationDirtinessContract) {
+  const Graph g = cycle(12);
+  DynamicInstance inst(12, g.edge_list(), 2, 1);
+  solve_greedy(inst);
+  EXPECT_FALSE(inst.has_dirty());
+
+  // Duplicate and self-loop insertions are no-ops and stay clean.
+  EXPECT_FALSE(inst.add_edge(0, 1));
+  EXPECT_FALSE(inst.add_edge(3, 3));
+  EXPECT_FALSE(inst.has_dirty());
+
+  // A real insertion dirties exactly its endpoints.
+  EXPECT_TRUE(inst.add_edge(0, 6));
+  EXPECT_EQ(inst.dirty(), (std::vector<NodeId>{0, 6}));
+
+  inst.set_colors(inst.colors());  // re-install clears the dirty set
+  EXPECT_FALSE(inst.has_dirty());
+
+  // Removals never dirty and keep the coloring valid.
+  EXPECT_TRUE(inst.remove_edge(0, 6));
+  EXPECT_FALSE(inst.has_dirty());
+  const NodeId fresh = inst.add_node();
+  EXPECT_EQ(fresh, 12);
+  EXPECT_FALSE(inst.has_dirty());
+  EXPECT_TRUE(inst.remove_node(5));
+  EXPECT_FALSE(inst.alive(5));
+  EXPECT_FALSE(inst.has_dirty());
+  EXPECT_TRUE(inst.validate());
+}
+
+TEST(DynamicInstance, RecolorRepairsInsertions) {
+  Rng rng(11);
+  const Graph g = gnp_avg_degree(400, 5.0, rng);
+  DynamicInstance inst(400, g.edge_list(), 2, 11);
+  solve_greedy(inst);
+  ASSERT_TRUE(inst.validate());
+
+  std::int64_t total_changed = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int k = 0; k < 3; ++k) {
+      const auto u = static_cast<NodeId>(rng.below(400));
+      const auto v = static_cast<NodeId>(rng.below(400));
+      if (u != v) inst.add_edge(u, v);
+    }
+    if (!inst.has_dirty()) continue;
+    const std::int64_t dirty = static_cast<std::int64_t>(inst.dirty().size());
+    RunContext ctx;
+    ctx.seed = 100 + static_cast<std::uint64_t>(round);
+    const RecolorResult res = inst.recolor(ctx);
+    EXPECT_FALSE(inst.has_dirty());
+    EXPECT_LE(res.colors_changed, dirty + res.dirty_nodes);
+    total_changed += res.colors_changed;
+    ASSERT_TRUE(inst.validate()) << "round " << round;
+  }
+  // Repair is local: across 60 insertions on 400 nodes, only a small
+  // fraction of the graph may ever change color.
+  EXPECT_LT(total_changed, 120);
+}
+
+TEST(DynamicInstance, RecolorDifferentialBattery) {
+  for (std::int64_t idx = 0; idx < 9; ++idx) {
+    EXPECT_EQ(run_recolor_battery(/*seed=*/5, idx, /*max_n=*/40), "")
+        << "case " << idx;
+  }
+}
+
+// ---- Server (socket-free, via handle) ----------------------------------
+
+JsonValue req(const std::string& line) { return JsonValue::parse(line); }
+
+TEST(Serve, HandleSpeaksTheProtocol) {
+  ServerOptions options;
+  options.workers = 2;
+  options.check = "collect";
+  Server server(options);
+  EXPECT_GT(server.port(), 0);
+
+  JsonValue r = server.handle(req(R"({"op":"ping","id":9})"));
+  EXPECT_TRUE(r.require("ok").as_bool());
+  EXPECT_EQ(r.require("id").as_int(), 9);
+
+  r = server.handle(req(
+      R"({"op":"create","session":"s","edges":[[0,1],[1,2],[2,0]],"n":4})"));
+  ASSERT_TRUE(r.require("ok").as_bool()) << r.dump();
+  EXPECT_EQ(r.require("nodes").as_int(), 4);
+  EXPECT_EQ(r.require("edges").as_int(), 3);
+
+  // Duplicate session names are rejected; unknown sessions error.
+  EXPECT_FALSE(server
+                   .handle(req(
+                       R"({"op":"create","session":"s","edges":[[0,1]]})"))
+                   .require("ok")
+                   .as_bool());
+  r = server.handle(req(R"({"op":"solve","session":"nope"})"));
+  EXPECT_FALSE(r.require("ok").as_bool());
+  EXPECT_NE(r.require("error").as_string().find("nope"), std::string::npos);
+
+  r = server.handle(req(R"({"op":"solve","session":"s"})"));
+  ASSERT_TRUE(r.require("ok").as_bool()) << r.dump();
+  EXPECT_EQ(r.require("solver").as_string(), "deg_plus_one");
+
+  r = server.handle(req(R"({"op":"query","session":"s","nodes":[0,1,2]})"));
+  ASSERT_TRUE(r.require("ok").as_bool());
+  const auto& colors = r.require("colors").as_array();
+  ASSERT_EQ(colors.size(), 3u);
+  EXPECT_NE(colors[0].as_int(), colors[1].as_int());
+
+  r = server.handle(
+      req(R"({"op":"mutate","session":"s","kind":"add_edge","u":0,"v":3})"));
+  ASSERT_TRUE(r.require("ok").as_bool());
+  EXPECT_EQ(r.require("dirty").as_int(), 2);
+
+  r = server.handle(req(R"({"op":"recolor","session":"s"})"));
+  ASSERT_TRUE(r.require("ok").as_bool()) << r.dump();
+  EXPECT_EQ(r.require("dirty_nodes").as_int(), 2);
+
+  r = server.handle(req(R"({"op":"info","session":"s"})"));
+  ASSERT_TRUE(r.require("ok").as_bool());
+  EXPECT_TRUE(r.require("colored").as_bool());
+  EXPECT_EQ(r.require("dirty").as_int(), 0);
+  EXPECT_EQ(r.require("violations").as_int(), 0);
+
+  r = server.handle(req(R"({"op":"stats","session":"s","format":"prom"})"));
+  ASSERT_TRUE(r.require("ok").as_bool());
+  EXPECT_NE(r.require("stats").as_string().find("dcolor_serve_solves"),
+            std::string::npos);
+
+  EXPECT_TRUE(server.handle(req(R"({"op":"drop","session":"s"})"))
+                  .require("ok")
+                  .as_bool());
+  EXPECT_FALSE(server.handle(req(R"({"op":"info","session":"s"})"))
+                   .require("ok")
+                   .as_bool());
+  EXPECT_FALSE(
+      server.handle(req(R"({"op":"frobnicate"})")).require("ok").as_bool());
+}
+
+TEST(Serve, SolverCapabilityGate) {
+  ServerOptions options;
+  options.workers = 1;
+  Server server(options);
+  ASSERT_TRUE(server
+                  .handle(req(R"({"op":"create","session":"s",)"
+                              R"("generator":"cycle","n":16})"))
+                  .require("ok")
+                  .as_bool());
+  // two_sweep consumes OLDC instances, not the session's list instance.
+  const JsonValue r = server.handle(
+      req(R"({"op":"solve","session":"s","solver":"two_sweep"})"));
+  EXPECT_FALSE(r.require("ok").as_bool());
+  EXPECT_NE(r.require("error").as_string().find("two_sweep"),
+            std::string::npos);
+}
+
+// ---- Server (real sockets) ---------------------------------------------
+
+TEST(Serve, DaemonStartStopRoundTrip) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  std::thread accept_thread([&server] { server.run(); });
+
+  {
+    Client client(server.port());
+    const JsonValue pong = client.call(req(R"({"op":"ping"})"));
+    EXPECT_TRUE(pong.require("ok").as_bool());
+    // Malformed request lines answer with an error instead of dying.
+    const JsonValue err = JsonValue::parse(client.call_line("{nope"));
+    EXPECT_FALSE(err.require("ok").as_bool());
+    const JsonValue bye = client.call(req(R"({"op":"shutdown"})"));
+    EXPECT_TRUE(bye.require("ok").as_bool());
+  }
+  accept_thread.join();
+}
+
+TEST(Serve, ConcurrentSessionsStayIsolated) {
+  ServerOptions options;
+  options.workers = 4;
+  options.check = "collect";
+  Server server(options);
+  std::thread accept_thread([&server] { server.run(); });
+
+  constexpr int kSessions = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    clients.emplace_back([&server, &failures, i] {
+      try {
+        Client client(server.port());
+        const std::string s = "s" + std::to_string(i);
+        auto ok = [&](const std::string& line) {
+          const JsonValue r = client.call(JsonValue::parse(line));
+          if (!r.require("ok").as_bool()) {
+            ADD_FAILURE() << s << ": " << r.dump();
+            ++failures;
+          }
+          return r;
+        };
+        ok(R"({"op":"create","session":")" + s +
+           R"(","generator":"gnp","n":300,"degree":6,"seed":)" +
+           std::to_string(100 + i) + "}");
+        ok(R"({"op":"solve","session":")" + s + R"("})");
+        for (int m = 0; m < 5; ++m) {
+          ok(R"({"op":"mutate","session":")" + s +
+             R"(","kind":"add_edge","u":)" + std::to_string(m) + R"(,"v":)" +
+             std::to_string(150 + 7 * m + i) + "}");
+          ok(R"({"op":"recolor","session":")" + s + R"("})");
+        }
+        const JsonValue info = ok(R"({"op":"info","session":")" + s + R"("})");
+        if (info.require("violations").as_int() != 0 ||
+            !info.require("colored").as_bool() ||
+            info.require("dirty").as_int() != 0) {
+          ADD_FAILURE() << s << ": bad end state " << info.dump();
+          ++failures;
+        }
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "session " << i << " threw: " << e.what();
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.shutdown();
+  accept_thread.join();
+}
+
+// ---- acceptance: incremental beats full re-solve ------------------------
+
+TEST(Serve, IncrementalRecolorBeatsFullResolve) {
+#ifdef DCOLOR_SANITIZED
+  GTEST_SKIP() << "wall-clock gate is meaningless under sanitizers";
+#else
+  Rng rng(3);
+  const NodeId n = 65536;
+  const Graph g = gnp_avg_degree(n, 8.0, rng);
+  DynamicInstance inst(n, g.edge_list(), 2, 3);
+  const Solver& solver = SolverRegistry::get().require("deg_plus_one");
+
+  const auto full_solve_ms = [&] {
+    const Graph mg = inst.materialize();
+    ListDefectiveInstance ldi;
+    ldi.graph = &mg;
+    ldi.lists = inst.lists().borrow();
+    ldi.color_space = inst.color_space();
+    SolveRequest sreq;
+    sreq.list_defective = &ldi;
+    RunContext ctx;
+    ctx.seed = 3;
+    ctx.num_threads = 1;
+    const auto start = std::chrono::steady_clock::now();
+    SolveResult res = solver.solve(sreq, ctx);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    inst.set_colors(std::move(res.colors));
+    return ms;
+  };
+  const double solve_ms = full_solve_ms();
+  ASSERT_TRUE(inst.validate());
+
+  // Warm instance, one edge insertion, incremental repair.
+  NodeId u = 0;
+  NodeId v = 1;
+  while (!inst.add_edge(u, v)) {
+    u = static_cast<NodeId>(rng.below(n));
+    v = static_cast<NodeId>(rng.below(n));
+    if (u == v) v = (v + 1) % n;
+  }
+  RunContext ctx;
+  ctx.seed = 4;
+  ctx.num_threads = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const RecolorResult res = inst.recolor(ctx);
+  const double recolor_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_TRUE(inst.validate());
+  EXPECT_EQ(res.dirty_nodes, 2);
+  EXPECT_GE(solve_ms, 10.0 * recolor_ms)
+      << "full solve " << solve_ms << " ms vs incremental " << recolor_ms
+      << " ms";
+#endif
+}
+
+}  // namespace
+}  // namespace dcolor::serve

@@ -493,5 +493,52 @@ TEST(SnapshotCache, StaleCacheFileFallsBackToRebuild) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(SnapshotCache, LongGeneratorNamesKeepDistinctFingerprints) {
+  // Two keys identical through byte 300 of the generator name used to
+  // collide: a fixed 256-byte pre-hash buffer truncated the differing
+  // tails, aliasing both onto one cache file.
+  InstanceKey a = test_key(5);
+  InstanceKey b = test_key(5);
+  a.generator = std::string(300, 'g') + "alpha";
+  b.generator = std::string(300, 'g') + "beta";
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  InstanceKey c = test_key(5);
+  c.generator = std::string(300, 'g') + "alpha";
+  EXPECT_EQ(a.fingerprint(), c.fingerprint())
+      << "equal keys must keep sharing a fingerprint";
+}
+
+TEST(SnapshotCache, MismatchedValidSnapshotTriggersRebuild) {
+  const std::string dir = temp_path("mismatchdir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const InstanceKey key = test_key(6);  // graph-only, n = 200
+  {
+    // A perfectly valid snapshot of the WRONG instance (n = 50), as an
+    // older generator version would leave behind under the same key.
+    Rng rng(7);
+    const Graph wrong = gnp_avg_degree(50, 4, rng);
+    save_graph_snapshot(dir + "/" + key.fingerprint() + ".snap", wrong);
+  }
+  SnapshotCache cache(dir);
+  const auto entry = cache.get_or_build(key, [&](SnapshotCache::Entry& e) {
+    Rng rng(e.key.seed);
+    e.graph = gnp_avg_degree(static_cast<NodeId>(e.key.n), e.key.degree, rng);
+  });
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(cache.built(), 1) << "loadable is not trustable: shape mismatch "
+                                 "against the key must force a rebuild";
+  EXPECT_EQ(cache.loaded(), 0);
+  EXPECT_EQ(entry->graph_ref().num_nodes(), 200);
+  // The rebuild replaced the stale file; a fresh generation loads it.
+  SnapshotCache fresh(dir);
+  const auto again = fresh.get_or_build(
+      key, [](SnapshotCache::Entry&) { FAIL() << "should load, not build"; });
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(fresh.loaded(), 1);
+  EXPECT_EQ(again->graph_ref().num_nodes(), 200);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace dcolor

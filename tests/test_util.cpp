@@ -317,6 +317,36 @@ TEST(Cli, RejectsGarbageNumericValues) {
   EXPECT_THROW(args.get_int("k", 0), CheckError);
 }
 
+TEST(Cli, RejectsDuplicateFlags) {
+  // Last-one-wins would let `--n=100 --n=200` hide which value a run
+  // actually used; duplicates must fail at parse time.
+  const char* argv[] = {"prog", "--n=100", "--n=200"};
+  EXPECT_THROW(CliArgs(3, const_cast<char**>(argv)), CheckError);
+  const char* bare[] = {"prog", "--verbose", "--verbose=false"};
+  EXPECT_THROW(CliArgs(3, const_cast<char**>(bare)), CheckError);
+}
+
+TEST(Cli, RejectsEmptyKeyForms) {
+  const char* empty_key[] = {"prog", "--=v"};
+  EXPECT_THROW(CliArgs(2, const_cast<char**>(empty_key)), CheckError);
+  const char* bare_dashes[] = {"prog", "--"};
+  EXPECT_THROW(CliArgs(2, const_cast<char**>(bare_dashes)), CheckError);
+}
+
+TEST(Cli, BoolParsingIsStrict) {
+  const char* argv[] = {"prog", "--a=true",  "--b=FALSE", "--c=1",
+                        "--d=0", "--e=TrUe", "--f=off",   "--g=yes"};
+  CliArgs args(8, const_cast<char**>(argv));
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_FALSE(args.get_bool("b")) << "--b=FALSE must not read as true";
+  EXPECT_TRUE(args.get_bool("c"));
+  EXPECT_FALSE(args.get_bool("d"));
+  EXPECT_TRUE(args.get_bool("e"));
+  // Everything outside true/false/1/0 is an error, not a truthy default.
+  EXPECT_THROW(args.get_bool("f"), CheckError);
+  EXPECT_THROW(args.get_bool("g"), CheckError);
+}
+
 TEST(Parse, Int64WholeInputContract) {
   EXPECT_EQ(parse_int64("42", "t"), 42);
   EXPECT_EQ(parse_int64("-7", "t"), -7);

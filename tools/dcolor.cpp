@@ -50,6 +50,16 @@
 //             [--generators=gnp,regular] [--n=128,512] [--degrees=6,12]
 //             [--solvers=a,b,...] [--seed=1] [--threads=0] [--verify]
 //             [--out=arena.md] [--json=arena.json]
+//   serve     Coloring-as-a-service daemon: line-delimited JSON over a
+//             local TCP socket, warm resident sessions, incremental
+//             recoloring (see serve/server.h for the protocol).
+//             [--port=0] (0 = ephemeral; the bound port is printed)
+//             [--port-file=<path>] [--workers=4] [--headroom=2]
+//             [--solver=deg_plus_one] [--check[=collect]] (per-request
+//             checker inside the daemon)
+//   client    One-shot / stdin-driven client for a running daemon.
+//             --port=<p> [--request='{"op":"ping"}'] (without --request,
+//             forwards stdin lines and prints response lines)
 //   fuzz      Differential fuzzing against sequential oracles. The
 //             algorithm axis comes from the solver registry; --alg=<name>
 //             restricts it to one solver.
@@ -98,6 +108,8 @@
 #include "io/instance_io.h"
 #include "obs/arena.h"
 #include "obs/stats.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "sim/batch_runner.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
@@ -571,6 +583,48 @@ int cmd_fuzz(const CliArgs& args) {
   return 0;
 }
 
+// ---- serve / client ----------------------------------------------------
+
+int cmd_serve(const CliArgs& args) {
+  serve::ServerOptions options;
+  options.port = static_cast<int>(args.get_int("port", 0));
+  options.workers = static_cast<int>(args.get_int("workers", 4));
+  options.headroom = static_cast<int>(args.get_int("headroom", 2));
+  options.default_solver = args.get_string("solver", "deg_plus_one");
+  if (args.has("check")) {
+    options.check = args.get_string("check", "true") == "collect"
+                        ? "collect"
+                        : "throw";
+  }
+  serve::Server server(std::move(options));
+  if (args.has("port-file")) {
+    const std::string path = args.get_string("port-file", "port.txt");
+    std::ofstream os(path);
+    DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << path);
+    os << server.port() << "\n";
+  }
+  std::cout << "serving on 127.0.0.1:" << server.port() << std::endl;
+  server.run();
+  std::cout << "serve: shut down\n";
+  return 0;
+}
+
+int cmd_client(const CliArgs& args) {
+  const int port = static_cast<int>(args.get_int("port", 0));
+  DCOLOR_CHECK_MSG(port > 0, "--cmd=client requires --port=<port>");
+  serve::Client client(port);
+  if (args.has("request")) {
+    std::cout << client.call_line(args.get_string("request", "")) << "\n";
+    return 0;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::cout << client.call_line(line) << std::endl;
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const std::string cmd = args.get_string("cmd", "info");
@@ -634,6 +688,10 @@ int run(int argc, char** argv) {
     code = cmd_info(args);
   } else if (cmd == "arena") {
     code = cmd_arena(args);
+  } else if (cmd == "serve") {
+    code = cmd_serve(args);
+  } else if (cmd == "client") {
+    code = cmd_client(args);
   } else if (cmd == "fuzz") {
     code = cmd_fuzz(args);
   } else {
