@@ -34,7 +34,35 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+std::string Client::read_line() {
+  std::size_t nl;
+  while ((nl = buffer_.find('\n')) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    DCOLOR_CHECK_MSG(n > 0, "client: connection closed before a response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  return line;
+}
+
+bool Client::is_event_line(const std::string& line) {
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    return v.is_object() && v.get("event") != nullptr;
+  } catch (const std::exception&) {
+    return false;  // not JSON — let the caller's parse report it
+  }
+}
+
 std::string Client::call_line(const std::string& line) {
+  return call_line(line, nullptr);
+}
+
+std::string Client::call_line(
+    const std::string& line,
+    const std::function<void(const std::string&)>& on_event) {
   std::string out = line;
   out.push_back('\n');
   std::size_t off = 0;
@@ -44,20 +72,26 @@ std::string Client::call_line(const std::string& line) {
     DCOLOR_CHECK_MSG(n > 0, "client: connection lost while sending");
     off += static_cast<std::size_t>(n);
   }
-  std::size_t nl;
-  while ((nl = buffer_.find('\n')) == std::string::npos) {
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    DCOLOR_CHECK_MSG(n > 0, "client: connection closed before a response");
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+  for (;;) {
+    std::string received = read_line();
+    if (is_event_line(received)) {
+      if (on_event) on_event(received);
+      continue;
+    }
+    return received;
   }
-  const std::string response = buffer_.substr(0, nl);
-  buffer_.erase(0, nl + 1);
-  return response;
 }
 
+std::string Client::wait_line() { return read_line(); }
+
 JsonValue Client::call(const JsonValue& request) {
-  return JsonValue::parse(call_line(request.dump()));
+  return JsonValue::parse(call_line(request.dump(), nullptr));
+}
+
+JsonValue Client::call(
+    const JsonValue& request,
+    const std::function<void(const std::string&)>& on_event) {
+  return JsonValue::parse(call_line(request.dump(), on_event));
 }
 
 }  // namespace dcolor::serve

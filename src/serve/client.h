@@ -1,10 +1,15 @@
 // Minimal blocking client for the serve daemon (serve/server.h).
 //
 // One TCP connection, one request in flight: call() writes a request
-// line, blocks for the response line, and returns it parsed. Used by
-// `dcolor --cmd=client`, the serve tests, and cli_smoke.sh round-trips.
+// line, blocks for the response line, and returns it parsed. The daemon
+// may interleave pushed "event" lines (streamed `op:batch` jobs, async
+// solve notifications) before/independently of a response; the on_event
+// overloads surface them and `wait_event()` blocks for a standalone one.
+// Used by `dcolor --cmd=client`, the serve tests, and cli_smoke.sh
+// round-trips.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "serve/json.h"
@@ -22,12 +27,32 @@ class Client {
 
   /// Sends one request, blocks for its response. Throws CheckError when
   /// the connection drops or the response line is not valid JSON.
+  /// Pushed event lines arriving before the response are delivered to
+  /// `on_event` (raw, one JSON object per line) when given, silently
+  /// dropped otherwise.
   JsonValue call(const JsonValue& request);
+  JsonValue call(const JsonValue& request,
+                 const std::function<void(const std::string&)>& on_event);
 
-  /// Raw line round-trip (for --cmd=client, which forwards stdin lines).
+  /// Raw line round-trips (for --cmd=client, which forwards stdin lines).
   std::string call_line(const std::string& line);
+  std::string call_line(
+      const std::string& line,
+      const std::function<void(const std::string&)>& on_event);
+
+  /// Blocks for the next pushed line without sending anything — how a
+  /// caller collects an async solve's {"event":"solve_done",...}.
+  std::string wait_line();
+  JsonValue wait_event() { return JsonValue::parse(wait_line()); }
 
  private:
+  /// Blocks for one '\n'-terminated line (newline stripped).
+  std::string read_line();
+
+  /// True when `line` parses to an object carrying "event" — a daemon
+  /// push, not the response to the request in flight.
+  static bool is_event_line(const std::string& line);
+
   int fd_ = -1;
   std::string buffer_;  ///< bytes received past the last response line
 };

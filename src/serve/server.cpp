@@ -20,6 +20,7 @@
 #include "io/instance_io.h"
 #include "obs/stats.h"
 #include "serve/dynamic_instance.h"
+#include "sim/batch_runner.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -66,10 +67,19 @@ Graph build_generator_graph(const std::string& generator, NodeId n,
   return {};
 }
 
-bool write_all(int fd, const std::string& data) {
+constexpr std::size_t kMaxLineBytes = 16u << 20;  ///< hostile-input guard
+
+}  // namespace
+
+bool ConnWriter::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return false;
+  std::string data;
+  data.reserve(line.size() + 1);
+  data.append(line).push_back('\n');
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+    const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
                              MSG_NOSIGNAL);
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
@@ -77,9 +87,11 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
-constexpr std::size_t kMaxLineBytes = 16u << 20;  ///< hostile-input guard
-
-}  // namespace
+void ConnWriter::retire() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
 
 /// One warm resident instance plus its per-session observability state.
 /// `mutex` serializes every request touching the session, so the stats
@@ -92,10 +104,18 @@ struct Server::Session {
   std::vector<CheckViolation> violations;  ///< collect-mode accumulation
   std::uint64_t seed = 1;
   std::int64_t requests = 0;  ///< per-request RNG stream derivation
+  /// Last time a request named this session (guarded by Server::mutex_,
+  /// not the session mutex — eviction must read it without blocking on
+  /// in-flight work).
+  std::chrono::steady_clock::time_point last_used;
+  /// Heavy requests (solve/recolor) queued or running right now, bounded
+  /// by ServerOptions::session_quota.
+  std::atomic<int> queued{0};
 };
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), queue_(std::max(1, options_.workers)) {
+    : options_(std::move(options)),
+      scheduler_(std::max(1, options_.workers)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   DCOLOR_CHECK_MSG(listen_fd_ >= 0, "serve: socket() failed: "
                                         << std::strerror(errno));
@@ -116,6 +136,9 @@ Server::Server(ServerOptions options)
   socklen_t len = sizeof(bound);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = static_cast<int>(ntohs(bound.sin_port));
+  if (options_.session_ttl > 0) {
+    evictor_ = std::thread([this] { eviction_loop(); });
+  }
 }
 
 Server::~Server() {
@@ -123,7 +146,9 @@ Server::~Server() {
   for (std::thread& t : connections_) {
     if (t.joinable()) t.join();
   }
+  if (evictor_.joinable()) evictor_.join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  // scheduler_ drains on destruction, after every producer is gone.
 }
 
 void Server::shutdown() {
@@ -131,6 +156,7 @@ void Server::shutdown() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  evict_cv_.notify_all();
 }
 
 void Server::run() {
@@ -147,6 +173,10 @@ void Server::run() {
 }
 
 void Server::serve_connection(int fd) {
+  // The writer outlives this loop via the shared_ptr captured by async
+  // tasks; retire() below means their late write_line() calls return
+  // false instead of hitting a recycled fd.
+  const auto conn = std::make_shared<ConnWriter>(fd);
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -165,26 +195,31 @@ void Server::serve_connection(int fd) {
       try {
         const JsonValue request = JsonValue::parse(line);
         stop_after = request.get_string("op", "") == "shutdown";
-        response = handle(request);
+        response = handle(request, conn);
       } catch (const std::exception& e) {
         response = JsonValue::object();
         response.set("ok", false).set("error", std::string(e.what()));
         stop_after = false;
       }
-      open = write_all(fd, response.dump() + "\n");
+      open = conn->write_line(response.dump());
       if (stop_after) {
         shutdown();
         open = false;
       }
     }
   }
-  ::close(fd);
+  conn->retire();
 }
 
 JsonValue Server::handle(const JsonValue& request) {
+  return handle(request, nullptr);
+}
+
+JsonValue Server::handle(const JsonValue& request,
+                         const std::shared_ptr<ConnWriter>& conn) {
   JsonValue response;
   try {
-    response = dispatch(request);
+    response = dispatch(request, conn);
     if (response.get("ok") == nullptr) response.set("ok", true);
   } catch (const std::exception& e) {
     response = JsonValue::object();
@@ -201,12 +236,58 @@ std::shared_ptr<Server::Session> Server::find_session(
   const std::string& name = request.require("session").as_string("session");
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = sessions_.find(name);
-  DCOLOR_CHECK_MSG(it != sessions_.end(),
-                   "unknown session \"" << name << "\"");
+  if (it == sessions_.end()) {
+    DCOLOR_CHECK_MSG(evicted_.find(name) == evicted_.end(),
+                     "session \"" << name << "\" was evicted after "
+                                  << options_.session_ttl
+                                  << "s idle (--session-ttl); create it "
+                                  << "again");
+    DCOLOR_CHECK_MSG(false, "unknown session \"" << name << "\"");
+  }
+  it->second->last_used = std::chrono::steady_clock::now();
   return it->second;
 }
 
-JsonValue Server::dispatch(const JsonValue& request) {
+void Server::reserve_quota(const std::string& name, Session& session) {
+  const int quota = options_.session_quota;
+  if (quota < 0) return;
+  const int prev = session.queued.fetch_add(1, std::memory_order_relaxed);
+  if (prev >= quota) {
+    session.queued.fetch_sub(1, std::memory_order_relaxed);
+    DCOLOR_CHECK_MSG(false, "session \""
+                                << name << "\" is at its heavy-request "
+                                << "quota (" << quota
+                                << " queued; --session-quota); retry when "
+                                << "in-flight work lands");
+  }
+}
+
+void Server::eviction_loop() {
+  const std::chrono::duration<double> ttl(options_.session_ttl);
+  const auto wake =
+      std::chrono::duration_cast<std::chrono::milliseconds>(ttl) / 2 +
+      std::chrono::milliseconds(10);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_.load()) {
+    evict_cv_.wait_for(lock, wake);
+    if (stopping_.load()) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (now - it->second->last_used >= ttl) {
+        // An in-flight heavy request keeps the Session alive through its
+        // shared_ptr; eviction only unmaps the name.
+        evicted_.insert(it->first);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (evicted_.size() > 4096) evicted_.clear();
+  }
+}
+
+JsonValue Server::dispatch(const JsonValue& request,
+                           const std::shared_ptr<ConnWriter>& conn) {
   DCOLOR_CHECK_MSG(request.is_object(), "request must be a JSON object");
   const std::string op = request.require("op").as_string("op");
   JsonValue response = JsonValue::object();
@@ -219,29 +300,66 @@ JsonValue Server::dispatch(const JsonValue& request) {
     return response;
   }
   if (op == "create") return op_create(request);
+  if (op == "batch") return op_batch(request, conn);
   if (op == "drop") {
     const std::string& name =
         request.require("session").as_string("session");
     const std::lock_guard<std::mutex> lock(mutex_);
     DCOLOR_CHECK_MSG(sessions_.erase(name) == 1,
                      "unknown session \"" << name << "\"");
+    evicted_.erase(name);
     response.set("dropped", name);
     return response;
   }
 
   const std::shared_ptr<Session> session = find_session(request);
   if (op == "solve" || op == "recolor") {
-    // Heavy requests run on the shared worker pool: the connection thread
-    // enqueues and blocks on the future, so a fixed worker budget serves
-    // any number of connections and per-connection order is preserved.
-    auto task = std::make_shared<std::packaged_task<JsonValue()>>(
-        [this, &request, session, op] {
+    // Heavy requests are level-1 tasks of the unified scheduler: the
+    // connection thread enqueues and (sync form) blocks on the future, so
+    // a fixed worker budget serves any number of connections and
+    // per-connection order is preserved. Big resident instances profit
+    // from level 2 automatically — the request runs on a worker, where
+    // the ambient scheduler turns simulator rounds into stealable chunks.
+    const std::string& name =
+        request.require("session").as_string("session");
+    reserve_quota(name, *session);
+    const bool is_solve = op == "solve";
+    if (request.get_bool("async", false) && conn != nullptr) {
+      // Fire-and-forget: ack now, push a {"event":...} line when it lands.
+      scheduler_.submit([this, req = request, session, conn, is_solve] {
+        JsonValue event = JsonValue::object();
+        event.set("event", is_solve ? "solve_done" : "recolor_done");
+        if (const JsonValue* s = req.get("session")) event.set("session", *s);
+        if (const JsonValue* id = req.get("id")) event.set("id", *id);
+        try {
           const std::lock_guard<std::mutex> lock(session->mutex);
-          return op == "solve" ? op_solve(request, *session)
-                               : op_recolor(request, *session);
+          const JsonValue result = is_solve ? op_solve(req, *session)
+                                            : op_recolor(req, *session);
+          event.set("ok", true);
+          for (const auto& [key, value] : result.members()) {
+            event.set(key, value);
+          }
+        } catch (const std::exception& e) {
+          event.set("ok", false).set("error", std::string(e.what()));
+        }
+        session->queued.fetch_sub(1, std::memory_order_relaxed);
+        conn->write_line(event.dump());
+      });
+      response.set("queued", true);
+      return response;
+    }
+    auto task = std::make_shared<std::packaged_task<JsonValue()>>(
+        [this, &request, session, is_solve] {
+          const std::lock_guard<std::mutex> lock(session->mutex);
+          struct Release {
+            std::atomic<int>* queued;
+            ~Release() { queued->fetch_sub(1, std::memory_order_relaxed); }
+          } release{&session->queued};
+          return is_solve ? op_solve(request, *session)
+                          : op_recolor(request, *session);
         });
     std::future<JsonValue> fut = task->get_future();
-    queue_.submit([task] { (*task)(); });
+    scheduler_.submit([task] { (*task)(); });
     return fut.get();
   }
   const std::lock_guard<std::mutex> lock(session->mutex);
@@ -298,6 +416,7 @@ JsonValue Server::op_create(const JsonValue& request) {
 
   auto session = std::make_shared<Session>();
   session->seed = seed;
+  session->last_used = std::chrono::steady_clock::now();
   session->instance = std::make_unique<DynamicInstance>(n, std::move(edges),
                                                         headroom, seed);
   JsonValue response = JsonValue::object();
@@ -310,8 +429,39 @@ JsonValue Server::op_create(const JsonValue& request) {
     DCOLOR_CHECK_MSG(sessions_.find(name) == sessions_.end(),
                      "session \"" << name << "\" already exists (drop it "
                                   << "first)");
+    evicted_.erase(name);  // a recreated name is a live session again
     sessions_.emplace(name, std::move(session));
   }
+  return response;
+}
+
+JsonValue Server::op_batch(const JsonValue& request,
+                           const std::shared_ptr<ConnWriter>& conn) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<BatchJob> jobs =
+      parse_batch_jobs(request.require("jobs").as_string("jobs"));
+  BatchOptions options;
+  options.check = request.get_bool("verify", false) || !options_.check.empty();
+  options.seed = static_cast<std::uint64_t>(request.get_int("seed", 0));
+  options.big_job_threshold =
+      request.get_int("threshold", options_.big_job_threshold);
+  options.scheduler = &scheduler_;  // share the daemon's worker budget
+  const bool stream = request.get_bool("stream", false) && conn != nullptr;
+  if (stream) {
+    options.on_result = [&conn](std::size_t index, const BatchJobResult& r) {
+      conn->write_line(batch_stream_line(index, r));
+    };
+  }
+  const BatchReport report = run_batch(jobs, options);
+  if (stream) conn->write_line(batch_stream_summary(report));
+  JsonValue response = JsonValue::object();
+  response.set("jobs", static_cast<std::int64_t>(report.jobs.size()))
+      .set("jobs_valid", report.jobs_valid)
+      .set("jobs_failed", report.jobs_failed)
+      .set("total_rounds", report.total_rounds)
+      .set("violations", report.total_violations)
+      .set("big_jobs", report.sched.big_jobs)
+      .set("wall_ms", wall_ms_since(start));
   return response;
 }
 

@@ -2,14 +2,21 @@
 //
 // Speaks line-delimited JSON over a local TCP socket: one request object
 // per line, one response object per line, answered in request order per
-// connection. Sessions are named, warm, resident DynamicInstances shared
-// across connections; heavy requests (solve, recolor) are queued onto a
-// shared detail::TaskQueue so a fixed worker budget serves any number of
-// connections, and every such request executes under its own RunScope —
-// a per-request invariant checker and the session's stats registry are
-// installed on the worker thread for exactly the request's duration, so
-// checking and metrics compose per session without any cross-session
-// bleed (requests on one session are serialized by the session mutex).
+// connection (streamed "event" lines may precede a response — see
+// below). Sessions are named, warm, resident DynamicInstances shared
+// across connections; heavy requests (solve, recolor, batch jobs) run as
+// level-1 tasks of the unified scheduler (sim/scheduler.h) so a fixed
+// worker budget serves any number of connections, and every such request
+// executes under its own RunScope — a per-request invariant checker and
+// the session's stats registry are installed on the worker thread for
+// exactly the request's duration, so checking and metrics compose per
+// session without any cross-session bleed (requests on one session are
+// serialized by the session mutex).
+//
+// Hygiene: sessions idle longer than --session-ttl seconds are evicted
+// by a timer (an evicted name answers with a clean JSON error, never a
+// crash), and each session admits at most --session-quota queued heavy
+// requests at a time.
 //
 // Protocol (all requests may carry "id", echoed in the response; every
 // response has "ok", errors add "error"):
@@ -19,36 +26,76 @@
 //                                   — or "path":"g.snap" (graph/snapshot
 //                                     via io/storage), "edge_list":"f.txt"
 //   {"op":"solve","session":"s","solver":"deg_plus_one"}
+//        add "async":true to get {"ok":true,"queued":true} immediately
+//        and a {"event":"solve_done",...} line on this connection when
+//        the solve lands (socket connections only)
 //   {"op":"mutate","session":"s","kind":"add_edge","u":0,"v":1}
 //        kinds: add_edge | remove_edge | add_node | remove_node ("u")
 //   {"op":"recolor","session":"s"}  — incremental repair of the dirty set
 //   {"op":"query","session":"s","nodes":[0,1]}   — colors of given nodes
 //   {"op":"info","session":"s"}
 //   {"op":"stats","session":"s","format":"json"|"prom"}
+//   {"op":"batch","jobs":"<spec>","stream":true,"seed":0,"verify":false,
+//    "threshold":-1}  — run a batch (sim/batch_runner.h spec grammar) on
+//        the daemon's scheduler; with "stream":true every completed job
+//        is pushed as a {"event":"job",...} JSONL line (commit order =
+//        job index order) before the final summary response
 //   {"op":"drop","session":"s"}
 //   {"op":"shutdown"}
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/json.h"
-#include "sim/thread_pool.h"
+#include "sim/scheduler.h"
 
 namespace dcolor::serve {
 
 struct ServerOptions {
   int port = 0;          ///< 0 = ephemeral (read the bound port back)
-  int workers = 4;       ///< TaskQueue threads for solve/recolor requests
+  int workers = 4;       ///< scheduler workers for heavy requests
   std::string check;     ///< "": no checker; "collect"/"throw" per request
   int headroom = 2;      ///< list slack past deg+1 for resident instances
   std::string default_solver = "deg_plus_one";
+  /// Max heavy requests (solve/recolor) queued or running per session at
+  /// once; the excess gets a clean JSON error. < 0 = unlimited. 0 is the
+  /// degenerate "reject all heavy traffic" setting (used in tests).
+  int session_quota = 64;
+  /// Seconds a session may sit idle (no request naming it) before the
+  /// eviction timer drops it; 0 = never evict. Accessing an evicted
+  /// session returns a JSON error saying so.
+  double session_ttl = 0;
+  /// Default level-2 threshold for `op:batch` (see BatchOptions).
+  std::int64_t big_job_threshold = -1;
+};
+
+/// Serialized line writer over one connection: responses from the
+/// connection thread and event lines from scheduler workers (async
+/// solves, streamed batch jobs) interleave whole-line-atomically.
+/// retire() closes the fd under the same lock, so a late async event can
+/// never write to a recycled descriptor.
+class ConnWriter {
+ public:
+  explicit ConnWriter(int fd) : fd_(fd) {}
+
+  /// Writes line + '\n'; false once the connection is gone.
+  bool write_line(const std::string& line);
+
+  /// Closes the fd; subsequent writes return false.
+  void retire();
+
+ private:
+  std::mutex mutex_;
+  int fd_;
 };
 
 class Server {
@@ -69,14 +116,20 @@ class Server {
   void shutdown();
 
   /// Handles one already-parsed request (the protocol core, exposed so
-  /// tests can drive the daemon without sockets).
+  /// tests can drive the daemon without sockets). The connection-less
+  /// overload cannot stream: "async":true and "stream":true degrade to
+  /// their synchronous/quiet forms.
   JsonValue handle(const JsonValue& request);
+  JsonValue handle(const JsonValue& request,
+                   const std::shared_ptr<ConnWriter>& conn);
 
  private:
   struct Session;
 
   void serve_connection(int fd);
-  JsonValue dispatch(const JsonValue& request);
+  void eviction_loop();
+  JsonValue dispatch(const JsonValue& request,
+                     const std::shared_ptr<ConnWriter>& conn);
   std::shared_ptr<Session> find_session(const JsonValue& request);
 
   JsonValue op_create(const JsonValue& request);
@@ -86,17 +139,30 @@ class Server {
   JsonValue op_query(const JsonValue& request, Session& session);
   JsonValue op_info(Session& session);
   JsonValue op_stats(const JsonValue& request, Session& session);
+  JsonValue op_batch(const JsonValue& request,
+                     const std::shared_ptr<ConnWriter>& conn);
+
+  /// Reserves one unit of the session's heavy-request quota or throws
+  /// the clean JSON error; the matching release happens when the task
+  /// finishes.
+  void reserve_quota(const std::string& name, Session& session);
 
   ServerOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
-  detail::TaskQueue queue_;
+  sched::Scheduler scheduler_;
 
-  std::mutex mutex_;  ///< guards sessions_ and client_fds_
+  std::mutex mutex_;  ///< guards sessions_, evicted_, client_fds_
+  std::condition_variable evict_cv_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
+  /// Names dropped by the TTL timer, so their next access can say
+  /// "evicted" instead of "unknown" (cleared wholesale when large — the
+  /// distinction is a courtesy, not an audit log).
+  std::set<std::string> evicted_;
   std::vector<int> client_fds_;
   std::vector<std::thread> connections_;
+  std::thread evictor_;
 };
 
 }  // namespace dcolor::serve

@@ -14,11 +14,15 @@
 #include <string_view>
 #include <utility>
 
+#include <condition_variable>
+#include <cstdlib>
+
 #include "check/invariant_checker.h"
 #include "core/run_context.h"
 #include "core/solver_registry.h"
 #include "graph/generators.h"
 #include "obs/stats.h"
+#include "sim/scheduler.h"
 #include "storage/snapshot_cache.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -209,7 +213,7 @@ std::int64_t count_distinct(const std::vector<Color>& colors,
 
 BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
                        BatchScratch& s, SnapshotCache* cache,
-                       const InstanceKey* key) {
+                       const InstanceKey* key, int sim_threads) {
   BatchJobResult out;
   out.label = job.label;
   // Everything that can throw (unknown solver, bad generator/n, solver
@@ -311,9 +315,12 @@ BatchJobResult run_one(const BatchJob& job, const BatchOptions& options,
         break;
     }
 
-    // Jobs are the parallel axis: pin the simulator to one thread so the
-    // result is independent of how many batch workers run concurrently.
-    ctx.num_threads = 1;
+    // Small jobs pin the simulator to one thread (the job axis is the
+    // parallel one); big jobs get the fleet width — their round chunks
+    // run as ambient-scheduler regions that idle workers steal. Either
+    // way the result is thread-count-invariant, so it is independent of
+    // the worker count, the steal order, and the threshold.
+    ctx.num_threads = sim_threads;
     ctx.engine = job.sim_engine;
     ctx.seed = seed;
     if (options.check) ctx.checker = &checker;
@@ -446,6 +453,75 @@ void parse_job_spec(std::string_view spec, std::vector<BatchJob>& out) {
 
 // ---- JSON report ---------------------------------------------------------
 
+/// Everything a batch's level-1 tasks share. Tasks are POD (fn, ctx,
+/// arg) so the submit loop allocates nothing: ctx points here, arg is
+/// the job index.
+struct BatchExec {
+  const std::vector<BatchJob>* jobs = nullptr;
+  const BatchOptions* options = nullptr;
+  BatchReport* report = nullptr;
+  SnapshotCache* cache = nullptr;
+  const std::vector<std::optional<InstanceKey>>* keys = nullptr;
+  std::int64_t threshold = 0;
+  int big_threads = 1;  ///< RunContext width for level-2 jobs
+
+  std::mutex pool_mutex;  ///< guards the scratch lease pool
+  std::vector<std::unique_ptr<BatchScratch>> storage;
+  std::vector<BatchScratch*> idle;
+  std::int64_t reused = 0;
+
+  /// Deterministic commit cursor: job i is emitted only after 0..i-1,
+  /// so the on_result stream is identical at every worker count.
+  std::mutex commit_mutex;
+  std::size_t cursor = 0;
+  std::vector<unsigned char> finished;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+};
+
+void run_batch_job(void* ctx, std::int64_t arg) {
+  auto& x = *static_cast<BatchExec*>(ctx);
+  const auto i = static_cast<std::size_t>(arg);
+  BatchScratch* scratch = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(x.pool_mutex);
+    if (x.idle.empty()) {
+      x.storage.push_back(std::make_unique<BatchScratch>());
+      scratch = x.storage.back().get();
+    } else {
+      scratch = x.idle.back();
+      x.idle.pop_back();
+      ++x.reused;
+    }
+  }
+  const BatchJob& job = (*x.jobs)[i];
+  const bool big = static_cast<std::int64_t>(job.n) >= x.threshold;
+  const auto& key = (*x.keys)[i];
+  x.report->jobs[i] =
+      run_one(job, *x.options, *scratch, x.cache,
+              key.has_value() ? &*key : nullptr, big ? x.big_threads : 1);
+  {
+    const std::lock_guard<std::mutex> lock(x.pool_mutex);
+    x.idle.push_back(scratch);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(x.commit_mutex);
+    x.finished[i] = 1;
+    while (x.cursor < x.finished.size() && x.finished[x.cursor] != 0) {
+      if (x.options->on_result) {
+        x.options->on_result(x.cursor, x.report->jobs[x.cursor]);
+      }
+      ++x.cursor;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(x.done_mutex);
+    if (--x.remaining == 0) x.done_cv.notify_all();
+  }
+}
+
 void append_json_string(std::string& out, std::string_view s) {
   out += '"';
   for (const char c : s) {
@@ -500,6 +576,25 @@ std::vector<BatchJob> parse_batch_jobs(const std::string& file_or_spec) {
   return jobs;
 }
 
+std::int64_t resolve_big_job_threshold(std::int64_t requested,
+                                       const std::vector<BatchJob>& jobs) {
+  if (requested >= 0) return requested;
+  if (const char* env = std::getenv("DCOLOR_BIG_JOB_THRESHOLD");
+      env != nullptr && *env != '\0') {
+    const std::int64_t parsed = parse_int64(env, "DCOLOR_BIG_JOB_THRESHOLD");
+    if (parsed >= 0) return parsed;
+  }
+  // Auto: "at least twice the mean job size, and at least 64k nodes" —
+  // a function of the job list only (never of the worker count), so the
+  // big/small split is identical on every machine and fleet size. On a
+  // uniform batch nothing qualifies; a lone giant always does.
+  std::int64_t total = 0;
+  for (const BatchJob& job : jobs) total += static_cast<std::int64_t>(job.n);
+  const auto count = static_cast<std::int64_t>(std::max<std::size_t>(
+      1, jobs.size()));
+  return std::max<std::int64_t>(65536, 2 * (total / count));
+}
+
 BatchReport run_batch(const std::vector<BatchJob>& jobs,
                       const BatchOptions& options) {
   DCOLOR_CHECK_MSG(!jobs.empty(), "run_batch needs at least one job");
@@ -531,34 +626,58 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
     cache.set_cacheable(cacheable);
   }
 
-  std::vector<std::unique_ptr<BatchScratch>> storage;
-  std::vector<BatchScratch*> idle;
-  std::int64_t reused = 0;
-  std::mutex pool_mutex;
+  // Private fleet unless the caller shares one (the serve daemon). The
+  // caller thread blocks on the completion latch rather than draining —
+  // a shared scheduler may be running unrelated tasks.
+  std::unique_ptr<sched::Scheduler> owned;
+  sched::Scheduler* fleet = options.scheduler;
+  if (fleet == nullptr) {
+    owned = std::make_unique<sched::Scheduler>(threads);
+    fleet = owned.get();
+  }
 
-  parallel_chunks(static_cast<int>(jobs.size()), threads, [&](int i) {
-    BatchScratch* scratch = nullptr;
-    {
-      const std::lock_guard<std::mutex> lock(pool_mutex);
-      if (idle.empty()) {
-        storage.push_back(std::make_unique<BatchScratch>());
-        scratch = storage.back().get();
-      } else {
-        scratch = idle.back();
-        idle.pop_back();
-        ++reused;
-      }
+  BatchExec exec;
+  exec.jobs = &jobs;
+  exec.options = &options;
+  exec.report = &report;
+  exec.cache = &cache;
+  exec.keys = &keys;
+  exec.threshold = resolve_big_job_threshold(options.big_job_threshold, jobs);
+  exec.big_threads = std::max(1, fleet->workers());
+  exec.finished.assign(jobs.size(), 0);
+  exec.remaining = jobs.size();
+
+  const sched::SchedCounters before = fleet->counters();
+  // Two submit passes implement LPT admission: big jobs first at high
+  // priority (each occupies one worker but fans its rounds out to every
+  // idle one), then the small fleet in index order. Completion order is
+  // irrelevant to the report — results land by job index.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const bool big =
+          static_cast<std::int64_t>(jobs[i].n) >= exec.threshold;
+      if (big != (pass == 0)) continue;
+      sched::Scheduler::TaskOptions opts;
+      opts.priority = big ? sched::Priority::kHigh : sched::Priority::kNormal;
+      opts.big = big;
+      if (big) ++report.sched.big_jobs;
+      fleet->submit(&run_batch_job, &exec, static_cast<std::int64_t>(i),
+                    opts);
     }
-    const auto& key = keys[static_cast<std::size_t>(i)];
-    report.jobs[static_cast<std::size_t>(i)] =
-        run_one(jobs[static_cast<std::size_t>(i)], options, *scratch, &cache,
-                key.has_value() ? &*key : nullptr);
-    const std::lock_guard<std::mutex> lock(pool_mutex);
-    idle.push_back(scratch);
-  });
+  }
+  {
+    std::unique_lock<std::mutex> lock(exec.done_mutex);
+    exec.done_cv.wait(lock, [&] { return exec.remaining == 0; });
+  }
+  const sched::SchedCounters after = fleet->counters();
+  report.sched.workers = fleet->workers();
+  report.sched.steals = after.steals - before.steals;
+  report.sched.chunks = after.chunks - before.chunks;
+  report.sched.peak_queue_depth = after.peak_queue_depth;
+  report.sched.peak_occupancy = after.peak_occupancy;
 
-  report.scratch_created = static_cast<int>(storage.size());
-  report.scratch_reused = reused;
+  report.scratch_created = static_cast<int>(exec.storage.size());
+  report.scratch_reused = exec.reused;
   report.snapshot_built = cache.built();
   report.snapshot_loaded = cache.loaded();
   report.snapshot_reused = cache.reused();
@@ -595,63 +714,125 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
         .add(report.snapshot_loaded);
     stats->counter("batch.snapshot_reused", StatDomain::kTiming)
         .add(report.snapshot_reused);
+    // Scheduler taxonomy: the task count is fixed by the job list alone
+    // (kStable — identical across workers, thresholds, engines); every
+    // schedule-shaped reading (steals, peaks, chunk counts) and every
+    // threshold-shaped one (big_jobs) is quarantined under kTiming.
+    stats->counter("sched.tasks").add(static_cast<std::int64_t>(jobs.size()));
+    stats->counter("sched.big_jobs", StatDomain::kTiming)
+        .add(report.sched.big_jobs);
+    stats->counter("sched.steals", StatDomain::kTiming)
+        .add(report.sched.steals);
+    stats->counter("sched.chunks", StatDomain::kTiming)
+        .add(report.sched.chunks);
+    stats->gauge("sched.peak_queue_depth", StatDomain::kTiming)
+        .set(report.sched.peak_queue_depth);
+    stats->gauge("sched.peak_occupancy", StatDomain::kTiming)
+        .set(report.sched.peak_occupancy);
+    stats->gauge("sched.workers", StatDomain::kTiming)
+        .set(report.sched.workers);
   }
   return report;
+}
+
+namespace {
+
+/// The inner fields of one job's JSON object (no braces). Shared by the
+/// report and the streamed JSONL lines so the two are byte-compatible.
+/// INVARIANT: "t" is the LAST key — stripping `, "t": {...}` from every
+/// line yields a byte-identical report at every worker count, steal
+/// order, threshold, and engine.
+void append_job_fields(std::string& out, const BatchJobResult& r) {
+  out += "\"label\": ";
+  append_json_string(out, r.label);
+  out += ", \"solver\": ";
+  append_json_string(out, r.solver);
+  out += ", \"valid\": ";
+  out += r.valid ? "true" : "false";
+  out += ", \"nodes\": " + std::to_string(r.nodes);
+  out += ", \"edges\": " + std::to_string(r.edges);
+  out += ", \"colors_used\": " + std::to_string(r.colors_used);
+  {
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "\"%016llx\"",
+                  static_cast<unsigned long long>(r.color_hash));
+    out += ", \"color_hash\": ";
+    out += hash;
+  }
+  out += ", \"rounds\": " + std::to_string(r.metrics.rounds);
+  out += ", \"messages\": " + std::to_string(r.metrics.total_messages);
+  out += ", \"bits\": " + std::to_string(r.metrics.total_message_bits);
+  out += ", \"palette_bytes\": " + std::to_string(r.palette_bytes);
+  out += ", \"violations\": " + std::to_string(r.checker_violations);
+  if (!r.error.empty()) {
+    out += ", \"error\": ";
+    append_json_string(out, r.error);
+  }
+  {
+    char t[96];
+    std::snprintf(t, sizeof(t),
+                  ", \"t\": {\"wall_ms\": %.3f, \"rss_mib\": %.1f}",
+                  static_cast<double>(r.t.wall_ns) / 1e6,
+                  static_cast<double>(r.t.rss_bytes) / (1024.0 * 1024.0));
+    out += t;
+  }
+}
+
+/// Summary fields (no braces), "t" last: schedule-dependent accounting —
+/// scratch leases (bounded by the worker count) and the scheduler
+/// telemetry — lives inside "t"; everything before it is a pure function
+/// of the job list.
+void append_summary_fields(std::string& out, const BatchReport& report) {
+  out += "\"jobs\": " + std::to_string(report.jobs.size());
+  out += ", \"valid\": " + std::to_string(report.jobs_valid);
+  out += ", \"failed\": " + std::to_string(report.jobs_failed);
+  out += ", \"total_rounds\": " + std::to_string(report.total_rounds);
+  out += ", \"total_messages\": " + std::to_string(report.total_messages);
+  out += ", \"total_bits\": " + std::to_string(report.total_bits);
+  out += ", \"total_violations\": " + std::to_string(report.total_violations);
+  out += ", \"snapshot_built\": " + std::to_string(report.snapshot_built);
+  out += ", \"snapshot_loaded\": " + std::to_string(report.snapshot_loaded);
+  out += ", \"snapshot_reused\": " + std::to_string(report.snapshot_reused);
+  out += ", \"t\": {\"scratch_created\": " +
+         std::to_string(report.scratch_created);
+  out += ", \"scratch_reused\": " + std::to_string(report.scratch_reused);
+  out += ", \"workers\": " + std::to_string(report.sched.workers);
+  out += ", \"big_jobs\": " + std::to_string(report.sched.big_jobs);
+  out += ", \"steals\": " + std::to_string(report.sched.steals);
+  out += ", \"chunks\": " + std::to_string(report.sched.chunks);
+  out += ", \"peak_queue_depth\": " +
+         std::to_string(report.sched.peak_queue_depth);
+  out += ", \"peak_occupancy\": " +
+         std::to_string(report.sched.peak_occupancy);
+  out += "}";
+}
+
+}  // namespace
+
+std::string batch_stream_line(std::size_t index, const BatchJobResult& r) {
+  std::string out = "{\"event\": \"job\", \"index\": " + std::to_string(index);
+  out += ", ";
+  append_job_fields(out, r);
+  out += "}";
+  return out;
+}
+
+std::string batch_stream_summary(const BatchReport& report) {
+  std::string out = "{\"event\": \"summary\", ";
+  append_summary_fields(out, report);
+  out += "}";
+  return out;
 }
 
 std::string BatchReport::to_json() const {
   std::string out = "{\n  \"jobs\": [\n";
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const BatchJobResult& r = jobs[i];
-    out += "    {\"label\": ";
-    append_json_string(out, r.label);
-    out += ", \"solver\": ";
-    append_json_string(out, r.solver);
-    out += ", \"valid\": ";
-    out += r.valid ? "true" : "false";
-    out += ", \"nodes\": " + std::to_string(r.nodes);
-    out += ", \"edges\": " + std::to_string(r.edges);
-    out += ", \"colors_used\": " + std::to_string(r.colors_used);
-    {
-      char hash[32];
-      std::snprintf(hash, sizeof(hash), "\"%016llx\"",
-                    static_cast<unsigned long long>(r.color_hash));
-      out += ", \"color_hash\": ";
-      out += hash;
-    }
-    out += ", \"rounds\": " + std::to_string(r.metrics.rounds);
-    out += ", \"messages\": " + std::to_string(r.metrics.total_messages);
-    out += ", \"bits\": " + std::to_string(r.metrics.total_message_bits);
-    out += ", \"palette_bytes\": " + std::to_string(r.palette_bytes);
-    out += ", \"violations\": " + std::to_string(r.checker_violations);
-    if (!r.error.empty()) {
-      out += ", \"error\": ";
-      append_json_string(out, r.error);
-    }
-    // INVARIANT: "t" is the LAST key — stripping `, "t": {...}` from every
-    // job line yields a byte-identical report at every worker count.
-    {
-      char t[96];
-      std::snprintf(t, sizeof(t), ", \"t\": {\"wall_ms\": %.3f, \"rss_mib\": %.1f}",
-                    static_cast<double>(r.t.wall_ns) / 1e6,
-                    static_cast<double>(r.t.rss_bytes) / (1024.0 * 1024.0));
-      out += t;
-    }
+    out += "    {";
+    append_job_fields(out, jobs[i]);
     out += i + 1 < jobs.size() ? "},\n" : "}\n";
   }
   out += "  ],\n  \"summary\": {";
-  out += "\"jobs\": " + std::to_string(jobs.size());
-  out += ", \"valid\": " + std::to_string(jobs_valid);
-  out += ", \"failed\": " + std::to_string(jobs_failed);
-  out += ", \"total_rounds\": " + std::to_string(total_rounds);
-  out += ", \"total_messages\": " + std::to_string(total_messages);
-  out += ", \"total_bits\": " + std::to_string(total_bits);
-  out += ", \"total_violations\": " + std::to_string(total_violations);
-  out += ", \"scratch_created\": " + std::to_string(scratch_created);
-  out += ", \"scratch_reused\": " + std::to_string(scratch_reused);
-  out += ", \"snapshot_built\": " + std::to_string(snapshot_built);
-  out += ", \"snapshot_loaded\": " + std::to_string(snapshot_loaded);
-  out += ", \"snapshot_reused\": " + std::to_string(snapshot_reused);
+  append_summary_fields(out, *this);
   out += "}\n}\n";
   return out;
 }

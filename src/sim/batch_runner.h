@@ -1,12 +1,17 @@
-// Batch multi-instance runner: executes N independent coloring jobs
-// concurrently over the chunked thread pool (util/parallel.h), one job
-// per chunk.
+// Batch multi-instance runner: executes N independent coloring jobs over
+// the unified two-level scheduler (sim/scheduler.h), one level-1 task
+// per job.
 //
-// The parallel axis is the JOB, not the round: every job runs with its
-// simulator thread count pinned to 1 inside its own RunScope (tracer,
-// checker, and thread override are all thread-local), so a batch produces
-// bit-identical per-job results for every batch thread count and every
-// job-completion order — results are merged by job index.
+// Small jobs run job-parallel with their simulator pinned to 1 thread
+// inside their own RunScope (tracer, checker, and thread override are
+// all thread-local). Jobs at or above the big-job threshold get a
+// multi-threaded RunContext instead — their rounds decompose into fleet
+// chunks that idle workers steal (scheduler level 2) — and are admitted
+// first at high priority, so one 1M-node job no longer serializes the
+// fleet. Either way a batch produces bit-identical per-job results for
+// every worker count, steal order, and threshold (the simulator is
+// thread-count-invariant; results merge by job index), and the optional
+// on_result stream emits them in job-index commit order.
 //
 // Steady-state jobs are allocation-lean: each worker leases a BatchScratch
 // from a mutex-guarded pool and rebuilds the next job's instance inside
@@ -26,12 +31,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/solver.h"
 
 namespace dcolor {
+
+namespace sched {
+class Scheduler;
+}
 
 /// One batch job: which solver to run on which generated instance. The
 /// instance itself is built inside the worker (premise-by-construction,
@@ -53,6 +63,8 @@ struct BatchJob {
   std::string label;        ///< display label; defaulted when empty
 };
 
+struct BatchJobResult;
+
 struct BatchOptions {
   int threads = 0;        ///< batch workers; 0 = default_setup_threads()
   bool check = false;     ///< run each job under a collect-mode checker
@@ -61,6 +73,27 @@ struct BatchOptions {
   /// Empty = in-memory cache only: repeated job specs still build each
   /// distinct instance once per batch, but nothing persists across runs.
   std::string snapshot_dir;
+  /// Node-count threshold for the scheduler's level 2: a job with
+  /// n >= threshold runs its simulator rounds with a multi-threaded
+  /// RunContext (chunks stolen by idle workers) and is admitted at high
+  /// priority, so one huge job no longer serializes the fleet. Jobs
+  /// below it stay pinned to one sim thread (the pure job-parallel
+  /// axis). 0 = every job big; a huge value = none (the old behavior).
+  /// -1 = the DCOLOR_BIG_JOB_THRESHOLD environment variable if set,
+  /// else auto: max(65536, 2 * mean job size) — worker-count-independent
+  /// by construction, so reports stay byte-identical across fleets.
+  /// Results are bit-identical at EVERY threshold (the simulator is
+  /// thread-count-invariant); only wall clock moves.
+  std::int64_t big_job_threshold = -1;
+  /// Streamed per-job emission: invoked with (job index, result) in JOB
+  /// INDEX ORDER as a deterministic commit cursor advances — job i is
+  /// emitted only once jobs 0..i-1 have been, so the emitted sequence is
+  /// identical at every worker count and steal order. Called under the
+  /// runner's commit lock; keep it quick and do not re-enter run_batch.
+  std::function<void(std::size_t, const BatchJobResult&)> on_result;
+  /// Run on this (shared) scheduler instead of a private fleet — how the
+  /// serve daemon executes `op:batch` inside its fixed worker budget.
+  sched::Scheduler* scheduler = nullptr;
 };
 
 /// Outcome of one job. Everything here except the `t` block is a pure
@@ -120,9 +153,40 @@ struct BatchReport {
   std::int64_t snapshot_built = 0;
   std::int64_t snapshot_loaded = 0;
   std::int64_t snapshot_reused = 0;
+  /// Scheduler telemetry for THIS batch (counter deltas on a shared
+  /// scheduler). Schedule-dependent — steal counts and peaks vary run to
+  /// run, and big_jobs varies with the threshold knob — so all of it is
+  /// quarantined in the summary's trailing "t" object, like the per-job
+  /// wall clock.
+  struct Sched {
+    int workers = 0;
+    std::int64_t big_jobs = 0;   ///< jobs admitted at level 2
+    std::int64_t steals = 0;     ///< chunks run by a non-initiating thread
+    std::int64_t chunks = 0;     ///< fork-join chunks executed
+    std::int64_t peak_queue_depth = 0;
+    std::int64_t peak_occupancy = 0;
+  };
+  Sched sched;
 
   std::string to_json() const;
 };
+
+/// One streamed JSONL line for a completed job, exactly the fields of
+/// the report's job entry plus a leading event/index pair ("t" stays the
+/// last key):  {"event": "job", "index": 3, "label": ..., "t": {...}}
+/// Emitted by `--cmd=batch --stream` and the serve daemon's `op:batch`;
+/// shared here so both streams are byte-compatible.
+std::string batch_stream_line(std::size_t index, const BatchJobResult& r);
+
+/// The stream's terminal line: {"event": "summary", ...} with the same
+/// fields as the report summary ("t" last).
+std::string batch_stream_summary(const BatchReport& report);
+
+/// The effective level-2 threshold for a job list: `requested` >= 0 wins,
+/// else DCOLOR_BIG_JOB_THRESHOLD (if set and >= 0), else
+/// max(65536, 2 * mean job size). Exposed for the CLI help and tests.
+std::int64_t resolve_big_job_threshold(std::int64_t requested,
+                                       const std::vector<BatchJob>& jobs);
 
 /// Parses `--jobs`: if the argument names a readable file, one job spec
 /// per line ('#' comments, blank lines skipped); otherwise the argument

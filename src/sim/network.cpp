@@ -10,7 +10,7 @@
 
 #include "check/invariant_checker.h"
 #include "obs/stats.h"
-#include "sim/thread_pool.h"
+#include "sim/scheduler.h"
 #include "sim/trace.h"
 #include "util/check.h"
 #include "util/parse.h"
@@ -600,12 +600,18 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
       };
       if (threads > 1 && n_active >= kMinParallelActive) {
         chunked = true;
-        if (!pool_ || pool_->threads() != threads) {
-          pool_ = std::make_unique<detail::SimThreadPool>(threads);
+        // Ambient fleet first (a big batch job's rounds are stolen by
+        // idle batch workers); else the lazily-built private fleet.
+        sched::Scheduler* fleet = sched::Scheduler::current();
+        if (fleet == nullptr) {
+          if (!pool_ || pool_->workers() != threads - 1) {
+            pool_ = std::make_unique<sched::Scheduler>(threads - 1);
+          }
+          fleet = pool_.get();
         }
         const int n_chunks = threads;
         chunks.resize(static_cast<std::size_t>(n_chunks));
-        pool_->run(n_chunks, [&](int c) {
+        fleet->parallel_for(n_chunks, [&](int c) {
           ChunkState& cs = chunks[static_cast<std::size_t>(c)];
           cs.wakes.clear();
           cs.promote.clear();
@@ -647,12 +653,16 @@ RoundMetrics Network::run(SyncAlgorithm& algo, std::int64_t max_rounds,
       kernel_pending = kernel->pending_messages();
     } else if (threads > 1 && n_active >= kMinParallelActive) {
       chunked = true;
-      if (!pool_ || pool_->threads() != threads) {
-        pool_ = std::make_unique<detail::SimThreadPool>(threads);
+      sched::Scheduler* fleet = sched::Scheduler::current();
+      if (fleet == nullptr) {
+        if (!pool_ || pool_->workers() != threads - 1) {
+          pool_ = std::make_unique<sched::Scheduler>(threads - 1);
+        }
+        fleet = pool_.get();
       }
       const int n_chunks = threads;
       chunks.resize(static_cast<std::size_t>(n_chunks));
-      pool_->run(n_chunks, [&](int c) {
+      fleet->parallel_for(n_chunks, [&](int c) {
         ChunkState& cs = chunks[static_cast<std::size_t>(c)];
         cs.out.clear();
         cs.wakes.clear();

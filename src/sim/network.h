@@ -230,8 +230,8 @@ class DenseKernel {
   virtual void commit_senders(std::span<const NodeId> senders) = 0;
 };
 
-namespace detail {
-class SimThreadPool;
+namespace sched {
+class Scheduler;
 }
 
 /// Drives a SyncAlgorithm over a Graph and accounts rounds and bits.
@@ -290,7 +290,12 @@ class Network {
   const Graph* graph_;
   int num_threads_ = 0;  ///< 0 = use process default
   EngineKind engine_ = EngineKind::kAuto;  ///< kAuto = inherit
-  std::unique_ptr<detail::SimThreadPool> pool_;
+  /// Private chunk-execution fleet, created lazily for round parallelism
+  /// when no ambient scheduler is installed on this thread (i.e. solves
+  /// driven straight from main). On a fleet worker — a big batch job —
+  /// rounds run as regions of sched::Scheduler::current() instead, so
+  /// idle batch workers steal round chunks.
+  std::unique_ptr<sched::Scheduler> pool_;
 };
 
 /// Convenience: broadcast the same message to all neighbors.

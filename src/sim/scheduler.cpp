@@ -1,0 +1,213 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace dcolor::sched {
+
+namespace {
+
+/// Ambient scheduler of the executing thread (set for fleet workers,
+/// null elsewhere). Plain thread_local pointer: reads are free on the
+/// solver hot path.
+thread_local Scheduler* tls_current = nullptr;
+
+}  // namespace
+
+Scheduler* Scheduler::current() noexcept { return tls_current; }
+
+// ---- TaskRing --------------------------------------------------------------
+
+void Scheduler::TaskRing::push(const Task& t) {
+  if (count == slots.size()) {
+    // Grow to the next power of two and unroll the wrap so the live
+    // window is contiguous again. Amortized: a warm ring never enters.
+    std::vector<Task> bigger(std::max<std::size_t>(16, slots.size() * 2));
+    for (std::size_t i = 0; i < count; ++i) {
+      bigger[i] = slots[(head + i) & (slots.size() - 1)];
+    }
+    slots.swap(bigger);
+    head = 0;
+  }
+  slots[(head + count) & (slots.size() - 1)] = t;
+  ++count;
+}
+
+Scheduler::Task Scheduler::TaskRing::pop() {
+  const Task t = slots[head];
+  head = (head + 1) & (slots.size() - 1);
+  --count;
+  return t;
+}
+
+// ---- Scheduler -------------------------------------------------------------
+
+Scheduler::Scheduler(int workers) : workers_(std::max(0, workers)) {
+  threads_.reserve(static_cast<std::size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Scheduler::submit(TaskFn fn, void* ctx, std::int64_t arg,
+                       TaskOptions opts) {
+  if (workers_ == 0) {
+    // Worker-less degenerate form: run inline so submit/drain semantics
+    // still hold without a fleet (used by tests and threads=1 fallbacks
+    // that want the code path, not the concurrency).
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.tasks;
+      if (opts.big) ++counters_.big_tasks;
+    }
+    fn(ctx, arg);
+    return;
+  }
+  const int pri = std::clamp(static_cast<int>(opts.priority), 0,
+                             kPriorityLevels - 1);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queues_[pri].push(Task{fn, ctx, arg});
+    ++queued_;
+    counters_.peak_queue_depth = std::max(
+        counters_.peak_queue_depth, static_cast<std::int64_t>(queued_));
+    if (opts.big) ++counters_.big_tasks;
+  }
+  cv_.notify_one();
+}
+
+void Scheduler::submit(std::function<void()> task, TaskOptions opts) {
+  // Owning shim over the POD path: box the function, unbox in the
+  // trampoline. Low-rate convenience — the batch hot loop uses the POD
+  // overload directly.
+  auto* boxed = new std::function<void()>(std::move(task));
+  submit(
+      [](void* ctx, std::int64_t) {
+        std::unique_ptr<std::function<void()>> fn(
+            static_cast<std::function<void()>*>(ctx));
+        (*fn)();
+      },
+      boxed, 0, opts);
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return queued_ == 0 && busy_tasks_ == 0; });
+}
+
+bool Scheduler::task_available_locked() const noexcept { return queued_ > 0; }
+
+Scheduler::Task Scheduler::pop_task_locked() {
+  for (int pri = kPriorityLevels - 1; pri >= 0; --pri) {
+    if (!queues_[pri].empty()) {
+      --queued_;
+      return queues_[pri].pop();
+    }
+  }
+  // Unreachable: callers check task_available_locked() first.
+  return Task{nullptr, nullptr, 0};
+}
+
+Scheduler::Region* Scheduler::claimable_region_locked() const noexcept {
+  for (Region* r = regions_; r != nullptr; r = r->next_region) {
+    if (r->next < r->chunks) return r;
+  }
+  return nullptr;
+}
+
+void Scheduler::work_region(std::unique_lock<std::mutex>& lock, Region& r,
+                            bool initiator) {
+  while (r.next < r.chunks) {
+    const int chunk = r.next++;
+    ++active_;
+    counters_.peak_occupancy = std::max(
+        counters_.peak_occupancy, static_cast<std::int64_t>(active_));
+    lock.unlock();
+    r.fn(chunk);
+    lock.lock();
+    --active_;
+    ++counters_.chunks;
+    if (!initiator) ++counters_.steals;
+    if (++r.completed == r.chunks) cv_.notify_all();
+  }
+}
+
+void Scheduler::worker_loop() {
+  tls_current = this;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Steal-first policy: finish in-flight fork-joins before admitting
+    // new tasks — a blocked region initiator frees a slot sooner than a
+    // fresh job does, so helping first minimizes fleet makespan.
+    if (Region* r = claimable_region_locked()) {
+      work_region(lock, *r, /*initiator=*/false);
+      continue;
+    }
+    if (task_available_locked()) {
+      const Task t = pop_task_locked();
+      ++busy_tasks_;
+      ++active_;
+      counters_.peak_occupancy = std::max(
+          counters_.peak_occupancy, static_cast<std::int64_t>(active_));
+      lock.unlock();
+      t.fn(t.ctx, t.arg);
+      lock.lock();
+      --active_;
+      --busy_tasks_;
+      ++counters_.tasks;
+      if (queued_ == 0 && busy_tasks_ == 0) cv_.notify_all();  // drain()
+      continue;
+    }
+    if (stop_) return;  // drain-on-destruction: only exit once idle
+    cv_.wait(lock);
+  }
+}
+
+void Scheduler::parallel_for(int chunks, ChunkFn fn) {
+  if (chunks <= 0) return;
+  if (chunks == 1 || workers_ == 0) {
+    for (int c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  Region region(fn, chunks);
+  std::unique_lock<std::mutex> lock(mutex_);
+  region.prev = regions_tail_;
+  if (regions_tail_ != nullptr) {
+    regions_tail_->next_region = &region;
+  } else {
+    regions_ = &region;
+  }
+  regions_tail_ = &region;
+  cv_.notify_all();  // wake idle workers to steal
+  work_region(lock, region, /*initiator=*/true);
+  cv_.wait(lock, [&] { return region.completed == region.chunks; });
+  // Unlink; claims happen under this same mutex, so no worker can hold a
+  // stale pointer once completed == chunks.
+  if (region.prev != nullptr) {
+    region.prev->next_region = region.next_region;
+  } else {
+    regions_ = region.next_region;
+  }
+  if (region.next_region != nullptr) {
+    region.next_region->prev = region.prev;
+  } else {
+    regions_tail_ = region.prev;
+  }
+}
+
+SchedCounters Scheduler::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace dcolor::sched

@@ -1,0 +1,199 @@
+// The unified execution substrate: one work-stealing scheduler behind
+// the batch runner (job axis), the serve daemon (request queue), and the
+// simulator's round chunks / setup chunks (fork-join axis).
+//
+// Two levels:
+//   Level 1 — `submit` enqueues independent tasks onto a fixed worker
+//   fleet, ordered by (priority desc, submit order asc). The batch
+//   runner submits one task per job (big jobs first, at kHigh); the
+//   serve daemon submits one task per heavy request.
+//   Level 2 — `parallel_for` runs a fork-join over `chunks` indices:
+//   the CALLER claims chunks, and every IDLE worker steals chunks from
+//   the region until it drains. A big batch job (its own multi-threaded
+//   RunContext) reaches this path through Scheduler::current(): the
+//   simulator's round loop decomposes into ctx.num_threads chunks and
+//   any worker not busy with a small job helps execute them.
+//
+// Determinism: the scheduler never decides WHAT work produces — only
+// WHEN and WHERE it runs. Chunk decompositions are fixed by the caller
+// (never by worker count or steal order) and all per-chunk output is
+// keyed by chunk index and merged in chunk order, so results are
+// bit-identical at every worker count, steal pattern, and threshold —
+// the same contract the old SimThreadPool documented, now global.
+//
+// Allocation contract: the steady-state hot path (POD submit, worker
+// dispatch, chunk claim/steal) performs no heap allocation once the
+// per-priority task rings reached their high-water capacity;
+// tests/test_perf_smoke.cpp pins that down. The std::function submit
+// overload is a convenience for low-rate callers (the serve daemon) and
+// may allocate at the call site.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcolor::sched {
+
+/// Non-owning callable reference for fork-join bodies: parallel_for must
+/// not allocate per region, and the region never outlives the caller's
+/// stack frame, so a borrowed {object, trampoline} pair is exactly right.
+class ChunkFn {
+ public:
+  template <typename F>
+  ChunkFn(const F& f)  // NOLINT: implicit by design (lambda call sites)
+      : obj_(&f), call_([](const void* o, int c) {
+          (*static_cast<const F*>(o))(c);
+        }) {}
+
+  void operator()(int chunk) const { call_(obj_, chunk); }
+
+ private:
+  const void* obj_;
+  void (*call_)(const void*, int);
+};
+
+/// Level-1 admission classes. Within one priority, tasks run FIFO by
+/// submit order; across priorities, higher always dispatches first. The
+/// batch runner submits big jobs at kHigh (longest-processing-time-first
+/// keeps the fleet's makespan near optimal) and small jobs at kNormal.
+enum class Priority : int { kLow = 0, kNormal = 1, kHigh = 2 };
+inline constexpr int kPriorityLevels = 3;
+
+/// Scheduling telemetry. Everything here describes the execution
+/// schedule, not the computation — steal counts, peak depths, and
+/// occupancy all vary run to run, so consumers must publish them under
+/// the StatsRegistry kTiming quarantine (the batch runner does); only
+/// task counts fixed by the workload itself may be kStable.
+struct SchedCounters {
+  std::int64_t tasks = 0;        ///< level-1 tasks executed
+  std::int64_t big_tasks = 0;    ///< tasks submitted with big = true
+  std::int64_t chunks = 0;       ///< fork-join chunks executed (pooled path)
+  std::int64_t steals = 0;       ///< chunks executed by a non-initiating thread
+  std::int64_t peak_queue_depth = 0;  ///< max level-1 tasks queued at once
+  std::int64_t peak_occupancy = 0;    ///< max threads executing at once
+};
+
+/// Level-1 admission options (namespace scope so it is a complete type
+/// by the time Scheduler::submit's default argument needs it).
+struct TaskOptions {
+  Priority priority = Priority::kNormal;
+  bool big = false;  ///< accounting only: counted in SchedCounters::big_tasks
+};
+
+class Scheduler {
+ public:
+  using TaskOptions = sched::TaskOptions;
+
+  /// Raw task shape for the allocation-free submit path.
+  using TaskFn = void (*)(void* ctx, std::int64_t arg);
+
+  /// Spawns `workers` threads (>= 0). With zero workers the scheduler is
+  /// still correct: submit runs tasks inline and parallel_for degrades to
+  /// a serial loop on the caller.
+  explicit Scheduler(int workers);
+
+  /// Drains queued tasks (the TaskQueue contract: queued work still
+  /// runs), then joins the workers. Destroying a scheduler while another
+  /// thread is blocked in parallel_for or drain is a caller bug.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int workers() const noexcept { return workers_; }
+
+  /// Level 1, hot path: enqueues fn(ctx, arg). No allocation once the
+  /// priority ring is warm. Tasks must not throw (wrap and capture).
+  void submit(TaskFn fn, void* ctx, std::int64_t arg,
+              TaskOptions opts = TaskOptions());
+
+  /// Level 1, convenience: owning submit for low-rate callers.
+  void submit(std::function<void()> task, TaskOptions opts = TaskOptions());
+
+  /// Blocks until every task submitted so far has finished. (Fork-join
+  /// regions need no drain — parallel_for already blocks its initiator.)
+  void drain();
+
+  /// Level 2: runs fn(0) .. fn(chunks - 1); returns when all are done.
+  /// The calling thread participates and idle workers steal chunks, so
+  /// this is safe (and useful) both from outside the fleet and from
+  /// inside a level-1 task — a nested region just shows up as one more
+  /// steal source. chunks <= 1 or a worker-less scheduler runs inline.
+  /// Bodies must not throw (same contract as tasks).
+  void parallel_for(int chunks, ChunkFn fn);
+
+  /// Snapshot of the telemetry counters (mutex-consistent).
+  SchedCounters counters() const;
+
+  /// The scheduler whose worker is executing the current thread's task
+  /// or chunk; nullptr on non-fleet threads. This is the level-1 →
+  /// level-2 bridge: the simulator and parallel_chunks route their
+  /// fork-joins through the ambient scheduler when present, so a big
+  /// job's rounds are stolen by whatever workers are idle instead of
+  /// spinning up a private pool per job.
+  static Scheduler* current() noexcept;
+
+ private:
+  struct Task {
+    TaskFn fn;
+    void* ctx;
+    std::int64_t arg;
+  };
+
+  /// Growable FIFO ring (head index + size over a power-of-two vector):
+  /// unlike std::deque it never releases blocks, so a warm ring admits
+  /// and pops tasks with zero allocation.
+  struct TaskRing {
+    std::vector<Task> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    bool empty() const noexcept { return count == 0; }
+    void push(const Task& t);
+    Task pop();
+  };
+
+  /// One fork-join in flight, linked into the scheduler's active list
+  /// for the duration of its parallel_for call (stack lifetime). Claims
+  /// and completion are guarded by the scheduler mutex — claiming under
+  /// the lock is what makes "initiator deregisters after completed ==
+  /// chunks" safe against a worker holding a stale region pointer.
+  struct Region {
+    ChunkFn fn;
+    int chunks;
+    int next = 0;       ///< first unclaimed chunk
+    int completed = 0;  ///< chunks finished
+    Region* prev = nullptr;
+    Region* next_region = nullptr;
+
+    Region(ChunkFn f, int c) : fn(f), chunks(c) {}
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of `r` until none are left. Called (and
+  /// returns) with `lock` held; unlocks around each body execution.
+  void work_region(std::unique_lock<std::mutex>& lock, Region& r,
+                   bool initiator);
+  Region* claimable_region_locked() const noexcept;
+  bool task_available_locked() const noexcept;
+  Task pop_task_locked();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  TaskRing queues_[kPriorityLevels];
+  std::size_t queued_ = 0;   ///< total tasks across all priority rings
+  Region* regions_ = nullptr;  ///< active fork-join regions (oldest first)
+  Region* regions_tail_ = nullptr;
+  int busy_tasks_ = 0;  ///< level-1 tasks currently executing
+  int active_ = 0;      ///< threads currently executing a task or chunk
+  int workers_ = 0;
+  bool stop_ = false;
+  SchedCounters counters_;
+};
+
+}  // namespace dcolor::sched

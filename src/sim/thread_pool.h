@@ -1,94 +1,58 @@
-// A tiny persistent worker pool for the simulator's parallel rounds,
-// plus a FIFO task queue for asynchronous work (the serve daemon).
+// Back-compat facades over the unified scheduler (sim/scheduler.h).
 //
-// The pool runs `job(chunk)` for chunk = 0..jobs-1 and blocks the caller
-// until every chunk finished. Chunks are claimed from an atomic counter,
-// so any worker may execute any chunk — determinism comes from the caller
-// keying all per-chunk output buffers by chunk index and merging them in
-// chunk order, never from the execution schedule.
+// SimThreadPool (fork-join round chunks) and TaskQueue (the serve
+// daemon's FIFO) used to be two separate worker-pool implementations;
+// both are now thin header-only adapters over sched::Scheduler — the
+// fork-join shape maps to parallel_for, the FIFO shape to submit/drain.
+// The simulator, the batch runner, and the daemon all hold a Scheduler
+// directly; these facades exist for external callers written against
+// the old names and to document the shape equivalence in code.
 #pragma once
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "sim/scheduler.h"
 
 namespace dcolor::detail {
 
+/// Fork-join facade: `run(jobs, f)` executes f(0) .. f(jobs - 1) across
+/// the fleet and blocks the caller, which participates — `threads`
+/// total claimants, exactly the old SimThreadPool contract (chunks
+/// claimed in order, any thread may execute any chunk, determinism from
+/// merge-by-chunk-index).
 class SimThreadPool {
  public:
-  /// Spawns `threads - 1` workers (the calling thread participates in
-  /// every `run`, so `threads` chunks execute concurrently).
-  explicit SimThreadPool(int threads);
-  ~SimThreadPool();
+  explicit SimThreadPool(int threads)
+      : scheduler_(threads > 1 ? threads - 1 : 0) {}
 
-  SimThreadPool(const SimThreadPool&) = delete;
-  SimThreadPool& operator=(const SimThreadPool&) = delete;
+  int threads() const noexcept { return scheduler_.workers() + 1; }
 
-  int threads() const noexcept { return workers_ + 1; }
-
-  /// Executes job(0) .. job(jobs - 1) across the pool; returns when all
-  /// are done. Exceptions thrown by `job` must be captured by the caller
-  /// inside `job` itself (the pool treats jobs as noexcept).
-  void run(int jobs, const std::function<void(int)>& job);
+  void run(int jobs, const std::function<void(int)>& job) {
+    scheduler_.parallel_for(jobs, job);
+  }
 
  private:
-  void worker_loop();
-  void work_off(const std::function<void(int)>& job, int jobs,
-                std::uint64_t my_gen);
-
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> threads_;
-  const std::function<void(int)>* job_ = nullptr;
-  int jobs_ = 0;
-  int next_chunk_ = 0;
-  int in_flight_ = 0;        ///< chunks claimed but not finished
-  std::uint64_t generation_ = 0;
-  int workers_ = 0;
-  bool stop_ = false;
+  sched::Scheduler scheduler_;
 };
 
-/// FIFO queue of independent tasks over a fixed set of worker threads.
-///
-/// SimThreadPool is fork-join: `run` blocks the caller until the batch
-/// drains, which is exactly wrong for a daemon that must keep accepting
-/// requests while earlier ones execute. TaskQueue is the complementary
-/// shape — `submit` enqueues and returns immediately; completion is the
-/// caller's business (wrap the task in a std::packaged_task and keep the
-/// future). Tasks must not throw (wrap and capture, same contract as
-/// SimThreadPool jobs). Destruction drains: queued tasks still run, then
-/// the workers exit.
+/// FIFO facade: `submit` enqueues and returns, `drain` blocks until the
+/// queue empties, destruction drains — the old TaskQueue contract, now
+/// expressed as level-1 scheduler tasks at default priority.
 class TaskQueue {
  public:
-  explicit TaskQueue(int threads);
-  ~TaskQueue();
+  explicit TaskQueue(int threads) : scheduler_(threads < 1 ? 1 : threads) {}
 
-  TaskQueue(const TaskQueue&) = delete;
-  TaskQueue& operator=(const TaskQueue&) = delete;
+  int threads() const noexcept { return scheduler_.workers(); }
 
-  int threads() const noexcept { return static_cast<int>(threads_.size()); }
+  void submit(std::function<void()> task) {
+    scheduler_.submit(std::move(task));
+  }
 
-  /// Enqueues a task; some worker runs it in FIFO order.
-  void submit(std::function<void()> task);
-
-  /// Blocks until every task submitted so far has finished.
-  void drain();
+  void drain() { scheduler_.drain(); }
 
  private:
-  void worker_loop();
-
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  int running_ = 0;  ///< tasks currently executing
-  bool stop_ = false;
+  sched::Scheduler scheduler_;
 };
 
 }  // namespace dcolor::detail

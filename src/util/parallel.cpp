@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "sim/network.h"
-#include "sim/thread_pool.h"
+#include "sim/scheduler.h"
 
 namespace dcolor {
 
@@ -19,8 +19,16 @@ void parallel_chunks(int num_chunks, int threads,
     for (int c = 0; c < num_chunks; ++c) job(c);
     return;
   }
-  detail::SimThreadPool pool(threads);
-  pool.run(num_chunks, job);
+  // On a fleet worker (a batch job, a serve request), run the chunks as
+  // a region of the ambient scheduler: idle workers steal them and no
+  // per-call pool is spun up. The chunk DECOMPOSITION is the caller's
+  // (never a function of worker count), so results are unchanged.
+  if (sched::Scheduler* ambient = sched::Scheduler::current()) {
+    ambient->parallel_for(num_chunks, job);
+    return;
+  }
+  sched::Scheduler pool(threads - 1);  // caller participates
+  pool.parallel_for(num_chunks, job);
 }
 
 }  // namespace dcolor

@@ -103,6 +103,26 @@ fi
 if "$CLI" --cmd=batch --jobs="solver=nonexistent,n=32" 2>/dev/null; then
   echo "cli_smoke: FAIL — unknown batch solver exited 0" >&2; exit 1
 fi
+# Streamed batch: --stream routes the human report to stderr and emits
+# one JSONL event line per completed job on stdout (commit order = job
+# index order) plus a trailing summary event. The deterministic fields
+# are identical at any worker count and any level-2 threshold.
+"$CLI" --cmd=batch --jobs="$SPEC" --threads=1 --stream \
+       > "$DIR/stream1.jsonl" 2>/dev/null
+"$CLI" --cmd=batch --jobs="$SPEC" --threads=4 --big-job-threshold=0 \
+       --stream > "$DIR/stream4.jsonl" 2>/dev/null
+test "$(grep -c '"event": "job"' "$DIR/stream1.jsonl")" = 4 || {
+  echo "cli_smoke: FAIL — expected 4 streamed job events" >&2; exit 1; }
+grep -q '"event": "summary"' "$DIR/stream1.jsonl"
+sed 's/, "t": {[^}]*}//' "$DIR/stream1.jsonl" > "$DIR/stream1.stripped"
+sed 's/, "t": {[^}]*}//' "$DIR/stream4.jsonl" > "$DIR/stream4.stripped"
+cmp "$DIR/stream1.stripped" "$DIR/stream4.stripped" || {
+  echo "cli_smoke: FAIL — streamed batch differs across fleet shapes" >&2
+  exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys
+[json.loads(l) for l in open(sys.argv[1])]" "$DIR/stream1.jsonl"
+fi
 
 # Metrics: --stats writes a JSON registry dump whose deterministic part
 # leads and whose "t" quarantine trails; prom format works too.
@@ -245,6 +265,16 @@ if "$CLI" --cmd=client --port="$PORT" \
   echo "cli_smoke: FAIL — unknown serve session accepted" >&2
   kill "$SERVE_PID" 2>/dev/null; exit 1
 fi
+# Streamed op:batch over the wire: the client prints each pushed event
+# line before the final response, so the JSONL round-trips end to end.
+"$CLI" --cmd=client --port="$PORT" \
+       --request='{"op":"batch","stream":true,"jobs":"solver=greedy,generator=cycle,n=32,repeat=2"}' \
+       > "$DIR/servebatch.txt"
+test "$(grep -c '"event": "job"' "$DIR/servebatch.txt")" = 2 || {
+  echo "cli_smoke: FAIL — serve batch streamed wrong job count" >&2
+  kill "$SERVE_PID" 2>/dev/null; exit 1; }
+grep -q '"event": "summary"' "$DIR/servebatch.txt"
+grep -q '"jobs_valid"' "$DIR/servebatch.txt"
 "$CLI" --cmd=client --port="$PORT" --request='{"op":"shutdown"}' \
     | grep -q '"ok":true'
 wait "$SERVE_PID" || {

@@ -22,6 +22,7 @@
 #include "core/palette_store.h"
 #include "graph/generators.h"
 #include "sim/batch_runner.h"
+#include "sim/scheduler.h"
 #include "storage/snapshot.h"
 #include "util/rng.h"
 
@@ -170,6 +171,45 @@ TEST(PerfSmoke, SnapshotReadsAllocateNothingAfterLoad) {
   EXPECT_GT(warm_sum, 0);
   EXPECT_GT(sum, warm_sum);
   std::remove(path.c_str());
+}
+
+TEST(PerfSmoke, SchedulerHotLoopAllocatesNothing) {
+  // The scheduler's allocation contract (sim/scheduler.h): once the
+  // per-priority task rings hit their high-water capacity, POD submit,
+  // worker dispatch, drain, and fork-join chunk claiming never touch the
+  // heap. (The std::function overload is exempt by design.)
+  sched::Scheduler scheduler(2);
+  std::atomic<std::int64_t> executed{0};
+  const auto bump = [](void* ctx, std::int64_t) {
+    static_cast<std::atomic<std::int64_t>*>(ctx)->fetch_add(
+        1, std::memory_order_relaxed);
+  };
+  constexpr int kBurst = 512;
+  // Warmup: grow the ring past the burst size and run one region so
+  // every lazy structure (ring slots, thread-local current pointers)
+  // reaches steady state.
+  for (int i = 0; i < kBurst; ++i) scheduler.submit(bump, &executed, i);
+  scheduler.drain();
+  scheduler.parallel_for(16, [&](int) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  executed.store(0, std::memory_order_relaxed);
+
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < kBurst; ++i) scheduler.submit(bump, &executed, i);
+    scheduler.drain();
+    scheduler.parallel_for(16, [&](int) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "warm scheduler hot loop touched the heap";
+  EXPECT_EQ(executed.load(), 8 * (kBurst + 16));
+  const sched::SchedCounters counters = scheduler.counters();
+  EXPECT_GE(counters.tasks, 9 * kBurst);
+  EXPECT_GE(counters.chunks, 9 * 16);
 }
 
 TEST(PerfSmoke, SetupThroughputAtMidScale) {

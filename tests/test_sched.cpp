@@ -1,0 +1,369 @@
+// Tests for the unified two-level scheduler (sim/scheduler.h), the
+// `sched` ctest label: fork-join coverage and nesting, priority FIFO
+// dispatch, the steal-storm concurrency surface (the TSan target), the
+// back-compat facades, the big-job threshold knob (flag/env/auto), and
+// the tentpole acceptance grid — batch reports bit-identical across
+// worker counts {1,2,4,8} × thresholds {0, mid, ∞} × engines
+// {scalar, vector}, including the stripped JSON report, the streamed
+// JSONL commit order, and the kStable stats export.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/stats.h"
+#include "sim/batch_runner.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+#include "sim/thread_pool.h"
+#include "util/parallel.h"
+
+namespace dcolor {
+namespace {
+
+using sched::Priority;
+using sched::Scheduler;
+
+// ---- scheduler core -----------------------------------------------------
+
+TEST(SchedCore, ParallelForCoversEveryChunkExactlyOnce) {
+  Scheduler pool(4);
+  constexpr int kChunks = 500;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.parallel_for(kChunks, [&](int c) {
+    hits[static_cast<std::size_t>(c)].fetch_add(1);
+  });
+  for (int c = 0; c < kChunks; ++c) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(c)].load(), 1) << "chunk " << c;
+  }
+  const sched::SchedCounters counters = pool.counters();
+  EXPECT_EQ(counters.chunks, kChunks);
+}
+
+TEST(SchedCore, WorkerlessSchedulerRunsInline) {
+  Scheduler pool(0);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);  // inline: done before submit returned
+  int sum = 0;
+  pool.parallel_for(8, [&](int c) { sum += c; });  // serial, same thread
+  EXPECT_EQ(sum, 28);
+  pool.drain();  // trivially
+  EXPECT_EQ(pool.counters().tasks, 1);
+}
+
+TEST(SchedCore, DrainWaitsForEverySubmittedTask) {
+  Scheduler pool(4);
+  constexpr std::int64_t kTasks = 2000;
+  std::atomic<std::int64_t> done{0};
+  struct Ctx {
+    std::atomic<std::int64_t>* done;
+  } ctx{&done};
+  for (std::int64_t i = 0; i < kTasks; ++i) {
+    pool.submit(
+        [](void* c, std::int64_t) {
+          static_cast<Ctx*>(c)->done->fetch_add(1);
+        },
+        &ctx, i);
+  }
+  pool.drain();
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_EQ(pool.counters().tasks, kTasks);
+}
+
+TEST(SchedCore, HigherPriorityDispatchesFirstFifoWithin) {
+  Scheduler pool(1);  // one worker -> dispatch order is observable
+  std::atomic<bool> gate{false};
+  pool.submit([&] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  // Queued while the worker is pinned: admission order low, normal, high,
+  // but dispatch must be high, high, normal, normal, low, low — FIFO
+  // inside each class.
+  std::mutex order_mutex;
+  std::vector<int> order;
+  const auto record = [&](int tag) {
+    const std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(tag);
+  };
+  Scheduler::TaskOptions low;
+  low.priority = Priority::kLow;
+  Scheduler::TaskOptions high;
+  high.priority = Priority::kHigh;
+  pool.submit([&, record] { record(50); }, low);
+  pool.submit([&, record] { record(51); }, low);
+  pool.submit([&, record] { record(20); });
+  pool.submit([&, record] { record(21); });
+  pool.submit([&, record] { record(10); }, high);
+  pool.submit([&, record] { record(11); }, high);
+  gate.store(true);
+  pool.drain();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21, 50, 51}));
+}
+
+TEST(SchedCore, NestedParallelForInsideTaskUsesAmbientScheduler) {
+  Scheduler pool(4);
+  std::atomic<std::int64_t> total{0};
+  std::atomic<bool> ambient_seen{false};
+  pool.submit([&] {
+    ambient_seen.store(Scheduler::current() == &pool);
+    // The level-1 -> level-2 bridge: a fork-join issued from inside a
+    // task must recruit the same fleet, not deadlock on it.
+    Scheduler::current()->parallel_for(64, [&](int c) {
+      total.fetch_add(c + 1);
+    });
+  });
+  pool.drain();
+  EXPECT_TRUE(ambient_seen.load());
+  EXPECT_EQ(total.load(), 64 * 65 / 2);
+  EXPECT_EQ(Scheduler::current(), nullptr);  // never set on outside threads
+}
+
+TEST(SchedCore, ParallelChunksRoutesThroughAmbientFleet) {
+  Scheduler pool(4);
+  const std::int64_t chunks_before = pool.counters().chunks;
+  std::atomic<std::int64_t> total{0};
+  pool.submit([&] {
+    // util/parallel.h front door: inside a fleet it must NOT spin up a
+    // private pool — the ambient scheduler runs the chunks.
+    parallel_chunks(32, 4, [&](int c) { total.fetch_add(c); });
+  });
+  pool.drain();
+  EXPECT_EQ(total.load(), 32 * 31 / 2);
+  EXPECT_EQ(pool.counters().chunks - chunks_before, 32);
+}
+
+TEST(SchedCore, StealStormManyConcurrentRegions) {
+  // The TSan surface: every worker initiates fork-joins while the others
+  // steal from them, repeatedly, with nothing else to do — maximum
+  // contention on the region list. Checksums prove no chunk is lost or
+  // doubled under the storm.
+  Scheduler pool(8);
+  constexpr int kTasks = 32;
+  constexpr int kRounds = 20;
+  constexpr int kChunks = 16;
+  std::vector<std::atomic<std::int64_t>> sums(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        Scheduler::current()->parallel_for(kChunks, [&, t](int c) {
+          sums[static_cast<std::size_t>(t)].fetch_add(c + 1);
+        });
+      }
+    });
+  }
+  pool.drain();
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)].load(),
+              static_cast<std::int64_t>(kRounds) * kChunks * (kChunks + 1) / 2)
+        << "task " << t;
+  }
+  const sched::SchedCounters counters = pool.counters();
+  EXPECT_EQ(counters.chunks,
+            static_cast<std::int64_t>(kTasks) * kRounds * kChunks);
+  EXPECT_EQ(counters.tasks, kTasks);
+}
+
+// ---- back-compat facades ------------------------------------------------
+
+TEST(SchedFacades, SimThreadPoolRunsJobsOnTheScheduler) {
+  detail::SimThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(128);
+  pool.run(128, [&](int j) { hits[static_cast<std::size_t>(j)].fetch_add(1); });
+  for (int j = 0; j < 128; ++j) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(j)].load(), 1);
+  }
+}
+
+TEST(SchedFacades, TaskQueueSubmitAndDrain) {
+  detail::TaskQueue queue(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    queue.submit([&] { done.fetch_add(1); });
+  }
+  queue.drain();
+  EXPECT_EQ(done.load(), 64);
+}
+
+// ---- big-job threshold resolution ---------------------------------------
+
+TEST(SchedThreshold, ExplicitEnvAndAutoResolution) {
+  const std::vector<BatchJob> jobs =
+      parse_batch_jobs("solver=greedy,n=100;solver=greedy,n=300,seed=2");
+  ::unsetenv("DCOLOR_BIG_JOB_THRESHOLD");
+  EXPECT_EQ(resolve_big_job_threshold(7, jobs), 7);  // request wins
+  EXPECT_EQ(resolve_big_job_threshold(0, jobs), 0);
+  // Auto: max(65536, 2 * mean(100, 300)) = 65536.
+  EXPECT_EQ(resolve_big_job_threshold(-1, jobs), 65536);
+  ::setenv("DCOLOR_BIG_JOB_THRESHOLD", "123", 1);
+  EXPECT_EQ(resolve_big_job_threshold(-1, jobs), 123);
+  EXPECT_EQ(resolve_big_job_threshold(9, jobs), 9);  // request beats env
+  ::unsetenv("DCOLOR_BIG_JOB_THRESHOLD");
+
+  // A lone giant among small jobs always clears the auto threshold.
+  std::vector<BatchJob> fleet =
+      parse_batch_jobs("solver=two_sweep,n=1000000;"
+                       "solver=greedy,n=1000,repeat=9,seed=2");
+  const std::int64_t automatic = resolve_big_job_threshold(-1, fleet);
+  EXPECT_GE(automatic, 65536);
+  EXPECT_LE(automatic, 1000000);
+}
+
+TEST(SchedThreshold, ThresholdSplitsJobsIntoLevels) {
+  // The round-parallel gate is on the per-round ACTIVE set (>= 128
+  // senders), not on n; two_sweep crosses it around n=1024, so n=2048
+  // guarantees at least one chunked round per big job.
+  const std::vector<BatchJob> jobs = parse_batch_jobs(
+      "solver=two_sweep,n=2048,degree=6,seed=1,repeat=4");
+  BatchOptions options;
+  options.threads = 4;
+  options.big_job_threshold = 0;  // everything big
+  const BatchReport all_big = run_batch(jobs, options);
+  EXPECT_EQ(all_big.sched.big_jobs, 4);
+  EXPECT_GT(all_big.sched.chunks, 0);
+
+  options.big_job_threshold = 1 << 30;  // nothing big
+  const BatchReport all_small = run_batch(jobs, options);
+  EXPECT_EQ(all_small.sched.big_jobs, 0);
+  EXPECT_EQ(all_small.sched.chunks, 0);  // small jobs pin to one thread
+
+  // The split is invisible in results — only wall clock may move.
+  EXPECT_EQ(all_big.jobs, all_small.jobs);
+}
+
+// ---- the acceptance grid ------------------------------------------------
+
+/// Mixed jobs sized to cross the simulator's parallel gate (n >= 128) so
+/// level 2 actually runs chunked rounds somewhere in the grid.
+std::vector<BatchJob> grid_jobs(EngineKind engine) {
+  std::vector<BatchJob> jobs = parse_batch_jobs(
+      "solver=two_sweep,n=192,degree=6,seed=11;"
+      "solver=fast_two_sweep,n=160,degree=5,seed=12;"
+      "solver=deg_plus_one,n=96,degree=4,seed=13;"
+      "solver=greedy,generator=cycle,n=64,seed=14;"
+      "solver=luby,n=80,degree=4,seed=15;"
+      "solver=two_sweep,n=224,degree=6,seed=16;"
+      "solver=congest_oldc,n=72,degree=4,seed=17;"
+      "solver=kuhn_defective,n=64,degree=4,seed=18");
+  for (BatchJob& job : jobs) job.sim_engine = engine;
+  return jobs;
+}
+
+/// Strips every trailing-quarantined `, "t": {...}` object ("t" objects
+/// are flat by construction, so the first '}' closes them).
+std::string strip_timing(std::string json) {
+  std::size_t pos;
+  while ((pos = json.find(", \"t\": {")) != std::string::npos) {
+    const std::size_t end = json.find('}', pos);
+    if (end == std::string::npos) {
+      ADD_FAILURE() << "unterminated \"t\" object";
+      return json;
+    }
+    json.erase(pos, end - pos + 1);
+  }
+  return json;
+}
+
+TEST(SchedGrid, ReportsBitIdenticalAcrossWorkersThresholdsEngines) {
+  // The tentpole acceptance: workers {1,2,4,8} × threshold {0, mid, ∞} ×
+  // engines {scalar, vector} all produce identical per-job results, an
+  // identical stripped JSON report, and an identical kStable stats
+  // export. Only the quarantined "t" blocks may differ.
+  BatchOptions base_options;
+  base_options.threads = 1;
+  base_options.big_job_threshold = 1 << 30;
+  const BatchReport base = run_batch(grid_jobs(EngineKind::kScalar),
+                                     base_options);
+  for (const BatchJobResult& r : base.jobs) {
+    EXPECT_TRUE(r.valid) << r.label << ": " << r.error;
+  }
+  const std::string base_json = strip_timing(base.to_json());
+  EXPECT_EQ(base_json.find("\"steals\""), std::string::npos)
+      << "scheduler telemetry must live inside the stripped t block";
+
+  std::string base_stats;
+  for (const EngineKind engine : {EngineKind::kScalar, EngineKind::kVector}) {
+    const std::vector<BatchJob> jobs = grid_jobs(engine);
+    // Full-struct equality holds per engine: RoundMetrics carries
+    // peak_active_nodes, the one field outside the cross-engine identity
+    // contract (sim/metrics.h), so the struct baseline is per-engine
+    // while the JSON report and kStable stats are compared globally.
+    BatchOptions engine_base_options;
+    engine_base_options.threads = 1;
+    engine_base_options.big_job_threshold = 1 << 30;
+    const BatchReport engine_base = run_batch(jobs, engine_base_options);
+    for (const int workers : {1, 2, 4, 8}) {
+      for (const std::int64_t threshold :
+           {std::int64_t{0}, std::int64_t{128}, std::int64_t{1} << 30}) {
+        BatchOptions options;
+        options.threads = workers;
+        options.big_job_threshold = threshold;
+        StatsRegistry stats;
+        stats.install();
+        const BatchReport report = run_batch(jobs, options);
+        stats.uninstall();
+        const std::string tag = std::string("engine=") +
+                                (engine == EngineKind::kScalar ? "scalar"
+                                                               : "vector") +
+                                " workers=" + std::to_string(workers) +
+                                " threshold=" + std::to_string(threshold);
+        EXPECT_EQ(report.jobs, engine_base.jobs) << tag;
+        EXPECT_EQ(strip_timing(report.to_json()), base_json) << tag;
+        const std::string stable = stats.to_json(StatDomain::kStable);
+        if (base_stats.empty()) {
+          base_stats = stable;
+          EXPECT_NE(stable.find("sched.tasks"), std::string::npos);
+        } else {
+          EXPECT_EQ(stable, base_stats) << tag;
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedGrid, StreamCommitsInJobIndexOrderAtEveryFleetShape) {
+  const std::vector<BatchJob> jobs = grid_jobs(EngineKind::kAuto);
+  std::string base_lines;
+  for (const int workers : {1, 4}) {
+    for (const std::int64_t threshold : {std::int64_t{0}, std::int64_t{1}
+                                                              << 30}) {
+      BatchOptions options;
+      options.threads = workers;
+      options.big_job_threshold = threshold;
+      std::vector<std::size_t> indices;
+      std::string lines;
+      options.on_result = [&](std::size_t index, const BatchJobResult& r) {
+        indices.push_back(index);
+        lines += strip_timing(batch_stream_line(index, r)) + "\n";
+      };
+      const BatchReport report = run_batch(jobs, options);
+      ASSERT_EQ(indices.size(), jobs.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        EXPECT_EQ(indices[i], i) << "stream must commit in job index order";
+      }
+      // The summary stream line carries the same identity fields as the
+      // report.
+      const std::string summary = batch_stream_summary(report);
+      EXPECT_NE(summary.find("\"event\": \"summary\""), std::string::npos);
+      EXPECT_NE(summary.find("\"jobs\": 8"), std::string::npos);
+      if (base_lines.empty()) {
+        base_lines = lines;
+      } else {
+        EXPECT_EQ(lines, base_lines)
+            << "workers=" << workers << " threshold=" << threshold;
+      }
+    }
+  }
+  // And the emitted lines round-trip the per-job fields.
+  EXPECT_NE(base_lines.find("\"event\": \"job\", \"index\": 0"),
+            std::string::npos);
+  EXPECT_NE(base_lines.find("\"color_hash\": \""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -348,6 +348,131 @@ TEST(Serve, ConcurrentSessionsStayIsolated) {
   accept_thread.join();
 }
 
+// ---- scheduler-backed hygiene and streaming ------------------------------
+
+TEST(Serve, SessionQuotaRejectsWithCleanJsonError) {
+  ServerOptions options;
+  options.workers = 1;
+  options.session_quota = 0;  // degenerate: every heavy request over quota
+  Server server(options);
+  ASSERT_TRUE(server
+                  .handle(req(R"({"op":"create","session":"q",)"
+                              R"("generator":"cycle","n":16})"))
+                  .require("ok")
+                  .as_bool());
+  const JsonValue r = server.handle(req(R"({"op":"solve","session":"q"})"));
+  EXPECT_FALSE(r.require("ok").as_bool());
+  EXPECT_NE(r.require("error").as_string().find("quota"),
+            std::string::npos)
+      << r.dump();
+  // Light requests (info/query) are not metered.
+  EXPECT_TRUE(server.handle(req(R"({"op":"info","session":"q"})"))
+                  .require("ok")
+                  .as_bool());
+}
+
+TEST(Serve, EvictedSessionReturnsCleanJsonError) {
+  ServerOptions options;
+  options.workers = 1;
+  options.session_ttl = 0.05;  // evict after 50 ms idle
+  Server server(options);
+  ASSERT_TRUE(server
+                  .handle(req(R"({"op":"create","session":"idle",)"
+                              R"("generator":"cycle","n":16})"))
+                  .require("ok")
+                  .as_bool());
+  // Poll rather than sleep once (CI machines stall) — but each probe
+  // touches the session and restarts its idle clock, so every wait must
+  // itself exceed the TTL for the eviction timer to win the race.
+  JsonValue r = server.handle(req(R"({"op":"ping"})"));
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(75));
+    r = server.handle(req(R"({"op":"info","session":"idle"})"));
+    if (!r.require("ok").as_bool()) break;
+  }
+  ASSERT_FALSE(r.require("ok").as_bool()) << "session was never evicted";
+  const std::string error = r.require("error").as_string();
+  EXPECT_NE(error.find("evicted"), std::string::npos) << error;
+  EXPECT_NE(error.find("session-ttl"), std::string::npos) << error;
+  // The name is reusable: create wins over the tombstone.
+  EXPECT_TRUE(server
+                  .handle(req(R"({"op":"create","session":"idle",)"
+                              R"("generator":"cycle","n":16})"))
+                  .require("ok")
+                  .as_bool());
+}
+
+TEST(Serve, BatchOpStreamsJobLinesBeforeTheSummary) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  std::thread accept_thread([&server] { server.run(); });
+  {
+    Client client(server.port());
+    std::vector<JsonValue> events;
+    const JsonValue r = client.call(
+        req(R"({"op":"batch","stream":true,"jobs":)"
+            R"("solver=greedy,generator=cycle,n=32,seed=1,repeat=3"})"),
+        [&events](const std::string& line) {
+          events.push_back(JsonValue::parse(line));
+        });
+    ASSERT_TRUE(r.require("ok").as_bool()) << r.dump();
+    EXPECT_EQ(r.require("jobs").as_int(), 3);
+    EXPECT_EQ(r.require("jobs_valid").as_int(), 3);
+    // 3 streamed job lines (in index order) then 1 summary line.
+    ASSERT_EQ(events.size(), 4u);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(events[static_cast<std::size_t>(i)].require("event")
+                    .as_string(),
+                "job");
+      EXPECT_EQ(events[static_cast<std::size_t>(i)].require("index")
+                    .as_int(),
+                i);
+    }
+    EXPECT_EQ(events[3].require("event").as_string(), "summary");
+    client.call(req(R"({"op":"shutdown"})"));
+  }
+  accept_thread.join();
+}
+
+TEST(Serve, AsyncSolvePushesACompletionEvent) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  std::thread accept_thread([&server] { server.run(); });
+  {
+    Client client(server.port());
+    ASSERT_TRUE(client
+                    .call(req(R"({"op":"create","session":"a",)"
+                              R"("generator":"gnp","n":200,"degree":6,)"
+                              R"("seed":5})"))
+                    .require("ok")
+                    .as_bool());
+    // The worker may push solve_done BEFORE the connection thread gets
+    // to write the queued-response — capture early events instead of
+    // letting call() drop them (wait_event would then block forever).
+    std::vector<JsonValue> early;
+    const JsonValue queued = client.call(
+        req(R"({"op":"solve","session":"a","async":true,"id":42})"),
+        [&early](const std::string& line) {
+          early.push_back(JsonValue::parse(line));
+        });
+    ASSERT_TRUE(queued.require("ok").as_bool()) << queued.dump();
+    EXPECT_TRUE(queued.require("queued").as_bool());
+    const JsonValue done = early.empty() ? client.wait_event() : early[0];
+    EXPECT_EQ(done.require("event").as_string(), "solve_done");
+    EXPECT_EQ(done.require("session").as_string(), "a");
+    EXPECT_EQ(done.require("id").as_int(), 42);
+    EXPECT_TRUE(done.require("ok").as_bool()) << done.dump();
+    // The session really is colored afterwards.
+    const JsonValue info =
+        client.call(req(R"({"op":"info","session":"a"})"));
+    EXPECT_TRUE(info.require("colored").as_bool());
+    client.call(req(R"({"op":"shutdown"})"));
+  }
+  accept_thread.join();
+}
+
 // ---- acceptance: incremental beats full re-solve ------------------------
 
 TEST(Serve, IncrementalRecolorBeatsFullResolve) {

@@ -24,6 +24,16 @@
 //             [--verify] (collect-mode checker per job) [--json=report.json]
 //             [--snapshot-cache=<dir>] (file-backed instance cache: repeat
 //             runs mmap instances instead of rebuilding them)
+//             [--stream] (emit one {"event":"job",...} JSONL line per
+//             completed job to stdout, in job-index commit order, then a
+//             {"event":"summary",...} line; the human table moves to
+//             stderr so stdout stays machine-parseable)
+//             [--big-job-threshold=N] (node count at which a job runs
+//             its simulator rounds as stealable scheduler chunks instead
+//             of pinned to one worker; 0 = every job, huge = none, -1 =
+//             $DCOLOR_BIG_JOB_THRESHOLD else auto max(65536, 2*mean job
+//             size). Results are bit-identical at every setting — this
+//             only moves wall clock.)
 //   snapshot  Save / load binary zero-copy instance snapshots
 //             (storage/snapshot.h).
 //             --save=<out.snap> with ONE input source:
@@ -57,9 +67,18 @@
 //             [--port-file=<path>] [--workers=4] [--headroom=2]
 //             [--solver=deg_plus_one] [--check[=collect]] (per-request
 //             checker inside the daemon)
+//             [--session-quota=64] (max solve/recolor requests queued or
+//             running per session; the excess gets a clean JSON error;
+//             -1 = unlimited) [--session-ttl=<seconds>] (evict sessions
+//             idle that long; 0 = never; an evicted name answers with a
+//             clean "was evicted" JSON error)
+//             [--big-job-threshold=N] (default level-2 threshold for the
+//             daemon's op:batch — see --cmd=batch)
 //   client    One-shot / stdin-driven client for a running daemon.
 //             --port=<p> [--request='{"op":"ping"}'] (without --request,
-//             forwards stdin lines and prints response lines)
+//             forwards stdin lines and prints response lines). Pushed
+//             {"event":...} lines — streamed op:batch jobs, async solve
+//             notifications — print as they arrive, before the response.
 //   fuzz      Differential fuzzing against sequential oracles. The
 //             algorithm axis comes from the solver registry; --alg=<name>
 //             restricts it to one solver.
@@ -353,14 +372,26 @@ int cmd_batch(const CliArgs& args) {
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
   options.check = args.get_bool("verify");
   options.snapshot_dir = args.get_string("snapshot-cache", "");
+  options.big_job_threshold = args.get_int("big-job-threshold", -1);
+  const bool stream = args.get_bool("stream");
+  if (stream) {
+    // JSONL goes to stdout (one line per job, commit order = job index
+    // order, flushed immediately so a consumer sees jobs as they land);
+    // the human-readable table below moves to stderr.
+    options.on_result = [](std::size_t index, const BatchJobResult& r) {
+      std::cout << batch_stream_line(index, r) << std::endl;
+    };
+  }
   const BatchReport report = run_batch(jobs, options);
+  if (stream) std::cout << batch_stream_summary(report) << std::endl;
+  std::ostream& human = stream ? std::cerr : std::cout;
 
   if (args.has("json")) {
     const std::string path = args.get_string("json", "batch_report.json");
     std::ofstream os(path);
     DCOLOR_CHECK_MSG(static_cast<bool>(os), "cannot open " << path);
     os << report.to_json();
-    std::cout << "report written to " << path << "\n";
+    human << "report written to " << path << "\n";
   }
 
   Table t("batch results");
@@ -370,8 +401,8 @@ int cmd_batch(const CliArgs& args) {
           r.error.empty() ? (r.valid ? "yes" : "NO") : "ERROR",
           r.colors_used, r.metrics.rounds, r.checker_violations);
   }
-  t.print(std::cout);
-  std::cout << "batch: " << report.jobs.size() << " jobs, "
+  t.print(human);
+  human << "batch: " << report.jobs.size() << " jobs, "
             << report.jobs_valid << " valid, " << report.jobs_failed
             << " failed; " << report.total_rounds << " total rounds, "
             << report.total_violations << " checker violation(s); scratch "
@@ -381,7 +412,7 @@ int cmd_batch(const CliArgs& args) {
             << " loaded / " << report.snapshot_reused << " reused\n";
   for (const BatchJobResult& r : report.jobs) {
     if (!r.error.empty()) {
-      std::cout << "  " << r.label << ": " << r.error << "\n";
+      human << "  " << r.label << ": " << r.error << "\n";
     }
   }
   return report.jobs_failed == 0 && report.total_violations == 0 ? 0 : 1;
@@ -591,6 +622,9 @@ int cmd_serve(const CliArgs& args) {
   options.workers = static_cast<int>(args.get_int("workers", 4));
   options.headroom = static_cast<int>(args.get_int("headroom", 2));
   options.default_solver = args.get_string("solver", "deg_plus_one");
+  options.session_quota = static_cast<int>(args.get_int("session-quota", 64));
+  options.session_ttl = args.get_double("session-ttl", 0.0);
+  options.big_job_threshold = args.get_int("big-job-threshold", -1);
   if (args.has("check")) {
     options.check = args.get_string("check", "true") == "collect"
                         ? "collect"
@@ -613,14 +647,20 @@ int cmd_client(const CliArgs& args) {
   const int port = static_cast<int>(args.get_int("port", 0));
   DCOLOR_CHECK_MSG(port > 0, "--cmd=client requires --port=<port>");
   serve::Client client(port);
+  // Pushed event lines (streamed batch jobs, async solve notifications)
+  // print as they arrive, before the blocking response line.
+  const auto print_event = [](const std::string& event) {
+    std::cout << event << std::endl;
+  };
   if (args.has("request")) {
-    std::cout << client.call_line(args.get_string("request", "")) << "\n";
+    std::cout << client.call_line(args.get_string("request", ""), print_event)
+              << "\n";
     return 0;
   }
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    std::cout << client.call_line(line) << std::endl;
+    std::cout << client.call_line(line, print_event) << std::endl;
   }
   return 0;
 }
